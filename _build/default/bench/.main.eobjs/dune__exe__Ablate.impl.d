@@ -1,0 +1,1 @@
+bench/ablate.ml: Flash Format List Printf Sim Simos Sys Workload

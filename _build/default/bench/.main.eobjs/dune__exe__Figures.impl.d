@@ -1,0 +1,1 @@
+bench/figures.ml: Flash Format Int List Simos Sys Workload

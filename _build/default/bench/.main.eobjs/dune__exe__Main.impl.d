@@ -1,0 +1,1 @@
+bench/main.ml: Ablate Array Figures Format List Micro String Sys Unix

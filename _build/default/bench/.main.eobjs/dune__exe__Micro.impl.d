@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Flash_util Format Gc Hashtbl Http Instance List Measure Sim Simos Staged String Test Time Toolkit Workload

@@ -1,0 +1,337 @@
+(* Reproduction harnesses: one per figure of the paper's evaluation
+   (USENIX '99, §6).  Each prints the series the paper plots; shapes —
+   orderings, gaps, knees — are the comparison target, not absolute
+   numbers (see EXPERIMENTS.md). *)
+
+let fast_mode = Sys.getenv_opt "FLASH_BENCH_FAST" <> None
+
+(* Time scale: full mode uses longer measured intervals for smoother
+   steady-state numbers. *)
+let scale x = if fast_mode then x /. 4. else x
+
+let kb n = n * 1024
+let mib n = n * 1024 * 1024
+
+let pf = Format.printf
+
+let print_header title detail =
+  pf "@.============================================================@.";
+  pf "%s@." title;
+  pf "%s@." detail;
+  pf "============================================================@."
+
+let series_line ~first_col values =
+  pf "%-10s" first_col;
+  List.iter (fun v -> pf " %10.1f" v) values;
+  pf "@."
+
+let label_line ~first_col labels =
+  pf "%-10s" first_col;
+  List.iter (fun l -> pf " %10s" l) labels;
+  pf "@."
+
+(* ------------------------------------------------------------------ *)
+(* Single-file test (figures 6, 7, 11)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let single_file_fileset size =
+  {
+    Workload.Fileset.spec = Workload.Fileset.owlnet_like ~files:1 ~seed:1;
+    paths = [| "/www/data/set0/file.html" |];
+    sizes = [| size |];
+  }
+
+let single_file_run ~profile ~server ~size =
+  Workload.Driver.run ~clients:64 ~warmup:(scale 2.) ~duration:(scale 6.)
+    ~profile ~server
+    ~fileset:(single_file_fileset size)
+    ~next:(fun _ -> "/www/data/set0/file.html")
+    ()
+
+(* The two panels of the single-file figures: output bandwidth over the
+   full size range, connection rate for small files. *)
+let single_file_figure ~profile ~servers =
+  let bandwidth_sizes = [ 10; 20; 35; 50; 75; 100; 150; 200 ] in
+  let rate_sizes = [ 1; 2; 4; 6; 8; 10; 14; 17; 20 ] in
+  let all_sizes =
+    List.sort_uniq Int.compare (rate_sizes @ bandwidth_sizes)
+  in
+  let results =
+    List.map
+      (fun size_kb ->
+        ( size_kb,
+          List.map
+            (fun server -> single_file_run ~profile ~server ~size:(kb size_kb))
+            servers ))
+      all_sizes
+  in
+  let labels = List.map (fun (s : Flash.Config.t) -> s.Flash.Config.label) servers in
+  pf "@.(a) Output bandwidth (Mb/s) vs file size (KB)@.";
+  label_line ~first_col:"size_kb" labels;
+  List.iter
+    (fun (size_kb, row) ->
+      if List.mem size_kb bandwidth_sizes then
+        series_line
+          ~first_col:(string_of_int size_kb)
+          (List.map (fun r -> r.Workload.Driver.mbits_per_s) row))
+    results;
+  pf "@.(b) Connection rate (req/s) vs file size (KB)@.";
+  label_line ~first_col:"size_kb" labels;
+  List.iter
+    (fun (size_kb, row) ->
+      if List.mem size_kb rate_sizes then
+        series_line
+          ~first_col:(string_of_int size_kb)
+          (List.map (fun r -> r.Workload.Driver.requests_per_s) row))
+    results
+
+let fig6 () =
+  print_header "Figure 6 - Solaris single file test"
+    "64 clients repeatedly request one cached file; architecture matters\n\
+     little, Apache trails (missing optimizations), SPED edges out Flash\n\
+     (no mincore check).";
+  single_file_figure ~profile:Simos.Os_profile.solaris
+    ~servers:
+      [
+        Flash.Config.flash_sped;
+        Flash.Config.flash;
+        Flash.Config.zeus ~processes:1;
+        Flash.Config.flash_mt;
+        Flash.Config.flash_mp;
+        Flash.Config.apache;
+      ]
+
+let fig7 () =
+  print_header "Figure 7 - FreeBSD single file test"
+    "Same test on the faster network stack (no MT: FreeBSD 2.2.6 lacks\n\
+     kernel threads).  Zeus dips for 32-100 KB files: unpadded headers\n\
+     misalign the writev copy (S5.5).";
+  single_file_figure ~profile:Simos.Os_profile.freebsd
+    ~servers:
+      [
+        Flash.Config.flash_sped;
+        Flash.Config.flash;
+        Flash.Config.zeus ~processes:1;
+        Flash.Config.flash_mp;
+        Flash.Config.apache;
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* Trace workloads (figure 8)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let cs_trace () =
+  let fileset =
+    Workload.Fileset.generate (Workload.Fileset.cs_like ~files:4000 ~seed:21)
+  in
+  Workload.Trace.generate fileset ~length:60_000 ~alpha:0.95 ~seed:22
+
+let owlnet_trace () =
+  let fileset =
+    Workload.Fileset.generate (Workload.Fileset.owlnet_like ~files:5000 ~seed:23)
+  in
+  Workload.Trace.generate fileset ~length:60_000 ~alpha:1.1 ~seed:24
+
+let trace_run ~profile ~server ~trace ~persistent ~clients ~duration =
+  Workload.Driver.run ~clients ~persistent ~warmup:(scale 16.) ~duration
+    ~profile ~server ~fileset:trace.Workload.Trace.fileset
+    ~next:(fun i -> Workload.Trace.request_path trace i)
+    ()
+
+let fig8 () =
+  print_header "Figure 8 - Performance on Rice server traces (Solaris)"
+    "Bandwidth per server on two real-log-like workloads.  CS: large\n\
+     dataset, disk-bound - MP beats SPED.  Owlnet: small dataset, high\n\
+     locality - SPED shines.  Flash highest on both; Apache lowest.";
+  let servers =
+    [
+      Flash.Config.apache;
+      Flash.Config.flash_mp;
+      Flash.Config.flash_mt;
+      Flash.Config.flash_sped;
+      Flash.Config.flash;
+    ]
+  in
+  let run_one name trace =
+    pf "@.%s trace (dataset %.1f MB, mean transfer %.1f KB)@." name
+      (float_of_int (Workload.Fileset.total_bytes trace.Workload.Trace.fileset)
+      /. 1048576.)
+      (Workload.Trace.mean_transfer trace /. 1024.);
+    pf "%-10s %10s@." "server" "Mb/s";
+    List.iter
+      (fun server ->
+        let r =
+          trace_run ~profile:Simos.Os_profile.solaris ~server ~trace
+            ~persistent:false ~clients:64 ~duration:(scale 10.)
+        in
+        pf "%-10s %10.1f@." r.Workload.Driver.label r.Workload.Driver.mbits_per_s)
+      servers
+  in
+  run_one "CS" (cs_trace ());
+  run_one "Owlnet" (owlnet_trace ())
+
+(* ------------------------------------------------------------------ *)
+(* Dataset-size sweeps (figures 9, 10)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let ece_fileset () =
+  Workload.Fileset.generate (Workload.Fileset.ece_like ~files:9000 ~seed:31)
+
+let sweep_points =
+  if fast_mode then [ 30; 90; 150 ] else [ 15; 30; 45; 60; 75; 90; 105; 120; 135; 150 ]
+
+let dataset_sweep ~profile ~servers =
+  let base = ece_fileset () in
+  let labels = List.map (fun (s : Flash.Config.t) -> s.Flash.Config.label) servers in
+  label_line ~first_col:"mb" labels;
+  List.iter
+    (fun dataset_mb ->
+      let fileset = Workload.Fileset.truncate base ~dataset_bytes:(mib dataset_mb) in
+      let trace =
+        Workload.Trace.generate fileset ~length:60_000 ~alpha:0.9
+          ~seed:(32 + dataset_mb)
+      in
+      let row =
+        List.map
+          (fun server ->
+            let r =
+              (* Long warmup: the buffer cache must reach churn steady
+                 state even for the slowest (SPED) server, or transients
+                 flatter it. *)
+              Workload.Driver.run ~clients:64 ~warmup:(scale 20.)
+                ~duration:(scale 10.) ~profile ~server ~fileset
+                ~next:(fun i -> Workload.Trace.request_path trace i)
+                ()
+            in
+            r.Workload.Driver.mbits_per_s)
+          servers
+      in
+      series_line ~first_col:(string_of_int dataset_mb) row)
+    sweep_points
+
+let fig9 () =
+  print_header "Figure 9 - FreeBSD real workload (bandwidth vs dataset size)"
+    "ECE-like logs truncated to each dataset size.  All decline as the\n\
+     working set passes the cache; beyond the knee Flash >= MP > SPED;\n\
+     Zeus's knee comes later (small-request priority shrinks its\n\
+     effective working set).";
+  dataset_sweep ~profile:Simos.Os_profile.freebsd
+    ~servers:
+      [
+        Flash.Config.flash_sped;
+        Flash.Config.flash;
+        Flash.Config.zeus ~processes:2;
+        Flash.Config.flash_mp;
+        Flash.Config.apache;
+      ]
+
+let fig10 () =
+  print_header "Figure 10 - Solaris real workload (bandwidth vs dataset size)"
+    "Same sweep on Solaris, with MT: carefully-locked MT tracks Flash\n\
+     on both cached and disk-bound regions.";
+  dataset_sweep ~profile:Simos.Os_profile.solaris
+    ~servers:
+      [
+        Flash.Config.flash_sped;
+        Flash.Config.flash;
+        Flash.Config.zeus ~processes:2;
+        Flash.Config.flash_mt;
+        Flash.Config.flash_mp;
+        Flash.Config.apache;
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* Flash performance breakdown (figure 11)                             *)
+(* ------------------------------------------------------------------ *)
+
+let fig11 () =
+  print_header "Figure 11 - Flash performance breakdown (FreeBSD)"
+    "Connection rate for all 8 combinations of {pathname, mmap,\n\
+     response-header} caching on the cached single-file test.  Pathname\n\
+     caching contributes most; with nothing cached, small-file\n\
+     throughput roughly halves.";
+  let variants =
+    [
+      ("all", true, true, true);
+      ("path+mmap", true, true, false);
+      ("path+resp", true, false, true);
+      ("path", true, false, false);
+      ("mmap+resp", false, true, true);
+      ("mmap", false, true, false);
+      ("resp", false, false, true);
+      ("none", false, false, false);
+    ]
+  in
+  let sizes = [ 1; 2; 4; 6; 8; 10; 14; 17; 20 ] in
+  label_line ~first_col:"size_kb" (List.map (fun (n, _, _, _) -> n) variants);
+  List.iter
+    (fun size_kb ->
+      let row =
+        List.map
+          (fun (_, pathname, mmap, header) ->
+            let server =
+              Flash.Config.with_caches Flash.Config.flash ~pathname ~mmap ~header
+            in
+            let r =
+              single_file_run ~profile:Simos.Os_profile.freebsd ~server
+                ~size:(kb size_kb)
+            in
+            r.Workload.Driver.requests_per_s)
+          variants
+      in
+      series_line ~first_col:(string_of_int size_kb) row)
+    sizes
+
+(* ------------------------------------------------------------------ *)
+(* WAN / concurrent-connection test (figure 12)                        *)
+(* ------------------------------------------------------------------ *)
+
+let fig12 () =
+  print_header "Figure 12 - Adding clients (persistent connections, Solaris)"
+    "90 MB ECE-like dataset over long-lived connections.  SPED/AMPED\n\
+     stay flat as clients grow (select batching amortizes); MT declines\n\
+     gradually (per-thread overhead); MP declines sharply (per-process\n\
+     memory squeezes the file cache).";
+  let base = ece_fileset () in
+  let fileset = Workload.Fileset.truncate base ~dataset_bytes:(mib 90) in
+  let trace = Workload.Trace.generate fileset ~length:60_000 ~alpha:0.9 ~seed:41 in
+  let servers =
+    [
+      Flash.Config.flash_sped;
+      Flash.Config.flash;
+      Flash.Config.flash_mt;
+      Flash.Config.flash_mp;
+    ]
+  in
+  let client_counts =
+    if fast_mode then [ 32; 200; 500 ]
+    else [ 16; 32; 64; 100; 150; 200; 300; 400; 500 ]
+  in
+  let labels = List.map (fun (s : Flash.Config.t) -> s.Flash.Config.label) servers in
+  label_line ~first_col:"clients" labels;
+  List.iter
+    (fun clients ->
+      let row =
+        List.map
+          (fun (server : Flash.Config.t) ->
+            (* MP/MT provision a worker per concurrent connection, as the
+               paper's servers do. *)
+            let server =
+              match server.Flash.Config.arch with
+              | Flash.Config.Mp | Flash.Config.Mt ->
+                  { server with Flash.Config.processes = clients }
+              | Flash.Config.Sped | Flash.Config.Amped -> server
+            in
+            let r =
+              Workload.Driver.run ~clients ~persistent:true
+                ~warmup:(scale 16.) ~duration:(scale 10.)
+                ~profile:Simos.Os_profile.solaris ~server
+                ~fileset
+                ~next:(fun i -> Workload.Trace.request_path trace i)
+                ()
+            in
+            r.Workload.Driver.mbits_per_s)
+          servers
+      in
+      series_line ~first_col:(string_of_int clients) row)
+    client_counts

@@ -1,0 +1,104 @@
+(* Bechamel microbenchmarks of the request-path primitives (not a paper
+   figure; supporting data for the cost model in Os_profile). *)
+
+open Bechamel
+open Toolkit
+
+let request_buf =
+  "GET /d0_3/d1_3/f001234.html HTTP/1.1\r\nHost: sim.example\r\nUser-Agent: loadgen\r\nConnection: keep-alive\r\n\r\n"
+
+let bench_parse =
+  Test.make ~name:"http.request.parse"
+    (Staged.stage (fun () -> ignore (Http.Request.parse request_buf)))
+
+let bench_header_aligned =
+  Test.make ~name:"http.response.header(align=32)"
+    (Staged.stage (fun () ->
+         ignore
+           (Http.Response.header ~status:Http.Status.Ok
+              ~content_type:"text/html" ~content_length:8192 ~align:32 ())))
+
+let bench_header_unaligned =
+  Test.make ~name:"http.response.header(raw)"
+    (Staged.stage (fun () ->
+         ignore
+           (Http.Response.header ~status:Http.Status.Ok
+              ~content_type:"text/html" ~content_length:8192 ())))
+
+let bench_lru =
+  let lru = Flash_util.Lru.create ~capacity:1024 () in
+  for i = 0 to 1023 do
+    Flash_util.Lru.add lru i i ~weight:1
+  done;
+  let counter = ref 0 in
+  Test.make ~name:"lru.find+add"
+    (Staged.stage (fun () ->
+         incr counter;
+         let k = !counter land 2047 in
+         ignore (Flash_util.Lru.find lru k);
+         Flash_util.Lru.add lru k k ~weight:1))
+
+let bench_zipf =
+  let zipf = Workload.Zipf.create ~n:10_000 ~alpha:1.0 in
+  let rng = Sim.Rng.create ~seed:99 in
+  Test.make ~name:"zipf.sample"
+    (Staged.stage (fun () -> ignore (Workload.Zipf.sample zipf rng)))
+
+let bench_buffer_cache =
+  let memory =
+    Simos.Memory.create ~total_bytes:(1024 * 8192) ~min_cache_bytes:8192
+  in
+  let cache = Simos.Buffer_cache.create ~memory ~page_size:8192 in
+  let counter = ref 0 in
+  Test.make ~name:"buffer_cache.touch"
+    (Staged.stage (fun () ->
+         incr counter;
+         ignore
+           (Simos.Buffer_cache.touch cache
+              (Simos.Buffer_cache.File_page
+                 { inode = 1; page = !counter land 2047 }))))
+
+let bench_normalize =
+  Test.make ~name:"request.normalize_path"
+    (Staged.stage (fun () ->
+         ignore (Http.Request.normalize_path "/a/b/../c/./d/page.html")))
+
+let tests =
+  Test.make_grouped ~name:"micro"
+    [
+      bench_parse;
+      bench_header_aligned;
+      bench_header_unaligned;
+      bench_lru;
+      bench_zipf;
+      bench_buffer_cache;
+      bench_normalize;
+    ]
+
+let run () =
+  (* The figure sims leave a large heap behind; compact so GC noise does
+     not pollute the measurements when running after them. *)
+  Gc.compact ();
+  Format.printf
+    "@.============================================================@.";
+  Format.printf "Microbenchmarks (Bechamel; ns/run via OLS on monotonic clock)@.";
+  Format.printf
+    "============================================================@.";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
+  Format.printf "%-40s %12s@." "benchmark" "ns/run";
+  List.iter
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Format.printf "%-40s %12.1f@." name est
+      | Some _ | None -> Format.printf "%-40s %12s@." name "n/a")
+    rows

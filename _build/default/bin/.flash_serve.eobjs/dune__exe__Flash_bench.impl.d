@@ -1,0 +1,1 @@
+bin/flash_bench.ml: Arg Array Cmd Cmdliner Flash_live Float Format Fun List String Term Thread Unix

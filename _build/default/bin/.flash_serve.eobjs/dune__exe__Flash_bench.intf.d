@@ -1,0 +1,1 @@
+bin/flash_bench.mli:

@@ -1,0 +1,1 @@
+bin/flash_serve.ml: Arg Cmd Cmdliner Flash_live Fmt_tty Format Logs Logs_fmt Printf String Sys Term

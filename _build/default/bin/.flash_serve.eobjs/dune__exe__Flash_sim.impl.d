@@ -1,0 +1,1 @@
+bin/flash_sim.ml: Arg Cmd Cmdliner Flash Format Simos String Term Workload

@@ -1,0 +1,1 @@
+bin/flash_trace.ml: Arg Cmd Cmdliner Format Printf String Term Workload

@@ -1,0 +1,136 @@
+(* flash-bench: a small httperf-style load generator for the live server
+   (and any HTTP/1.x server): N closed-loop client threads, reporting
+   throughput and response-time percentiles.
+
+     dune exec bin/flash_serve.exe -- --docroot ./site --port 8080 &
+     dune exec bin/flash_bench.exe -- --host 127.0.0.1 --port 8080 \
+       --path /index.html --clients 16 --duration 5 --keep-alive *)
+
+open Cmdliner
+
+type worker_stats = {
+  mutable completed : int;
+  mutable errors : int;
+  mutable bytes : int;
+  latencies : float array;  (* ring of recent samples, seconds *)
+  mutable latency_count : int;
+}
+
+let new_stats samples =
+  {
+    completed = 0;
+    errors = 0;
+    bytes = 0;
+    latencies = Array.make samples 0.;
+    latency_count = 0;
+  }
+
+let record stats latency bytes ok =
+  if ok then begin
+    stats.completed <- stats.completed + 1;
+    stats.bytes <- stats.bytes + bytes;
+    stats.latencies.(stats.latency_count mod Array.length stats.latencies) <-
+      latency;
+    stats.latency_count <- stats.latency_count + 1
+  end
+  else stats.errors <- stats.errors + 1
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else sorted.(min (n - 1) (int_of_float (p /. 100. *. float_of_int n)))
+
+let worker ~host ~port ~path ~keep_alive ~deadline stats () =
+  let run_one_keepalive () =
+    let session = Flash_live.Client.Session.connect ~host ~port in
+    Fun.protect
+      ~finally:(fun () -> Flash_live.Client.Session.close session)
+      (fun () ->
+        while Unix.gettimeofday () < deadline do
+          let t0 = Unix.gettimeofday () in
+          match Flash_live.Client.Session.request session path with
+          | r ->
+              record stats
+                (Unix.gettimeofday () -. t0)
+                (String.length r.Flash_live.Client.body)
+                (r.Flash_live.Client.status = 200)
+          | exception _ -> raise Exit
+        done)
+  in
+  let run_one_conn_per_request () =
+    while Unix.gettimeofday () < deadline do
+      let t0 = Unix.gettimeofday () in
+      match Flash_live.Client.get ~host ~port path with
+      | r ->
+          record stats
+            (Unix.gettimeofday () -. t0)
+            (String.length r.Flash_live.Client.body)
+            (r.Flash_live.Client.status = 200)
+      | exception _ -> stats.errors <- stats.errors + 1
+    done
+  in
+  try if keep_alive then run_one_keepalive () else run_one_conn_per_request ()
+  with Exit | _ -> ()
+
+let run host port path clients duration keep_alive =
+  Format.printf "flash-bench: %d clients -> http://%s:%d%s for %.1fs (%s)@."
+    clients host port path duration
+    (if keep_alive then "keep-alive" else "connection per request");
+  let deadline = Unix.gettimeofday () +. duration in
+  let stats = List.init clients (fun _ -> new_stats 100_000) in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.map
+      (fun s ->
+        Thread.create (worker ~host ~port ~path ~keep_alive ~deadline s) ())
+      stats
+  in
+  List.iter Thread.join threads;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let completed = List.fold_left (fun acc s -> acc + s.completed) 0 stats in
+  let errors = List.fold_left (fun acc s -> acc + s.errors) 0 stats in
+  let bytes = List.fold_left (fun acc s -> acc + s.bytes) 0 stats in
+  let all_latencies =
+    List.concat_map
+      (fun s ->
+        let n = min s.latency_count (Array.length s.latencies) in
+        Array.to_list (Array.sub s.latencies 0 n))
+      stats
+  in
+  let sorted = Array.of_list all_latencies in
+  Array.sort Float.compare sorted;
+  Format.printf "requests:   %d ok, %d errors in %.2fs@." completed errors elapsed;
+  Format.printf "throughput: %.1f req/s, %.2f Mb/s (body bytes)@."
+    (float_of_int completed /. elapsed)
+    (float_of_int bytes *. 8. /. elapsed /. 1e6);
+  if Array.length sorted > 0 then
+    Format.printf "latency:    p50 %.2f ms, p90 %.2f ms, p99 %.2f ms@."
+      (1000. *. percentile sorted 50.)
+      (1000. *. percentile sorted 90.)
+      (1000. *. percentile sorted 99.);
+  if errors > 0 then exit 1
+
+let host =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"Server host.")
+
+let port =
+  Arg.(required & opt (some int) None & info [ "port"; "p" ] ~docv:"PORT" ~doc:"Server port.")
+
+let path =
+  Arg.(value & opt string "/" & info [ "path" ] ~docv:"PATH" ~doc:"Request target.")
+
+let clients =
+  Arg.(value & opt int 8 & info [ "clients"; "c" ] ~docv:"N" ~doc:"Concurrent clients.")
+
+let duration =
+  Arg.(value & opt float 5. & info [ "duration"; "t" ] ~docv:"SEC" ~doc:"Test duration.")
+
+let keep_alive =
+  Arg.(value & flag & info [ "keep-alive"; "k" ] ~doc:"Reuse connections (HTTP/1.1).")
+
+let cmd =
+  let doc = "closed-loop HTTP load generator (for the live Flash server)" in
+  Cmd.v (Cmd.info "flash-bench" ~doc)
+    Term.(const run $ host $ port $ path $ clients $ duration $ keep_alive)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,117 @@
+(* flash-serve: run the live Flash web server.
+
+     dune exec bin/flash_serve.exe -- --docroot ./site --port 8080
+     dune exec bin/flash_serve.exe -- --docroot ./site --mode sped
+     dune exec bin/flash_serve.exe -- --docroot ./site --mode mt:8 *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info))
+
+let serve docroot port mode helpers cache_mb no_cgi no_align access_log verbose =
+  setup_logs verbose;
+  let mode =
+    match mode with
+    | "amped" -> Flash_live.Server.Amped
+    | "sped" -> Flash_live.Server.Sped
+    | s when String.length s > 3 && String.sub s 0 3 = "mp:" ->
+        Flash_live.Server.Mp
+          (match int_of_string_opt (String.sub s 3 (String.length s - 3)) with
+          | Some n when n > 0 -> n
+          | _ -> 4)
+    | s when String.length s > 3 && String.sub s 0 3 = "mt:" ->
+        Flash_live.Server.Mt
+          (match int_of_string_opt (String.sub s 3 (String.length s - 3)) with
+          | Some n when n > 0 -> n
+          | _ -> 8)
+    | "mp" -> Flash_live.Server.Mp 4
+    | "mt" -> Flash_live.Server.Mt 8
+    | other ->
+        Format.eprintf "unknown mode %S (amped|sped|mp[:N]|mt[:N])@." other;
+        exit 2
+  in
+  if not (Sys.file_exists docroot && Sys.is_directory docroot) then begin
+    Format.eprintf "docroot %S is not a directory@." docroot;
+    exit 2
+  end;
+  let config =
+    {
+      (Flash_live.Server.default_config ~docroot) with
+      Flash_live.Server.port;
+      mode;
+      helpers;
+      file_cache_bytes = cache_mb * 1024 * 1024;
+      enable_cgi = not no_cgi;
+      align_headers = not no_align;
+      access_log;
+    }
+  in
+  let server = Flash_live.Server.start config in
+  Format.printf "Flash serving %s on http://127.0.0.1:%d/ (%s)@." docroot
+    (Flash_live.Server.port server)
+    (match mode with
+    | Flash_live.Server.Amped -> "AMPED"
+    | Flash_live.Server.Sped -> "SPED"
+    | Flash_live.Server.Mp n -> Printf.sprintf "MP x%d" n
+    | Flash_live.Server.Mt n -> Printf.sprintf "MT x%d" n);
+  let stop _ =
+    let s = Flash_live.Server.stats server in
+    Format.printf
+      "@.shutting down: %d requests, %d connections, %d errors, cache %d/%d \
+       hit/miss, %d helper jobs@."
+      s.Flash_live.Server.requests s.Flash_live.Server.connections
+      s.Flash_live.Server.errors s.Flash_live.Server.cache_hits
+      s.Flash_live.Server.cache_misses s.Flash_live.Server.helper_jobs;
+    Flash_live.Server.stop server;
+    exit 0
+  in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+  Flash_live.Server.run server
+
+let docroot =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "docroot"; "d" ] ~docv:"DIR" ~doc:"Document root directory.")
+
+let port =
+  Arg.(value & opt int 0 & info [ "port"; "p" ] ~docv:"PORT" ~doc:"Listen port (0 = ephemeral).")
+
+let mode =
+  Arg.(
+    value & opt string "amped"
+    & info [ "mode"; "m" ] ~docv:"MODE"
+        ~doc:"Concurrency architecture: amped (default), sped, mp or mp:N.")
+
+let helpers =
+  Arg.(value & opt int 4 & info [ "helpers" ] ~docv:"N" ~doc:"AMPED helper threads.")
+
+let cache_mb =
+  Arg.(value & opt int 32 & info [ "cache-mb" ] ~docv:"MB" ~doc:"File cache size.")
+
+let no_cgi = Arg.(value & flag & info [ "no-cgi" ] ~doc:"Disable /cgi-bin/.")
+
+let no_align =
+  Arg.(value & flag & info [ "no-align" ] ~doc:"Disable 32-byte header alignment.")
+
+let access_log =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "access-log" ] ~docv:"FILE" ~doc:"Write a Common Log Format access log.")
+
+let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Debug logging.")
+
+let cmd =
+  let doc = "the Flash web server (AMPED architecture, USENIX '99)" in
+  Cmd.v
+    (Cmd.info "flash-serve" ~doc)
+    Term.(
+      const serve $ docroot $ port $ mode $ helpers $ cache_mb $ no_cgi
+      $ no_align $ access_log $ verbose)
+
+let () = exit (Cmd.eval cmd)

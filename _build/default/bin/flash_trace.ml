@@ -1,0 +1,116 @@
+(* flash-trace: generate and describe a synthetic workload trace.
+
+     dune exec bin/flash_trace.exe -- --kind ece --files 9000 --requests 5000 *)
+
+open Cmdliner
+
+let describe fileset trace alpha =
+  Format.printf "fileset:   %d files, %.2f MB total, %.1f KB mean size@."
+    (Workload.Fileset.file_count fileset)
+    (float_of_int (Workload.Fileset.total_bytes fileset) /. 1048576.)
+    (Workload.Fileset.mean_size fileset /. 1024.);
+  Format.printf "trace:     %d requests%s@."
+    (Workload.Trace.length trace)
+    (match alpha with
+    | Some a -> Printf.sprintf ", zipf alpha %.2f" a
+    | None -> " (imported log)");
+  Format.printf "touched:   %d distinct files, %.2f MB footprint@."
+    (Workload.Trace.distinct_files trace)
+    (float_of_int (Workload.Trace.footprint_bytes trace) /. 1048576.);
+  Format.printf "transfer:  %.1f KB mean@."
+    (Workload.Trace.mean_transfer trace /. 1024.)
+
+let run kind files requests alpha seed dataset_mb sample export import =
+  (match import with
+  | Some path ->
+      let trace = Workload.Trace.load_clf ~path in
+      describe trace.Workload.Trace.fileset trace None;
+      if sample > 0 then begin
+        Format.printf "@.first %d requests:@." sample;
+        for i = 0 to sample - 1 do
+          Format.printf "  GET %s  (%d bytes)@."
+            (Workload.Trace.request_path trace i)
+            (Workload.Trace.request_size trace i)
+        done
+      end;
+      exit 0
+  | None -> ());
+  let spec =
+    match String.lowercase_ascii kind with
+    | "cs" -> Workload.Fileset.cs_like ~files ~seed
+    | "owlnet" -> Workload.Fileset.owlnet_like ~files ~seed
+    | "ece" -> Workload.Fileset.ece_like ~files ~seed
+    | other ->
+        Format.eprintf "unknown trace kind %S (cs|owlnet|ece)@." other;
+        exit 2
+  in
+  let fileset = Workload.Fileset.generate spec in
+  let fileset =
+    match dataset_mb with
+    | Some mb ->
+        Workload.Fileset.truncate fileset ~dataset_bytes:(mb * 1024 * 1024)
+    | None -> fileset
+  in
+  let trace =
+    Workload.Trace.generate fileset ~length:requests ~alpha ~seed:(seed + 1)
+  in
+  describe fileset trace (Some alpha);
+  (match export with
+  | Some path ->
+      Workload.Trace.save_clf trace ~path;
+      Format.printf "exported:  %s (Common Log Format)@." path
+  | None -> ());
+  if sample > 0 then begin
+    Format.printf "@.first %d requests:@." sample;
+    for i = 0 to sample - 1 do
+      Format.printf "  GET %s  (%d bytes)@."
+        (Workload.Trace.request_path trace i)
+        (Workload.Trace.request_size trace i)
+    done
+  end
+
+let kind =
+  Arg.(
+    value & opt string "ece"
+    & info [ "kind"; "k" ] ~docv:"KIND" ~doc:"Trace flavour: cs, owlnet or ece.")
+
+let files = Arg.(value & opt int 5000 & info [ "files" ] ~docv:"N" ~doc:"Fileset size.")
+
+let requests =
+  Arg.(value & opt int 10_000 & info [ "requests"; "n" ] ~docv:"N" ~doc:"Log length.")
+
+let alpha =
+  Arg.(value & opt float 0.9 & info [ "alpha" ] ~docv:"A" ~doc:"Zipf exponent.")
+
+let seed = Arg.(value & opt int 21 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed.")
+
+let dataset_mb =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "dataset-mb" ] ~docv:"MB" ~doc:"Truncate the fileset to this size.")
+
+let sample =
+  Arg.(value & opt int 0 & info [ "sample" ] ~docv:"N" ~doc:"Print the first N requests.")
+
+let export =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "export" ] ~docv:"FILE" ~doc:"Write the trace as a CLF access log.")
+
+let import =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "import" ] ~docv:"FILE"
+        ~doc:"Describe a trace loaded from a CLF access log instead of generating one.")
+
+let cmd =
+  let doc = "generate and describe a synthetic access-log workload" in
+  Cmd.v (Cmd.info "flash-trace" ~doc)
+    Term.(
+      const run $ kind $ files $ requests $ alpha $ seed $ dataset_mb $ sample
+      $ export $ import)
+
+let () = exit (Cmd.eval cmd)

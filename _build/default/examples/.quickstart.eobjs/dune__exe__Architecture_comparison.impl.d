@@ -1,0 +1,1 @@
+examples/architecture_comparison.ml: Flash Format List Simos Workload

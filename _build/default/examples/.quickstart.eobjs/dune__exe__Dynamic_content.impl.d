@@ -1,0 +1,1 @@
+examples/dynamic_content.ml: Flash Format List Printf Simos Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Filename Flash_live Format Fun String Sys Unix

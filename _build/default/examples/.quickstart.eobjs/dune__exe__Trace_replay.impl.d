@@ -1,0 +1,1 @@
+examples/trace_replay.ml: Flash Format Printf Sim Simos Workload

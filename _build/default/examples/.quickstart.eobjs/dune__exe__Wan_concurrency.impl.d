@@ -1,0 +1,1 @@
+examples/wan_concurrency.ml: Flash Format List Simos Workload

@@ -1,0 +1,51 @@
+(* The paper's headline comparison in miniature: the same server code
+   base run as AMPED / SPED / MP / MT on a cached and on a disk-bound
+   workload (simulated machine, deterministic).
+
+     dune exec examples/architecture_comparison.exe *)
+
+let run_workload ~title ~dataset_mb ~warmup =
+  Format.printf "@.%s (dataset %d MB, 64 clients, FreeBSD-like machine)@."
+    title dataset_mb;
+  Format.printf "%-8s %10s %10s %8s %8s %12s@." "server" "Mb/s" "req/s" "cpu%"
+    "disk%" "switches/s";
+  let base =
+    Workload.Fileset.generate (Workload.Fileset.ece_like ~files:9000 ~seed:31)
+  in
+  let fileset =
+    Workload.Fileset.truncate base ~dataset_bytes:(dataset_mb * 1024 * 1024)
+  in
+  let trace = Workload.Trace.generate fileset ~length:50_000 ~alpha:0.9 ~seed:7 in
+  List.iter
+    (fun server ->
+      let r =
+        Workload.Driver.run ~clients:64 ~warmup ~duration:5.
+          ~profile:Simos.Os_profile.freebsd ~server ~fileset
+          ~next:(fun i -> Workload.Trace.request_path trace i)
+          ()
+      in
+      Format.printf "%-8s %10.1f %10.1f %7.0f%% %7.0f%% %12.0f@."
+        r.Workload.Driver.label r.Workload.Driver.mbits_per_s
+        r.Workload.Driver.requests_per_s
+        (100. *. r.Workload.Driver.cpu_utilization)
+        (100. *. r.Workload.Driver.disk_utilization)
+        r.Workload.Driver.ctx_switches_per_s)
+    [
+      Flash.Config.flash;
+      Flash.Config.flash_sped;
+      Flash.Config.flash_mp;
+      Flash.Config.flash_mt;
+    ]
+
+let () =
+  Format.printf
+    "Architecture comparison: one code base, four concurrency designs.@.";
+  run_workload ~title:"Cached workload" ~dataset_mb:30 ~warmup:3.;
+  (* Long warmup: the cache must reach churn steady state. *)
+  run_workload ~title:"Disk-bound workload" ~dataset_mb:140 ~warmup:15.;
+  Format.printf
+    "@.Expected shape (paper S6): on the cached set the architectures are\n\
+     within a few percent (SPED slightly ahead of Flash - no mincore\n\
+     checks); on the disk-bound set SPED collapses because its \"non-\n\
+     blocking\" file reads block the whole event loop, while Flash's\n\
+     helpers keep the disk busy without stalling request processing.@."

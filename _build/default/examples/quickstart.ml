@@ -1,0 +1,54 @@
+(* Quickstart: run the live AMPED web server on a scratch document root
+   and talk to it with the bundled client.
+
+     dune exec examples/quickstart.exe *)
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let make_docroot () =
+  let dir = Filename.temp_file "flash_quickstart" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Unix.mkdir (Filename.concat dir "cgi-bin") 0o755;
+  write_file
+    (Filename.concat dir "index.html")
+    "<html><body><h1>Flash (OCaml) is serving.</h1></body></html>\n";
+  write_file (Filename.concat dir "hello.txt") "Hello from the AMPED server!\n";
+  let cgi = Filename.concat dir "cgi-bin/time.sh" in
+  write_file cgi "#!/bin/sh\necho \"server time: $(date -u) query=$QUERY_STRING\"\n";
+  Unix.chmod cgi 0o755;
+  dir
+
+let show label (r : Flash_live.Client.response) =
+  Format.printf "--- %s -> HTTP %d@." label r.Flash_live.Client.status;
+  Format.printf "%s@." (String.trim r.Flash_live.Client.body)
+
+let () =
+  let docroot = make_docroot () in
+  let config =
+    { (Flash_live.Server.default_config ~docroot) with Flash_live.Server.helpers = 4 }
+  in
+  let server = Flash_live.Server.start_background config in
+  let port = Flash_live.Server.port server in
+  Format.printf "Flash (AMPED) listening on http://127.0.0.1:%d/ (docroot %s)@."
+    port docroot;
+  Fun.protect
+    ~finally:(fun () -> Flash_live.Server.stop server)
+    (fun () ->
+      show "GET /" (Flash_live.Client.get ~host:"127.0.0.1" ~port "/");
+      show "GET /hello.txt" (Flash_live.Client.get ~host:"127.0.0.1" ~port "/hello.txt");
+      show "GET /hello.txt (cached)"
+        (Flash_live.Client.get ~host:"127.0.0.1" ~port "/hello.txt");
+      show "GET /cgi-bin/time.sh?demo=1"
+        (Flash_live.Client.get ~host:"127.0.0.1" ~port "/cgi-bin/time.sh?demo=1");
+      show "GET /missing" (Flash_live.Client.get ~host:"127.0.0.1" ~port "/missing");
+      let stats = Flash_live.Server.stats server in
+      Format.printf
+        "@.server stats: %d requests on %d connections, %d errors, cache \
+         %d hits / %d misses, %d helper jobs@."
+        stats.Flash_live.Server.requests stats.Flash_live.Server.connections
+        stats.Flash_live.Server.errors stats.Flash_live.Server.cache_hits
+        stats.Flash_live.Server.cache_misses stats.Flash_live.Server.helper_jobs)

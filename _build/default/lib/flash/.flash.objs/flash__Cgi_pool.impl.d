@@ -1,0 +1,1 @@
+lib/flash/cgi_pool.ml: Hashtbl Sim Simos

@@ -1,0 +1,1 @@
+lib/flash/cgi_pool.mli: Simos

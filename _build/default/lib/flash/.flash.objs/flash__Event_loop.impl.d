@@ -1,0 +1,1 @@
+lib/flash/event_loop.ml: Cgi_pool Config Helper_pool Http List Mmap_cache Pathname_cache Residency Runtime Simos String

@@ -1,0 +1,1 @@
+lib/flash/event_loop.mli: Helper_pool Runtime

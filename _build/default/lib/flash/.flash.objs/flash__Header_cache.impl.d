@@ -1,0 +1,1 @@
+lib/flash/header_cache.ml: Hashtbl Simos

@@ -1,0 +1,1 @@
+lib/flash/header_cache.mli: Simos

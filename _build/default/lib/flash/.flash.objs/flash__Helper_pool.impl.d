@@ -1,0 +1,1 @@
+lib/flash/helper_pool.ml: List Printf Queue Sim Simos

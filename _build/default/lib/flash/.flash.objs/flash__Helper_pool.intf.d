@@ -1,0 +1,1 @@
+lib/flash/helper_pool.mli: Simos

@@ -1,0 +1,1 @@
+lib/flash/mmap_cache.ml: Flash_util Hashtbl Simos

@@ -1,0 +1,1 @@
+lib/flash/mmap_cache.mli: Simos

@@ -1,0 +1,1 @@
+lib/flash/pathname_cache.ml: Flash_util Simos

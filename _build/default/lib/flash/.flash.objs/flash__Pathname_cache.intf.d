@@ -1,0 +1,1 @@
+lib/flash/pathname_cache.mli: Simos

@@ -1,0 +1,1 @@
+lib/flash/residency.ml: Flash_util List Simos

@@ -1,0 +1,1 @@
+lib/flash/runtime.mli: Cgi_pool Config Header_cache Http Mmap_cache Pathname_cache Residency Sim Simos

@@ -1,0 +1,1 @@
+lib/flash/server.ml: Config Event_loop Header_cache Helper_pool Mmap_cache Pathname_cache Printf Runtime Sim Simos Worker

@@ -1,0 +1,1 @@
+lib/flash/server.mli: Config Simos

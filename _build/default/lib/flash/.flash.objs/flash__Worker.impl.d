@@ -1,0 +1,1 @@
+lib/flash/worker.ml: Cgi_pool Config Http Mmap_cache Pathname_cache Runtime Sim Simos String

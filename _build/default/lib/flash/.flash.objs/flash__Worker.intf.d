@@ -1,0 +1,1 @@
+lib/flash/worker.mli: Runtime

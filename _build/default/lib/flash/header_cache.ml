@@ -1,0 +1,49 @@
+type entry = { header : string; mtime : float }
+
+type t = {
+  table : (int, entry) Hashtbl.t option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+}
+
+let create ~enabled =
+  {
+    table = (if enabled then Some (Hashtbl.create 1024) else None);
+    hits = 0;
+    misses = 0;
+    invalidations = 0;
+  }
+
+let enabled t = t.table <> None
+
+let find t (file : Simos.Fs.file) =
+  match t.table with
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+  | Some table -> (
+      match Hashtbl.find_opt table file.Simos.Fs.inode with
+      | Some entry when entry.mtime = file.Simos.Fs.mtime ->
+          t.hits <- t.hits + 1;
+          Some entry.header
+      | Some _ ->
+          Hashtbl.remove table file.Simos.Fs.inode;
+          t.invalidations <- t.invalidations + 1;
+          t.misses <- t.misses + 1;
+          None
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let insert t (file : Simos.Fs.file) header =
+  match t.table with
+  | None -> ()
+  | Some table ->
+      Hashtbl.replace table file.Simos.Fs.inode
+        { header; mtime = file.Simos.Fs.mtime }
+
+let length t = match t.table with None -> 0 | Some tbl -> Hashtbl.length tbl
+let hits t = t.hits
+let misses t = t.misses
+let invalidations t = t.invalidations

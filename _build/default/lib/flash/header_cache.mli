@@ -1,0 +1,23 @@
+(** Response header cache (§5.3): inode → rendered HTTP response header.
+
+    The header is derived from the file, so the cache needs no separate
+    invalidation: an entry is valid only while the file's mtime matches
+    what it was rendered against; a changed mtime regenerates it. *)
+
+type t
+
+val create : enabled:bool -> t
+
+val enabled : t -> bool
+
+(** [find t file] returns the cached header when present and still valid
+    for [file.mtime]. *)
+val find : t -> Simos.Fs.file -> string option
+
+val insert : t -> Simos.Fs.file -> string -> unit
+val length : t -> int
+val hits : t -> int
+val misses : t -> int
+
+(** Stale entries dropped because the file changed. *)
+val invalidations : t -> int

@@ -1,0 +1,70 @@
+type 'a t = {
+  kernel : Simos.Kernel.t;
+  max : int;
+  footprint : int;
+  name : string;
+  notify : 'a Simos.Pipe.t;
+  mutable idle_workers : (unit -> 'a) Simos.Pipe.t list;
+  pending : (unit -> 'a) Queue.t;
+  mutable spawned : int;
+}
+
+let create kernel ~max ~footprint ~name =
+  if max < 0 then invalid_arg "Helper_pool.create: negative max";
+  {
+    kernel;
+    max;
+    footprint;
+    name;
+    notify = Simos.Pipe.create ();
+    idle_workers = [];
+    pending = Queue.create ();
+    spawned = 0;
+  }
+
+let notify_pipe t = t.notify
+let spawned t = t.spawned
+let idle t = List.length t.idle_workers
+let queued t = Queue.length t.pending
+
+(* One helper: block on the task pipe, run the job in this process's
+   context (disk blocking and CPU land here), notify, repeat.  Between
+   jobs it drains the backlog directly. *)
+let worker_loop t task_pipe () =
+  let rec serve work =
+    let result = work () in
+    Simos.Kernel.pipe_write t.kernel t.notify result;
+    match Queue.take_opt t.pending with
+    | Some next -> serve next
+    | None ->
+        t.idle_workers <- task_pipe :: t.idle_workers;
+        serve (Simos.Kernel.pipe_read_blocking t.kernel task_pipe)
+  in
+  serve (Simos.Kernel.pipe_read_blocking t.kernel task_pipe)
+
+let spawn_worker t =
+  let task_pipe = Simos.Pipe.create () in
+  Simos.Kernel.fork_charge t.kernel ~footprint:t.footprint;
+  t.spawned <- t.spawned + 1;
+  let name = Printf.sprintf "%s-helper-%d" t.name t.spawned in
+  ignore
+    (Sim.Proc.spawn (Simos.Kernel.engine t.kernel) ~name (worker_loop t task_pipe));
+  task_pipe
+
+let dispatch t ~work =
+  match t.idle_workers with
+  | pipe :: rest ->
+      t.idle_workers <- rest;
+      Simos.Kernel.pipe_write t.kernel pipe work
+  | [] ->
+      if t.spawned < t.max then begin
+        let pipe = spawn_worker t in
+        Simos.Kernel.pipe_write t.kernel pipe work
+      end
+      else begin
+        (* All helpers busy: queue; an IPC send is still paid when a
+           helper picks it up, approximate it now. *)
+        Simos.Kernel.charge t.kernel
+          (Simos.Kernel.profile t.kernel).Simos.Os_profile.ipc_send;
+        Queue.push work t.pending
+      end

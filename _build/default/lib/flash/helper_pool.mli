@@ -1,0 +1,29 @@
+(** AMPED helper process pool.
+
+    Helpers are separate simulated processes that execute potentially
+    blocking work (pathname translation, faulting file pages) so the
+    event-driven main process never blocks on disk.  They are spawned on
+    demand up to a bound, kept in reserve afterwards, and each handles
+    one job at a time (§5.1).  Completions return over a pipe the main
+    loop multiplexes in [select]. *)
+
+type 'a t
+
+(** [create kernel ~max ~footprint ~name] — [footprint] bytes of RAM are
+    reserved per spawned helper (shrinking the buffer cache). *)
+val create : Simos.Kernel.t -> max:int -> footprint:int -> name:string -> 'a t
+
+(** [dispatch t ~work] hands [work] to an idle helper (spawning one if
+    allowed, queueing otherwise).  [work] runs in the helper's process
+    context — its blocking and CPU charges land on the helper — and its
+    result is written to the notification pipe.  The caller is charged
+    one IPC send.  Must run in process context. *)
+val dispatch : 'a t -> work:(unit -> 'a) -> unit
+
+(** The pipe completions arrive on; poll it in [select] and drain with
+    {!Simos.Kernel.pipe_read}. *)
+val notify_pipe : 'a t -> 'a Simos.Pipe.t
+
+val spawned : 'a t -> int
+val idle : 'a t -> int
+val queued : 'a t -> int

@@ -1,0 +1,116 @@
+type chunk_key = { inode : int; index : int }
+
+type chunk = {
+  key : chunk_key;
+  bytes : int;
+  mutable refcount : int;
+}
+
+type t = {
+  kernel : Simos.Kernel.t;
+  chunk_bytes : int;
+  max_bytes : int;
+  table : (chunk_key, chunk) Hashtbl.t;
+  mutable free : (chunk_key, chunk) Flash_util.Lru.t option;
+  mutable mapped : int;
+  mutable map_ops : int;
+  mutable reuse_hits : int;
+  mutable unmap_ops : int;
+}
+
+let create kernel ~chunk_bytes ~max_bytes =
+  if chunk_bytes <= 0 then invalid_arg "Mmap_cache.create: chunk_bytes <= 0";
+  if max_bytes < 0 then invalid_arg "Mmap_cache.create: negative max_bytes";
+  let t =
+    {
+      kernel;
+      chunk_bytes;
+      max_bytes;
+      table = Hashtbl.create 1024;
+      free = None;
+      mapped = 0;
+      map_ops = 0;
+      reuse_hits = 0;
+      unmap_ops = 0;
+    }
+  in
+  if max_bytes > 0 then begin
+    let on_evict _key chunk =
+      Hashtbl.remove t.table chunk.key;
+      t.mapped <- t.mapped - chunk.bytes;
+      t.unmap_ops <- t.unmap_ops + 1;
+      Simos.Kernel.munmap t.kernel
+    in
+    t.free <- Some (Flash_util.Lru.create ~on_evict ~capacity:max_bytes ())
+  end;
+  t
+
+let enabled t = t.free <> None
+let chunk_bytes t = t.chunk_bytes
+let mapped_bytes t = t.mapped
+let map_ops t = t.map_ops
+let reuse_hits t = t.reuse_hits
+let unmap_ops t = t.unmap_ops
+
+let chunk_index t ~off = off / t.chunk_bytes
+
+let chunk_extent t (file : Simos.Fs.file) ~index =
+  let off = index * t.chunk_bytes in
+  if off >= file.Simos.Fs.size then
+    invalid_arg "Mmap_cache.chunk_extent: index beyond file";
+  (off, min t.chunk_bytes (file.Simos.Fs.size - off))
+
+let fresh_map t key bytes =
+  Simos.Kernel.mmap t.kernel;
+  t.map_ops <- t.map_ops + 1;
+  let chunk = { key; bytes; refcount = 1 } in
+  chunk
+
+(* Evict inactive mappings until a new chunk of [bytes] fits the budget
+   (or the free list runs dry — active mappings cannot be unmapped). *)
+let make_room t free bytes =
+  let budget = t.max_bytes in
+  let continue = ref true in
+  while t.mapped + bytes > budget && !continue do
+    match Flash_util.Lru.lru free with
+    | None -> continue := false
+    | Some (key, chunk) ->
+        ignore (Flash_util.Lru.remove free key);
+        Hashtbl.remove t.table chunk.key;
+        t.mapped <- t.mapped - chunk.bytes;
+        t.unmap_ops <- t.unmap_ops + 1;
+        Simos.Kernel.munmap t.kernel
+  done
+
+let acquire t file ~index =
+  let _, bytes = chunk_extent t file ~index in
+  let key = { inode = file.Simos.Fs.inode; index } in
+  match t.free with
+  | None -> fresh_map t key bytes
+  | Some free -> (
+      match Hashtbl.find_opt t.table key with
+      | Some chunk ->
+          if chunk.refcount = 0 then ignore (Flash_util.Lru.remove free key);
+          chunk.refcount <- chunk.refcount + 1;
+          t.reuse_hits <- t.reuse_hits + 1;
+          chunk
+      | None ->
+          make_room t free bytes;
+          let chunk = fresh_map t key bytes in
+          Hashtbl.replace t.table key chunk;
+          t.mapped <- t.mapped + bytes;
+          chunk)
+
+let release t chunk =
+  match t.free with
+  | None ->
+      t.unmap_ops <- t.unmap_ops + 1;
+      Simos.Kernel.munmap t.kernel
+  | Some free ->
+      if chunk.refcount <= 0 then
+        invalid_arg "Mmap_cache.release: chunk not held";
+      chunk.refcount <- chunk.refcount - 1;
+      if chunk.refcount = 0 then
+        (* Lazy unmap: the entry ages out through the free list's LRU
+           eviction (capacity = max_bytes), not here. *)
+        Flash_util.Lru.add free chunk.key chunk ~weight:chunk.bytes

@@ -1,0 +1,38 @@
+(** Mapped-file chunk cache (§5.4).
+
+    Files are mapped in chunks (small files use one chunk, large files
+    several).  Active chunks are refcounted; released chunks go to an LRU
+    free list and are lazily unmapped only when the cache holds too much
+    mapped data — saving the map/unmap system calls for frequently
+    requested files.  With the cache disabled every acquisition pays a
+    fresh [mmap] and every release an immediate [munmap]. *)
+
+type t
+
+type chunk
+
+(** [create kernel ~chunk_bytes ~max_bytes] — [max_bytes = 0] disables
+    reuse. *)
+val create : Simos.Kernel.t -> chunk_bytes:int -> max_bytes:int -> t
+
+val enabled : t -> bool
+val chunk_bytes : t -> int
+
+(** Chunk index covering byte offset [off]. *)
+val chunk_index : t -> off:int -> int
+
+(** Byte extent of chunk [index] within [file]: (offset, length). *)
+val chunk_extent : t -> Simos.Fs.file -> index:int -> int * int
+
+(** Map (or reuse a mapping of) the chunk.  Charges mmap CPU on a fresh
+    mapping; reuse is free.  Must run in process context. *)
+val acquire : t -> Simos.Fs.file -> index:int -> chunk
+
+(** Drop a reference; the mapping lingers on the free list (or is
+    unmapped immediately when the cache is disabled). *)
+val release : t -> chunk -> unit
+
+val mapped_bytes : t -> int
+val map_ops : t -> int
+val reuse_hits : t -> int
+val unmap_ops : t -> int

@@ -1,0 +1,45 @@
+type t = {
+  lru : (string, Simos.Fs.file) Flash_util.Lru.t option;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~entries =
+  if entries < 0 then invalid_arg "Pathname_cache.create: negative entries";
+  let lru =
+    if entries = 0 then None
+    else Some (Flash_util.Lru.create ~capacity:entries ())
+  in
+  { lru; hits = 0; misses = 0 }
+
+let enabled t = t.lru <> None
+
+let find t path =
+  match t.lru with
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+  | Some lru -> (
+      match Flash_util.Lru.find lru path with
+      | Some file ->
+          t.hits <- t.hits + 1;
+          Some file
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let insert t path file =
+  match t.lru with
+  | None -> ()
+  | Some lru -> Flash_util.Lru.add lru path file ~weight:1
+
+let invalidate t path =
+  match t.lru with
+  | None -> ()
+  | Some lru -> ignore (Flash_util.Lru.remove lru path)
+
+let length t =
+  match t.lru with None -> 0 | Some lru -> Flash_util.Lru.length lru
+
+let hits t = t.hits
+let misses t = t.misses

@@ -1,0 +1,22 @@
+(** Pathname translation cache (§5.2): requested name → translated file.
+
+    A hit avoids both the per-component translation CPU and — in the
+    AMPED architecture — a round trip through a translation helper
+    process.  Bounded by entry count, LRU replacement. *)
+
+type t
+
+(** [create ~entries] — [entries = 0] yields a disabled cache where every
+    lookup misses and [insert] is a no-op. *)
+val create : entries:int -> t
+
+val enabled : t -> bool
+val find : t -> string -> Simos.Fs.file option
+val insert : t -> string -> Simos.Fs.file -> unit
+
+(** Forget one translation (file replaced / mtime changed). *)
+val invalidate : t -> string -> unit
+
+val length : t -> int
+val hits : t -> int
+val misses : t -> int

@@ -1,0 +1,71 @@
+type t = {
+  rt : Runtime.t;
+  pool : Event_loop.helper_result Helper_pool.t option;
+  footprint : int;
+}
+
+let footprint_of (p : Simos.Os_profile.t) (config : Config.t) =
+  match config.Config.arch with
+  | Config.Sped | Config.Amped ->
+      config.Config.processes * p.Simos.Os_profile.process_footprint
+  | Config.Mp -> config.Config.processes * p.Simos.Os_profile.process_footprint
+  | Config.Mt ->
+      p.Simos.Os_profile.process_footprint
+      + (config.Config.processes * p.Simos.Os_profile.thread_footprint)
+
+let start kernel (config : Config.t) =
+  if config.Config.processes < 1 then
+    invalid_arg "Server.start: processes < 1";
+  let p = Simos.Kernel.profile kernel in
+  let rt = Runtime.create kernel config in
+  let footprint = footprint_of p config in
+  Simos.Memory.reserve (Simos.Kernel.memory kernel) footprint;
+  Simos.Buffer_cache.rebalance (Simos.Kernel.cache kernel);
+  let engine = Simos.Kernel.engine kernel in
+  let pool =
+    match config.Config.arch with
+    | Config.Amped ->
+        Some
+          (Helper_pool.create kernel ~max:config.Config.max_helpers
+             ~footprint:p.Simos.Os_profile.helper_footprint
+             ~name:config.Config.label)
+    | Config.Sped | Config.Mp | Config.Mt -> None
+  in
+  (match config.Config.arch with
+  | Config.Sped | Config.Amped ->
+      for i = 1 to config.Config.processes do
+        let name = Printf.sprintf "%s-loop-%d" config.Config.label i in
+        ignore (Sim.Proc.spawn engine ~name (Event_loop.run rt ~pool))
+      done
+  | Config.Mp ->
+      for i = 1 to config.Config.processes do
+        let caches = Runtime.make_caches rt config in
+        let name = Printf.sprintf "%s-worker-%d" config.Config.label i in
+        ignore (Sim.Proc.spawn engine ~name (Worker.run rt caches))
+      done
+  | Config.Mt ->
+      for i = 1 to config.Config.processes do
+        let name = Printf.sprintf "%s-thread-%d" config.Config.label i in
+        ignore (Sim.Proc.spawn engine ~name (Worker.run rt rt.Runtime.shared_caches))
+      done);
+  { rt; pool; footprint }
+
+let config t = t.rt.Runtime.config
+let kernel t = t.rt.Runtime.kernel
+let completed t = t.rt.Runtime.completed
+let errors t = t.rt.Runtime.errors
+let helper_dispatches t = t.rt.Runtime.helper_dispatches
+
+let helpers_spawned t =
+  match t.pool with None -> 0 | Some pool -> Helper_pool.spawned pool
+
+let pathname_hits t =
+  Pathname_cache.hits t.rt.Runtime.shared_caches.Runtime.pathname
+
+let pathname_misses t =
+  Pathname_cache.misses t.rt.Runtime.shared_caches.Runtime.pathname
+
+let header_hits t = Header_cache.hits t.rt.Runtime.shared_caches.Runtime.headers
+let mmap_reuse_hits t = Mmap_cache.reuse_hits t.rt.Runtime.shared_caches.Runtime.mmap
+let mmap_map_ops t = Mmap_cache.map_ops t.rt.Runtime.shared_caches.Runtime.mmap
+let memory_footprint t = t.footprint

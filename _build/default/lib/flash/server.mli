@@ -1,0 +1,38 @@
+(** Server construction: wires a {!Config.t} onto a {!Simos.Kernel.t},
+    reserves the architecture's memory footprint, and spawns its
+    processes.  This is the public entry point of the library's
+    simulated side — the single code base from which all of the paper's
+    server variants are instantiated. *)
+
+type t
+
+(** [start kernel config] reserves process/thread footprints (shrinking
+    the buffer cache) and spawns the event loops or workers.  They begin
+    serving when the engine runs. *)
+val start : Simos.Kernel.t -> Config.t -> t
+
+val config : t -> Config.t
+val kernel : t -> Simos.Kernel.t
+
+(** Responses fully transmitted so far. *)
+val completed : t -> int
+
+(** Non-200 responses. *)
+val errors : t -> int
+
+(** AMPED: jobs shipped to helpers / helper processes spawned. *)
+val helper_dispatches : t -> int
+
+val helpers_spawned : t -> int
+
+(** Shared cache statistics (SPED/AMPED/MT; MP private caches are not
+    aggregated here). *)
+val pathname_hits : t -> int
+
+val pathname_misses : t -> int
+val header_hits : t -> int
+val mmap_reuse_hits : t -> int
+val mmap_map_ops : t -> int
+
+(** Memory reserved for this server's processes/threads, bytes. *)
+val memory_footprint : t -> int

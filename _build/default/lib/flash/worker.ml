@@ -1,0 +1,138 @@
+(* MT serializes cache access on the shared mutex; MP/single-process
+   configurations pass through. *)
+let with_cache_lock rt f =
+  match rt.Runtime.cache_mutex with
+  | None -> f ()
+  | Some mutex ->
+      Simos.Kernel.lock_charge rt.Runtime.kernel;
+      Sim.Sync.Mutex.lock mutex;
+      let result = f () in
+      Sim.Sync.Mutex.unlock mutex;
+      result
+
+let translate rt caches path =
+  let cached =
+    with_cache_lock rt (fun () -> Runtime.translate_cached rt caches path)
+  in
+  match cached with
+  | Some file -> Some file
+  | None -> (
+      (* The disk-touching part runs outside the lock — the paper notes
+         MT only matches Flash when lock holding is minimized. *)
+      match Simos.Kernel.open_stat rt.Runtime.kernel path with
+      | Some file ->
+          with_cache_lock rt (fun () ->
+              Pathname_cache.insert caches.Runtime.pathname path file);
+          Some file
+      | None -> None)
+
+let send_response rt caches conn (resp : Runtime.response) =
+  let kernel = rt.Runtime.kernel in
+  let hlen = String.length resp.Runtime.header in
+  let misalign = Runtime.misaligned_budget rt resp in
+  (match resp.Runtime.file with
+  | None ->
+      let len =
+        hlen + if resp.Runtime.head_only then 0 else resp.Runtime.body_len
+      in
+      Simos.Kernel.send_blocking kernel conn ~len ~misaligned_bytes:misalign
+  | Some _ when resp.Runtime.head_only ->
+      Simos.Kernel.send_blocking kernel conn ~len:hlen ~misaligned_bytes:0
+  | Some file ->
+      let chunk_bytes = rt.Runtime.config.Config.mmap_chunk_bytes in
+      let body = resp.Runtime.body_len in
+      let rec send_chunk off ~first =
+        if off < body then begin
+          let index = off / chunk_bytes in
+          let clen = min chunk_bytes (body - off) in
+          let chunk =
+            with_cache_lock rt (fun () ->
+                Mmap_cache.acquire caches.Runtime.mmap file ~index)
+          in
+          (* Blocking read: only this worker stalls on a miss. *)
+          Simos.Kernel.page_in kernel file ~off ~len:clen;
+          Runtime.charge_body_copy rt clen;
+          let len = clen + if first then hlen else 0 in
+          let mis = if first then misalign else 0 in
+          Simos.Kernel.send_blocking kernel conn ~len ~misaligned_bytes:mis;
+          with_cache_lock rt (fun () ->
+              Mmap_cache.release caches.Runtime.mmap chunk);
+          send_chunk (off + clen) ~first:false
+        end
+      in
+      send_chunk 0 ~first:true);
+  Runtime.finished rt resp;
+  Simos.Net.mark_response_done conn
+
+let build_response rt caches (req : Http.Request.t) ~keep =
+  match Runtime.resolve_path rt req with
+  | None -> Runtime.error_response rt req Http.Status.Forbidden ~keep
+  | Some path -> (
+      match translate rt caches path with
+      | Some file ->
+          with_cache_lock rt (fun () ->
+              Runtime.ok_response rt caches req file ~keep)
+      | None -> Runtime.error_response rt req Http.Status.Not_found ~keep)
+
+(* Serve every request arriving on one connection, then loop to accept. *)
+let serve_connection rt caches conn =
+  let kernel = rt.Runtime.kernel in
+  let rec request_loop rbuf =
+    match Http.Request.parse rbuf with
+    | Http.Request.Incomplete -> (
+        match Simos.Kernel.recv_blocking kernel conn ~max_bytes:8192 with
+        | `Eof -> Simos.Kernel.close kernel conn
+        | `Data data -> request_loop (rbuf ^ data))
+    | Http.Request.Bad _ ->
+        let fake =
+          {
+            Http.Request.meth = Http.Request.Get;
+            raw_target = "/";
+            path = "/";
+            query = None;
+            version = (1, 0);
+            headers = [];
+          }
+        in
+        let resp =
+          Runtime.error_response rt fake Http.Status.Bad_request ~keep:false
+        in
+        send_response rt caches conn resp;
+        Simos.Kernel.close kernel conn
+    | Http.Request.Complete (req, consumed) ->
+        Runtime.charge_request rt ~bytes:consumed;
+        let keep = Http.Request.keep_alive req in
+        let resp =
+          match Runtime.resolve_path rt req with
+          | Some path when Runtime.is_cgi_path path -> (
+              (* §5.6: forward to the application process and block this
+                 worker for the reply — only this worker waits. *)
+              match rt.Runtime.cgi with
+              | Some cgi_pool ->
+                  let reply = Sim.Sync.Mailbox.create () in
+                  Cgi_pool.dispatch cgi_pool ~script:path
+                    ~on_done:(fun ~bytes -> Sim.Sync.Mailbox.send reply bytes);
+                  let bytes = Sim.Sync.Mailbox.recv reply in
+                  Runtime.cgi_response rt req ~bytes ~keep
+              | None ->
+                  Runtime.error_response rt req Http.Status.Forbidden ~keep)
+          | Some _ | None -> build_response rt caches req ~keep
+        in
+        send_response rt caches conn resp;
+        let leftover =
+          String.sub rbuf consumed (String.length rbuf - consumed)
+        in
+        if resp.Runtime.keep && not (Simos.Net.client_closed conn) then
+          request_loop leftover
+        else Simos.Kernel.close kernel conn
+  in
+  request_loop ""
+
+let run rt caches () =
+  let kernel = rt.Runtime.kernel in
+  let rec accept_loop () =
+    let conn = Simos.Kernel.accept_blocking kernel in
+    serve_connection rt caches conn;
+    accept_loop ()
+  in
+  accept_loop ()

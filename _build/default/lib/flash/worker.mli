@@ -1,0 +1,12 @@
+(** The process-per-request architectures: MP and MT.
+
+    Each worker runs the basic steps sequentially for one connection at a
+    time, with blocking kernel calls; the OS overlaps disk, CPU and
+    network by switching among workers (§3.1/§3.2).  MP workers get
+    private caches ([caches] differs per worker) and need no locks; MT
+    workers share the runtime's caches and serialize on its mutex,
+    paying the lock CPU cost. *)
+
+(** [run rt caches ()] is the body of one worker process; it never
+    returns. *)
+val run : Runtime.t -> Runtime.caches -> unit -> unit

@@ -1,0 +1,1 @@
+lib/http/http_date.ml: Array Printf String

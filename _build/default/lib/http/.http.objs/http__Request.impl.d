@@ -1,0 +1,1 @@
+lib/http/request.ml: Buffer Char List String

@@ -1,0 +1,1 @@
+lib/http/response.ml: Buffer Http_date List Printf Status String

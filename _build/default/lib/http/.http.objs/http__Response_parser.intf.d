@@ -1,0 +1,1 @@
+lib/http/response_parser.mli:

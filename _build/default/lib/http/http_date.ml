@@ -1,0 +1,77 @@
+(* Howard Hinnant's civil-from-days algorithm. *)
+let civil_of_days z =
+  let z = z + 719468 in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - (era * 146097) in
+  let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+  let y = yoe + (era * 400) in
+  let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+  let mp = ((5 * doy) + 2) / 153 in
+  let d = doy - (((153 * mp) + 2) / 5) + 1 in
+  let m = if mp < 10 then mp + 3 else mp - 9 in
+  let y = if m <= 2 then y + 1 else y in
+  (y, m, d)
+
+let weekday_of_days days = (((days mod 7) + 7) mod 7 + 4) mod 7
+
+let weekday_names = [| "Sun"; "Mon"; "Tue"; "Wed"; "Thu"; "Fri"; "Sat" |]
+
+let month_names =
+  [| "Jan"; "Feb"; "Mar"; "Apr"; "May"; "Jun";
+     "Jul"; "Aug"; "Sep"; "Oct"; "Nov"; "Dec" |]
+
+(* Days from civil date (inverse of civil_of_days; same source). *)
+let days_of_civil y m d =
+  let y = if m <= 2 then y - 1 else y in
+  let era = (if y >= 0 then y else y - 399) / 400 in
+  let yoe = y - (era * 400) in
+  let mp = if m > 2 then m - 3 else m + 9 in
+  let doy = (((153 * mp) + 2) / 5) + d - 1 in
+  let doe = (yoe * 365) + (yoe / 4) - (yoe / 100) + doy in
+  (era * 146097) + doe - 719468
+
+let month_of_name name =
+  let rec scan i =
+    if i >= 12 then None
+    else if month_names.(i) = name then Some (i + 1)
+    else scan (i + 1)
+  in
+  scan 0
+
+(* "Sun, 06 Nov 1994 08:49:37 GMT" *)
+let parse s =
+  let s = String.trim s in
+  match String.split_on_char ' ' s with
+  | [ _weekday; day; month; year; time; "GMT" ] -> (
+      match
+        ( int_of_string_opt day,
+          month_of_name month,
+          int_of_string_opt year,
+          String.split_on_char ':' time )
+      with
+      | Some d, Some m, Some y, [ hh; mm; ss ] -> (
+          match
+            (int_of_string_opt hh, int_of_string_opt mm, int_of_string_opt ss)
+          with
+          | Some hh, Some mm, Some ss
+            when d >= 1 && d <= 31 && hh < 24 && mm < 60 && ss < 61 ->
+              Some
+                (float_of_int
+                   ((days_of_civil y m d * 86400) + (hh * 3600) + (mm * 60) + ss))
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+let format ts =
+  let total = int_of_float (floor ts) in
+  let days = if total >= 0 then total / 86400 else (total - 86399) / 86400 in
+  let secs = total - (days * 86400) in
+  let year, month, day = civil_of_days days in
+  let hh = secs / 3600 in
+  let mm = secs mod 3600 / 60 in
+  let ss = secs mod 60 in
+  Printf.sprintf "%s, %02d %s %04d %02d:%02d:%02d GMT"
+    weekday_names.(weekday_of_days days)
+    day
+    month_names.(month - 1)
+    year hh mm ss

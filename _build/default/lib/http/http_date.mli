@@ -1,0 +1,18 @@
+(** RFC 1123 date formatting ("Sun, 06 Nov 1994 08:49:37 GMT") from a
+    POSIX timestamp, implemented without [Unix] so the library stays
+    pure (and usable inside the simulator). *)
+
+val format : float -> string
+
+(** Parse an RFC 1123 date back to a POSIX timestamp.  Returns [None] on
+    anything malformed (including the obsolete RFC 850 / asctime forms —
+    conditional requests with unparseable dates are simply not
+    conditional). *)
+val parse : string -> float option
+
+(** Calendar conversion exposed for tests: days since 1970-01-01 to
+    (year, month 1-12, day 1-31). *)
+val civil_of_days : int -> int * int * int
+
+(** Day of week for days since epoch; 0 = Sunday. *)
+val weekday_of_days : int -> int

@@ -1,0 +1,45 @@
+let table =
+  [
+    ("html", "text/html");
+    ("htm", "text/html");
+    ("txt", "text/plain");
+    ("css", "text/css");
+    ("gif", "image/gif");
+    ("jpg", "image/jpeg");
+    ("jpeg", "image/jpeg");
+    ("png", "image/png");
+    ("ps", "application/postscript");
+    ("pdf", "application/pdf");
+    ("gz", "application/gzip");
+    ("tar", "application/x-tar");
+    ("zip", "application/zip");
+    ("mpg", "video/mpeg");
+    ("mpeg", "video/mpeg");
+    ("au", "audio/basic");
+    ("wav", "audio/x-wav");
+    ("js", "text/javascript");
+    ("xml", "text/xml");
+  ]
+
+let extension path =
+  match String.rindex_opt path '.' with
+  | None -> None
+  | Some dot ->
+      let after_slash =
+        match String.rindex_opt path '/' with
+        | Some slash -> dot > slash
+        | None -> true
+      in
+      if after_slash && dot < String.length path - 1 then
+        Some
+          (String.lowercase_ascii
+             (String.sub path (dot + 1) (String.length path - dot - 1)))
+      else None
+
+let of_path path =
+  match extension path with
+  | None -> "application/octet-stream"
+  | Some ext -> (
+      match List.assoc_opt ext table with
+      | Some ct -> ct
+      | None -> "application/octet-stream")

@@ -1,0 +1,6 @@
+(** File extension to content-type mapping (the handful of types that
+    dominate 1990s web workloads, plus a safe default). *)
+
+(** [of_path "/a/b.html"] is ["text/html"]; unknown extensions map to
+    ["application/octet-stream"]. *)
+val of_path : string -> string

@@ -1,0 +1,41 @@
+(** HTTP request parsing.
+
+    The parser is incremental-friendly: [parse buf] either consumes one
+    complete request head (everything through the blank line) or reports
+    that more bytes are needed.  It never raises on arbitrary input —
+    malformed requests yield [`Bad].  Request bodies are not consumed
+    (the servers here serve static content and CGI GET). *)
+
+type meth = Get | Head | Post | Other of string
+
+val meth_to_string : meth -> string
+
+type t = {
+  meth : meth;
+  raw_target : string;  (** exactly as sent *)
+  path : string;  (** percent-decoded, before normalization *)
+  query : string option;
+  version : int * int;  (** e.g. [(1, 0)] *)
+  headers : (string * string) list;  (** names lowercased *)
+}
+
+val header : t -> string -> string option
+
+(** HTTP/1.1 defaults to persistent; HTTP/1.0 requires
+    ["Connection: keep-alive"]; ["Connection: close"] always wins. *)
+val keep_alive : t -> bool
+
+type result =
+  | Complete of t * int  (** parsed request and bytes consumed *)
+  | Incomplete  (** no blank line yet *)
+  | Bad of string  (** malformed; connection should be rejected *)
+
+val parse : string -> result
+
+(** [decode_target "/a%20b?x=1"] is [("/a b", Some "x=1")].  Invalid
+    percent escapes are left verbatim. *)
+val decode_target : string -> string * string option
+
+(** Resolve ["."] and [".."] segments; [None] when the path escapes the
+    root or is not absolute. *)
+val normalize_path : string -> string option

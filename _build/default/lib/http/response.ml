@@ -1,0 +1,76 @@
+let default_server = "Flash/1.0 (OCaml)"
+
+let render ~version ~server ~content_type ~content_length ~keep_alive ~date
+    ~last_modified ~extra ~status =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf version;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (Status.line_fragment status);
+  Buffer.add_string buf "\r\n";
+  Buffer.add_string buf "Server: ";
+  Buffer.add_string buf server;
+  Buffer.add_string buf "\r\n";
+  (match date with
+  | Some d ->
+      Buffer.add_string buf "Date: ";
+      Buffer.add_string buf (Http_date.format d);
+      Buffer.add_string buf "\r\n"
+  | None -> ());
+  (match last_modified with
+  | Some d ->
+      Buffer.add_string buf "Last-Modified: ";
+      Buffer.add_string buf (Http_date.format d);
+      Buffer.add_string buf "\r\n"
+  | None -> ());
+  (match content_type with
+  | Some ct ->
+      Buffer.add_string buf "Content-Type: ";
+      Buffer.add_string buf ct;
+      Buffer.add_string buf "\r\n"
+  | None -> ());
+  (match content_length with
+  | Some len ->
+      Buffer.add_string buf "Content-Length: ";
+      Buffer.add_string buf (string_of_int len);
+      Buffer.add_string buf "\r\n"
+  | None -> ());
+  (match keep_alive with
+  | Some true -> Buffer.add_string buf "Connection: keep-alive\r\n"
+  | Some false -> Buffer.add_string buf "Connection: close\r\n"
+  | None -> ());
+  List.iter
+    (fun (name, value) ->
+      Buffer.add_string buf name;
+      Buffer.add_string buf ": ";
+      Buffer.add_string buf value;
+      Buffer.add_string buf "\r\n")
+    extra;
+  Buffer.add_string buf "\r\n";
+  Buffer.contents buf
+
+let header ?(version = "HTTP/1.0") ?(server = default_server) ?content_type
+    ?content_length ?keep_alive ?date ?last_modified ?(extra = []) ?align
+    ~status () =
+  let base =
+    render ~version ~server ~content_type ~content_length ~keep_alive ~date
+      ~last_modified ~extra ~status
+  in
+  match align with
+  | None -> base
+  | Some a ->
+      if a <= 0 then invalid_arg "Response.header: align <= 0";
+      let remainder = String.length base mod a in
+      if remainder = 0 then base
+      else begin
+        (* Pad the variable-length Server field (§5.5): the header grows
+           by the same number of bytes the field does. *)
+        let padding = String.make (a - remainder) ' ' in
+        render ~version ~server:(server ^ padding) ~content_type
+          ~content_length ~keep_alive ~date ~last_modified ~extra ~status
+      end
+
+let error_body status =
+  Printf.sprintf
+    "<html><head><title>%s</title></head><body><h1>%s</h1></body></html>\n"
+    (Status.line_fragment status)
+    (Status.line_fragment status)

@@ -1,0 +1,26 @@
+(** HTTP response header construction.
+
+    [header] renders the status line and headers through the terminating
+    blank line.  With [~align] (Flash's §5.5 optimization), the [Server]
+    header is padded so the total header length is a multiple of the
+    alignment — keeping the file data that follows it in a [writev]
+    cache-line aligned inside the kernel copy. *)
+
+val default_server : string
+
+val header :
+  ?version:string ->
+  ?server:string ->
+  ?content_type:string ->
+  ?content_length:int ->
+  ?keep_alive:bool ->
+  ?date:float ->
+  ?last_modified:float ->
+  ?extra:(string * string) list ->
+  ?align:int ->
+  status:Status.t ->
+  unit ->
+  string
+
+(** A minimal HTML error body matching the status. *)
+val error_body : Status.t -> string

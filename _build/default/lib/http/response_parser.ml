@@ -1,0 +1,91 @@
+type head = {
+  version : string;
+  status : int;
+  reason : string;
+  headers : (string * string) list;
+}
+
+type head_result = Head of head * int | Incomplete | Bad of string
+
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let head_end buf =
+  let n = String.length buf in
+  let rec scan i =
+    if i >= n then None
+    else if buf.[i] = '\n' then begin
+      if i + 1 < n && buf.[i + 1] = '\n' then Some (i + 2)
+      else if i + 2 < n && buf.[i + 1] = '\r' && buf.[i + 2] = '\n' then
+        Some (i + 3)
+      else scan (i + 1)
+    end
+    else scan (i + 1)
+  in
+  scan 0
+
+let parse_header_line line =
+  match String.index_opt line ':' with
+  | None -> None
+  | Some colon ->
+      let name = String.lowercase_ascii (String.sub line 0 colon) in
+      let value =
+        String.trim
+          (String.sub line (colon + 1) (String.length line - colon - 1))
+      in
+      if name = "" then None else Some (name, value)
+
+let parse_status_line line =
+  match String.index_opt line ' ' with
+  | None -> Error ("no status code in: " ^ line)
+  | Some sp -> (
+      let version = String.sub line 0 sp in
+      let rest = String.sub line (sp + 1) (String.length line - sp - 1) in
+      let code_str, reason =
+        match String.index_opt rest ' ' with
+        | None -> (rest, "")
+        | Some sp2 ->
+            ( String.sub rest 0 sp2,
+              String.sub rest (sp2 + 1) (String.length rest - sp2 - 1) )
+      in
+      match int_of_string_opt code_str with
+      | Some status when status >= 100 && status <= 599 ->
+          Ok (version, status, reason)
+      | Some _ | None -> Error ("bad status code in: " ^ line))
+
+let parse_head buf =
+  match head_end buf with
+  | None -> if String.length buf > 65536 then Bad "head too large" else Incomplete
+  | Some consumed -> (
+      let head_str = String.sub buf 0 consumed in
+      let lines = List.map strip_cr (String.split_on_char '\n' head_str) in
+      match lines with
+      | [] -> Bad "empty response"
+      | status_line :: rest -> (
+          match parse_status_line status_line with
+          | Error e -> Bad e
+          | Ok (version, status, reason) ->
+              Head
+                ( {
+                    version;
+                    status;
+                    reason;
+                    headers = List.filter_map parse_header_line rest;
+                  },
+                  consumed )))
+
+let header head name = List.assoc_opt (String.lowercase_ascii name) head.headers
+
+type framing = Fixed of int | Until_close | No_body
+
+let body_framing head ~head_request =
+  if head_request || head.status = 204 || head.status = 304 then No_body
+  else begin
+    match header head "content-length" with
+    | Some len_str -> (
+        match int_of_string_opt (String.trim len_str) with
+        | Some len when len >= 0 -> Fixed len
+        | Some _ | None -> Until_close)
+    | None -> Until_close
+  end

@@ -1,0 +1,31 @@
+(** Client-side HTTP response parsing (pure; used by the live client and
+    the load generator).
+
+    [parse_head buf] consumes the status line and headers through the
+    blank line; body framing is then decided by {!body_framing}. *)
+
+type head = {
+  version : string;
+  status : int;
+  reason : string;
+  headers : (string * string) list;  (** names lowercased *)
+}
+
+type head_result =
+  | Head of head * int  (** parsed head and bytes consumed *)
+  | Incomplete
+  | Bad of string
+
+val parse_head : string -> head_result
+
+val header : head -> string -> string option
+
+(** How the body of a response with this head is delimited. *)
+type framing =
+  | Fixed of int  (** Content-Length *)
+  | Until_close  (** no length: read to EOF (CGI-style) *)
+  | No_body  (** HEAD responses, 204/304 *)
+
+(** [body_framing head ~head_request] — [head_request] marks responses
+    to HEAD, which carry no body regardless of Content-Length. *)
+val body_framing : head -> head_request:bool -> framing

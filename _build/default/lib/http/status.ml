@@ -1,0 +1,31 @@
+type t =
+  | Ok
+  | Moved_permanently
+  | Not_modified
+  | Bad_request
+  | Forbidden
+  | Not_found
+  | Internal_server_error
+  | Not_implemented
+
+let code = function
+  | Ok -> 200
+  | Moved_permanently -> 301
+  | Not_modified -> 304
+  | Bad_request -> 400
+  | Forbidden -> 403
+  | Not_found -> 404
+  | Internal_server_error -> 500
+  | Not_implemented -> 501
+
+let reason = function
+  | Ok -> "OK"
+  | Moved_permanently -> "Moved Permanently"
+  | Not_modified -> "Not Modified"
+  | Bad_request -> "Bad Request"
+  | Forbidden -> "Forbidden"
+  | Not_found -> "Not Found"
+  | Internal_server_error -> "Internal Server Error"
+  | Not_implemented -> "Not Implemented"
+
+let line_fragment t = Printf.sprintf "%d %s" (code t) (reason t)

@@ -1,0 +1,17 @@
+(** HTTP status codes used by the server. *)
+
+type t =
+  | Ok
+  | Moved_permanently
+  | Not_modified
+  | Bad_request
+  | Forbidden
+  | Not_found
+  | Internal_server_error
+  | Not_implemented
+
+val code : t -> int
+val reason : t -> string
+
+(** ["200 OK"] etc. *)
+val line_fragment : t -> string

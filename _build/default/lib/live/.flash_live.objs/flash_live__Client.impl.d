@@ -1,0 +1,1 @@
+lib/live/client.ml: Array Bytes Fun Http List Printf String Unix

@@ -1,0 +1,1 @@
+lib/live/client.mli:

@@ -1,0 +1,1 @@
+lib/live/file_cache.ml: Flash_util String

@@ -1,0 +1,1 @@
+lib/live/helper.ml: Bytes Condition Hashtbl List Mutex Queue Thread Unix

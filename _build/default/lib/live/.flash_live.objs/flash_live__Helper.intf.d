@@ -1,0 +1,1 @@
+lib/live/helper.mli: Unix

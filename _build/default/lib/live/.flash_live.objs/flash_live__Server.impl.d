@@ -1,0 +1,1 @@
+lib/live/server.ml: Bytes File_cache Fun Hashtbl Helper Http List Logs Mutex Option Printf Queue Stdlib String Sys Thread Unix

@@ -1,0 +1,26 @@
+(** A small blocking HTTP/1.x client for tests, examples and the load
+    generator.  Supports one-shot requests and persistent sessions. *)
+
+type response = {
+  status : int;
+  headers : (string * string) list;  (** names lowercased *)
+  body : string;
+}
+
+(** One-shot: connect, request, read the full response, close.
+    @raise Failure on malformed responses or connection errors. *)
+val get :
+  ?meth:string -> ?headers:(string * string) list -> host:string -> port:int ->
+  string -> response
+
+(** Persistent connection for keep-alive interactions. *)
+module Session : sig
+  type t
+
+  val connect : host:string -> port:int -> t
+
+  (** Issue a request on the session (HTTP/1.1, keep-alive). *)
+  val request : ?meth:string -> t -> string -> response
+
+  val close : t -> unit
+end

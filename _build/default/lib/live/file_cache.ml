@@ -1,0 +1,47 @@
+type entry = {
+  body : string;
+  mtime : float;
+  size : int;
+  header : string;
+}
+
+type t = {
+  lru : (string, entry) Flash_util.Lru.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity_bytes =
+  { lru = Flash_util.Lru.create ~capacity:(max 1 capacity_bytes) (); hits = 0; misses = 0 }
+
+let find t path ~mtime =
+  match Flash_util.Lru.find t.lru path with
+  | Some entry when entry.mtime = mtime ->
+      t.hits <- t.hits + 1;
+      Some entry
+  | Some _ ->
+      ignore (Flash_util.Lru.remove t.lru path);
+      t.misses <- t.misses + 1;
+      None
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let find_trusted t path =
+  match Flash_util.Lru.find t.lru path with
+  | Some entry ->
+      t.hits <- t.hits + 1;
+      Some entry
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let insert t path entry =
+  Flash_util.Lru.add t.lru path entry
+    ~weight:(String.length entry.body + String.length entry.header)
+
+let remove t path = ignore (Flash_util.Lru.remove t.lru path)
+let bytes t = Flash_util.Lru.weight t.lru
+let entries t = Flash_util.Lru.length t.lru
+let hits t = t.hits
+let misses t = t.misses

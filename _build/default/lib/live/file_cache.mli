@@ -1,0 +1,34 @@
+(** Application-level file content cache for the live server.
+
+    This is the portable stand-in for Flash's mapped-file chunk cache:
+    OCaml writes to sockets from bytes, so caching file *contents* plays
+    the role the mmap chunk cache plays in the paper (documented
+    deviation in DESIGN.md).  Bounded by total bytes, LRU replacement;
+    entries also carry the rendered response header, giving the header
+    cache for free.  Entries are validated against the file's mtime. *)
+
+type entry = {
+  body : string;
+  mtime : float;
+  size : int;
+  header : string;  (** rendered 200 header, aligned per server config *)
+}
+
+type t
+
+val create : capacity_bytes:int -> t
+
+(** [find t path ~mtime] — hit only if cached mtime matches. *)
+val find : t -> string -> mtime:float -> entry option
+
+(** Lookup without an mtime check — how Flash's caches trust entries
+    between invalidations; staleness is corrected when a helper's fresh
+    stat disagrees. *)
+val find_trusted : t -> string -> entry option
+
+val insert : t -> string -> entry -> unit
+val remove : t -> string -> unit
+val bytes : t -> int
+val entries : t -> int
+val hits : t -> int
+val misses : t -> int

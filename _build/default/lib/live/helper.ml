@@ -1,0 +1,115 @@
+type result = Found of { size : int; mtime : float } | Missing
+
+type job = { key : int; path : string }
+
+type t = {
+  queue : job Queue.t;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  notify_read : Unix.file_descr;
+  notify_write : Unix.file_descr;
+  results : (int, result) Hashtbl.t;  (* guarded by mutex *)
+  mutable stop : bool;
+  mutable dispatched : int;
+  mutable threads : Thread.t list;
+}
+
+(* Touch every page of the file: after this, the main process's own read
+   will not block on disk.  A fixed 64 KB stride per read call. *)
+let touch_file path =
+  match Unix.stat path with
+  | exception Unix.Unix_error _ -> Missing
+  | st when st.Unix.st_kind <> Unix.S_REG -> Missing
+  | st -> (
+      match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+      | exception Unix.Unix_error _ -> Missing
+      | fd ->
+          let buf = Bytes.create 65536 in
+          let rec loop () =
+            match Unix.read fd buf 0 65536 with
+            | 0 -> ()
+            | _ -> loop ()
+            | exception Unix.Unix_error _ -> ()
+          in
+          loop ();
+          Unix.close fd;
+          Found { size = st.Unix.st_size; mtime = st.Unix.st_mtime })
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.stop do
+      Condition.wait t.cond t.mutex
+    done;
+    if t.stop then Mutex.unlock t.mutex
+    else begin
+      let job = Queue.pop t.queue in
+      Mutex.unlock t.mutex;
+      let result = touch_file job.path in
+      Mutex.lock t.mutex;
+      Hashtbl.replace t.results job.key result;
+      Mutex.unlock t.mutex;
+      (* Wake the select loop; one byte per completion. *)
+      (try ignore (Unix.write t.notify_write (Bytes.of_string "x") 0 1)
+       with Unix.Unix_error _ -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~helpers =
+  if helpers <= 0 then invalid_arg "Helper.create: helpers <= 0";
+  let notify_read, notify_write = Unix.pipe () in
+  Unix.set_nonblock notify_read;
+  let t =
+    {
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      notify_read;
+      notify_write;
+      results = Hashtbl.create 64;
+      stop = false;
+      dispatched = 0;
+      threads = [];
+    }
+  in
+  t.threads <- List.init helpers (fun _ -> Thread.create (worker t) ());
+  t
+
+let notify_fd t = t.notify_read
+
+let dispatch t ~key ~path =
+  Mutex.lock t.mutex;
+  Queue.push { key; path } t.queue;
+  t.dispatched <- t.dispatched + 1;
+  Condition.signal t.cond;
+  Mutex.unlock t.mutex
+
+let drain t =
+  (* Clear wake-up bytes. *)
+  let buf = Bytes.create 256 in
+  let rec clear () =
+    match Unix.read t.notify_read buf 0 256 with
+    | n when n > 0 -> clear ()
+    | _ -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  clear ();
+  Mutex.lock t.mutex;
+  let out = Hashtbl.fold (fun key result acc -> (key, result) :: acc) t.results [] in
+  Hashtbl.reset t.results;
+  Mutex.unlock t.mutex;
+  out
+
+let dispatched t = t.dispatched
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex;
+  List.iter Thread.join t.threads;
+  (try Unix.close t.notify_read with Unix.Unix_error _ -> ());
+  try Unix.close t.notify_write with Unix.Unix_error _ -> ()

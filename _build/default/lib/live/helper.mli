@@ -1,0 +1,31 @@
+(** Disk helpers for the live AMPED server.
+
+    Helpers execute the potentially blocking disk work — [stat] plus
+    reading the file (which also warms the OS page cache) — so the main
+    select loop never blocks on disk.  Following §3.4, helpers here are
+    kernel threads inside the server process: OCaml's threads release
+    the runtime lock during blocking syscalls, giving exactly the
+    asymmetric structure the paper describes, without the fork/threads
+    interaction hazards of child processes.  Completion notifications
+    are written to a pipe so the main loop picks them up in [select] —
+    like any other IO event. *)
+
+type result = Found of { size : int; mtime : float } | Missing
+
+type t
+
+(** [create ~helpers ~on_idle_spawned] starts the pool. *)
+val create : helpers:int -> t
+
+(** File descriptor the main loop should select for readability. *)
+val notify_fd : t -> Unix.file_descr
+
+(** [dispatch t ~key ~path] queues the job; a completion tagged [key]
+    will appear on the notify pipe. *)
+val dispatch : t -> key:int -> path:string -> unit
+
+(** Drain all completions currently readable (non-blocking). *)
+val drain : t -> (int * result) list
+
+val dispatched : t -> int
+val shutdown : t -> unit

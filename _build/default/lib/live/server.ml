@@ -1,0 +1,920 @@
+type mode = Amped | Sped | Mp of int | Mt of int
+
+type config = {
+  docroot : string;
+  port : int;
+  mode : mode;
+  helpers : int;
+  file_cache_bytes : int;
+  max_cached_file : int;
+  enable_cgi : bool;
+  align_headers : bool;
+  server_name : string;
+  idle_timeout : float;
+  access_log : string option;  (* Common Log Format file *)
+}
+
+let default_config ~docroot =
+  {
+    docroot;
+    port = 0;
+    mode = Amped;
+    helpers = 4;
+    file_cache_bytes = 32 * 1024 * 1024;
+    max_cached_file = 4 * 1024 * 1024;
+    enable_cgi = true;
+    align_headers = true;
+    server_name = Http.Response.default_server;
+    idle_timeout = 30.;
+    access_log = None;
+  }
+
+type stats = {
+  requests : int;
+  connections : int;
+  errors : int;
+  cache_hits : int;
+  cache_misses : int;
+  helper_jobs : int;
+}
+
+type out_item =
+  | Out_str of { data : string; mutable off : int }
+  | Out_file of { src : Unix.file_descr; mutable remaining : int }
+
+type conn_state =
+  | Reading
+  | Waiting_helper of Http.Request.t * string  (* request, full path *)
+  | Streaming_cgi of Unix.file_descr * int  (* pipe fd, child pid *)
+
+type conn = {
+  fd : Unix.file_descr;
+  key : int;
+  mutable inbuf : string;
+  outq : out_item Queue.t;
+  mutable state : conn_state;
+  mutable close_after_flush : bool;
+  mutable last_active : float;
+  mutable alive : bool;
+}
+
+type t = {
+  config : config;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  cache : File_cache.t;
+  helper : Helper.t option;
+  wake_read : Unix.file_descr;
+  wake_write : Unix.file_descr;
+  conns : (int, conn) Hashtbl.t;
+  by_helper_key : (int, conn) Hashtbl.t;
+  mutable next_key : int;
+  mutable stopped : bool;
+  mutable loop_thread : Thread.t option;
+  mutable children : int list;  (* MP child pids *)
+  mutable n_requests : int;
+  mutable n_connections : int;
+  mutable n_errors : int;
+  log_channel : out_channel option;
+  (* MP mode: forked children hold copy-on-write stats, so per-request
+     events are consolidated in the parent over a pipe (the paper's §4.2
+     "information gathering" cost of the MP architecture). *)
+  stats_pipe_read : Unix.file_descr option;
+  stats_pipe_write : Unix.file_descr option;
+  (* MT mode: threads share the cache; systhreads interleave at
+     allocation points, so cache access is serialized. *)
+  cache_mutex : Mutex.t;
+  mutable worker_threads : Thread.t list;
+}
+
+let log = Logs.Src.create "flash.live" ~doc:"Flash live server"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+let log_access t ~meth ~target ~status ~bytes =
+  match t.log_channel with
+  | None -> ()
+  | Some oc ->
+      (* Common Log Format; host is always loopback here. *)
+      Printf.fprintf oc "127.0.0.1 - - [%s] \"%s %s HTTP/1.1\" %d %d\n"
+        (Http.Http_date.format (Unix.gettimeofday ()))
+        meth target status bytes;
+      flush oc
+
+let with_cache_lock t f =
+  match t.config.mode with
+  | Mt _ ->
+      Mutex.lock t.cache_mutex;
+      Fun.protect ~finally:(fun () -> Mutex.unlock t.cache_mutex) f
+  | Amped | Sped | Mp _ -> f ()
+
+(* ------------------------------------------------------------------ *)
+(* Request resolution                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let align_of t = if t.config.align_headers then Some 32 else None
+
+(* Map a request target to a path under the docroot; [Error] carries the
+   response status. *)
+let resolve _t (req : Http.Request.t) =
+  match Http.Request.normalize_path req.Http.Request.path with
+  | None -> Error Http.Status.Forbidden
+  | Some path ->
+      let raw = req.Http.Request.path in
+      let wants_index =
+        path = "/"
+        || (String.length raw > 0 && raw.[String.length raw - 1] = '/')
+      in
+      let path =
+        if wants_index then
+          (if path = "/" then "" else path) ^ "/index.html"
+        else path
+      in
+      Ok path
+
+let is_cgi path =
+  String.length path >= 9 && String.sub path 0 9 = "/cgi-bin/"
+
+(* ------------------------------------------------------------------ *)
+(* Output plumbing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let enqueue_str conn s =
+  if String.length s > 0 then Queue.push (Out_str { data = s; off = 0 }) conn.outq
+
+let render_header ?last_modified t ~status ~content_type ~content_length ~keep =
+  Http.Response.header ~status ?content_type ?content_length ?last_modified
+    ~keep_alive:keep ~server:t.config.server_name ~date:(Unix.gettimeofday ())
+    ?align:(align_of t) ()
+
+let enqueue_error ?(target = "-") ?(meth = "GET") t conn status ~keep ~head_only =
+  t.n_errors <- t.n_errors + 1;
+  log_access t ~meth ~target ~status:(Http.Status.code status) ~bytes:0;
+  let body = Http.Response.error_body status in
+  let header =
+    render_header t ~status ~content_type:(Some "text/html")
+      ~content_length:(Some (String.length body)) ~keep
+  in
+  enqueue_str conn header;
+  if not head_only then enqueue_str conn body;
+  if not keep then conn.close_after_flush <- true;
+  conn.state <- Reading
+
+(* Conditional GET: a valid If-Modified-Since at or after the file's
+   mtime short-circuits to 304 with no body. *)
+let not_modified (req : Http.Request.t) ~mtime =
+  match Http.Request.header req "if-modified-since" with
+  | None -> false
+  | Some date_str -> (
+      match Http.Http_date.parse date_str with
+      (* HTTP dates have whole-second granularity; compare accordingly. *)
+      | Some since -> floor mtime <= since
+      | None -> false)
+
+let enqueue_not_modified t conn (req : Http.Request.t) ~keep =
+  log_access t ~meth:(Http.Request.meth_to_string req.Http.Request.meth)
+    ~target:req.Http.Request.raw_target ~status:304 ~bytes:0;
+  let header =
+    render_header t ~status:Http.Status.Not_modified ~content_type:None
+      ~content_length:None ~keep
+  in
+  enqueue_str conn header;
+  if not keep then conn.close_after_flush <- true;
+  conn.state <- Reading
+
+let enqueue_entry t conn (req : Http.Request.t) (entry : File_cache.entry)
+    ~keep ~head_only =
+  log_access t ~meth:(Http.Request.meth_to_string req.Http.Request.meth)
+    ~target:req.Http.Request.raw_target ~status:200
+    ~bytes:(if head_only then 0 else String.length entry.File_cache.body);
+  enqueue_str conn entry.File_cache.header;
+  if not head_only then enqueue_str conn entry.File_cache.body;
+  if not keep then conn.close_after_flush <- true;
+  conn.state <- Reading
+
+(* ------------------------------------------------------------------ *)
+(* Serving files                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let read_whole fd size =
+  let buf = Bytes.create size in
+  let rec loop off =
+    if off >= size then Bytes.unsafe_to_string buf
+    else begin
+      match Unix.read fd buf off (size - off) with
+      | 0 -> Bytes.sub_string buf 0 off
+      | n -> loop (off + n)
+    end
+  in
+  loop 0
+
+(* The file is known to exist with [size]/[mtime] (from a helper's stat
+   or an inline one).  Small files are cached whole with their rendered
+   header; large files stream from the descriptor. *)
+let serve_file t conn (req : Http.Request.t) full ~size ~mtime ~keep =
+  let head_only = req.Http.Request.meth = Http.Request.Head in
+  if not_modified req ~mtime then enqueue_not_modified t conn req ~keep
+  else begin
+    match Unix.openfile full [ Unix.O_RDONLY ] 0 with
+    | exception Unix.Unix_error _ ->
+        enqueue_error t conn Http.Status.Not_found ~keep ~head_only
+          ~target:req.Http.Request.raw_target
+          ~meth:(Http.Request.meth_to_string req.Http.Request.meth)
+    | fd ->
+        if size <= t.config.max_cached_file then begin
+          let body = read_whole fd size in
+          Unix.close fd;
+          let header =
+            render_header t ~status:Http.Status.Ok ~last_modified:mtime
+              ~content_type:(Some (Http.Mime.of_path full))
+              ~content_length:(Some (String.length body))
+              ~keep
+          in
+          let entry = { File_cache.body; mtime; size; header } in
+          with_cache_lock t (fun () -> File_cache.insert t.cache full entry);
+          enqueue_entry t conn req entry ~keep ~head_only
+        end
+        else begin
+          log_access t
+            ~meth:(Http.Request.meth_to_string req.Http.Request.meth)
+            ~target:req.Http.Request.raw_target ~status:200
+            ~bytes:(if head_only then 0 else size);
+          let header =
+            render_header t ~status:Http.Status.Ok ~last_modified:mtime
+              ~content_type:(Some (Http.Mime.of_path full))
+              ~content_length:(Some size) ~keep
+          in
+          enqueue_str conn header;
+          if head_only then Unix.close fd
+          else Queue.push (Out_file { src = fd; remaining = size }) conn.outq;
+          if not keep then conn.close_after_flush <- true;
+          conn.state <- Reading
+        end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* CGI                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let start_cgi t conn (req : Http.Request.t) full ~keep:_ =
+  (* CGI output has no Content-Length: delimit by connection close. *)
+  match Unix.stat full with
+  | exception Unix.Unix_error _ ->
+      enqueue_error t conn Http.Status.Not_found ~keep:false ~head_only:false
+  | st when st.Unix.st_kind <> Unix.S_REG || st.Unix.st_perm land 0o111 = 0 ->
+      enqueue_error t conn Http.Status.Forbidden ~keep:false ~head_only:false
+  | _ -> (
+      match Unix.pipe () with
+      | exception Unix.Unix_error _ ->
+          enqueue_error t conn Http.Status.Internal_server_error ~keep:false
+            ~head_only:false
+      | pipe_read, pipe_write ->
+          let env =
+            [|
+              "GATEWAY_INTERFACE=CGI/1.1";
+              "REQUEST_METHOD=" ^ Http.Request.meth_to_string req.Http.Request.meth;
+              "QUERY_STRING=" ^ Option.value ~default:"" req.Http.Request.query;
+              "SCRIPT_NAME=" ^ req.Http.Request.path;
+              "SERVER_SOFTWARE=" ^ t.config.server_name;
+            |]
+          in
+          let dev_null = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+          let pid =
+            Unix.create_process_env full [| full |] env dev_null pipe_write
+              Unix.stderr
+          in
+          Unix.close dev_null;
+          Unix.close pipe_write;
+          Unix.set_nonblock pipe_read;
+          let header =
+            render_header t ~status:Http.Status.Ok ~content_type:None
+              ~content_length:None ~keep:false
+          in
+          enqueue_str conn header;
+          conn.close_after_flush <- false;
+          conn.state <- Streaming_cgi (pipe_read, pid))
+
+(* ------------------------------------------------------------------ *)
+(* Request processing                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let process_request t conn (req : Http.Request.t) =
+  t.n_requests <- t.n_requests + 1;
+  let keep = Http.Request.keep_alive req in
+  let head_only = req.Http.Request.meth = Http.Request.Head in
+  match req.Http.Request.meth with
+  | Http.Request.Post | Http.Request.Other _ ->
+      enqueue_error t conn Http.Status.Not_implemented ~keep:false ~head_only
+  | Http.Request.Get | Http.Request.Head -> (
+      match resolve t req with
+      | Error status -> enqueue_error t conn status ~keep ~head_only
+      | Ok path when is_cgi path ->
+          if t.config.enable_cgi then
+            start_cgi t conn req (t.config.docroot ^ path) ~keep
+          else enqueue_error t conn Http.Status.Forbidden ~keep ~head_only
+      | Ok path -> (
+          let full = t.config.docroot ^ path in
+          match with_cache_lock t (fun () -> File_cache.find_trusted t.cache full) with
+          | Some entry ->
+              if not_modified req ~mtime:entry.File_cache.mtime then
+                enqueue_not_modified t conn req ~keep
+              else enqueue_entry t conn req entry ~keep ~head_only
+          | None -> (
+              match t.helper with
+              | Some helper ->
+                  (* AMPED: all disk work (stat + read) in a helper. *)
+                  Helper.dispatch helper ~key:conn.key ~path:full;
+                  Hashtbl.replace t.by_helper_key conn.key conn;
+                  conn.state <- Waiting_helper (req, full)
+              | None -> (
+                  (* SPED: inline — the whole loop stalls on a miss. *)
+                  match Unix.stat full with
+                  | exception Unix.Unix_error _ ->
+                      enqueue_error t conn Http.Status.Not_found ~keep ~head_only
+                  | st when st.Unix.st_kind <> Unix.S_REG ->
+                      enqueue_error t conn Http.Status.Forbidden ~keep ~head_only
+                  | st ->
+                      serve_file t conn req full ~size:st.Unix.st_size
+                        ~mtime:st.Unix.st_mtime ~keep))))
+
+let rec try_parse t conn =
+  if conn.state = Reading && conn.inbuf <> "" then begin
+    match Http.Request.parse conn.inbuf with
+    | Http.Request.Incomplete -> ()
+    | Http.Request.Bad _ ->
+        conn.inbuf <- "";
+        t.n_requests <- t.n_requests + 1;
+        let body = Http.Response.error_body Http.Status.Bad_request in
+        let header =
+          render_header t ~status:Http.Status.Bad_request
+            ~content_type:(Some "text/html")
+            ~content_length:(Some (String.length body))
+            ~keep:false
+        in
+        t.n_errors <- t.n_errors + 1;
+        enqueue_str conn header;
+        enqueue_str conn body;
+        conn.close_after_flush <- true
+    | Http.Request.Complete (req, consumed) ->
+        conn.inbuf <-
+          String.sub conn.inbuf consumed (String.length conn.inbuf - consumed);
+        process_request t conn req;
+        (* Pipelined requests are handled once the response drains. *)
+        if Queue.is_empty conn.outq then try_parse t conn
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Connection IO                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let close_conn t conn =
+  if conn.alive then begin
+    conn.alive <- false;
+    (match conn.state with
+    | Streaming_cgi (fd, pid) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+    | Reading | Waiting_helper _ -> ());
+    Queue.iter
+      (function
+        | Out_file { src; _ } -> (
+            try Unix.close src with Unix.Unix_error _ -> ())
+        | Out_str _ -> ())
+      conn.outq;
+    Queue.clear conn.outq;
+    Hashtbl.remove t.conns conn.key;
+    Hashtbl.remove t.by_helper_key conn.key;
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  end
+
+let handle_readable t conn =
+  let buf = Bytes.create 8192 in
+  match Unix.read conn.fd buf 0 8192 with
+  | 0 -> close_conn t conn
+  | n ->
+      conn.last_active <- Unix.gettimeofday ();
+      conn.inbuf <- conn.inbuf ^ Bytes.sub_string buf 0 n;
+      if String.length conn.inbuf > 65536 then close_conn t conn
+      else try_parse t conn
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error _ -> close_conn t conn
+
+let handle_writable t conn =
+  conn.last_active <- Unix.gettimeofday ();
+  let progress = ref true in
+  (try
+     while !progress && not (Queue.is_empty conn.outq) do
+       match Queue.peek conn.outq with
+       | Out_str s ->
+           let len = String.length s.data - s.off in
+           let n = Unix.write_substring conn.fd s.data s.off len in
+           s.off <- s.off + n;
+           if s.off >= String.length s.data then ignore (Queue.pop conn.outq);
+           if n < len then progress := false
+       | Out_file f ->
+           let chunk = min 65536 f.remaining in
+           let data = read_whole f.src chunk in
+           let n = Unix.write_substring conn.fd data 0 (String.length data) in
+           (* A short write drops the tail of this chunk; re-read it via
+              the file offset by seeking back. *)
+           if n < String.length data then begin
+             ignore (Unix.lseek f.src (n - String.length data) Unix.SEEK_CUR);
+             progress := false
+           end;
+           f.remaining <- f.remaining - n;
+           if f.remaining <= 0 || String.length data < chunk then begin
+             Unix.close f.src;
+             ignore (Queue.pop conn.outq)
+           end
+     done
+   with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | Unix.Unix_error _ -> close_conn t conn);
+  if conn.alive && Queue.is_empty conn.outq then begin
+    match conn.state with
+    | Streaming_cgi _ -> ()  (* more output may come from the pipe *)
+    | Reading | Waiting_helper _ ->
+        if conn.close_after_flush then close_conn t conn
+        else try_parse t conn
+  end
+
+let handle_cgi_readable t conn fd pid =
+  let buf = Bytes.create 16384 in
+  match Unix.read fd buf 0 16384 with
+  | 0 ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [ Unix.WNOHANG ] pid) with Unix.Unix_error _ -> ());
+      conn.state <- Reading;
+      conn.close_after_flush <- true;
+      if Queue.is_empty conn.outq then close_conn t conn
+  | n -> enqueue_str conn (Bytes.sub_string buf 0 n)
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error _ ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      conn.state <- Reading;
+      conn.close_after_flush <- true
+
+let handle_helper_completions t =
+  match t.helper with
+  | None -> ()
+  | Some helper ->
+      let completions = Helper.drain helper in
+      List.iter
+        (fun (key, result) ->
+          match Hashtbl.find_opt t.by_helper_key key with
+          | None -> ()  (* connection died while the helper worked *)
+          | Some conn -> (
+              Hashtbl.remove t.by_helper_key key;
+              match conn.state with
+              | Waiting_helper (req, full) -> (
+                  let keep = Http.Request.keep_alive req in
+                  let head_only = req.Http.Request.meth = Http.Request.Head in
+                  match result with
+                  | Helper.Missing ->
+                      enqueue_error t conn Http.Status.Not_found ~keep ~head_only
+                  | Helper.Found { size; mtime } ->
+                      serve_file t conn req full ~size ~mtime ~keep)
+              | Reading | Streaming_cgi _ -> ()))
+        completions
+
+(* ------------------------------------------------------------------ *)
+(* Accepting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let accept_all t =
+  let rec loop () =
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+        Unix.set_nonblock fd;
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true
+         with Unix.Unix_error _ -> ());
+        let key = t.next_key in
+        t.next_key <- t.next_key + 1;
+        t.n_connections <- t.n_connections + 1;
+        let conn =
+          {
+            fd;
+            key;
+            inbuf = "";
+            outq = Queue.create ();
+            state = Reading;
+            close_after_flush = false;
+            last_active = Unix.gettimeofday ();
+            alive = true;
+          }
+        in
+        Hashtbl.replace t.conns key conn;
+        loop ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* The event loop                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_idle t now =
+  let doomed =
+    Hashtbl.fold
+      (fun _ conn acc ->
+        if
+          conn.state = Reading
+          && Queue.is_empty conn.outq
+          && now -. conn.last_active > t.config.idle_timeout
+        then conn :: acc
+        else acc)
+      t.conns []
+  in
+  List.iter (close_conn t) doomed
+
+let run_loop t =
+  while not t.stopped do
+    let reads = ref [ t.listen_fd; t.wake_read ] in
+    (match t.helper with
+    | Some h -> reads := Helper.notify_fd h :: !reads
+    | None -> ());
+    let writes = ref [] in
+    let cgi = ref [] in
+    Hashtbl.iter
+      (fun _ conn ->
+        (match conn.state with
+        | Reading -> reads := conn.fd :: !reads
+        | Streaming_cgi (fd, pid) -> cgi := (fd, conn, pid) :: !cgi
+        | Waiting_helper _ -> ());
+        if not (Queue.is_empty conn.outq) then writes := conn.fd :: !writes)
+      t.conns;
+    let cgi_fds = List.map (fun (fd, _, _) -> fd) !cgi in
+    match Unix.select (!reads @ cgi_fds) !writes [] 0.5 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (Unix.EBADF, _, _) -> ()
+    | readable, writable, _ ->
+        if List.memq t.wake_read readable then begin
+          let buf = Bytes.create 64 in
+          try ignore (Unix.read t.wake_read buf 0 64)
+          with Unix.Unix_error _ -> ()
+        end;
+        (match t.helper with
+        | Some h when List.memq (Helper.notify_fd h) readable ->
+            handle_helper_completions t
+        | _ -> ());
+        if List.memq t.listen_fd readable then accept_all t;
+        List.iter
+          (fun (fd, conn, pid) ->
+            if conn.alive && List.memq fd readable then
+              handle_cgi_readable t conn fd pid)
+          !cgi;
+        Hashtbl.iter
+          (fun _ conn ->
+            if conn.alive && conn.state = Reading && List.memq conn.fd readable
+            then handle_readable t conn)
+          (Hashtbl.copy t.conns);
+        Hashtbl.iter
+          (fun _ conn ->
+            if conn.alive && List.memq conn.fd writable then
+              handle_writable t conn)
+          (Hashtbl.copy t.conns);
+        sweep_idle t (Unix.gettimeofday ())
+  done;
+  (* Drain: close everything. *)
+  Hashtbl.iter (fun _ conn -> close_conn t conn) (Hashtbl.copy t.conns)
+
+(* ------------------------------------------------------------------ *)
+(* MP mode: forked blocking workers                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Sequential, blocking request handling for one connection — the MP
+   child's whole world (§3.1). *)
+(* One byte per finished request: 'r' for a 200, 'e' for an error
+   response.  MP children send these to the parent; MT threads and the
+   single-process modes count in place. *)
+let mp_count_request t ~error =
+  match t.stats_pipe_write with
+  | Some w -> (
+      let tag = if error then "e" else "r" in
+      try ignore (Unix.write_substring w tag 0 1) with Unix.Unix_error _ -> ())
+  | None ->
+      Mutex.lock t.cache_mutex;
+      t.n_requests <- t.n_requests + 1;
+      if error then t.n_errors <- t.n_errors + 1;
+      Mutex.unlock t.cache_mutex
+
+let mp_serve_connection t fd =
+  Unix.clear_nonblock fd;
+  let buf = Bytes.create 8192 in
+  let rec request_loop inbuf =
+    match Http.Request.parse inbuf with
+    | Http.Request.Incomplete -> (
+        match Unix.read fd buf 0 8192 with
+        | 0 -> ()
+        | n -> request_loop (inbuf ^ Bytes.sub_string buf 0 n)
+        | exception Unix.Unix_error _ -> ())
+    | Http.Request.Bad _ ->
+        let body = Http.Response.error_body Http.Status.Bad_request in
+        let header =
+          render_header t ~status:Http.Status.Bad_request
+            ~content_type:(Some "text/html")
+            ~content_length:(Some (String.length body))
+            ~keep:false
+        in
+        (try ignore (Unix.write_substring fd (header ^ body) 0
+                       (String.length header + String.length body))
+         with Unix.Unix_error _ -> ())
+    | Http.Request.Complete (req, consumed) -> (
+        let keep = Http.Request.keep_alive req in
+        let head_only = req.Http.Request.meth = Http.Request.Head in
+        let respond_error status =
+          let body = Http.Response.error_body status in
+          let header =
+            render_header t ~status ~content_type:(Some "text/html")
+              ~content_length:(Some (String.length body))
+              ~keep
+          in
+          let payload = if head_only then header else header ^ body in
+          try ignore (Unix.write_substring fd payload 0 (String.length payload))
+          with Unix.Unix_error _ -> ()
+        in
+        let ok =
+          match resolve t req with
+          | Error status ->
+              respond_error status;
+              true
+          | Ok path -> (
+              let full = t.config.docroot ^ path in
+              (* Each MP process has its own cache instance (copied at
+                 fork): check it, else do the blocking work inline. *)
+              match
+                with_cache_lock t (fun () -> File_cache.find_trusted t.cache full)
+              with
+              | Some entry ->
+                  let payload =
+                    if not_modified req ~mtime:entry.File_cache.mtime then
+                      render_header t ~status:Http.Status.Not_modified
+                        ~content_type:None ~content_length:None ~keep
+                    else if head_only then entry.File_cache.header
+                    else entry.File_cache.header ^ entry.File_cache.body
+                  in
+                  (try
+                     ignore
+                       (Unix.write_substring fd payload 0 (String.length payload))
+                   with Unix.Unix_error _ -> ());
+                  true
+              | None -> (
+                  match Unix.stat full with
+                  | exception Unix.Unix_error _ ->
+                      respond_error Http.Status.Not_found;
+                      true
+                  | st when st.Unix.st_kind <> Unix.S_REG ->
+                      respond_error Http.Status.Forbidden;
+                      true
+                  | st -> (
+                      match Unix.openfile full [ Unix.O_RDONLY ] 0 with
+                      | exception Unix.Unix_error _ ->
+                          respond_error Http.Status.Not_found;
+                          true
+                      | file_fd ->
+                          let body = read_whole file_fd st.Unix.st_size in
+                          Unix.close file_fd;
+                          let header =
+                            render_header t ~status:Http.Status.Ok
+                              ~last_modified:st.Unix.st_mtime
+                              ~content_type:(Some (Http.Mime.of_path full))
+                              ~content_length:(Some (String.length body))
+                              ~keep
+                          in
+                          if st.Unix.st_size <= t.config.max_cached_file then
+                            with_cache_lock t (fun () ->
+                                File_cache.insert t.cache full
+                                  {
+                                    File_cache.body;
+                                    mtime = st.Unix.st_mtime;
+                                    size = st.Unix.st_size;
+                                    header;
+                                  });
+                          let payload =
+                            if head_only then header else header ^ body
+                          in
+                          (try
+                             ignore
+                               (Unix.write_substring fd payload 0
+                                  (String.length payload))
+                           with Unix.Unix_error _ -> ());
+                          true)))
+        in
+        let leftover =
+          String.sub inbuf consumed (String.length inbuf - consumed)
+        in
+        mp_count_request t ~error:false;
+        if ok && keep then request_loop leftover)
+  in
+  request_loop "";
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let mp_child_loop t =
+  let rec loop () =
+    if not t.stopped then begin
+      (match Unix.accept t.listen_fd with
+      | fd, _ -> mp_serve_connection t fd
+      | exception Unix.Unix_error _ -> if t.stopped then raise Exit);
+      loop ()
+    end
+  in
+  try loop () with Exit -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let start config =
+  (* A peer closing mid-write must surface as EPIPE, not kill the
+     process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, config.port));
+  Unix.listen listen_fd 128;
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> config.port
+  in
+  let wake_read, wake_write = Unix.pipe () in
+  Unix.set_nonblock wake_read;
+  let helper =
+    match config.mode with
+    | Amped -> Some (Helper.create ~helpers:(max 1 config.helpers))
+    | Sped | Mp _ | Mt _ -> None
+  in
+  (match config.mode with
+  | Amped | Sped -> Unix.set_nonblock listen_fd
+  | Mp _ | Mt _ -> ());
+  let t =
+    {
+      config;
+      listen_fd;
+      bound_port;
+      cache = File_cache.create ~capacity_bytes:config.file_cache_bytes;
+      helper;
+      wake_read;
+      wake_write;
+      conns = Hashtbl.create 64;
+      by_helper_key = Hashtbl.create 64;
+      next_key = 0;
+      stopped = false;
+      loop_thread = None;
+      children = [];
+      n_requests = 0;
+      n_connections = 0;
+      n_errors = 0;
+      log_channel =
+        Option.map
+          (fun path -> open_out_gen [ Open_append; Open_creat ] 0o644 path)
+          config.access_log;
+      stats_pipe_read = None;
+      stats_pipe_write = None;
+      cache_mutex = Mutex.create ();
+      worker_threads = [];
+    }
+  in
+  let t =
+    match config.mode with
+    | Mp _ ->
+        let r, w = Unix.pipe () in
+        Unix.set_nonblock r;
+        { t with stats_pipe_read = Some r; stats_pipe_write = Some w }
+    | Amped | Sped | Mt _ -> t
+  in
+  (match config.mode with
+  | Mp n ->
+      let children =
+        List.init (max 1 n) (fun _ ->
+            match Unix.fork () with
+            | 0 ->
+                (* Child: blocking accept loop; never returns. *)
+                (try mp_child_loop t with _ -> ());
+                Stdlib.exit 0
+            | pid -> pid)
+      in
+      t.children <- children
+  | Mt n ->
+      (* Kernel threads sharing the address space (and the cache, behind
+         the mutex) — the paper's MT architecture. *)
+      t.worker_threads <-
+        List.init (max 1 n) (fun _ ->
+            Thread.create (fun () -> try mp_child_loop t with _ -> ()) ())
+  | Amped | Sped -> ());
+  Log.info (fun m -> m "listening on port %d" bound_port);
+  t
+
+let port t = t.bound_port
+let mode t = t.config.mode
+
+(* The MP parent's only job: consolidate children's statistics. *)
+let mp_parent_loop t =
+  let buf = Bytes.create 4096 in
+  while not t.stopped do
+    match t.stats_pipe_read with
+    | None -> Thread.delay 0.1
+    | Some r -> (
+        match Unix.select [ r ] [] [] 0.2 with
+        | [], _, _ -> ()
+        | _ :: _, _, _ -> (
+            match Unix.read r buf 0 4096 with
+            | n when n > 0 ->
+                for i = 0 to n - 1 do
+                  t.n_requests <- t.n_requests + 1;
+                  if Bytes.get buf i = 'e' then t.n_errors <- t.n_errors + 1
+                done
+            | _ -> ()
+            | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+              ->
+                ()
+            | exception Unix.Unix_error _ -> Thread.delay 0.1)
+        | exception Unix.Unix_error _ -> Thread.delay 0.1)
+  done
+
+let run t =
+  match t.config.mode with
+  | Mp _ -> mp_parent_loop t
+  | Mt _ ->
+      (* Threads update shared counters themselves. *)
+      while not t.stopped do
+        Thread.delay 0.1
+      done
+  | Amped | Sped -> run_loop t
+
+let start_background config =
+  let t = start config in
+  t.loop_thread <- Some (Thread.create run t);
+  t
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    (try ignore (Unix.write t.wake_write (Bytes.of_string "x") 0 1)
+     with Unix.Unix_error _ -> ());
+    List.iter
+      (fun pid ->
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+      t.children;
+    (match t.loop_thread with Some th -> Thread.join th | None -> ());
+    (match t.helper with Some h -> Helper.shutdown h | None -> ());
+    (* MT workers may be parked in a blocking accept, which closing the
+       listener does not interrupt: poke each awake with a throwaway
+       connection before closing. *)
+    List.iter
+      (fun _ ->
+        match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+        | exception Unix.Unix_error _ -> ()
+        | fd ->
+            (try
+               Unix.connect fd
+                 (Unix.ADDR_INET (Unix.inet_addr_loopback, t.bound_port))
+             with Unix.Unix_error _ -> ());
+            (try Unix.close fd with Unix.Unix_error _ -> ()))
+      t.worker_threads;
+    List.iter
+      (fun th -> try Thread.join th with _ -> ())
+      t.worker_threads;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (match t.log_channel with Some oc -> close_out_noerr oc | None -> ());
+    (match t.stats_pipe_read with
+    | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+    | None -> ());
+    (match t.stats_pipe_write with
+    | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+    | None -> ());
+    (try Unix.close t.wake_read with Unix.Unix_error _ -> ());
+    try Unix.close t.wake_write with Unix.Unix_error _ -> ()
+  end
+
+(* On-demand drain so [stats] is current even between parent-loop polls. *)
+let drain_stats_pipe t =
+  match t.stats_pipe_read with
+  | None -> ()
+  | Some r -> (
+      let buf = Bytes.create 4096 in
+      let rec loop () =
+        match Unix.read r buf 0 4096 with
+        | n when n > 0 ->
+            for i = 0 to n - 1 do
+              t.n_requests <- t.n_requests + 1;
+              if Bytes.get buf i = 'e' then t.n_errors <- t.n_errors + 1
+            done;
+            loop ()
+        | _ -> ()
+        | exception Unix.Unix_error _ -> ()
+      in
+      loop ())
+
+let stats t =
+  drain_stats_pipe t;
+  {
+    requests = t.n_requests;
+    connections = t.n_connections;
+    errors = t.n_errors;
+    cache_hits = File_cache.hits t.cache;
+    cache_misses = File_cache.misses t.cache;
+    helper_jobs = (match t.helper with Some h -> Helper.dispatched h | None -> 0);
+  }

@@ -1,0 +1,73 @@
+(** The live Flash web server: a real AMPED HTTP server over the [Unix]
+    module.
+
+    One process runs a [select] event loop handling all client IO with
+    non-blocking sockets; disk work for uncached files goes to
+    {!Helper} threads whose completions arrive on a pipe the loop
+    selects on.  The same code base also runs as:
+    - [Sped]: no helpers — cold files are read inline, stalling the
+      loop exactly as §3.3 describes;
+    - [Mp n]: [n] forked processes each running the basic steps
+      sequentially on a shared listen socket;
+    - [Mt n]: [n] kernel threads doing the same inside one address
+      space, sharing the file cache behind a mutex.
+
+    Conditional GET is honoured (If-Modified-Since - 304), and an
+    optional Common Log Format access log can be written.
+
+    Features: GET/HEAD, HTTP/1.0 and 1.1 keep-alive, 32-byte-aligned
+    response headers (§5.5), bounded file/header cache, CGI under
+    [/cgi-bin/] (fork/exec, close-delimited output), 403 on paths
+    escaping the document root. *)
+
+type mode =
+  | Amped  (** event loop + helper threads (Flash) *)
+  | Sped  (** event loop only; cold files stall it *)
+  | Mp of int  (** forked blocking workers *)
+  | Mt of int  (** kernel threads sharing the cache behind a mutex *)
+
+type config = {
+  docroot : string;
+  port : int;  (** 0 picks an ephemeral port *)
+  mode : mode;
+  helpers : int;  (** helper threads (AMPED) *)
+  file_cache_bytes : int;
+  max_cached_file : int;  (** larger files stream from disk, uncached *)
+  enable_cgi : bool;
+  align_headers : bool;
+  server_name : string;
+  idle_timeout : float;  (** close keep-alive connections idle this long *)
+  access_log : string option;  (** write a Common Log Format file here *)
+}
+
+val default_config : docroot:string -> config
+
+type stats = {
+  requests : int;
+  connections : int;
+  errors : int;
+  cache_hits : int;
+  cache_misses : int;
+  helper_jobs : int;
+}
+
+type t
+
+(** Bind the listen socket and (AMPED) start the helper pool.  The event
+    loop does not run until {!run} or {!start_background}. *)
+val start : config -> t
+
+(** The bound port (useful with [port = 0]). *)
+val port : t -> int
+
+(** Run the event loop in the calling thread until {!stop}. *)
+val run : t -> unit
+
+(** Run the event loop in a background thread (for tests/examples). *)
+val start_background : config -> t
+
+(** Stop the loop, close the listener, shut helpers down.  Idempotent. *)
+val stop : t -> unit
+
+val stats : t -> stats
+val mode : t -> mode

@@ -1,0 +1,81 @@
+type waiter = { pid : Proc.id; dt : float; resume : unit -> unit }
+
+type t = {
+  engine : Engine.t;
+  ctx_switch_cost : float;
+  mutable queue : waiter list;  (* FIFO: append at tail *)
+  mutable busy : bool;
+  mutable last_pid : Proc.id;
+  mutable busy_time : float;
+  mutable switches : int;
+}
+
+let create engine ~ctx_switch_cost =
+  {
+    engine;
+    ctx_switch_cost;
+    queue = [];
+    busy = false;
+    last_pid = -1;
+    busy_time = 0.;
+    switches = 0;
+  }
+
+(* Non-preemptive run-to-block scheduling: the process holding the CPU
+   keeps it as long as it has more work queued (its next consume is
+   granted ahead of FIFO order); a context switch is charged only when
+   the CPU really passes to a different process.  The grant decision is
+   deferred one event so that a just-resumed process gets to enqueue its
+   next slice before the scheduler picks. *)
+let pick t =
+  let rec extract acc = function
+    | [] -> None
+    | w :: rest when w.pid = t.last_pid -> Some (w, List.rev_append acc rest)
+    | w :: rest -> extract (w :: acc) rest
+  in
+  match extract [] t.queue with
+  | Some (w, rest) ->
+      t.queue <- rest;
+      Some w
+  | None -> (
+      match t.queue with
+      | [] -> None
+      | w :: rest ->
+          t.queue <- rest;
+          Some w)
+
+let rec grant t =
+  match pick t with
+  | None -> t.busy <- false
+  | Some w ->
+      let switching = t.last_pid <> -1 && w.pid <> t.last_pid in
+      let cost = w.dt +. (if switching then t.ctx_switch_cost else 0.) in
+      if switching then t.switches <- t.switches + 1;
+      t.last_pid <- w.pid;
+      t.busy_time <- t.busy_time +. cost;
+      Engine.schedule t.engine ~delay:cost (fun () ->
+          w.resume ();
+          (* Defer the next pick so the resumed process can requeue. *)
+          Engine.schedule t.engine (fun () -> grant t))
+
+let consume t dt =
+  if dt < 0. then invalid_arg "Cpu.consume: negative time";
+  let pid = Proc.self () in
+  Proc.suspend (fun resume ->
+      t.queue <- t.queue @ [ { pid; dt; resume } ];
+      if not t.busy then begin
+        t.busy <- true;
+        grant t
+      end)
+
+(* Forget CPU affinity: the next grant pays a context switch even if it
+   goes to the same process.  Models a scheduler dispatch point (e.g. a
+   worker passing through accept). *)
+let reschedule t = if t.last_pid >= 0 then t.last_pid <- -2
+
+let busy_time t = t.busy_time
+let switches t = t.switches
+
+let utilization t ~elapsed = if elapsed <= 0. then 0. else t.busy_time /. elapsed
+
+let queue_length t = List.length t.queue + if t.busy then 1 else 0

@@ -1,0 +1,36 @@
+(** The simulated uniprocessor.
+
+    Every modeled computation charges time here through a FIFO queue.
+    When the CPU passes from one process to another it additionally
+    charges [ctx_switch_cost] — the mechanism behind the paper's claim
+    that SPED/AMPED avoid the context-switch overhead MP/MT pay: a
+    single-process server keeps the CPU on one pid, while 32 processes
+    interleaving on a shared CPU switch constantly. *)
+
+type t
+
+val create : Engine.t -> ctx_switch_cost:float -> t
+
+(** [consume t dt] blocks the calling process until the CPU has executed
+    [dt] seconds of its work (plus a context switch if the CPU was last
+    held by a different process).  Must run in process context.
+    @raise Invalid_argument on negative [dt]. *)
+val consume : t -> float -> unit
+
+(** Forget which process last held the CPU, so the next grant is charged
+    as a context switch regardless of who gets it.  Called at scheduler
+    dispatch points — e.g. a blocking [accept] handing a connection to a
+    worker process. *)
+val reschedule : t -> unit
+
+(** Total seconds the CPU has spent executing (including switches). *)
+val busy_time : t -> float
+
+(** Number of context switches charged. *)
+val switches : t -> int
+
+(** [utilization t ~elapsed] is [busy_time /. elapsed] (0 if [elapsed <= 0]). *)
+val utilization : t -> elapsed:float -> float
+
+(** Processes queued or executing right now. *)
+val queue_length : t -> int

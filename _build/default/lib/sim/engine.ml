@@ -1,0 +1,61 @@
+type event = {
+  time : float;
+  seq : int;
+  fn : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type t = {
+  mutable now : float;
+  heap : event Heap.t;
+  mutable seq : int;
+  rng : Rng.t;
+}
+
+let compare_events a b =
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create ?(seed = 42) () =
+  { now = 0.; heap = Heap.create ~cmp:compare_events; seq = 0; rng = Rng.create ~seed }
+
+let now t = t.now
+
+let rng t = t.rng
+
+let schedule_cancellable t ?(delay = 0.) fn =
+  if delay < 0. then invalid_arg "Engine.schedule: negative delay";
+  let ev = { time = t.now +. delay; seq = t.seq; fn; cancelled = false } in
+  t.seq <- t.seq + 1;
+  Heap.push t.heap ev;
+  ev
+
+let schedule t ?delay fn = ignore (schedule_cancellable t ?delay fn)
+
+let cancel ev = ev.cancelled <- true
+
+let pending t = Heap.length t.heap
+
+let run ?until t =
+  let fired = ref 0 in
+  let stop = ref false in
+  while (not !stop) && not (Heap.is_empty t.heap) do
+    let ev = Heap.peek_min t.heap in
+    let past_deadline =
+      match until with Some limit -> ev.time > limit | None -> false
+    in
+    if past_deadline then stop := true
+    else begin
+      ignore (Heap.pop_min t.heap);
+      if not ev.cancelled then begin
+        t.now <- ev.time;
+        incr fired;
+        ev.fn ()
+      end
+    end
+  done;
+  (match until with
+  | Some limit when t.now < limit && Heap.is_empty t.heap -> t.now <- limit
+  | Some limit when !stop -> t.now <- limit
+  | _ -> ());
+  !fired

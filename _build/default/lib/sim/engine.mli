@@ -1,0 +1,37 @@
+(** Discrete-event simulation engine.
+
+    The engine owns a virtual clock and a pending-event heap.  Events fire
+    in (time, insertion-order) order, which makes runs fully deterministic
+    for a given seed.  All simulated OS components and processes schedule
+    their work through an engine. *)
+
+type t
+
+(** A handle to a scheduled event, used for cancellation (timeouts). *)
+type event
+
+val create : ?seed:int -> unit -> t
+
+(** Current virtual time, in seconds. *)
+val now : t -> float
+
+(** The engine's random stream. *)
+val rng : t -> Rng.t
+
+(** [schedule t ~delay f] runs [f] at [now t +. delay] (default [0.]).
+    @raise Invalid_argument if [delay] is negative. *)
+val schedule : t -> ?delay:float -> (unit -> unit) -> unit
+
+(** Like {!schedule} but returns a handle that {!cancel} accepts. *)
+val schedule_cancellable : t -> ?delay:float -> (unit -> unit) -> event
+
+(** Cancelling a fired or already-cancelled event is a no-op. *)
+val cancel : event -> unit
+
+(** [run ?until t] fires events until the heap is empty or the clock
+    would pass [until].  Returns the number of events fired. *)
+val run : ?until:float -> t -> int
+
+(** Number of events waiting in the queue (including cancelled ones not
+    yet reaped). *)
+val pending : t -> int

@@ -1,0 +1,29 @@
+(** Array-based binary min-heap.
+
+    The comparison function is supplied at creation time; the element with
+    the smallest key (according to [cmp]) is returned first.  Used by
+    {!Engine} as the pending-event queue, where determinism requires a
+    total order on events. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+(** [pop_min h] removes and returns the minimum element.
+    @raise Not_found if the heap is empty. *)
+val pop_min : 'a t -> 'a
+
+(** [peek_min h] returns the minimum element without removing it.
+    @raise Not_found if the heap is empty. *)
+val peek_min : 'a t -> 'a
+
+val clear : 'a t -> unit
+
+(** [to_list h] returns all elements in unspecified order (for tests). *)
+val to_list : 'a t -> 'a list

@@ -1,0 +1,39 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    Every simulation carries its own generator so that experiments are
+    reproducible from a seed and independent of global state.  The
+    distribution helpers cover what the workload generators need. *)
+
+type t
+
+val create : seed:int -> t
+
+(** [split t] derives an independent generator (for parallel streams). *)
+val split : t -> t
+
+(** Next raw 64-bit value. *)
+val bits64 : t -> int64
+
+(** Uniform float in [\[0, 1)]. *)
+val float : t -> float
+
+(** Uniform int in [\[0, bound)]; [bound] must be positive. *)
+val int : t -> int -> int
+
+(** Uniform float in [\[lo, hi)]. *)
+val uniform : t -> lo:float -> hi:float -> float
+
+(** Exponential with the given [mean]. *)
+val exponential : t -> mean:float -> float
+
+(** Lognormal with parameters [mu] and [sigma] of the underlying normal. *)
+val lognormal : t -> mu:float -> sigma:float -> float
+
+(** Pareto with scale [xm] and shape [alpha]. *)
+val pareto : t -> xm:float -> alpha:float -> float
+
+(** Standard normal via Box-Muller. *)
+val normal : t -> float
+
+(** In-place Fisher-Yates shuffle. *)
+val shuffle : t -> 'a array -> unit

@@ -1,0 +1,87 @@
+module Counter = struct
+  type t = { mutable v : int }
+
+  let create () = { v = 0 }
+  let incr t = t.v <- t.v + 1
+  let add t n = t.v <- t.v + n
+  let value t = t.v
+  let reset t = t.v <- 0
+end
+
+module Tally = struct
+  type t = {
+    mutable count : int;
+    mutable total : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () = { count = 0; total = 0.; min = infinity; max = neg_infinity }
+
+  let add t x =
+    t.count <- t.count + 1;
+    t.total <- t.total +. x;
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.count
+  let total t = t.total
+  let mean t = if t.count = 0 then 0. else t.total /. float_of_int t.count
+  let min t = t.min
+  let max t = t.max
+
+  let reset t =
+    t.count <- 0;
+    t.total <- 0.;
+    t.min <- infinity;
+    t.max <- neg_infinity
+end
+
+module Histogram = struct
+  type t = {
+    lo : float;
+    hi : float;
+    counts : int array;
+    mutable total : int;
+  }
+
+  let create ~lo ~hi ~buckets =
+    if hi <= lo then invalid_arg "Stat.Histogram.create: hi <= lo";
+    if buckets <= 0 then invalid_arg "Stat.Histogram.create: buckets <= 0";
+    { lo; hi; counts = Array.make buckets 0; total = 0 }
+
+  let add t x =
+    let buckets = Array.length t.counts in
+    let idx =
+      let raw =
+        int_of_float (float_of_int buckets *. (x -. t.lo) /. (t.hi -. t.lo))
+      in
+      if raw < 0 then 0 else if raw >= buckets then buckets - 1 else raw
+    in
+    t.counts.(idx) <- t.counts.(idx) + 1;
+    t.total <- t.total + 1
+
+  let count t = t.total
+
+  let reset t =
+    Array.fill t.counts 0 (Array.length t.counts) 0;
+    t.total <- 0
+
+  let percentile t p =
+    if t.total = 0 then nan
+    else begin
+      let target = p /. 100. *. float_of_int t.total in
+      let buckets = Array.length t.counts in
+      let width = (t.hi -. t.lo) /. float_of_int buckets in
+      let rec loop i seen =
+        if i >= buckets then t.hi
+        else begin
+          let seen = seen + t.counts.(i) in
+          if float_of_int seen >= target then
+            t.lo +. (width *. (float_of_int i +. 0.5))
+          else loop (i + 1) seen
+        end
+      in
+      loop 0 0
+    end
+end

@@ -1,0 +1,40 @@
+(** Lightweight measurement helpers used by experiment drivers. *)
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val reset : t -> unit
+end
+
+(** Streaming tally of float observations. *)
+module Tally : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val min : t -> float
+  val max : t -> float
+  val total : t -> float
+  val reset : t -> unit
+end
+
+(** Fixed-bucket histogram over [\[lo, hi)]. *)
+module Histogram : sig
+  type t
+
+  val create : lo:float -> hi:float -> buckets:int -> t
+  val add : t -> float -> unit
+  val count : t -> int
+
+  (** [percentile t p] for [p] in [\[0, 100\]]; bucket midpoint
+      approximation.  Returns [nan] when empty. *)
+  val percentile : t -> float -> float
+
+  val reset : t -> unit
+end

@@ -1,0 +1,106 @@
+module Mutex = struct
+  type t = {
+    mutable locked : bool;
+    waiters : (unit -> unit) Queue.t;
+    mutable contended : int;
+    mutable locks : int;
+  }
+
+  let create () = { locked = false; waiters = Queue.create (); contended = 0; locks = 0 }
+
+  let lock t =
+    t.locks <- t.locks + 1;
+    if not t.locked then t.locked <- true
+    else begin
+      t.contended <- t.contended + 1;
+      Proc.suspend (fun resume -> Queue.push resume t.waiters)
+    end
+
+  let try_lock t =
+    if t.locked then false
+    else begin
+      t.locks <- t.locks + 1;
+      t.locked <- true;
+      true
+    end
+
+  (* Ownership passes directly to the first waiter, so [locked] stays true. *)
+  let unlock t =
+    if not t.locked then invalid_arg "Sync.Mutex.unlock: not locked";
+    match Queue.take_opt t.waiters with
+    | Some resume -> resume ()
+    | None -> t.locked <- false
+
+  let locked t = t.locked
+  let contended_count t = t.contended
+  let lock_count t = t.locks
+end
+
+module Condition = struct
+  type t = { waiters : (unit -> unit) Queue.t }
+
+  let create () = { waiters = Queue.create () }
+
+  let wait t mutex =
+    Proc.suspend (fun resume ->
+        Queue.push resume t.waiters;
+        Mutex.unlock mutex);
+    Mutex.lock mutex
+
+  let signal t =
+    match Queue.take_opt t.waiters with Some resume -> resume () | None -> ()
+
+  let broadcast t =
+    let pending = Queue.length t.waiters in
+    for _ = 1 to pending do
+      signal t
+    done
+
+  let waiters t = Queue.length t.waiters
+end
+
+module Semaphore = struct
+  type t = { mutable count : int; waiters : (unit -> unit) Queue.t }
+
+  let create value =
+    if value < 0 then invalid_arg "Sync.Semaphore.create: negative value";
+    { count = value; waiters = Queue.create () }
+
+  let acquire t =
+    if t.count > 0 then t.count <- t.count - 1
+    else Proc.suspend (fun resume -> Queue.push resume t.waiters)
+
+  let try_acquire t =
+    if t.count > 0 then begin
+      t.count <- t.count - 1;
+      true
+    end
+    else false
+
+  (* A released unit goes straight to a waiter when one exists. *)
+  let release t =
+    match Queue.take_opt t.waiters with
+    | Some resume -> resume ()
+    | None -> t.count <- t.count + 1
+
+  let value t = t.count
+end
+
+module Mailbox = struct
+  type 'a t = { items : 'a Queue.t; readers : ('a -> unit) Queue.t }
+
+  let create () = { items = Queue.create (); readers = Queue.create () }
+
+  let send t v =
+    match Queue.take_opt t.readers with
+    | Some resume -> resume v
+    | None -> Queue.push v t.items
+
+  let recv t =
+    match Queue.take_opt t.items with
+    | Some v -> v
+    | None -> Proc.suspend (fun resume -> Queue.push resume t.readers)
+
+  let length t = Queue.length t.items
+  let waiting t = Queue.length t.readers
+end

@@ -1,0 +1,64 @@
+(** Blocking synchronization primitives for simulated processes.
+
+    All operations that can block must run inside a {!Proc.spawn}ed
+    process.  Wake-ups go through the engine queue, so ordering is FIFO
+    and deterministic.  [Mutex] counts contended acquisitions: the MT
+    server architecture charges CPU for them, which is how the paper's
+    "fine-grained synchronization" cost appears in the model. *)
+
+module Mutex : sig
+  type t
+
+  val create : unit -> t
+  val lock : t -> unit
+  val try_lock : t -> bool
+
+  (** @raise Invalid_argument if the mutex is not locked. *)
+  val unlock : t -> unit
+
+  val locked : t -> bool
+
+  (** Number of [lock] calls that had to wait. *)
+  val contended_count : t -> int
+
+  (** Total [lock] calls. *)
+  val lock_count : t -> int
+end
+
+module Condition : sig
+  type t
+
+  val create : unit -> t
+
+  (** Atomically release the mutex, wait for a signal, reacquire. *)
+  val wait : t -> Mutex.t -> unit
+
+  val signal : t -> unit
+  val broadcast : t -> unit
+  val waiters : t -> int
+end
+
+module Semaphore : sig
+  type t
+
+  (** @raise Invalid_argument if [value] is negative. *)
+  val create : int -> t
+
+  val acquire : t -> unit
+  val try_acquire : t -> bool
+  val release : t -> unit
+  val value : t -> int
+end
+
+(** Unbounded FIFO channel; [recv] blocks while empty. *)
+module Mailbox : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val send : 'a t -> 'a -> unit
+  val recv : 'a t -> 'a
+  val length : 'a t -> int
+
+  (** Number of processes blocked in [recv]. *)
+  val waiting : 'a t -> int
+end

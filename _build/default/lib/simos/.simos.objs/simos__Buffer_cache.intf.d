@@ -1,0 +1,1 @@
+lib/simos/buffer_cache.mli: Memory

@@ -1,0 +1,1 @@
+lib/simos/fs.ml: Buffer_cache Disk Hashtbl List Sim String

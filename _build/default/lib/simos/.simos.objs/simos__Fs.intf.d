@@ -1,0 +1,1 @@
+lib/simos/fs.mli: Buffer_cache Disk Sim

@@ -1,0 +1,1 @@
+lib/simos/kernel.ml: Buffer_cache Disk Fs List Memory Net Os_profile Pipe Pollable Sim String

@@ -1,0 +1,1 @@
+lib/simos/kernel.mli: Buffer_cache Disk Fs Memory Net Os_profile Pipe Pollable Sim

@@ -1,0 +1,1 @@
+lib/simos/net.ml: Float Pollable Queue Sim String

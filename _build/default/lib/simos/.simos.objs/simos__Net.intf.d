@@ -1,0 +1,1 @@
+lib/simos/net.mli: Pollable Sim

@@ -1,0 +1,1 @@
+lib/simos/os_profile.mli: Disk

@@ -1,0 +1,1 @@
+lib/simos/pipe.ml: Pollable Queue Sim

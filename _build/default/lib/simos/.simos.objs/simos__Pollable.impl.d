@@ -1,0 +1,1 @@
+lib/simos/pollable.ml: List Sim

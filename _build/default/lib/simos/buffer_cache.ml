@@ -1,0 +1,138 @@
+type key =
+  | File_page of { inode : int; page : int }
+  | Meta_page of { dir : int }
+
+type entry = {
+  key : key;
+  mutable referenced : bool;
+  mutable prev : entry;
+  mutable next : entry;
+}
+
+type t = {
+  memory : Memory.t;
+  page_size : int;
+  table : (key, entry) Hashtbl.t;
+  (* Circular doubly-linked ring of resident pages; [hand] is the clock
+     hand, None iff the ring is empty. *)
+  mutable hand : entry option;
+  mutable count : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~memory ~page_size =
+  if page_size <= 0 then invalid_arg "Buffer_cache.create: page_size <= 0";
+  {
+    memory;
+    page_size;
+    table = Hashtbl.create 4096;
+    hand = None;
+    count = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let page_size t = t.page_size
+let pages t = t.count
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+
+let capacity_pages t = max 1 (Memory.cache_capacity t.memory / t.page_size)
+
+let resident t key = Hashtbl.mem t.table key
+
+let ring_insert t entry =
+  match t.hand with
+  | None ->
+      entry.prev <- entry;
+      entry.next <- entry;
+      t.hand <- Some entry
+  | Some hand ->
+      (* Insert just behind the hand, i.e. at the position the clock will
+         reach last — the newest page gets a full sweep of protection. *)
+      let tail = hand.prev in
+      tail.next <- entry;
+      entry.prev <- tail;
+      entry.next <- hand;
+      hand.prev <- entry
+
+let ring_remove t entry =
+  if entry.next == entry then t.hand <- None
+  else begin
+    entry.prev.next <- entry.next;
+    entry.next.prev <- entry.prev;
+    (match t.hand with
+    | Some hand when hand == entry -> t.hand <- Some entry.next
+    | _ -> ())
+  end
+
+let evict_one t =
+  match t.hand with
+  | None -> ()
+  | Some _ ->
+      let rec sweep () =
+        match t.hand with
+        | None -> ()
+        | Some hand ->
+            if hand.referenced then begin
+              hand.referenced <- false;
+              t.hand <- Some hand.next;
+              sweep ()
+            end
+            else begin
+              ring_remove t hand;
+              Hashtbl.remove t.table hand.key;
+              t.count <- t.count - 1;
+              t.evictions <- t.evictions + 1
+            end
+      in
+      sweep ()
+
+let rebalance t =
+  let cap = capacity_pages t in
+  while t.count > cap do
+    evict_one t
+  done
+
+let touch t key =
+  match Hashtbl.find_opt t.table key with
+  | Some entry ->
+      entry.referenced <- true;
+      t.hits <- t.hits + 1;
+      `Hit
+  | None ->
+      t.misses <- t.misses + 1;
+      let cap = capacity_pages t in
+      while t.count >= cap do
+        evict_one t
+      done;
+      let rec entry = { key; referenced = true; prev = entry; next = entry } in
+      ring_insert t entry;
+      Hashtbl.replace t.table key entry;
+      t.count <- t.count + 1;
+      `Miss
+
+(* Set the hardware reference bit if the page is resident: the effect of
+   actually accessing a mapped page (e.g. writev from it), as opposed to
+   the non-intrusive mincore probe. *)
+let reference t key =
+  match Hashtbl.find_opt t.table key with
+  | Some entry -> entry.referenced <- true
+  | None -> ()
+
+let drop t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> ()
+  | Some entry ->
+      ring_remove t entry;
+      Hashtbl.remove t.table key;
+      t.count <- t.count - 1
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.hand <- None;
+  t.count <- 0

@@ -1,0 +1,46 @@
+(** The filesystem buffer cache (unified page cache).
+
+    Pages are replaced with the clock (second-chance) algorithm, matching
+    the paper's description of the OS page cache that Flash's mapped-file
+    LRU tries to approximate.  Capacity is whatever {!Memory} leaves after
+    reservations, re-checked on every insertion, so growing process
+    footprints evict file pages. *)
+
+(** Cache key: a data page of a file, or the metadata page consulted when
+    translating one pathname component. *)
+type key =
+  | File_page of { inode : int; page : int }
+  | Meta_page of { dir : int }
+
+type t
+
+val create : memory:Memory.t -> page_size:int -> t
+
+val page_size : t -> int
+
+(** Non-intrusive residency test — the model's [mincore]. *)
+val resident : t -> key -> bool
+
+(** [touch t key] references the page, inserting it (and evicting as
+    needed) when absent.  [`Miss] means the caller must perform the disk
+    read that fills it. *)
+val touch : t -> key -> [ `Hit | `Miss ]
+
+(** Set the reference bit if resident, without inserting — the effect of
+    a CPU access to a mapped page (mincore itself is non-intrusive, but
+    the writev that follows it is not). *)
+val reference : t -> key -> unit
+
+(** Remove a page if present (used by tests and invalidation). *)
+val drop : t -> key -> unit
+
+val pages : t -> int
+val capacity_pages : t -> int
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+
+(** Re-check capacity and evict if {!Memory} shrank. *)
+val rebalance : t -> unit
+
+val clear : t -> unit

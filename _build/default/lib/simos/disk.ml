@@ -1,0 +1,105 @@
+type params = {
+  min_seek : float;
+  max_seek : float;
+  rotational : float;
+  per_request : float;
+  transfer_rate : float;
+  total_blocks : int;
+  block_size : int;
+}
+
+let default_params =
+  {
+    min_seek = 0.002;
+    max_seek = 0.018;
+    rotational = 0.005;
+    per_request = 0.001;
+    transfer_rate = 8_000_000.;
+    total_blocks = 1_048_576;
+    (* 8 GB at 8 KB blocks *)
+    block_size = 8192;
+  }
+
+type request = { start_block : int; nblocks : int; resume : unit -> unit }
+
+type t = {
+  engine : Sim.Engine.t;
+  p : params;
+  mutable queue : request list;
+  mutable busy : bool;
+  mutable head : int;
+  mutable completed : int;
+  mutable seek_time : float;
+  mutable busy_time : float;
+}
+
+let create engine p =
+  {
+    engine;
+    p;
+    queue = [];
+    busy = false;
+    head = 0;
+    completed = 0;
+    seek_time = 0.;
+    busy_time = 0.;
+  }
+
+let params t = t.p
+let completed t = t.completed
+let seek_time t = t.seek_time
+let busy_time t = t.busy_time
+let queue_length t = List.length t.queue + if t.busy then 1 else 0
+
+let seek_cost t distance =
+  if distance = 0 then 0.
+  else
+    t.p.min_seek
+    +. (t.p.max_seek -. t.p.min_seek)
+       *. sqrt (float_of_int distance /. float_of_int t.p.total_blocks)
+
+(* C-LOOK: serve the queued request with the smallest start block at or
+   beyond the head position; when none, sweep back to the smallest start
+   block overall. *)
+let pick_next t =
+  let ahead =
+    List.filter (fun r -> r.start_block >= t.head) t.queue
+  in
+  let candidates = if ahead = [] then t.queue else ahead in
+  match candidates with
+  | [] -> None
+  | first :: rest ->
+      let best =
+        List.fold_left
+          (fun acc r -> if r.start_block < acc.start_block then r else acc)
+          first rest
+      in
+      Some best
+
+let rec service t =
+  match pick_next t with
+  | None -> t.busy <- false
+  | Some req ->
+      t.busy <- true;
+      t.queue <- List.filter (fun r -> r != req) t.queue;
+      let seek = seek_cost t (abs (req.start_block - t.head)) in
+      let bytes = req.nblocks * t.p.block_size in
+      let service_time =
+        t.p.per_request +. seek +. t.p.rotational
+        +. (float_of_int bytes /. t.p.transfer_rate)
+      in
+      t.seek_time <- t.seek_time +. seek;
+      t.busy_time <- t.busy_time +. service_time;
+      t.head <- req.start_block + req.nblocks;
+      Sim.Engine.schedule t.engine ~delay:service_time (fun () ->
+          t.completed <- t.completed + 1;
+          req.resume ();
+          service t)
+
+let read t ~start_block ~nblocks =
+  if nblocks <= 0 then invalid_arg "Disk.read: nblocks <= 0";
+  if start_block < 0 || start_block + nblocks > t.p.total_blocks then
+    invalid_arg "Disk.read: extent out of range";
+  Sim.Proc.suspend (fun resume ->
+      t.queue <- { start_block; nblocks; resume } :: t.queue;
+      if not t.busy then service t)

@@ -1,0 +1,44 @@
+(** The disk: one head, a seek-time model, and C-LOOK scheduling of the
+    request queue.
+
+    Concurrency architecture determines how many requests can be
+    outstanding here at once (paper §4.1 "Disk utilization"): SPED issues
+    one at a time, so it always pays a cold seek; MP/MT/AMPED keep the
+    queue populated, letting C-LOOK shorten seeks — the simulator
+    reproduces that advantage mechanically. *)
+
+type params = {
+  min_seek : float;  (** settle time for a 1-block move, seconds *)
+  max_seek : float;  (** full-stroke seek, seconds *)
+  rotational : float;  (** average rotational latency, seconds *)
+  per_request : float;  (** controller/command overhead, seconds *)
+  transfer_rate : float;  (** bytes per second *)
+  total_blocks : int;  (** disk geometry, for seek scaling *)
+  block_size : int;  (** bytes *)
+}
+
+(** A late-1990s SCSI disk, in the spirit of the paper's testbed. *)
+val default_params : params
+
+type t
+
+val create : Sim.Engine.t -> params -> t
+
+val params : t -> params
+
+(** [read t ~start_block ~nblocks] blocks the calling process until the
+    transfer completes.  Concurrent calls are served in C-LOOK order.
+    @raise Invalid_argument on empty or out-of-range extents. *)
+val read : t -> start_block:int -> nblocks:int -> unit
+
+(** Completed requests. *)
+val completed : t -> int
+
+(** Total seconds spent seeking (queue-ordering quality measure). *)
+val seek_time : t -> float
+
+(** Total busy seconds. *)
+val busy_time : t -> float
+
+(** Requests currently queued or in service. *)
+val queue_length : t -> int

@@ -1,0 +1,247 @@
+type file = {
+  inode : int;
+  path : string;
+  size : int;
+  start_block : int;
+  mutable mtime : float;
+  dir_chain : int list;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  cache : Buffer_cache.t;
+  disk : Disk.t;
+  by_path : (string, file) Hashtbl.t;
+  dirs : (string, int) Hashtbl.t;
+  mutable next_inode : int;
+  mutable next_dir : int;
+  mutable next_block : int;
+  mutable total_bytes : int;
+  rng : Sim.Rng.t;
+  inflight : (Buffer_cache.key, (unit -> unit) list ref) Hashtbl.t;
+}
+
+let create engine ~cache ~disk =
+  let t =
+    {
+      engine;
+      cache;
+      disk;
+      by_path = Hashtbl.create 4096;
+      dirs = Hashtbl.create 256;
+      next_inode = 1;
+      next_dir = 1;
+      next_block = 64;
+      total_bytes = 0;
+      rng = Sim.Rng.split (Sim.Engine.rng engine);
+      inflight = Hashtbl.create 64;
+    }
+  in
+  Hashtbl.replace t.dirs "/" 0;
+  t
+
+let page_size t = Buffer_cache.page_size t.cache
+let file_count t = Hashtbl.length t.by_path
+let total_bytes t = t.total_bytes
+
+let pages_in_range t ~off ~len =
+  if len <= 0 then 0
+  else begin
+    let ps = page_size t in
+    let first = off / ps and last = (off + len - 1) / ps in
+    last - first + 1
+  end
+
+(* Directory prefixes of "/a/b/c.html" are "/", "/a", "/a/b". *)
+let dir_prefixes path =
+  let rec split_positions i acc =
+    if i >= String.length path then List.rev acc
+    else if path.[i] = '/' then split_positions (i + 1) (i :: acc)
+    else split_positions (i + 1) acc
+  in
+  let positions = split_positions 0 [] in
+  List.map (fun pos -> if pos = 0 then "/" else String.sub path 0 pos) positions
+
+let dir_id t prefix =
+  match Hashtbl.find_opt t.dirs prefix with
+  | Some id -> id
+  | None ->
+      let id = t.next_dir in
+      t.next_dir <- t.next_dir + 1;
+      Hashtbl.replace t.dirs prefix id;
+      id
+
+let blocks_for t size =
+  let bs = (Disk.params t.disk).Disk.block_size in
+  max 1 ((size + bs - 1) / bs)
+
+let add_file t ~path ~size =
+  if size <= 0 then invalid_arg "Fs.add_file: size <= 0";
+  if Hashtbl.mem t.by_path path then invalid_arg "Fs.add_file: duplicate path";
+  let dir_chain = List.map (dir_id t) (dir_prefixes path) in
+  let nblocks = blocks_for t size in
+  (* Randomized inter-file gap: an aged, fragmented layout. *)
+  let gap = Sim.Rng.int t.rng 16 in
+  let total = (Disk.params t.disk).Disk.total_blocks in
+  let start_block =
+    if t.next_block + nblocks + gap >= total then 64 else t.next_block + gap
+  in
+  t.next_block <- start_block + nblocks;
+  let file =
+    {
+      inode = t.next_inode;
+      path;
+      size;
+      start_block;
+      mtime = 0.;
+      dir_chain;
+    }
+  in
+  t.next_inode <- t.next_inode + 1;
+  t.total_bytes <- t.total_bytes + size;
+  Hashtbl.replace t.by_path path file;
+  file
+
+let find t path = Hashtbl.find_opt t.by_path path
+
+(* Metadata blocks are scattered over the disk, as inodes are. *)
+let meta_block t dir =
+  let total = (Disk.params t.disk).Disk.total_blocks in
+  (dir * 2654435761) land max_int mod total
+
+(* Fault a run of cache keys in with one disk read.  Every key of the run
+   is registered in-flight so concurrent faulters coalesce onto this read
+   instead of issuing their own. *)
+let fault_run t keys ~start_block ~nblocks =
+  let waiters = ref [] in
+  List.iter (fun key -> Hashtbl.replace t.inflight key waiters) keys;
+  Disk.read t.disk ~start_block ~nblocks;
+  List.iter (fun key -> Hashtbl.remove t.inflight key) keys;
+  List.iter (fun resume -> resume ()) (List.rev !waiters)
+
+let wait_inflight waiters =
+  Sim.Proc.suspend (fun resume -> waiters := resume :: !waiters)
+
+let touch_meta t dir =
+  let key = Buffer_cache.Meta_page { dir } in
+  match Hashtbl.find_opt t.inflight key with
+  | Some waiters -> wait_inflight waiters
+  | None -> (
+      match Buffer_cache.touch t.cache key with
+      | `Hit -> ()
+      | `Miss -> fault_run t [ key ] ~start_block:(meta_block t dir) ~nblocks:1)
+
+(* Inode metadata is keyed in a disjoint id space, packed 64 inodes per
+   page as on-disk inode tables are. *)
+let inode_meta_id inode = -((inode / 64) + 1)
+
+let lookup t path =
+  let file = find t path in
+  let chain =
+    match file with
+    | Some f -> f.dir_chain
+    | None -> List.map (dir_id t) (dir_prefixes path)
+  in
+  List.iter (touch_meta t) chain;
+  (match file with
+  | Some f -> touch_meta t (inode_meta_id f.inode)
+  | None -> ());
+  file
+
+let meta_resident t path =
+  match find t path with
+  | None -> false
+  | Some f ->
+      let key dir = Buffer_cache.Meta_page { dir } in
+      List.for_all
+        (fun dir ->
+          Buffer_cache.resident t.cache (key dir)
+          && not (Hashtbl.mem t.inflight (key dir)))
+        (inode_meta_id f.inode :: f.dir_chain)
+
+let page_key file page = Buffer_cache.File_page { inode = file.inode; page }
+
+let page_range t ~off ~len =
+  let ps = page_size t in
+  (off / ps, (off + len - 1) / ps)
+
+let page_in t file ~off ~len =
+  if len <= 0 then ()
+  else begin
+    let first, last = page_range t ~off ~len in
+    let bs = (Disk.params t.disk).Disk.block_size in
+    let ps = page_size t in
+    let blocks_per_page = max 1 (ps / bs) in
+    (* Scan for runs of missing pages; read each run in one disk op
+       (filesystem clustering / read-ahead within the request).  Pages
+       already being read by someone else are waited on, not re-read. *)
+    let page = ref first in
+    while !page <= last do
+      let key = page_key file !page in
+      match Hashtbl.find_opt t.inflight key with
+      | Some waiters ->
+          wait_inflight waiters;
+          incr page
+      | None -> (
+          match Buffer_cache.touch t.cache key with
+          | `Hit -> incr page
+          | `Miss ->
+              let run_start = !page in
+              incr page;
+              let continue = ref true in
+              while !continue && !page <= last do
+                let k = page_key file !page in
+                if Hashtbl.mem t.inflight k then continue := false
+                else
+                  match Buffer_cache.touch t.cache k with
+                  | `Hit -> continue := false
+                  | `Miss -> incr page
+              done;
+              let run_len = !page - run_start in
+              let keys =
+                List.init run_len (fun i -> page_key file (run_start + i))
+              in
+              let start_block =
+                file.start_block + (run_start * blocks_per_page)
+              in
+              fault_run t keys ~start_block
+                ~nblocks:(run_len * blocks_per_page))
+    done
+  end
+
+let resident t file ~off ~len =
+  if len <= 0 then true
+  else begin
+    let first, last = page_range t ~off ~len in
+    let rec check page =
+      if page > last then true
+      else begin
+        let key = page_key file page in
+        Buffer_cache.resident t.cache key
+        && (not (Hashtbl.mem t.inflight key))
+        && check (page + 1)
+      end
+    in
+    check first
+  end
+
+let reference_range t file ~off ~len =
+  if len > 0 then begin
+    let first, last = page_range t ~off ~len in
+    for page = first to last do
+      Buffer_cache.reference t.cache (page_key file page)
+    done
+  end
+
+let warm t file =
+  let last = (file.size - 1) / page_size t in
+  for page = 0 to last do
+    ignore (Buffer_cache.touch t.cache (page_key file page))
+  done
+
+let warm_meta t file =
+  List.iter
+    (fun dir -> ignore (Buffer_cache.touch t.cache (Buffer_cache.Meta_page { dir })))
+    (inode_meta_id file.inode :: file.dir_chain)
+
+let touch_mtime _t file ~now = file.mtime <- now

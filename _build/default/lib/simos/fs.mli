@@ -1,0 +1,65 @@
+(** Simulated filesystem namespace and page-in machinery.
+
+    Files occupy contiguous block extents placed with randomized gaps
+    (an aged on-disk layout).  Pathname translation touches one metadata
+    page per path component plus the file's inode page — each a potential
+    buffer-cache miss and disk read, which is why Flash sends uncached
+    translations to helper processes.  Data faults coalesce: concurrent
+    requests for a page under IO wait for the one disk read. *)
+
+type file = {
+  inode : int;
+  path : string;
+  size : int;  (** bytes *)
+  start_block : int;
+  mutable mtime : float;
+  dir_chain : int list;  (** metadata dir inodes walked by translation *)
+}
+
+type t
+
+val create : Sim.Engine.t -> cache:Buffer_cache.t -> disk:Disk.t -> t
+
+(** Register a file; contents are implicit (only sizes matter).
+    @raise Invalid_argument on duplicate path or non-positive size. *)
+val add_file : t -> path:string -> size:int -> file
+
+(** Namespace lookup with no simulated cost (for tests and drivers). *)
+val find : t -> string -> file option
+
+(** Full pathname translation: touches each component's metadata page and
+    the inode page, reading from disk on misses.  Blocks the calling
+    process; CPU costs are charged by the kernel layer, not here. *)
+val lookup : t -> string -> file option
+
+(** Would {!lookup} complete without disk IO right now? *)
+val meta_resident : t -> string -> bool
+
+(** Fault in all pages covering [\[off, off+len)], clustering contiguous
+    missing pages into single disk reads.  Blocks until resident. *)
+val page_in : t -> file -> off:int -> len:int -> unit
+
+(** [mincore]: are all pages of the range resident (and not mid-fault)? *)
+val resident : t -> file -> off:int -> len:int -> bool
+
+(** Set reference bits on the resident pages of a range: the effect of
+    transmitting from a mapped file after a successful residency check. *)
+val reference_range : t -> file -> off:int -> len:int -> unit
+
+(** Mark every page of the file resident without disk activity (warm-up
+    for tests/benches that want a hot cache). *)
+val warm : t -> file -> unit
+
+(** Mark the file's translation metadata pages resident without disk
+    activity. *)
+val warm_meta : t -> file -> unit
+
+val page_size : t -> int
+val file_count : t -> int
+val total_bytes : t -> int
+
+(** Bump the file's mtime (invalidation tests). *)
+val touch_mtime : t -> file -> now:float -> unit
+
+(** Pages needed to cover a byte range. *)
+val pages_in_range : t -> off:int -> len:int -> int

@@ -1,0 +1,178 @@
+type t = {
+  engine : Sim.Engine.t;
+  profile : Os_profile.t;
+  cpu : Sim.Cpu.t;
+  memory : Memory.t;
+  cache : Buffer_cache.t;
+  disk : Disk.t;
+  fs : Fs.t;
+  net : Net.t;
+}
+
+let create engine (p : Os_profile.t) =
+  let cpu = Sim.Cpu.create engine ~ctx_switch_cost:p.ctx_switch in
+  let memory =
+    Memory.create ~total_bytes:p.ram_bytes ~min_cache_bytes:p.min_cache
+  in
+  Memory.reserve memory p.kernel_reserve;
+  let cache = Buffer_cache.create ~memory ~page_size:p.disk.Disk.block_size in
+  let disk = Disk.create engine p.disk in
+  let fs = Fs.create engine ~cache ~disk in
+  let net =
+    Net.create engine ~nic_bandwidth:p.nic_bandwidth ~sndbuf:p.sndbuf
+      ~drain_chunk:p.net_chunk
+  in
+  { engine; profile = p; cpu; memory; cache; disk; fs; net }
+
+let engine t = t.engine
+let profile t = t.profile
+let cpu t = t.cpu
+let memory t = t.memory
+let cache t = t.cache
+let disk t = t.disk
+let fs t = t.fs
+let net t = t.net
+let now t = Sim.Engine.now t.engine
+
+let charge t dt = Sim.Cpu.consume t.cpu dt
+
+(* ---------------- sockets ---------------- *)
+
+let listener_pollable t = Net.listener_pollable t.net
+
+let accept t =
+  charge t t.profile.accept_cost;
+  Net.accept t.net
+
+let rec accept_blocking t =
+  match accept t with
+  | Some conn ->
+      (* Handing a connection to a blocking worker is a scheduler
+         dispatch: the next CPU grant pays a switch.  This is the "extra
+         kernel overhead, context switching etc." the paper cites as the
+         MP/MT lag on cached workloads. *)
+      Sim.Cpu.reschedule t.cpu;
+      conn
+  | None ->
+      Pollable.wait_ready (Net.listener_pollable t.net);
+      accept_blocking t
+
+let recv t conn ~max_bytes =
+  match Net.server_recv conn ~max_bytes with
+  | `Would_block ->
+      charge t t.profile.syscall;
+      `Would_block
+  | `Eof ->
+      charge t t.profile.syscall;
+      `Eof
+  | `Data data ->
+      charge t
+        (t.profile.syscall
+        +. (float_of_int (String.length data) *. t.profile.read_byte));
+      `Data data
+
+let rec recv_blocking t conn ~max_bytes =
+  Pollable.wait_ready (Net.readable conn);
+  match recv t conn ~max_bytes with
+  | `Would_block -> recv_blocking t conn ~max_bytes
+  | (`Data _ | `Eof) as r -> r
+
+let send t conn ~len ~misaligned_bytes =
+  let accepted = Net.server_send conn ~len in
+  let mis = min misaligned_bytes accepted in
+  charge t
+    (t.profile.syscall
+    +. (float_of_int accepted *. t.profile.write_byte)
+    +. (float_of_int mis *. t.profile.misalign_byte));
+  accepted
+
+let send_blocking t conn ~len ~misaligned_bytes =
+  let rec loop remaining mis =
+    if remaining > 0 then begin
+      if Net.send_space conn = 0 then Pollable.wait_ready (Net.writable conn);
+      let sent = send t conn ~len:remaining ~misaligned_bytes:mis in
+      loop (remaining - sent) (max 0 (mis - sent))
+    end
+  in
+  loop len misaligned_bytes
+
+let close t conn =
+  charge t t.profile.close_cost;
+  Net.server_close conn
+
+(* ---------------- select ---------------- *)
+
+(* Watchers registered by an unfired select linger on their pollables
+   until the next false->true transition clears them; the [fired] flag
+   makes them no-ops.  Between transitions their number is bounded by the
+   loop iterations since the pollable last fired. *)
+let select t entries =
+  let ready () =
+    List.filter_map
+      (fun (tag, p) -> if Pollable.is_ready p then Some tag else None)
+      entries
+  in
+  let first = ready () in
+  let result =
+    if first <> [] then first
+    else begin
+      Sim.Proc.suspend (fun resume ->
+          let fired = ref false in
+          let wake () =
+            if not !fired then begin
+              fired := true;
+              resume ()
+            end
+          in
+          List.iter (fun (_, p) -> Pollable.add_watcher p wake) entries);
+      ready ()
+    end
+  in
+  charge t
+    (t.profile.select_base
+    +. (float_of_int (List.length entries) *. t.profile.select_per_fd));
+  result
+
+(* ---------------- files ---------------- *)
+
+let open_stat t path =
+  let components =
+    List.length (String.split_on_char '/' path) - 1
+  in
+  charge t (float_of_int (max 1 components) *. t.profile.translate_component);
+  Fs.lookup t.fs path
+
+let page_in t file ~off ~len = Fs.page_in t.fs file ~off ~len
+
+let mincore t file ~off ~len =
+  let pages = Fs.pages_in_range t.fs ~off ~len in
+  charge t
+    (t.profile.mincore_base
+    +. (float_of_int pages *. t.profile.mincore_per_page));
+  Fs.resident t.fs file ~off ~len
+
+let mark_accessed t file ~off ~len = Fs.reference_range t.fs file ~off ~len
+
+let mmap t = charge t t.profile.mmap_cost
+let munmap t = charge t t.profile.munmap_cost
+
+(* ---------------- processes & IPC ---------------- *)
+
+let fork_charge t ~footprint =
+  charge t t.profile.fork_cost;
+  Memory.reserve t.memory footprint;
+  Buffer_cache.rebalance t.cache
+
+let pipe_write t pipe v =
+  charge t t.profile.ipc_send;
+  Pipe.write pipe v
+
+let pipe_read t pipe =
+  charge t t.profile.ipc_recv;
+  Pipe.read pipe
+
+let pipe_read_blocking t pipe =
+  charge t t.profile.ipc_recv;
+  Pipe.read_blocking pipe
+
+let lock_charge t = charge t t.profile.lock_cost

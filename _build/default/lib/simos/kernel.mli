@@ -1,0 +1,95 @@
+(** The machine: CPU, memory, buffer cache, disk, filesystem and network
+    assembled behind a UNIX-flavoured syscall interface.
+
+    Two semantic points the paper turns on are encoded here:
+    - sockets honour non-blocking semantics ({!recv} and {!send} return
+      [`Would_block]/short counts), but {!page_in} — a file read — always
+      blocks the calling process on a buffer-cache miss, no matter how
+      the caller configured its descriptors;
+    - {!select} covers sockets, the listen queue and pipes, so helper
+      completions can be multiplexed with client IO, but cannot report
+      file-read readiness.
+
+    All calls must run inside a simulated process; each charges the CPU
+    according to the {!Os_profile}. *)
+
+type t
+
+val create : Sim.Engine.t -> Os_profile.t -> t
+
+val engine : t -> Sim.Engine.t
+val profile : t -> Os_profile.t
+val cpu : t -> Sim.Cpu.t
+val memory : t -> Memory.t
+val cache : t -> Buffer_cache.t
+val disk : t -> Disk.t
+val fs : t -> Fs.t
+val net : t -> Net.t
+val now : t -> float
+
+(** Charge raw CPU time to the calling process (application work:
+    parsing, cache management, dispatch). *)
+val charge : t -> float -> unit
+
+(* ---------------- sockets ---------------- *)
+
+val listener_pollable : t -> Pollable.t
+
+(** Non-blocking accept. *)
+val accept : t -> Net.conn option
+
+(** Blocking accept (MP/MT processes park here). *)
+val accept_blocking : t -> Net.conn
+
+val recv : t -> Net.conn -> max_bytes:int -> [ `Data of string | `Eof | `Would_block ]
+
+(** Blocking receive: waits for readability first. *)
+val recv_blocking : t -> Net.conn -> max_bytes:int -> [ `Data of string | `Eof ]
+
+(** Non-blocking send of [len] bytes; [misaligned_bytes] of them pay the
+    writev misalignment copy penalty.  Returns bytes accepted. *)
+val send : t -> Net.conn -> len:int -> misaligned_bytes:int -> int
+
+(** Blocking send of the full [len] bytes. *)
+val send_blocking : t -> Net.conn -> len:int -> misaligned_bytes:int -> unit
+
+val close : t -> Net.conn -> unit
+
+(* ---------------- select ---------------- *)
+
+(** [select t entries] waits until at least one pollable is ready and
+    returns the tags of all ready ones, charging the per-fd scan cost. *)
+val select : t -> ('a * Pollable.t) list -> 'a list
+
+(* ---------------- files ---------------- *)
+
+(** [stat]/[open]: pathname translation.  Charges CPU per component and
+    blocks on metadata misses. *)
+val open_stat : t -> string -> Fs.file option
+
+(** Block until the byte range is resident (the disk read a "non-blocking"
+    file read secretly performs). *)
+val page_in : t -> Fs.file -> off:int -> len:int -> unit
+
+(** mincore: charges base + per-page CPU, returns residency. *)
+val mincore : t -> Fs.file -> off:int -> len:int -> bool
+
+(** Record a CPU access to a resident mapped range (sets page reference
+    bits; free — the hardware does it). *)
+val mark_accessed : t -> Fs.file -> off:int -> len:int -> unit
+
+val mmap : t -> unit
+val munmap : t -> unit
+
+(* ---------------- processes & IPC ---------------- *)
+
+(** Charge a fork and reserve the child's footprint.  The caller then
+    spawns the child with {!Sim.Proc.spawn}. *)
+val fork_charge : t -> footprint:int -> unit
+
+val pipe_write : t -> 'a Pipe.t -> 'a -> unit
+val pipe_read : t -> 'a Pipe.t -> 'a option
+val pipe_read_blocking : t -> 'a Pipe.t -> 'a
+
+(** Mutex lock/unlock pair cost (MT architecture). *)
+val lock_charge : t -> unit

@@ -1,0 +1,24 @@
+type t = {
+  total : int;
+  min_cache : int;
+  mutable reserved : int;
+}
+
+let create ~total_bytes ~min_cache_bytes =
+  if total_bytes <= 0 then invalid_arg "Memory.create: total_bytes <= 0";
+  if min_cache_bytes < 0 then invalid_arg "Memory.create: min_cache_bytes < 0";
+  { total = total_bytes; min_cache = min_cache_bytes; reserved = 0 }
+
+let total t = t.total
+let reserved t = t.reserved
+
+let reserve t n =
+  if n < 0 then invalid_arg "Memory.reserve: negative size";
+  t.reserved <- t.reserved + n
+
+let release t n =
+  if n < 0 then invalid_arg "Memory.release: negative size";
+  if n > t.reserved then invalid_arg "Memory.release: more than reserved";
+  t.reserved <- t.reserved - n
+
+let cache_capacity t = max t.min_cache (t.total - t.reserved)

@@ -1,0 +1,26 @@
+(** Physical memory accounting.
+
+    The machine has a fixed amount of RAM.  Kernel structures, process and
+    thread footprints, and application-level caches [reserve] bytes; what
+    remains backs the filesystem buffer cache.  This is the mechanism
+    behind the paper's "memory effects": an MP server's 32 process images
+    shrink the file cache, helpers cost little, SPED costs least. *)
+
+type t
+
+(** [create ~total_bytes ~min_cache_bytes] — the buffer cache never drops
+    below [min_cache_bytes] even if reservations exceed RAM. *)
+val create : total_bytes:int -> min_cache_bytes:int -> t
+
+val total : t -> int
+val reserved : t -> int
+
+(** @raise Invalid_argument on negative size. *)
+val reserve : t -> int -> unit
+
+(** @raise Invalid_argument on negative size or when releasing more than
+    is reserved. *)
+val release : t -> int -> unit
+
+(** Bytes currently available to the buffer cache. *)
+val cache_capacity : t -> int

@@ -1,0 +1,252 @@
+type t = {
+  engine : Sim.Engine.t;
+  nic_bandwidth : float;
+  sndbuf : int;
+  drain_chunk : int;
+  accept_queue : conn Queue.t;
+  listener : Pollable.t;
+  mutable nic_active : int;
+  mutable delivered : int;
+  mutable created : int;
+}
+
+and conn = {
+  id : int;
+  net : t;
+  link_rate : float;
+  rtt : float;
+  mutable inbox : string list;  (** received request fragments, FIFO *)
+  mutable inbox_bytes : int;
+  conn_readable : Pollable.t;
+  conn_writable : Pollable.t;
+  mutable sndbuf_used : int;
+  mutable draining : bool;
+  mutable delivered_here : int;
+  mutable await_resume : (unit -> unit) option;
+  mutable close_resume : (unit -> unit) option;
+  mutable srv_closed : bool;
+  mutable cli_closed : bool;
+  mutable responses_done : int;
+}
+
+let create engine ~nic_bandwidth ~sndbuf ~drain_chunk =
+  if nic_bandwidth <= 0. then invalid_arg "Net.create: nic_bandwidth <= 0";
+  if sndbuf <= 0 then invalid_arg "Net.create: sndbuf <= 0";
+  if drain_chunk <= 0 then invalid_arg "Net.create: drain_chunk <= 0";
+  {
+    engine;
+    nic_bandwidth;
+    sndbuf;
+    drain_chunk;
+    accept_queue = Queue.create ();
+    listener = Pollable.create ();
+    nic_active = 0;
+    delivered = 0;
+    created = 0;
+  }
+
+let listener_pollable t = t.listener
+let delivered_bytes t = t.delivered
+let connections_created t = t.created
+let active_drains t = t.nic_active
+let conn_id c = c.id
+let readable c = c.conn_readable
+let writable c = c.conn_writable
+let server_closed c = c.srv_closed
+let client_closed c = c.cli_closed
+let send_space c = c.net.sndbuf - c.sndbuf_used
+
+let connect t ~link_rate ~rtt =
+  if link_rate <= 0. then invalid_arg "Net.connect: link_rate <= 0";
+  let c =
+    {
+      id = t.created;
+      net = t;
+      link_rate;
+      rtt;
+      inbox = [];
+      inbox_bytes = 0;
+      conn_readable = Pollable.create ();
+      conn_writable = Pollable.create ~ready:true ();
+      sndbuf_used = 0;
+      draining = false;
+      delivered_here = 0;
+      await_resume = None;
+      close_resume = None;
+      srv_closed = false;
+      cli_closed = false;
+      responses_done = 0;
+    }
+  in
+  t.created <- t.created + 1;
+  (* TCP handshake: the SYN reaches the listen queue after half an RTT;
+     the client learns the connection is established a full RTT after
+     initiating — so its first data trails the server-side accept by one
+     RTT, which is what makes freshly accepted sockets unreadable (and
+     blocks an MP/MT worker right after accept). *)
+  Sim.Engine.schedule t.engine ~delay:(rtt /. 2.) (fun () ->
+      Queue.push c t.accept_queue;
+      Pollable.set_ready t.listener true);
+  Sim.Proc.delay rtt;
+  c
+
+let accept t =
+  match Queue.take_opt t.accept_queue with
+  | None ->
+      Pollable.set_ready t.listener false;
+      None
+  | Some c ->
+      if Queue.is_empty t.accept_queue then Pollable.set_ready t.listener false;
+      Some c
+
+let client_send c s =
+  Sim.Engine.schedule c.net.engine ~delay:(c.rtt /. 2.) (fun () ->
+      if not c.srv_closed then begin
+        c.inbox <- c.inbox @ [ s ];
+        c.inbox_bytes <- c.inbox_bytes + String.length s;
+        Pollable.set_ready c.conn_readable true
+      end)
+
+let server_recv c ~max_bytes =
+  match c.inbox with
+  | [] ->
+      if c.cli_closed then `Eof
+      else begin
+        Pollable.set_ready c.conn_readable false;
+        `Would_block
+      end
+  | frag :: rest ->
+      let take = min max_bytes (String.length frag) in
+      let data = String.sub frag 0 take in
+      let remainder = String.length frag - take in
+      c.inbox <-
+        (if remainder = 0 then rest
+         else String.sub frag take remainder :: rest);
+      c.inbox_bytes <- c.inbox_bytes - take;
+      if c.inbox = [] && not c.cli_closed then
+        Pollable.set_ready c.conn_readable false;
+      `Data data
+
+let wake_client_if_due c =
+  match c.await_resume with
+  | Some resume ->
+      c.await_resume <- None;
+      resume ()
+  | None -> ()
+
+let wake_close_waiter c =
+  match c.close_resume with
+  | Some resume ->
+      c.close_resume <- None;
+      resume ()
+  | None -> ()
+
+(* Drain loop: one chunk per event, at the fair-share rate recomputed per
+   chunk.  Runs as plain engine events, not a process. *)
+let rec drain c =
+  let t = c.net in
+  if c.sndbuf_used = 0 then begin
+    c.draining <- false;
+    t.nic_active <- t.nic_active - 1;
+    if c.srv_closed then begin
+      wake_close_waiter c;
+      wake_client_if_due c
+    end
+  end
+  else begin
+    let chunk = min c.sndbuf_used t.drain_chunk in
+    let share = t.nic_bandwidth /. float_of_int (max 1 t.nic_active) in
+    let rate = Float.min c.link_rate share in
+    let dt = float_of_int chunk /. rate in
+    Sim.Engine.schedule t.engine ~delay:dt (fun () ->
+        c.sndbuf_used <- c.sndbuf_used - chunk;
+        c.delivered_here <- c.delivered_here + chunk;
+        t.delivered <- t.delivered + chunk;
+        if (not c.srv_closed) && send_space c > 0 then
+          Pollable.set_ready c.conn_writable true;
+        wake_client_if_due c;
+        drain c)
+  end
+
+let start_drain c =
+  if not c.draining then begin
+    c.draining <- true;
+    c.net.nic_active <- c.net.nic_active + 1;
+    drain c
+  end
+
+let server_send c ~len =
+  if len < 0 then invalid_arg "Net.server_send: negative length";
+  if c.srv_closed then invalid_arg "Net.server_send: connection closed";
+  let accepted = min len (send_space c) in
+  if accepted > 0 then begin
+    c.sndbuf_used <- c.sndbuf_used + accepted;
+    if send_space c = 0 then Pollable.set_ready c.conn_writable false;
+    start_drain c
+  end
+  else if send_space c = 0 then Pollable.set_ready c.conn_writable false;
+  accepted
+
+let server_close c =
+  if not c.srv_closed then begin
+    c.srv_closed <- true;
+    Pollable.set_ready c.conn_writable false;
+    if c.sndbuf_used = 0 then wake_close_waiter c;
+    (* A blocked reader sees EOF once in-flight data is consumed. *)
+    wake_client_if_due c
+  end
+
+let client_close c =
+  c.cli_closed <- true;
+  Pollable.set_ready c.conn_readable true
+
+let client_await_bytes c n =
+  if n < 0 then invalid_arg "Net.client_await_bytes: negative count";
+  let start = c.delivered_here in
+  let target = start + n in
+  let rec wait () =
+    if c.delivered_here >= target then n
+    else if c.srv_closed && c.sndbuf_used = 0 then c.delivered_here - start
+    else begin
+      Sim.Proc.suspend (fun resume ->
+          if c.await_resume <> None then
+            failwith "Net.client_await_bytes: concurrent waiters";
+          c.await_resume <- Some resume);
+      wait ()
+    end
+  in
+  wait ()
+
+let client_await_close c =
+  if not (c.srv_closed && c.sndbuf_used = 0) then
+    Sim.Proc.suspend (fun resume ->
+        if c.close_resume <> None then
+          failwith "Net.client_await_close: concurrent waiters";
+        c.close_resume <- Some resume)
+
+(* Response framing: the server marks each response fully written; the
+   client additionally waits for the bytes to drain, which models its
+   parser consuming the body. *)
+let mark_response_done c =
+  c.responses_done <- c.responses_done + 1;
+  wake_client_if_due c
+
+let responses_done c = c.responses_done
+
+let client_await_response c =
+  let target = c.responses_done + 1 in
+  let rec wait () =
+    if c.responses_done >= target && c.sndbuf_used = 0 then `Ok
+    else if
+      c.srv_closed && c.sndbuf_used = 0 && c.responses_done >= target
+    then `Ok
+    else if c.srv_closed && c.sndbuf_used = 0 then `Closed
+    else begin
+      Sim.Proc.suspend (fun resume ->
+          if c.await_resume <> None then
+            failwith "Net.client_await_response: concurrent waiters";
+          c.await_resume <- Some resume);
+      wait ()
+    end
+  in
+  wait ()

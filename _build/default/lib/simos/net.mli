@@ -1,0 +1,94 @@
+(** The network: a listen queue, per-connection TCP-like send buffers,
+    per-client link rates, and an aggregate NIC capacity shared fairly by
+    draining connections.
+
+    Server-side writes copy into a bounded send buffer (returning a short
+    count when full — the would-block condition that drives [select]);
+    the buffer drains toward the client at
+    [min (client link rate) (NIC capacity / active connections)].
+    Clients are load generators on separate machines: their actions cost
+    no server CPU and go through the client-side calls below. *)
+
+type t
+
+type conn
+
+val create :
+  Sim.Engine.t ->
+  nic_bandwidth:float ->
+  sndbuf:int ->
+  drain_chunk:int ->
+  t
+
+(* ------------------------------------------------------------------ *)
+(** {1 Client side (load generator)} *)
+
+(** Establish a connection: the SYN reaches the listen queue after
+    [rtt/2]; the call blocks the client for the full handshake [rtt].
+    Must run in (client) process context. *)
+val connect : t -> link_rate:float -> rtt:float -> conn
+
+(** Deliver request bytes to the server's socket after the link RTT. *)
+val client_send : conn -> string -> unit
+
+(** Block the calling (client) process until [n] more response bytes have
+    arrived than had arrived when the call was made.  Returns the number
+    actually received, which is less than [n] only if the server closed
+    first. *)
+val client_await_bytes : conn -> int -> int
+
+(** Block until the server has closed and the send buffer fully drained. *)
+val client_await_close : conn -> unit
+
+(** Block until one more complete response (as framed by
+    {!mark_response_done}) has fully arrived.  [`Closed] means the server
+    closed the connection without completing another response. *)
+val client_await_response : conn -> [ `Ok | `Closed ]
+
+val client_close : conn -> unit
+
+(* ------------------------------------------------------------------ *)
+(** {1 Server side (used via the Kernel)} *)
+
+(** Readiness of the listen queue. *)
+val listener_pollable : t -> Pollable.t
+
+(** Pop a pending connection, if any. *)
+val accept : t -> conn option
+
+val readable : conn -> Pollable.t
+val writable : conn -> Pollable.t
+
+(** Consume up to [max_bytes] of received request data. *)
+val server_recv : conn -> max_bytes:int -> [ `Data of string | `Eof | `Would_block ]
+
+(** Copy [len] response bytes into the send buffer; returns bytes
+    accepted (0 when full). *)
+val server_send : conn -> len:int -> int
+
+val server_close : conn -> unit
+val server_closed : conn -> bool
+val client_closed : conn -> bool
+
+(** Application-level response framing: the server calls this when a
+    response has been fully handed to the socket; clients observe the
+    boundary through {!client_await_response} (standing in for parsing
+    Content-Length). *)
+val mark_response_done : conn -> unit
+
+val responses_done : conn -> int
+
+(** Send-buffer free space. *)
+val send_space : conn -> int
+
+(* ------------------------------------------------------------------ *)
+(** {1 Accounting} *)
+
+(** Response bytes that have reached clients, across all connections. *)
+val delivered_bytes : t -> int
+
+val connections_created : t -> int
+val conn_id : conn -> int
+
+(** Connections currently draining (for NIC fair-share inspection). *)
+val active_drains : t -> int

@@ -1,0 +1,139 @@
+type t = {
+  name : string;
+  syscall : float;
+  accept_cost : float;
+  close_cost : float;
+  read_byte : float;
+  write_byte : float;
+  misalign_byte : float;
+  select_base : float;
+  select_per_fd : float;
+  translate_component : float;
+  mmap_cost : float;
+  munmap_cost : float;
+  mincore_base : float;
+  mincore_per_page : float;
+  fork_cost : float;
+  ipc_send : float;
+  ipc_recv : float;
+  lock_cost : float;
+  ctx_switch : float;
+  parse_byte : float;
+  request_base : float;
+  header_build : float;
+  cache_lookup : float;
+  nic_bandwidth : float;
+  ram_bytes : int;
+  kernel_reserve : int;
+  min_cache : int;
+  process_footprint : int;
+  thread_footprint : int;
+  helper_footprint : int;
+  sndbuf : int;
+  net_chunk : int;
+  rtt : float;
+  lan_rate : float;
+  disk : Disk.params;
+}
+
+let mib n = n * 1024 * 1024
+let kib n = n * 1024
+
+let freebsd =
+  {
+    name = "FreeBSD";
+    syscall = 10e-6;
+    accept_cost = 45e-6;
+    close_cost = 10e-6;
+    read_byte = 20e-9;
+    write_byte = 20e-9;
+    misalign_byte = 14e-9;
+    select_base = 15e-6;
+    select_per_fd = 0.8e-6;
+    translate_component = 25e-6;
+    mmap_cost = 25e-6;
+    munmap_cost = 20e-6;
+    mincore_base = 8e-6;
+    mincore_per_page = 0.3e-6;
+    fork_cost = 3e-3;
+    ipc_send = 12e-6;
+    ipc_recv = 12e-6;
+    lock_cost = 2e-6;
+    ctx_switch = 8e-6;
+    parse_byte = 40e-9;
+    request_base = 60e-6;
+    header_build = 50e-6;
+    cache_lookup = 4e-6;
+    nic_bandwidth = 30e6;
+    (* ~240 Mbit/s: multiple 100 Mbit interfaces *)
+    ram_bytes = mib 128;
+    kernel_reserve = mib 24;
+    min_cache = mib 2;
+    process_footprint = kib 400;
+    thread_footprint = kib 120;
+    helper_footprint = kib 80;
+    sndbuf = kib 64;
+    net_chunk = kib 8;
+    rtt = 0.3e-3;
+    lan_rate = 12.5e6;
+    disk = Disk.default_params;
+  }
+
+(* The paper reports Solaris results up to ~50% below FreeBSD and does not
+   observe the alignment anomaly there; syscalls and the network data path
+   are proportionally more expensive. *)
+let solaris =
+  {
+    freebsd with
+    name = "Solaris";
+    syscall = 22e-6;
+    accept_cost = 100e-6;
+    close_cost = 22e-6;
+    read_byte = 45e-9;
+    write_byte = 75e-9;
+    misalign_byte = 0.;
+    select_base = 30e-6;
+    select_per_fd = 1.6e-6;
+    translate_component = 55e-6;
+    mmap_cost = 55e-6;
+    munmap_cost = 45e-6;
+    mincore_base = 18e-6;
+    mincore_per_page = 0.6e-6;
+    fork_cost = 6e-3;
+    ipc_send = 25e-6;
+    ipc_recv = 25e-6;
+    lock_cost = 4e-6;
+    ctx_switch = 11e-6;
+    parse_byte = 80e-9;
+    request_base = 130e-6;
+    header_build = 100e-6;
+    cache_lookup = 8e-6;
+    nic_bandwidth = 30e6;
+  }
+
+let scale_cpu t factor =
+  {
+    t with
+    syscall = t.syscall *. factor;
+    accept_cost = t.accept_cost *. factor;
+    close_cost = t.close_cost *. factor;
+    read_byte = t.read_byte *. factor;
+    write_byte = t.write_byte *. factor;
+    misalign_byte = t.misalign_byte *. factor;
+    select_base = t.select_base *. factor;
+    select_per_fd = t.select_per_fd *. factor;
+    translate_component = t.translate_component *. factor;
+    mmap_cost = t.mmap_cost *. factor;
+    munmap_cost = t.munmap_cost *. factor;
+    mincore_base = t.mincore_base *. factor;
+    mincore_per_page = t.mincore_per_page *. factor;
+    fork_cost = t.fork_cost *. factor;
+    ipc_send = t.ipc_send *. factor;
+    ipc_recv = t.ipc_recv *. factor;
+    lock_cost = t.lock_cost *. factor;
+    ctx_switch = t.ctx_switch *. factor;
+    parse_byte = t.parse_byte *. factor;
+    request_base = t.request_base *. factor;
+    header_build = t.header_build *. factor;
+    cache_lookup = t.cache_lookup *. factor;
+  }

@@ -1,0 +1,57 @@
+(** Cost model of an operating system + machine, in the spirit of the
+    paper's testbed (333 MHz Pentium II, 128 MB RAM, multiple 100 Mbit
+    Ethernets, SCSI disk; FreeBSD 2.2.6 and Solaris 2.6).
+
+    All costs are in seconds of simulated CPU time unless noted.  Two
+    presets are provided: {!freebsd} (fast network path, cheap syscalls)
+    and {!solaris} (the paper measures it up to ~50% slower, with the
+    writev misalignment penalty masked).  Constants were calibrated so
+    the single-file test lands in the paper's range (≈1000–3500
+    connections/s for small files, 100–240 Mbit/s peak bandwidth). *)
+
+type t = {
+  name : string;
+  (* syscall and data-path costs *)
+  syscall : float;
+  accept_cost : float;
+  close_cost : float;
+  read_byte : float;
+  write_byte : float;
+  misalign_byte : float;  (** extra per byte copied from a misaligned writev *)
+  select_base : float;
+  select_per_fd : float;
+  translate_component : float;  (** CPU per pathname component *)
+  mmap_cost : float;
+  munmap_cost : float;
+  mincore_base : float;
+  mincore_per_page : float;
+  fork_cost : float;
+  ipc_send : float;
+  ipc_recv : float;
+  lock_cost : float;  (** mutex acquire/release pair *)
+  ctx_switch : float;
+  (* application-level request costs *)
+  parse_byte : float;
+  request_base : float;
+  header_build : float;
+  cache_lookup : float;
+  (* machine *)
+  nic_bandwidth : float;  (** bytes/second aggregate *)
+  ram_bytes : int;
+  kernel_reserve : int;  (** RAM the kernel and server text occupy *)
+  min_cache : int;
+  process_footprint : int;
+  thread_footprint : int;
+  helper_footprint : int;
+  sndbuf : int;
+  net_chunk : int;
+  rtt : float;
+  lan_rate : float;  (** per-client link, bytes/second *)
+  disk : Disk.params;
+}
+
+val freebsd : t
+val solaris : t
+
+(** Scale every CPU cost by [factor] (sensitivity studies). *)
+val scale_cpu : t -> float -> t

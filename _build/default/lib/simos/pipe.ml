@@ -1,0 +1,32 @@
+type 'a t = {
+  items : 'a Queue.t;
+  p : Pollable.t;
+  readers : ('a -> unit) Queue.t;
+}
+
+let create () =
+  { items = Queue.create (); p = Pollable.create (); readers = Queue.create () }
+
+let write t v =
+  match Queue.take_opt t.readers with
+  | Some resume -> resume v
+  | None ->
+      Queue.push v t.items;
+      Pollable.set_ready t.p true
+
+let read t =
+  match Queue.take_opt t.items with
+  | None ->
+      Pollable.set_ready t.p false;
+      None
+  | Some v ->
+      if Queue.is_empty t.items then Pollable.set_ready t.p false;
+      Some v
+
+let read_blocking t =
+  match read t with
+  | Some v -> v
+  | None -> Sim.Proc.suspend (fun resume -> Queue.push resume t.readers)
+
+let pollable t = t.p
+let length t = Queue.length t.items

@@ -1,0 +1,21 @@
+(** Unidirectional IPC message pipe with select integration.
+
+    This is AMPED's helper channel: helpers write completion
+    notifications; the main server process sees the read end become
+    ready in [select] like any other IO completion.  CPU costs for
+    pipe operations are charged by the kernel layer. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val write : 'a t -> 'a -> unit
+
+(** Non-blocking read. *)
+val read : 'a t -> 'a option
+
+(** Blocking read (for helper processes waiting for work). *)
+val read_blocking : 'a t -> 'a
+
+val pollable : 'a t -> Pollable.t
+val length : 'a t -> int

@@ -1,0 +1,25 @@
+type t = {
+  mutable ready : bool;
+  mutable watchers : (unit -> unit) list;
+}
+
+let create ?(ready = false) () = { ready; watchers = [] }
+
+let is_ready t = t.ready
+
+let fire_watchers t =
+  let ws = List.rev t.watchers in
+  t.watchers <- [];
+  List.iter (fun f -> f ()) ws
+
+let set_ready t v =
+  let was = t.ready in
+  t.ready <- v;
+  if v && not was then fire_watchers t
+
+let add_watcher t f = if t.ready then f () else t.watchers <- f :: t.watchers
+
+let wait_ready t =
+  if not t.ready then Sim.Proc.suspend (fun resume -> add_watcher t resume)
+
+let watcher_count t = List.length t.watchers

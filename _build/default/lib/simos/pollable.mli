@@ -1,0 +1,26 @@
+(** A boolean readiness source, the building block of [select].
+
+    Listeners, connection read/write sides and pipe read ends each carry a
+    pollable.  Watchers are one-shot callbacks fired when readiness
+    transitions from false to true (or immediately if added while
+    ready). *)
+
+type t
+
+val create : ?ready:bool -> unit -> t
+
+val is_ready : t -> bool
+
+(** Set readiness; a false-to-true transition fires and clears all
+    watchers. *)
+val set_ready : t -> bool -> unit
+
+(** [add_watcher t f] — [f] runs once, when [t] becomes (or already is)
+    ready. *)
+val add_watcher : t -> (unit -> unit) -> unit
+
+(** Block the calling process until ready (returns immediately if already
+    ready). *)
+val wait_ready : t -> unit
+
+val watcher_count : t -> int

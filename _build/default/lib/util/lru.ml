@@ -1,0 +1,126 @@
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable node_weight : int;
+  mutable prev : ('k, 'v) node option;  (* toward MRU *)
+  mutable next : ('k, 'v) node option;  (* toward LRU *)
+}
+
+type ('k, 'v) t = {
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  on_evict : 'k -> 'v -> unit;
+  mutable cap : int;
+  mutable total_weight : int;
+  mutable mru : ('k, 'v) node option;
+  mutable lru_node : ('k, 'v) node option;
+}
+
+let create ?(on_evict = fun _ _ -> ()) ~capacity () =
+  if capacity <= 0 then invalid_arg "Lru.create: capacity <= 0";
+  {
+    table = Hashtbl.create 256;
+    on_evict;
+    cap = capacity;
+    total_weight = 0;
+    mru = None;
+    lru_node = None;
+  }
+
+let weight t = t.total_weight
+let capacity t = t.cap
+let length t = Hashtbl.length t.table
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.mru <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.lru_node <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.mru;
+  node.prev <- None;
+  (match t.mru with Some m -> m.prev <- Some node | None -> ());
+  t.mru <- Some node;
+  if t.lru_node = None then t.lru_node <- Some node
+
+let promote t node =
+  unlink t node;
+  push_front t node
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some node ->
+      promote t node;
+      Some node.value
+
+let peek t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some node -> Some node.value
+
+let mem t key = Hashtbl.mem t.table key
+
+let evict_lru t =
+  match t.lru_node with
+  | None -> ()
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table node.key;
+      t.total_weight <- t.total_weight - node.node_weight;
+      t.on_evict node.key node.value
+
+(* Keep at least one entry: an oversized single entry is admitted alone. *)
+let shrink_to_fit t =
+  while t.total_weight > t.cap && Hashtbl.length t.table > 1 do
+    evict_lru t
+  done
+
+let add t key value ~weight =
+  if weight < 0 then invalid_arg "Lru.add: negative weight";
+  (match Hashtbl.find_opt t.table key with
+  | Some node ->
+      t.total_weight <- t.total_weight - node.node_weight + weight;
+      node.value <- value;
+      node.node_weight <- weight;
+      promote t node
+  | None ->
+      let node = { key; value; node_weight = weight; prev = None; next = None } in
+      Hashtbl.replace t.table key node;
+      t.total_weight <- t.total_weight + weight;
+      push_front t node);
+  shrink_to_fit t
+
+let remove t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table key;
+      t.total_weight <- t.total_weight - node.node_weight;
+      Some node.value
+
+let set_capacity t cap =
+  if cap <= 0 then invalid_arg "Lru.set_capacity: capacity <= 0";
+  t.cap <- cap;
+  shrink_to_fit t
+
+let fold t ~init ~f =
+  let rec loop acc = function
+    | None -> acc
+    | Some node -> loop (f acc node.key node.value) node.next
+  in
+  loop init t.mru
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.total_weight <- 0;
+  t.mru <- None;
+  t.lru_node <- None
+
+let lru t =
+  match t.lru_node with None -> None | Some n -> Some (n.key, n.value)

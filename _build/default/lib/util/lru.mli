@@ -1,0 +1,46 @@
+(** Weighted LRU map.
+
+    Entries carry a weight (bytes, or 1 for entry-count limits); when the
+    total weight exceeds the capacity, least-recently-used entries are
+    evicted through the [on_evict] hook (where the mapped-file cache
+    charges its lazy [munmap]).  Backs Flash's three application caches
+    and the live server's file cache. *)
+
+type ('k, 'v) t
+
+(** @raise Invalid_argument if [capacity <= 0]. *)
+val create : ?on_evict:('k -> 'v -> unit) -> capacity:int -> unit -> ('k, 'v) t
+
+(** Current total weight. *)
+val weight : ('k, 'v) t -> int
+
+val capacity : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+
+(** Lookup and promote to most-recently-used. *)
+val find : ('k, 'v) t -> 'k -> 'v option
+
+(** Lookup without promoting. *)
+val peek : ('k, 'v) t -> 'k -> 'v option
+
+val mem : ('k, 'v) t -> 'k -> bool
+
+(** Insert or replace (replacement re-weighs), then evict LRU entries
+    until within capacity.  A single entry heavier than the capacity is
+    admitted alone (matching page-cache behaviour for oversized chunks).
+    @raise Invalid_argument on negative weight. *)
+val add : ('k, 'v) t -> 'k -> 'v -> weight:int -> unit
+
+(** Remove without invoking [on_evict].  Returns the value if present. *)
+val remove : ('k, 'v) t -> 'k -> 'v option
+
+(** Shrink capacity (evicting as needed) or grow it. *)
+val set_capacity : ('k, 'v) t -> int -> unit
+
+(** Fold over entries from most- to least-recently used. *)
+val fold : ('k, 'v) t -> init:'a -> f:('a -> 'k -> 'v -> 'a) -> 'a
+
+val clear : ('k, 'v) t -> unit
+
+(** Least-recently-used entry, if any (for tests). *)
+val lru : ('k, 'v) t -> ('k * 'v) option

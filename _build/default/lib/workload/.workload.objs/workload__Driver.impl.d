@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Array Fileset Flash Format Printf Sim Simos

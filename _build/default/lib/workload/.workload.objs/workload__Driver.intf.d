@@ -1,0 +1,1 @@
+lib/workload/driver.mli: Fileset Flash Format Simos

@@ -1,0 +1,1 @@
+lib/workload/fileset.ml: Array List Printf Sim Simos String

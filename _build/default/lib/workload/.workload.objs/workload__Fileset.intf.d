@@ -1,0 +1,1 @@
+lib/workload/fileset.mli: Simos

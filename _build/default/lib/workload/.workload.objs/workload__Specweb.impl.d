@@ -1,0 +1,1 @@
+lib/workload/specweb.ml: Array Fileset Printf Sim

@@ -1,0 +1,1 @@
+lib/workload/specweb.mli: Fileset Sim

@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Array Fileset Fun Hashtbl Http List Printf Sim String Zipf

@@ -1,0 +1,115 @@
+type spec = {
+  files : int;
+  body_mu : float;
+  body_sigma : float;
+  tail_fraction : float;
+  tail_xm : float;
+  tail_alpha : float;
+  min_size : int;
+  max_size : int;
+  dirs : int;
+  depth : int;
+  seed : int;
+}
+
+let cs_like ~files ~seed =
+  {
+    files;
+    body_mu = log 6000.;
+    body_sigma = 1.4;
+    tail_fraction = 0.08;
+    tail_xm = 40_000.;
+    tail_alpha = 1.1;
+    min_size = 120;
+    max_size = 2_000_000;
+    dirs = 40;
+    depth = 3;
+    seed;
+  }
+
+let owlnet_like ~files ~seed =
+  {
+    files;
+    body_mu = log 2500.;
+    body_sigma = 1.2;
+    tail_fraction = 0.05;
+    tail_xm = 25_000.;
+    tail_alpha = 1.3;
+    min_size = 80;
+    max_size = 500_000;
+    dirs = 120;
+    depth = 3;
+    seed;
+  }
+
+let ece_like ~files ~seed =
+  {
+    files;
+    body_mu = log 4500.;
+    body_sigma = 1.35;
+    tail_fraction = 0.07;
+    tail_xm = 35_000.;
+    tail_alpha = 1.15;
+    min_size = 100;
+    max_size = 1_500_000;
+    dirs = 60;
+    depth = 3;
+    seed;
+  }
+
+type t = { spec : spec; paths : string array; sizes : int array }
+
+let clamp spec size =
+  let s = int_of_float size in
+  if s < spec.min_size then spec.min_size
+  else if s > spec.max_size then spec.max_size
+  else s
+
+let sample_size spec rng =
+  if Sim.Rng.float rng < spec.tail_fraction then
+    clamp spec (Sim.Rng.pareto rng ~xm:spec.tail_xm ~alpha:spec.tail_alpha)
+  else
+    clamp spec (Sim.Rng.lognormal rng ~mu:spec.body_mu ~sigma:spec.body_sigma)
+
+let path_of spec rng index =
+  let dir = Sim.Rng.int rng spec.dirs in
+  let components =
+    List.init (max 1 (spec.depth - 1)) (fun level ->
+        Printf.sprintf "d%d_%d" level (if level = 0 then dir else dir mod 7))
+  in
+  Printf.sprintf "/%s/f%06d.html" (String.concat "/" components) index
+
+let generate spec =
+  if spec.files <= 0 then invalid_arg "Fileset.generate: files <= 0";
+  let rng = Sim.Rng.create ~seed:spec.seed in
+  let paths = Array.init spec.files (fun i -> path_of spec rng i) in
+  let sizes = Array.init spec.files (fun _ -> sample_size spec rng) in
+  { spec; paths; sizes }
+
+let file_count t = Array.length t.paths
+let total_bytes t = Array.fold_left ( + ) 0 t.sizes
+
+let truncate t ~dataset_bytes =
+  if dataset_bytes <= 0 then invalid_arg "Fileset.truncate: dataset <= 0";
+  let n = Array.length t.paths in
+  let rec count i acc =
+    if i >= n then i
+    else begin
+      let acc = acc + t.sizes.(i) in
+      if acc > dataset_bytes then i else count (i + 1) acc
+    end
+  in
+  let keep = max 1 (count 0 0) in
+  {
+    t with
+    paths = Array.sub t.paths 0 keep;
+    sizes = Array.sub t.sizes 0 keep;
+  }
+
+let install t fs =
+  Array.init (Array.length t.paths) (fun i ->
+      Simos.Fs.add_file fs ~path:t.paths.(i) ~size:t.sizes.(i))
+
+let mean_size t =
+  if Array.length t.sizes = 0 then 0.
+  else float_of_int (total_bytes t) /. float_of_int (Array.length t.sizes)

@@ -1,0 +1,48 @@
+(** Synthetic file populations standing in for the paper's server
+    document trees.
+
+    Sizes follow the classic web model: a lognormal body with a Pareto
+    tail (Crovella & Bestavros; Arlitt & Williamson).  Files are spread
+    over a directory tree so pathname translation walks several
+    components.  Generation is deterministic in the seed. *)
+
+type spec = {
+  files : int;
+  body_mu : float;  (** lognormal mu of the body, log bytes *)
+  body_sigma : float;
+  tail_fraction : float;  (** fraction of files drawn from the tail *)
+  tail_xm : float;  (** Pareto scale, bytes *)
+  tail_alpha : float;
+  min_size : int;
+  max_size : int;
+  dirs : int;  (** number of leaf directories *)
+  depth : int;  (** path components per file *)
+  seed : int;
+}
+
+(** A CS-departmental-server flavour: bigger files, bigger footprint. *)
+val cs_like : files:int -> seed:int -> spec
+
+(** Personal-pages flavour: smaller files, high locality datasets. *)
+val owlnet_like : files:int -> seed:int -> spec
+
+(** ECE-server flavour used for the dataset-size sweeps. *)
+val ece_like : files:int -> seed:int -> spec
+
+type t = { spec : spec; paths : string array; sizes : int array }
+
+val generate : spec -> t
+
+val file_count : t -> int
+val total_bytes : t -> int
+
+(** Keep only the first files whose cumulative size stays within
+    [dataset_bytes] (the paper truncates logs to vary the dataset size;
+    request streams over a truncated set follow). *)
+val truncate : t -> dataset_bytes:int -> t
+
+(** Register every file with the simulated filesystem. *)
+val install : t -> Simos.Fs.t -> Simos.Fs.file array
+
+(** Mean file size, bytes. *)
+val mean_size : t -> float

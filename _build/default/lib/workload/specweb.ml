@@ -1,0 +1,80 @@
+(* SPECweb96 structure: per directory, 4 classes x 9 files.  Class sizes
+   are the midpoints SPECweb96 uses: class i, file j has size
+   (j+1) * base_i where base_0 = 0.1 KB ... base_3 = 100 KB. *)
+
+let class_mix = [| 0.35; 0.50; 0.14; 0.01 |]
+
+let files_per_class = 9
+
+let class_base_bytes = [| 102; 1024; 10_240; 102_400 |]
+
+let class_of_size size =
+  if size <= 1024 then 0
+  else if size <= 10_240 then 1
+  else if size <= 102_400 then 2
+  else 3
+
+(* SPECweb96's within-class access weights for the 9 files (file 4 and
+   neighbours are the most popular; a fixed empirical table). *)
+let file_weights = [| 3.9; 5.9; 8.8; 17.7; 35.3; 11.8; 7.1; 5.0; 4.5 |]
+
+type t = {
+  fileset : Fileset.t;
+  directories : int;
+  class_cdf : float array;
+  file_cdf : float array;
+}
+
+let cdf_of weights =
+  let total = Array.fold_left ( +. ) 0. weights in
+  let acc = ref 0. in
+  Array.map
+    (fun w ->
+      acc := !acc +. (w /. total);
+      !acc)
+    weights
+
+let path ~dir ~cls ~file =
+  Printf.sprintf "/specweb/dir%05d/class%d/file%d.html" dir cls file
+
+let generate ~directories ~seed =
+  if directories <= 0 then invalid_arg "Specweb.generate: directories <= 0";
+  let count = directories * 4 * files_per_class in
+  let paths = Array.make count "" in
+  let sizes = Array.make count 0 in
+  let i = ref 0 in
+  for dir = 0 to directories - 1 do
+    for cls = 0 to 3 do
+      for file = 0 to files_per_class - 1 do
+        paths.(!i) <- path ~dir ~cls ~file;
+        sizes.(!i) <- (file + 1) * class_base_bytes.(cls);
+        incr i
+      done
+    done
+  done;
+  {
+    fileset =
+      {
+        Fileset.spec = Fileset.ece_like ~files:count ~seed;
+        paths;
+        sizes;
+      };
+    directories;
+    class_cdf = cdf_of class_mix;
+    file_cdf = cdf_of file_weights;
+  }
+
+let fileset t = t.fileset
+
+let dataset_bytes t = Fileset.total_bytes t.fileset
+
+let pick_cdf cdf u =
+  let n = Array.length cdf in
+  let rec scan i = if i >= n - 1 || u <= cdf.(i) then i else scan (i + 1) in
+  scan 0
+
+let sample t rng =
+  let dir = Sim.Rng.int rng t.directories in
+  let cls = pick_cdf t.class_cdf (Sim.Rng.float rng) in
+  let file = pick_cdf t.file_cdf (Sim.Rng.float rng) in
+  path ~dir ~cls ~file

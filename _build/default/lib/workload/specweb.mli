@@ -1,0 +1,31 @@
+(** A SPECweb96-like synthetic workload.
+
+    SPECweb96 was the standard web-server benchmark of the paper's era:
+    requests fall into four file classes — class 0 (≤1 KB, 35 % of
+    accesses), class 1 (1–10 KB, 50 %), class 2 (10–100 KB, 14 %) and
+    class 3 (100 KB–1 MB, 1 %) — over a directory set whose size scales
+    with the target throughput.  Within a class, nine discrete sizes are
+    accessed with a Zipf-like bias.  This module reproduces that
+    structure so the simulator can be driven by the same workload shape
+    the industry used alongside the paper. *)
+
+type t
+
+(** [generate ~directories ~seed] builds the file population:
+    [directories] scales the dataset (SPECweb96 used
+    [(expected ops/s) / 5] directories, ~5 MB each). *)
+val generate : directories:int -> seed:int -> t
+
+val fileset : t -> Fileset.t
+
+(** Sample the next request path (class mix + within-class bias). *)
+val sample : t -> Sim.Rng.t -> string
+
+(** Total bytes of the file population. *)
+val dataset_bytes : t -> int
+
+(** Access fraction of each class, [| c0; c1; c2; c3 |] (for tests). *)
+val class_mix : float array
+
+(** Class of a file size in bytes, 0–3 (for tests). *)
+val class_of_size : int -> int

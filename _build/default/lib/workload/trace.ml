@@ -1,0 +1,135 @@
+type t = { fileset : Fileset.t; requests : int array }
+
+let generate ?locality fileset ~length ~alpha ~seed =
+  if length <= 0 then invalid_arg "Trace.generate: length <= 0";
+  let n = Fileset.file_count fileset in
+  let zipf = Zipf.create ~n ~alpha in
+  let rng = Sim.Rng.create ~seed in
+  let requests =
+    match locality with
+    | None -> Array.init length (fun _ -> Zipf.sample zipf rng)
+    | Some (p, window) ->
+        if p < 0. || p > 1. then invalid_arg "Trace.generate: locality p";
+        if window <= 0 then invalid_arg "Trace.generate: locality window";
+        (* LRU-stack temporal locality on top of Zipf popularity: with
+           probability [p], re-request one of the last [window] files. *)
+        let requests = Array.make length 0 in
+        for i = 0 to length - 1 do
+          requests.(i) <-
+            (if i > 0 && Sim.Rng.float rng < p then
+               requests.(i - 1 - Sim.Rng.int rng (min i window))
+             else Zipf.sample zipf rng)
+        done;
+        requests
+  in
+  { fileset; requests }
+
+let length t = Array.length t.requests
+
+let request_index t i = t.requests.(i mod Array.length t.requests)
+
+let request_path t i = t.fileset.Fileset.paths.(request_index t i)
+
+let request_size t i = t.fileset.Fileset.sizes.(request_index t i)
+
+let distinct_files t =
+  let seen = Hashtbl.create 1024 in
+  Array.iter (fun idx -> Hashtbl.replace seen idx ()) t.requests;
+  Hashtbl.length seen
+
+let footprint_bytes t =
+  let seen = Hashtbl.create 1024 in
+  Array.iter (fun idx -> Hashtbl.replace seen idx ()) t.requests;
+  Hashtbl.fold
+    (fun idx () acc -> acc + t.fileset.Fileset.sizes.(idx))
+    seen 0
+
+let save_clf t ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Array.iteri
+        (fun i idx ->
+          (* Synthetic timestamps: one second per 100 requests. *)
+          Printf.fprintf oc
+            "192.168.1.%d - - [%s] \"GET %s HTTP/1.0\" 200 %d\n"
+            ((i mod 254) + 1)
+            (Http.Http_date.format (float_of_int (i / 100)))
+            t.fileset.Fileset.paths.(idx)
+            t.fileset.Fileset.sizes.(idx))
+        t.requests)
+
+(* "host - - [date] \"METH target HTTP/x.y\" status bytes" *)
+let parse_clf_line line =
+  match String.index_opt line '"' with
+  | None -> None
+  | Some q1 -> (
+      match String.index_from_opt line (q1 + 1) '"' with
+      | None -> None
+      | Some q2 -> (
+          let request_part = String.sub line (q1 + 1) (q2 - q1 - 1) in
+          let tail = String.sub line (q2 + 1) (String.length line - q2 - 1) in
+          match
+            ( String.split_on_char ' ' request_part,
+              List.filter (( <> ) "") (String.split_on_char ' ' tail) )
+          with
+          | _meth :: target :: _, [ _status; bytes_str ] -> (
+              match int_of_string_opt bytes_str with
+              | Some bytes when bytes >= 0 && String.length target > 0 ->
+                  Some (target, bytes)
+              | Some _ | None -> None)
+          | _ -> None))
+
+let load_clf ~path =
+  let ic = open_in path in
+  let entries = ref [] in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      try
+        while true do
+          match parse_clf_line (input_line ic) with
+          | Some entry -> entries := entry :: !entries
+          | None -> ()
+        done
+      with End_of_file -> ());
+  let entries = List.rev !entries in
+  if entries = [] then failwith ("Trace.load_clf: no parseable lines in " ^ path);
+  (* Distinct targets, in first-appearance order, become the fileset; a
+     0-byte transfer still needs a 1-byte file. *)
+  let index_of = Hashtbl.create 1024 in
+  let paths = ref [] and sizes = ref [] and count = ref 0 in
+  let requests =
+    List.map
+      (fun (target, bytes) ->
+        match Hashtbl.find_opt index_of target with
+        | Some i -> i
+        | None ->
+            let i = !count in
+            Hashtbl.replace index_of target i;
+            incr count;
+            paths := target :: !paths;
+            sizes := max 1 bytes :: !sizes;
+            i)
+      entries
+  in
+  let fileset =
+    {
+      Fileset.spec = Fileset.ece_like ~files:(max 1 !count) ~seed:0;
+      paths = Array.of_list (List.rev !paths);
+      sizes = Array.of_list (List.rev !sizes);
+    }
+  in
+  { fileset; requests = Array.of_list requests }
+
+let mean_transfer t =
+  if Array.length t.requests = 0 then 0.
+  else begin
+    let total =
+      Array.fold_left
+        (fun acc idx -> acc + t.fileset.Fileset.sizes.(idx))
+        0 t.requests
+    in
+    float_of_int total /. float_of_int (Array.length t.requests)
+  end

@@ -1,0 +1,51 @@
+(** Request streams (access-log replays) over a {!Fileset}.
+
+    Popularity is Zipf over the file population (rank = file index), the
+    invariant real server logs show.  Dataset-size sweeps truncate the
+    fileset first — the equivalent of the paper's log-prefix truncation,
+    which keeps the most popular documents — and generate the stream
+    over the truncated population. *)
+
+type t = {
+  fileset : Fileset.t;
+  requests : int array;  (** file indices, replayed as a loop *)
+}
+
+(** [generate ?locality fileset ~length ~alpha ~seed] — [locality
+    (p, window)] adds LRU-stack temporal locality: with probability [p]
+    a request repeats one of the previous [window] requests instead of a
+    fresh popularity draw. *)
+val generate :
+  ?locality:float * int -> Fileset.t -> length:int -> alpha:float -> seed:int -> t
+
+(** Path for replay step [i] (wraps around). *)
+val request_path : t -> int -> string
+
+(** File size for replay step [i]. *)
+val request_size : t -> int -> int
+
+val length : t -> int
+
+(** Distinct files touched by the stream. *)
+val distinct_files : t -> int
+
+(** Bytes of distinct content touched (the working set upper bound). *)
+val footprint_bytes : t -> int
+
+(** Mean transferred size over the stream (popularity-weighted). *)
+val mean_transfer : t -> float
+
+(** Write the stream as a Common Log Format access log, one line per
+    request — the format the paper's real traces come in. *)
+val save_clf : t -> path:string -> unit
+
+(** Reconstruct a replayable trace from a Common Log Format access log:
+    distinct request targets become the fileset (sized by the logged
+    byte counts), the line sequence becomes the request stream.
+    Unparseable lines are skipped.
+    @raise Failure if no line parses. *)
+val load_clf : path:string -> t
+
+(** Parse one CLF line into (target, bytes); [None] if malformed.
+    Exposed for tests. *)
+val parse_clf_line : string -> (string * int) option

@@ -1,0 +1,35 @@
+type t = { cdf : float array; alpha : float }
+
+let create ~n ~alpha =
+  if n <= 0 then invalid_arg "Zipf.create: n <= 0";
+  if alpha < 0. then invalid_arg "Zipf.create: alpha < 0";
+  let cdf = Array.make n 0. in
+  let total = ref 0. in
+  for r = 0 to n - 1 do
+    total := !total +. (1. /. Float.pow (float_of_int (r + 1)) alpha);
+    cdf.(r) <- !total
+  done;
+  for r = 0 to n - 1 do
+    cdf.(r) <- cdf.(r) /. !total
+  done;
+  { cdf; alpha }
+
+let size t = Array.length t.cdf
+let alpha t = t.alpha
+
+let sample t rng =
+  let u = Sim.Rng.float rng in
+  (* First index with cdf >= u. *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if t.cdf.(mid) >= u then search lo mid else search (mid + 1) hi
+    end
+  in
+  search 0 (Array.length t.cdf - 1)
+
+let probability t r =
+  if r < 0 || r >= Array.length t.cdf then
+    invalid_arg "Zipf.probability: rank out of range";
+  if r = 0 then t.cdf.(0) else t.cdf.(r) -. t.cdf.(r - 1)

@@ -1,0 +1,19 @@
+(** Zipf-like popularity distribution over [n] ranks.
+
+    Web server request popularity follows a Zipf distribution (Arlitt &
+    Williamson; the paper's trace workloads inherit it).  Rank [r]
+    (0-based) has probability proportional to [1 / (r+1)^alpha]. *)
+
+type t
+
+(** @raise Invalid_argument unless [n > 0] and [alpha >= 0]. *)
+val create : n:int -> alpha:float -> t
+
+val size : t -> int
+val alpha : t -> float
+
+(** Sample a rank in [\[0, n)]. *)
+val sample : t -> Sim.Rng.t -> int
+
+(** Probability of rank [r] (for tests). *)
+val probability : t -> int -> float

@@ -1,0 +1,1 @@
+test/test_buffer_cache.ml: Alcotest Helpers List QCheck Simos

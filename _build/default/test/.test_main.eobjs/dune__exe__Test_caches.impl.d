@@ -1,0 +1,1 @@
+test/test_caches.ml: Alcotest Array Flash Helpers Printf Simos

@@ -1,0 +1,1 @@
+test/test_conservation.ml: Alcotest Flash Helpers List Printf QCheck Sim Simos

@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Float Helpers List Printf Sim

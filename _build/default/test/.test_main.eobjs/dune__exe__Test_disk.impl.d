@@ -1,0 +1,1 @@
+test/test_disk.ml: Alcotest Helpers List Printf Sim Simos

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Flash Float Helpers List Option Printf Sim Simos

@@ -1,0 +1,1 @@
+test/test_fs.ml: Alcotest Helpers Option Sim Simos

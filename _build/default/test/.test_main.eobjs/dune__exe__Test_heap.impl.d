@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Helpers Int List QCheck Sim

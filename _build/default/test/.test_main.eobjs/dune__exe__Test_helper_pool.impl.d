@@ -1,0 +1,1 @@
+test/test_helper_pool.ml: Alcotest Flash Int List Sim Simos

@@ -1,0 +1,1 @@
+test/test_http.ml: Alcotest Gen Helpers Http List Printf QCheck String

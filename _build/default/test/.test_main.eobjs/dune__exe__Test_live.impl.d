@@ -1,0 +1,1 @@
+test/test_live.ml: Alcotest Array Buffer Bytes Filename Flash_live Fun List String Sys Thread Unix

@@ -1,0 +1,1 @@
+test/test_live_features.ml: Alcotest Array Filename Flash_live Fun Gen Helpers Http List QCheck String Sys Thread Unix

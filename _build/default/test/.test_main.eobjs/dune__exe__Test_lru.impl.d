@@ -1,0 +1,1 @@
+test/test_lru.ml: Alcotest Flash_util Helpers List QCheck

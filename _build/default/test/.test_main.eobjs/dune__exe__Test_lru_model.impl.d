@@ -1,0 +1,1 @@
+test/test_lru_model.ml: Flash_util Helpers List Printf QCheck String

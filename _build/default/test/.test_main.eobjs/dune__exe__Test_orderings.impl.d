@@ -1,0 +1,1 @@
+test/test_orderings.ml: Alcotest Flash Float Printf Simos Workload

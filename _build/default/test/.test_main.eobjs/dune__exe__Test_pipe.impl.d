@@ -1,0 +1,1 @@
+test/test_pipe.ml: Alcotest Helpers List Sim Simos

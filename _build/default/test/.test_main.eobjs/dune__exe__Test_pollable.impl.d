@@ -1,0 +1,1 @@
+test/test_pollable.ml: Alcotest Helpers List Sim Simos

@@ -1,0 +1,1 @@
+test/test_proc.ml: Alcotest Helpers Int List Sim

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Buffer Bytes Filename Flash Flash_live Fun Helpers List Sim Simos String Sys Unix

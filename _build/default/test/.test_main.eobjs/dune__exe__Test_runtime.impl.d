@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Flash Helpers Http Sim Simos String

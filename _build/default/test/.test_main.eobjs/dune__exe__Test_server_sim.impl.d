@@ -1,0 +1,1 @@
+test/test_server_sim.ml: Alcotest Flash List Printf Sim Simos

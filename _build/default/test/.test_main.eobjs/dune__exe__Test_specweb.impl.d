@@ -1,0 +1,1 @@
+test/test_specweb.ml: Alcotest Array Flash Float Hashtbl Printf Sim Simos Workload

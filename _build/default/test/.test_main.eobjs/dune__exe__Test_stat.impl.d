@@ -1,0 +1,1 @@
+test/test_stat.ml: Alcotest Float Helpers List Sim

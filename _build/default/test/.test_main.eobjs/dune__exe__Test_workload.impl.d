@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Filename Flash Hashtbl Helpers Printf QCheck Sim Simos Sys Workload

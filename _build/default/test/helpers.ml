@@ -1,0 +1,35 @@
+(* Shared test utilities. *)
+
+(* Run [f] inside a simulated process and drain the engine; fail the test
+   if the process never finished (deadlock). *)
+let run_sim ?seed f =
+  let engine = Sim.Engine.create ?seed () in
+  let result = ref None in
+  ignore (Sim.Proc.spawn engine ~name:"test-main" (fun () -> result := Some (f engine)));
+  ignore (Sim.Engine.run engine);
+  match !result with
+  | Some r -> r
+  | None -> Alcotest.fail "simulated process did not run to completion"
+
+(* Same, but with a time bound (for tests over never-terminating servers). *)
+let run_sim_until ?seed ~until f =
+  let engine = Sim.Engine.create ?seed () in
+  let result = ref None in
+  ignore (Sim.Proc.spawn engine ~name:"test-main" (fun () -> result := Some (f engine)));
+  ignore (Sim.Engine.run ~until engine);
+  !result
+
+let qcheck_case ?(count = 200) ~name arbitrary prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arbitrary prop)
+
+let float_eq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let check_float ~msg ?(eps = 1e-9) expected actual =
+  if not (float_eq ~eps expected actual) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* Substring search, to avoid depending on astring in tests. *)
+let contains ~affix s =
+  let n = String.length s and m = String.length affix in
+  let rec scan i = i + m <= n && (String.sub s i m = affix || scan (i + 1)) in
+  m = 0 || scan 0

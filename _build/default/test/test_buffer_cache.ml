@@ -1,0 +1,121 @@
+let page_size = 8192
+
+let make_cache ~pages =
+  let memory =
+    Simos.Memory.create ~total_bytes:(pages * page_size)
+      ~min_cache_bytes:page_size
+  in
+  (memory, Simos.Buffer_cache.create ~memory ~page_size)
+
+let fp inode page = Simos.Buffer_cache.File_page { inode; page }
+
+let test_miss_then_hit () =
+  let _, c = make_cache ~pages:4 in
+  Alcotest.(check bool) "not resident" false (Simos.Buffer_cache.resident c (fp 1 0));
+  (match Simos.Buffer_cache.touch c (fp 1 0) with
+  | `Miss -> ()
+  | `Hit -> Alcotest.fail "expected miss");
+  (match Simos.Buffer_cache.touch c (fp 1 0) with
+  | `Hit -> ()
+  | `Miss -> Alcotest.fail "expected hit");
+  Alcotest.(check bool) "resident" true (Simos.Buffer_cache.resident c (fp 1 0));
+  Alcotest.(check int) "hits" 1 (Simos.Buffer_cache.hits c);
+  Alcotest.(check int) "misses" 1 (Simos.Buffer_cache.misses c)
+
+let test_capacity_bound () =
+  let _, c = make_cache ~pages:4 in
+  for i = 0 to 9 do
+    ignore (Simos.Buffer_cache.touch c (fp 1 i))
+  done;
+  Alcotest.(check int) "bounded" 4 (Simos.Buffer_cache.pages c);
+  Alcotest.(check int) "evictions" 6 (Simos.Buffer_cache.evictions c)
+
+let test_clock_second_chance () =
+  (* With every reference bit set, clock degenerates to FIFO: filling the
+     cache and inserting once evicts the oldest page and clears the rest.
+     A page re-referenced after that sweep must then outlive a page the
+     sweep left clear. *)
+  let _, c = make_cache ~pages:3 in
+  ignore (Simos.Buffer_cache.touch c (fp 1 0));
+  ignore (Simos.Buffer_cache.touch c (fp 1 1));
+  ignore (Simos.Buffer_cache.touch c (fp 1 2));
+  ignore (Simos.Buffer_cache.touch c (fp 1 3));
+  Alcotest.(check bool) "oldest evicted" false
+    (Simos.Buffer_cache.resident c (fp 1 0));
+  (* Cache now holds 1 (clear), 2 (clear), 3 (referenced). *)
+  ignore (Simos.Buffer_cache.touch c (fp 1 1));
+  ignore (Simos.Buffer_cache.touch c (fp 1 4));
+  Alcotest.(check bool) "re-referenced page survives" true
+    (Simos.Buffer_cache.resident c (fp 1 1));
+  Alcotest.(check bool) "unreferenced page evicted" false
+    (Simos.Buffer_cache.resident c (fp 1 2));
+  Alcotest.(check bool) "new page resident" true
+    (Simos.Buffer_cache.resident c (fp 1 4))
+
+let test_meta_and_file_keys_distinct () =
+  let _, c = make_cache ~pages:8 in
+  ignore (Simos.Buffer_cache.touch c (fp 1 0));
+  ignore (Simos.Buffer_cache.touch c (Simos.Buffer_cache.Meta_page { dir = 1 }));
+  Alcotest.(check int) "two pages" 2 (Simos.Buffer_cache.pages c)
+
+let test_drop () =
+  let _, c = make_cache ~pages:4 in
+  ignore (Simos.Buffer_cache.touch c (fp 1 0));
+  Simos.Buffer_cache.drop c (fp 1 0);
+  Alcotest.(check bool) "dropped" false (Simos.Buffer_cache.resident c (fp 1 0));
+  Alcotest.(check int) "count" 0 (Simos.Buffer_cache.pages c);
+  (* dropping a missing key is a no-op *)
+  Simos.Buffer_cache.drop c (fp 9 9)
+
+let test_shrink_rebalance () =
+  let memory, c = make_cache ~pages:8 in
+  for i = 0 to 7 do
+    ignore (Simos.Buffer_cache.touch c (fp 1 i))
+  done;
+  Alcotest.(check int) "full" 8 (Simos.Buffer_cache.pages c);
+  (* Reserve half the machine: the cache must give pages back. *)
+  Simos.Memory.reserve memory (4 * page_size);
+  Simos.Buffer_cache.rebalance c;
+  Alcotest.(check int) "shrunk" 4 (Simos.Buffer_cache.pages c)
+
+let test_clear () =
+  let _, c = make_cache ~pages:4 in
+  ignore (Simos.Buffer_cache.touch c (fp 1 0));
+  Simos.Buffer_cache.clear c;
+  Alcotest.(check int) "empty" 0 (Simos.Buffer_cache.pages c);
+  (* Insertion works again after clear. *)
+  ignore (Simos.Buffer_cache.touch c (fp 1 1));
+  Alcotest.(check int) "one page" 1 (Simos.Buffer_cache.pages c)
+
+let prop_never_exceeds_capacity =
+  Helpers.qcheck_case ~name:"clock cache never exceeds capacity"
+    QCheck.(pair (int_range 1 16) (list (pair (int_range 0 3) (int_range 0 40))))
+    (fun (pages, touches) ->
+      let _, c = make_cache ~pages in
+      List.iter (fun (inode, page) -> ignore (Simos.Buffer_cache.touch c (fp inode page))) touches;
+      Simos.Buffer_cache.pages c <= pages)
+
+let prop_resident_after_touch =
+  Helpers.qcheck_case ~name:"touched key is resident immediately after"
+    QCheck.(list (pair (int_range 0 3) (int_range 0 40)))
+    (fun touches ->
+      let _, c = make_cache ~pages:8 in
+      List.for_all
+        (fun (inode, page) ->
+          ignore (Simos.Buffer_cache.touch c (fp inode page));
+          Simos.Buffer_cache.resident c (fp inode page))
+        touches)
+
+let suite =
+  [
+    Alcotest.test_case "miss then hit" `Quick test_miss_then_hit;
+    Alcotest.test_case "capacity bound" `Quick test_capacity_bound;
+    Alcotest.test_case "clock second chance" `Quick test_clock_second_chance;
+    Alcotest.test_case "meta/file keys distinct" `Quick
+      test_meta_and_file_keys_distinct;
+    Alcotest.test_case "drop" `Quick test_drop;
+    Alcotest.test_case "shrink on memory pressure" `Quick test_shrink_rebalance;
+    Alcotest.test_case "clear" `Quick test_clear;
+    prop_never_exceeds_capacity;
+    prop_resident_after_touch;
+  ]

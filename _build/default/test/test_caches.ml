@@ -1,0 +1,215 @@
+(* Flash's three application caches. *)
+
+let with_kernel f =
+  Helpers.run_sim (fun engine ->
+      let kernel = Simos.Kernel.create engine Simos.Os_profile.freebsd in
+      f kernel)
+
+let add_file kernel path size =
+  Simos.Fs.add_file (Simos.Kernel.fs kernel) ~path ~size
+
+(* ---------------- pathname cache ---------------- *)
+
+let test_pathname_basic () =
+  with_kernel (fun kernel ->
+      let c = Flash.Pathname_cache.create ~entries:10 in
+      Alcotest.(check bool) "enabled" true (Flash.Pathname_cache.enabled c);
+      let f = add_file kernel "/a.html" 100 in
+      Alcotest.(check bool) "miss" true (Flash.Pathname_cache.find c "/a.html" = None);
+      Flash.Pathname_cache.insert c "/a.html" f;
+      (match Flash.Pathname_cache.find c "/a.html" with
+      | Some g -> Alcotest.(check int) "hit" f.Simos.Fs.inode g.Simos.Fs.inode
+      | None -> Alcotest.fail "expected hit");
+      Alcotest.(check int) "hits" 1 (Flash.Pathname_cache.hits c);
+      Alcotest.(check int) "misses" 1 (Flash.Pathname_cache.misses c))
+
+let test_pathname_bounded () =
+  with_kernel (fun kernel ->
+      let c = Flash.Pathname_cache.create ~entries:5 in
+      for i = 1 to 20 do
+        let f = add_file kernel (Printf.sprintf "/f%d" i) 100 in
+        Flash.Pathname_cache.insert c f.Simos.Fs.path f
+      done;
+      Alcotest.(check int) "bounded" 5 (Flash.Pathname_cache.length c);
+      Alcotest.(check bool) "most recent kept" true
+        (Flash.Pathname_cache.find c "/f20" <> None);
+      Alcotest.(check bool) "oldest evicted" true
+        (Flash.Pathname_cache.find c "/f1" = None))
+
+let test_pathname_disabled () =
+  with_kernel (fun kernel ->
+      let c = Flash.Pathname_cache.create ~entries:0 in
+      Alcotest.(check bool) "disabled" false (Flash.Pathname_cache.enabled c);
+      let f = add_file kernel "/x" 10 in
+      Flash.Pathname_cache.insert c "/x" f;
+      Alcotest.(check bool) "never hits" true
+        (Flash.Pathname_cache.find c "/x" = None))
+
+let test_pathname_invalidate () =
+  with_kernel (fun kernel ->
+      let c = Flash.Pathname_cache.create ~entries:5 in
+      let f = add_file kernel "/inv" 10 in
+      Flash.Pathname_cache.insert c "/inv" f;
+      Flash.Pathname_cache.invalidate c "/inv";
+      Alcotest.(check bool) "gone" true (Flash.Pathname_cache.find c "/inv" = None))
+
+(* ---------------- header cache ---------------- *)
+
+let test_header_basic () =
+  with_kernel (fun kernel ->
+      let c = Flash.Header_cache.create ~enabled:true in
+      let f = add_file kernel "/h.html" 500 in
+      Alcotest.(check bool) "miss" true (Flash.Header_cache.find c f = None);
+      Flash.Header_cache.insert c f "HTTP/1.0 200 OK\r\n\r\n";
+      Alcotest.(check (option string)) "hit" (Some "HTTP/1.0 200 OK\r\n\r\n")
+        (Flash.Header_cache.find c f);
+      Alcotest.(check int) "length" 1 (Flash.Header_cache.length c))
+
+let test_header_invalidated_by_mtime () =
+  with_kernel (fun kernel ->
+      let c = Flash.Header_cache.create ~enabled:true in
+      let f = add_file kernel "/h2.html" 500 in
+      Flash.Header_cache.insert c f "old-header";
+      (* The file changes: the cached header is stale and dropped. *)
+      Simos.Fs.touch_mtime (Simos.Kernel.fs kernel) f ~now:123.;
+      Alcotest.(check bool) "stale dropped" true (Flash.Header_cache.find c f = None);
+      Alcotest.(check int) "invalidations" 1 (Flash.Header_cache.invalidations c);
+      (* Re-inserting against the new mtime works. *)
+      Flash.Header_cache.insert c f "new-header";
+      Alcotest.(check (option string)) "fresh hit" (Some "new-header")
+        (Flash.Header_cache.find c f))
+
+let test_header_disabled () =
+  with_kernel (fun kernel ->
+      let c = Flash.Header_cache.create ~enabled:false in
+      let f = add_file kernel "/h3.html" 500 in
+      Flash.Header_cache.insert c f "x";
+      Alcotest.(check bool) "never hits" true (Flash.Header_cache.find c f = None))
+
+(* ---------------- mmap cache ---------------- *)
+
+let chunk_bytes = 65536
+
+let test_mmap_reuse () =
+  with_kernel (fun kernel ->
+      let c =
+        Flash.Mmap_cache.create kernel ~chunk_bytes ~max_bytes:(10 * chunk_bytes)
+      in
+      let f = add_file kernel "/m.bin" (2 * chunk_bytes) in
+      let ch = Flash.Mmap_cache.acquire c f ~index:0 in
+      Alcotest.(check int) "one map op" 1 (Flash.Mmap_cache.map_ops c);
+      Flash.Mmap_cache.release c ch;
+      (* Released chunk lingers: the next acquire reuses the mapping. *)
+      let ch2 = Flash.Mmap_cache.acquire c f ~index:0 in
+      Alcotest.(check int) "still one map op" 1 (Flash.Mmap_cache.map_ops c);
+      Alcotest.(check int) "reuse hit" 1 (Flash.Mmap_cache.reuse_hits c);
+      Flash.Mmap_cache.release c ch2;
+      Alcotest.(check int) "no unmaps yet" 0 (Flash.Mmap_cache.unmap_ops c))
+
+let test_mmap_lazy_unmap () =
+  with_kernel (fun kernel ->
+      let c =
+        Flash.Mmap_cache.create kernel ~chunk_bytes ~max_bytes:(2 * chunk_bytes)
+      in
+      let files =
+        Array.init 4 (fun i ->
+            add_file kernel (Printf.sprintf "/mm%d.bin" i) chunk_bytes)
+      in
+      Array.iter
+        (fun f ->
+          let ch = Flash.Mmap_cache.acquire c f ~index:0 in
+          Flash.Mmap_cache.release c ch)
+        files;
+      (* Free-list capacity is 2 chunks: two oldest were lazily unmapped. *)
+      Alcotest.(check int) "unmaps" 2 (Flash.Mmap_cache.unmap_ops c);
+      Alcotest.(check int) "mapped bytes bounded" (2 * chunk_bytes)
+        (Flash.Mmap_cache.mapped_bytes c))
+
+let test_mmap_active_not_unmapped () =
+  with_kernel (fun kernel ->
+      let c =
+        Flash.Mmap_cache.create kernel ~chunk_bytes ~max_bytes:(1 * chunk_bytes)
+      in
+      let f1 = add_file kernel "/a1.bin" chunk_bytes in
+      let f2 = add_file kernel "/a2.bin" chunk_bytes in
+      let ch1 = Flash.Mmap_cache.acquire c f1 ~index:0 in
+      (* Budget exceeded but ch1 is active: must not be unmapped. *)
+      let ch2 = Flash.Mmap_cache.acquire c f2 ~index:0 in
+      Alcotest.(check int) "no unmaps of active chunks" 0
+        (Flash.Mmap_cache.unmap_ops c);
+      Flash.Mmap_cache.release c ch1;
+      Flash.Mmap_cache.release c ch2)
+
+let test_mmap_refcount_sharing () =
+  with_kernel (fun kernel ->
+      let c =
+        Flash.Mmap_cache.create kernel ~chunk_bytes ~max_bytes:(10 * chunk_bytes)
+      in
+      let f = add_file kernel "/rc.bin" chunk_bytes in
+      let a = Flash.Mmap_cache.acquire c f ~index:0 in
+      let b = Flash.Mmap_cache.acquire c f ~index:0 in
+      Alcotest.(check int) "one mapping, shared" 1 (Flash.Mmap_cache.map_ops c);
+      Flash.Mmap_cache.release c a;
+      Flash.Mmap_cache.release c b;
+      Alcotest.(check int) "no unmap while cached" 0 (Flash.Mmap_cache.unmap_ops c))
+
+let test_mmap_disabled () =
+  with_kernel (fun kernel ->
+      let c = Flash.Mmap_cache.create kernel ~chunk_bytes ~max_bytes:0 in
+      Alcotest.(check bool) "disabled" false (Flash.Mmap_cache.enabled c);
+      let f = add_file kernel "/d.bin" chunk_bytes in
+      let ch = Flash.Mmap_cache.acquire c f ~index:0 in
+      Flash.Mmap_cache.release c ch;
+      let ch2 = Flash.Mmap_cache.acquire c f ~index:0 in
+      Flash.Mmap_cache.release c ch2;
+      Alcotest.(check int) "map per acquire" 2 (Flash.Mmap_cache.map_ops c);
+      Alcotest.(check int) "unmap per release" 2 (Flash.Mmap_cache.unmap_ops c))
+
+let test_mmap_chunk_extent () =
+  with_kernel (fun kernel ->
+      let c =
+        Flash.Mmap_cache.create kernel ~chunk_bytes ~max_bytes:(10 * chunk_bytes)
+      in
+      let f = add_file kernel "/ce.bin" (chunk_bytes + 100) in
+      let off0, len0 = Flash.Mmap_cache.chunk_extent c f ~index:0 in
+      Alcotest.(check (pair int int)) "first chunk" (0, chunk_bytes) (off0, len0);
+      let off1, len1 = Flash.Mmap_cache.chunk_extent c f ~index:1 in
+      Alcotest.(check (pair int int)) "tail chunk" (chunk_bytes, 100) (off1, len1);
+      Alcotest.(check int) "index of offset" 1
+        (Flash.Mmap_cache.chunk_index c ~off:(chunk_bytes + 50));
+      match Flash.Mmap_cache.chunk_extent c f ~index:5 with
+      | _ -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ())
+
+let test_mmap_release_unheld_rejected () =
+  with_kernel (fun kernel ->
+      let c =
+        Flash.Mmap_cache.create kernel ~chunk_bytes ~max_bytes:(10 * chunk_bytes)
+      in
+      let f = add_file kernel "/ru.bin" chunk_bytes in
+      let ch = Flash.Mmap_cache.acquire c f ~index:0 in
+      Flash.Mmap_cache.release c ch;
+      match Flash.Mmap_cache.release c ch with
+      | () -> Alcotest.fail "double release accepted"
+      | exception Invalid_argument _ -> ())
+
+let suite =
+  [
+    Alcotest.test_case "pathname basic" `Quick test_pathname_basic;
+    Alcotest.test_case "pathname bounded LRU" `Quick test_pathname_bounded;
+    Alcotest.test_case "pathname disabled" `Quick test_pathname_disabled;
+    Alcotest.test_case "pathname invalidate" `Quick test_pathname_invalidate;
+    Alcotest.test_case "header basic" `Quick test_header_basic;
+    Alcotest.test_case "header mtime invalidation" `Quick
+      test_header_invalidated_by_mtime;
+    Alcotest.test_case "header disabled" `Quick test_header_disabled;
+    Alcotest.test_case "mmap reuse avoids map ops" `Quick test_mmap_reuse;
+    Alcotest.test_case "mmap lazy unmap on pressure" `Quick test_mmap_lazy_unmap;
+    Alcotest.test_case "mmap active chunks pinned" `Quick
+      test_mmap_active_not_unmapped;
+    Alcotest.test_case "mmap refcount sharing" `Quick test_mmap_refcount_sharing;
+    Alcotest.test_case "mmap disabled maps every time" `Quick test_mmap_disabled;
+    Alcotest.test_case "mmap chunk extents" `Quick test_mmap_chunk_extent;
+    Alcotest.test_case "mmap double release rejected" `Quick
+      test_mmap_release_unheld_rejected;
+  ]

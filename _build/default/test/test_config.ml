@@ -1,0 +1,89 @@
+(* Config presets and Os_profile sanity. *)
+
+let test_presets_sane () =
+  List.iter
+    (fun (c : Flash.Config.t) ->
+      if c.Flash.Config.processes < 1 then
+        Alcotest.failf "%s: processes < 1" c.Flash.Config.label;
+      if c.Flash.Config.io_chunk <= 0 then
+        Alcotest.failf "%s: io_chunk <= 0" c.Flash.Config.label;
+      if c.Flash.Config.mmap_chunk_bytes <= 0 then
+        Alcotest.failf "%s: mmap_chunk_bytes <= 0" c.Flash.Config.label)
+    Flash.Config.all_servers
+
+let test_architectures () =
+  Alcotest.(check bool) "flash is AMPED" true
+    (Flash.Config.flash.Flash.Config.arch = Flash.Config.Amped);
+  Alcotest.(check bool) "sped has no helpers" true
+    (Flash.Config.flash_sped.Flash.Config.max_helpers = 0);
+  Alcotest.(check int) "MP runs 32 processes" 32
+    Flash.Config.flash_mp.Flash.Config.processes;
+  Alcotest.(check int) "MT runs 32 threads" 32
+    Flash.Config.flash_mt.Flash.Config.processes;
+  Alcotest.(check bool) "MP private caches smaller" true
+    (Flash.Config.flash_mp.Flash.Config.mmap_cache_bytes
+    < Flash.Config.flash.Flash.Config.mmap_cache_bytes)
+
+let test_apache_model () =
+  let a = Flash.Config.apache in
+  Alcotest.(check bool) "MP architecture" true (a.Flash.Config.arch = Flash.Config.Mp);
+  Alcotest.(check int) "no pathname cache" 0 a.Flash.Config.pathname_cache_entries;
+  Alcotest.(check bool) "no header cache" false a.Flash.Config.header_cache;
+  Alcotest.(check int) "no mmap cache" 0 a.Flash.Config.mmap_cache_bytes;
+  Alcotest.(check bool) "unaligned headers" false a.Flash.Config.align_headers;
+  Alcotest.(check bool) "double-buffered IO" true a.Flash.Config.double_buffered_io
+
+let test_zeus_model () =
+  let z = Flash.Config.zeus ~processes:2 in
+  Alcotest.(check bool) "SPED architecture" true (z.Flash.Config.arch = Flash.Config.Sped);
+  Alcotest.(check int) "two processes" 2 z.Flash.Config.processes;
+  Alcotest.(check bool) "unaligned headers" false z.Flash.Config.align_headers;
+  Alcotest.(check bool) "small-request priority" true
+    z.Flash.Config.small_request_priority;
+  (* Zeus keeps the caches — its gap is not about optimizations. *)
+  Alcotest.(check bool) "caches on" true (z.Flash.Config.pathname_cache_entries > 0)
+
+let test_with_caches () =
+  let c =
+    Flash.Config.with_caches Flash.Config.flash ~pathname:false ~mmap:true
+      ~header:false
+  in
+  Alcotest.(check int) "pathname off" 0 c.Flash.Config.pathname_cache_entries;
+  Alcotest.(check bool) "mmap on" true (c.Flash.Config.mmap_cache_bytes > 0);
+  Alcotest.(check bool) "header off" false c.Flash.Config.header_cache
+
+let test_scale_cpu () =
+  let p = Simos.Os_profile.freebsd in
+  let scaled = Simos.Os_profile.scale_cpu p 2.0 in
+  Helpers.check_float ~msg:"syscall doubled"
+    (2. *. p.Simos.Os_profile.syscall)
+    scaled.Simos.Os_profile.syscall;
+  Helpers.check_float ~msg:"write_byte doubled"
+    (2. *. p.Simos.Os_profile.write_byte)
+    scaled.Simos.Os_profile.write_byte;
+  (* Machine parameters are not CPU costs and must not scale. *)
+  Alcotest.(check int) "ram unchanged" p.Simos.Os_profile.ram_bytes
+    scaled.Simos.Os_profile.ram_bytes;
+  Helpers.check_float ~msg:"nic unchanged" p.Simos.Os_profile.nic_bandwidth
+    scaled.Simos.Os_profile.nic_bandwidth
+
+let test_profiles_ordered () =
+  let f = Simos.Os_profile.freebsd and s = Simos.Os_profile.solaris in
+  Alcotest.(check bool) "solaris syscalls dearer" true
+    (s.Simos.Os_profile.syscall > f.Simos.Os_profile.syscall);
+  Alcotest.(check bool) "solaris data path dearer" true
+    (s.Simos.Os_profile.write_byte > f.Simos.Os_profile.write_byte);
+  Alcotest.(check bool) "alignment anomaly FreeBSD-only" true
+    (f.Simos.Os_profile.misalign_byte > 0.
+    && s.Simos.Os_profile.misalign_byte = 0.)
+
+let suite =
+  [
+    Alcotest.test_case "presets sane" `Quick test_presets_sane;
+    Alcotest.test_case "architecture presets" `Quick test_architectures;
+    Alcotest.test_case "Apache model shape" `Quick test_apache_model;
+    Alcotest.test_case "Zeus model shape" `Quick test_zeus_model;
+    Alcotest.test_case "with_caches" `Quick test_with_caches;
+    Alcotest.test_case "scale_cpu" `Quick test_scale_cpu;
+    Alcotest.test_case "OS profiles ordered" `Quick test_profiles_ordered;
+  ]

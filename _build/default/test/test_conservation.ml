@@ -1,0 +1,171 @@
+(* Cross-module conservation invariants: bytes and events must balance
+   through the network and disk models. *)
+
+let test_net_bytes_conserved () =
+  (* Everything accepted by server_send is eventually delivered once the
+     buffers drain. *)
+  let engine = Sim.Engine.create ~seed:2 () in
+  let net =
+    Simos.Net.create engine ~nic_bandwidth:5e6 ~sndbuf:65536 ~drain_chunk:8192
+  in
+  let accepted_total = ref 0 in
+  for i = 1 to 10 do
+    ignore
+      (Sim.Proc.spawn engine ~name:(Printf.sprintf "pair%d" i) (fun () ->
+           let c = Simos.Net.connect net ~link_rate:1e6 ~rtt:0.001 in
+           (* Server side, driven from the same proc for simplicity. *)
+           let to_send = 10_000 * i in
+           let rec push remaining =
+             if remaining > 0 then begin
+               let sent = Simos.Net.server_send c ~len:remaining in
+               if sent = 0 then Simos.Pollable.wait_ready (Simos.Net.writable c);
+               accepted_total := !accepted_total + sent;
+               push (remaining - sent)
+             end
+           in
+           push to_send;
+           Simos.Net.server_close c;
+           Simos.Net.client_await_close c))
+  done;
+  ignore (Sim.Engine.run engine);
+  Alcotest.(check int) "delivered = accepted" !accepted_total
+    (Simos.Net.delivered_bytes net);
+  Alcotest.(check int) "expected total" 550_000 (Simos.Net.delivered_bytes net);
+  Alcotest.(check int) "no drains left" 0 (Simos.Net.active_drains net)
+
+let test_server_bytes_match_responses () =
+  (* Over a full request/response exchange, delivered bytes must equal
+     header + body for each completed response. *)
+  let engine = Sim.Engine.create ~seed:3 () in
+  let kernel = Simos.Kernel.create engine Simos.Os_profile.freebsd in
+  let sizes = [ 1_000; 25_000; 100_000 ] in
+  List.iteri
+    (fun i size ->
+      ignore
+        (Simos.Fs.add_file (Simos.Kernel.fs kernel)
+           ~path:(Printf.sprintf "/c%d.bin" i)
+           ~size))
+    sizes;
+  let server = Flash.Server.start kernel Flash.Config.flash in
+  let net = Simos.Kernel.net kernel in
+  ignore
+    (Sim.Proc.spawn engine ~name:"client" (fun () ->
+         List.iteri
+           (fun i _ ->
+             let c = Simos.Net.connect net ~link_rate:12.5e6 ~rtt:0.0003 in
+             Simos.Net.client_send c
+               (Printf.sprintf "GET /c%d.bin HTTP/1.0\r\n\r\n" i);
+             (match Simos.Net.client_await_response c with _ -> ());
+             Simos.Net.client_close c)
+           sizes));
+  ignore (Sim.Engine.run ~until:30. engine);
+  Alcotest.(check int) "all served" 3 (Flash.Server.completed server);
+  let delivered = Simos.Net.delivered_bytes net in
+  let body_total = List.fold_left ( + ) 0 sizes in
+  (* Headers are aligned to 32 bytes and bounded; three headers amount to
+     between 96 and 1536 bytes. *)
+  let header_total = delivered - body_total in
+  Alcotest.(check bool)
+    (Printf.sprintf "plausible header bytes (%d)" header_total)
+    true
+    (header_total >= 96 && header_total <= 1536 && header_total mod 32 = 0)
+
+let test_disk_reads_bound_misses () =
+  (* Every buffer-cache data miss is backed by at least one disk block;
+     clustering means reads <= misses. *)
+  let engine = Sim.Engine.create ~seed:4 () in
+  let kernel = Simos.Kernel.create engine Simos.Os_profile.freebsd in
+  let fs = Simos.Kernel.fs kernel in
+  let files =
+    List.init 10 (fun i ->
+        Simos.Fs.add_file fs ~path:(Printf.sprintf "/d%d.bin" i) ~size:80_000)
+  in
+  ignore
+    (Sim.Proc.spawn engine ~name:"reader" (fun () ->
+         List.iter
+           (fun f -> Simos.Fs.page_in fs f ~off:0 ~len:f.Simos.Fs.size)
+           files));
+  ignore (Sim.Engine.run engine);
+  let cache = Simos.Kernel.cache kernel in
+  let disk = Simos.Kernel.disk kernel in
+  Alcotest.(check bool) "reads <= misses (clustering)" true
+    (Simos.Disk.completed disk <= Simos.Buffer_cache.misses cache);
+  Alcotest.(check bool) "at least one read per file" true
+    (Simos.Disk.completed disk >= 10);
+  (* All pages now resident: re-reading costs no disk ops. *)
+  let before = Simos.Disk.completed disk in
+  ignore
+    (Sim.Proc.spawn engine ~name:"rereader" (fun () ->
+         List.iter
+           (fun f -> Simos.Fs.page_in fs f ~off:0 ~len:f.Simos.Fs.size)
+           files));
+  ignore (Sim.Engine.run engine);
+  Alcotest.(check int) "no disk on hot re-read" before (Simos.Disk.completed disk)
+
+let test_completed_equals_client_oks () =
+  (* The server's completion counter and the clients' `Ok observations
+     must agree exactly. *)
+  let engine = Sim.Engine.create ~seed:5 () in
+  let kernel = Simos.Kernel.create engine Simos.Os_profile.freebsd in
+  ignore (Simos.Fs.add_file (Simos.Kernel.fs kernel) ~path:"/x.html" ~size:3000);
+  let server = Flash.Server.start kernel Flash.Config.flash_mp in
+  let net = Simos.Kernel.net kernel in
+  let oks = ref 0 in
+  for i = 1 to 12 do
+    ignore
+      (Sim.Proc.spawn engine ~name:(Printf.sprintf "c%d" i) (fun () ->
+           for _ = 1 to 5 do
+             let c = Simos.Net.connect net ~link_rate:12.5e6 ~rtt:0.0003 in
+             Simos.Net.client_send c "GET /x.html HTTP/1.0\r\n\r\n";
+             (match Simos.Net.client_await_response c with
+             | `Ok -> incr oks
+             | `Closed -> ());
+             Simos.Net.client_close c
+           done));
+  done;
+  ignore (Sim.Engine.run ~until:30. engine);
+  Alcotest.(check int) "client oks" 60 !oks;
+  Alcotest.(check int) "server completions" 60 (Flash.Server.completed server)
+
+let prop_net_conservation =
+  Helpers.qcheck_case ~count:50 ~name:"random send patterns conserve bytes"
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 8) (int_range 1 50_000))
+    (fun payloads ->
+      let engine = Sim.Engine.create ~seed:6 () in
+      let net =
+        Simos.Net.create engine ~nic_bandwidth:5e6 ~sndbuf:65536
+          ~drain_chunk:8192
+      in
+      let accepted = ref 0 in
+      List.iteri
+        (fun i len ->
+          ignore
+            (Sim.Proc.spawn engine ~name:(Printf.sprintf "p%d" i) (fun () ->
+                 let c = Simos.Net.connect net ~link_rate:2e6 ~rtt:0.0005 in
+                 let rec push remaining =
+                   if remaining > 0 then begin
+                     let sent = Simos.Net.server_send c ~len:remaining in
+                     if sent = 0 then
+                       Simos.Pollable.wait_ready (Simos.Net.writable c);
+                     accepted := !accepted + sent;
+                     push (remaining - sent)
+                   end
+                 in
+                 push len;
+                 Simos.Net.server_close c;
+                 Simos.Net.client_await_close c)))
+        payloads;
+      ignore (Sim.Engine.run engine);
+      Simos.Net.delivered_bytes net = !accepted
+      && !accepted = List.fold_left ( + ) 0 payloads)
+
+let suite =
+  [
+    Alcotest.test_case "net bytes conserved" `Quick test_net_bytes_conserved;
+    Alcotest.test_case "server bytes = headers + bodies" `Quick
+      test_server_bytes_match_responses;
+    Alcotest.test_case "disk reads bound misses" `Quick test_disk_reads_bound_misses;
+    Alcotest.test_case "completions = client oks" `Quick
+      test_completed_equals_client_oks;
+    prop_net_conservation;
+  ]

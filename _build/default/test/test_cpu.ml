@@ -1,0 +1,120 @@
+let test_consume_advances_clock () =
+  let t =
+    Helpers.run_sim (fun engine ->
+        let cpu = Sim.Cpu.create engine ~ctx_switch_cost:0. in
+        Sim.Cpu.consume cpu 0.25;
+        Sim.Engine.now engine)
+  in
+  Helpers.check_float ~msg:"time" 0.25 t
+
+let test_serialization () =
+  (* Two processes each needing 1s of CPU: total elapsed must be 2s. *)
+  let engine = Sim.Engine.create () in
+  let cpu = Sim.Cpu.create engine ~ctx_switch_cost:0. in
+  let done_at = ref [] in
+  for i = 1 to 2 do
+    ignore
+      (Sim.Proc.spawn engine ~name:(string_of_int i) (fun () ->
+           Sim.Cpu.consume cpu 1.;
+           done_at := Sim.Engine.now engine :: !done_at))
+  done;
+  ignore (Sim.Engine.run engine);
+  match List.sort Float.compare !done_at with
+  | [ a; b ] ->
+      Helpers.check_float ~msg:"first finishes at 1s" 1. a;
+      Helpers.check_float ~msg:"second finishes at 2s" 2. b
+  | _ -> Alcotest.fail "expected two completions"
+
+let test_switch_cost_charged () =
+  let engine = Sim.Engine.create () in
+  let cpu = Sim.Cpu.create engine ~ctx_switch_cost:0.5 in
+  let finish = ref 0. in
+  ignore
+    (Sim.Proc.spawn engine ~name:"a" (fun () -> Sim.Cpu.consume cpu 1.));
+  ignore
+    (Sim.Proc.spawn engine ~name:"b" (fun () ->
+         Sim.Cpu.consume cpu 1.;
+         finish := Sim.Engine.now engine));
+  ignore (Sim.Engine.run engine);
+  (* a runs 1s (no switch from idle), b pays 0.5 switch + 1s. *)
+  Helpers.check_float ~msg:"finish time includes switch" 2.5 !finish;
+  Alcotest.(check int) "one switch" 1 (Sim.Cpu.switches cpu);
+  Helpers.check_float ~msg:"busy time" 2.5 (Sim.Cpu.busy_time cpu)
+
+let test_no_switch_same_process () =
+  let engine = Sim.Engine.create () in
+  let cpu = Sim.Cpu.create engine ~ctx_switch_cost:0.5 in
+  ignore
+    (Sim.Proc.spawn engine ~name:"a" (fun () ->
+         for _ = 1 to 10 do
+           Sim.Cpu.consume cpu 0.1
+         done));
+  ignore (Sim.Engine.run engine);
+  Alcotest.(check int) "no switches" 0 (Sim.Cpu.switches cpu);
+  Helpers.check_float ~msg:"busy" 1.0 (Sim.Cpu.busy_time cpu)
+
+let test_run_to_block () =
+  (* A process that keeps consuming without blocking retains the CPU even
+     while another has queued work; the other runs when the first blocks. *)
+  let engine = Sim.Engine.create () in
+  let cpu = Sim.Cpu.create engine ~ctx_switch_cost:0.01 in
+  let log = ref [] in
+  ignore
+    (Sim.Proc.spawn engine ~name:"hog" (fun () ->
+         for i = 1 to 3 do
+           Sim.Cpu.consume cpu 0.1;
+           log := Printf.sprintf "hog%d" i :: !log
+         done;
+         Sim.Proc.delay 1.;
+         Sim.Cpu.consume cpu 0.1;
+         log := "hog-after-block" :: !log));
+  ignore
+    (Sim.Proc.spawn engine ~name:"other" (fun () ->
+         Sim.Cpu.consume cpu 0.1;
+         log := "other" :: !log));
+  ignore (Sim.Engine.run engine);
+  Alcotest.(check (list string))
+    "hog runs to block, then other"
+    [ "hog1"; "hog2"; "hog3"; "other"; "hog-after-block" ]
+    (List.rev !log);
+  Alcotest.(check int) "two switches (to other and back)" 2
+    (Sim.Cpu.switches cpu)
+
+let test_negative_rejected () =
+  Helpers.run_sim (fun engine ->
+      let cpu = Sim.Cpu.create engine ~ctx_switch_cost:0. in
+      match Sim.Cpu.consume cpu (-0.1) with
+      | () -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ())
+
+let test_utilization () =
+  let engine = Sim.Engine.create () in
+  let cpu = Sim.Cpu.create engine ~ctx_switch_cost:0. in
+  ignore
+    (Sim.Proc.spawn engine ~name:"a" (fun () ->
+         Sim.Cpu.consume cpu 1.;
+         Sim.Proc.delay 3.));
+  ignore (Sim.Engine.run engine);
+  Helpers.check_float ~msg:"25% busy" 0.25 (Sim.Cpu.utilization cpu ~elapsed:4.)
+
+let test_zero_consume () =
+  let t =
+    Helpers.run_sim (fun engine ->
+        let cpu = Sim.Cpu.create engine ~ctx_switch_cost:0. in
+        Sim.Cpu.consume cpu 0.;
+        Sim.Engine.now engine)
+  in
+  Helpers.check_float ~msg:"no time" 0. t
+
+let suite =
+  [
+    Alcotest.test_case "consume advances clock" `Quick test_consume_advances_clock;
+    Alcotest.test_case "FIFO serialization" `Quick test_serialization;
+    Alcotest.test_case "switch cost charged" `Quick test_switch_cost_charged;
+    Alcotest.test_case "same process never switches" `Quick
+      test_no_switch_same_process;
+    Alcotest.test_case "run-to-block scheduling" `Quick test_run_to_block;
+    Alcotest.test_case "negative consume rejected" `Quick test_negative_rejected;
+    Alcotest.test_case "utilization" `Quick test_utilization;
+    Alcotest.test_case "zero-cost consume" `Quick test_zero_consume;
+  ]

@@ -1,0 +1,132 @@
+let params = Simos.Disk.default_params
+
+let test_single_read_timing () =
+  let elapsed =
+    Helpers.run_sim (fun engine ->
+        let disk = Simos.Disk.create engine params in
+        Simos.Disk.read disk ~start_block:0 ~nblocks:1;
+        Sim.Engine.now engine)
+  in
+  (* head starts at 0: no seek, just overhead + rotation + transfer *)
+  let expected =
+    params.Simos.Disk.per_request +. params.Simos.Disk.rotational
+    +. (float_of_int params.Simos.Disk.block_size
+       /. params.Simos.Disk.transfer_rate)
+  in
+  Helpers.check_float ~msg:"service time" ~eps:1e-9 expected elapsed
+
+let test_seek_increases_time () =
+  let time_for start_block =
+    Helpers.run_sim (fun engine ->
+        let disk = Simos.Disk.create engine params in
+        Simos.Disk.read disk ~start_block ~nblocks:1;
+        Sim.Engine.now engine)
+  in
+  Alcotest.(check bool) "far seek slower" true (time_for 500_000 > time_for 0)
+
+let test_transfer_scales_with_size () =
+  let time_for nblocks =
+    Helpers.run_sim (fun engine ->
+        let disk = Simos.Disk.create engine params in
+        Simos.Disk.read disk ~start_block:0 ~nblocks;
+        Sim.Engine.now engine)
+  in
+  let t1 = time_for 1 and t8 = time_for 8 in
+  let delta = t8 -. t1 in
+  let expected =
+    float_of_int (7 * params.Simos.Disk.block_size)
+    /. params.Simos.Disk.transfer_rate
+  in
+  Helpers.check_float ~msg:"transfer delta" ~eps:1e-9 expected delta
+
+let test_clook_ordering () =
+  (* Three concurrent requests issued far/near/mid while the disk is busy:
+     they must be served in ascending block order (C-LOOK), not FIFO. *)
+  let engine = Sim.Engine.create () in
+  let disk = Simos.Disk.create engine params in
+  let order = ref [] in
+  ignore
+    (Sim.Proc.spawn engine ~name:"opener" (fun () ->
+         Simos.Disk.read disk ~start_block:10 ~nblocks:1));
+  let reader tag block =
+    ignore
+      (Sim.Proc.spawn engine ~name:tag (fun () ->
+           (* Give the opener time to start service. *)
+           Sim.Proc.delay 0.0001;
+           Simos.Disk.read disk ~start_block:block ~nblocks:1;
+           order := tag :: !order))
+  in
+  reader "far" 900_000;
+  reader "near" 50;
+  reader "mid" 400_000;
+  ignore (Sim.Engine.run engine);
+  Alcotest.(check (list string)) "ascending block order" [ "near"; "mid"; "far" ]
+    (List.rev !order)
+
+let test_clook_wraps () =
+  (* After serving high blocks, a request below the head is still served. *)
+  Helpers.run_sim (fun engine ->
+      let disk = Simos.Disk.create engine params in
+      Simos.Disk.read disk ~start_block:900_000 ~nblocks:1;
+      Simos.Disk.read disk ~start_block:10 ~nblocks:1;
+      Alcotest.(check int) "both completed" 2 (Simos.Disk.completed disk))
+
+let test_elevator_beats_fifo_seeks () =
+  (* A queued batch served C-LOOK must accumulate less seek time than the
+     same requests served one at a time in an adversarial order. *)
+  let blocks = [ 100_000; 800_000; 200_000; 700_000; 300_000; 600_000 ] in
+  let batched =
+    let engine = Sim.Engine.create () in
+    let disk = Simos.Disk.create engine params in
+    List.iter
+      (fun b ->
+        ignore
+          (Sim.Proc.spawn engine ~name:"r" (fun () ->
+               Simos.Disk.read disk ~start_block:b ~nblocks:1)))
+      blocks;
+    ignore (Sim.Engine.run engine);
+    Simos.Disk.seek_time disk
+  in
+  let serial =
+    let engine = Sim.Engine.create () in
+    let disk = Simos.Disk.create engine params in
+    ignore
+      (Sim.Proc.spawn engine ~name:"r" (fun () ->
+           List.iter (fun b -> Simos.Disk.read disk ~start_block:b ~nblocks:1) blocks));
+    ignore (Sim.Engine.run engine);
+    Simos.Disk.seek_time disk
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "batched %.4f < serial %.4f" batched serial)
+    true (batched < serial)
+
+let test_invalid_reads () =
+  Helpers.run_sim (fun engine ->
+      let disk = Simos.Disk.create engine params in
+      (match Simos.Disk.read disk ~start_block:0 ~nblocks:0 with
+      | () -> Alcotest.fail "nblocks 0 accepted"
+      | exception Invalid_argument _ -> ());
+      match Simos.Disk.read disk ~start_block:(params.Simos.Disk.total_blocks) ~nblocks:1 with
+      | () -> Alcotest.fail "out of range accepted"
+      | exception Invalid_argument _ -> ())
+
+let test_busy_accounting () =
+  Helpers.run_sim (fun engine ->
+      let disk = Simos.Disk.create engine params in
+      Simos.Disk.read disk ~start_block:0 ~nblocks:4;
+      Helpers.check_float ~msg:"busy = elapsed" (Sim.Engine.now engine)
+        (Simos.Disk.busy_time disk))
+
+let suite =
+  [
+    Alcotest.test_case "single read timing" `Quick test_single_read_timing;
+    Alcotest.test_case "seek increases time" `Quick test_seek_increases_time;
+    Alcotest.test_case "transfer scales with size" `Quick
+      test_transfer_scales_with_size;
+    Alcotest.test_case "C-LOOK ordering" `Quick test_clook_ordering;
+    Alcotest.test_case "C-LOOK wraps" `Quick test_clook_wraps;
+    Alcotest.test_case "elevator beats serial seeks" `Quick
+      test_elevator_beats_fifo_seeks;
+    Alcotest.test_case "invalid reads rejected" `Quick test_invalid_reads;
+    Alcotest.test_case "busy time accounting" `Quick test_busy_accounting;
+  ]

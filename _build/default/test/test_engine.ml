@@ -1,0 +1,112 @@
+let test_schedule_order () =
+  let engine = Sim.Engine.create () in
+  let log = ref [] in
+  Sim.Engine.schedule engine ~delay:2. (fun () -> log := 2 :: !log);
+  Sim.Engine.schedule engine ~delay:1. (fun () -> log := 1 :: !log);
+  Sim.Engine.schedule engine ~delay:3. (fun () -> log := 3 :: !log);
+  ignore (Sim.Engine.run engine);
+  Alcotest.(check (list int)) "fires by time" [ 1; 2; 3 ] (List.rev !log)
+
+let test_same_time_fifo () =
+  let engine = Sim.Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Sim.Engine.schedule engine ~delay:1. (fun () -> log := i :: !log)
+  done;
+  ignore (Sim.Engine.run engine);
+  Alcotest.(check (list int)) "insertion order at equal time" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_clock_advances () =
+  let engine = Sim.Engine.create () in
+  let seen = ref [] in
+  Sim.Engine.schedule engine ~delay:0.5 (fun () ->
+      seen := Sim.Engine.now engine :: !seen;
+      Sim.Engine.schedule engine ~delay:0.25 (fun () ->
+          seen := Sim.Engine.now engine :: !seen));
+  ignore (Sim.Engine.run engine);
+  match List.rev !seen with
+  | [ a; b ] ->
+      Helpers.check_float ~msg:"first" 0.5 a;
+      Helpers.check_float ~msg:"second" 0.75 b
+  | _ -> Alcotest.fail "expected two events"
+
+let test_negative_delay_rejected () =
+  let engine = Sim.Engine.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: negative delay") (fun () ->
+      Sim.Engine.schedule engine ~delay:(-1.) ignore)
+
+let test_until_stops () =
+  let engine = Sim.Engine.create () in
+  let fired = ref 0 in
+  for i = 1 to 10 do
+    Sim.Engine.schedule engine ~delay:(float_of_int i) (fun () -> incr fired)
+  done;
+  let n = Sim.Engine.run ~until:5.5 engine in
+  Alcotest.(check int) "events before limit" 5 n;
+  Alcotest.(check int) "fired" 5 !fired;
+  Helpers.check_float ~msg:"clock at limit" 5.5 (Sim.Engine.now engine);
+  let n2 = Sim.Engine.run engine in
+  Alcotest.(check int) "remaining events" 5 n2;
+  Alcotest.(check int) "all fired" 10 !fired
+
+let test_until_advances_clock_when_empty () =
+  let engine = Sim.Engine.create () in
+  ignore (Sim.Engine.run ~until:3. engine);
+  Helpers.check_float ~msg:"clock" 3. (Sim.Engine.now engine)
+
+let test_cancel () =
+  let engine = Sim.Engine.create () in
+  let fired = ref false in
+  let ev = Sim.Engine.schedule_cancellable engine ~delay:1. (fun () -> fired := true) in
+  Sim.Engine.cancel ev;
+  ignore (Sim.Engine.run engine);
+  Alcotest.(check bool) "cancelled event did not fire" false !fired
+
+let test_cancel_after_fire_is_noop () =
+  let engine = Sim.Engine.create () in
+  let fired = ref 0 in
+  let ev = Sim.Engine.schedule_cancellable engine (fun () -> incr fired) in
+  ignore (Sim.Engine.run engine);
+  Sim.Engine.cancel ev;
+  Alcotest.(check int) "fired once" 1 !fired
+
+let test_pending () =
+  let engine = Sim.Engine.create () in
+  Sim.Engine.schedule engine ~delay:1. ignore;
+  Sim.Engine.schedule engine ~delay:2. ignore;
+  Alcotest.(check int) "pending" 2 (Sim.Engine.pending engine)
+
+let test_determinism_across_runs () =
+  let trace seed =
+    let engine = Sim.Engine.create ~seed () in
+    let log = ref [] in
+    let rec chain n delay =
+      if n > 0 then
+        Sim.Engine.schedule engine ~delay (fun () ->
+            log := (n, Sim.Engine.now engine) :: !log;
+            chain (n - 1) (Sim.Rng.float (Sim.Engine.rng engine)))
+    in
+    chain 20 0.1;
+    ignore (Sim.Engine.run engine);
+    !log
+  in
+  Alcotest.(check bool) "identical traces" true (trace 42 = trace 42)
+
+let suite =
+  [
+    Alcotest.test_case "fires in time order" `Quick test_schedule_order;
+    Alcotest.test_case "FIFO at equal time" `Quick test_same_time_fifo;
+    Alcotest.test_case "clock advances to event time" `Quick test_clock_advances;
+    Alcotest.test_case "negative delay rejected" `Quick test_negative_delay_rejected;
+    Alcotest.test_case "run ~until stops and resumes" `Quick test_until_stops;
+    Alcotest.test_case "run ~until advances idle clock" `Quick
+      test_until_advances_clock_when_empty;
+    Alcotest.test_case "cancel prevents firing" `Quick test_cancel;
+    Alcotest.test_case "cancel after fire is no-op" `Quick
+      test_cancel_after_fire_is_noop;
+    Alcotest.test_case "pending count" `Quick test_pending;
+    Alcotest.test_case "deterministic under a seed" `Quick
+      test_determinism_across_runs;
+  ]

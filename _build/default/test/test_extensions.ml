@@ -1,0 +1,298 @@
+(* Tests for the paper's §5.6 (dynamic content) and §5.7 (residency
+   heuristic) features, plus the scheduler/ref-bit details they rely on. *)
+
+(* ---------------- Residency predictor (§5.7) ---------------- *)
+
+let make_file kernel path size =
+  Simos.Fs.add_file (Simos.Kernel.fs kernel) ~path ~size
+
+let test_residency_basic () =
+  Helpers.run_sim (fun engine ->
+      let kernel = Simos.Kernel.create engine Simos.Os_profile.freebsd in
+      let p =
+        Flash.Residency.create ~initial_bytes:(1 lsl 20) ~min_bytes:65536
+          ~max_bytes:(1 lsl 22)
+      in
+      let f = make_file kernel "/r.bin" 200_000 in
+      Alcotest.(check bool) "unknown range not believed" false
+        (Flash.Residency.predict_resident p f ~off:0 ~len:65536);
+      Flash.Residency.note_access p f ~off:0 ~len:65536;
+      Alcotest.(check bool) "accessed range believed" true
+        (Flash.Residency.predict_resident p f ~off:0 ~len:65536);
+      Alcotest.(check bool) "other range still unknown" false
+        (Flash.Residency.predict_resident p f ~off:130_000 ~len:65536))
+
+let test_residency_fault_shrinks () =
+  Helpers.run_sim (fun engine ->
+      let kernel = Simos.Kernel.create engine Simos.Os_profile.freebsd in
+      let p =
+        Flash.Residency.create ~initial_bytes:(1 lsl 20) ~min_bytes:65536
+          ~max_bytes:(1 lsl 22)
+      in
+      let f = make_file kernel "/s.bin" 200_000 in
+      Flash.Residency.note_access p f ~off:0 ~len:65536;
+      let before = Flash.Residency.assumed_bytes p in
+      Flash.Residency.note_fault p f ~off:0 ~len:65536;
+      Alcotest.(check bool) "assumed size shrank" true
+        (Flash.Residency.assumed_bytes p < before);
+      Alcotest.(check bool) "faulted range forgotten" false
+        (Flash.Residency.predict_resident p f ~off:0 ~len:65536);
+      Alcotest.(check int) "fault counted" 1 (Flash.Residency.faults p))
+
+let test_residency_correct_grows () =
+  Helpers.run_sim (fun _ ->
+      let p =
+        Flash.Residency.create ~initial_bytes:(1 lsl 20) ~min_bytes:65536
+          ~max_bytes:(1 lsl 22)
+      in
+      let before = Flash.Residency.assumed_bytes p in
+      Flash.Residency.note_correct p;
+      Alcotest.(check bool) "assumed size grew" true
+        (Flash.Residency.assumed_bytes p > before))
+
+let test_residency_bounds () =
+  Helpers.run_sim (fun engine ->
+      let kernel = Simos.Kernel.create engine Simos.Os_profile.freebsd in
+      let min_bytes = 65536 in
+      let p =
+        Flash.Residency.create ~initial_bytes:131072 ~min_bytes
+          ~max_bytes:262144
+      in
+      let f = make_file kernel "/b.bin" 65536 in
+      for _ = 1 to 50 do
+        Flash.Residency.note_access p f ~off:0 ~len:65536;
+        Flash.Residency.note_fault p f ~off:0 ~len:65536
+      done;
+      Alcotest.(check int) "floor respected" min_bytes
+        (Flash.Residency.assumed_bytes p);
+      for _ = 1 to 100 do
+        Flash.Residency.note_correct p
+      done;
+      Alcotest.(check bool) "ceiling respected" true
+        (Flash.Residency.assumed_bytes p <= 262144))
+
+let test_residency_lru_forgetting () =
+  Helpers.run_sim (fun engine ->
+      let kernel = Simos.Kernel.create engine Simos.Os_profile.freebsd in
+      (* Capacity for two 64 KB slots only. *)
+      let p =
+        Flash.Residency.create ~initial_bytes:131072 ~min_bytes:65536
+          ~max_bytes:131072
+      in
+      let a = make_file kernel "/a.bin" 65536 in
+      let b = make_file kernel "/bb.bin" 65536 in
+      let c = make_file kernel "/cc.bin" 65536 in
+      Flash.Residency.note_access p a ~off:0 ~len:65536;
+      Flash.Residency.note_access p b ~off:0 ~len:65536;
+      Flash.Residency.note_access p c ~off:0 ~len:65536;
+      Alcotest.(check bool) "oldest belief evicted" false
+        (Flash.Residency.predict_resident p a ~off:0 ~len:65536);
+      Alcotest.(check bool) "newest belief kept" true
+        (Flash.Residency.predict_resident p c ~off:0 ~len:65536))
+
+(* Flash-H end-to-end: serves correctly, never spawns helpers for data
+   it believes resident, and still works when beliefs are wrong. *)
+let test_flash_heuristic_serves () =
+  let engine = Sim.Engine.create ~seed:11 () in
+  let kernel = Simos.Kernel.create engine Simos.Os_profile.freebsd in
+  let files =
+    List.init 20 (fun i ->
+        Simos.Fs.add_file (Simos.Kernel.fs kernel)
+          ~path:(Printf.sprintf "/h/f%d.bin" i)
+          ~size:100_000)
+  in
+  ignore files;
+  let server = Flash.Server.start kernel Flash.Config.flash_heuristic in
+  let net = Simos.Kernel.net kernel in
+  let done_count = ref 0 in
+  for i = 0 to 19 do
+    ignore
+      (Sim.Proc.spawn engine ~name:(Printf.sprintf "cl%d" i) (fun () ->
+           let c = Simos.Net.connect net ~link_rate:12.5e6 ~rtt:0.0003 in
+           Simos.Net.client_send c
+             (Printf.sprintf "GET /h/f%d.bin HTTP/1.0\r\n\r\n" i);
+           (match Simos.Net.client_await_response c with
+           | `Ok -> incr done_count
+           | `Closed -> ());
+           Simos.Net.client_close c))
+  done;
+  ignore (Sim.Engine.run ~until:20. engine);
+  Alcotest.(check int) "all served" 20 !done_count;
+  Alcotest.(check int) "no errors" 0 (Flash.Server.errors server)
+
+(* ---------------- CGI (§5.6) ---------------- *)
+
+let cgi_config = { Flash.Config.cgi_cpu = 1e-3; cgi_think = 5e-3; cgi_bytes = 2048 }
+
+let run_cgi_request config =
+  let engine = Sim.Engine.create ~seed:3 () in
+  let kernel = Simos.Kernel.create engine Simos.Os_profile.freebsd in
+  let config = { config with Flash.Config.cgi = Some cgi_config } in
+  let server = Flash.Server.start kernel config in
+  let net = Simos.Kernel.net kernel in
+  let outcome = ref None in
+  let bytes = ref 0 in
+  ignore
+    (Sim.Proc.spawn engine ~name:"client" (fun () ->
+         let c = Simos.Net.connect net ~link_rate:12.5e6 ~rtt:0.0003 in
+         Simos.Net.client_send c "GET /cgi-bin/report?x=1 HTTP/1.0\r\n\r\n";
+         outcome := Some (Simos.Net.client_await_response c);
+         bytes := Simos.Net.delivered_bytes net;
+         Simos.Net.client_close c));
+  ignore (Sim.Engine.run ~until:5. engine);
+  (server, !outcome, !bytes)
+
+let test_cgi_served_by_arch config () =
+  let server, outcome, bytes = run_cgi_request config in
+  Alcotest.(check bool) "response completed" true (outcome = Some `Ok);
+  Alcotest.(check bool)
+    (Printf.sprintf "body at least cgi_bytes (%d)" bytes)
+    true
+    (bytes >= cgi_config.Flash.Config.cgi_bytes);
+  Alcotest.(check int) "no errors" 0 (Flash.Server.errors server);
+  Alcotest.(check int) "completed" 1 (Flash.Server.completed server)
+
+let test_cgi_disabled_forbidden () =
+  let engine = Sim.Engine.create ~seed:3 () in
+  let kernel = Simos.Kernel.create engine Simos.Os_profile.freebsd in
+  let config = { Flash.Config.flash with Flash.Config.cgi = None } in
+  let server = Flash.Server.start kernel config in
+  let net = Simos.Kernel.net kernel in
+  let outcome = ref None in
+  ignore
+    (Sim.Proc.spawn engine ~name:"client" (fun () ->
+         let c = Simos.Net.connect net ~link_rate:12.5e6 ~rtt:0.0003 in
+         Simos.Net.client_send c "GET /cgi-bin/x HTTP/1.0\r\n\r\n";
+         outcome := Some (Simos.Net.client_await_response c);
+         Simos.Net.client_close c));
+  ignore (Sim.Engine.run ~until:5. engine);
+  Alcotest.(check bool) "got a response" true (!outcome = Some `Ok);
+  Alcotest.(check int) "403 counted" 1 (Flash.Server.errors server)
+
+(* The AMPED loop must keep serving static content while a CGI app is
+   blocked in its think time. *)
+let test_cgi_does_not_block_amped () =
+  let engine = Sim.Engine.create ~seed:5 () in
+  let kernel = Simos.Kernel.create engine Simos.Os_profile.freebsd in
+  let slow_cgi =
+    { Flash.Config.cgi_cpu = 1e-4; cgi_think = 0.5; cgi_bytes = 1024 }
+  in
+  let config = { Flash.Config.flash with Flash.Config.cgi = Some slow_cgi } in
+  let server = Flash.Server.start kernel config in
+  ignore server;
+  ignore (Simos.Fs.add_file (Simos.Kernel.fs kernel) ~path:"/fast.html" ~size:2000);
+  Simos.Fs.warm (Simos.Kernel.fs kernel)
+    (Option.get (Simos.Fs.find (Simos.Kernel.fs kernel) "/fast.html"));
+  let net = Simos.Kernel.net kernel in
+  let static_done_at = ref nan in
+  let cgi_done_at = ref nan in
+  ignore
+    (Sim.Proc.spawn engine ~name:"cgi-client" (fun () ->
+         let c = Simos.Net.connect net ~link_rate:12.5e6 ~rtt:0.0003 in
+         Simos.Net.client_send c "GET /cgi-bin/slow HTTP/1.0\r\n\r\n";
+         (match Simos.Net.client_await_response c with _ -> ());
+         cgi_done_at := Sim.Engine.now engine;
+         Simos.Net.client_close c));
+  ignore
+    (Sim.Proc.spawn engine ~name:"static-client" (fun () ->
+         (* Arrive while the CGI app is thinking. *)
+         Sim.Proc.delay 0.05;
+         let c = Simos.Net.connect net ~link_rate:12.5e6 ~rtt:0.0003 in
+         Simos.Net.client_send c "GET /fast.html HTTP/1.0\r\n\r\n";
+         (match Simos.Net.client_await_response c with _ -> ());
+         static_done_at := Sim.Engine.now engine;
+         Simos.Net.client_close c));
+  ignore (Sim.Engine.run ~until:3. engine);
+  Alcotest.(check bool) "both completed" true
+    ((not (Float.is_nan !static_done_at)) && not (Float.is_nan !cgi_done_at));
+  Alcotest.(check bool)
+    (Printf.sprintf "static (%.3fs) finished before cgi (%.3fs)"
+       !static_done_at !cgi_done_at)
+    true
+    (!static_done_at < !cgi_done_at)
+
+let test_cgi_app_persistent () =
+  let engine = Sim.Engine.create ~seed:5 () in
+  let kernel = Simos.Kernel.create engine Simos.Os_profile.freebsd in
+  let config = { Flash.Config.flash with Flash.Config.cgi = Some cgi_config } in
+  let server = Flash.Server.start kernel config in
+  let net = Simos.Kernel.net kernel in
+  for i = 1 to 5 do
+    ignore
+      (Sim.Proc.spawn engine ~name:(Printf.sprintf "c%d" i) (fun () ->
+           Sim.Proc.delay (0.1 *. float_of_int i);
+           let c = Simos.Net.connect net ~link_rate:12.5e6 ~rtt:0.0003 in
+           Simos.Net.client_send c "GET /cgi-bin/same HTTP/1.0\r\n\r\n";
+           (match Simos.Net.client_await_response c with _ -> ());
+           Simos.Net.client_close c))
+  done;
+  ignore (Sim.Engine.run ~until:5. engine);
+  Alcotest.(check int) "five responses" 5 (Flash.Server.completed server)
+
+(* ---------------- scheduler / ref-bit details ---------------- *)
+
+let test_cpu_reschedule_charges_switch () =
+  let engine = Sim.Engine.create () in
+  let cpu = Sim.Cpu.create engine ~ctx_switch_cost:0.5 in
+  ignore
+    (Sim.Proc.spawn engine ~name:"a" (fun () ->
+         Sim.Cpu.consume cpu 1.;
+         Sim.Cpu.reschedule cpu;
+         Sim.Cpu.consume cpu 1.));
+  ignore (Sim.Engine.run engine);
+  Alcotest.(check int) "switch charged after reschedule" 1
+    (Sim.Cpu.switches cpu);
+  Helpers.check_float ~msg:"busy includes switch" 2.5 (Sim.Cpu.busy_time cpu)
+
+let test_buffer_cache_reference () =
+  let memory =
+    Simos.Memory.create ~total_bytes:(3 * 8192) ~min_cache_bytes:8192
+  in
+  let cache = Simos.Buffer_cache.create ~memory ~page_size:8192 in
+  let fp page = Simos.Buffer_cache.File_page { inode = 1; page } in
+  ignore (Simos.Buffer_cache.touch cache (fp 0));
+  ignore (Simos.Buffer_cache.touch cache (fp 1));
+  ignore (Simos.Buffer_cache.touch cache (fp 2));
+  (* One insert clears all bits and evicts page 0 (FIFO when all set). *)
+  ignore (Simos.Buffer_cache.touch cache (fp 3));
+  (* reference page 1 without touch: it must survive the next sweep. *)
+  Simos.Buffer_cache.reference cache (fp 1);
+  ignore (Simos.Buffer_cache.touch cache (fp 4));
+  Alcotest.(check bool) "referenced page survives" true
+    (Simos.Buffer_cache.resident cache (fp 1));
+  Alcotest.(check bool) "unreferenced page evicted" false
+    (Simos.Buffer_cache.resident cache (fp 2));
+  (* referencing an absent key is a no-op *)
+  Simos.Buffer_cache.reference cache (fp 99)
+
+let suite =
+  [
+    Alcotest.test_case "residency: basic belief tracking" `Quick
+      test_residency_basic;
+    Alcotest.test_case "residency: fault shrinks estimate" `Quick
+      test_residency_fault_shrinks;
+    Alcotest.test_case "residency: correct grows estimate" `Quick
+      test_residency_correct_grows;
+    Alcotest.test_case "residency: bounds respected" `Quick test_residency_bounds;
+    Alcotest.test_case "residency: LRU forgetting" `Quick
+      test_residency_lru_forgetting;
+    Alcotest.test_case "Flash-H serves end-to-end" `Quick
+      test_flash_heuristic_serves;
+    Alcotest.test_case "CGI on AMPED" `Quick
+      (test_cgi_served_by_arch Flash.Config.flash);
+    Alcotest.test_case "CGI on SPED" `Quick
+      (test_cgi_served_by_arch Flash.Config.flash_sped);
+    Alcotest.test_case "CGI on MP" `Quick
+      (test_cgi_served_by_arch Flash.Config.flash_mp);
+    Alcotest.test_case "CGI on MT" `Quick
+      (test_cgi_served_by_arch Flash.Config.flash_mt);
+    Alcotest.test_case "CGI disabled yields 403" `Quick test_cgi_disabled_forbidden;
+    Alcotest.test_case "CGI think time does not block AMPED" `Quick
+      test_cgi_does_not_block_amped;
+    Alcotest.test_case "CGI app persists across requests" `Quick
+      test_cgi_app_persistent;
+    Alcotest.test_case "Cpu.reschedule charges a switch" `Quick
+      test_cpu_reschedule_charges_switch;
+    Alcotest.test_case "buffer cache reference bit" `Quick
+      test_buffer_cache_reference;
+  ]

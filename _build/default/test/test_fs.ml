@@ -1,0 +1,152 @@
+let make_fs ?(cache_pages = 1024) () =
+  let engine = Sim.Engine.create () in
+  let memory =
+    Simos.Memory.create ~total_bytes:(cache_pages * 8192) ~min_cache_bytes:8192
+  in
+  let cache = Simos.Buffer_cache.create ~memory ~page_size:8192 in
+  let disk = Simos.Disk.create engine Simos.Disk.default_params in
+  let fs = Simos.Fs.create engine ~cache ~disk in
+  (engine, cache, disk, fs)
+
+let test_add_and_find () =
+  let _, _, _, fs = make_fs () in
+  let f = Simos.Fs.add_file fs ~path:"/a/b/page.html" ~size:10_000 in
+  Alcotest.(check int) "size" 10_000 f.Simos.Fs.size;
+  (match Simos.Fs.find fs "/a/b/page.html" with
+  | Some g -> Alcotest.(check int) "same inode" f.Simos.Fs.inode g.Simos.Fs.inode
+  | None -> Alcotest.fail "find failed");
+  Alcotest.(check bool) "missing path" true (Simos.Fs.find fs "/nope" = None);
+  Alcotest.(check int) "file count" 1 (Simos.Fs.file_count fs);
+  Alcotest.(check int) "total bytes" 10_000 (Simos.Fs.total_bytes fs)
+
+let test_duplicate_rejected () =
+  let _, _, _, fs = make_fs () in
+  ignore (Simos.Fs.add_file fs ~path:"/x" ~size:10);
+  Alcotest.check_raises "duplicate" (Invalid_argument "Fs.add_file: duplicate path")
+    (fun () -> ignore (Simos.Fs.add_file fs ~path:"/x" ~size:10))
+
+let test_lookup_touches_metadata () =
+  let engine, _, disk, fs = make_fs () in
+  ignore (Simos.Fs.add_file fs ~path:"/d1/d2/f.html" ~size:5000);
+  let found = ref None in
+  ignore
+    (Sim.Proc.spawn engine ~name:"t" (fun () ->
+         found := Simos.Fs.lookup fs "/d1/d2/f.html"));
+  ignore (Sim.Engine.run engine);
+  Alcotest.(check bool) "found" true (!found <> None);
+  (* 3 directory components + 1 inode page = 4 metadata disk reads *)
+  Alcotest.(check int) "metadata reads" 4 (Simos.Disk.completed disk);
+  (* Second lookup: metadata now cached, no disk. *)
+  ignore
+    (Sim.Proc.spawn engine ~name:"t2" (fun () ->
+         ignore (Simos.Fs.lookup fs "/d1/d2/f.html")));
+  ignore (Sim.Engine.run engine);
+  Alcotest.(check int) "no extra reads" 4 (Simos.Disk.completed disk)
+
+let test_lookup_missing_file () =
+  let engine, _, _, fs = make_fs () in
+  let result = ref (Some ()) in
+  ignore
+    (Sim.Proc.spawn engine ~name:"t" (fun () ->
+         result := Option.map ignore (Simos.Fs.lookup fs "/ghost.html")));
+  ignore (Sim.Engine.run engine);
+  Alcotest.(check bool) "not found" true (!result = None)
+
+let test_meta_resident () =
+  let engine, _, _, fs = make_fs () in
+  let f = Simos.Fs.add_file fs ~path:"/m/f.html" ~size:100 in
+  Alcotest.(check bool) "cold" false (Simos.Fs.meta_resident fs "/m/f.html");
+  Simos.Fs.warm_meta fs f;
+  Alcotest.(check bool) "warm" true (Simos.Fs.meta_resident fs "/m/f.html");
+  Alcotest.(check bool) "missing file" false (Simos.Fs.meta_resident fs "/nope");
+  ignore engine
+
+let test_page_in_and_residency () =
+  let engine, _, disk, fs = make_fs () in
+  let f = Simos.Fs.add_file fs ~path:"/big.bin" ~size:(5 * 8192) in
+  Alcotest.(check bool) "cold" false
+    (Simos.Fs.resident fs f ~off:0 ~len:f.Simos.Fs.size);
+  ignore
+    (Sim.Proc.spawn engine ~name:"t" (fun () ->
+         Simos.Fs.page_in fs f ~off:0 ~len:f.Simos.Fs.size));
+  ignore (Sim.Engine.run engine);
+  Alcotest.(check bool) "resident" true
+    (Simos.Fs.resident fs f ~off:0 ~len:f.Simos.Fs.size);
+  (* Clustering: 5 contiguous missing pages = one disk request. *)
+  Alcotest.(check int) "one clustered read" 1 (Simos.Disk.completed disk)
+
+let test_page_in_partial () =
+  let engine, _, _, fs = make_fs () in
+  let f = Simos.Fs.add_file fs ~path:"/p.bin" ~size:(4 * 8192) in
+  ignore
+    (Sim.Proc.spawn engine ~name:"t" (fun () ->
+         Simos.Fs.page_in fs f ~off:0 ~len:8192));
+  ignore (Sim.Engine.run engine);
+  Alcotest.(check bool) "first page" true (Simos.Fs.resident fs f ~off:0 ~len:8192);
+  Alcotest.(check bool) "rest cold" false
+    (Simos.Fs.resident fs f ~off:(2 * 8192) ~len:8192)
+
+let test_inflight_coalescing () =
+  let engine, _, disk, fs = make_fs () in
+  let f = Simos.Fs.add_file fs ~path:"/c.bin" ~size:8192 in
+  let completions = ref 0 in
+  for i = 1 to 3 do
+    ignore
+      (Sim.Proc.spawn engine ~name:(string_of_int i) (fun () ->
+           Simos.Fs.page_in fs f ~off:0 ~len:8192;
+           incr completions))
+  done;
+  ignore (Sim.Engine.run engine);
+  Alcotest.(check int) "all readers done" 3 !completions;
+  Alcotest.(check int) "single disk read" 1 (Simos.Disk.completed disk)
+
+let test_warm () =
+  let _, _, disk, fs = make_fs () in
+  let f = Simos.Fs.add_file fs ~path:"/w.bin" ~size:(3 * 8192) in
+  Simos.Fs.warm fs f;
+  Alcotest.(check bool) "resident" true
+    (Simos.Fs.resident fs f ~off:0 ~len:f.Simos.Fs.size);
+  Alcotest.(check int) "no disk" 0 (Simos.Disk.completed disk)
+
+let test_eviction_unresidents () =
+  (* A cache of 4 pages cannot hold an 8-page file. *)
+  let engine, _, _, fs = make_fs ~cache_pages:4 () in
+  let f = Simos.Fs.add_file fs ~path:"/e.bin" ~size:(8 * 8192) in
+  ignore
+    (Sim.Proc.spawn engine ~name:"t" (fun () ->
+         Simos.Fs.page_in fs f ~off:0 ~len:f.Simos.Fs.size));
+  ignore (Sim.Engine.run engine);
+  Alcotest.(check bool) "not fully resident" false
+    (Simos.Fs.resident fs f ~off:0 ~len:f.Simos.Fs.size)
+
+let test_pages_in_range () =
+  let _, _, _, fs = make_fs () in
+  Alcotest.(check int) "empty" 0 (Simos.Fs.pages_in_range fs ~off:0 ~len:0);
+  Alcotest.(check int) "one byte" 1 (Simos.Fs.pages_in_range fs ~off:0 ~len:1);
+  Alcotest.(check int) "exactly one page" 1
+    (Simos.Fs.pages_in_range fs ~off:0 ~len:8192);
+  Alcotest.(check int) "straddles boundary" 2
+    (Simos.Fs.pages_in_range fs ~off:8000 ~len:400)
+
+let test_mtime () =
+  let _, _, _, fs = make_fs () in
+  let f = Simos.Fs.add_file fs ~path:"/t.html" ~size:10 in
+  Helpers.check_float ~msg:"initial mtime" 0. f.Simos.Fs.mtime;
+  Simos.Fs.touch_mtime fs f ~now:42.;
+  Helpers.check_float ~msg:"updated" 42. f.Simos.Fs.mtime
+
+let suite =
+  [
+    Alcotest.test_case "add and find" `Quick test_add_and_find;
+    Alcotest.test_case "duplicate rejected" `Quick test_duplicate_rejected;
+    Alcotest.test_case "lookup touches metadata" `Quick test_lookup_touches_metadata;
+    Alcotest.test_case "lookup missing file" `Quick test_lookup_missing_file;
+    Alcotest.test_case "meta_resident" `Quick test_meta_resident;
+    Alcotest.test_case "page_in and residency" `Quick test_page_in_and_residency;
+    Alcotest.test_case "partial page_in" `Quick test_page_in_partial;
+    Alcotest.test_case "in-flight coalescing" `Quick test_inflight_coalescing;
+    Alcotest.test_case "warm" `Quick test_warm;
+    Alcotest.test_case "eviction un-residents" `Quick test_eviction_unresidents;
+    Alcotest.test_case "pages_in_range" `Quick test_pages_in_range;
+    Alcotest.test_case "mtime" `Quick test_mtime;
+  ]

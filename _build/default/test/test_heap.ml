@@ -1,0 +1,90 @@
+let test_empty () =
+  let h = Sim.Heap.create ~cmp:Int.compare in
+  Alcotest.(check int) "length" 0 (Sim.Heap.length h);
+  Alcotest.(check bool) "is_empty" true (Sim.Heap.is_empty h);
+  Alcotest.check_raises "pop raises" Not_found (fun () ->
+      ignore (Sim.Heap.pop_min h));
+  Alcotest.check_raises "peek raises" Not_found (fun () ->
+      ignore (Sim.Heap.peek_min h))
+
+let test_ordering () =
+  let h = Sim.Heap.create ~cmp:Int.compare in
+  List.iter (Sim.Heap.push h) [ 5; 1; 4; 1; 3; 9; 0; -2 ];
+  let drained = List.init 8 (fun _ -> Sim.Heap.pop_min h) in
+  Alcotest.(check (list int)) "sorted" [ -2; 0; 1; 1; 3; 4; 5; 9 ] drained;
+  Alcotest.(check bool) "empty after drain" true (Sim.Heap.is_empty h)
+
+let test_peek_does_not_remove () =
+  let h = Sim.Heap.create ~cmp:Int.compare in
+  Sim.Heap.push h 2;
+  Sim.Heap.push h 1;
+  Alcotest.(check int) "peek" 1 (Sim.Heap.peek_min h);
+  Alcotest.(check int) "length unchanged" 2 (Sim.Heap.length h)
+
+let test_interleaved () =
+  let h = Sim.Heap.create ~cmp:Int.compare in
+  Sim.Heap.push h 3;
+  Sim.Heap.push h 1;
+  Alcotest.(check int) "pop 1" 1 (Sim.Heap.pop_min h);
+  Sim.Heap.push h 0;
+  Sim.Heap.push h 2;
+  Alcotest.(check int) "pop 0" 0 (Sim.Heap.pop_min h);
+  Alcotest.(check int) "pop 2" 2 (Sim.Heap.pop_min h);
+  Alcotest.(check int) "pop 3" 3 (Sim.Heap.pop_min h)
+
+let test_clear () =
+  let h = Sim.Heap.create ~cmp:Int.compare in
+  List.iter (Sim.Heap.push h) [ 1; 2; 3 ];
+  Sim.Heap.clear h;
+  Alcotest.(check int) "cleared" 0 (Sim.Heap.length h)
+
+let test_to_list () =
+  let h = Sim.Heap.create ~cmp:Int.compare in
+  List.iter (Sim.Heap.push h) [ 3; 1; 2 ];
+  let l = List.sort Int.compare (Sim.Heap.to_list h) in
+  Alcotest.(check (list int)) "contents" [ 1; 2; 3 ] l
+
+let test_stability_via_pairs () =
+  (* When keyed by (priority, seq), ties come out in insertion order. *)
+  let cmp (a, sa) (b, sb) =
+    let c = Int.compare a b in
+    if c <> 0 then c else Int.compare sa sb
+  in
+  let h = Sim.Heap.create ~cmp in
+  List.iteri (fun i p -> Sim.Heap.push h (p, i)) [ 1; 1; 1; 0; 1 ];
+  let order = List.init 5 (fun _ -> snd (Sim.Heap.pop_min h)) in
+  Alcotest.(check (list int)) "tie order" [ 3; 0; 1; 2; 4 ] order
+
+let prop_heapsort =
+  Helpers.qcheck_case ~name:"heap drains sorted"
+    QCheck.(list int)
+    (fun xs ->
+      let h = Sim.Heap.create ~cmp:Int.compare in
+      List.iter (Sim.Heap.push h) xs;
+      let drained = List.init (List.length xs) (fun _ -> Sim.Heap.pop_min h) in
+      drained = List.sort Int.compare xs)
+
+let prop_size =
+  Helpers.qcheck_case ~name:"heap length tracks pushes/pops"
+    QCheck.(pair (list small_int) small_nat)
+    (fun (xs, pops) ->
+      let h = Sim.Heap.create ~cmp:Int.compare in
+      List.iter (Sim.Heap.push h) xs;
+      let pops = min pops (List.length xs) in
+      for _ = 1 to pops do
+        ignore (Sim.Heap.pop_min h)
+      done;
+      Sim.Heap.length h = List.length xs - pops)
+
+let suite =
+  [
+    Alcotest.test_case "empty heap" `Quick test_empty;
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "peek does not remove" `Quick test_peek_does_not_remove;
+    Alcotest.test_case "interleaved push/pop" `Quick test_interleaved;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "to_list" `Quick test_to_list;
+    Alcotest.test_case "tie-break by seq" `Quick test_stability_via_pairs;
+    prop_heapsort;
+    prop_size;
+  ]

@@ -1,0 +1,119 @@
+(* AMPED helper pool unit tests. *)
+
+module Pool = Flash.Helper_pool
+
+let with_kernel f =
+  let engine = Sim.Engine.create () in
+  let kernel = Simos.Kernel.create engine Simos.Os_profile.freebsd in
+  f engine kernel;
+  ignore (Sim.Engine.run ~until:60. engine)
+
+let test_dispatch_executes_work () =
+  let results = ref [] in
+  with_kernel (fun engine kernel ->
+      let pool = Pool.create kernel ~max:4 ~footprint:1000 ~name:"t" in
+      ignore
+        (Sim.Proc.spawn engine ~name:"main" (fun () ->
+             for i = 1 to 3 do
+               Pool.dispatch pool ~work:(fun () -> i * 10)
+             done;
+             (* Collect completions off the notify pipe. *)
+             let pipe = Pool.notify_pipe pool in
+             let rec collect n =
+               if n < 3 then begin
+                 Simos.Pollable.wait_ready (Simos.Pipe.pollable pipe);
+                 let rec drain n =
+                   match Simos.Kernel.pipe_read kernel pipe with
+                   | Some v ->
+                       results := v :: !results;
+                       drain (n + 1)
+                   | None -> n
+                 in
+                 collect (drain n)
+               end
+             in
+             collect 0)));
+  Alcotest.(check (list int)) "all completions arrived" [ 10; 20; 30 ]
+    (List.sort Int.compare !results)
+
+let test_pool_spawns_on_demand () =
+  with_kernel (fun engine kernel ->
+      let pool = Pool.create kernel ~max:8 ~footprint:1000 ~name:"t" in
+      Alcotest.(check int) "none at start" 0 (Pool.spawned pool);
+      ignore
+        (Sim.Proc.spawn engine ~name:"main" (fun () ->
+             Pool.dispatch pool ~work:(fun () -> 0);
+             Alcotest.(check int) "one spawned" 1 (Pool.spawned pool))))
+
+let test_pool_bounded_and_queues () =
+  let completions = ref 0 in
+  with_kernel (fun engine kernel ->
+      let pool = Pool.create kernel ~max:2 ~footprint:1000 ~name:"t" in
+      ignore
+        (Sim.Proc.spawn engine ~name:"main" (fun () ->
+             (* Six slow jobs through a pool of two. *)
+             for _ = 1 to 6 do
+               Pool.dispatch pool ~work:(fun () ->
+                   Sim.Proc.delay 0.1;
+                   1)
+             done;
+             Alcotest.(check int) "capped at max" 2
+               (Pool.spawned pool);
+             Alcotest.(check bool) "backlog queued" true
+               (Pool.queued pool > 0);
+             let pipe = Pool.notify_pipe pool in
+             let rec collect n =
+               if n < 6 then begin
+                 Simos.Pollable.wait_ready (Simos.Pipe.pollable pipe);
+                 let rec drain n =
+                   match Simos.Kernel.pipe_read kernel pipe with
+                   | Some _ ->
+                       incr completions;
+                       drain (n + 1)
+                   | None -> n
+                 in
+                 collect (drain n)
+               end
+             in
+             collect 0)));
+  Alcotest.(check int) "all six completed" 6 !completions
+
+let test_helpers_reserve_memory () =
+  with_kernel (fun engine kernel ->
+      let memory = Simos.Kernel.memory kernel in
+      let before = Simos.Memory.reserved memory in
+      let pool =
+        Pool.create kernel ~max:4 ~footprint:50_000 ~name:"t"
+      in
+      ignore
+        (Sim.Proc.spawn engine ~name:"main" (fun () ->
+             Pool.dispatch pool ~work:(fun () -> 0);
+             Pool.dispatch pool ~work:(fun () -> 0);
+             Alcotest.(check int) "footprint per helper"
+               (before + (2 * 50_000))
+               (Simos.Memory.reserved memory))))
+
+let test_idle_helpers_reused () =
+  with_kernel (fun engine kernel ->
+      let pool = Pool.create kernel ~max:8 ~footprint:1000 ~name:"t" in
+      ignore
+        (Sim.Proc.spawn engine ~name:"main" (fun () ->
+             let pipe = Pool.notify_pipe pool in
+             for _ = 1 to 5 do
+               Pool.dispatch pool ~work:(fun () -> 0);
+               Simos.Pollable.wait_ready (Simos.Pipe.pollable pipe);
+               ignore (Simos.Kernel.pipe_read kernel pipe)
+             done;
+             (* Sequential jobs reuse the single idle helper. *)
+             Alcotest.(check int) "one helper for serial jobs" 1
+               (Pool.spawned pool))))
+
+let suite =
+  [
+    Alcotest.test_case "dispatch executes work" `Quick test_dispatch_executes_work;
+    Alcotest.test_case "spawns on demand" `Quick test_pool_spawns_on_demand;
+    Alcotest.test_case "bounded pool queues backlog" `Quick
+      test_pool_bounded_and_queues;
+    Alcotest.test_case "helpers reserve memory" `Quick test_helpers_reserve_memory;
+    Alcotest.test_case "idle helpers reused" `Quick test_idle_helpers_reused;
+  ]

@@ -1,0 +1,147 @@
+let profile = Simos.Os_profile.freebsd
+
+let with_kernel f =
+  Helpers.run_sim (fun engine ->
+      let kernel = Simos.Kernel.create engine profile in
+      f engine kernel)
+
+let test_charge_costs_time () =
+  with_kernel (fun engine kernel ->
+      let t0 = Sim.Engine.now engine in
+      Simos.Kernel.charge kernel 0.01;
+      Helpers.check_float ~msg:"charged" 0.01 (Sim.Engine.now engine -. t0))
+
+let test_accept_flow () =
+  with_kernel (fun engine kernel ->
+      let net = Simos.Kernel.net kernel in
+      Alcotest.(check bool) "no conn" true (Simos.Kernel.accept kernel = None);
+      let c = Simos.Net.connect net ~link_rate:1e7 ~rtt:0.001 in
+      (match Simos.Kernel.accept kernel with
+      | Some c' ->
+          Alcotest.(check int) "accepted" (Simos.Net.conn_id c) (Simos.Net.conn_id c')
+      | None -> Alcotest.fail "expected conn");
+      ignore engine)
+
+let test_recv_charges_per_byte () =
+  with_kernel (fun engine kernel ->
+      let net = Simos.Kernel.net kernel in
+      let c = Simos.Net.connect net ~link_rate:1e7 ~rtt:0.001 in
+      Simos.Net.client_send c (String.make 1000 'x');
+      Sim.Proc.delay 0.001;
+      let t0 = Sim.Engine.now engine in
+      (match Simos.Kernel.recv kernel c ~max_bytes:2000 with
+      | `Data d -> Alcotest.(check int) "got bytes" 1000 (String.length d)
+      | _ -> Alcotest.fail "expected data");
+      let cost = Sim.Engine.now engine -. t0 in
+      let expected =
+        profile.Simos.Os_profile.syscall
+        +. (1000. *. profile.Simos.Os_profile.read_byte)
+      in
+      Helpers.check_float ~msg:"recv cost" ~eps:1e-9 expected cost)
+
+let test_send_misalignment_penalty () =
+  let cost_of misaligned_bytes =
+    with_kernel (fun engine kernel ->
+        let net = Simos.Kernel.net kernel in
+        let c = Simos.Net.connect net ~link_rate:1e9 ~rtt:0.001 in
+        let t0 = Sim.Engine.now engine in
+        ignore (Simos.Kernel.send kernel c ~len:10_000 ~misaligned_bytes);
+        Sim.Engine.now engine -. t0)
+  in
+  let aligned = cost_of 0 and misaligned = cost_of 10_000 in
+  let expected_delta = 10_000. *. profile.Simos.Os_profile.misalign_byte in
+  Helpers.check_float ~msg:"misalignment delta" ~eps:1e-9 expected_delta
+    (misaligned -. aligned)
+
+let test_send_blocking_completes () =
+  with_kernel (fun engine kernel ->
+      let net = Simos.Kernel.net kernel in
+      let c = Simos.Net.connect net ~link_rate:1e7 ~rtt:0.001 in
+      (* Much larger than the 64 KB send buffer: must block and drain. *)
+      Simos.Kernel.send_blocking kernel c ~len:500_000 ~misaligned_bytes:0;
+      ignore (Simos.Net.client_await_bytes c 0);
+      ignore engine;
+      Alcotest.(check bool) "delivery in progress or done" true
+        (Simos.Net.delivered_bytes net > 0))
+
+let test_select_blocks_until_ready () =
+  with_kernel (fun engine kernel ->
+      let p = Simos.Pipe.create () in
+      Sim.Engine.schedule engine ~delay:2. (fun () -> Simos.Pipe.write p ());
+      let t0 = Sim.Engine.now engine in
+      let ready =
+        Simos.Kernel.select kernel [ ("pipe", Simos.Pipe.pollable p) ]
+      in
+      Alcotest.(check (list string)) "pipe ready" [ "pipe" ] ready;
+      Alcotest.(check bool) "waited" true (Sim.Engine.now engine -. t0 >= 2.))
+
+let test_select_immediate_and_multi () =
+  with_kernel (fun _ kernel ->
+      let p1 = Simos.Pipe.create () in
+      let p2 = Simos.Pipe.create () in
+      Simos.Pipe.write p1 ();
+      Simos.Pipe.write p2 ();
+      let ready =
+        Simos.Kernel.select kernel
+          [ ("a", Simos.Pipe.pollable p1); ("b", Simos.Pipe.pollable p2) ]
+      in
+      Alcotest.(check (list string)) "both ready" [ "a"; "b" ] ready)
+
+let test_open_stat () =
+  with_kernel (fun _ kernel ->
+      let fs = Simos.Kernel.fs kernel in
+      ignore (Simos.Fs.add_file fs ~path:"/docs/a.html" ~size:4000);
+      (match Simos.Kernel.open_stat kernel "/docs/a.html" with
+      | Some f -> Alcotest.(check int) "size" 4000 f.Simos.Fs.size
+      | None -> Alcotest.fail "expected file");
+      Alcotest.(check bool) "missing" true
+        (Simos.Kernel.open_stat kernel "/docs/missing.html" = None))
+
+let test_page_in_blocks_caller () =
+  with_kernel (fun engine kernel ->
+      let fs = Simos.Kernel.fs kernel in
+      let f = Simos.Fs.add_file fs ~path:"/blob.bin" ~size:65536 in
+      let t0 = Sim.Engine.now engine in
+      Simos.Kernel.page_in kernel f ~off:0 ~len:65536;
+      Alcotest.(check bool) "took disk time" true (Sim.Engine.now engine > t0);
+      (* Resident now: free. *)
+      let t1 = Sim.Engine.now engine in
+      Simos.Kernel.page_in kernel f ~off:0 ~len:65536;
+      Helpers.check_float ~msg:"hot page-in free" 0. (Sim.Engine.now engine -. t1))
+
+let test_mincore_reports_and_charges () =
+  with_kernel (fun engine kernel ->
+      let fs = Simos.Kernel.fs kernel in
+      let f = Simos.Fs.add_file fs ~path:"/m.bin" ~size:16384 in
+      let t0 = Sim.Engine.now engine in
+      Alcotest.(check bool) "cold" false
+        (Simos.Kernel.mincore kernel f ~off:0 ~len:16384);
+      Alcotest.(check bool) "charged" true (Sim.Engine.now engine > t0);
+      Simos.Fs.warm fs f;
+      Alcotest.(check bool) "warm" true
+        (Simos.Kernel.mincore kernel f ~off:0 ~len:16384))
+
+let test_fork_charge_reserves () =
+  with_kernel (fun _ kernel ->
+      let memory = Simos.Kernel.memory kernel in
+      let before = Simos.Memory.reserved memory in
+      Simos.Kernel.fork_charge kernel ~footprint:100_000;
+      Alcotest.(check int) "reserved" (before + 100_000)
+        (Simos.Memory.reserved memory))
+
+let suite =
+  [
+    Alcotest.test_case "charge costs time" `Quick test_charge_costs_time;
+    Alcotest.test_case "accept flow" `Quick test_accept_flow;
+    Alcotest.test_case "recv charges per byte" `Quick test_recv_charges_per_byte;
+    Alcotest.test_case "misalignment penalty" `Quick test_send_misalignment_penalty;
+    Alcotest.test_case "blocking send completes" `Quick test_send_blocking_completes;
+    Alcotest.test_case "select blocks until ready" `Quick
+      test_select_blocks_until_ready;
+    Alcotest.test_case "select immediate multi" `Quick test_select_immediate_and_multi;
+    Alcotest.test_case "open_stat" `Quick test_open_stat;
+    Alcotest.test_case "page_in blocks caller" `Quick test_page_in_blocks_caller;
+    Alcotest.test_case "mincore reports and charges" `Quick
+      test_mincore_reports_and_charges;
+    Alcotest.test_case "fork_charge reserves memory" `Quick test_fork_charge_reserves;
+  ]

@@ -1,0 +1,135 @@
+module Lru = Flash_util.Lru
+
+let test_basic () =
+  let lru = Lru.create ~capacity:3 () in
+  Lru.add lru "a" 1 ~weight:1;
+  Lru.add lru "b" 2 ~weight:1;
+  Alcotest.(check (option int)) "find a" (Some 1) (Lru.find lru "a");
+  Alcotest.(check (option int)) "find missing" None (Lru.find lru "zz");
+  Alcotest.(check int) "length" 2 (Lru.length lru);
+  Alcotest.(check int) "weight" 2 (Lru.weight lru)
+
+let test_eviction_order () =
+  let evicted = ref [] in
+  let lru = Lru.create ~on_evict:(fun k _ -> evicted := k :: !evicted) ~capacity:2 () in
+  Lru.add lru "a" 1 ~weight:1;
+  Lru.add lru "b" 2 ~weight:1;
+  Lru.add lru "c" 3 ~weight:1;
+  Alcotest.(check (list string)) "a evicted first" [ "a" ] !evicted;
+  (* Touch b, then insert d: c is now least recent. *)
+  ignore (Lru.find lru "b");
+  Lru.add lru "d" 4 ~weight:1;
+  Alcotest.(check (list string)) "c evicted second" [ "c"; "a" ] !evicted;
+  Alcotest.(check bool) "b survives" true (Lru.mem lru "b")
+
+let test_peek_does_not_promote () =
+  let lru = Lru.create ~capacity:2 () in
+  Lru.add lru "a" 1 ~weight:1;
+  Lru.add lru "b" 2 ~weight:1;
+  ignore (Lru.peek lru "a");
+  Lru.add lru "c" 3 ~weight:1;
+  Alcotest.(check bool) "a evicted despite peek" false (Lru.mem lru "a")
+
+let test_weighted () =
+  let lru = Lru.create ~capacity:100 () in
+  Lru.add lru "big" 0 ~weight:60;
+  Lru.add lru "mid" 1 ~weight:30;
+  Lru.add lru "more" 2 ~weight:30;
+  (* 60+30+30 > 100: "big" (LRU) must have been evicted. *)
+  Alcotest.(check bool) "big evicted" false (Lru.mem lru "big");
+  Alcotest.(check int) "weight within capacity" 60 (Lru.weight lru)
+
+let test_oversized_single_entry () =
+  let lru = Lru.create ~capacity:10 () in
+  Lru.add lru "huge" 0 ~weight:100;
+  Alcotest.(check bool) "admitted alone" true (Lru.mem lru "huge");
+  Lru.add lru "small" 1 ~weight:1;
+  Alcotest.(check bool) "huge evicted when company arrives" false
+    (Lru.mem lru "huge")
+
+let test_replace_reweighs () =
+  let lru = Lru.create ~capacity:10 () in
+  Lru.add lru "k" 1 ~weight:4;
+  Lru.add lru "k" 2 ~weight:6;
+  Alcotest.(check int) "weight replaced" 6 (Lru.weight lru);
+  Alcotest.(check (option int)) "value replaced" (Some 2) (Lru.find lru "k");
+  Alcotest.(check int) "single entry" 1 (Lru.length lru)
+
+let test_remove () =
+  let evicted = ref 0 in
+  let lru = Lru.create ~on_evict:(fun _ _ -> incr evicted) ~capacity:5 () in
+  Lru.add lru "a" 1 ~weight:2;
+  Alcotest.(check (option int)) "removed value" (Some 1) (Lru.remove lru "a");
+  Alcotest.(check int) "no on_evict for remove" 0 !evicted;
+  Alcotest.(check int) "weight zero" 0 (Lru.weight lru);
+  Alcotest.(check (option int)) "remove missing" None (Lru.remove lru "a")
+
+let test_set_capacity_shrinks () =
+  let lru = Lru.create ~capacity:10 () in
+  for i = 1 to 10 do
+    Lru.add lru i i ~weight:1
+  done;
+  Lru.set_capacity lru 3;
+  Alcotest.(check int) "shrunk" 3 (Lru.length lru);
+  Alcotest.(check bool) "most recent kept" true (Lru.mem lru 10);
+  Alcotest.(check bool) "oldest gone" false (Lru.mem lru 1)
+
+let test_fold_order () =
+  let lru = Lru.create ~capacity:5 () in
+  List.iter (fun k -> Lru.add lru k k ~weight:1) [ 1; 2; 3 ];
+  ignore (Lru.find lru 1);
+  let order = List.rev (Lru.fold lru ~init:[] ~f:(fun acc k _ -> k :: acc)) in
+  Alcotest.(check (list int)) "MRU to LRU" [ 1; 3; 2 ] order;
+  Alcotest.(check (option (pair int int))) "lru entry" (Some (2, 2)) (Lru.lru lru)
+
+let test_clear () =
+  let lru = Lru.create ~capacity:5 () in
+  Lru.add lru "a" 1 ~weight:1;
+  Lru.clear lru;
+  Alcotest.(check int) "empty" 0 (Lru.length lru);
+  Lru.add lru "b" 2 ~weight:1;
+  Alcotest.(check bool) "usable after clear" true (Lru.mem lru "b")
+
+let test_invalid () =
+  Alcotest.check_raises "capacity 0" (Invalid_argument "Lru.create: capacity <= 0")
+    (fun () -> ignore (Lru.create ~capacity:0 ()));
+  let lru = Lru.create ~capacity:1 () in
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Lru.add: negative weight") (fun () ->
+      Lru.add lru "x" 1 ~weight:(-1))
+
+let prop_capacity_respected =
+  Helpers.qcheck_case ~name:"weight never exceeds capacity (multi-entry)"
+    QCheck.(pair (int_range 1 50) (list (pair (int_range 0 9) (int_range 0 10))))
+    (fun (cap, adds) ->
+      let lru = Lru.create ~capacity:cap () in
+      List.iter (fun (k, w) -> Lru.add lru k k ~weight:w) adds;
+      Lru.weight lru <= cap || Lru.length lru = 1)
+
+let prop_most_recent_present =
+  Helpers.qcheck_case ~name:"most recently added key is always present"
+    QCheck.(list (pair (int_range 0 9) (int_range 0 5)))
+    (fun adds ->
+      let lru = Lru.create ~capacity:20 () in
+      List.for_all
+        (fun (k, w) ->
+          Lru.add lru k k ~weight:w;
+          Lru.mem lru k)
+        adds)
+
+let suite =
+  [
+    Alcotest.test_case "basic add/find" `Quick test_basic;
+    Alcotest.test_case "eviction order" `Quick test_eviction_order;
+    Alcotest.test_case "peek does not promote" `Quick test_peek_does_not_promote;
+    Alcotest.test_case "weighted eviction" `Quick test_weighted;
+    Alcotest.test_case "oversized single entry" `Quick test_oversized_single_entry;
+    Alcotest.test_case "replace re-weighs" `Quick test_replace_reweighs;
+    Alcotest.test_case "remove" `Quick test_remove;
+    Alcotest.test_case "set_capacity shrinks" `Quick test_set_capacity_shrinks;
+    Alcotest.test_case "fold order and lru" `Quick test_fold_order;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "invalid arguments" `Quick test_invalid;
+    prop_capacity_respected;
+    prop_most_recent_present;
+  ]

@@ -1,0 +1,89 @@
+(* Model-based property test: the weighted LRU must agree with a naive
+   reference implementation on arbitrary operation sequences. *)
+
+type op = Add of int * int | Find of int | Remove of int
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map2 (fun k w -> Add (k, w)) (int_range 0 9) (int_range 1 5));
+        (3, map (fun k -> Find k) (int_range 0 9));
+        (1, map (fun k -> Remove k) (int_range 0 9));
+      ])
+
+let op_print = function
+  | Add (k, w) -> Printf.sprintf "Add(%d,w%d)" k w
+  | Find k -> Printf.sprintf "Find(%d)" k
+  | Remove k -> Printf.sprintf "Remove(%d)" k
+
+let ops_arb =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map op_print ops))
+    QCheck.Gen.(list_size (int_range 0 60) op_gen)
+
+(* Reference: association list in MRU-to-LRU order with weights. *)
+module Reference = struct
+  type t = { cap : int; mutable entries : (int * int) list (* key, weight *) }
+
+  let create cap = { cap; entries = [] }
+  let weight t = List.fold_left (fun acc (_, w) -> acc + w) 0 t.entries
+
+  let shrink t =
+    (* Evict from the LRU end while over capacity with > 1 entry. *)
+    let rec drop_last = function
+      | [] | [ _ ] -> []
+      | x :: rest -> x :: drop_last rest
+    in
+    while weight t > t.cap && List.length t.entries > 1 do
+      t.entries <- drop_last t.entries
+    done
+
+  let add t k w =
+    t.entries <- (k, w) :: List.remove_assoc k t.entries;
+    shrink t
+
+  let find t k =
+    match List.assoc_opt k t.entries with
+    | Some w ->
+        t.entries <- (k, w) :: List.remove_assoc k t.entries;
+        true
+    | None -> false
+
+  let remove t k =
+    let present = List.mem_assoc k t.entries in
+    t.entries <- List.remove_assoc k t.entries;
+    present
+
+  let keys_in_order t = List.map fst t.entries
+end
+
+let agree_after cap ops =
+  let lru = Flash_util.Lru.create ~capacity:cap () in
+  let reference = Reference.create cap in
+  List.iter
+    (fun op ->
+      match op with
+      | Add (k, w) ->
+          Flash_util.Lru.add lru k k ~weight:w;
+          Reference.add reference k w
+      | Find k ->
+          let a = Flash_util.Lru.find lru k <> None in
+          let b = Reference.find reference k in
+          if a <> b then failwith (Printf.sprintf "find disagreement on %d" k)
+      | Remove k ->
+          let a = Flash_util.Lru.remove lru k <> None in
+          let b = Reference.remove reference k in
+          if a <> b then failwith (Printf.sprintf "remove disagreement on %d" k))
+    ops;
+  let lru_keys = List.rev (Flash_util.Lru.fold lru ~init:[] ~f:(fun acc k _ -> k :: acc)) in
+  lru_keys = Reference.keys_in_order reference
+  && Flash_util.Lru.weight lru = Reference.weight reference
+
+let prop_model cap =
+  Helpers.qcheck_case ~count:300
+    ~name:(Printf.sprintf "LRU matches reference model (cap %d)" cap)
+    ops_arb
+    (fun ops -> agree_after cap ops)
+
+let suite = [ prop_model 5; prop_model 12; prop_model 1 ]

@@ -1,0 +1,35 @@
+let mib n = n * 1024 * 1024
+
+let test_basic () =
+  let m = Simos.Memory.create ~total_bytes:(mib 128) ~min_cache_bytes:(mib 1) in
+  Alcotest.(check int) "total" (mib 128) (Simos.Memory.total m);
+  Alcotest.(check int) "initial cache" (mib 128) (Simos.Memory.cache_capacity m);
+  Simos.Memory.reserve m (mib 28);
+  Alcotest.(check int) "reserved" (mib 28) (Simos.Memory.reserved m);
+  Alcotest.(check int) "cache shrinks" (mib 100) (Simos.Memory.cache_capacity m);
+  Simos.Memory.release m (mib 28);
+  Alcotest.(check int) "cache restored" (mib 128) (Simos.Memory.cache_capacity m)
+
+let test_min_cache_floor () =
+  let m = Simos.Memory.create ~total_bytes:(mib 16) ~min_cache_bytes:(mib 2) in
+  Simos.Memory.reserve m (mib 20);
+  Alcotest.(check int) "floor holds" (mib 2) (Simos.Memory.cache_capacity m)
+
+let test_invalid () =
+  Alcotest.check_raises "total <= 0"
+    (Invalid_argument "Memory.create: total_bytes <= 0") (fun () ->
+      ignore (Simos.Memory.create ~total_bytes:0 ~min_cache_bytes:0));
+  let m = Simos.Memory.create ~total_bytes:100 ~min_cache_bytes:0 in
+  Alcotest.check_raises "negative reserve"
+    (Invalid_argument "Memory.reserve: negative size") (fun () ->
+      Simos.Memory.reserve m (-1));
+  Alcotest.check_raises "over-release"
+    (Invalid_argument "Memory.release: more than reserved") (fun () ->
+      Simos.Memory.release m 1)
+
+let suite =
+  [
+    Alcotest.test_case "reserve/release" `Quick test_basic;
+    Alcotest.test_case "min-cache floor" `Quick test_min_cache_floor;
+    Alcotest.test_case "invalid arguments" `Quick test_invalid;
+  ]

@@ -1,0 +1,191 @@
+let make_net engine =
+  Simos.Net.create engine ~nic_bandwidth:10_000_000. ~sndbuf:65536
+    ~drain_chunk:8192
+
+let lan = 12_500_000.
+let rtt = 0.001
+
+let test_connect_accept () =
+  Helpers.run_sim (fun engine ->
+      let net = make_net engine in
+      Alcotest.(check bool) "listener idle" false
+        (Simos.Pollable.is_ready (Simos.Net.listener_pollable net));
+      let c = Simos.Net.connect net ~link_rate:lan ~rtt in
+      (* connect blocks a full RTT; the SYN landed at rtt/2. *)
+      Alcotest.(check bool) "listener ready" true
+        (Simos.Pollable.is_ready (Simos.Net.listener_pollable net));
+      (match Simos.Net.accept net with
+      | Some c' ->
+          Alcotest.(check int) "same conn" (Simos.Net.conn_id c) (Simos.Net.conn_id c')
+      | None -> Alcotest.fail "accept failed");
+      Alcotest.(check bool) "queue drained" false
+        (Simos.Pollable.is_ready (Simos.Net.listener_pollable net));
+      Alcotest.(check bool) "accept empty" true (Simos.Net.accept net = None))
+
+let test_request_arrives_after_accept () =
+  (* The client's first bytes trail the accept by about one RTT: a freshly
+     accepted socket is not readable (what blocks MP workers on read). *)
+  Helpers.run_sim (fun engine ->
+      let net = make_net engine in
+      let c = Simos.Net.connect net ~link_rate:lan ~rtt in
+      Simos.Net.client_send c "GET / HTTP/1.0\r\n\r\n";
+      Alcotest.(check bool) "not yet readable" false
+        (Simos.Pollable.is_ready (Simos.Net.readable c));
+      Sim.Proc.delay rtt;
+      Alcotest.(check bool) "readable after rtt" true
+        (Simos.Pollable.is_ready (Simos.Net.readable c));
+      match Simos.Net.server_recv c ~max_bytes:4096 with
+      | `Data d -> Alcotest.(check string) "data" "GET / HTTP/1.0\r\n\r\n" d
+      | `Eof | `Would_block -> Alcotest.fail "expected data")
+
+let test_recv_partial () =
+  Helpers.run_sim (fun engine ->
+      let net = make_net engine in
+      let c = Simos.Net.connect net ~link_rate:lan ~rtt in
+      Simos.Net.client_send c "abcdef";
+      Sim.Proc.delay rtt;
+      (match Simos.Net.server_recv c ~max_bytes:4 with
+      | `Data d -> Alcotest.(check string) "first part" "abcd" d
+      | _ -> Alcotest.fail "expected data");
+      match Simos.Net.server_recv c ~max_bytes:4 with
+      | `Data d -> Alcotest.(check string) "second part" "ef" d
+      | _ -> Alcotest.fail "expected data")
+
+let test_recv_would_block_and_eof () =
+  Helpers.run_sim (fun engine ->
+      let net = make_net engine in
+      let c = Simos.Net.connect net ~link_rate:lan ~rtt in
+      (match Simos.Net.server_recv c ~max_bytes:10 with
+      | `Would_block -> ()
+      | _ -> Alcotest.fail "expected would-block");
+      Simos.Net.client_close c;
+      match Simos.Net.server_recv c ~max_bytes:10 with
+      | `Eof -> ()
+      | _ -> Alcotest.fail "expected EOF")
+
+let test_send_buffer_fills () =
+  Helpers.run_sim (fun engine ->
+      let net = make_net engine in
+      let c = Simos.Net.connect net ~link_rate:lan ~rtt in
+      Alcotest.(check bool) "initially writable" true
+        (Simos.Pollable.is_ready (Simos.Net.writable c));
+      let accepted = Simos.Net.server_send c ~len:100_000 in
+      Alcotest.(check int) "bounded by sndbuf" 65536 accepted;
+      Alcotest.(check bool) "not writable when full" false
+        (Simos.Pollable.is_ready (Simos.Net.writable c));
+      (* Drain restores writability. *)
+      Sim.Proc.delay 0.05;
+      Alcotest.(check bool) "writable after drain" true
+        (Simos.Pollable.is_ready (Simos.Net.writable c)))
+
+let test_drain_rate_link_limited () =
+  Helpers.run_sim (fun engine ->
+      let net = make_net engine in
+      let slow = 10_000. (* 10 KB/s *) in
+      let c = Simos.Net.connect net ~link_rate:slow ~rtt in
+      let t0 = Sim.Engine.now engine in
+      ignore (Simos.Net.server_send c ~len:10_000);
+      ignore (Simos.Net.client_await_bytes c 10_000);
+      let elapsed = Sim.Engine.now engine -. t0 in
+      (* 10 KB at 10 KB/s = about 1 s *)
+      if elapsed < 0.9 || elapsed > 1.2 then
+        Alcotest.failf "drain took %.3f s, expected ~1 s" elapsed)
+
+let test_nic_shared_fairly () =
+  (* Two fast-link connections share the 10 MB/s NIC: each gets ~5 MB/s. *)
+  let engine = Sim.Engine.create () in
+  let net = make_net engine in
+  let finish = ref [] in
+  for i = 1 to 2 do
+    ignore
+      (Sim.Proc.spawn engine ~name:(string_of_int i) (fun () ->
+           let c = Simos.Net.connect net ~link_rate:1e9 ~rtt in
+           ignore (Simos.Net.server_send c ~len:50_000);
+           ignore (Simos.Net.client_await_bytes c 50_000);
+           finish := Sim.Engine.now engine :: !finish))
+  done;
+  ignore (Sim.Engine.run engine);
+  match !finish with
+  | [ a; b ] ->
+      let longest = Float.max a b in
+      (* 100 KB total at 10 MB/s = 10 ms + handshake *)
+      if longest < 0.009 || longest > 0.02 then
+        Alcotest.failf "shared drain finished at %.4f" longest
+  | _ -> Alcotest.fail "expected two finishes"
+
+let test_close_and_await () =
+  Helpers.run_sim (fun engine ->
+      let net = make_net engine in
+      let c = Simos.Net.connect net ~link_rate:lan ~rtt in
+      ignore (Simos.Net.server_send c ~len:1000);
+      Simos.Net.server_close c;
+      Alcotest.(check bool) "closed" true (Simos.Net.server_closed c);
+      Simos.Net.client_await_close c;
+      Alcotest.(check int) "all delivered" 1000 (Simos.Net.delivered_bytes net))
+
+let test_send_after_close_rejected () =
+  Helpers.run_sim (fun engine ->
+      let net = make_net engine in
+      let c = Simos.Net.connect net ~link_rate:lan ~rtt in
+      Simos.Net.server_close c;
+      match Simos.Net.server_send c ~len:10 with
+      | _ -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ())
+
+let test_await_response_framing () =
+  let engine = Sim.Engine.create () in
+  let net = make_net engine in
+  let got = ref None in
+  ignore
+    (Sim.Proc.spawn engine ~name:"client" (fun () ->
+         let c = Simos.Net.connect net ~link_rate:lan ~rtt in
+         ignore
+           (Sim.Proc.spawn engine ~name:"server" (fun () ->
+                Sim.Proc.delay 0.01;
+                ignore (Simos.Net.server_send c ~len:500);
+                Simos.Net.mark_response_done c));
+         got := Some (Simos.Net.client_await_response c)));
+  ignore (Sim.Engine.run engine);
+  Alcotest.(check bool) "response observed" true (!got = Some `Ok)
+
+let test_await_response_closed () =
+  let engine = Sim.Engine.create () in
+  let net = make_net engine in
+  let got = ref None in
+  ignore
+    (Sim.Proc.spawn engine ~name:"client" (fun () ->
+         let c = Simos.Net.connect net ~link_rate:lan ~rtt in
+         ignore
+           (Sim.Proc.spawn engine ~name:"server" (fun () ->
+                Sim.Proc.delay 0.01;
+                Simos.Net.server_close c));
+         got := Some (Simos.Net.client_await_response c)));
+  ignore (Sim.Engine.run engine);
+  Alcotest.(check bool) "close observed" true (!got = Some `Closed)
+
+let test_delivered_accounting () =
+  Helpers.run_sim (fun engine ->
+      let net = make_net engine in
+      let c = Simos.Net.connect net ~link_rate:lan ~rtt in
+      ignore (Simos.Net.server_send c ~len:12_345);
+      ignore (Simos.Net.client_await_bytes c 12_345);
+      Alcotest.(check int) "delivered" 12_345 (Simos.Net.delivered_bytes net);
+      Alcotest.(check int) "created" 1 (Simos.Net.connections_created net))
+
+let suite =
+  [
+    Alcotest.test_case "connect/accept" `Quick test_connect_accept;
+    Alcotest.test_case "request trails accept by RTT" `Quick
+      test_request_arrives_after_accept;
+    Alcotest.test_case "partial recv" `Quick test_recv_partial;
+    Alcotest.test_case "would-block and EOF" `Quick test_recv_would_block_and_eof;
+    Alcotest.test_case "send buffer fills" `Quick test_send_buffer_fills;
+    Alcotest.test_case "drain at link rate" `Quick test_drain_rate_link_limited;
+    Alcotest.test_case "NIC shared fairly" `Quick test_nic_shared_fairly;
+    Alcotest.test_case "close and await" `Quick test_close_and_await;
+    Alcotest.test_case "send after close rejected" `Quick
+      test_send_after_close_rejected;
+    Alcotest.test_case "response framing" `Quick test_await_response_framing;
+    Alcotest.test_case "close without response" `Quick test_await_response_closed;
+    Alcotest.test_case "delivered accounting" `Quick test_delivered_accounting;
+  ]

@@ -1,0 +1,158 @@
+(* Qualitative reproduction invariants (DESIGN.md §4): small-scale
+   versions of the paper's headline comparisons, asserted as orderings.
+   These run full simulated experiments and are marked Slow. *)
+
+let run ~profile ~server ~fileset ~trace ~warmup ~duration =
+  Workload.Driver.run ~clients:48 ~warmup ~duration ~profile ~server ~fileset
+    ~next:(fun i -> Workload.Trace.request_path trace i)
+    ()
+
+let cached_workload () =
+  let fileset =
+    Workload.Fileset.generate (Workload.Fileset.owlnet_like ~files:400 ~seed:3)
+  in
+  let trace = Workload.Trace.generate fileset ~length:20_000 ~alpha:1.0 ~seed:4 in
+  (fileset, trace)
+
+let disk_bound_workload () =
+  let base =
+    Workload.Fileset.generate (Workload.Fileset.ece_like ~files:9000 ~seed:31)
+  in
+  let fileset =
+    Workload.Fileset.truncate base ~dataset_bytes:(145 * 1024 * 1024)
+  in
+  let trace = Workload.Trace.generate fileset ~length:40_000 ~alpha:0.9 ~seed:5 in
+  (fileset, trace)
+
+let mbps r = r.Workload.Driver.mbits_per_s
+
+let test_cached_architectures_close () =
+  let fileset, trace = cached_workload () in
+  let go server =
+    run ~profile:Simos.Os_profile.freebsd ~server ~fileset ~trace ~warmup:2.
+      ~duration:3.
+  in
+  let flash = mbps (go Flash.Config.flash) in
+  let sped = mbps (go Flash.Config.flash_sped) in
+  let mp = mbps (go Flash.Config.flash_mp) in
+  (* Architecture matters little when everything is cached (Figs 6/7). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "SPED %.1f >= Flash %.1f (mincore overhead)" sped flash)
+    true
+    (sped >= flash *. 0.97);
+  Alcotest.(check bool)
+    (Printf.sprintf "Flash %.1f within 15%% of MP %.1f" flash mp)
+    true
+    (Float.abs (flash -. mp) /. flash < 0.15)
+
+let test_apache_trails_cached () =
+  let fileset, trace = cached_workload () in
+  let go server =
+    run ~profile:Simos.Os_profile.freebsd ~server ~fileset ~trace ~warmup:2.
+      ~duration:3.
+  in
+  let flash = mbps (go Flash.Config.flash) in
+  let apache = mbps (go Flash.Config.apache) in
+  Alcotest.(check bool)
+    (Printf.sprintf "Apache %.1f well below Flash %.1f" apache flash)
+    true
+    (apache < flash *. 0.7)
+
+let test_disk_bound_sped_collapses () =
+  let fileset, trace = disk_bound_workload () in
+  let go server =
+    run ~profile:Simos.Os_profile.freebsd ~server ~fileset ~trace ~warmup:15.
+      ~duration:6.
+  in
+  let flash = mbps (go Flash.Config.flash) in
+  let sped = mbps (go Flash.Config.flash_sped) in
+  let mp = mbps (go Flash.Config.flash_mp) in
+  Alcotest.(check bool)
+    (Printf.sprintf "Flash %.1f > MP %.1f disk-bound" flash mp)
+    true (flash > mp);
+  Alcotest.(check bool)
+    (Printf.sprintf "MP %.1f > SPED %.1f disk-bound" mp sped)
+    true (mp > sped);
+  Alcotest.(check bool)
+    (Printf.sprintf "Flash %.1f >= 1.4x SPED %.1f" flash sped)
+    true
+    (flash >= sped *. 1.4)
+
+let test_cache_ablation_hurts () =
+  let fileset, trace = cached_workload () in
+  let go server =
+    run ~profile:Simos.Os_profile.freebsd ~server ~fileset ~trace ~warmup:2.
+      ~duration:3.
+  in
+  let all = go Flash.Config.flash in
+  let none =
+    go
+      (Flash.Config.with_caches Flash.Config.flash ~pathname:false ~mmap:false
+         ~header:false)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "no caches %.0f req/s well below all %.0f req/s"
+       none.Workload.Driver.requests_per_s all.Workload.Driver.requests_per_s)
+    true
+    (none.Workload.Driver.requests_per_s
+    < all.Workload.Driver.requests_per_s *. 0.8)
+
+let test_solaris_slower_than_freebsd () =
+  let fileset, trace = cached_workload () in
+  let go profile =
+    run ~profile ~server:Flash.Config.flash ~fileset ~trace ~warmup:2.
+      ~duration:3.
+  in
+  let freebsd = mbps (go Simos.Os_profile.freebsd) in
+  let solaris = mbps (go Simos.Os_profile.solaris) in
+  Alcotest.(check bool)
+    (Printf.sprintf "Solaris %.1f below FreeBSD %.1f" solaris freebsd)
+    true
+    (solaris < freebsd *. 0.8)
+
+let test_wan_mp_collapses () =
+  let base =
+    Workload.Fileset.generate (Workload.Fileset.ece_like ~files:9000 ~seed:31)
+  in
+  let fileset = Workload.Fileset.truncate base ~dataset_bytes:(80 * 1024 * 1024) in
+  let trace = Workload.Trace.generate fileset ~length:30_000 ~alpha:0.9 ~seed:6 in
+  let go server clients =
+    let server =
+      match server.Flash.Config.arch with
+      | Flash.Config.Mp | Flash.Config.Mt ->
+          { server with Flash.Config.processes = clients }
+      | _ -> server
+    in
+    Workload.Driver.run ~clients ~persistent:true ~warmup:8. ~duration:5.
+      ~profile:Simos.Os_profile.solaris ~server ~fileset
+      ~next:(fun i -> Workload.Trace.request_path trace i)
+      ()
+  in
+  let flash_small = mbps (go Flash.Config.flash 32) in
+  let flash_large = mbps (go Flash.Config.flash 320) in
+  let mp_small = mbps (go Flash.Config.flash_mp 32) in
+  let mp_large = mbps (go Flash.Config.flash_mp 320) in
+  (* Figure 12: AMPED stays flat; MP collapses with client count. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "Flash flat: %.1f -> %.1f" flash_small flash_large)
+    true
+    (flash_large > flash_small *. 0.7);
+  Alcotest.(check bool)
+    (Printf.sprintf "MP collapses: %.1f -> %.1f" mp_small mp_large)
+    true
+    (mp_large < mp_small *. 0.5)
+
+let suite =
+  [
+    Alcotest.test_case "cached: architectures close, SPED edges Flash" `Slow
+      test_cached_architectures_close;
+    Alcotest.test_case "cached: Apache trails" `Slow test_apache_trails_cached;
+    Alcotest.test_case "disk-bound: Flash > MP > SPED" `Slow
+      test_disk_bound_sped_collapses;
+    Alcotest.test_case "caches off hurts throughput" `Slow
+      test_cache_ablation_hurts;
+    Alcotest.test_case "Solaris slower than FreeBSD" `Slow
+      test_solaris_slower_than_freebsd;
+    Alcotest.test_case "WAN: Flash flat, MP collapses" `Slow
+      test_wan_mp_collapses;
+  ]

@@ -1,0 +1,72 @@
+let test_write_read () =
+  let p = Simos.Pipe.create () in
+  Alcotest.(check bool) "initially empty" true (Simos.Pipe.read p = None);
+  Simos.Pipe.write p 1;
+  Simos.Pipe.write p 2;
+  Alcotest.(check int) "length" 2 (Simos.Pipe.length p);
+  Alcotest.(check bool) "ready" true
+    (Simos.Pollable.is_ready (Simos.Pipe.pollable p));
+  Alcotest.(check (option int)) "first" (Some 1) (Simos.Pipe.read p);
+  Alcotest.(check (option int)) "second" (Some 2) (Simos.Pipe.read p);
+  Alcotest.(check bool) "not ready when drained" false
+    (Simos.Pollable.is_ready (Simos.Pipe.pollable p));
+  Alcotest.(check (option int)) "empty" None (Simos.Pipe.read p)
+
+let test_read_blocking () =
+  let engine = Sim.Engine.create () in
+  let p = Simos.Pipe.create () in
+  let got = ref 0 in
+  ignore
+    (Sim.Proc.spawn engine ~name:"reader" (fun () ->
+         got := Simos.Pipe.read_blocking p));
+  ignore
+    (Sim.Proc.spawn engine ~name:"writer" (fun () ->
+         Sim.Proc.delay 1.;
+         Simos.Pipe.write p 99));
+  ignore (Sim.Engine.run engine);
+  Alcotest.(check int) "value" 99 !got
+
+let test_blocked_reader_gets_value_directly () =
+  let engine = Sim.Engine.create () in
+  let p = Simos.Pipe.create () in
+  let order = ref [] in
+  let reader name =
+    ignore
+      (Sim.Proc.spawn engine ~name (fun () ->
+           (* Bind first: [::] evaluates its right operand before the
+              blocking read, which would capture a stale list. *)
+           let v = Simos.Pipe.read_blocking p in
+           order := (name, v) :: !order))
+  in
+  reader "r1";
+  reader "r2";
+  ignore
+    (Sim.Proc.spawn engine ~name:"w" (fun () ->
+         Sim.Proc.delay 0.1;
+         Simos.Pipe.write p 1;
+         Simos.Pipe.write p 2));
+  ignore (Sim.Engine.run engine);
+  Alcotest.(check (list (pair string int)))
+    "FIFO readers" [ ("r1", 1); ("r2", 2) ] (List.rev !order)
+
+let test_select_integration () =
+  (* A select over the pipe's pollable wakes when a message arrives. *)
+  let engine = Sim.Engine.create () in
+  let p = Simos.Pipe.create () in
+  let woke_at = ref 0. in
+  ignore
+    (Sim.Proc.spawn engine ~name:"selector" (fun () ->
+         Simos.Pollable.wait_ready (Simos.Pipe.pollable p);
+         woke_at := Sim.Engine.now engine));
+  Sim.Engine.schedule engine ~delay:3. (fun () -> Simos.Pipe.write p ());
+  ignore (Sim.Engine.run engine);
+  Helpers.check_float ~msg:"woke on write" 3. !woke_at
+
+let suite =
+  [
+    Alcotest.test_case "write/read FIFO" `Quick test_write_read;
+    Alcotest.test_case "blocking read" `Quick test_read_blocking;
+    Alcotest.test_case "blocked readers FIFO" `Quick
+      test_blocked_reader_gets_value_directly;
+    Alcotest.test_case "select integration" `Quick test_select_integration;
+  ]

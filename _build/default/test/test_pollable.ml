@@ -1,0 +1,72 @@
+let test_initial_state () =
+  let p = Simos.Pollable.create () in
+  Alcotest.(check bool) "not ready" false (Simos.Pollable.is_ready p);
+  let q = Simos.Pollable.create ~ready:true () in
+  Alcotest.(check bool) "ready" true (Simos.Pollable.is_ready q)
+
+let test_watcher_fires_on_transition () =
+  let p = Simos.Pollable.create () in
+  let fired = ref 0 in
+  Simos.Pollable.add_watcher p (fun () -> incr fired);
+  Simos.Pollable.set_ready p false;
+  Alcotest.(check int) "no fire on false" 0 !fired;
+  Simos.Pollable.set_ready p true;
+  Alcotest.(check int) "fires on true" 1 !fired;
+  Simos.Pollable.set_ready p true;
+  Alcotest.(check int) "no fire when already true" 1 !fired
+
+let test_watcher_immediate_when_ready () =
+  let p = Simos.Pollable.create ~ready:true () in
+  let fired = ref false in
+  Simos.Pollable.add_watcher p (fun () -> fired := true);
+  Alcotest.(check bool) "immediate" true !fired
+
+let test_watchers_one_shot () =
+  let p = Simos.Pollable.create () in
+  let fired = ref 0 in
+  Simos.Pollable.add_watcher p (fun () -> incr fired);
+  Simos.Pollable.set_ready p true;
+  Simos.Pollable.set_ready p false;
+  Simos.Pollable.set_ready p true;
+  Alcotest.(check int) "only once" 1 !fired;
+  Alcotest.(check int) "no watchers left" 0 (Simos.Pollable.watcher_count p)
+
+let test_watcher_order () =
+  let p = Simos.Pollable.create () in
+  let log = ref [] in
+  Simos.Pollable.add_watcher p (fun () -> log := 1 :: !log);
+  Simos.Pollable.add_watcher p (fun () -> log := 2 :: !log);
+  Simos.Pollable.set_ready p true;
+  Alcotest.(check (list int)) "registration order" [ 1; 2 ] (List.rev !log)
+
+let test_wait_ready () =
+  let engine = Sim.Engine.create () in
+  let p = Simos.Pollable.create () in
+  let woke_at = ref 0. in
+  ignore
+    (Sim.Proc.spawn engine ~name:"waiter" (fun () ->
+         Simos.Pollable.wait_ready p;
+         woke_at := Sim.Engine.now engine));
+  Sim.Engine.schedule engine ~delay:2. (fun () -> Simos.Pollable.set_ready p true);
+  ignore (Sim.Engine.run engine);
+  Helpers.check_float ~msg:"woke when ready" 2. !woke_at
+
+let test_wait_ready_immediate () =
+  let t =
+    Helpers.run_sim (fun engine ->
+        let p = Simos.Pollable.create ~ready:true () in
+        Simos.Pollable.wait_ready p;
+        Sim.Engine.now engine)
+  in
+  Helpers.check_float ~msg:"no wait" 0. t
+
+let suite =
+  [
+    Alcotest.test_case "initial state" `Quick test_initial_state;
+    Alcotest.test_case "fires on false->true" `Quick test_watcher_fires_on_transition;
+    Alcotest.test_case "immediate when ready" `Quick test_watcher_immediate_when_ready;
+    Alcotest.test_case "watchers are one-shot" `Quick test_watchers_one_shot;
+    Alcotest.test_case "watcher order" `Quick test_watcher_order;
+    Alcotest.test_case "wait_ready blocks" `Quick test_wait_ready;
+    Alcotest.test_case "wait_ready immediate" `Quick test_wait_ready_immediate;
+  ]

@@ -1,0 +1,106 @@
+let test_delay_advances_time () =
+  let t =
+    Helpers.run_sim (fun engine ->
+        Sim.Proc.delay 1.5;
+        Sim.Engine.now engine)
+  in
+  Helpers.check_float ~msg:"time after delay" 1.5 t
+
+let test_yield_keeps_time () =
+  let t =
+    Helpers.run_sim (fun engine ->
+        Sim.Proc.yield ();
+        Sim.Engine.now engine)
+  in
+  Helpers.check_float ~msg:"time after yield" 0. t
+
+let test_self_distinct () =
+  let engine = Sim.Engine.create () in
+  let ids = ref [] in
+  let p1 = Sim.Proc.spawn engine ~name:"a" (fun () -> ids := Sim.Proc.self () :: !ids) in
+  let p2 = Sim.Proc.spawn engine ~name:"b" (fun () -> ids := Sim.Proc.self () :: !ids) in
+  ignore (Sim.Engine.run engine);
+  Alcotest.(check bool) "ids distinct" true (p1 <> p2);
+  Alcotest.(check bool) "self matches spawn ids" true
+    (List.sort Int.compare !ids = List.sort Int.compare [ p1; p2 ])
+
+let test_name_registered () =
+  let engine = Sim.Engine.create () in
+  let pid = Sim.Proc.spawn engine ~name:"worker-7" ignore in
+  Alcotest.(check string) "name" "worker-7" (Sim.Proc.name_of pid)
+
+let test_suspend_resume () =
+  let resumer = ref None in
+  let got =
+    Helpers.run_sim (fun engine ->
+        Sim.Engine.schedule engine ~delay:2. (fun () ->
+            match !resumer with Some r -> r 42 | None -> ());
+        Sim.Proc.suspend (fun resume -> resumer := Some resume))
+  in
+  Alcotest.(check int) "value through suspend" 42 got
+
+let test_interleaving () =
+  let engine = Sim.Engine.create () in
+  let log = ref [] in
+  let push tag = log := tag :: !log in
+  ignore
+    (Sim.Proc.spawn engine ~name:"a" (fun () ->
+         push "a1";
+         Sim.Proc.delay 2.;
+         push "a2"));
+  ignore
+    (Sim.Proc.spawn engine ~name:"b" (fun () ->
+         push "b1";
+         Sim.Proc.delay 1.;
+         push "b2"));
+  ignore (Sim.Engine.run engine);
+  Alcotest.(check (list string)) "interleaved by time" [ "a1"; "b1"; "b2"; "a2" ]
+    (List.rev !log)
+
+let test_negative_delay () =
+  let raised =
+    Helpers.run_sim (fun _ ->
+        try
+          Sim.Proc.delay (-1.);
+          false
+        with Sim.Proc.Negative_delay -> true)
+  in
+  Alcotest.(check bool) "Negative_delay raised inside proc" true raised
+
+let test_double_resume_detected () =
+  let engine = Sim.Engine.create () in
+  let boom = ref false in
+  ignore
+    (Sim.Proc.spawn engine ~name:"victim" (fun () ->
+         ignore
+           (Sim.Proc.suspend (fun resume ->
+                resume 1;
+                (* The second resume must be rejected. *)
+                match resume 2 with () -> () | exception Failure _ -> boom := true))));
+  ignore (Sim.Engine.run engine);
+  Alcotest.(check bool) "second resume rejected" true !boom
+
+let test_many_procs () =
+  let engine = Sim.Engine.create () in
+  let finished = ref 0 in
+  for i = 1 to 500 do
+    ignore
+      (Sim.Proc.spawn engine ~name:(string_of_int i) (fun () ->
+           Sim.Proc.delay (float_of_int (i mod 7) /. 10.);
+           incr finished))
+  done;
+  ignore (Sim.Engine.run engine);
+  Alcotest.(check int) "all processes finished" 500 !finished
+
+let suite =
+  [
+    Alcotest.test_case "delay advances time" `Quick test_delay_advances_time;
+    Alcotest.test_case "yield keeps time" `Quick test_yield_keeps_time;
+    Alcotest.test_case "self ids distinct" `Quick test_self_distinct;
+    Alcotest.test_case "names registered" `Quick test_name_registered;
+    Alcotest.test_case "suspend/resume passes value" `Quick test_suspend_resume;
+    Alcotest.test_case "processes interleave by time" `Quick test_interleaving;
+    Alcotest.test_case "negative delay raises" `Quick test_negative_delay;
+    Alcotest.test_case "double resume detected" `Quick test_double_resume_detected;
+    Alcotest.test_case "500 processes" `Quick test_many_procs;
+  ]

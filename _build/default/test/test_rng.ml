@@ -1,0 +1,118 @@
+let test_determinism () =
+  let a = Sim.Rng.create ~seed:123 in
+  let b = Sim.Rng.create ~seed:123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Sim.Rng.bits64 a) (Sim.Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Sim.Rng.create ~seed:1 in
+  let b = Sim.Rng.create ~seed:2 in
+  Alcotest.(check bool) "different streams" false
+    (Sim.Rng.bits64 a = Sim.Rng.bits64 b)
+
+let test_split_independent () =
+  let a = Sim.Rng.create ~seed:9 in
+  let b = Sim.Rng.split a in
+  let xa = Sim.Rng.bits64 a and xb = Sim.Rng.bits64 b in
+  Alcotest.(check bool) "split differs" false (xa = xb)
+
+let test_float_range () =
+  let rng = Sim.Rng.create ~seed:5 in
+  for _ = 1 to 10_000 do
+    let f = Sim.Rng.float rng in
+    if f < 0. || f >= 1. then Alcotest.failf "float out of range: %f" f
+  done
+
+let test_int_range () =
+  let rng = Sim.Rng.create ~seed:6 in
+  for _ = 1 to 10_000 do
+    let v = Sim.Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "int out of range: %d" v
+  done
+
+let test_int_invalid () =
+  let rng = Sim.Rng.create ~seed:6 in
+  Alcotest.check_raises "bound 0"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Sim.Rng.int rng 0))
+
+let test_int_covers () =
+  let rng = Sim.Rng.create ~seed:7 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1000 do
+    seen.(Sim.Rng.int rng 5) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_uniform_range () =
+  let rng = Sim.Rng.create ~seed:8 in
+  for _ = 1 to 1000 do
+    let v = Sim.Rng.uniform rng ~lo:3. ~hi:7. in
+    if v < 3. || v >= 7. then Alcotest.failf "uniform out of range: %f" v
+  done
+
+let test_exponential_mean () =
+  let rng = Sim.Rng.create ~seed:10 in
+  let n = 50_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    let v = Sim.Rng.exponential rng ~mean:2.0 in
+    if v < 0. then Alcotest.fail "negative exponential";
+    sum := !sum +. v
+  done;
+  let mean = !sum /. float_of_int n in
+  if mean < 1.9 || mean > 2.1 then Alcotest.failf "exponential mean %f" mean
+
+let test_pareto_minimum () =
+  let rng = Sim.Rng.create ~seed:11 in
+  for _ = 1 to 10_000 do
+    let v = Sim.Rng.pareto rng ~xm:100. ~alpha:1.5 in
+    if v < 100. then Alcotest.failf "pareto below xm: %f" v
+  done
+
+let test_lognormal_positive () =
+  let rng = Sim.Rng.create ~seed:12 in
+  for _ = 1 to 10_000 do
+    let v = Sim.Rng.lognormal rng ~mu:8. ~sigma:1.3 in
+    if v <= 0. then Alcotest.failf "lognormal non-positive: %f" v
+  done
+
+let test_normal_moments () =
+  let rng = Sim.Rng.create ~seed:13 in
+  let n = 100_000 in
+  let sum = ref 0. and sumsq = ref 0. in
+  for _ = 1 to n do
+    let v = Sim.Rng.normal rng in
+    sum := !sum +. v;
+    sumsq := !sumsq +. (v *. v)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  if Float.abs mean > 0.02 then Alcotest.failf "normal mean %f" mean;
+  if Float.abs (var -. 1.) > 0.05 then Alcotest.failf "normal var %f" var
+
+let test_shuffle_permutation () =
+  let rng = Sim.Rng.create ~seed:14 in
+  let a = Array.init 50 Fun.id in
+  Sim.Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 50 Fun.id) sorted
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "float in [0,1)" `Quick test_float_range;
+    Alcotest.test_case "int in range" `Quick test_int_range;
+    Alcotest.test_case "int rejects bound 0" `Quick test_int_invalid;
+    Alcotest.test_case "int covers range" `Quick test_int_covers;
+    Alcotest.test_case "uniform range" `Quick test_uniform_range;
+    Alcotest.test_case "exponential mean" `Slow test_exponential_mean;
+    Alcotest.test_case "pareto minimum" `Quick test_pareto_minimum;
+    Alcotest.test_case "lognormal positive" `Quick test_lognormal_positive;
+    Alcotest.test_case "normal moments" `Slow test_normal_moments;
+    Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
+  ]

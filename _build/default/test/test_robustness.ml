@@ -1,0 +1,213 @@
+(* Failure-injection and protocol-edge coverage: pipelined requests and
+   clients that vanish mid-response, in both the simulated and live
+   servers. *)
+
+(* ---------------- simulated server ---------------- *)
+
+let sim_setup config files =
+  let engine = Sim.Engine.create ~seed:21 () in
+  let kernel = Simos.Kernel.create engine Simos.Os_profile.freebsd in
+  List.iter
+    (fun (path, size) ->
+      ignore (Simos.Fs.add_file (Simos.Kernel.fs kernel) ~path ~size))
+    files;
+  let server = Flash.Server.start kernel config in
+  (engine, kernel, server)
+
+let test_sim_pipelined_requests config () =
+  (* Two keep-alive requests sent back-to-back in one burst: the server
+     must answer both on the same connection. *)
+  let engine, kernel, server =
+    sim_setup config [ ("/p1.html", 2000); ("/p2.html", 3000) ]
+  in
+  let responses = ref 0 in
+  ignore
+    (Sim.Proc.spawn engine ~name:"pipeliner" (fun () ->
+         let c =
+           Simos.Net.connect (Simos.Kernel.net kernel) ~link_rate:12.5e6
+             ~rtt:0.0003
+         in
+         Simos.Net.client_send c
+           ("GET /p1.html HTTP/1.1\r\nHost: t\r\n\r\n"
+          ^ "GET /p2.html HTTP/1.1\r\nHost: t\r\n\r\n");
+         (match Simos.Net.client_await_response c with
+         | `Ok -> incr responses
+         | `Closed -> ());
+         (match Simos.Net.client_await_response c with
+         | `Ok -> incr responses
+         | `Closed -> ());
+         Simos.Net.client_close c));
+  ignore (Sim.Engine.run ~until:5. engine);
+  Alcotest.(check int) "both pipelined responses" 2 !responses;
+  Alcotest.(check int) "server completed both" 2 (Flash.Server.completed server)
+
+let test_sim_client_aborts_midstream config () =
+  (* The client disappears while a large response is draining; the server
+     must keep serving others. *)
+  let engine, kernel, server =
+    sim_setup config [ ("/big.bin", 400_000); ("/small.html", 1000) ]
+  in
+  let survivor_ok = ref false in
+  ignore
+    (Sim.Proc.spawn engine ~name:"aborter" (fun () ->
+         let c =
+           Simos.Net.connect (Simos.Kernel.net kernel) ~link_rate:1e6
+             ~rtt:0.0003
+         in
+         Simos.Net.client_send c "GET /big.bin HTTP/1.0\r\n\r\n";
+         (* Take a little data, then vanish. *)
+         ignore (Simos.Net.client_await_bytes c 10_000);
+         Simos.Net.client_close c));
+  ignore
+    (Sim.Proc.spawn engine ~name:"survivor" (fun () ->
+         Sim.Proc.delay 0.5;
+         let c =
+           Simos.Net.connect (Simos.Kernel.net kernel) ~link_rate:12.5e6
+             ~rtt:0.0003
+         in
+         Simos.Net.client_send c "GET /small.html HTTP/1.0\r\n\r\n";
+         (match Simos.Net.client_await_response c with
+         | `Ok -> survivor_ok := true
+         | `Closed -> ());
+         Simos.Net.client_close c));
+  ignore (Sim.Engine.run ~until:10. engine);
+  Alcotest.(check bool) "other clients unaffected" true !survivor_ok;
+  ignore server
+
+let test_sim_empty_connection () =
+  (* Connect and immediately close without sending anything. *)
+  let engine, kernel, server = sim_setup Flash.Config.flash [ ("/x", 100) ] in
+  ignore
+    (Sim.Proc.spawn engine ~name:"ghost" (fun () ->
+         let c =
+           Simos.Net.connect (Simos.Kernel.net kernel) ~link_rate:12.5e6
+             ~rtt:0.0003
+         in
+         Sim.Proc.delay 0.01;
+         Simos.Net.client_close c));
+  ignore (Sim.Engine.run ~until:2. engine);
+  Alcotest.(check int) "nothing served, nothing broken" 0
+    (Flash.Server.completed server)
+
+let test_sim_slow_loris_partial_request () =
+  (* A request head trickling in tiny fragments must still parse. *)
+  let engine, kernel, server = sim_setup Flash.Config.flash [ ("/s.html", 500) ] in
+  let ok = ref false in
+  ignore
+    (Sim.Proc.spawn engine ~name:"trickler" (fun () ->
+         let c =
+           Simos.Net.connect (Simos.Kernel.net kernel) ~link_rate:12.5e6
+             ~rtt:0.0003
+         in
+         let request = "GET /s.html HTTP/1.0\r\nHost: t\r\n\r\n" in
+         String.iter
+           (fun ch ->
+             Simos.Net.client_send c (String.make 1 ch);
+             Sim.Proc.delay 0.002)
+           request;
+         (match Simos.Net.client_await_response c with
+         | `Ok -> ok := true
+         | `Closed -> ());
+         Simos.Net.client_close c));
+  ignore (Sim.Engine.run ~until:5. engine);
+  Alcotest.(check bool) "trickled request served" true !ok;
+  Alcotest.(check int) "no errors" 0 (Flash.Server.errors server)
+
+(* ---------------- live server ---------------- *)
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let with_live_server f =
+  let dir = Filename.temp_file "flash_rob" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  write_file (Filename.concat dir "a.html") "alpha";
+  write_file (Filename.concat dir "b.html") "bravo";
+  write_file (Filename.concat dir "big.bin") (String.make 500_000 'Z');
+  let server =
+    Flash_live.Server.start_background (Flash_live.Server.default_config ~docroot:dir)
+  in
+  Fun.protect
+    ~finally:(fun () -> Flash_live.Server.stop server)
+    (fun () -> f server (Flash_live.Server.port server))
+
+let test_live_pipelined () =
+  with_live_server (fun _ port ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let burst =
+        "GET /a.html HTTP/1.1\r\nHost: t\r\n\r\n"
+        ^ "GET /b.html HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+      in
+      ignore (Unix.write_substring fd burst 0 (String.length burst));
+      let buf = Bytes.create 65536 in
+      let acc = Buffer.create 256 in
+      let rec drain () =
+        match Unix.read fd buf 0 65536 with
+        | 0 -> ()
+        | n ->
+            Buffer.add_subbytes acc buf 0 n;
+            drain ()
+        | exception Unix.Unix_error _ -> ()
+      in
+      drain ();
+      Unix.close fd;
+      let raw = Buffer.contents acc in
+      Alcotest.(check bool) "first body present" true
+        (Helpers.contains ~affix:"alpha" raw);
+      Alcotest.(check bool) "second body present" true
+        (Helpers.contains ~affix:"bravo" raw))
+
+let test_live_abort_midstream () =
+  with_live_server (fun server port ->
+      (* Start a large transfer and slam the socket shut. *)
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req = "GET /big.bin HTTP/1.0\r\n\r\n" in
+      ignore (Unix.write_substring fd req 0 (String.length req));
+      let buf = Bytes.create 4096 in
+      ignore (Unix.read fd buf 0 4096);
+      Unix.close fd;
+      (* The server must still answer new clients. *)
+      let r = Flash_live.Client.get ~host:"127.0.0.1" ~port "/a.html" in
+      Alcotest.(check int) "still serving" 200 r.Flash_live.Client.status;
+      Alcotest.(check string) "body intact" "alpha" r.Flash_live.Client.body;
+      ignore server)
+
+let test_live_garbage_then_valid () =
+  with_live_server (fun _ port ->
+      (* A connection sending garbage gets a 400 and is closed... *)
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let junk = "\x00\x01\x02 garbage\r\n\r\n" in
+      ignore (Unix.write_substring fd junk 0 (String.length junk));
+      let buf = Bytes.create 4096 in
+      let n = Unix.read fd buf 0 4096 in
+      Alcotest.(check bool) "400 answered" true
+        (n > 0 && Helpers.contains ~affix:"400" (Bytes.sub_string buf 0 n));
+      Unix.close fd;
+      (* ...and a fresh valid client is unaffected. *)
+      let r = Flash_live.Client.get ~host:"127.0.0.1" ~port "/b.html" in
+      Alcotest.(check int) "valid client fine" 200 r.Flash_live.Client.status)
+
+let suite =
+  [
+    Alcotest.test_case "sim: pipelined requests (AMPED)" `Quick
+      (test_sim_pipelined_requests Flash.Config.flash);
+    Alcotest.test_case "sim: pipelined requests (MP)" `Quick
+      (test_sim_pipelined_requests Flash.Config.flash_mp);
+    Alcotest.test_case "sim: client aborts midstream (AMPED)" `Quick
+      (test_sim_client_aborts_midstream Flash.Config.flash);
+    Alcotest.test_case "sim: client aborts midstream (SPED)" `Quick
+      (test_sim_client_aborts_midstream Flash.Config.flash_sped);
+    Alcotest.test_case "sim: empty connection" `Quick test_sim_empty_connection;
+    Alcotest.test_case "sim: trickled request head" `Quick
+      test_sim_slow_loris_partial_request;
+    Alcotest.test_case "live: pipelined requests" `Quick test_live_pipelined;
+    Alcotest.test_case "live: abort midstream" `Quick test_live_abort_midstream;
+    Alcotest.test_case "live: garbage then valid client" `Quick
+      test_live_garbage_then_valid;
+  ]

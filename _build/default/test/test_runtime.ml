@@ -1,0 +1,171 @@
+(* Runtime helpers: path resolution, response construction, misalignment
+   budgets and CPU charging. *)
+
+let make_rt ?(config = Flash.Config.flash) () =
+  Helpers.run_sim (fun engine ->
+      let kernel = Simos.Kernel.create engine Simos.Os_profile.freebsd in
+      (engine, kernel, Flash.Runtime.create kernel config))
+
+let req ?(meth = Http.Request.Get) path =
+  {
+    Http.Request.meth;
+    raw_target = path;
+    path;
+    query = None;
+    version = (1, 0);
+    headers = [];
+  }
+
+let test_resolve_path () =
+  let _, _, rt = make_rt () in
+  let resolve p = Flash.Runtime.resolve_path rt (req p) in
+  Alcotest.(check (option string)) "plain" (Some "/a/b.html")
+    (resolve "/a/b.html");
+  Alcotest.(check (option string)) "root index" (Some "/index.html") (resolve "/");
+  Alcotest.(check (option string)) "dir index" (Some "/docs/index.html")
+    (resolve "/docs/");
+  Alcotest.(check (option string)) "dot-dot collapse" (Some "/b") (resolve "/a/../b");
+  Alcotest.(check (option string)) "escape rejected" None (resolve "/../etc/passwd")
+
+let test_is_cgi_path () =
+  Alcotest.(check bool) "cgi" true (Flash.Runtime.is_cgi_path "/cgi-bin/x");
+  Alcotest.(check bool) "static" false (Flash.Runtime.is_cgi_path "/a/cgi-bin");
+  Alcotest.(check bool) "short" false (Flash.Runtime.is_cgi_path "/cgi")
+
+let test_charge_request_costs_time () =
+  Helpers.run_sim (fun engine ->
+      let kernel = Simos.Kernel.create engine Simos.Os_profile.freebsd in
+      let rt = Flash.Runtime.create kernel Flash.Config.flash in
+      let t0 = Sim.Engine.now engine in
+      Flash.Runtime.charge_request rt ~bytes:100;
+      let p = Simos.Os_profile.freebsd in
+      Helpers.check_float ~msg:"base + parse" ~eps:1e-9
+        (p.Simos.Os_profile.request_base
+        +. (100. *. p.Simos.Os_profile.parse_byte))
+        (Sim.Engine.now engine -. t0))
+
+let test_apache_handicap_charged () =
+  Helpers.run_sim (fun engine ->
+      let kernel = Simos.Kernel.create engine Simos.Os_profile.freebsd in
+      let rt = Flash.Runtime.create kernel Flash.Config.apache in
+      let t0 = Sim.Engine.now engine in
+      Flash.Runtime.charge_request rt ~bytes:0;
+      let p = Simos.Os_profile.freebsd in
+      Helpers.check_float ~msg:"base + handicap" ~eps:1e-9
+        (p.Simos.Os_profile.request_base
+        +. Flash.Config.apache.Flash.Config.extra_request_cpu)
+        (Sim.Engine.now engine -. t0))
+
+let test_ok_response_shape () =
+  Helpers.run_sim (fun engine ->
+      let kernel = Simos.Kernel.create engine Simos.Os_profile.freebsd in
+      let rt = Flash.Runtime.create kernel Flash.Config.flash in
+      let file =
+        Simos.Fs.add_file (Simos.Kernel.fs kernel) ~path:"/p.html" ~size:4321
+      in
+      let resp =
+        Flash.Runtime.ok_response rt rt.Flash.Runtime.shared_caches
+          (req "/p.html") file ~keep:true
+      in
+      Alcotest.(check bool) "200" true (resp.Flash.Runtime.status = Http.Status.Ok);
+      Alcotest.(check int) "body length" 4321 resp.Flash.Runtime.body_len;
+      Alcotest.(check bool) "keep" true resp.Flash.Runtime.keep;
+      Alcotest.(check int) "header aligned" 0
+        (String.length resp.Flash.Runtime.header mod 32);
+      Alcotest.(check bool) "content length present" true
+        (Helpers.contains ~affix:"Content-Length: 4321" resp.Flash.Runtime.header))
+
+let test_head_response_no_body () =
+  Helpers.run_sim (fun engine ->
+      let kernel = Simos.Kernel.create engine Simos.Os_profile.freebsd in
+      let rt = Flash.Runtime.create kernel Flash.Config.flash in
+      let file =
+        Simos.Fs.add_file (Simos.Kernel.fs kernel) ~path:"/h.html" ~size:100
+      in
+      let resp =
+        Flash.Runtime.ok_response rt rt.Flash.Runtime.shared_caches
+          (req ~meth:Http.Request.Head "/h.html") file ~keep:false
+      in
+      Alcotest.(check bool) "head_only" true resp.Flash.Runtime.head_only)
+
+let test_misaligned_budget () =
+  let _, _, rt_aligned = make_rt ~config:Flash.Config.flash () in
+  let _, _, rt_zeus = make_rt ~config:(Flash.Config.zeus ~processes:1) () in
+  let resp body_len head_only =
+    {
+      Flash.Runtime.status = Http.Status.Ok;
+      file = None;
+      header = "H";
+      body_len;
+      head_only;
+      keep = false;
+    }
+  in
+  Alcotest.(check int) "aligned config pays nothing" 0
+    (Flash.Runtime.misaligned_budget rt_aligned (resp 100_000 false));
+  Alcotest.(check int) "unaligned small body all misaligned" 5_000
+    (Flash.Runtime.misaligned_budget rt_zeus (resp 5_000 false));
+  (* Bounded by the first writev (io_chunk / sndbuf = 64 KB). *)
+  Alcotest.(check int) "unaligned large body capped" 65536
+    (Flash.Runtime.misaligned_budget rt_zeus (resp 500_000 false));
+  Alcotest.(check int) "HEAD pays nothing" 0
+    (Flash.Runtime.misaligned_budget rt_zeus (resp 5_000 true))
+
+let test_cgi_response () =
+  Helpers.run_sim (fun engine ->
+      let kernel = Simos.Kernel.create engine Simos.Os_profile.freebsd in
+      let rt = Flash.Runtime.create kernel Flash.Config.flash in
+      let resp = Flash.Runtime.cgi_response rt (req "/cgi-bin/x") ~bytes:777 ~keep:false in
+      Alcotest.(check int) "body bytes" 777 resp.Flash.Runtime.body_len;
+      Alcotest.(check bool) "no file" true (resp.Flash.Runtime.file = None);
+      Alcotest.(check bool) "content length advertised" true
+        (Helpers.contains ~affix:"Content-Length: 777" resp.Flash.Runtime.header))
+
+let test_error_response () =
+  Helpers.run_sim (fun engine ->
+      let kernel = Simos.Kernel.create engine Simos.Os_profile.freebsd in
+      let rt = Flash.Runtime.create kernel Flash.Config.flash in
+      let resp =
+        Flash.Runtime.error_response rt (req "/nope") Http.Status.Not_found
+          ~keep:false
+      in
+      Alcotest.(check bool) "404" true
+        (resp.Flash.Runtime.status = Http.Status.Not_found);
+      Alcotest.(check bool) "has body" true (resp.Flash.Runtime.body_len > 0);
+      Flash.Runtime.finished rt resp;
+      Alcotest.(check int) "error counted" 1 rt.Flash.Runtime.errors;
+      Alcotest.(check int) "completion counted" 1 rt.Flash.Runtime.completed)
+
+let test_mt_gets_mutex () =
+  let _, _, rt_mt = make_rt ~config:Flash.Config.flash_mt () in
+  let _, _, rt_sped = make_rt ~config:Flash.Config.flash_sped () in
+  Alcotest.(check bool) "MT has cache mutex" true
+    (rt_mt.Flash.Runtime.cache_mutex <> None);
+  Alcotest.(check bool) "SPED has none" true
+    (rt_sped.Flash.Runtime.cache_mutex = None)
+
+let test_heuristic_only_for_amped () =
+  let _, _, rt_h = make_rt ~config:Flash.Config.flash_heuristic () in
+  let sped_h =
+    { Flash.Config.flash_sped with Flash.Config.residency_heuristic = true }
+  in
+  let _, _, rt_sped = make_rt ~config:sped_h () in
+  Alcotest.(check bool) "Flash-H has predictor" true
+    (rt_h.Flash.Runtime.residency <> None);
+  Alcotest.(check bool) "SPED never has one" true
+    (rt_sped.Flash.Runtime.residency = None)
+
+let suite =
+  [
+    Alcotest.test_case "resolve_path" `Quick test_resolve_path;
+    Alcotest.test_case "is_cgi_path" `Quick test_is_cgi_path;
+    Alcotest.test_case "charge_request timing" `Quick test_charge_request_costs_time;
+    Alcotest.test_case "Apache handicap charged" `Quick test_apache_handicap_charged;
+    Alcotest.test_case "ok_response shape" `Quick test_ok_response_shape;
+    Alcotest.test_case "HEAD carries no body" `Quick test_head_response_no_body;
+    Alcotest.test_case "misaligned budget" `Quick test_misaligned_budget;
+    Alcotest.test_case "cgi_response" `Quick test_cgi_response;
+    Alcotest.test_case "error_response and accounting" `Quick test_error_response;
+    Alcotest.test_case "MT gets a cache mutex" `Quick test_mt_gets_mutex;
+    Alcotest.test_case "predictor only on AMPED" `Quick test_heuristic_only_for_amped;
+  ]

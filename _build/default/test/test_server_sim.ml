@@ -1,0 +1,233 @@
+(* Integration tests: full simulated servers serving real HTTP over the
+   modeled network, for every architecture. *)
+
+let profile = Simos.Os_profile.freebsd
+
+let setup ?(config = Flash.Config.flash) ?(files = []) () =
+  let engine = Sim.Engine.create ~seed:11 () in
+  let kernel = Simos.Kernel.create engine profile in
+  List.iter
+    (fun (path, size) ->
+      ignore (Simos.Fs.add_file (Simos.Kernel.fs kernel) ~path ~size))
+    files;
+  let server = Flash.Server.start kernel config in
+  (engine, kernel, server)
+
+(* A scripted client: sends [requests] sequentially on fresh connections,
+   recording the outcome of each. *)
+let scripted_client engine kernel outcomes requests =
+  ignore
+    (Sim.Proc.spawn engine ~name:"client" (fun () ->
+         List.iter
+           (fun req ->
+             let c =
+               Simos.Net.connect (Simos.Kernel.net kernel) ~link_rate:12.5e6
+                 ~rtt:0.0003
+             in
+             Simos.Net.client_send c req;
+             let r = Simos.Net.client_await_response c in
+             outcomes := r :: !outcomes;
+             Simos.Net.client_close c)
+           requests))
+
+let test_serves_request config () =
+  let engine, kernel, server =
+    setup ~config ~files:[ ("/site/index.html", 4000) ] ()
+  in
+  let outcomes = ref [] in
+  scripted_client engine kernel outcomes
+    [ "GET /site/index.html HTTP/1.0\r\nHost: t\r\n\r\n" ];
+  ignore (Sim.Engine.run ~until:5. engine);
+  Alcotest.(check int) "one response" 1 (List.length !outcomes);
+  Alcotest.(check bool) "ok" true (List.for_all (( = ) `Ok) !outcomes);
+  Alcotest.(check int) "completed" 1 (Flash.Server.completed server);
+  Alcotest.(check int) "no errors" 0 (Flash.Server.errors server)
+
+let test_full_bytes_delivered () =
+  let size = 200_000 in
+  let engine, kernel, _ = setup ~files:[ ("/big.bin", size) ] () in
+  let received = ref 0 in
+  ignore
+    (Sim.Proc.spawn engine ~name:"client" (fun () ->
+         let c =
+           Simos.Net.connect (Simos.Kernel.net kernel) ~link_rate:12.5e6
+             ~rtt:0.0003
+         in
+         Simos.Net.client_send c "GET /big.bin HTTP/1.0\r\n\r\n";
+         ignore (Simos.Net.client_await_response c);
+         received := Simos.Net.delivered_bytes (Simos.Kernel.net kernel)));
+  ignore (Sim.Engine.run ~until:10. engine);
+  Alcotest.(check bool)
+    (Printf.sprintf "got at least the file (%d >= %d)" !received size)
+    true (!received >= size)
+
+let test_not_found () =
+  let engine, kernel, server = setup ~files:[ ("/exists", 100) ] () in
+  let outcomes = ref [] in
+  scripted_client engine kernel outcomes [ "GET /ghost.html HTTP/1.0\r\n\r\n" ];
+  ignore (Sim.Engine.run ~until:5. engine);
+  Alcotest.(check bool) "got a response" true (!outcomes = [ `Ok ]);
+  Alcotest.(check int) "counted as error" 1 (Flash.Server.errors server)
+
+let test_bad_request () =
+  let engine, kernel, server = setup () in
+  let outcomes = ref [] in
+  scripted_client engine kernel outcomes [ "NONSENSE\r\n\r\n" ];
+  ignore (Sim.Engine.run ~until:5. engine);
+  Alcotest.(check bool) "got a response" true (!outcomes = [ `Ok ]);
+  Alcotest.(check int) "400 counted" 1 (Flash.Server.errors server)
+
+let test_dot_segment_rejected () =
+  let engine, kernel, server = setup ~files:[ ("/a/secret", 10) ] () in
+  let outcomes = ref [] in
+  scripted_client engine kernel outcomes
+    [ "GET /../../etc/passwd HTTP/1.0\r\n\r\n" ];
+  ignore (Sim.Engine.run ~until:5. engine);
+  Alcotest.(check bool) "got a response" true (!outcomes = [ `Ok ]);
+  Alcotest.(check int) "403 counted" 1 (Flash.Server.errors server)
+
+let test_index_resolution () =
+  let engine, kernel, server =
+    setup ~files:[ ("/index.html", 2000); ("/dir/index.html", 3000) ] ()
+  in
+  let outcomes = ref [] in
+  scripted_client engine kernel outcomes
+    [ "GET / HTTP/1.0\r\n\r\n"; "GET /dir/ HTTP/1.0\r\n\r\n" ];
+  ignore (Sim.Engine.run ~until:5. engine);
+  Alcotest.(check int) "two responses" 2 (List.length !outcomes);
+  Alcotest.(check int) "no errors" 0 (Flash.Server.errors server)
+
+let test_head_request () =
+  let engine, kernel, server = setup ~files:[ ("/h.html", 50_000) ] () in
+  let before = Simos.Net.delivered_bytes (Simos.Kernel.net kernel) in
+  let outcomes = ref [] in
+  scripted_client engine kernel outcomes [ "HEAD /h.html HTTP/1.0\r\n\r\n" ];
+  ignore (Sim.Engine.run ~until:5. engine);
+  let delivered = Simos.Net.delivered_bytes (Simos.Kernel.net kernel) - before in
+  Alcotest.(check bool) "only the header went out" true (delivered < 1000);
+  Alcotest.(check int) "completed" 1 (Flash.Server.completed server)
+
+let test_keep_alive_pipeline () =
+  let engine, kernel, server = setup ~files:[ ("/k.html", 1000) ] () in
+  let responses = ref 0 in
+  ignore
+    (Sim.Proc.spawn engine ~name:"client" (fun () ->
+         let c =
+           Simos.Net.connect (Simos.Kernel.net kernel) ~link_rate:12.5e6
+             ~rtt:0.0003
+         in
+         for _ = 1 to 3 do
+           Simos.Net.client_send c "GET /k.html HTTP/1.1\r\nHost: t\r\n\r\n";
+           match Simos.Net.client_await_response c with
+           | `Ok -> incr responses
+           | `Closed -> ()
+         done;
+         Simos.Net.client_close c));
+  ignore (Sim.Engine.run ~until:5. engine);
+  Alcotest.(check int) "three responses on one connection" 3 !responses;
+  Alcotest.(check int) "server agrees" 3 (Flash.Server.completed server);
+  Alcotest.(check int) "one connection" 1
+    (Simos.Net.connections_created (Simos.Kernel.net kernel))
+
+let test_amped_uses_helpers_on_cold_files () =
+  (* Cold files: translations and page-ins must go through helpers. *)
+  let files = List.init 30 (fun i -> (Printf.sprintf "/cold/f%d.bin" i, 100_000)) in
+  let engine, kernel, server = setup ~config:Flash.Config.flash ~files () in
+  let outcomes = ref [] in
+  scripted_client engine kernel outcomes
+    (List.map (fun (p, _) -> "GET " ^ p ^ " HTTP/1.0\r\n\r\n") files);
+  ignore (Sim.Engine.run ~until:30. engine);
+  Alcotest.(check int) "all served" 30 (List.length !outcomes);
+  Alcotest.(check int) "no errors" 0 (Flash.Server.errors server);
+  Alcotest.(check bool) "helpers dispatched" true
+    (Flash.Server.helper_dispatches server > 0);
+  Alcotest.(check bool) "helpers spawned" true
+    (Flash.Server.helpers_spawned server > 0)
+
+let test_sped_never_spawns_helpers () =
+  let files = [ ("/cold/a.bin", 100_000) ] in
+  let engine, kernel, server = setup ~config:Flash.Config.flash_sped ~files () in
+  let outcomes = ref [] in
+  scripted_client engine kernel outcomes [ "GET /cold/a.bin HTTP/1.0\r\n\r\n" ];
+  ignore (Sim.Engine.run ~until:10. engine);
+  Alcotest.(check int) "served" 1 (List.length !outcomes);
+  Alcotest.(check int) "no helpers" 0 (Flash.Server.helpers_spawned server)
+
+let test_helper_pool_bounded () =
+  let config = { Flash.Config.flash with Flash.Config.max_helpers = 3 } in
+  let files = List.init 40 (fun i -> (Printf.sprintf "/hb/f%d.bin" i, 200_000)) in
+  let engine, kernel, server = setup ~config ~files () in
+  (* Many concurrent clients to pressure the pool. *)
+  for i = 0 to 19 do
+    let outcomes = ref [] in
+    scripted_client engine kernel outcomes
+      [ Printf.sprintf "GET /hb/f%d.bin HTTP/1.0\r\n\r\n" i ]
+  done;
+  ignore (Sim.Engine.run ~until:30. engine);
+  Alcotest.(check bool) "pool bounded" true (Flash.Server.helpers_spawned server <= 3);
+  Alcotest.(check bool) "requests served" true (Flash.Server.completed server >= 20)
+
+let test_memory_footprints () =
+  let foot config =
+    let _, _, server = setup ~config () in
+    Flash.Server.memory_footprint server
+  in
+  let sped = foot Flash.Config.flash_sped in
+  let mp = foot Flash.Config.flash_mp in
+  let mt = foot Flash.Config.flash_mt in
+  Alcotest.(check bool) "MP heaviest" true (mp > mt && mt > sped)
+
+let test_mt_uses_lock () =
+  let files = [ ("/mt.html", 1000) ] in
+  let engine, kernel, server = setup ~config:Flash.Config.flash_mt ~files () in
+  let outcomes = ref [] in
+  scripted_client engine kernel outcomes
+    (List.init 5 (fun _ -> "GET /mt.html HTTP/1.0\r\n\r\n"));
+  ignore (Sim.Engine.run ~until:5. engine);
+  Alcotest.(check int) "served" 5 (List.length !outcomes);
+  ignore server
+
+let test_cache_stats_accumulate () =
+  let files = [ ("/s.html", 1000) ] in
+  let engine, kernel, server = setup ~config:Flash.Config.flash ~files () in
+  let outcomes = ref [] in
+  scripted_client engine kernel outcomes
+    (List.init 6 (fun _ -> "GET /s.html HTTP/1.0\r\n\r\n"));
+  ignore (Sim.Engine.run ~until:5. engine);
+  Alcotest.(check bool) "pathname hits after repeats" true
+    (Flash.Server.pathname_hits server >= 4);
+  Alcotest.(check bool) "header cache hit" true (Flash.Server.header_hits server >= 4);
+  Alcotest.(check bool) "mmap reuse" true (Flash.Server.mmap_reuse_hits server >= 4)
+
+let suite =
+  [
+    Alcotest.test_case "AMPED serves a request" `Quick
+      (test_serves_request Flash.Config.flash);
+    Alcotest.test_case "SPED serves a request" `Quick
+      (test_serves_request Flash.Config.flash_sped);
+    Alcotest.test_case "MP serves a request" `Quick
+      (test_serves_request Flash.Config.flash_mp);
+    Alcotest.test_case "MT serves a request" `Quick
+      (test_serves_request Flash.Config.flash_mt);
+    Alcotest.test_case "Apache model serves a request" `Quick
+      (test_serves_request Flash.Config.apache);
+    Alcotest.test_case "Zeus model serves a request" `Quick
+      (test_serves_request (Flash.Config.zeus ~processes:1));
+    Alcotest.test_case "Zeus 2-process serves a request" `Quick
+      (test_serves_request (Flash.Config.zeus ~processes:2));
+    Alcotest.test_case "full bytes delivered" `Quick test_full_bytes_delivered;
+    Alcotest.test_case "404 for missing file" `Quick test_not_found;
+    Alcotest.test_case "400 for malformed request" `Quick test_bad_request;
+    Alcotest.test_case "403 for escaping path" `Quick test_dot_segment_rejected;
+    Alcotest.test_case "index file resolution" `Quick test_index_resolution;
+    Alcotest.test_case "HEAD sends no body" `Quick test_head_request;
+    Alcotest.test_case "keep-alive serves multiple requests" `Quick
+      test_keep_alive_pipeline;
+    Alcotest.test_case "AMPED dispatches helpers when cold" `Quick
+      test_amped_uses_helpers_on_cold_files;
+    Alcotest.test_case "SPED spawns no helpers" `Quick test_sped_never_spawns_helpers;
+    Alcotest.test_case "helper pool bounded" `Quick test_helper_pool_bounded;
+    Alcotest.test_case "memory footprints ordered" `Quick test_memory_footprints;
+    Alcotest.test_case "MT serves under shared caches" `Quick test_mt_uses_lock;
+    Alcotest.test_case "cache statistics accumulate" `Quick test_cache_stats_accumulate;
+  ]

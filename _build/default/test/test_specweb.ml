@@ -1,0 +1,128 @@
+(* SPECweb96-like workload generator and trace temporal locality. *)
+
+let test_structure () =
+  let spec = Workload.Specweb.generate ~directories:3 ~seed:1 in
+  let fileset = Workload.Specweb.fileset spec in
+  (* 3 dirs x 4 classes x 9 files *)
+  Alcotest.(check int) "file count" (3 * 4 * 9)
+    (Workload.Fileset.file_count fileset);
+  (* Every directory holds the same ~5 MB population. *)
+  let per_dir = Workload.Specweb.dataset_bytes spec / 3 in
+  if per_dir < 4_500_000 || per_dir > 5_500_000 then
+    Alcotest.failf "per-directory bytes %d not ~5MB" per_dir
+
+let test_class_of_size () =
+  Alcotest.(check int) "tiny" 0 (Workload.Specweb.class_of_size 500);
+  Alcotest.(check int) "small" 1 (Workload.Specweb.class_of_size 5_000);
+  Alcotest.(check int) "medium" 2 (Workload.Specweb.class_of_size 50_000);
+  Alcotest.(check int) "large" 3 (Workload.Specweb.class_of_size 500_000)
+
+let test_class_mix () =
+  let spec = Workload.Specweb.generate ~directories:5 ~seed:2 in
+  let fileset = Workload.Specweb.fileset spec in
+  let size_of = Hashtbl.create 256 in
+  Array.iteri
+    (fun i p -> Hashtbl.replace size_of p fileset.Workload.Fileset.sizes.(i))
+    fileset.Workload.Fileset.paths;
+  let rng = Sim.Rng.create ~seed:3 in
+  let counts = Array.make 4 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let path = Workload.Specweb.sample spec rng in
+    let size =
+      match Hashtbl.find_opt size_of path with
+      | Some s -> s
+      | None -> Alcotest.failf "sampled unknown path %s" path
+    in
+    let cls = Workload.Specweb.class_of_size size in
+    counts.(cls) <- counts.(cls) + 1
+  done;
+  Array.iteri
+    (fun cls expected ->
+      let got = float_of_int counts.(cls) /. float_of_int n in
+      if Float.abs (got -. expected) > 0.03 then
+        Alcotest.failf "class %d fraction %.3f, expected %.3f" cls got expected)
+    Workload.Specweb.class_mix
+
+let test_sample_paths_exist () =
+  let spec = Workload.Specweb.generate ~directories:2 ~seed:4 in
+  let fileset = Workload.Specweb.fileset spec in
+  let rng = Sim.Rng.create ~seed:5 in
+  for _ = 1 to 500 do
+    let p = Workload.Specweb.sample spec rng in
+    if not (Array.exists (( = ) p) fileset.Workload.Fileset.paths) then
+      Alcotest.failf "sampled path %s not in fileset" p
+  done
+
+let test_specweb_servable () =
+  let spec = Workload.Specweb.generate ~directories:2 ~seed:6 in
+  let rng = Sim.Rng.create ~seed:7 in
+  let r =
+    Workload.Driver.run ~clients:8 ~warmup:0.5 ~duration:1.
+      ~profile:Simos.Os_profile.freebsd ~server:Flash.Config.flash
+      ~fileset:(Workload.Specweb.fileset spec)
+      ~next:(fun _ -> Workload.Specweb.sample spec rng)
+      ()
+  in
+  Alcotest.(check int) "no errors" 0 r.Workload.Driver.errors;
+  Alcotest.(check bool) "throughput" true (r.Workload.Driver.requests_per_s > 0.)
+
+(* ---------------- temporal locality ---------------- *)
+
+let repeat_fraction requests window =
+  let n = Array.length requests in
+  let hits = ref 0 in
+  for i = 1 to n - 1 do
+    let lo = max 0 (i - window) in
+    let found = ref false in
+    for j = lo to i - 1 do
+      if requests.(j) = requests.(i) then found := true
+    done;
+    if !found then incr hits
+  done;
+  float_of_int !hits /. float_of_int (n - 1)
+
+let test_locality_raises_repeats () =
+  let fileset =
+    Workload.Fileset.generate (Workload.Fileset.ece_like ~files:2000 ~seed:8)
+  in
+  let plain = Workload.Trace.generate fileset ~length:4000 ~alpha:0.6 ~seed:9 in
+  let local =
+    Workload.Trace.generate ~locality:(0.5, 16) fileset ~length:4000 ~alpha:0.6
+      ~seed:9
+  in
+  let base = repeat_fraction plain.Workload.Trace.requests 16 in
+  let boosted = repeat_fraction local.Workload.Trace.requests 16 in
+  Alcotest.(check bool)
+    (Printf.sprintf "locality raises short-window repeats (%.3f -> %.3f)" base
+       boosted)
+    true
+    (boosted > base +. 0.2)
+
+let test_locality_validation () =
+  let fileset =
+    Workload.Fileset.generate (Workload.Fileset.ece_like ~files:10 ~seed:8)
+  in
+  Alcotest.check_raises "bad p" (Invalid_argument "Trace.generate: locality p")
+    (fun () ->
+      ignore
+        (Workload.Trace.generate ~locality:(1.5, 4) fileset ~length:10
+           ~alpha:1.0 ~seed:1));
+  Alcotest.check_raises "bad window"
+    (Invalid_argument "Trace.generate: locality window") (fun () ->
+      ignore
+        (Workload.Trace.generate ~locality:(0.5, 0) fileset ~length:10
+           ~alpha:1.0 ~seed:1))
+
+let suite =
+  [
+    Alcotest.test_case "specweb structure" `Quick test_structure;
+    Alcotest.test_case "class_of_size" `Quick test_class_of_size;
+    Alcotest.test_case "class mix matches spec" `Slow test_class_mix;
+    Alcotest.test_case "sampled paths exist" `Quick test_sample_paths_exist;
+    Alcotest.test_case "specweb servable end-to-end" `Slow test_specweb_servable;
+    Alcotest.test_case "temporal locality raises repeats" `Quick
+      test_locality_raises_repeats;
+    Alcotest.test_case "locality argument validation" `Quick
+      test_locality_validation;
+  ]

@@ -1,0 +1,58 @@
+let test_counter () =
+  let c = Sim.Stat.Counter.create () in
+  Alcotest.(check int) "zero" 0 (Sim.Stat.Counter.value c);
+  Sim.Stat.Counter.incr c;
+  Sim.Stat.Counter.add c 5;
+  Alcotest.(check int) "six" 6 (Sim.Stat.Counter.value c);
+  Sim.Stat.Counter.reset c;
+  Alcotest.(check int) "reset" 0 (Sim.Stat.Counter.value c)
+
+let test_tally () =
+  let t = Sim.Stat.Tally.create () in
+  List.iter (Sim.Stat.Tally.add t) [ 1.; 2.; 3.; 4. ];
+  Alcotest.(check int) "count" 4 (Sim.Stat.Tally.count t);
+  Helpers.check_float ~msg:"mean" 2.5 (Sim.Stat.Tally.mean t);
+  Helpers.check_float ~msg:"min" 1. (Sim.Stat.Tally.min t);
+  Helpers.check_float ~msg:"max" 4. (Sim.Stat.Tally.max t);
+  Helpers.check_float ~msg:"total" 10. (Sim.Stat.Tally.total t)
+
+let test_tally_empty_mean () =
+  let t = Sim.Stat.Tally.create () in
+  Helpers.check_float ~msg:"empty mean" 0. (Sim.Stat.Tally.mean t)
+
+let test_histogram_percentiles () =
+  let h = Sim.Stat.Histogram.create ~lo:0. ~hi:100. ~buckets:100 in
+  for i = 1 to 100 do
+    Sim.Stat.Histogram.add h (float_of_int i -. 0.5)
+  done;
+  let p50 = Sim.Stat.Histogram.percentile h 50. in
+  let p90 = Sim.Stat.Histogram.percentile h 90. in
+  if Float.abs (p50 -. 50.) > 1.5 then Alcotest.failf "p50 = %f" p50;
+  if Float.abs (p90 -. 90.) > 1.5 then Alcotest.failf "p90 = %f" p90
+
+let test_histogram_clamps () =
+  let h = Sim.Stat.Histogram.create ~lo:0. ~hi:10. ~buckets:10 in
+  Sim.Stat.Histogram.add h (-5.);
+  Sim.Stat.Histogram.add h 50.;
+  Alcotest.(check int) "both counted" 2 (Sim.Stat.Histogram.count h)
+
+let test_histogram_empty () =
+  let h = Sim.Stat.Histogram.create ~lo:0. ~hi:1. ~buckets:4 in
+  Alcotest.(check bool) "nan when empty" true
+    (Float.is_nan (Sim.Stat.Histogram.percentile h 50.))
+
+let test_histogram_invalid () =
+  Alcotest.check_raises "hi <= lo"
+    (Invalid_argument "Stat.Histogram.create: hi <= lo") (fun () ->
+      ignore (Sim.Stat.Histogram.create ~lo:1. ~hi:1. ~buckets:4))
+
+let suite =
+  [
+    Alcotest.test_case "counter" `Quick test_counter;
+    Alcotest.test_case "tally" `Quick test_tally;
+    Alcotest.test_case "tally empty mean" `Quick test_tally_empty_mean;
+    Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+    Alcotest.test_case "histogram clamps outliers" `Quick test_histogram_clamps;
+    Alcotest.test_case "histogram empty percentile" `Quick test_histogram_empty;
+    Alcotest.test_case "histogram invalid bounds" `Quick test_histogram_invalid;
+  ]

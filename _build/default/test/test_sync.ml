@@ -1,0 +1,198 @@
+module Mutex = Sim.Sync.Mutex
+module Condition = Sim.Sync.Condition
+module Semaphore = Sim.Sync.Semaphore
+module Mailbox = Sim.Sync.Mailbox
+
+let test_mutex_basic () =
+  Helpers.run_sim (fun _ ->
+      let m = Mutex.create () in
+      Alcotest.(check bool) "unlocked" false (Mutex.locked m);
+      Mutex.lock m;
+      Alcotest.(check bool) "locked" true (Mutex.locked m);
+      Mutex.unlock m;
+      Alcotest.(check bool) "unlocked again" false (Mutex.locked m))
+
+let test_mutex_exclusion () =
+  let engine = Sim.Engine.create () in
+  let m = Mutex.create () in
+  let inside = ref 0 in
+  let max_inside = ref 0 in
+  for i = 1 to 8 do
+    ignore
+      (Sim.Proc.spawn engine ~name:(Printf.sprintf "locker%d" i) (fun () ->
+           Mutex.lock m;
+           incr inside;
+           if !inside > !max_inside then max_inside := !inside;
+           Sim.Proc.delay 0.1;
+           decr inside;
+           Mutex.unlock m))
+  done;
+  ignore (Sim.Engine.run engine);
+  Alcotest.(check int) "never two inside" 1 !max_inside;
+  Alcotest.(check int) "contention recorded" 7 (Mutex.contended_count m);
+  Alcotest.(check int) "locks recorded" 8 (Mutex.lock_count m)
+
+let test_mutex_fifo () =
+  let engine = Sim.Engine.create () in
+  let m = Mutex.create () in
+  let order = ref [] in
+  ignore
+    (Sim.Proc.spawn engine ~name:"holder" (fun () ->
+         Mutex.lock m;
+         Sim.Proc.delay 1.;
+         Mutex.unlock m));
+  for i = 1 to 3 do
+    ignore
+      (Sim.Proc.spawn engine ~name:(string_of_int i) (fun () ->
+           Sim.Proc.delay (0.1 *. float_of_int i);
+           Mutex.lock m;
+           order := i :: !order;
+           Mutex.unlock m))
+  done;
+  ignore (Sim.Engine.run engine);
+  Alcotest.(check (list int)) "FIFO handoff" [ 1; 2; 3 ] (List.rev !order)
+
+let test_try_lock () =
+  Helpers.run_sim (fun _ ->
+      let m = Mutex.create () in
+      Alcotest.(check bool) "first try succeeds" true (Mutex.try_lock m);
+      Alcotest.(check bool) "second try fails" false (Mutex.try_lock m);
+      Mutex.unlock m;
+      Alcotest.(check bool) "after unlock succeeds" true (Mutex.try_lock m))
+
+let test_unlock_unlocked () =
+  Helpers.run_sim (fun _ ->
+      let m = Mutex.create () in
+      match Mutex.unlock m with
+      | () -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ())
+
+let test_condition () =
+  let engine = Sim.Engine.create () in
+  let m = Mutex.create () in
+  let cond = Condition.create () in
+  let ready = ref false in
+  let observed = ref false in
+  ignore
+    (Sim.Proc.spawn engine ~name:"waiter" (fun () ->
+         Mutex.lock m;
+         while not !ready do
+           Condition.wait cond m
+         done;
+         observed := true;
+         Mutex.unlock m));
+  ignore
+    (Sim.Proc.spawn engine ~name:"signaller" (fun () ->
+         Sim.Proc.delay 1.;
+         Mutex.lock m;
+         ready := true;
+         Condition.signal cond;
+         Mutex.unlock m));
+  ignore (Sim.Engine.run engine);
+  Alcotest.(check bool) "waiter observed" true !observed
+
+let test_condition_broadcast () =
+  let engine = Sim.Engine.create () in
+  let m = Mutex.create () in
+  let cond = Condition.create () in
+  let ready = ref false in
+  let woken = ref 0 in
+  for i = 1 to 5 do
+    ignore
+      (Sim.Proc.spawn engine ~name:(string_of_int i) (fun () ->
+           Mutex.lock m;
+           while not !ready do
+             Condition.wait cond m
+           done;
+           incr woken;
+           Mutex.unlock m))
+  done;
+  ignore
+    (Sim.Proc.spawn engine ~name:"b" (fun () ->
+         Sim.Proc.delay 1.;
+         Mutex.lock m;
+         ready := true;
+         Condition.broadcast cond;
+         Mutex.unlock m));
+  ignore (Sim.Engine.run engine);
+  Alcotest.(check int) "all woken" 5 !woken
+
+let test_semaphore_bound () =
+  let engine = Sim.Engine.create () in
+  let sem = Semaphore.create 2 in
+  let inside = ref 0 in
+  let max_inside = ref 0 in
+  for i = 1 to 6 do
+    ignore
+      (Sim.Proc.spawn engine ~name:(string_of_int i) (fun () ->
+           Semaphore.acquire sem;
+           incr inside;
+           if !inside > !max_inside then max_inside := !inside;
+           Sim.Proc.delay 0.5;
+           decr inside;
+           Semaphore.release sem))
+  done;
+  ignore (Sim.Engine.run engine);
+  Alcotest.(check int) "at most 2 inside" 2 !max_inside
+
+let test_semaphore_negative () =
+  Alcotest.check_raises "negative create"
+    (Invalid_argument "Sync.Semaphore.create: negative value") (fun () ->
+      ignore (Semaphore.create (-1)))
+
+let test_try_acquire () =
+  Helpers.run_sim (fun _ ->
+      let sem = Semaphore.create 1 in
+      Alcotest.(check bool) "first" true (Semaphore.try_acquire sem);
+      Alcotest.(check bool) "second" false (Semaphore.try_acquire sem);
+      Semaphore.release sem;
+      Alcotest.(check bool) "after release" true (Semaphore.try_acquire sem))
+
+let test_mailbox_order () =
+  let engine = Sim.Engine.create () in
+  let mbox = Mailbox.create () in
+  let received = ref [] in
+  ignore
+    (Sim.Proc.spawn engine ~name:"consumer" (fun () ->
+         for _ = 1 to 3 do
+           received := Mailbox.recv mbox :: !received
+         done));
+  ignore
+    (Sim.Proc.spawn engine ~name:"producer" (fun () ->
+         Sim.Proc.delay 0.5;
+         Mailbox.send mbox 1;
+         Mailbox.send mbox 2;
+         Mailbox.send mbox 3));
+  ignore (Sim.Engine.run engine);
+  Alcotest.(check (list int)) "FIFO delivery" [ 1; 2; 3 ] (List.rev !received)
+
+let test_mailbox_blocking_recv () =
+  let engine = Sim.Engine.create () in
+  let mbox = Mailbox.create () in
+  let got_at = ref 0. in
+  ignore
+    (Sim.Proc.spawn engine ~name:"consumer" (fun () ->
+         ignore (Mailbox.recv mbox);
+         got_at := Sim.Engine.now engine));
+  ignore
+    (Sim.Proc.spawn engine ~name:"producer" (fun () ->
+         Sim.Proc.delay 2.;
+         Mailbox.send mbox ()));
+  ignore (Sim.Engine.run engine);
+  Helpers.check_float ~msg:"received when sent" 2. !got_at
+
+let suite =
+  [
+    Alcotest.test_case "mutex basic" `Quick test_mutex_basic;
+    Alcotest.test_case "mutex mutual exclusion" `Quick test_mutex_exclusion;
+    Alcotest.test_case "mutex FIFO handoff" `Quick test_mutex_fifo;
+    Alcotest.test_case "try_lock" `Quick test_try_lock;
+    Alcotest.test_case "unlock unlocked rejected" `Quick test_unlock_unlocked;
+    Alcotest.test_case "condition wait/signal" `Quick test_condition;
+    Alcotest.test_case "condition broadcast" `Quick test_condition_broadcast;
+    Alcotest.test_case "semaphore bounds concurrency" `Quick test_semaphore_bound;
+    Alcotest.test_case "semaphore rejects negative" `Quick test_semaphore_negative;
+    Alcotest.test_case "semaphore try_acquire" `Quick test_try_acquire;
+    Alcotest.test_case "mailbox FIFO" `Quick test_mailbox_order;
+    Alcotest.test_case "mailbox blocking recv" `Quick test_mailbox_blocking_recv;
+  ]
