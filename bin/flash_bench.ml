@@ -1,6 +1,8 @@
 (* flash-bench: a small httperf-style load generator for the live server
    (and any HTTP/1.x server): N closed-loop client threads, reporting
-   throughput and response-time percentiles.
+   throughput and response-time percentiles.  Latencies go into the same
+   log-bucketed histogram the server's /server-status reports
+   (Obs.Histogram), one per worker, merged at the end.
 
      dune exec bin/flash_serve.exe -- --docroot ./site --port 8080 &
      dune exec bin/flash_bench.exe -- --host 127.0.0.1 --port 8080 \
@@ -12,33 +14,19 @@ type worker_stats = {
   mutable completed : int;
   mutable errors : int;
   mutable bytes : int;
-  latencies : float array;  (* ring of recent samples, seconds *)
-  mutable latency_count : int;
+  latencies : Obs.Histogram.t;  (* seconds; merged across workers *)
 }
 
-let new_stats samples =
-  {
-    completed = 0;
-    errors = 0;
-    bytes = 0;
-    latencies = Array.make samples 0.;
-    latency_count = 0;
-  }
+let new_stats () =
+  { completed = 0; errors = 0; bytes = 0; latencies = Obs.Histogram.create () }
 
 let record stats latency bytes ok =
   if ok then begin
     stats.completed <- stats.completed + 1;
     stats.bytes <- stats.bytes + bytes;
-    stats.latencies.(stats.latency_count mod Array.length stats.latencies) <-
-      latency;
-    stats.latency_count <- stats.latency_count + 1
+    Obs.Histogram.record stats.latencies latency
   end
   else stats.errors <- stats.errors + 1
-
-let percentile sorted p =
-  let n = Array.length sorted in
-  if n = 0 then nan
-  else sorted.(min (n - 1) (int_of_float (p /. 100. *. float_of_int n)))
 
 let worker ~host ~port ~path ~keep_alive ~deadline stats () =
   let run_one_keepalive () =
@@ -77,7 +65,7 @@ let run host port path clients duration keep_alive =
     clients host port path duration
     (if keep_alive then "keep-alive" else "connection per request");
   let deadline = Unix.gettimeofday () +. duration in
-  let stats = List.init clients (fun _ -> new_stats 100_000) in
+  let stats = List.init clients (fun _ -> new_stats ()) in
   let t0 = Unix.gettimeofday () in
   let threads =
     List.map
@@ -90,24 +78,24 @@ let run host port path clients duration keep_alive =
   let completed = List.fold_left (fun acc s -> acc + s.completed) 0 stats in
   let errors = List.fold_left (fun acc s -> acc + s.errors) 0 stats in
   let bytes = List.fold_left (fun acc s -> acc + s.bytes) 0 stats in
-  let all_latencies =
-    List.concat_map
-      (fun s ->
-        let n = min s.latency_count (Array.length s.latencies) in
-        Array.to_list (Array.sub s.latencies 0 n))
-      stats
+  let latency =
+    List.fold_left
+      (fun acc s -> Obs.Histogram.merge acc s.latencies)
+      (Obs.Histogram.create ()) stats
   in
-  let sorted = Array.of_list all_latencies in
-  Array.sort Float.compare sorted;
   Format.printf "requests:   %d ok, %d errors in %.2fs@." completed errors elapsed;
   Format.printf "throughput: %.1f req/s, %.2f Mb/s (body bytes)@."
     (float_of_int completed /. elapsed)
     (float_of_int bytes *. 8. /. elapsed /. 1e6);
-  if Array.length sorted > 0 then
-    Format.printf "latency:    p50 %.2f ms, p90 %.2f ms, p99 %.2f ms@."
-      (1000. *. percentile sorted 50.)
-      (1000. *. percentile sorted 90.)
-      (1000. *. percentile sorted 99.);
+  if Obs.Histogram.count latency > 0 then begin
+    let ms p = 1000. *. Obs.Histogram.percentile latency p in
+    Format.printf
+      "latency:    mean %.2f ms, p50 %.2f ms, p90 %.2f ms, p99 %.2f ms, max %.2f ms (%d samples)@."
+      (1000. *. Obs.Histogram.mean latency)
+      (ms 50.) (ms 90.) (ms 99.)
+      (1000. *. Obs.Histogram.max latency)
+      (Obs.Histogram.count latency)
+  end;
   if errors > 0 then exit 1
 
 let host =

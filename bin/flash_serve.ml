@@ -11,7 +11,8 @@ let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info))
 
-let serve docroot port mode helpers cache_mb no_cgi no_align access_log verbose =
+let serve docroot port mode helpers cache_mb no_cgi no_align access_log
+    status_path no_status stall_ms verbose =
   setup_logs verbose;
   let mode =
     match mode with
@@ -47,6 +48,8 @@ let serve docroot port mode helpers cache_mb no_cgi no_align access_log verbose 
       enable_cgi = not no_cgi;
       align_headers = not no_align;
       access_log;
+      status_path = (if no_status then None else Some status_path);
+      stall_threshold = stall_ms /. 1000.;
     }
   in
   let server = Flash_live.Server.start config in
@@ -57,14 +60,29 @@ let serve docroot port mode helpers cache_mb no_cgi no_align access_log verbose 
     | Flash_live.Server.Sped -> "SPED"
     | Flash_live.Server.Mp n -> Printf.sprintf "MP x%d" n
     | Flash_live.Server.Mt n -> Printf.sprintf "MT x%d" n);
+  (match config.Flash_live.Server.status_path with
+  | Some p -> Format.printf "status endpoint: %s (JSON with ?json)@." p
+  | None -> ());
   let stop _ =
     let s = Flash_live.Server.stats server in
     Format.printf
       "@.shutting down: %d requests, %d connections, %d errors, cache %d/%d \
-       hit/miss, %d helper jobs@."
+       hit/miss (%d evicted), %d helper jobs@."
       s.Flash_live.Server.requests s.Flash_live.Server.connections
       s.Flash_live.Server.errors s.Flash_live.Server.cache_hits
-      s.Flash_live.Server.cache_misses s.Flash_live.Server.helper_jobs;
+      s.Flash_live.Server.cache_misses s.Flash_live.Server.cache_evictions
+      s.Flash_live.Server.helper_jobs;
+    let latency = Flash_live.Server.latency server in
+    if Obs.Histogram.count latency > 0 then
+      Format.printf
+        "latency: p50 %.2f ms, p90 %.2f ms, p99 %.2f ms, max %.2f ms; %d loop \
+         stalls (max %.1f ms)@."
+        (1000. *. Obs.Histogram.percentile latency 50.)
+        (1000. *. Obs.Histogram.percentile latency 90.)
+        (1000. *. Obs.Histogram.percentile latency 99.)
+        (1000. *. Obs.Histogram.max latency)
+        s.Flash_live.Server.loop_stalls
+        (1000. *. s.Flash_live.Server.loop_max_stall);
     Flash_live.Server.stop server;
     exit 0
   in
@@ -104,6 +122,22 @@ let access_log =
     & opt (some string) None
     & info [ "access-log" ] ~docv:"FILE" ~doc:"Write a Common Log Format access log.")
 
+let status_path =
+  Arg.(
+    value
+    & opt string "/server-status"
+    & info [ "status-path" ] ~docv:"PATH"
+        ~doc:"Path of the built-in status endpoint (text; ?json for JSON).")
+
+let no_status =
+  Arg.(value & flag & info [ "no-status" ] ~doc:"Disable the status endpoint.")
+
+let stall_ms =
+  Arg.(
+    value & opt float 50.
+    & info [ "stall-threshold" ] ~docv:"MS"
+        ~doc:"Event-loop iterations processing longer than this count as stalls.")
+
 let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Debug logging.")
 
 let cmd =
@@ -112,6 +146,6 @@ let cmd =
     (Cmd.info "flash-serve" ~doc)
     Term.(
       const serve $ docroot $ port $ mode $ helpers $ cache_mb $ no_cgi
-      $ no_align $ access_log $ verbose)
+      $ no_align $ access_log $ status_path $ no_status $ stall_ms $ verbose)
 
 let () = exit (Cmd.eval cmd)

@@ -7,6 +7,8 @@ type 'a t = {
   mutable idle_workers : (unit -> 'a) Simos.Pipe.t list;
   pending : (unit -> 'a) Queue.t;
   mutable spawned : int;
+  depth : Obs.Gauge.t;  (* queued + in-flight jobs *)
+  job_latency : Obs.Histogram.t;  (* dispatch-to-completion, sim seconds *)
 }
 
 let create kernel ~max ~footprint ~name =
@@ -20,12 +22,17 @@ let create kernel ~max ~footprint ~name =
     idle_workers = [];
     pending = Queue.create ();
     spawned = 0;
+    depth = Obs.Gauge.create ();
+    job_latency = Obs.Histogram.create ();
   }
 
 let notify_pipe t = t.notify
 let spawned t = t.spawned
 let idle t = List.length t.idle_workers
 let queued t = Queue.length t.pending
+let queue_depth t = Obs.Gauge.value t.depth
+let queue_depth_hwm t = Obs.Gauge.high_watermark t.depth
+let job_latency t = t.job_latency
 
 (* One helper: block on the task pipe, run the job in this process's
    context (disk blocking and CPU land here), notify, repeat.  Between
@@ -52,6 +59,18 @@ let spawn_worker t =
   task_pipe
 
 let dispatch t ~work =
+  (* Instrument the job at its seam: latency runs from dispatch to the
+     helper finishing the work (in simulated time), depth covers queued
+     and in-flight jobs alike. *)
+  let dispatched_at = Simos.Kernel.now t.kernel in
+  Obs.Gauge.incr t.depth;
+  let work () =
+    let result = work () in
+    Obs.Histogram.record t.job_latency
+      (Simos.Kernel.now t.kernel -. dispatched_at);
+    Obs.Gauge.decr t.depth;
+    result
+  in
   match t.idle_workers with
   | pipe :: rest ->
       t.idle_workers <- rest;

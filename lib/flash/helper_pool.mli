@@ -27,3 +27,14 @@ val notify_pipe : 'a t -> 'a Simos.Pipe.t
 val spawned : 'a t -> int
 val idle : 'a t -> int
 val queued : 'a t -> int
+
+(** Jobs dispatched but not yet finished (queued + in-flight). *)
+val queue_depth : 'a t -> int
+
+(** Deepest {!queue_depth} has ever been. *)
+val queue_depth_hwm : 'a t -> int
+
+(** Dispatch-to-completion latency histogram in simulated seconds — the
+    same {!Obs.Histogram} the live server reports, so simulated and
+    live helper figures share a code path. *)
+val job_latency : 'a t -> Obs.Histogram.t

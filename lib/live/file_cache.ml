@@ -9,10 +9,20 @@ type t = {
   lru : (string, entry) Flash_util.Lru.t;
   mutable hits : int;
   mutable misses : int;
+  evicted : int ref;
 }
 
 let create ~capacity_bytes =
-  { lru = Flash_util.Lru.create ~capacity:(max 1 capacity_bytes) (); hits = 0; misses = 0 }
+  let evicted = ref 0 in
+  {
+    lru =
+      Flash_util.Lru.create
+        ~on_evict:(fun _ _ -> incr evicted)
+        ~capacity:(max 1 capacity_bytes) ();
+    hits = 0;
+    misses = 0;
+    evicted;
+  }
 
 let find t path ~mtime =
   match Flash_util.Lru.find t.lru path with
@@ -45,3 +55,4 @@ let bytes t = Flash_util.Lru.weight t.lru
 let entries t = Flash_util.Lru.length t.lru
 let hits t = t.hits
 let misses t = t.misses
+let evictions t = !(t.evicted)

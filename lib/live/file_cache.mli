@@ -32,3 +32,7 @@ val bytes : t -> int
 val entries : t -> int
 val hits : t -> int
 val misses : t -> int
+
+(** Entries pushed out by capacity pressure (explicit {!remove}s are not
+    counted). *)
+val evictions : t -> int

@@ -1,6 +1,6 @@
 type result = Found of { size : int; mtime : float } | Missing
 
-type job = { key : int; path : string }
+type job = { key : int; path : string; enqueued : float }
 
 type t = {
   queue : job Queue.t;
@@ -9,6 +9,10 @@ type t = {
   notify_read : Unix.file_descr;
   notify_write : Unix.file_descr;
   results : (int, result) Hashtbl.t;  (* guarded by mutex *)
+  clock : unit -> float;
+  slow_read : (string -> unit) option;
+  depth : Obs.Gauge.t;  (* queued + in-flight jobs; guarded by mutex *)
+  job_latency : Obs.Histogram.t;  (* dispatch-to-completion; guarded by mutex *)
   mutable stop : bool;
   mutable dispatched : int;
   mutable threads : Thread.t list;
@@ -16,11 +20,14 @@ type t = {
 
 (* Touch every page of the file: after this, the main process's own read
    will not block on disk.  A fixed 64 KB stride per read call. *)
-let touch_file path =
+let touch_file ?slow_read path =
   match Unix.stat path with
   | exception Unix.Unix_error _ -> Missing
   | st when st.Unix.st_kind <> Unix.S_REG -> Missing
   | st -> (
+      (* The injected media delay models the cold-disk read itself, so it
+         runs here — in helper context — never in the caller's. *)
+      (match slow_read with Some f -> f path | None -> ());
       match Unix.openfile path [ Unix.O_RDONLY ] 0 with
       | exception Unix.Unix_error _ -> Missing
       | fd ->
@@ -45,9 +52,11 @@ let worker t () =
     else begin
       let job = Queue.pop t.queue in
       Mutex.unlock t.mutex;
-      let result = touch_file job.path in
+      let result = touch_file ?slow_read:t.slow_read job.path in
       Mutex.lock t.mutex;
       Hashtbl.replace t.results job.key result;
+      Obs.Histogram.record t.job_latency (t.clock () -. job.enqueued);
+      Obs.Gauge.decr t.depth;
       Mutex.unlock t.mutex;
       (* Wake the select loop; one byte per completion. *)
       (try ignore (Unix.write t.notify_write (Bytes.of_string "x") 0 1)
@@ -57,7 +66,7 @@ let worker t () =
   in
   loop ()
 
-let create ~helpers =
+let create ?(clock = Unix.gettimeofday) ?slow_read ~helpers () =
   if helpers <= 0 then invalid_arg "Helper.create: helpers <= 0";
   let notify_read, notify_write = Unix.pipe () in
   Unix.set_nonblock notify_read;
@@ -69,6 +78,10 @@ let create ~helpers =
       notify_read;
       notify_write;
       results = Hashtbl.create 64;
+      clock;
+      slow_read;
+      depth = Obs.Gauge.create ();
+      job_latency = Obs.Histogram.create ();
       stop = false;
       dispatched = 0;
       threads = [];
@@ -81,8 +94,9 @@ let notify_fd t = t.notify_read
 
 let dispatch t ~key ~path =
   Mutex.lock t.mutex;
-  Queue.push { key; path } t.queue;
+  Queue.push { key; path; enqueued = t.clock () } t.queue;
   t.dispatched <- t.dispatched + 1;
+  Obs.Gauge.incr t.depth;
   Condition.signal t.cond;
   Mutex.unlock t.mutex
 
@@ -104,6 +118,24 @@ let drain t =
   out
 
 let dispatched t = t.dispatched
+
+let queue_depth t =
+  Mutex.lock t.mutex;
+  let d = Obs.Gauge.value t.depth in
+  Mutex.unlock t.mutex;
+  d
+
+let queue_depth_hwm t =
+  Mutex.lock t.mutex;
+  let d = Obs.Gauge.high_watermark t.depth in
+  Mutex.unlock t.mutex;
+  d
+
+let job_latency t =
+  Mutex.lock t.mutex;
+  let h = Obs.Histogram.copy t.job_latency in
+  Mutex.unlock t.mutex;
+  h
 
 let shutdown t =
   Mutex.lock t.mutex;

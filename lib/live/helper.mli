@@ -8,14 +8,24 @@
     asymmetric structure the paper describes, without the fork/threads
     interaction hazards of child processes.  Completion notifications
     are written to a pipe so the main loop picks them up in [select] —
-    like any other IO event. *)
+    like any other IO event.
+
+    The pool is instrumented: a queue-depth gauge (queued plus
+    in-flight jobs) and a log-bucketed histogram of dispatch-to-
+    completion job latency, both measured with an injectable clock. *)
 
 type result = Found of { size : int; mtime : float } | Missing
 
 type t
 
-(** [create ~helpers ~on_idle_spawned] starts the pool. *)
-val create : helpers:int -> t
+(** [create ?clock ?slow_read ~helpers ()] starts the pool.  [clock]
+    (default [Unix.gettimeofday]) timestamps jobs for the latency
+    histogram.  [slow_read], when given, is invoked in helper context
+    with the path before each cold file read — a fault-injection seam
+    that simulates slow media (tests use it to prove the event loop
+    keeps running while helpers block). *)
+val create :
+  ?clock:(unit -> float) -> ?slow_read:(string -> unit) -> helpers:int -> unit -> t
 
 (** File descriptor the main loop should select for readability. *)
 val notify_fd : t -> Unix.file_descr
@@ -28,4 +38,15 @@ val dispatch : t -> key:int -> path:string -> unit
 val drain : t -> (int * result) list
 
 val dispatched : t -> int
+
+(** Jobs currently queued or running. *)
+val queue_depth : t -> int
+
+(** Deepest the queue has ever been. *)
+val queue_depth_hwm : t -> int
+
+(** Snapshot of the dispatch-to-completion latency histogram
+    (seconds). *)
+val job_latency : t -> Obs.Histogram.t
+
 val shutdown : t -> unit

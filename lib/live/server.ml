@@ -12,6 +12,10 @@ type config = {
   server_name : string;
   idle_timeout : float;
   access_log : string option;  (* Common Log Format file *)
+  status_path : string option;  (* built-in status endpoint; None disables *)
+  stall_threshold : float;  (* loop iterations longer than this are stalls *)
+  clock : unit -> float;  (* injectable for tests *)
+  slow_read : (string -> unit) option;  (* cold-media fault injection *)
 }
 
 let default_config ~docroot =
@@ -27,6 +31,10 @@ let default_config ~docroot =
     server_name = Http.Response.default_server;
     idle_timeout = 30.;
     access_log = None;
+    status_path = Some "/server-status";
+    stall_threshold = 0.05;
+    clock = Unix.gettimeofday;
+    slow_read = None;
   }
 
 type stats = {
@@ -36,6 +44,11 @@ type stats = {
   cache_hits : int;
   cache_misses : int;
   helper_jobs : int;
+  cache_evictions : int;
+  helper_queue_depth : int;
+  active_connections : int;
+  loop_stalls : int;
+  loop_max_stall : float;
 }
 
 type out_item =
@@ -55,6 +68,7 @@ type conn = {
   mutable state : conn_state;
   mutable close_after_flush : bool;
   mutable last_active : float;
+  mutable req_start : float;  (* parse-complete time of the request in flight *)
   mutable alive : bool;
 }
 
@@ -78,12 +92,27 @@ type t = {
   log_channel : out_channel option;
   (* MP mode: forked children hold copy-on-write stats, so per-request
      events are consolidated in the parent over a pipe (the paper's §4.2
-     "information gathering" cost of the MP architecture). *)
+     "information gathering" cost of the MP architecture).  Each event is
+     a fixed 9-byte record: a tag byte plus the latency as IEEE-754
+     bits. *)
   stats_pipe_read : Unix.file_descr option;
   stats_pipe_write : Unix.file_descr option;
+  stats_acc : Buffer.t;  (* partial pipe records between reads *)
+  (* Serialises pipe reads + [stats_acc]: the parent loop and [stats]
+     callers both drain, and a 9-byte record must not split between
+     them. *)
+  stats_mutex : Mutex.t;
   (* MT mode: threads share the cache; systhreads interleave at
      allocation points, so cache access is serialized. *)
   cache_mutex : Mutex.t;
+  (* Guards the observability state (latency histogram, gauges) where
+     several threads record: MT workers, helper completions vs stats
+     readers. *)
+  obs_mutex : Mutex.t;
+  latency : Obs.Histogram.t;  (* per-request latency, seconds *)
+  watchdog : Obs.Watchdog.t;  (* event-loop iteration stalls *)
+  active : Obs.Gauge.t;  (* currently open connections *)
+  started_at : float;
   mutable worker_threads : Thread.t list;
 }
 
@@ -107,6 +136,20 @@ let with_cache_lock t f =
       Mutex.lock t.cache_mutex;
       Fun.protect ~finally:(fun () -> Mutex.unlock t.cache_mutex) f
   | Amped | Sped | Mp _ -> f ()
+
+let with_obs_lock t f =
+  Mutex.lock t.obs_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.obs_mutex) f
+
+(* Latency is measured from parse completion to response generation —
+   for AMPED that spans the helper round-trip, for SPED the inline disk
+   work, so the architectural difference is visible in the numbers. *)
+let record_latency t conn =
+  let dt = t.config.clock () -. conn.req_start in
+  with_obs_lock t (fun () -> Obs.Histogram.record t.latency dt)
+
+let slow_read_hook t path =
+  match t.config.slow_read with Some f -> f path | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Request resolution                                                  *)
@@ -135,6 +178,112 @@ let resolve _t (req : Http.Request.t) =
 let is_cgi path =
   String.length path >= 9 && String.sub path 0 9 = "/cgi-bin/"
 
+(* The status endpoint is matched on the raw request path, before any
+   docroot or CGI resolution, so it can never 403, escape, or collide
+   with a docroot file of the same name. *)
+let is_status_request t (req : Http.Request.t) =
+  match t.config.status_path with
+  | None -> false
+  | Some sp -> String.equal req.Http.Request.path sp
+
+(* ------------------------------------------------------------------ *)
+(* Status rendering                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let mode_string = function
+  | Amped -> "amped"
+  | Sped -> "sped"
+  | Mp n -> Printf.sprintf "mp:%d" n
+  | Mt n -> Printf.sprintf "mt:%d" n
+
+(* JSON has no NaN/Infinity; empty-histogram percentiles render as 0. *)
+let num f = if Float.is_finite f then Printf.sprintf "%.6g" f else "0"
+let ms x = if Float.is_finite x then 1000. *. x else 0.
+
+let histogram_json h =
+  Printf.sprintf
+    {|{"count":%d,"mean":%s,"p50":%s,"p90":%s,"p99":%s,"max":%s}|}
+    (Obs.Histogram.count h)
+    (num (ms (Obs.Histogram.mean h)))
+    (num (ms (Obs.Histogram.percentile h 50.)))
+    (num (ms (Obs.Histogram.percentile h 90.)))
+    (num (ms (Obs.Histogram.percentile h 99.)))
+    (num (ms (Obs.Histogram.max h)))
+
+let histogram_text h =
+  Printf.sprintf "count %d, mean %.3f ms, p50 %.3f ms, p90 %.3f ms, p99 %.3f ms, max %.3f ms"
+    (Obs.Histogram.count h)
+    (ms (Obs.Histogram.mean h))
+    (ms (Obs.Histogram.percentile h 50.))
+    (ms (Obs.Histogram.percentile h 90.))
+    (ms (Obs.Histogram.percentile h 99.))
+    (ms (Obs.Histogram.max h))
+
+(* Reads counters directly (no stats-pipe drain): in an MP child this
+   reports the child's own view, and draining the shared pipe here would
+   steal records from the consolidating parent. *)
+let status_body t ~json =
+  let latency = with_obs_lock t (fun () -> Obs.Histogram.copy t.latency) in
+  let active = with_obs_lock t (fun () -> Obs.Gauge.value t.active) in
+  let uptime = t.config.clock () -. t.started_at in
+  if json then
+    let helper_json =
+      match t.helper with
+      | None -> "null"
+      | Some h ->
+          Printf.sprintf
+            {|{"jobs":%d,"queue_depth":%d,"queue_depth_hwm":%d,"job_latency_ms":%s}|}
+            (Helper.dispatched h) (Helper.queue_depth h)
+            (Helper.queue_depth_hwm h)
+            (histogram_json (Helper.job_latency h))
+    in
+    Printf.sprintf
+      {|{"server":%S,"mode":%S,"uptime_s":%s,"requests":%d,"connections":%d,"active_connections":%d,"errors":%d,"cache":{"hits":%d,"misses":%d,"evictions":%d,"bytes":%d,"entries":%d},"latency_ms":%s,"loop":{"stalls":%d,"threshold_ms":%s,"max_stall_ms":%s,"iterations":%d},"helper":%s}|}
+      t.config.server_name (mode_string t.config.mode) (num uptime)
+      t.n_requests t.n_connections active t.n_errors (File_cache.hits t.cache)
+      (File_cache.misses t.cache)
+      (File_cache.evictions t.cache)
+      (File_cache.bytes t.cache) (File_cache.entries t.cache)
+      (histogram_json latency)
+      (Obs.Watchdog.stalls t.watchdog)
+      (num (ms (Obs.Watchdog.threshold t.watchdog)))
+      (num (ms (Obs.Watchdog.max_gap t.watchdog)))
+      (Obs.Watchdog.iterations t.watchdog)
+      helper_json
+    ^ "\n"
+  else begin
+    let b = Buffer.create 512 in
+    let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+    line "%s status" t.config.server_name;
+    line "mode:         %s" (mode_string t.config.mode);
+    line "uptime:       %.1f s" uptime;
+    line "requests:     %d (%d errors)" t.n_requests t.n_errors;
+    line "connections:  %d total, %d active" t.n_connections active;
+    line "cache:        %d hits, %d misses, %d evictions, %d bytes in %d entries"
+      (File_cache.hits t.cache) (File_cache.misses t.cache)
+      (File_cache.evictions t.cache) (File_cache.bytes t.cache)
+      (File_cache.entries t.cache);
+    line "latency:      %s" (histogram_text latency);
+    line "loop:         %d stalls over %.1f ms (max %.3f ms, %d iterations)"
+      (Obs.Watchdog.stalls t.watchdog)
+      (ms (Obs.Watchdog.threshold t.watchdog))
+      (ms (Obs.Watchdog.max_gap t.watchdog))
+      (Obs.Watchdog.iterations t.watchdog);
+    (match t.helper with
+    | None -> line "helpers:      none"
+    | Some h ->
+        line "helpers:      %d jobs, queue depth %d (hwm %d)"
+          (Helper.dispatched h) (Helper.queue_depth h)
+          (Helper.queue_depth_hwm h);
+        line "helper jobs:  %s" (histogram_text (Helper.job_latency h)));
+    Buffer.contents b
+  end
+
+let wants_json (req : Http.Request.t) =
+  match req.Http.Request.query with
+  | Some "json" | Some "format=json" -> true
+  | Some _ | None -> false
+
 (* ------------------------------------------------------------------ *)
 (* Output plumbing                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -158,7 +307,8 @@ let enqueue_error ?(target = "-") ?(meth = "GET") t conn status ~keep ~head_only
   enqueue_str conn header;
   if not head_only then enqueue_str conn body;
   if not keep then conn.close_after_flush <- true;
-  conn.state <- Reading
+  conn.state <- Reading;
+  record_latency t conn
 
 (* Conditional GET: a valid If-Modified-Since at or after the file's
    mtime short-circuits to 304 with no body. *)
@@ -180,7 +330,8 @@ let enqueue_not_modified t conn (req : Http.Request.t) ~keep =
   in
   enqueue_str conn header;
   if not keep then conn.close_after_flush <- true;
-  conn.state <- Reading
+  conn.state <- Reading;
+  record_latency t conn
 
 let enqueue_entry t conn (req : Http.Request.t) (entry : File_cache.entry)
     ~keep ~head_only =
@@ -190,7 +341,25 @@ let enqueue_entry t conn (req : Http.Request.t) (entry : File_cache.entry)
   enqueue_str conn entry.File_cache.header;
   if not head_only then enqueue_str conn entry.File_cache.body;
   if not keep then conn.close_after_flush <- true;
-  conn.state <- Reading
+  conn.state <- Reading;
+  record_latency t conn
+
+(* Deliberately bypasses the access log: a monitoring scraper polling
+   every few seconds would otherwise drown the real traffic records. *)
+let enqueue_status t conn (req : Http.Request.t) ~keep ~head_only =
+  let json = wants_json req in
+  let body = status_body t ~json in
+  let header =
+    render_header t ~status:Http.Status.Ok
+      ~content_type:(Some (if json then "application/json" else "text/plain"))
+      ~content_length:(Some (String.length body))
+      ~keep
+  in
+  enqueue_str conn header;
+  if not head_only then enqueue_str conn body;
+  if not keep then conn.close_after_flush <- true;
+  conn.state <- Reading;
+  record_latency t conn
 
 (* ------------------------------------------------------------------ *)
 (* Serving files                                                       *)
@@ -248,7 +417,8 @@ let serve_file t conn (req : Http.Request.t) full ~size ~mtime ~keep =
           if head_only then Unix.close fd
           else Queue.push (Out_file { src = fd; remaining = size }) conn.outq;
           if not keep then conn.close_after_flush <- true;
-          conn.state <- Reading
+          conn.state <- Reading;
+          record_latency t conn
         end
   end
 
@@ -306,6 +476,8 @@ let process_request t conn (req : Http.Request.t) =
   | Http.Request.Post | Http.Request.Other _ ->
       enqueue_error t conn Http.Status.Not_implemented ~keep:false ~head_only
   | Http.Request.Get | Http.Request.Head -> (
+      if is_status_request t req then enqueue_status t conn req ~keep ~head_only
+      else
       match resolve t req with
       | Error status -> enqueue_error t conn status ~keep ~head_only
       | Ok path when is_cgi path ->
@@ -328,6 +500,7 @@ let process_request t conn (req : Http.Request.t) =
                   conn.state <- Waiting_helper (req, full)
               | None -> (
                   (* SPED: inline — the whole loop stalls on a miss. *)
+                  slow_read_hook t full;
                   match Unix.stat full with
                   | exception Unix.Unix_error _ ->
                       enqueue_error t conn Http.Status.Not_found ~keep ~head_only
@@ -343,6 +516,7 @@ let rec try_parse t conn =
     | Http.Request.Incomplete -> ()
     | Http.Request.Bad _ ->
         conn.inbuf <- "";
+        conn.req_start <- t.config.clock ();
         t.n_requests <- t.n_requests + 1;
         let body = Http.Response.error_body Http.Status.Bad_request in
         let header =
@@ -354,10 +528,12 @@ let rec try_parse t conn =
         t.n_errors <- t.n_errors + 1;
         enqueue_str conn header;
         enqueue_str conn body;
-        conn.close_after_flush <- true
+        conn.close_after_flush <- true;
+        record_latency t conn
     | Http.Request.Complete (req, consumed) ->
         conn.inbuf <-
           String.sub conn.inbuf consumed (String.length conn.inbuf - consumed);
+        conn.req_start <- t.config.clock ();
         process_request t conn req;
         (* Pipelined requests are handled once the response drains. *)
         if Queue.is_empty conn.outq then try_parse t conn
@@ -384,6 +560,7 @@ let close_conn t conn =
     Queue.clear conn.outq;
     Hashtbl.remove t.conns conn.key;
     Hashtbl.remove t.by_helper_key conn.key;
+    with_obs_lock t (fun () -> Obs.Gauge.decr t.active);
     try Unix.close conn.fd with Unix.Unix_error _ -> ()
   end
 
@@ -392,7 +569,7 @@ let handle_readable t conn =
   match Unix.read conn.fd buf 0 8192 with
   | 0 -> close_conn t conn
   | n ->
-      conn.last_active <- Unix.gettimeofday ();
+      conn.last_active <- t.config.clock ();
       conn.inbuf <- conn.inbuf ^ Bytes.sub_string buf 0 n;
       if String.length conn.inbuf > 65536 then close_conn t conn
       else try_parse t conn
@@ -400,7 +577,7 @@ let handle_readable t conn =
   | exception Unix.Unix_error _ -> close_conn t conn
 
 let handle_writable t conn =
-  conn.last_active <- Unix.gettimeofday ();
+  conn.last_active <- t.config.clock ();
   let progress = ref true in
   (try
      while !progress && not (Queue.is_empty conn.outq) do
@@ -446,13 +623,15 @@ let handle_cgi_readable t conn fd pid =
       (try ignore (Unix.waitpid [ Unix.WNOHANG ] pid) with Unix.Unix_error _ -> ());
       conn.state <- Reading;
       conn.close_after_flush <- true;
+      record_latency t conn;
       if Queue.is_empty conn.outq then close_conn t conn
   | n -> enqueue_str conn (Bytes.sub_string buf 0 n)
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
   | exception Unix.Unix_error _ ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       conn.state <- Reading;
-      conn.close_after_flush <- true
+      conn.close_after_flush <- true;
+      record_latency t conn
 
 let handle_helper_completions t =
   match t.helper with
@@ -491,6 +670,8 @@ let accept_all t =
         let key = t.next_key in
         t.next_key <- t.next_key + 1;
         t.n_connections <- t.n_connections + 1;
+        with_obs_lock t (fun () -> Obs.Gauge.incr t.active);
+        let now = t.config.clock () in
         let conn =
           {
             fd;
@@ -499,7 +680,8 @@ let accept_all t =
             outq = Queue.create ();
             state = Reading;
             close_after_flush = false;
-            last_active = Unix.gettimeofday ();
+            last_active = now;
+            req_start = now;
             alive = true;
           }
         in
@@ -549,6 +731,9 @@ let run_loop t =
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | exception Unix.Unix_error (Unix.EBADF, _, _) -> ()
     | readable, writable, _ ->
+        (* Time the processing half of the iteration only — waiting in
+           [select] is idleness, not a stall. *)
+        Obs.Watchdog.arm t.watchdog;
         if List.memq t.wake_read readable then begin
           let buf = Bytes.create 64 in
           try ignore (Unix.read t.wake_read buf 0 64)
@@ -574,7 +759,8 @@ let run_loop t =
             if conn.alive && List.memq conn.fd writable then
               handle_writable t conn)
           (Hashtbl.copy t.conns);
-        sweep_idle t (Unix.gettimeofday ())
+        sweep_idle t (t.config.clock ());
+        Obs.Watchdog.check t.watchdog
   done;
   (* Drain: close everything. *)
   Hashtbl.iter (fun _ conn -> close_conn t conn) (Hashtbl.copy t.conns)
@@ -583,24 +769,67 @@ let run_loop t =
 (* MP mode: forked blocking workers                                    *)
 (* ------------------------------------------------------------------ *)
 
+(* One fixed-size record per event.  MP children send these to the
+   parent; MT threads and the single-process modes count in place.
+   Tags: 'r' finished request, 'e' finished request that errored,
+   'c' accepted connection.  The float is the request latency in
+   seconds (0 for 'c').  9 bytes < PIPE_BUF, so writes are atomic. *)
+let stats_record ~tag ~latency =
+  let b = Bytes.create 9 in
+  Bytes.set b 0 tag;
+  Bytes.set_int64_le b 1 (Int64.bits_of_float latency);
+  b
+
+let consume_stats t bytes len =
+  Buffer.add_subbytes t.stats_acc bytes 0 len;
+  let s = Buffer.contents t.stats_acc in
+  let n = String.length s in
+  let complete = n / 9 in
+  for i = 0 to complete - 1 do
+    let off = i * 9 in
+    let latency = Int64.float_of_bits (String.get_int64_le s (off + 1)) in
+    match s.[off] with
+    | 'c' -> t.n_connections <- t.n_connections + 1
+    | ('r' | 'e') as tag ->
+        t.n_requests <- t.n_requests + 1;
+        if tag = 'e' then t.n_errors <- t.n_errors + 1;
+        with_obs_lock t (fun () -> Obs.Histogram.record t.latency latency)
+    | _ -> ()
+  done;
+  Buffer.clear t.stats_acc;
+  Buffer.add_substring t.stats_acc s (complete * 9) (n - (complete * 9))
+
+let mp_count_event t ~tag ~latency =
+  match t.stats_pipe_write with
+  | Some w ->
+      (try
+         ignore (Unix.write w (stats_record ~tag ~latency) 0 9)
+       with Unix.Unix_error _ -> ());
+      (* Mirror locally so an MP child's /server-status shows its own
+         view (the copy-on-write fields are private to this child). *)
+      (match tag with
+      | 'c' -> t.n_connections <- t.n_connections + 1
+      | 'r' | 'e' ->
+          t.n_requests <- t.n_requests + 1;
+          if tag = 'e' then t.n_errors <- t.n_errors + 1;
+          Obs.Histogram.record t.latency latency
+      | _ -> ())
+  | None ->
+      with_obs_lock t (fun () ->
+          match tag with
+          | 'c' -> t.n_connections <- t.n_connections + 1
+          | 'r' | 'e' ->
+              t.n_requests <- t.n_requests + 1;
+              if tag = 'e' then t.n_errors <- t.n_errors + 1;
+              Obs.Histogram.record t.latency latency
+          | _ -> ())
+
 (* Sequential, blocking request handling for one connection — the MP
    child's whole world (§3.1). *)
-(* One byte per finished request: 'r' for a 200, 'e' for an error
-   response.  MP children send these to the parent; MT threads and the
-   single-process modes count in place. *)
-let mp_count_request t ~error =
-  match t.stats_pipe_write with
-  | Some w -> (
-      let tag = if error then "e" else "r" in
-      try ignore (Unix.write_substring w tag 0 1) with Unix.Unix_error _ -> ())
-  | None ->
-      Mutex.lock t.cache_mutex;
-      t.n_requests <- t.n_requests + 1;
-      if error then t.n_errors <- t.n_errors + 1;
-      Mutex.unlock t.cache_mutex
-
 let mp_serve_connection t fd =
   Unix.clear_nonblock fd;
+  mp_count_event t ~tag:'c' ~latency:0.;
+  with_obs_lock t (fun () -> Obs.Gauge.incr t.active);
   let buf = Bytes.create 8192 in
   let rec request_loop inbuf =
     match Http.Request.parse inbuf with
@@ -621,6 +850,7 @@ let mp_serve_connection t fd =
                        (String.length header + String.length body))
          with Unix.Unix_error _ -> ())
     | Http.Request.Complete (req, consumed) -> (
+        let started = t.config.clock () in
         let keep = Http.Request.keep_alive req in
         let head_only = req.Http.Request.meth = Http.Request.Head in
         let respond_error status =
@@ -635,6 +865,21 @@ let mp_serve_connection t fd =
           with Unix.Unix_error _ -> ()
         in
         let ok =
+          if is_status_request t req then begin
+            let body = status_body t ~json:(wants_json req) in
+            let header =
+              render_header t ~status:Http.Status.Ok
+                ~content_type:
+                  (Some (if wants_json req then "application/json" else "text/plain"))
+                ~content_length:(Some (String.length body))
+                ~keep
+            in
+            let payload = if head_only then header else header ^ body in
+            (try ignore (Unix.write_substring fd payload 0 (String.length payload))
+             with Unix.Unix_error _ -> ());
+            true
+          end
+          else
           match resolve t req with
           | Error status ->
               respond_error status;
@@ -660,6 +905,9 @@ let mp_serve_connection t fd =
                    with Unix.Unix_error _ -> ());
                   true
               | None -> (
+                  (* Cold file: the blocking disk work happens right
+                     here, in the worker serving this connection. *)
+                  slow_read_hook t full;
                   match Unix.stat full with
                   | exception Unix.Unix_error _ ->
                       respond_error Http.Status.Not_found;
@@ -704,10 +952,11 @@ let mp_serve_connection t fd =
         let leftover =
           String.sub inbuf consumed (String.length inbuf - consumed)
         in
-        mp_count_request t ~error:false;
+        mp_count_event t ~tag:'r' ~latency:(t.config.clock () -. started);
         if ok && keep then request_loop leftover)
   in
   request_loop "";
+  with_obs_lock t (fun () -> Obs.Gauge.decr t.active);
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 let mp_child_loop t =
@@ -742,7 +991,10 @@ let start config =
   Unix.set_nonblock wake_read;
   let helper =
     match config.mode with
-    | Amped -> Some (Helper.create ~helpers:(max 1 config.helpers))
+    | Amped ->
+        Some
+          (Helper.create ~clock:config.clock ?slow_read:config.slow_read
+             ~helpers:(max 1 config.helpers) ())
     | Sped | Mp _ | Mt _ -> None
   in
   (match config.mode with
@@ -772,7 +1024,16 @@ let start config =
           config.access_log;
       stats_pipe_read = None;
       stats_pipe_write = None;
+      stats_acc = Buffer.create 64;
+      stats_mutex = Mutex.create ();
       cache_mutex = Mutex.create ();
+      obs_mutex = Mutex.create ();
+      latency = Obs.Histogram.create ();
+      watchdog =
+        Obs.Watchdog.create ~clock:config.clock
+          ~threshold:config.stall_threshold ();
+      active = Obs.Gauge.create ();
+      started_at = config.clock ();
       worker_threads = [];
     }
   in
@@ -811,7 +1072,7 @@ let mode t = t.config.mode
 
 (* The MP parent's only job: consolidate children's statistics. *)
 let mp_parent_loop t =
-  let buf = Bytes.create 4096 in
+  let buf = Bytes.create 4095 in
   while not t.stopped do
     match t.stats_pipe_read with
     | None -> Thread.delay 0.1
@@ -819,13 +1080,16 @@ let mp_parent_loop t =
         match Unix.select [ r ] [] [] 0.2 with
         | [], _, _ -> ()
         | _ :: _, _, _ -> (
-            match Unix.read r buf 0 4096 with
-            | n when n > 0 ->
-                for i = 0 to n - 1 do
-                  t.n_requests <- t.n_requests + 1;
-                  if Bytes.get buf i = 'e' then t.n_errors <- t.n_errors + 1
-                done
-            | _ -> ()
+            Mutex.lock t.stats_mutex;
+            match
+              Fun.protect
+                ~finally:(fun () -> Mutex.unlock t.stats_mutex)
+                (fun () ->
+                  match Unix.read r buf 0 4095 with
+                  | n when n > 0 -> consume_stats t buf n
+                  | _ -> ())
+            with
+            | () -> ()
             | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
               ->
                 ()
@@ -893,20 +1157,21 @@ let stop t =
 let drain_stats_pipe t =
   match t.stats_pipe_read with
   | None -> ()
-  | Some r -> (
-      let buf = Bytes.create 4096 in
-      let rec loop () =
-        match Unix.read r buf 0 4096 with
-        | n when n > 0 ->
-            for i = 0 to n - 1 do
-              t.n_requests <- t.n_requests + 1;
-              if Bytes.get buf i = 'e' then t.n_errors <- t.n_errors + 1
-            done;
-            loop ()
-        | _ -> ()
-        | exception Unix.Unix_error _ -> ()
-      in
-      loop ())
+  | Some r ->
+      let buf = Bytes.create 4095 in
+      Mutex.lock t.stats_mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.stats_mutex)
+        (fun () ->
+          let rec loop () =
+            match Unix.read r buf 0 4095 with
+            | n when n > 0 ->
+                consume_stats t buf n;
+                loop ()
+            | _ -> ()
+            | exception Unix.Unix_error _ -> ()
+          in
+          loop ())
 
 let stats t =
   drain_stats_pipe t;
@@ -917,4 +1182,16 @@ let stats t =
     cache_hits = File_cache.hits t.cache;
     cache_misses = File_cache.misses t.cache;
     helper_jobs = (match t.helper with Some h -> Helper.dispatched h | None -> 0);
+    cache_evictions = File_cache.evictions t.cache;
+    helper_queue_depth =
+      (match t.helper with Some h -> Helper.queue_depth h | None -> 0);
+    active_connections = with_obs_lock t (fun () -> Obs.Gauge.value t.active);
+    loop_stalls = Obs.Watchdog.stalls t.watchdog;
+    loop_max_stall = Obs.Watchdog.max_gap t.watchdog;
   }
+
+let latency t = with_obs_lock t (fun () -> Obs.Histogram.copy t.latency)
+
+let helper_job_latency t = Option.map Helper.job_latency t.helper
+
+let loop_iterations t = Obs.Watchdog.iterations t.watchdog

@@ -18,7 +18,21 @@
     Features: GET/HEAD, HTTP/1.0 and 1.1 keep-alive, 32-byte-aligned
     response headers (§5.5), bounded file/header cache, CGI under
     [/cgi-bin/] (fork/exec, close-delimited output), 403 on paths
-    escaping the document root. *)
+    escaping the document root.
+
+    {2 Observability}
+
+    The server is instrumented with {!Obs}: a log-bucketed per-request
+    latency histogram (recorded at response generation in all four
+    modes — MP children ship theirs to the parent over the stats pipe),
+    an event-loop stall watchdog (any iteration whose processing
+    exceeds [stall_threshold] counts as a stall — the measurable
+    signature of the SPED pathology), live/total connection gauges,
+    cache hit/miss/eviction counters, and helper queue-depth and
+    job-latency figures.  Everything is served by a built-in
+    [GET /server-status] endpoint: human-readable text by default,
+    JSON with [?json].  The endpoint is matched before docroot/CGI
+    resolution and never appears in the access log. *)
 
 type mode =
   | Amped  (** event loop + helper threads (Flash) *)
@@ -38,6 +52,20 @@ type config = {
   server_name : string;
   idle_timeout : float;  (** close keep-alive connections idle this long *)
   access_log : string option;  (** write a Common Log Format file here *)
+  status_path : string option;
+      (** built-in status endpoint (default ["/server-status"]); [None]
+          disables it *)
+  stall_threshold : float;
+      (** seconds; loop iterations processing longer than this are
+          recorded as stalls (default 50 ms) *)
+  clock : unit -> float;
+      (** time source for latency/watchdog/idle accounting — injectable
+          so tests control it (default [Unix.gettimeofday]) *)
+  slow_read : (string -> unit) option;
+      (** fault injection: called with the path before every {e cold}
+          file read — in AMPED helper context, inline in SPED/MP/MT —
+          simulating slow media.  Tests use it to prove where each
+          architecture blocks. *)
 }
 
 val default_config : docroot:string -> config
@@ -49,6 +77,11 @@ type stats = {
   cache_hits : int;
   cache_misses : int;
   helper_jobs : int;
+  cache_evictions : int;
+  helper_queue_depth : int;  (** queued + in-flight helper jobs now *)
+  active_connections : int;  (** connections currently open *)
+  loop_stalls : int;  (** event-loop iterations over the threshold *)
+  loop_max_stall : float;  (** longest loop iteration, seconds *)
 }
 
 type t
@@ -71,3 +104,13 @@ val stop : t -> unit
 
 val stats : t -> stats
 val mode : t -> mode
+
+(** Snapshot of the per-request latency histogram (seconds).  In MP
+    mode this is the parent's consolidated view. *)
+val latency : t -> Obs.Histogram.t
+
+(** Snapshot of the helper job-latency histogram (AMPED only). *)
+val helper_job_latency : t -> Obs.Histogram.t option
+
+(** Event-loop iterations completed (0 for MP/MT). *)
+val loop_iterations : t -> int

@@ -1,0 +1,7 @@
+type t = { mutable v : int }
+
+let create () = { v = 0 }
+let incr t = t.v <- t.v + 1
+let add t n = t.v <- t.v + n
+let value t = t.v
+let reset t = t.v <- 0

@@ -1,0 +1,10 @@
+(** Monotonic event counter.  Not thread-safe; callers serialise
+    access. *)
+
+type t
+
+val create : unit -> t
+val incr : t -> unit
+val add : t -> int -> unit
+val value : t -> int
+val reset : t -> unit

@@ -1,0 +1,17 @@
+type t = { mutable v : int; mutable hwm : int }
+
+let create ?(initial = 0) () = { v = initial; hwm = initial }
+
+let set t x =
+  t.v <- x;
+  if x > t.hwm then t.hwm <- x
+
+let add t n = set t (t.v + n)
+let incr t = add t 1
+let decr t = add t (-1)
+let value t = t.v
+let high_watermark t = t.hwm
+
+let reset t =
+  t.v <- 0;
+  t.hwm <- 0

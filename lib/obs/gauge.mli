@@ -1,0 +1,16 @@
+(** Integer gauge with a high-watermark (queue depths, live
+    connections).  Not thread-safe; callers serialise access. *)
+
+type t
+
+val create : ?initial:int -> unit -> t
+val set : t -> int -> unit
+val add : t -> int -> unit
+val incr : t -> unit
+val decr : t -> unit
+val value : t -> int
+
+(** Largest value ever held (including the initial value). *)
+val high_watermark : t -> int
+
+val reset : t -> unit

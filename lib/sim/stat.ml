@@ -1,3 +1,8 @@
+(* Log-bucketed quantile sketch — the same structure the live server,
+   flash-bench and /server-status use, so simulated and measured
+   percentiles come from one code path. *)
+module Quantile = Obs.Histogram
+
 module Counter = struct
   type t = { mutable v : int }
 

@@ -1,5 +1,11 @@
 (** Lightweight measurement helpers used by experiment drivers. *)
 
+(** Log-bucketed quantile estimator ({!Obs.Histogram} re-exported):
+    p50/p90/p99/max with relative error bounded by the log base.  The
+    live server, [flash-bench] and the simulator all use this one type,
+    so simulated and measured latency figures share a code path. *)
+module Quantile : module type of Obs.Histogram
+
 module Counter : sig
   type t
 

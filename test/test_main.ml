@@ -24,8 +24,10 @@ let () =
       ("flash.server", Test_server_sim.suite);
       ("workload", Test_workload.suite);
       ("workload.specweb", Test_specweb.suite);
+      ("obs", Test_obs.suite);
       ("live", Test_live.suite);
       ("live.features", Test_live_features.suite);
+      ("live.status", Test_status.suite);
       ("util.lru_model", Test_lru_model.suite);
       ("flash.helper_pool", Test_helper_pool.suite);
       ("flash.extensions", Test_extensions.suite);
