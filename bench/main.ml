@@ -18,6 +18,7 @@ let all : (string * (unit -> unit)) list =
     ("fig11", Figures.fig11);
     ("fig12", Figures.fig12);
     ("ablate", Ablate.run);
+    ("timeline", Timeline.run);
   ]
 
 let () =

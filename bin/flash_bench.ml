@@ -60,7 +60,29 @@ let worker ~host ~port ~path ~keep_alive ~deadline stats () =
   try if keep_alive then run_one_keepalive () else run_one_conn_per_request ()
   with Exit | _ -> ()
 
-let run host port path clients duration keep_alive =
+(* Machine-readable results, for CI artifacts and regression tracking.
+   Same numbers the human-readable report prints. *)
+let write_json ~file ~completed ~errors ~bytes ~elapsed latency =
+  let num f = if Float.is_finite f then Printf.sprintf "%.6g" f else "0" in
+  let ms x = num (1000. *. x) in
+  let pct p = ms (Obs.Histogram.percentile latency p) in
+  let body =
+    Printf.sprintf
+      {|{"completed":%d,"errors":%d,"elapsed_s":%s,"throughput_rps":%s,"throughput_mbps":%s,"latency_ms":{"mean":%s,"p50":%s,"p90":%s,"p99":%s,"max":%s,"samples":%d}}|}
+      completed errors (num elapsed)
+      (num (float_of_int completed /. elapsed))
+      (num (float_of_int bytes *. 8. /. elapsed /. 1e6))
+      (ms (Obs.Histogram.mean latency))
+      (pct 50.) (pct 90.) (pct 99.)
+      (ms (Obs.Histogram.max latency))
+      (Obs.Histogram.count latency)
+    ^ "\n"
+  in
+  let oc = open_out file in
+  output_string oc body;
+  close_out oc
+
+let run host port path clients duration keep_alive json_file =
   Format.printf "flash-bench: %d clients -> http://%s:%d%s for %.1fs (%s)@."
     clients host port path duration
     (if keep_alive then "keep-alive" else "connection per request");
@@ -96,6 +118,11 @@ let run host port path clients duration keep_alive =
       (1000. *. Obs.Histogram.max latency)
       (Obs.Histogram.count latency)
   end;
+  (match json_file with
+  | Some file ->
+      write_json ~file ~completed ~errors ~bytes ~elapsed latency;
+      Format.printf "json:       wrote %s@." file
+  | None -> ());
   if errors > 0 then exit 1
 
 let host =
@@ -116,9 +143,18 @@ let duration =
 let keep_alive =
   Arg.(value & flag & info [ "keep-alive"; "k" ] ~doc:"Reuse connections (HTTP/1.1).")
 
+let json_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Also write results as JSON to $(docv).")
+
 let cmd =
   let doc = "closed-loop HTTP load generator (for the live Flash server)" in
   Cmd.v (Cmd.info "flash-bench" ~doc)
-    Term.(const run $ host $ port $ path $ clients $ duration $ keep_alive)
+    Term.(
+      const run $ host $ port $ path $ clients $ duration $ keep_alive
+      $ json_file)
 
 let () = exit (Cmd.eval cmd)

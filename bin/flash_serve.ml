@@ -12,7 +12,8 @@ let setup_logs verbose =
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info))
 
 let serve docroot port mode helpers cache_mb no_cgi no_align access_log
-    status_path no_status stall_ms verbose =
+    access_log_timing status_path no_status stall_ms no_trace trace_capacity
+    trace_path slow_request_ms slow_request_log verbose =
   setup_logs verbose;
   let mode =
     match mode with
@@ -48,8 +49,14 @@ let serve docroot port mode helpers cache_mb no_cgi no_align access_log
       enable_cgi = not no_cgi;
       align_headers = not no_align;
       access_log;
+      access_log_timing;
       status_path = (if no_status then None else Some status_path);
       stall_threshold = stall_ms /. 1000.;
+      trace = not no_trace;
+      trace_capacity;
+      trace_path = Some trace_path;
+      slow_request_ms;
+      slow_request_log;
     }
   in
   let server = Flash_live.Server.start config in
@@ -62,6 +69,16 @@ let serve docroot port mode helpers cache_mb no_cgi no_align access_log
     | Flash_live.Server.Mt n -> Printf.sprintf "MT x%d" n);
   (match config.Flash_live.Server.status_path with
   | Some p -> Format.printf "status endpoint: %s (JSON with ?json)@." p
+  | None -> ());
+  (if config.Flash_live.Server.trace then
+     match config.Flash_live.Server.trace_path with
+     | Some p ->
+         Format.printf "trace endpoint:  %s (Chrome trace-event JSON)@." p
+     | None -> ());
+  (match slow_request_ms with
+  | Some ms ->
+      Format.printf "slow requests over %.1f ms logged to %s@." ms
+        (Option.value slow_request_log ~default:"stderr")
   | None -> ());
   let stop _ =
     let s = Flash_live.Server.stats server in
@@ -122,12 +139,56 @@ let access_log =
     & opt (some string) None
     & info [ "access-log" ] ~docv:"FILE" ~doc:"Write a Common Log Format access log.")
 
+let access_log_timing =
+  Arg.(
+    value & flag
+    & info [ "access-log-timing" ]
+        ~doc:
+          "Append each request's service time in microseconds after the \
+           Common Log Format fields.")
+
 let status_path =
   Arg.(
     value
     & opt string "/server-status"
     & info [ "status-path" ] ~docv:"PATH"
         ~doc:"Path of the built-in status endpoint (text; ?json for JSON).")
+
+let no_trace =
+  Arg.(
+    value & flag
+    & info [ "no-trace" ] ~doc:"Disable request-lifecycle tracing entirely.")
+
+let trace_capacity =
+  Arg.(
+    value & opt int 256
+    & info [ "trace-capacity" ] ~docv:"N"
+        ~doc:"Completed traces kept in the ring buffer.")
+
+let trace_path =
+  Arg.(
+    value
+    & opt string "/server-trace"
+    & info [ "trace-path" ] ~docv:"PATH"
+        ~doc:
+          "Path of the Chrome trace-event endpoint (open the JSON in \
+           Perfetto).")
+
+let slow_request_ms =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "slow-request-ms" ] ~docv:"MS"
+        ~doc:
+          "Log the full span breakdown of requests slower than this many \
+           milliseconds.")
+
+let slow_request_log =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "slow-request-log" ] ~docv:"FILE"
+        ~doc:"Append slow-request breakdowns here (default stderr).")
 
 let no_status =
   Arg.(value & flag & info [ "no-status" ] ~doc:"Disable the status endpoint.")
@@ -146,6 +207,8 @@ let cmd =
     (Cmd.info "flash-serve" ~doc)
     Term.(
       const serve $ docroot $ port $ mode $ helpers $ cache_mb $ no_cgi
-      $ no_align $ access_log $ status_path $ no_status $ stall_ms $ verbose)
+      $ no_align $ access_log $ access_log_timing $ status_path $ no_status
+      $ stall_ms $ no_trace $ trace_capacity $ trace_path $ slow_request_ms
+      $ slow_request_log $ verbose)
 
 let () = exit (Cmd.eval cmd)

@@ -25,6 +25,7 @@ type t = {
   cgi : cgi option;
   io_chunk : int;
   index_file : string;
+  trace : bool;
 }
 
 let mib n = n * 1024 * 1024
@@ -48,6 +49,7 @@ let flash =
     cgi = Some { cgi_cpu = 1e-3; cgi_think = 3e-3; cgi_bytes = 4096 };
     io_chunk = kib 64;
     index_file = "index.html";
+    trace = false;
   }
 
 let flash_sped = { flash with label = "SPED"; arch = Sped; max_helpers = 0 }

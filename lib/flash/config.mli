@@ -44,6 +44,10 @@ type t = {
           processes; [None] rejects them *)
   io_chunk : int;  (** max bytes offered to the socket per send step *)
   index_file : string;
+  trace : bool;
+      (** record request-lifecycle traces ({!Obs.Trace}) on the virtual
+          clock — off by default; benchmarks turn it on to export
+          timelines *)
 }
 
 (** Flash: the AMPED server with every optimization on. *)

@@ -1,5 +1,6 @@
 type job = {
   resp : Runtime.response;
+  j_start : float;  (* virtual time the send began (trace write span) *)
   mutable hdr_sent : int;
   mutable body_sent : int;
   mutable misalign_left : int;
@@ -9,9 +10,12 @@ type job = {
 
 type econn = {
   conn : Simos.Net.conn;
+  accepted_at : float;
   mutable rbuf : string;
   mutable state : state;
   mutable alive : bool;
+  mutable trace : Obs.Trace.trace option;  (* request in flight *)
+  mutable served : int;  (* finished traces on this connection *)
 }
 
 and state =
@@ -20,9 +24,11 @@ and state =
   | Wait_translate
   | Wait_pagein of job
 
+(* Helper completions carry the dispatch time so the loop can stitch a
+   helper-attributed span covering queue wait + blocking work. *)
 type helper_result =
-  | Translated of econn * Http.Request.t * string * Simos.Fs.file option
-  | Paged_in of econn
+  | Translated of econn * Http.Request.t * string * Simos.Fs.file option * float
+  | Paged_in of econn * float
 
 type tag = Accept | Helper | Deferred | Io of econn
 
@@ -38,6 +44,54 @@ let live_counter rt =
       c
 
 let live_connections rt = !(live_counter rt)
+
+(* ------------------------------------------------------------------ *)
+(* Tracing (virtual-clock spans; no-ops unless config.trace)            *)
+(* ------------------------------------------------------------------ *)
+
+let sim_now rt = Simos.Kernel.now rt.Runtime.kernel
+
+(* Single-threaded simulation: no locking needed around the tracer. *)
+let begin_trace rt c (req : Http.Request.t) =
+  match rt.Runtime.tracer with
+  | None -> ()
+  | Some tracer ->
+      let label =
+        Http.Request.meth_to_string req.Http.Request.meth
+        ^ " " ^ req.Http.Request.raw_target
+      in
+      let tr =
+        if c.served = 0 then begin
+          let tr = Obs.Trace.start tracer ~at:c.accepted_at ~label () in
+          Obs.Trace.add_span tracer ~name:"accept" ~start:c.accepted_at
+            ~stop:c.accepted_at tr;
+          tr
+        end
+        else begin
+          let tr = Obs.Trace.start tracer ~label () in
+          Obs.Trace.instant tracer tr "keepalive-reuse";
+          tr
+        end
+      in
+      c.trace <- Some tr
+
+let add_tr_span rt c ?track name ~start ~stop =
+  match (rt.Runtime.tracer, c.trace) with
+  | Some tracer, Some tr -> Obs.Trace.add_span tracer ?track ~name ~start ~stop tr
+  | _ -> ()
+
+let add_tr_instant rt c name =
+  match (rt.Runtime.tracer, c.trace) with
+  | Some tracer, Some tr -> Obs.Trace.instant tracer tr name
+  | _ -> ()
+
+let finish_trace rt c =
+  match (rt.Runtime.tracer, c.trace) with
+  | Some tracer, Some tr ->
+      ignore (Obs.Trace.finish tracer tr);
+      c.trace <- None;
+      c.served <- c.served + 1
+  | _ -> ()
 
 let release_held rt job =
   match job.held with
@@ -55,6 +109,7 @@ let job_complete job =
 let make_job rt resp =
   {
     resp;
+    j_start = Simos.Kernel.now rt.Runtime.kernel;
     hdr_sent = 0;
     body_sent = 0;
     misalign_left = Runtime.misaligned_budget rt resp;
@@ -67,6 +122,9 @@ let rec close_conn rt live c =
     (match c.state with
     | Sending job | Wait_pagein job -> release_held rt job
     | Reading | Wait_translate -> ());
+    (* A request still in flight gets its trace closed, not lost. *)
+    add_tr_instant rt c "close";
+    finish_trace rt c;
     c.alive <- false;
     decr live;
     Simos.Kernel.close rt.Runtime.kernel c.conn
@@ -101,12 +159,14 @@ and do_send rt ~pool live c job =
       release_held rt job;
       Runtime.finished rt resp;
       Simos.Net.mark_response_done c.conn;
+      add_tr_span rt c "write" ~start:job.j_start ~stop:(sim_now rt);
       if resp.Runtime.keep && not (Simos.Net.client_closed c.conn) then begin
+        finish_trace rt c;
         c.state <- Reading;
         (* A pipelined request may already be buffered. *)
         try_parse rt ~pool live c
       end
-      else close_conn rt live c
+      else close_conn rt live c  (* close_conn finishes the trace *)
     end
   in
   match resp.Runtime.file with
@@ -129,6 +189,7 @@ and do_send rt ~pool live c job =
           let dispatch_pagein () =
             rt.Runtime.helper_dispatches <- rt.Runtime.helper_dispatches + 1;
             c.state <- Wait_pagein job;
+            let enqueued = sim_now rt in
             Helper_pool.dispatch pool ~work:(fun () ->
                 (* The helper touches the pages in its own mapping,
                    blocking on the disk reads itself. *)
@@ -138,7 +199,7 @@ and do_send rt ~pool live c job =
                     ~len:step_data
                 in
                 Simos.Kernel.charge kernel (float_of_int pages *. 1e-6);
-                Paged_in c)
+                Paged_in (c, enqueued))
           in
           (match rt.Runtime.residency with
           | None ->
@@ -159,8 +220,12 @@ and do_send rt ~pool live c job =
               then begin
                 let before = Simos.Kernel.now kernel in
                 Simos.Kernel.page_in kernel file ~off ~len:step_data;
-                if Simos.Kernel.now kernel > before then
-                  Residency.note_fault predictor file ~off ~len:step_data
+                if Simos.Kernel.now kernel > before then begin
+                  Residency.note_fault predictor file ~off ~len:step_data;
+                  (* Mispredicted: the loop just blocked on disk. *)
+                  add_tr_span rt c "disk-read" ~start:before
+                    ~stop:(Simos.Kernel.now kernel)
+                end
                 else Residency.note_correct predictor;
                 Residency.note_access predictor file ~off ~len:step_data;
                 proceed step_data
@@ -171,8 +236,13 @@ and do_send rt ~pool live c job =
               end)
       | None ->
           (* SPED/Zeus: the "non-blocking" file read; on a cache miss this
-             stalls the entire event loop — the paper's central pathology. *)
+             stalls the entire event loop — the paper's central pathology.
+             The disk span lands on the main-loop track. *)
+          let before = Simos.Kernel.now kernel in
           Simos.Kernel.page_in kernel file ~off ~len:step_data;
+          if Simos.Kernel.now kernel > before then
+            add_tr_span rt c "disk-read" ~start:before
+              ~stop:(Simos.Kernel.now kernel);
           proceed step_data)
 
 (* ------------------------------------------------------------------ *)
@@ -186,7 +256,10 @@ and start_send rt ~pool live c resp =
     do_send rt ~pool live c job
 
 and process_request rt ~pool live c (req : Http.Request.t) ~head_bytes =
+  begin_trace rt c req;
+  let t_parse = sim_now rt in
   Runtime.charge_request rt ~bytes:head_bytes;
+  add_tr_span rt c "parse" ~start:t_parse ~stop:(sim_now rt);
   let keep = Http.Request.keep_alive req in
   let caches = rt.Runtime.shared_caches in
   match Runtime.resolve_path rt req with
@@ -201,37 +274,50 @@ and process_request rt ~pool live c (req : Http.Request.t) ~head_bytes =
       | Some cgi_pool ->
           c.state <- Wait_translate;
           let kernel = rt.Runtime.kernel in
+          let enqueued = sim_now rt in
           Cgi_pool.dispatch cgi_pool ~script:path ~on_done:(fun ~bytes ->
               Simos.Kernel.pipe_write kernel rt.Runtime.deferred (fun () ->
-                  if c.alive then
+                  if c.alive then begin
+                    add_tr_span rt c ~track:"cgi-app" "cgi" ~start:enqueued
+                      ~stop:(sim_now rt);
                     start_send rt ~pool live c
-                      (Runtime.cgi_response rt req ~bytes ~keep)))
+                      (Runtime.cgi_response rt req ~bytes ~keep)
+                  end))
       | None ->
           start_send rt ~pool live c
             (Runtime.error_response rt req Http.Status.Forbidden ~keep))
   | Some path -> (
+      let t_translate = sim_now rt in
       match Runtime.translate_cached rt caches path with
       | Some file ->
+          add_tr_span rt c "translate" ~start:t_translate ~stop:(sim_now rt);
           start_send rt ~pool live c (Runtime.ok_response rt caches req file ~keep)
       | None -> (
+          add_tr_span rt c "translate" ~start:t_translate ~stop:(sim_now rt);
           match pool with
           | Some pool ->
               (* AMPED: uncached translations go to a helper process. *)
               rt.Runtime.helper_dispatches <- rt.Runtime.helper_dispatches + 1;
               c.state <- Wait_translate;
               let kernel = rt.Runtime.kernel in
+              let enqueued = sim_now rt in
               Helper_pool.dispatch pool ~work:(fun () ->
                   let file = Simos.Kernel.open_stat kernel path in
-                  Translated (c, req, path, file))
+                  Translated (c, req, path, file, enqueued))
           | None -> (
               (* SPED/Zeus: inline translation; metadata misses stall the
                  loop. *)
+              let before = sim_now rt in
               match Simos.Kernel.open_stat rt.Runtime.kernel path with
               | Some file ->
+                  add_tr_span rt c "translate-disk" ~start:before
+                    ~stop:(sim_now rt);
                   Pathname_cache.insert caches.Runtime.pathname path file;
                   start_send rt ~pool live c
                     (Runtime.ok_response rt caches req file ~keep)
               | None ->
+                  add_tr_span rt c "translate-disk" ~start:before
+                    ~stop:(sim_now rt);
                   start_send rt ~pool live c
                     (Runtime.error_response rt req Http.Status.Not_found ~keep))))
 
@@ -269,8 +355,10 @@ let do_read rt ~pool live c =
 
 let apply_helper_result rt ~pool live result =
   match result with
-  | Translated (c, req, path, file_opt) ->
+  | Translated (c, req, path, file_opt, enqueued) ->
       if c.alive then begin
+        add_tr_span rt c ~track:"helper" "helper-translate" ~start:enqueued
+          ~stop:(sim_now rt);
         let caches = rt.Runtime.shared_caches in
         let keep = Http.Request.keep_alive req in
         match file_opt with
@@ -282,8 +370,11 @@ let apply_helper_result rt ~pool live result =
             start_send rt ~pool live c
               (Runtime.error_response rt req Http.Status.Not_found ~keep)
       end
-  | Paged_in c ->
+  | Paged_in (c, enqueued) ->
       if c.alive then begin
+        (* Queue wait + blocking disk work, on the helper's track. *)
+        add_tr_span rt c ~track:"helper" "disk-read" ~start:enqueued
+          ~stop:(sim_now rt);
         match c.state with
         | Wait_pagein job ->
             c.state <- Sending job;
@@ -317,7 +408,17 @@ let run rt ~pool () =
         let rec accept_all () =
           match Simos.Kernel.accept kernel with
           | Some conn ->
-              let c = { conn; rbuf = ""; state = Reading; alive = true } in
+              let c =
+                {
+                  conn;
+                  accepted_at = Simos.Kernel.now kernel;
+                  rbuf = "";
+                  state = Reading;
+                  alive = true;
+                  trace = None;
+                  served = 0;
+                }
+              in
               incr live;
               conns := c :: !conns;
               accept_all ()

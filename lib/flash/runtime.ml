@@ -17,6 +17,8 @@ type t = {
   (* Deferred main-loop actions posted from other processes (CGI
      completions); event loops select on it and run the thunks. *)
   deferred : (unit -> unit) Simos.Pipe.t;
+  (* Request-lifecycle traces on the virtual clock, when config.trace. *)
+  tracer : Obs.Trace.t option;
 }
 
 type response = {
@@ -74,6 +76,10 @@ let create kernel (config : Config.t) =
     residency;
     cgi;
     deferred = Simos.Pipe.create ();
+    tracer =
+      (if config.Config.trace then
+         Some (Obs.Trace.create ~clock:(fun () -> Simos.Kernel.now kernel) ())
+       else None);
   }
 
 let make_caches t config = make_caches_of_kernel t.kernel config

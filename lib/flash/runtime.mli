@@ -25,6 +25,10 @@ type t = {
   deferred : (unit -> unit) Simos.Pipe.t;
       (** completions posted by other processes for the event loop to run;
           select on its pollable and execute drained thunks *)
+  tracer : Obs.Trace.t option;
+      (** request-lifecycle traces on the virtual clock, present iff
+          [config.trace] — the same {!Obs.Trace} API the live server
+          uses, so benchmarks can export simulated timelines *)
 }
 
 val create : Simos.Kernel.t -> Config.t -> t

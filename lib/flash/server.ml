@@ -52,6 +52,7 @@ let start kernel (config : Config.t) =
 
 let config t = t.rt.Runtime.config
 let kernel t = t.rt.Runtime.kernel
+let tracer t = t.rt.Runtime.tracer
 let completed t = t.rt.Runtime.completed
 let errors t = t.rt.Runtime.errors
 let helper_dispatches t = t.rt.Runtime.helper_dispatches

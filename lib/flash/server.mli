@@ -14,6 +14,11 @@ val start : Simos.Kernel.t -> Config.t -> t
 val config : t -> Config.t
 val kernel : t -> Simos.Kernel.t
 
+(** The request-lifecycle trace collector (virtual clock), present iff
+    the configuration has [trace = true].  Benchmarks export it with
+    {!Obs.Trace.to_chrome_json}. *)
+val tracer : t -> Obs.Trace.t option
+
 (** Responses fully transmitted so far. *)
 val completed : t -> int
 

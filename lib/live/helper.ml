@@ -1,5 +1,17 @@
 type result = Found of { size : int; mtime : float } | Missing
 
+(* Span boundaries for the job, carried back over the completion
+   channel so the main loop can stitch helper-attributed spans into the
+   request's trace: queue wait is [enqueued, started], the blocking
+   disk work [started, finished]. *)
+type completion = {
+  key : int;
+  result : result;
+  enqueued : float;
+  started : float;
+  finished : float;
+}
+
 type job = { key : int; path : string; enqueued : float }
 
 type t = {
@@ -8,7 +20,7 @@ type t = {
   cond : Condition.t;
   notify_read : Unix.file_descr;
   notify_write : Unix.file_descr;
-  results : (int, result) Hashtbl.t;  (* guarded by mutex *)
+  results : (int, completion) Hashtbl.t;  (* guarded by mutex *)
   clock : unit -> float;
   slow_read : (string -> unit) option;
   depth : Obs.Gauge.t;  (* queued + in-flight jobs; guarded by mutex *)
@@ -52,10 +64,13 @@ let worker t () =
     else begin
       let job = Queue.pop t.queue in
       Mutex.unlock t.mutex;
+      let started = t.clock () in
       let result = touch_file ?slow_read:t.slow_read job.path in
+      let finished = t.clock () in
       Mutex.lock t.mutex;
-      Hashtbl.replace t.results job.key result;
-      Obs.Histogram.record t.job_latency (t.clock () -. job.enqueued);
+      Hashtbl.replace t.results job.key
+        { key = job.key; result; enqueued = job.enqueued; started; finished };
+      Obs.Histogram.record t.job_latency (finished -. job.enqueued);
       Obs.Gauge.decr t.depth;
       Mutex.unlock t.mutex;
       (* Wake the select loop; one byte per completion. *)
@@ -112,7 +127,7 @@ let drain t =
   in
   clear ();
   Mutex.lock t.mutex;
-  let out = Hashtbl.fold (fun key result acc -> (key, result) :: acc) t.results [] in
+  let out = Hashtbl.fold (fun _key c acc -> c :: acc) t.results [] in
   Hashtbl.reset t.results;
   Mutex.unlock t.mutex;
   out

@@ -16,6 +16,18 @@
 
 type result = Found of { size : int; mtime : float } | Missing
 
+(** One finished job, with its span boundaries on the helper's clock:
+    [enqueued, started] is queue wait, [started, finished] the blocking
+    disk work.  The main loop stitches these into the waiting request's
+    trace as helper-attributed spans. *)
+type completion = {
+  key : int;
+  result : result;
+  enqueued : float;
+  started : float;
+  finished : float;
+}
+
 type t
 
 (** [create ?clock ?slow_read ~helpers ()] starts the pool.  [clock]
@@ -35,7 +47,7 @@ val notify_fd : t -> Unix.file_descr
 val dispatch : t -> key:int -> path:string -> unit
 
 (** Drain all completions currently readable (non-blocking). *)
-val drain : t -> (int * result) list
+val drain : t -> completion list
 
 val dispatched : t -> int
 

@@ -12,10 +12,16 @@ type config = {
   server_name : string;
   idle_timeout : float;
   access_log : string option;  (* Common Log Format file *)
+  access_log_timing : bool;  (* append service time (µs) after CLF fields *)
   status_path : string option;  (* built-in status endpoint; None disables *)
   stall_threshold : float;  (* loop iterations longer than this are stalls *)
   clock : unit -> float;  (* injectable for tests *)
   slow_read : (string -> unit) option;  (* cold-media fault injection *)
+  trace : bool;  (* record request-lifecycle spans *)
+  trace_capacity : int;  (* completed-trace ring size *)
+  trace_path : string option;  (* Chrome trace-event endpoint; None disables *)
+  slow_request_ms : float option;  (* log traces slower than this *)
+  slow_request_log : string option;  (* slow-request log file; None = stderr *)
 }
 
 let default_config ~docroot =
@@ -31,10 +37,16 @@ let default_config ~docroot =
     server_name = Http.Response.default_server;
     idle_timeout = 30.;
     access_log = None;
+    access_log_timing = false;
     status_path = Some "/server-status";
     stall_threshold = 0.05;
     clock = Unix.gettimeofday;
     slow_read = None;
+    trace = true;
+    trace_capacity = 256;
+    trace_path = Some "/server-trace";
+    slow_request_ms = None;
+    slow_request_log = None;
   }
 
 type stats = {
@@ -70,6 +82,13 @@ type conn = {
   mutable last_active : float;
   mutable req_start : float;  (* parse-complete time of the request in flight *)
   mutable alive : bool;
+  accepted_at : float;
+  mutable reqs_served : int;  (* finished traces on this connection *)
+  (* Tracing state for the request in flight (all None with --no-trace). *)
+  mutable trace : Obs.Trace.trace option;
+  mutable parse_span : Obs.Trace.span option;
+  mutable work_span : Obs.Trace.span option;  (* inline disk read / CGI *)
+  mutable write_span : Obs.Trace.span option;
 }
 
 type t = {
@@ -112,6 +131,11 @@ type t = {
   latency : Obs.Histogram.t;  (* per-request latency, seconds *)
   watchdog : Obs.Watchdog.t;  (* event-loop iteration stalls *)
   active : Obs.Gauge.t;  (* currently open connections *)
+  (* Request-lifecycle tracing (None with --no-trace): guarded by
+     [obs_mutex] wherever several threads can touch it (MT workers, MP
+     parent consolidation vs endpoint renders). *)
+  tracer : Obs.Trace.t option;
+  slow_channel : out_channel option;  (* slow-request log sink *)
   started_at : float;
   mutable worker_threads : Thread.t list;
 }
@@ -119,16 +143,6 @@ type t = {
 let log = Logs.Src.create "flash.live" ~doc:"Flash live server"
 
 module Log = (val Logs.src_log log : Logs.LOG)
-
-let log_access t ~meth ~target ~status ~bytes =
-  match t.log_channel with
-  | None -> ()
-  | Some oc ->
-      (* Common Log Format; host is always loopback here. *)
-      Printf.fprintf oc "127.0.0.1 - - [%s] \"%s %s HTTP/1.1\" %d %d\n"
-        (Http.Http_date.format (Unix.gettimeofday ()))
-        meth target status bytes;
-      flush oc
 
 let with_cache_lock t f =
   match t.config.mode with
@@ -141,12 +155,160 @@ let with_obs_lock t f =
   Mutex.lock t.obs_mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.obs_mutex) f
 
+(* ------------------------------------------------------------------ *)
+(* Request-lifecycle tracing                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* All tracer mutations run under the obs mutex: MT workers share the
+   collector, and in MP the parent's consolidation thread ingests child
+   traces while the endpoint renders.  [f] must not re-enter a locking
+   helper (the mutex is not reentrant). *)
+let with_tracer t f =
+  match t.tracer with
+  | None -> ()
+  | Some tracer -> with_obs_lock t (fun () -> f tracer)
+
+(* The track a span is attributed to: the Perfetto row it renders on.
+   Event-loop modes do request work on the main loop; MP children and MT
+   workers each get their own row. *)
+let current_track t =
+  match t.config.mode with
+  | Amped | Sped -> "main-loop"
+  | Mp _ -> Printf.sprintf "mp-child-%d" (Unix.getpid ())
+  | Mt _ -> Printf.sprintf "mt-worker-%d" (Thread.id (Thread.self ()))
+
+(* Open the trace for the next request on this connection as soon as its
+   first bytes arrive: the parse span starts here.  The first request's
+   trace reaches back to [accept]; later ones mark the keep-alive
+   reuse. *)
+let ensure_trace t conn =
+  with_tracer t (fun tracer ->
+      if conn.trace = None then begin
+        let track = current_track t in
+        let tr =
+          if conn.reqs_served = 0 then begin
+            let tr = Obs.Trace.start tracer ~at:conn.accepted_at () in
+            Obs.Trace.add_span tracer ~track ~name:"accept"
+              ~start:conn.accepted_at ~stop:conn.accepted_at tr;
+            tr
+          end
+          else begin
+            let tr = Obs.Trace.start tracer () in
+            Obs.Trace.instant tracer tr ~track "keepalive-reuse";
+            tr
+          end
+        in
+        conn.trace <- Some tr;
+        conn.parse_span <- Some (Obs.Trace.begin_span tracer tr ~track "parse")
+      end)
+
+let end_parse_span t conn ~label =
+  with_tracer t (fun tracer ->
+      (match conn.parse_span with
+      | Some sp ->
+          Obs.Trace.end_span tracer sp;
+          conn.parse_span <- None
+      | None -> ());
+      match conn.trace with
+      | Some tr -> Obs.Trace.relabel tr label
+      | None -> ())
+
+let begin_work_span t conn name =
+  with_tracer t (fun tracer ->
+      match conn.trace with
+      | Some tr when conn.work_span = None ->
+          conn.work_span <-
+            Some (Obs.Trace.begin_span tracer tr ~track:(current_track t) name)
+      | _ -> ())
+
+let log_slow t (data : Obs.Trace.trace_data) =
+  match t.config.slow_request_ms with
+  | None -> ()
+  | Some ms ->
+      if (data.Obs.Trace.t_end -. data.Obs.Trace.t_begin) *. 1000. >= ms then begin
+        let line = Obs.Trace.summary data in
+        match t.slow_channel with
+        | Some oc ->
+            output_string oc (line ^ "\n");
+            flush oc
+        | None -> prerr_endline line
+      end
+
+(* Close the in-flight request's trace: response bytes are out (or the
+   connection died).  Pushes it into the ring and, past the threshold,
+   into the slow-request log. *)
+let finish_request_trace ?(closing = false) t conn =
+  match t.tracer with
+  | None -> ()
+  | Some tracer -> (
+      match conn.trace with
+      | None -> ()
+      | Some tr ->
+          let data =
+            with_obs_lock t (fun () ->
+                (match conn.write_span with
+                | Some sp -> Obs.Trace.end_span tracer sp
+                | None -> ());
+                if closing || conn.close_after_flush then
+                  Obs.Trace.instant tracer tr ~track:(current_track t) "close";
+                Obs.Trace.finish tracer tr)
+          in
+          conn.trace <- None;
+          conn.parse_span <- None;
+          conn.work_span <- None;
+          conn.write_span <- None;
+          conn.reqs_served <- conn.reqs_served + 1;
+          log_slow t data)
+
+let log_access ?conn t ~meth ~target ~status ~bytes =
+  match t.log_channel with
+  | None -> ()
+  | Some oc ->
+      (* Common Log Format; host is always loopback here.  With
+         [access_log_timing], the request's service time so far
+         (microseconds, measured from its trace start when tracing) is
+         appended after the CLF fields. *)
+      let base =
+        Printf.sprintf "127.0.0.1 - - [%s] \"%s %s HTTP/1.1\" %d %d"
+          (Http.Http_date.format (Unix.gettimeofday ()))
+          meth target status bytes
+      in
+      let line =
+        if not t.config.access_log_timing then base
+        else
+          let started =
+            match conn with
+            | Some c -> (
+                match c.trace with
+                | Some tr -> Obs.Trace.start_of tr
+                | None -> c.req_start)
+            | None -> t.config.clock ()
+          in
+          let us = (t.config.clock () -. started) *. 1e6 in
+          Printf.sprintf "%s %d" base (int_of_float (Float.max 0. us))
+      in
+      output_string oc (line ^ "\n");
+      flush oc
+
 (* Latency is measured from parse completion to response generation —
    for AMPED that spans the helper round-trip, for SPED the inline disk
-   work, so the architectural difference is visible in the numbers. *)
+   work, so the architectural difference is visible in the numbers.
+   This is also the "response generated" seam for tracing: the work
+   span (inline disk read, CGI) ends and the write span begins. *)
 let record_latency t conn =
   let dt = t.config.clock () -. conn.req_start in
-  with_obs_lock t (fun () -> Obs.Histogram.record t.latency dt)
+  with_obs_lock t (fun () -> Obs.Histogram.record t.latency dt);
+  with_tracer t (fun tracer ->
+      (match conn.work_span with
+      | Some sp ->
+          Obs.Trace.end_span tracer sp;
+          conn.work_span <- None
+      | None -> ());
+      match conn.trace with
+      | Some tr when conn.write_span = None ->
+          conn.write_span <-
+            Some (Obs.Trace.begin_span tracer tr ~track:(current_track t) "write")
+      | _ -> ())
 
 let slow_read_hook t path =
   match t.config.slow_read with Some f -> f path | None -> ()
@@ -185,6 +347,19 @@ let is_status_request t (req : Http.Request.t) =
   match t.config.status_path with
   | None -> false
   | Some sp -> String.equal req.Http.Request.path sp
+
+(* Same raw-path matching as the status endpoint.  With tracing off the
+   path is not special: it falls through to docroot resolution (and a
+   404 on a standard docroot). *)
+let is_trace_request t (req : Http.Request.t) =
+  match (t.config.trace_path, t.tracer) with
+  | Some tp, Some _ -> String.equal req.Http.Request.path tp
+  | _ -> false
+
+let trace_body t =
+  match t.tracer with
+  | None -> {|{"traceEvents":[]}|}
+  | Some tracer -> with_obs_lock t (fun () -> Obs.Trace.to_chrome_json tracer)
 
 (* ------------------------------------------------------------------ *)
 (* Status rendering                                                    *)
@@ -226,6 +401,16 @@ let status_body t ~json =
   let latency = with_obs_lock t (fun () -> Obs.Histogram.copy t.latency) in
   let active = with_obs_lock t (fun () -> Obs.Gauge.value t.active) in
   let uptime = t.config.clock () -. t.started_at in
+  let trace_counts =
+    match t.tracer with
+    | None -> None
+    | Some tracer ->
+        Some
+          (with_obs_lock t (fun () ->
+               ( Obs.Trace.completed tracer,
+                 Obs.Trace.evicted tracer,
+                 Obs.Trace.capacity tracer )))
+  in
   if json then
     let helper_json =
       match t.helper with
@@ -237,9 +422,19 @@ let status_body t ~json =
             (Helper.queue_depth_hwm h)
             (histogram_json (Helper.job_latency h))
     in
+    let trace_json =
+      match trace_counts with
+      | None -> {|{"enabled":false}|}
+      | Some (completed, evicted, cap) ->
+          Printf.sprintf
+            {|{"enabled":true,"completed":%d,"evicted":%d,"capacity":%d}|}
+            completed evicted cap
+    in
     Printf.sprintf
-      {|{"server":%S,"mode":%S,"uptime_s":%s,"requests":%d,"connections":%d,"active_connections":%d,"errors":%d,"cache":{"hits":%d,"misses":%d,"evictions":%d,"bytes":%d,"entries":%d},"latency_ms":%s,"loop":{"stalls":%d,"threshold_ms":%s,"max_stall_ms":%s,"iterations":%d},"helper":%s}|}
-      t.config.server_name (mode_string t.config.mode) (num uptime)
+      {|{"server":%s,"mode":%s,"uptime_s":%s,"requests":%d,"connections":%d,"active_connections":%d,"errors":%d,"cache":{"hits":%d,"misses":%d,"evictions":%d,"bytes":%d,"entries":%d},"latency_ms":%s,"loop":{"stalls":%d,"threshold_ms":%s,"max_stall_ms":%s,"iterations":%d},"helper":%s,"trace":%s}|}
+      (Obs.Json.str t.config.server_name)
+      (Obs.Json.str (mode_string t.config.mode))
+      (num uptime)
       t.n_requests t.n_connections active t.n_errors (File_cache.hits t.cache)
       (File_cache.misses t.cache)
       (File_cache.evictions t.cache)
@@ -249,7 +444,7 @@ let status_body t ~json =
       (num (ms (Obs.Watchdog.threshold t.watchdog)))
       (num (ms (Obs.Watchdog.max_gap t.watchdog)))
       (Obs.Watchdog.iterations t.watchdog)
-      helper_json
+      helper_json trace_json
     ^ "\n"
   else begin
     let b = Buffer.create 512 in
@@ -269,6 +464,11 @@ let status_body t ~json =
       (ms (Obs.Watchdog.threshold t.watchdog))
       (ms (Obs.Watchdog.max_gap t.watchdog))
       (Obs.Watchdog.iterations t.watchdog);
+    (match trace_counts with
+    | None -> line "tracing:      off"
+    | Some (completed, evicted, cap) ->
+        line "tracing:      %d traces (%d evicted, ring %d)" completed evicted
+          cap);
     (match t.helper with
     | None -> line "helpers:      none"
     | Some h ->
@@ -298,7 +498,7 @@ let render_header ?last_modified t ~status ~content_type ~content_length ~keep =
 
 let enqueue_error ?(target = "-") ?(meth = "GET") t conn status ~keep ~head_only =
   t.n_errors <- t.n_errors + 1;
-  log_access t ~meth ~target ~status:(Http.Status.code status) ~bytes:0;
+  log_access ~conn t ~meth ~target ~status:(Http.Status.code status) ~bytes:0;
   let body = Http.Response.error_body status in
   let header =
     render_header t ~status ~content_type:(Some "text/html")
@@ -322,7 +522,7 @@ let not_modified (req : Http.Request.t) ~mtime =
       | None -> false)
 
 let enqueue_not_modified t conn (req : Http.Request.t) ~keep =
-  log_access t ~meth:(Http.Request.meth_to_string req.Http.Request.meth)
+  log_access ~conn t ~meth:(Http.Request.meth_to_string req.Http.Request.meth)
     ~target:req.Http.Request.raw_target ~status:304 ~bytes:0;
   let header =
     render_header t ~status:Http.Status.Not_modified ~content_type:None
@@ -335,7 +535,7 @@ let enqueue_not_modified t conn (req : Http.Request.t) ~keep =
 
 let enqueue_entry t conn (req : Http.Request.t) (entry : File_cache.entry)
     ~keep ~head_only =
-  log_access t ~meth:(Http.Request.meth_to_string req.Http.Request.meth)
+  log_access ~conn t ~meth:(Http.Request.meth_to_string req.Http.Request.meth)
     ~target:req.Http.Request.raw_target ~status:200
     ~bytes:(if head_only then 0 else String.length entry.File_cache.body);
   enqueue_str conn entry.File_cache.header;
@@ -352,6 +552,21 @@ let enqueue_status t conn (req : Http.Request.t) ~keep ~head_only =
   let header =
     render_header t ~status:Http.Status.Ok
       ~content_type:(Some (if json then "application/json" else "text/plain"))
+      ~content_length:(Some (String.length body))
+      ~keep
+  in
+  enqueue_str conn header;
+  if not head_only then enqueue_str conn body;
+  if not keep then conn.close_after_flush <- true;
+  conn.state <- Reading;
+  record_latency t conn
+
+(* Like the status endpoint, bypasses the access log. *)
+let enqueue_trace t conn ~keep ~head_only =
+  let body = trace_body t in
+  let header =
+    render_header t ~status:Http.Status.Ok
+      ~content_type:(Some "application/json")
       ~content_length:(Some (String.length body))
       ~keep
   in
@@ -404,7 +619,7 @@ let serve_file t conn (req : Http.Request.t) full ~size ~mtime ~keep =
           enqueue_entry t conn req entry ~keep ~head_only
         end
         else begin
-          log_access t
+          log_access ~conn t
             ~meth:(Http.Request.meth_to_string req.Http.Request.meth)
             ~target:req.Http.Request.raw_target ~status:200
             ~bytes:(if head_only then 0 else size);
@@ -477,46 +692,84 @@ let process_request t conn (req : Http.Request.t) =
       enqueue_error t conn Http.Status.Not_implemented ~keep:false ~head_only
   | Http.Request.Get | Http.Request.Head -> (
       if is_status_request t req then enqueue_status t conn req ~keep ~head_only
-      else
-      match resolve t req with
-      | Error status -> enqueue_error t conn status ~keep ~head_only
-      | Ok path when is_cgi path ->
-          if t.config.enable_cgi then
-            start_cgi t conn req (t.config.docroot ^ path) ~keep
-          else enqueue_error t conn Http.Status.Forbidden ~keep ~head_only
-      | Ok path -> (
-          let full = t.config.docroot ^ path in
-          match with_cache_lock t (fun () -> File_cache.find_trusted t.cache full) with
-          | Some entry ->
-              if not_modified req ~mtime:entry.File_cache.mtime then
-                enqueue_not_modified t conn req ~keep
-              else enqueue_entry t conn req entry ~keep ~head_only
-          | None -> (
-              match t.helper with
-              | Some helper ->
-                  (* AMPED: all disk work (stat + read) in a helper. *)
-                  Helper.dispatch helper ~key:conn.key ~path:full;
-                  Hashtbl.replace t.by_helper_key conn.key conn;
-                  conn.state <- Waiting_helper (req, full)
-              | None -> (
-                  (* SPED: inline — the whole loop stalls on a miss. *)
-                  slow_read_hook t full;
-                  match Unix.stat full with
-                  | exception Unix.Unix_error _ ->
-                      enqueue_error t conn Http.Status.Not_found ~keep ~head_only
-                  | st when st.Unix.st_kind <> Unix.S_REG ->
-                      enqueue_error t conn Http.Status.Forbidden ~keep ~head_only
-                  | st ->
-                      serve_file t conn req full ~size:st.Unix.st_size
-                        ~mtime:st.Unix.st_mtime ~keep))))
+      else if is_trace_request t req then
+        enqueue_trace t conn ~keep ~head_only
+      else begin
+        (* Pathname translation + cache lookup, as its own span. *)
+        let resolve_sp = ref None in
+        with_tracer t (fun tracer ->
+            match conn.trace with
+            | Some tr ->
+                resolve_sp :=
+                  Some
+                    (Obs.Trace.begin_span tracer tr ~track:(current_track t)
+                       "resolve")
+            | None -> ());
+        let end_resolve () =
+          with_tracer t (fun tracer ->
+              match !resolve_sp with
+              | Some sp ->
+                  Obs.Trace.end_span tracer sp;
+                  resolve_sp := None
+              | None -> ())
+        in
+        match resolve t req with
+        | Error status ->
+            end_resolve ();
+            enqueue_error t conn status ~keep ~head_only
+        | Ok path when is_cgi path ->
+            end_resolve ();
+            if t.config.enable_cgi then begin
+              begin_work_span t conn "cgi";
+              start_cgi t conn req (t.config.docroot ^ path) ~keep
+            end
+            else enqueue_error t conn Http.Status.Forbidden ~keep ~head_only
+        | Ok path -> (
+            let full = t.config.docroot ^ path in
+            match
+              with_cache_lock t (fun () -> File_cache.find_trusted t.cache full)
+            with
+            | Some entry ->
+                end_resolve ();
+                if not_modified req ~mtime:entry.File_cache.mtime then
+                  enqueue_not_modified t conn req ~keep
+                else enqueue_entry t conn req entry ~keep ~head_only
+            | None -> (
+                end_resolve ();
+                match t.helper with
+                | Some helper ->
+                    (* AMPED: all disk work (stat + read) in a helper.
+                       The queue-wait and disk spans are stitched in when
+                       the completion comes back. *)
+                    Helper.dispatch helper ~key:conn.key ~path:full;
+                    Hashtbl.replace t.by_helper_key conn.key conn;
+                    conn.state <- Waiting_helper (req, full)
+                | None -> (
+                    (* SPED: inline — the whole loop stalls on a miss,
+                       and the disk span lands on the main-loop track. *)
+                    begin_work_span t conn "disk-read";
+                    slow_read_hook t full;
+                    match Unix.stat full with
+                    | exception Unix.Unix_error _ ->
+                        enqueue_error t conn Http.Status.Not_found ~keep
+                          ~head_only
+                    | st when st.Unix.st_kind <> Unix.S_REG ->
+                        enqueue_error t conn Http.Status.Forbidden ~keep
+                          ~head_only
+                    | st ->
+                        serve_file t conn req full ~size:st.Unix.st_size
+                          ~mtime:st.Unix.st_mtime ~keep)))
+      end)
 
 let rec try_parse t conn =
   if conn.state = Reading && conn.inbuf <> "" then begin
+    ensure_trace t conn;
     match Http.Request.parse conn.inbuf with
     | Http.Request.Incomplete -> ()
     | Http.Request.Bad _ ->
         conn.inbuf <- "";
         conn.req_start <- t.config.clock ();
+        end_parse_span t conn ~label:"bad-request";
         t.n_requests <- t.n_requests + 1;
         let body = Http.Response.error_body Http.Status.Bad_request in
         let header =
@@ -534,6 +787,10 @@ let rec try_parse t conn =
         conn.inbuf <-
           String.sub conn.inbuf consumed (String.length conn.inbuf - consumed);
         conn.req_start <- t.config.clock ();
+        end_parse_span t conn
+          ~label:
+            (Http.Request.meth_to_string req.Http.Request.meth
+            ^ " " ^ req.Http.Request.raw_target);
         process_request t conn req;
         (* Pipelined requests are handled once the response drains. *)
         if Queue.is_empty conn.outq then try_parse t conn
@@ -546,6 +803,9 @@ let rec try_parse t conn =
 let close_conn t conn =
   if conn.alive then begin
     conn.alive <- false;
+    (* A request still in flight (client hung up, error path) gets its
+       trace closed here rather than lost. *)
+    finish_request_trace ~closing:true t conn;
     (match conn.state with
     | Streaming_cgi (fd, pid) ->
         (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -611,6 +871,9 @@ let handle_writable t conn =
     match conn.state with
     | Streaming_cgi _ -> ()  (* more output may come from the pipe *)
     | Reading | Waiting_helper _ ->
+        (* Response fully flushed: the write span (opened when the
+           response was generated) closes the request's trace here. *)
+        if conn.write_span <> None then finish_request_trace t conn;
         if conn.close_after_flush then close_conn t conn
         else try_parse t conn
   end
@@ -639,16 +902,29 @@ let handle_helper_completions t =
   | Some helper ->
       let completions = Helper.drain helper in
       List.iter
-        (fun (key, result) ->
-          match Hashtbl.find_opt t.by_helper_key key with
+        (fun (c : Helper.completion) ->
+          match Hashtbl.find_opt t.by_helper_key c.Helper.key with
           | None -> ()  (* connection died while the helper worked *)
           | Some conn -> (
-              Hashtbl.remove t.by_helper_key key;
+              Hashtbl.remove t.by_helper_key c.Helper.key;
               match conn.state with
               | Waiting_helper (req, full) -> (
+                  (* Stitch the helper's measured boundaries into the
+                     waiting request's trace, attributed to the helper
+                     track: queue wait, then the blocking disk work. *)
+                  with_tracer t (fun tracer ->
+                      match conn.trace with
+                      | Some tr ->
+                          Obs.Trace.add_span tracer ~track:"helper"
+                            ~name:"helper-queue" ~start:c.Helper.enqueued
+                            ~stop:c.Helper.started tr;
+                          Obs.Trace.add_span tracer ~track:"helper"
+                            ~name:"disk-read" ~start:c.Helper.started
+                            ~stop:c.Helper.finished tr
+                      | None -> ());
                   let keep = Http.Request.keep_alive req in
                   let head_only = req.Http.Request.meth = Http.Request.Head in
-                  match result with
+                  match c.Helper.result with
                   | Helper.Missing ->
                       enqueue_error t conn Http.Status.Not_found ~keep ~head_only
                   | Helper.Found { size; mtime } ->
@@ -683,6 +959,12 @@ let accept_all t =
             last_active = now;
             req_start = now;
             alive = true;
+            accepted_at = now;
+            reqs_served = 0;
+            trace = None;
+            parse_span = None;
+            work_span = None;
+            write_span = None;
           }
         in
         Hashtbl.replace t.conns key conn;
@@ -780,24 +1062,52 @@ let stats_record ~tag ~latency =
   Bytes.set_int64_le b 1 (Int64.bits_of_float latency);
   b
 
+(* Variable-length trace records ride the same pipe: tag 'T', a u16 LE
+   payload length, then a [Obs.Trace.to_binary] record.  Children frame
+   and write each in a single [write] under PIPE_BUF, so records never
+   interleave. *)
 let consume_stats t bytes len =
   Buffer.add_subbytes t.stats_acc bytes 0 len;
   let s = Buffer.contents t.stats_acc in
   let n = String.length s in
-  let complete = n / 9 in
-  for i = 0 to complete - 1 do
-    let off = i * 9 in
-    let latency = Int64.float_of_bits (String.get_int64_le s (off + 1)) in
-    match s.[off] with
-    | 'c' -> t.n_connections <- t.n_connections + 1
-    | ('r' | 'e') as tag ->
-        t.n_requests <- t.n_requests + 1;
-        if tag = 'e' then t.n_errors <- t.n_errors + 1;
-        with_obs_lock t (fun () -> Obs.Histogram.record t.latency latency)
-    | _ -> ()
+  let pos = ref 0 in
+  let short = ref false in
+  while (not !short) && !pos < n do
+    match s.[!pos] with
+    | 'c' | 'r' | 'e' ->
+        if !pos + 9 <= n then begin
+          let latency = Int64.float_of_bits (String.get_int64_le s (!pos + 1)) in
+          (match s.[!pos] with
+          | 'c' -> t.n_connections <- t.n_connections + 1
+          | tag ->
+              t.n_requests <- t.n_requests + 1;
+              if tag = 'e' then t.n_errors <- t.n_errors + 1;
+              with_obs_lock t (fun () -> Obs.Histogram.record t.latency latency));
+          pos := !pos + 9
+        end
+        else short := true
+    | 'T' ->
+        if !pos + 3 <= n then begin
+          let plen = Char.code s.[!pos + 1] lor (Char.code s.[!pos + 2] lsl 8) in
+          if !pos + 3 + plen <= n then begin
+            (match Obs.Trace.of_binary s ~pos:(!pos + 3) with
+            | Some (data, _) -> (
+                match t.tracer with
+                | Some tracer ->
+                    with_obs_lock t (fun () -> Obs.Trace.ingest tracer data)
+                | None -> ())
+            | None -> ());
+            pos := !pos + 3 + plen
+          end
+          else short := true
+        end
+        else short := true
+    | _ ->
+        (* Unknown tag: resynchronise one byte at a time. *)
+        incr pos
   done;
   Buffer.clear t.stats_acc;
-  Buffer.add_substring t.stats_acc s (complete * 9) (n - (complete * 9))
+  Buffer.add_substring t.stats_acc s !pos (n - !pos)
 
 let mp_count_event t ~tag ~latency =
   match t.stats_pipe_write with
@@ -824,19 +1134,47 @@ let mp_count_event t ~tag ~latency =
               Obs.Histogram.record t.latency latency
           | _ -> ())
 
+(* MP children ship each finished trace to the parent as a framed
+   binary record on the stats pipe.  Oversized traces (past PIPE_BUF
+   atomicity) are dropped rather than risk interleaving. *)
+let ship_trace t data =
+  match t.stats_pipe_write with
+  | None -> ()
+  | Some w ->
+      let payload = Obs.Trace.to_binary data in
+      let plen = String.length payload in
+      if plen <= 4000 then begin
+        let b = Bytes.create (3 + plen) in
+        Bytes.set b 0 'T';
+        Bytes.set b 1 (Char.chr (plen land 0xff));
+        Bytes.set b 2 (Char.chr ((plen lsr 8) land 0xff));
+        Bytes.blit_string payload 0 b 3 plen;
+        try ignore (Unix.write w b 0 (3 + plen)) with Unix.Unix_error _ -> ()
+      end
+
 (* Sequential, blocking request handling for one connection — the MP
-   child's whole world (§3.1). *)
+   child's whole world (§3.1).  Traces are built with explicit
+   timestamps around each blocking phase; in an MP child the finished
+   trace also rides the stats pipe so the parent's ring sees it. *)
 let mp_serve_connection t fd =
   Unix.clear_nonblock fd;
   mp_count_event t ~tag:'c' ~latency:0.;
   with_obs_lock t (fun () -> Obs.Gauge.incr t.active);
+  let accepted = t.config.clock () in
+  let track = current_track t in
   let buf = Bytes.create 8192 in
-  let rec request_loop inbuf =
+  (* [t_first]: when the current request's first bytes arrived (parse
+     span start); [nreq]: finished requests on this connection. *)
+  let rec request_loop inbuf t_first nreq =
     match Http.Request.parse inbuf with
     | Http.Request.Incomplete -> (
         match Unix.read fd buf 0 8192 with
         | 0 -> ()
-        | n -> request_loop (inbuf ^ Bytes.sub_string buf 0 n)
+        | n ->
+            let t_first =
+              if t_first = None then Some (t.config.clock ()) else t_first
+            in
+            request_loop (inbuf ^ Bytes.sub_string buf 0 n) t_first nreq
         | exception Unix.Unix_error _ -> ())
     | Http.Request.Bad _ ->
         let body = Http.Response.error_body Http.Status.Bad_request in
@@ -853,6 +1191,49 @@ let mp_serve_connection t fd =
         let started = t.config.clock () in
         let keep = Http.Request.keep_alive req in
         let head_only = req.Http.Request.meth = Http.Request.Head in
+        let tr =
+          match t.tracer with
+          | None -> None
+          | Some tracer ->
+              let label =
+                Http.Request.meth_to_string req.Http.Request.meth
+                ^ " " ^ req.Http.Request.raw_target
+              in
+              Some
+                (with_obs_lock t (fun () ->
+                     let tr =
+                       if nreq = 0 then begin
+                         let tr =
+                           Obs.Trace.start tracer ~at:accepted ~label ()
+                         in
+                         Obs.Trace.add_span tracer ~track ~name:"accept"
+                           ~start:accepted ~stop:accepted tr;
+                         tr
+                       end
+                       else begin
+                         let tr = Obs.Trace.start tracer ~label () in
+                         Obs.Trace.instant tracer tr ~track "keepalive-reuse";
+                         tr
+                       end
+                     in
+                     Obs.Trace.add_span tracer ~track ~name:"parse"
+                       ~start:(Option.value t_first ~default:started)
+                       ~stop:started tr;
+                     tr))
+        in
+        let add_tr_span name ~start ~stop =
+          match (t.tracer, tr) with
+          | Some tracer, Some tr ->
+              with_obs_lock t (fun () ->
+                  Obs.Trace.add_span tracer ~track ~name ~start ~stop tr)
+          | _ -> ()
+        in
+        let send payload =
+          let w0 = t.config.clock () in
+          (try ignore (Unix.write_substring fd payload 0 (String.length payload))
+           with Unix.Unix_error _ -> ());
+          add_tr_span "write" ~start:w0 ~stop:(t.config.clock ())
+        in
         let respond_error status =
           let body = Http.Response.error_body status in
           let header =
@@ -860,9 +1241,7 @@ let mp_serve_connection t fd =
               ~content_length:(Some (String.length body))
               ~keep
           in
-          let payload = if head_only then header else header ^ body in
-          try ignore (Unix.write_substring fd payload 0 (String.length payload))
-          with Unix.Unix_error _ -> ()
+          send (if head_only then header else header ^ body)
         in
         let ok =
           if is_status_request t req then begin
@@ -874,9 +1253,19 @@ let mp_serve_connection t fd =
                 ~content_length:(Some (String.length body))
                 ~keep
             in
-            let payload = if head_only then header else header ^ body in
-            (try ignore (Unix.write_substring fd payload 0 (String.length payload))
-             with Unix.Unix_error _ -> ());
+            send (if head_only then header else header ^ body);
+            true
+          end
+          else if is_trace_request t req then begin
+            (* In an MP child this renders the child's own ring. *)
+            let body = trace_body t in
+            let header =
+              render_header t ~status:Http.Status.Ok
+                ~content_type:(Some "application/json")
+                ~content_length:(Some (String.length body))
+                ~keep
+            in
+            send (if head_only then header else header ^ body);
             true
           end
           else
@@ -888,9 +1277,11 @@ let mp_serve_connection t fd =
               let full = t.config.docroot ^ path in
               (* Each MP process has its own cache instance (copied at
                  fork): check it, else do the blocking work inline. *)
-              match
+              let lookup =
                 with_cache_lock t (fun () -> File_cache.find_trusted t.cache full)
-              with
+              in
+              add_tr_span "resolve" ~start:started ~stop:(t.config.clock ());
+              match lookup with
               | Some entry ->
                   let payload =
                     if not_modified req ~mtime:entry.File_cache.mtime then
@@ -899,30 +1290,37 @@ let mp_serve_connection t fd =
                     else if head_only then entry.File_cache.header
                     else entry.File_cache.header ^ entry.File_cache.body
                   in
-                  (try
-                     ignore
-                       (Unix.write_substring fd payload 0 (String.length payload))
-                   with Unix.Unix_error _ -> ());
+                  send payload;
                   true
               | None -> (
                   (* Cold file: the blocking disk work happens right
-                     here, in the worker serving this connection. *)
+                     here, in the worker serving this connection — so
+                     the disk span lands on this worker's track. *)
+                  let disk_start = t.config.clock () in
+                  let end_disk () =
+                    add_tr_span "disk-read" ~start:disk_start
+                      ~stop:(t.config.clock ())
+                  in
                   slow_read_hook t full;
                   match Unix.stat full with
                   | exception Unix.Unix_error _ ->
+                      end_disk ();
                       respond_error Http.Status.Not_found;
                       true
                   | st when st.Unix.st_kind <> Unix.S_REG ->
+                      end_disk ();
                       respond_error Http.Status.Forbidden;
                       true
                   | st -> (
                       match Unix.openfile full [ Unix.O_RDONLY ] 0 with
                       | exception Unix.Unix_error _ ->
+                          end_disk ();
                           respond_error Http.Status.Not_found;
                           true
                       | file_fd ->
                           let body = read_whole file_fd st.Unix.st_size in
                           Unix.close file_fd;
+                          end_disk ();
                           let header =
                             render_header t ~status:Http.Status.Ok
                               ~last_modified:st.Unix.st_mtime
@@ -939,23 +1337,25 @@ let mp_serve_connection t fd =
                                     size = st.Unix.st_size;
                                     header;
                                   });
-                          let payload =
-                            if head_only then header else header ^ body
-                          in
-                          (try
-                             ignore
-                               (Unix.write_substring fd payload 0
-                                  (String.length payload))
-                           with Unix.Unix_error _ -> ());
+                          send (if head_only then header else header ^ body);
                           true)))
         in
         let leftover =
           String.sub inbuf consumed (String.length inbuf - consumed)
         in
         mp_count_event t ~tag:'r' ~latency:(t.config.clock () -. started);
-        if ok && keep then request_loop leftover)
+        (match (t.tracer, tr) with
+        | Some tracer, Some tr ->
+            let data = with_obs_lock t (fun () -> Obs.Trace.finish tracer tr) in
+            log_slow t data;
+            ship_trace t data
+        | _ -> ());
+        if ok && keep then
+          request_loop leftover
+            (if leftover = "" then None else Some (t.config.clock ()))
+            (nreq + 1))
   in
-  request_loop "";
+  request_loop "" None 0;
   with_obs_lock t (fun () -> Obs.Gauge.decr t.active);
   try Unix.close fd with Unix.Unix_error _ -> ()
 
@@ -1033,6 +1433,16 @@ let start config =
         Obs.Watchdog.create ~clock:config.clock
           ~threshold:config.stall_threshold ();
       active = Obs.Gauge.create ();
+      tracer =
+        (if config.trace then
+           Some
+             (Obs.Trace.create ~clock:config.clock
+                ~capacity:(max 1 config.trace_capacity) ())
+         else None);
+      slow_channel =
+        Option.map
+          (fun path -> open_out_gen [ Open_append; Open_creat ] 0o644 path)
+          config.slow_request_log;
       started_at = config.clock ();
       worker_threads = [];
     }
@@ -1143,6 +1553,7 @@ let stop t =
       t.worker_threads;
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
     (match t.log_channel with Some oc -> close_out_noerr oc | None -> ());
+    (match t.slow_channel with Some oc -> close_out_noerr oc | None -> ());
     (match t.stats_pipe_read with
     | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
     | None -> ());
@@ -1195,3 +1606,18 @@ let latency t = with_obs_lock t (fun () -> Obs.Histogram.copy t.latency)
 let helper_job_latency t = Option.map Helper.job_latency t.helper
 
 let loop_iterations t = Obs.Watchdog.iterations t.watchdog
+
+let tracing_enabled t = t.tracer <> None
+
+(* Both drain the stats pipe first so an MP parent's view includes
+   traces the children have shipped but the parent loop has not yet
+   consumed. *)
+let trace_snapshot t =
+  drain_stats_pipe t;
+  match t.tracer with
+  | None -> []
+  | Some tracer -> with_obs_lock t (fun () -> Obs.Trace.snapshot tracer)
+
+let trace_chrome_json t =
+  drain_stats_pipe t;
+  trace_body t

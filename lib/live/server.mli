@@ -32,7 +32,22 @@
     job-latency figures.  Everything is served by a built-in
     [GET /server-status] endpoint: human-readable text by default,
     JSON with [?json].  The endpoint is matched before docroot/CGI
-    resolution and never appears in the access log. *)
+    resolution and never appears in the access log.
+
+    {2 Tracing}
+
+    With [trace] on (the default), every request is traced through its
+    lifecycle with {!Obs.Trace}: accept (or keep-alive reuse), header
+    parse, pathname resolution and cache lookup, the disk work —
+    attributed to the ["helper"] track under AMPED, to the main loop
+    under SPED, to the worker's own track under MP/MT — response write,
+    and close.  Completed traces land in a bounded ring served as
+    Chrome trace-event JSON by [GET /server-trace] (Perfetto-loadable,
+    one track per process/helper).  MP children ship finished traces to
+    the parent as compact binary records on the stats pipe, so the
+    parent's ring — and its [/server-trace] — covers all children.
+    Requests slower than [slow_request_ms] are additionally appended to
+    a slow-request log as a one-line span breakdown. *)
 
 type mode =
   | Amped  (** event loop + helper threads (Flash) *)
@@ -52,6 +67,9 @@ type config = {
   server_name : string;
   idle_timeout : float;  (** close keep-alive connections idle this long *)
   access_log : string option;  (** write a Common Log Format file here *)
+  access_log_timing : bool;
+      (** append each request's service time in microseconds (measured
+          from its trace start) after the CLF fields *)
   status_path : string option;
       (** built-in status endpoint (default ["/server-status"]); [None]
           disables it *)
@@ -66,6 +84,16 @@ type config = {
           file read — in AMPED helper context, inline in SPED/MP/MT —
           simulating slow media.  Tests use it to prove where each
           architecture blocks. *)
+  trace : bool;  (** record request-lifecycle traces (default on) *)
+  trace_capacity : int;  (** completed-trace ring size (default 256) *)
+  trace_path : string option;
+      (** Chrome trace-event endpoint (default ["/server-trace"]);
+          [None] disables it.  With [trace = false] the path is not
+          special and resolves against the docroot. *)
+  slow_request_ms : float option;
+      (** log the span breakdown of requests slower than this *)
+  slow_request_log : string option;
+      (** slow-request log file; [None] writes to stderr *)
 }
 
 val default_config : docroot:string -> config
@@ -114,3 +142,13 @@ val helper_job_latency : t -> Obs.Histogram.t option
 
 (** Event-loop iterations completed (0 for MP/MT). *)
 val loop_iterations : t -> int
+
+val tracing_enabled : t -> bool
+
+(** Completed traces in the ring, oldest first.  In MP mode this is the
+    parent's consolidated view (the stats pipe is drained first). *)
+val trace_snapshot : t -> Obs.Trace.trace_data list
+
+(** The ring as Chrome trace-event JSON — what [GET /server-trace]
+    serves. *)
+val trace_chrome_json : t -> string

@@ -1,0 +1,24 @@
+let escape s =
+  let plain = ref true in
+  String.iter
+    (function '"' | '\\' -> plain := false | c when c < ' ' || c > '~' -> plain := false | _ -> ())
+    s;
+  if !plain then s
+  else begin
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when c < ' ' || c > '~' ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  end
+
+let str s = "\"" ^ escape s ^ "\""

@@ -1,0 +1,16 @@
+(** Minimal JSON string rendering helpers.
+
+    The observability layer emits JSON ( /server-status, the Chrome
+    trace-event export) without a JSON library dependency; the one
+    subtle part — escaping arbitrary byte strings into valid JSON string
+    literals — lives here so every emitter agrees. *)
+
+(** [escape s] is [s] with double quotes, backslashes and all bytes
+    outside printable ASCII rendered as JSON escapes.  Bytes >= [0x7f]
+    are escaped as [\u00XX] (a Latin-1 reading), which is always valid
+    JSON even for byte strings that are not UTF-8. *)
+val escape : string -> string
+
+(** [str s] is [escape s] wrapped in double quotes: a complete JSON
+    string literal. *)
+val str : string -> string

@@ -28,6 +28,7 @@ let () =
       ("live", Test_live.suite);
       ("live.features", Test_live_features.suite);
       ("live.status", Test_status.suite);
+      ("live.trace", Test_trace.suite);
       ("util.lru_model", Test_lru_model.suite);
       ("flash.helper_pool", Test_helper_pool.suite);
       ("flash.extensions", Test_extensions.suite);
