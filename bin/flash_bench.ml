@@ -60,15 +60,96 @@ let worker ~host ~port ~path ~keep_alive ~deadline stats () =
   try if keep_alive then run_one_keepalive () else run_one_conn_per_request ()
   with Exit | _ -> ()
 
+(* Server-side send-path efficiency, measured by scraping the server's
+   /server-status?json before and after the run and differencing its
+   counters.  The scrapes themselves are requests, so the figures carry
+   ±1-request noise — irrelevant at benchmark volumes. *)
+type server_delta = {
+  send_path : string;  (* "writev" | "copy" per the server *)
+  server_requests : int;
+  syscalls_per_request : float;  (* (writev + write) calls / request *)
+  copies_per_request : float;  (* userspace-copied bytes / request *)
+}
+
+let find_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some (i + m)
+    else go (i + 1)
+  in
+  go 0
+
+let json_int s key =
+  match find_sub s (Printf.sprintf "%S:" key) with
+  | None -> None
+  | Some i ->
+      let n = String.length s in
+      let j = ref i in
+      while
+        !j < n && (match s.[!j] with '0' .. '9' | '-' -> true | _ -> false)
+      do
+        incr j
+      done;
+      int_of_string_opt (String.sub s i (!j - i))
+
+let json_str s key =
+  match find_sub s (Printf.sprintf "%S:\"" key) with
+  | None -> None
+  | Some i -> (
+      match String.index_from_opt s i '"' with
+      | None -> None
+      | Some j -> Some (String.sub s i (j - i)))
+
+let scrape_status ~host ~port status_path =
+  match Flash_live.Client.get ~host ~port (status_path ^ "?json") with
+  | r when r.Flash_live.Client.status = 200 -> Some r.Flash_live.Client.body
+  | _ -> None
+  | exception _ -> None
+
+let server_delta before after =
+  match (before, after) with
+  | Some b, Some a -> (
+      match (json_int b "requests", json_int a "requests") with
+      | Some r0, Some r1 when r1 > r0 ->
+          let d key =
+            match (json_int b key, json_int a key) with
+            | Some x0, Some x1 -> x1 - x0
+            | _ -> 0
+          in
+          let dreq = r1 - r0 in
+          Some
+            {
+              send_path = Option.value (json_str a "path") ~default:"unknown";
+              server_requests = dreq;
+              syscalls_per_request =
+                float_of_int (d "writev_calls" + d "write_calls")
+                /. float_of_int dreq;
+              copies_per_request =
+                float_of_int (d "bytes_copied") /. float_of_int dreq;
+            }
+      | _ -> None)
+  | _ -> None
+
 (* Machine-readable results, for CI artifacts and regression tracking.
    Same numbers the human-readable report prints. *)
-let write_json ~file ~completed ~errors ~bytes ~elapsed latency =
+let write_json ~file ~completed ~errors ~bytes ~elapsed ~server latency =
   let num f = if Float.is_finite f then Printf.sprintf "%.6g" f else "0" in
   let ms x = num (1000. *. x) in
   let pct p = ms (Obs.Histogram.percentile latency p) in
+  let server_json =
+    match server with
+    | None -> "null"
+    | Some d ->
+        Printf.sprintf
+          {|{"send_path":%S,"requests":%d,"syscalls_per_request":%s,"copies_per_request":%s}|}
+          d.send_path d.server_requests
+          (num d.syscalls_per_request)
+          (num d.copies_per_request)
+  in
   let body =
     Printf.sprintf
-      {|{"completed":%d,"errors":%d,"elapsed_s":%s,"throughput_rps":%s,"throughput_mbps":%s,"latency_ms":{"mean":%s,"p50":%s,"p90":%s,"p99":%s,"max":%s,"samples":%d}}|}
+      {|{"completed":%d,"errors":%d,"elapsed_s":%s,"throughput_rps":%s,"throughput_mbps":%s,"latency_ms":{"mean":%s,"p50":%s,"p90":%s,"p99":%s,"max":%s,"samples":%d},"server":%s}|}
       completed errors (num elapsed)
       (num (float_of_int completed /. elapsed))
       (num (float_of_int bytes *. 8. /. elapsed /. 1e6))
@@ -76,16 +157,22 @@ let write_json ~file ~completed ~errors ~bytes ~elapsed latency =
       (pct 50.) (pct 90.) (pct 99.)
       (ms (Obs.Histogram.max latency))
       (Obs.Histogram.count latency)
+      server_json
     ^ "\n"
   in
   let oc = open_out file in
   output_string oc body;
   close_out oc
 
-let run host port path clients duration keep_alive json_file =
+let run host port path clients duration keep_alive json_file status_path
+    no_server_stats =
   Format.printf "flash-bench: %d clients -> http://%s:%d%s for %.1fs (%s)@."
     clients host port path duration
     (if keep_alive then "keep-alive" else "connection per request");
+  let scrape () =
+    if no_server_stats then None else scrape_status ~host ~port status_path
+  in
+  let before = scrape () in
   let deadline = Unix.gettimeofday () +. duration in
   let stats = List.init clients (fun _ -> new_stats ()) in
   let t0 = Unix.gettimeofday () in
@@ -97,6 +184,7 @@ let run host port path clients duration keep_alive json_file =
   in
   List.iter Thread.join threads;
   let elapsed = Unix.gettimeofday () -. t0 in
+  let server = server_delta before (scrape ()) in
   let completed = List.fold_left (fun acc s -> acc + s.completed) 0 stats in
   let errors = List.fold_left (fun acc s -> acc + s.errors) 0 stats in
   let bytes = List.fold_left (fun acc s -> acc + s.bytes) 0 stats in
@@ -118,9 +206,19 @@ let run host port path clients duration keep_alive json_file =
       (1000. *. Obs.Histogram.max latency)
       (Obs.Histogram.count latency)
   end;
+  (match server with
+  | Some d ->
+      Format.printf
+        "server:     %s send path, %.2f syscalls/req, %.1f bytes copied/req \
+         (%d requests)@."
+        d.send_path d.syscalls_per_request d.copies_per_request
+        d.server_requests
+  | None ->
+      if not no_server_stats then
+        Format.printf "server:     status endpoint not available@.");
   (match json_file with
   | Some file ->
-      write_json ~file ~completed ~errors ~bytes ~elapsed latency;
+      write_json ~file ~completed ~errors ~bytes ~elapsed ~server latency;
       Format.printf "json:       wrote %s@." file
   | None -> ());
   if errors > 0 then exit 1
@@ -150,11 +248,26 @@ let json_file =
     & info [ "json" ] ~docv:"FILE"
         ~doc:"Also write results as JSON to $(docv).")
 
+let status_path =
+  Arg.(
+    value
+    & opt string "/server-status"
+    & info [ "server-status" ] ~docv:"PATH"
+        ~doc:
+          "Server status endpoint to scrape before/after the run for \
+           syscalls-per-request and copies-per-request figures.")
+
+let no_server_stats =
+  Arg.(
+    value & flag
+    & info [ "no-server-stats" ]
+        ~doc:"Skip scraping the server status endpoint.")
+
 let cmd =
   let doc = "closed-loop HTTP load generator (for the live Flash server)" in
   Cmd.v (Cmd.info "flash-bench" ~doc)
     Term.(
       const run $ host $ port $ path $ clients $ duration $ keep_alive
-      $ json_file)
+      $ json_file $ status_path $ no_server_stats)
 
 let () = exit (Cmd.eval cmd)

@@ -11,9 +11,9 @@ let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info))
 
-let serve docroot port mode helpers cache_mb no_cgi no_align access_log
-    access_log_timing status_path no_status stall_ms no_trace trace_capacity
-    trace_path slow_request_ms slow_request_log verbose =
+let serve docroot port mode helpers cache_mb no_cgi no_align no_writev
+    access_log access_log_timing status_path no_status stall_ms no_trace
+    trace_capacity trace_path slow_request_ms slow_request_log verbose =
   setup_logs verbose;
   let mode =
     match mode with
@@ -48,6 +48,7 @@ let serve docroot port mode helpers cache_mb no_cgi no_align access_log
       file_cache_bytes = cache_mb * 1024 * 1024;
       enable_cgi = not no_cgi;
       align_headers = not no_align;
+      use_writev = (not no_writev) && Iovec.have_writev;
       access_log;
       access_log_timing;
       status_path = (if no_status then None else Some status_path);
@@ -67,6 +68,9 @@ let serve docroot port mode helpers cache_mb no_cgi no_align access_log
     | Flash_live.Server.Sped -> "SPED"
     | Flash_live.Server.Mp n -> Printf.sprintf "MP x%d" n
     | Flash_live.Server.Mt n -> Printf.sprintf "MT x%d" n);
+  Format.printf "send path: %s@."
+    (if config.Flash_live.Server.use_writev then "writev (gather)"
+     else "write (copying fallback)");
   (match config.Flash_live.Server.status_path with
   | Some p -> Format.printf "status endpoint: %s (JSON with ?json)@." p
   | None -> ());
@@ -132,6 +136,14 @@ let no_cgi = Arg.(value & flag & info [ "no-cgi" ] ~doc:"Disable /cgi-bin/.")
 
 let no_align =
   Arg.(value & flag & info [ "no-align" ] ~doc:"Disable 32-byte header alignment.")
+
+let no_writev =
+  Arg.(
+    value & flag
+    & info [ "no-writev" ]
+        ~doc:
+          "Force the copying write fallback instead of writev gather \
+           writes (for A/B benchmarking the zero-copy send path).")
 
 let access_log =
   Arg.(
@@ -207,8 +219,8 @@ let cmd =
     (Cmd.info "flash-serve" ~doc)
     Term.(
       const serve $ docroot $ port $ mode $ helpers $ cache_mb $ no_cgi
-      $ no_align $ access_log $ access_log_timing $ status_path $ no_status
-      $ stall_ms $ no_trace $ trace_capacity $ trace_path $ slow_request_ms
-      $ slow_request_log $ verbose)
+      $ no_align $ no_writev $ access_log $ access_log_timing $ status_path
+      $ no_status $ stall_ms $ no_trace $ trace_capacity $ trace_path
+      $ slow_request_ms $ slow_request_log $ verbose)
 
 let () = exit (Cmd.eval cmd)

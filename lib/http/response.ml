@@ -69,6 +69,14 @@ let header ?(version = "HTTP/1.0") ?(server = default_server) ?content_type
           ~content_length ~keep_alive ~date ~last_modified ~extra ~status
       end
 
+let header_pair ?version ?server ?content_type ?content_length ?date
+    ?last_modified ?extra ?align ~status () =
+  let render keep_alive =
+    header ?version ?server ?content_type ?content_length ~keep_alive ?date
+      ?last_modified ?extra ?align ~status ()
+  in
+  (render true, render false)
+
 let error_body status =
   Printf.sprintf
     "<html><head><title>%s</title></head><body><h1>%s</h1></body></html>\n"

@@ -22,5 +22,21 @@ val header :
   unit ->
   string
 
+(** Both connection variants of the same header — [(keep_alive,
+    close)] — for caches that pre-render a response header per file and
+    must serve either kind of client from the one entry. *)
+val header_pair :
+  ?version:string ->
+  ?server:string ->
+  ?content_type:string ->
+  ?content_length:int ->
+  ?date:float ->
+  ?last_modified:float ->
+  ?extra:(string * string) list ->
+  ?align:int ->
+  status:Status.t ->
+  unit ->
+  string * string
+
 (** A minimal HTML error body matching the status. *)
 val error_body : Status.t -> string

@@ -1,0 +1,82 @@
+type bigstring =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type slice = { buf : bigstring; mutable off : int; mutable len : int }
+
+external stub_available : unit -> bool = "flash_iovec_available"
+
+external stub_writev : Unix.file_descr -> slice array -> int -> int
+  = "flash_iovec_writev"
+
+let have_writev = stub_available ()
+let max_iovecs = 64
+
+let create n = Bigarray.Array1.create Bigarray.char Bigarray.c_layout n
+
+let of_string s =
+  let n = String.length s in
+  let buf = create n in
+  for i = 0 to n - 1 do
+    Bigarray.Array1.unsafe_set buf i (String.unsafe_get s i)
+  done;
+  buf
+
+let of_bytes b ~len =
+  if len < 0 || len > Bytes.length b then invalid_arg "Iovec.of_bytes";
+  let buf = create len in
+  for i = 0 to len - 1 do
+    Bigarray.Array1.unsafe_set buf i (Bytes.unsafe_get b i)
+  done;
+  buf
+
+let sub_string buf ~off ~len =
+  if off < 0 || len < 0 || off + len > Bigarray.Array1.dim buf then
+    invalid_arg "Iovec.sub_string";
+  String.init len (fun i -> Bigarray.Array1.unsafe_get buf (off + i))
+
+let slice ?(off = 0) ?len buf =
+  let dim = Bigarray.Array1.dim buf in
+  let len = match len with Some l -> l | None -> dim - off in
+  if off < 0 || len < 0 || off + len > dim then invalid_arg "Iovec.slice";
+  { buf; off; len }
+
+let total_length slices =
+  Array.fold_left (fun acc s -> acc + s.len) 0 slices
+
+let advance slices n =
+  if n < 0 then invalid_arg "Iovec.advance: negative count";
+  let left = ref n in
+  Array.iter
+    (fun s ->
+      if !left > 0 then begin
+        let take = min s.len !left in
+        s.off <- s.off + take;
+        s.len <- s.len - take;
+        left := !left - take
+      end)
+    slices;
+  if !left > 0 then invalid_arg "Iovec.advance: count exceeds slices"
+
+let writev fd slices =
+  if not have_writev then failwith "Iovec.writev: not available";
+  let n = Array.length slices in
+  if n = 0 then 0 else stub_writev fd slices (min n max_iovecs)
+
+let writev_copy ~scratch fd slices =
+  let cap = Bytes.length scratch in
+  let filled = ref 0 in
+  Array.iter
+    (fun s ->
+      if !filled < cap && s.len > 0 then begin
+        let take = min s.len (cap - !filled) in
+        for i = 0 to take - 1 do
+          Bytes.unsafe_set scratch (!filled + i)
+            (Bigarray.Array1.unsafe_get s.buf (s.off + i))
+        done;
+        filled := !filled + take
+      end)
+    slices;
+  if !filled = 0 then (0, 0)
+  else
+    let n = Unix.write fd scratch 0 !filled in
+    (n, !filled)

@@ -1,0 +1,73 @@
+/* writev(2) over Bigarray-backed slices.
+ *
+ * The OCaml side hands us an array of slice records { buf; off; len }
+ * where buf is a char Bigarray.  Bigarray data lives outside the OCaml
+ * heap, so the base pointers collected while holding the runtime lock
+ * stay valid after it is released for the syscall.
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+#include <caml/bigarray.h>
+#include <caml/threads.h>
+
+#ifdef _WIN32
+
+CAMLprim value flash_iovec_available(value unit)
+{
+  (void) unit;
+  return Val_false;
+}
+
+CAMLprim value flash_iovec_writev(value vfd, value vslices, value vn)
+{
+  (void) vfd; (void) vslices; (void) vn;
+  caml_failwith("Iovec.writev: not available on this platform");
+}
+
+#else
+
+#include <caml/unixsupport.h>
+#include <sys/uio.h>
+#include <limits.h>
+#include <errno.h>
+
+/* Kept well under every platform's IOV_MAX; the OCaml side gathers at
+ * most this many slices per call. */
+#define FLASH_IOV_CAP 64
+
+CAMLprim value flash_iovec_available(value unit)
+{
+  (void) unit;
+  return Val_true;
+}
+
+CAMLprim value flash_iovec_writev(value vfd, value vslices, value vn)
+{
+  CAMLparam3(vfd, vslices, vn);
+  struct iovec iov[FLASH_IOV_CAP];
+  long n = Long_val(vn);
+  long i;
+  ssize_t ret;
+  int fd = Int_val(vfd);
+
+  if (n < 0) n = 0;
+  if ((uintnat) n > Wosize_val(vslices)) n = Wosize_val(vslices);
+  if (n > FLASH_IOV_CAP) n = FLASH_IOV_CAP;
+#ifdef IOV_MAX
+  if (n > IOV_MAX) n = IOV_MAX;
+#endif
+  for (i = 0; i < n; i++) {
+    value s = Field(vslices, i); /* { buf : bigstring; off : int; len : int } */
+    iov[i].iov_base = (char *) Caml_ba_data_val(Field(s, 0)) + Long_val(Field(s, 1));
+    iov[i].iov_len = Long_val(Field(s, 2));
+  }
+  caml_release_runtime_system();
+  ret = writev(fd, iov, (int) n);
+  caml_acquire_runtime_system();
+  if (ret == -1) caml_uerror("writev", Nothing);
+  CAMLreturn(Val_long(ret));
+}
+
+#endif

@@ -1,8 +1,10 @@
 type entry = {
-  body : string;
+  body : Iovec.bigstring;
+  mapped : bool;
   mtime : float;
   size : int;
-  header : string;
+  header_keep : Iovec.bigstring;
+  header_close : Iovec.bigstring;
 }
 
 type t = {
@@ -10,27 +12,39 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   evicted : int ref;
+  mapped : Obs.Gauge.t;  (* file bytes currently mapped via entries *)
 }
 
 let create ~capacity_bytes =
   let evicted = ref 0 in
+  let mapped = Obs.Gauge.create () in
   {
     lru =
       Flash_util.Lru.create
-        ~on_evict:(fun _ _ -> incr evicted)
+        ~on_evict:(fun _ (entry : entry) ->
+          incr evicted;
+          if entry.mapped then Obs.Gauge.add mapped (-entry.size))
         ~capacity:(max 1 capacity_bytes) ();
     hits = 0;
     misses = 0;
     evicted;
+    mapped;
   }
 
-let find t path ~mtime =
+(* [Lru.remove] bypasses [on_evict]; every non-eviction removal goes
+   through here so the mapped-bytes accounting cannot drift. *)
+let forget t path =
+  match Flash_util.Lru.remove t.lru path with
+  | Some entry -> if entry.mapped then Obs.Gauge.add t.mapped (-entry.size)
+  | None -> ()
+
+let find t path ~mtime ~size =
   match Flash_util.Lru.find t.lru path with
-  | Some entry when entry.mtime = mtime ->
+  | Some entry when entry.mtime = mtime && entry.size = size ->
       t.hits <- t.hits + 1;
       Some entry
   | Some _ ->
-      ignore (Flash_util.Lru.remove t.lru path);
+      forget t path;
       t.misses <- t.misses + 1;
       None
   | None ->
@@ -46,13 +60,45 @@ let find_trusted t path =
       t.misses <- t.misses + 1;
       None
 
-let insert t path entry =
-  Flash_util.Lru.add t.lru path entry
-    ~weight:(String.length entry.body + String.length entry.header)
+let entry_weight entry =
+  entry.size
+  + Bigarray.Array1.dim entry.header_keep
+  + Bigarray.Array1.dim entry.header_close
 
-let remove t path = ignore (Flash_util.Lru.remove t.lru path)
+let insert t path (entry : entry) =
+  (* Replacement would bypass [on_evict]; drop the old entry first so
+     its mapping is uncharged. *)
+  forget t path;
+  if entry.mapped then Obs.Gauge.add t.mapped entry.size;
+  Flash_util.Lru.add t.lru path entry ~weight:(entry_weight entry)
+
+let remove t path = forget t path
+
+let read_body fd size =
+  let buf = Bytes.create size in
+  let rec loop off =
+    if off >= size then size
+    else
+      match Unix.read fd buf off (size - off) with
+      | 0 -> off
+      | n -> loop (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop off
+  in
+  let got = loop 0 in
+  Iovec.of_bytes buf ~len:got
+
+let map_body fd ~size =
+  if size <= 0 then (Iovec.create 0, false)
+  else
+    match
+      Unix.map_file fd Bigarray.char Bigarray.c_layout false [| size |]
+    with
+    | genarray -> (Bigarray.array1_of_genarray genarray, true)
+    | exception _ -> (read_body fd size, false)
+
 let bytes t = Flash_util.Lru.weight t.lru
 let entries t = Flash_util.Lru.length t.lru
+let mapped_bytes t = Obs.Gauge.value t.mapped
 let hits t = t.hits
 let misses t = t.misses
 let evictions t = !(t.evicted)

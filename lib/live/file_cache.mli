@@ -1,35 +1,63 @@
-(** Application-level file content cache for the live server.
+(** Mapped-file cache for the live server — the paper's mmap'd chunk
+    cache (§4) on the live side.
 
-    This is the portable stand-in for Flash's mapped-file chunk cache:
-    OCaml writes to sockets from bytes, so caching file *contents* plays
-    the role the mmap chunk cache plays in the paper (documented
-    deviation in DESIGN.md).  Bounded by total bytes, LRU replacement;
-    entries also carry the rendered response header, giving the header
-    cache for free.  Entries are validated against the file's mtime. *)
+    Bodies are [Unix.map_file] Bigarray mappings (with a read-and-copy
+    fallback for filesystems that refuse to map), so a cache hit serves
+    file bytes straight from the mapping via a gather write with zero
+    userspace copies.  Entries carry both pre-rendered 200 headers
+    (keep-alive and close variants, aligned per server config) — the
+    header cache of §4.3 for free.  Bounded by total resident bytes
+    (body + headers), LRU replacement; a mapped-bytes gauge tracks how
+    much file data is currently mapped through the cache.
+
+    Eviction stops charging the mapping immediately (the gauge drops);
+    the [munmap] itself happens when the last reference dies — an
+    in-flight response may still be sending from the mapping, so the
+    unmap is delegated to the runtime finalizer rather than issued
+    eagerly (documented deviation from Flash's explicit unmaps; the
+    simulator's [Mmap_cache] models those faithfully). *)
 
 type entry = {
-  body : string;
+  body : Iovec.bigstring;  (** mmap-backed when [mapped] *)
+  mapped : bool;
   mtime : float;
   size : int;
-  header : string;  (** rendered 200 header, aligned per server config *)
+  header_keep : Iovec.bigstring;
+      (** rendered 200 header, [Connection: keep-alive], aligned *)
+  header_close : Iovec.bigstring;  (** same, [Connection: close] *)
 }
 
 type t
 
 val create : capacity_bytes:int -> t
 
-(** [find t path ~mtime] — hit only if cached mtime matches. *)
-val find : t -> string -> mtime:float -> entry option
+(** [find t path ~mtime ~size] — hit only if both the cached mtime and
+    size match: a same-second rewrite that changes the length must not
+    serve the stale mapping. *)
+val find : t -> string -> mtime:float -> size:int -> entry option
 
-(** Lookup without an mtime check — how Flash's caches trust entries
+(** Lookup without a freshness check — how Flash's caches trust entries
     between invalidations; staleness is corrected when a helper's fresh
     stat disagrees. *)
 val find_trusted : t -> string -> entry option
 
 val insert : t -> string -> entry -> unit
 val remove : t -> string -> unit
+
+(** Map [size] bytes of [fd] (position-independent; the descriptor may
+    be closed afterwards, the mapping survives).  Falls back to reading
+    the contents into a fresh buffer when mapping fails; the second
+    component is [true] when the body is a real mapping. *)
+val map_body : Unix.file_descr -> size:int -> Iovec.bigstring * bool
+
 val bytes : t -> int
 val entries : t -> int
+
+(** File bytes currently mapped through cache entries.  Drops on
+    eviction/removal — the regression signal that eviction releases
+    mappings. *)
+val mapped_bytes : t -> int
+
 val hits : t -> int
 val misses : t -> int
 

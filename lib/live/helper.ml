@@ -30,9 +30,11 @@ type t = {
   mutable threads : Thread.t list;
 }
 
-(* Touch every page of the file: after this, the main process's own read
-   will not block on disk.  A fixed 64 KB stride per read call. *)
-let touch_file ?slow_read path =
+(* Touch every page of the file: after this, the main process's own
+   mmap+writev will not major-fault.  A fixed 64 KB stride per read
+   call; [buf] is the calling worker's reusable scratch, so a stream of
+   jobs costs no per-job allocation. *)
+let touch_file ?slow_read ~buf path =
   match Unix.stat path with
   | exception Unix.Unix_error _ -> Missing
   | st when st.Unix.st_kind <> Unix.S_REG -> Missing
@@ -43,7 +45,6 @@ let touch_file ?slow_read path =
       match Unix.openfile path [ Unix.O_RDONLY ] 0 with
       | exception Unix.Unix_error _ -> Missing
       | fd ->
-          let buf = Bytes.create 65536 in
           let rec loop () =
             match Unix.read fd buf 0 65536 with
             | 0 -> ()
@@ -55,6 +56,7 @@ let touch_file ?slow_read path =
           Found { size = st.Unix.st_size; mtime = st.Unix.st_mtime })
 
 let worker t () =
+  let buf = Bytes.create 65536 in
   let rec loop () =
     Mutex.lock t.mutex;
     while Queue.is_empty t.queue && not t.stop do
@@ -65,7 +67,7 @@ let worker t () =
       let job = Queue.pop t.queue in
       Mutex.unlock t.mutex;
       let started = t.clock () in
-      let result = touch_file ?slow_read:t.slow_read job.path in
+      let result = touch_file ?slow_read:t.slow_read ~buf job.path in
       let finished = t.clock () in
       Mutex.lock t.mutex;
       Hashtbl.replace t.results job.key

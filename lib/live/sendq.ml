@@ -1,0 +1,70 @@
+type item =
+  | Slice of Iovec.slice
+  | File of { src : Unix.file_descr; mutable remaining : int }
+
+type t = { q : item Queue.t }
+
+let create () = { q = Queue.create () }
+let is_empty t = Queue.is_empty t.q
+let head t = Queue.peek_opt t.q
+
+let push_slice t (s : Iovec.slice) =
+  if s.Iovec.len > 0 then Queue.push (Slice s) t.q
+
+let push_string t s =
+  let n = String.length s in
+  if n > 0 then push_slice t (Iovec.slice (Iovec.of_string s));
+  n
+
+let push_file t src ~len =
+  if len > 0 then Queue.push (File { src; remaining = len }) t.q
+  else try Unix.close src with Unix.Unix_error _ -> ()
+
+let gather t =
+  let acc = ref [] in
+  let count = ref 0 in
+  (try
+     Queue.iter
+       (fun item ->
+         match item with
+         | Slice s when !count < Iovec.max_iovecs ->
+             acc := s :: !acc;
+             incr count
+         | Slice _ | File _ -> raise Exit)
+       t.q
+   with Exit -> ());
+  Array.of_list (List.rev !acc)
+
+let advance t n =
+  let left = ref n in
+  while !left > 0 do
+    match Queue.peek_opt t.q with
+    | Some (Slice s) ->
+        let take = min s.Iovec.len !left in
+        s.Iovec.off <- s.Iovec.off + take;
+        s.Iovec.len <- s.Iovec.len - take;
+        left := !left - take;
+        if s.Iovec.len = 0 then ignore (Queue.pop t.q)
+    | Some (File _) | None ->
+        invalid_arg "Sendq.advance: count exceeds gathered slices"
+  done;
+  (* Drop any slices emptied exactly at the boundary. *)
+  let rec trim () =
+    match Queue.peek_opt t.q with
+    | Some (Slice s) when s.Iovec.len = 0 ->
+        ignore (Queue.pop t.q);
+        trim ()
+    | _ -> ()
+  in
+  trim ()
+
+let pop t = ignore (Queue.pop t.q)
+
+let close_files t =
+  Queue.iter
+    (function
+      | File { src; _ } -> ( try Unix.close src with Unix.Unix_error _ -> ())
+      | Slice _ -> ())
+    t.q
+
+let clear t = Queue.clear t.q

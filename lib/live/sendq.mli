@@ -1,0 +1,50 @@
+(** Per-connection send queue of iovec slices.
+
+    A response is queued as slices (pre-rendered header, mmap-backed
+    body) plus, for files too large to cache, a descriptor streamed in
+    chunks.  Partial writes are survived by advancing slice offsets in
+    place — bytes already accepted by the kernel are never re-submitted
+    and strings are never re-sliced.  The queue is transport-agnostic:
+    {!gather} exposes the leading slices for a [writev] (or the copying
+    fallback) and {!advance} consumes whatever the write accepted, so
+    the same logic is testable without sockets. *)
+
+type item =
+  | Slice of Iovec.slice
+  | File of { src : Unix.file_descr; mutable remaining : int }
+      (** streamed large file: read a chunk, write it, repeat *)
+
+type t
+
+val create : unit -> t
+val is_empty : t -> bool
+
+(** Head of the queue, if any (not removed). *)
+val head : t -> item option
+
+(** Queue a slice; zero-length slices are dropped. *)
+val push_slice : t -> Iovec.slice -> unit
+
+(** Copy a heap string into a fresh off-heap buffer and queue it.
+    Returns the number of bytes copied (0 for [""]) so callers can
+    charge their copy counters. *)
+val push_string : t -> string -> int
+
+val push_file : t -> Unix.file_descr -> len:int -> unit
+
+(** Leading [Slice] items (up to [Iovec.max_iovecs]), stopping at the
+    first [File].  The array aliases the queued slices: advancing them
+    advances the queue's view. *)
+val gather : t -> Iovec.slice array
+
+(** Consume [n] bytes from the leading slices, popping the ones fully
+    sent.  [n] must not exceed the gathered length. *)
+val advance : t -> int -> unit
+
+(** Remove the head item (used when a [File] finishes). *)
+val pop : t -> unit
+
+(** Close any queued file descriptors (connection teardown). *)
+val close_files : t -> unit
+
+val clear : t -> unit

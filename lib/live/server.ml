@@ -22,6 +22,7 @@ type config = {
   trace_path : string option;  (* Chrome trace-event endpoint; None disables *)
   slow_request_ms : float option;  (* log traces slower than this *)
   slow_request_log : string option;  (* slow-request log file; None = stderr *)
+  use_writev : bool;  (* gather writes via the C stub vs copying fallback *)
 }
 
 let default_config ~docroot =
@@ -47,6 +48,7 @@ let default_config ~docroot =
     trace_path = Some "/server-trace";
     slow_request_ms = None;
     slow_request_log = None;
+    use_writev = Iovec.have_writev;
   }
 
 type stats = {
@@ -61,11 +63,11 @@ type stats = {
   active_connections : int;
   loop_stalls : int;
   loop_max_stall : float;
+  writev_calls : int;
+  write_calls : int;
+  bytes_copied : int;
+  mapped_bytes : int;
 }
-
-type out_item =
-  | Out_str of { data : string; mutable off : int }
-  | Out_file of { src : Unix.file_descr; mutable remaining : int }
 
 type conn_state =
   | Reading
@@ -76,7 +78,8 @@ type conn = {
   fd : Unix.file_descr;
   key : int;
   mutable inbuf : string;
-  outq : out_item Queue.t;
+  readbuf : Bytes.t;  (* per-connection scratch, reused across reads *)
+  outq : Sendq.t;
   mutable state : conn_state;
   mutable close_after_flush : bool;
   mutable last_active : float;
@@ -138,6 +141,16 @@ type t = {
   slow_channel : out_channel option;  (* slow-request log sink *)
   started_at : float;
   mutable worker_threads : Thread.t list;
+  (* Send-path accounting (guarded by [obs_mutex] where several threads
+     record): gather writes issued, scalar writes issued, and bytes that
+     crossed userspace on their way out. *)
+  writev_calls : Obs.Counter.t;
+  write_calls : Obs.Counter.t;
+  bytes_copied : Obs.Counter.t;
+  (* Copying-fallback staging buffer for the single-threaded event-loop
+     modes; MP/MT workers allocate their own per connection. *)
+  send_scratch : Bytes.t;
+  gather_writes : bool;  (* config.use_writev, gated on stub presence *)
 }
 
 let log = Logs.Src.create "flash.live" ~doc:"Flash live server"
@@ -411,6 +424,12 @@ let status_body t ~json =
                  Obs.Trace.evicted tracer,
                  Obs.Trace.capacity tracer )))
   in
+  let sv_writev, sv_writes, sv_copied =
+    with_obs_lock t (fun () ->
+        ( Obs.Counter.value t.writev_calls,
+          Obs.Counter.value t.write_calls,
+          Obs.Counter.value t.bytes_copied ))
+  in
   if json then
     let helper_json =
       match t.helper with
@@ -431,14 +450,18 @@ let status_body t ~json =
             completed evicted cap
     in
     Printf.sprintf
-      {|{"server":%s,"mode":%s,"uptime_s":%s,"requests":%d,"connections":%d,"active_connections":%d,"errors":%d,"cache":{"hits":%d,"misses":%d,"evictions":%d,"bytes":%d,"entries":%d},"latency_ms":%s,"loop":{"stalls":%d,"threshold_ms":%s,"max_stall_ms":%s,"iterations":%d},"helper":%s,"trace":%s}|}
+      {|{"server":%s,"mode":%s,"uptime_s":%s,"requests":%d,"connections":%d,"active_connections":%d,"errors":%d,"cache":{"hits":%d,"misses":%d,"evictions":%d,"bytes":%d,"mapped_bytes":%d,"entries":%d},"send":{"path":%s,"writev_calls":%d,"write_calls":%d,"bytes_copied":%d},"latency_ms":%s,"loop":{"stalls":%d,"threshold_ms":%s,"max_stall_ms":%s,"iterations":%d},"helper":%s,"trace":%s}|}
       (Obs.Json.str t.config.server_name)
       (Obs.Json.str (mode_string t.config.mode))
       (num uptime)
       t.n_requests t.n_connections active t.n_errors (File_cache.hits t.cache)
       (File_cache.misses t.cache)
       (File_cache.evictions t.cache)
-      (File_cache.bytes t.cache) (File_cache.entries t.cache)
+      (File_cache.bytes t.cache)
+      (File_cache.mapped_bytes t.cache)
+      (File_cache.entries t.cache)
+      (Obs.Json.str (if t.gather_writes then "writev" else "copy"))
+      sv_writev sv_writes sv_copied
       (histogram_json latency)
       (Obs.Watchdog.stalls t.watchdog)
       (num (ms (Obs.Watchdog.threshold t.watchdog)))
@@ -458,6 +481,10 @@ let status_body t ~json =
       (File_cache.hits t.cache) (File_cache.misses t.cache)
       (File_cache.evictions t.cache) (File_cache.bytes t.cache)
       (File_cache.entries t.cache);
+    line "mapped:       %d bytes" (File_cache.mapped_bytes t.cache);
+    line "send:         %s path, %d writev, %d write, %d bytes copied"
+      (if t.gather_writes then "writev" else "copy")
+      sv_writev sv_writes sv_copied;
     line "latency:      %s" (histogram_text latency);
     line "loop:         %d stalls over %.1f ms (max %.3f ms, %d iterations)"
       (Obs.Watchdog.stalls t.watchdog)
@@ -488,8 +515,38 @@ let wants_json (req : Http.Request.t) =
 (* Output plumbing                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let enqueue_str conn s =
-  if String.length s > 0 then Queue.push (Out_str { data = s; off = 0 }) conn.outq
+(* Send-path accounting, all modes.  In an MP child the deltas also ride
+   the stats pipe as a framed 'v' record (tag + three 8-byte LE ints =
+   25 bytes < PIPE_BUF, so writes are atomic) so the parent's
+   consolidated view includes them. *)
+let count_send t ~writev ~writes ~copied =
+  if writev <> 0 || writes <> 0 || copied <> 0 then begin
+    (match t.stats_pipe_write with
+    | Some w -> (
+        let b = Bytes.create 25 in
+        Bytes.set b 0 'v';
+        Bytes.set_int64_le b 1 (Int64.of_int writev);
+        Bytes.set_int64_le b 9 (Int64.of_int writes);
+        Bytes.set_int64_le b 17 (Int64.of_int copied);
+        try ignore (Unix.write w b 0 25) with Unix.Unix_error _ -> ())
+    | None -> ());
+    (* Mirror locally (MP children keep their own copy-on-write view,
+       matching the request/connection counters). *)
+    with_obs_lock t (fun () ->
+        Obs.Counter.add t.writev_calls writev;
+        Obs.Counter.add t.write_calls writes;
+        Obs.Counter.add t.bytes_copied copied)
+  end
+
+(* Strings (error bodies, status/trace payloads, CGI chunks, per-request
+   headers) enter the send queue by being copied once into an off-heap
+   buffer — a counted copy.  Cache-hit responses bypass this entirely:
+   their header and body slices come straight from the cache entry. *)
+let enqueue_string t conn s =
+  let copied = Sendq.push_string conn.outq s in
+  count_send t ~writev:0 ~writes:0 ~copied
+
+let enqueue_slice conn buf = Sendq.push_slice conn.outq (Iovec.slice buf)
 
 let render_header ?last_modified t ~status ~content_type ~content_length ~keep =
   Http.Response.header ~status ?content_type ?content_length ?last_modified
@@ -504,8 +561,8 @@ let enqueue_error ?(target = "-") ?(meth = "GET") t conn status ~keep ~head_only
     render_header t ~status ~content_type:(Some "text/html")
       ~content_length:(Some (String.length body)) ~keep
   in
-  enqueue_str conn header;
-  if not head_only then enqueue_str conn body;
+  enqueue_string t conn header;
+  if not head_only then enqueue_string t conn body;
   if not keep then conn.close_after_flush <- true;
   conn.state <- Reading;
   record_latency t conn
@@ -528,18 +585,24 @@ let enqueue_not_modified t conn (req : Http.Request.t) ~keep =
     render_header t ~status:Http.Status.Not_modified ~content_type:None
       ~content_length:None ~keep
   in
-  enqueue_str conn header;
+  enqueue_string t conn header;
   if not keep then conn.close_after_flush <- true;
   conn.state <- Reading;
   record_latency t conn
 
+(* The zero-copy fast path: a cache hit queues the pre-rendered header
+   and the mmap-backed body as two slices — one gather write, no
+   userspace copies. *)
 let enqueue_entry t conn (req : Http.Request.t) (entry : File_cache.entry)
     ~keep ~head_only =
+  let body_len = Bigarray.Array1.dim entry.File_cache.body in
   log_access ~conn t ~meth:(Http.Request.meth_to_string req.Http.Request.meth)
     ~target:req.Http.Request.raw_target ~status:200
-    ~bytes:(if head_only then 0 else String.length entry.File_cache.body);
-  enqueue_str conn entry.File_cache.header;
-  if not head_only then enqueue_str conn entry.File_cache.body;
+    ~bytes:(if head_only then 0 else body_len);
+  enqueue_slice conn
+    (if keep then entry.File_cache.header_keep
+     else entry.File_cache.header_close);
+  if not head_only then enqueue_slice conn entry.File_cache.body;
   if not keep then conn.close_after_flush <- true;
   conn.state <- Reading;
   record_latency t conn
@@ -555,8 +618,8 @@ let enqueue_status t conn (req : Http.Request.t) ~keep ~head_only =
       ~content_length:(Some (String.length body))
       ~keep
   in
-  enqueue_str conn header;
-  if not head_only then enqueue_str conn body;
+  enqueue_string t conn header;
+  if not head_only then enqueue_string t conn body;
   if not keep then conn.close_after_flush <- true;
   conn.state <- Reading;
   record_latency t conn
@@ -570,8 +633,8 @@ let enqueue_trace t conn ~keep ~head_only =
       ~content_length:(Some (String.length body))
       ~keep
   in
-  enqueue_str conn header;
-  if not head_only then enqueue_str conn body;
+  enqueue_string t conn header;
+  if not head_only then enqueue_string t conn body;
   if not keep then conn.close_after_flush <- true;
   conn.state <- Reading;
   record_latency t conn
@@ -592,9 +655,37 @@ let read_whole fd size =
   in
   loop 0
 
+(* Map the file and pre-render both connection variants of its 200
+   header: a fresh cache entry.  The header render and (when mapping
+   fails) the body read are the miss path's counted copies; a mapped
+   body costs none. *)
+let make_entry t fd full ~size ~mtime =
+  let body, mapped = File_cache.map_body fd ~size in
+  let body_len = Bigarray.Array1.dim body in
+  let hk, hc =
+    Http.Response.header_pair ~status:Http.Status.Ok
+      ~server:t.config.server_name ~date:(Unix.gettimeofday ())
+      ~last_modified:mtime
+      ~content_type:(Http.Mime.of_path full)
+      ~content_length:body_len ?align:(align_of t) ()
+  in
+  count_send t ~writev:0 ~writes:0
+    ~copied:
+      ((if mapped then 0 else body_len)
+      + String.length hk + String.length hc);
+  {
+    File_cache.body;
+    mapped;
+    mtime;
+    size;
+    header_keep = Iovec.of_string hk;
+    header_close = Iovec.of_string hc;
+  }
+
 (* The file is known to exist with [size]/[mtime] (from a helper's stat
-   or an inline one).  Small files are cached whole with their rendered
-   header; large files stream from the descriptor. *)
+   or an inline one).  Small files are cached as mmap-backed entries
+   with their pre-rendered headers; large files stream from the
+   descriptor. *)
 let serve_file t conn (req : Http.Request.t) full ~size ~mtime ~keep =
   let head_only = req.Http.Request.meth = Http.Request.Head in
   if not_modified req ~mtime then enqueue_not_modified t conn req ~keep
@@ -606,15 +697,8 @@ let serve_file t conn (req : Http.Request.t) full ~size ~mtime ~keep =
           ~meth:(Http.Request.meth_to_string req.Http.Request.meth)
     | fd ->
         if size <= t.config.max_cached_file then begin
-          let body = read_whole fd size in
+          let entry = make_entry t fd full ~size ~mtime in
           Unix.close fd;
-          let header =
-            render_header t ~status:Http.Status.Ok ~last_modified:mtime
-              ~content_type:(Some (Http.Mime.of_path full))
-              ~content_length:(Some (String.length body))
-              ~keep
-          in
-          let entry = { File_cache.body; mtime; size; header } in
           with_cache_lock t (fun () -> File_cache.insert t.cache full entry);
           enqueue_entry t conn req entry ~keep ~head_only
         end
@@ -628,9 +712,9 @@ let serve_file t conn (req : Http.Request.t) full ~size ~mtime ~keep =
               ~content_type:(Some (Http.Mime.of_path full))
               ~content_length:(Some size) ~keep
           in
-          enqueue_str conn header;
+          enqueue_string t conn header;
           if head_only then Unix.close fd
-          else Queue.push (Out_file { src = fd; remaining = size }) conn.outq;
+          else Sendq.push_file conn.outq fd ~len:size;
           if not keep then conn.close_after_flush <- true;
           conn.state <- Reading;
           record_latency t conn
@@ -675,7 +759,7 @@ let start_cgi t conn (req : Http.Request.t) full ~keep:_ =
             render_header t ~status:Http.Status.Ok ~content_type:None
               ~content_length:None ~keep:false
           in
-          enqueue_str conn header;
+          enqueue_string t conn header;
           conn.close_after_flush <- false;
           conn.state <- Streaming_cgi (pipe_read, pid))
 
@@ -779,8 +863,8 @@ let rec try_parse t conn =
             ~keep:false
         in
         t.n_errors <- t.n_errors + 1;
-        enqueue_str conn header;
-        enqueue_str conn body;
+        enqueue_string t conn header;
+        enqueue_string t conn body;
         conn.close_after_flush <- true;
         record_latency t conn
     | Http.Request.Complete (req, consumed) ->
@@ -793,7 +877,7 @@ let rec try_parse t conn =
             ^ " " ^ req.Http.Request.raw_target);
         process_request t conn req;
         (* Pipelined requests are handled once the response drains. *)
-        if Queue.is_empty conn.outq then try_parse t conn
+        if Sendq.is_empty conn.outq then try_parse t conn
   end
 
 (* ------------------------------------------------------------------ *)
@@ -811,47 +895,68 @@ let close_conn t conn =
         (try Unix.close fd with Unix.Unix_error _ -> ());
         (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
     | Reading | Waiting_helper _ -> ());
-    Queue.iter
-      (function
-        | Out_file { src; _ } -> (
-            try Unix.close src with Unix.Unix_error _ -> ())
-        | Out_str _ -> ())
-      conn.outq;
-    Queue.clear conn.outq;
+    Sendq.close_files conn.outq;
+    Sendq.clear conn.outq;
     Hashtbl.remove t.conns conn.key;
     Hashtbl.remove t.by_helper_key conn.key;
     with_obs_lock t (fun () -> Obs.Gauge.decr t.active);
     try Unix.close conn.fd with Unix.Unix_error _ -> ()
   end
 
+(* The head-request buffer: reads land in the connection's reusable
+   scratch and append to [inbuf].  The cap bounds parse-buffer growth
+   against a client streaming junk or very deep pipelines. *)
+let max_inbuf = 262144
+
 let handle_readable t conn =
-  let buf = Bytes.create 8192 in
-  match Unix.read conn.fd buf 0 8192 with
+  let cap = Bytes.length conn.readbuf in
+  match Unix.read conn.fd conn.readbuf 0 cap with
   | 0 -> close_conn t conn
   | n ->
       conn.last_active <- t.config.clock ();
-      conn.inbuf <- conn.inbuf ^ Bytes.sub_string buf 0 n;
-      if String.length conn.inbuf > 65536 then close_conn t conn
+      conn.inbuf <- conn.inbuf ^ Bytes.sub_string conn.readbuf 0 n;
+      if String.length conn.inbuf > max_inbuf then close_conn t conn
       else try_parse t conn
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
   | exception Unix.Unix_error _ -> close_conn t conn
 
+(* Flush queued slices with gather writes: everything contiguous at the
+   head of the queue — header + body of one response, or several
+   pipelined responses — goes to the kernel in one [writev].  A partial
+   write advances slice offsets in place and waits for the next
+   writability event.  With the copying fallback the same gather is
+   staged through the scratch buffer and written with one scalar
+   [write] — the measured difference between the two paths. *)
 let handle_writable t conn =
   conn.last_active <- t.config.clock ();
   let progress = ref true in
   (try
-     while !progress && not (Queue.is_empty conn.outq) do
-       match Queue.peek conn.outq with
-       | Out_str s ->
-           let len = String.length s.data - s.off in
-           let n = Unix.write_substring conn.fd s.data s.off len in
-           s.off <- s.off + n;
-           if s.off >= String.length s.data then ignore (Queue.pop conn.outq);
-           if n < len then progress := false
-       | Out_file f ->
+     while !progress && not (Sendq.is_empty conn.outq) do
+       match Sendq.head conn.outq with
+       | Some (Sendq.Slice _) ->
+           let slices = Sendq.gather conn.outq in
+           let total = Iovec.total_length slices in
+           let written, partial =
+             if t.gather_writes then begin
+               let n = Iovec.writev conn.fd slices in
+               count_send t ~writev:1 ~writes:0 ~copied:0;
+               (n, n < total)
+             end
+             else begin
+               let n, copied =
+                 Iovec.writev_copy ~scratch:t.send_scratch conn.fd slices
+               in
+               count_send t ~writev:0 ~writes:1 ~copied;
+               (n, n < copied)
+             end
+           in
+           Sendq.advance conn.outq written;
+           if partial then progress := false
+       | Some (Sendq.File f) ->
            let chunk = min 65536 f.remaining in
            let data = read_whole f.src chunk in
            let n = Unix.write_substring conn.fd data 0 (String.length data) in
+           count_send t ~writev:0 ~writes:1 ~copied:(String.length data);
            (* A short write drops the tail of this chunk; re-read it via
               the file offset by seeking back. *)
            if n < String.length data then begin
@@ -861,13 +966,14 @@ let handle_writable t conn =
            f.remaining <- f.remaining - n;
            if f.remaining <= 0 || String.length data < chunk then begin
              Unix.close f.src;
-             ignore (Queue.pop conn.outq)
+             Sendq.pop conn.outq
            end
+       | None -> progress := false
      done
    with
-  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
   | Unix.Unix_error _ -> close_conn t conn);
-  if conn.alive && Queue.is_empty conn.outq then begin
+  if conn.alive && Sendq.is_empty conn.outq then begin
     match conn.state with
     | Streaming_cgi _ -> ()  (* more output may come from the pipe *)
     | Reading | Waiting_helper _ ->
@@ -887,8 +993,8 @@ let handle_cgi_readable t conn fd pid =
       conn.state <- Reading;
       conn.close_after_flush <- true;
       record_latency t conn;
-      if Queue.is_empty conn.outq then close_conn t conn
-  | n -> enqueue_str conn (Bytes.sub_string buf 0 n)
+      if Sendq.is_empty conn.outq then close_conn t conn
+  | n -> enqueue_string t conn (Bytes.sub_string buf 0 n)
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
   | exception Unix.Unix_error _ ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -953,7 +1059,8 @@ let accept_all t =
             fd;
             key;
             inbuf = "";
-            outq = Queue.create ();
+            readbuf = Bytes.create 65536;
+            outq = Sendq.create ();
             state = Reading;
             close_after_flush = false;
             last_active = now;
@@ -984,7 +1091,7 @@ let sweep_idle t now =
       (fun _ conn acc ->
         if
           conn.state = Reading
-          && Queue.is_empty conn.outq
+          && Sendq.is_empty conn.outq
           && now -. conn.last_active > t.config.idle_timeout
         then conn :: acc
         else acc)
@@ -1006,7 +1113,7 @@ let run_loop t =
         | Reading -> reads := conn.fd :: !reads
         | Streaming_cgi (fd, pid) -> cgi := (fd, conn, pid) :: !cgi
         | Waiting_helper _ -> ());
-        if not (Queue.is_empty conn.outq) then writes := conn.fd :: !writes)
+        if not (Sendq.is_empty conn.outq) then writes := conn.fd :: !writes)
       t.conns;
     let cgi_fds = List.map (fun (fd, _, _) -> fd) !cgi in
     match Unix.select (!reads @ cgi_fds) !writes [] 0.5 with
@@ -1086,6 +1193,19 @@ let consume_stats t bytes len =
           pos := !pos + 9
         end
         else short := true
+    | 'v' ->
+        (* Send-path counter deltas from an MP child: three 8-byte LE
+           ints after the tag. *)
+        if !pos + 25 <= n then begin
+          let int_at o = Int64.to_int (String.get_int64_le s (!pos + o)) in
+          let writev = int_at 1 and writes = int_at 9 and copied = int_at 17 in
+          with_obs_lock t (fun () ->
+              Obs.Counter.add t.writev_calls writev;
+              Obs.Counter.add t.write_calls writes;
+              Obs.Counter.add t.bytes_copied copied);
+          pos := !pos + 25
+        end
+        else short := true
     | 'T' ->
         if !pos + 3 <= n then begin
           let plen = Char.code s.[!pos + 1] lor (Char.code s.[!pos + 2] lsl 8) in
@@ -1162,13 +1282,60 @@ let mp_serve_connection t fd =
   with_obs_lock t (fun () -> Obs.Gauge.incr t.active);
   let accepted = t.config.clock () in
   let track = current_track t in
-  let buf = Bytes.create 8192 in
+  let buf = Bytes.create 65536 in
+  (* Copying-fallback staging buffer, allocated only if this worker ever
+     takes the scalar-write path. *)
+  let scratch = lazy (Bytes.create 65536) in
+  (* Blocking gather-write: drain the slices with [writev] (or the
+     copying fallback), resuming partial writes by advancing offsets.
+     Errors (peer gone) abandon the rest, matching the old behaviour. *)
+  let send_slices slices =
+    try
+      let rec flush () =
+        let live = Array.of_seq (Seq.filter (fun s -> s.Iovec.len > 0)
+                                   (Array.to_seq slices)) in
+        if Array.length live > 0 then begin
+          match
+            if t.gather_writes then begin
+              let n = Iovec.writev fd live in
+              count_send t ~writev:1 ~writes:0 ~copied:0;
+              n
+            end
+            else begin
+              let n, copied =
+                Iovec.writev_copy ~scratch:(Lazy.force scratch) fd live
+              in
+              count_send t ~writev:0 ~writes:1 ~copied;
+              n
+            end
+          with
+          | n ->
+              Iovec.advance live n;
+              flush ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> flush ()
+        end
+      in
+      flush ()
+    with Unix.Unix_error _ -> ()
+  in
+  (* Strings (error pages, status bodies) are copied off-heap once and
+     sent through the same gather path. *)
+  let send_strings parts =
+    let copied = List.fold_left (fun acc s -> acc + String.length s) 0 parts in
+    count_send t ~writev:0 ~writes:0 ~copied;
+    send_slices
+      (Array.of_list
+         (List.filter_map
+            (fun s ->
+              if s = "" then None else Some (Iovec.slice (Iovec.of_string s)))
+            parts))
+  in
   (* [t_first]: when the current request's first bytes arrived (parse
      span start); [nreq]: finished requests on this connection. *)
   let rec request_loop inbuf t_first nreq =
     match Http.Request.parse inbuf with
     | Http.Request.Incomplete -> (
-        match Unix.read fd buf 0 8192 with
+        match Unix.read fd buf 0 (Bytes.length buf) with
         | 0 -> ()
         | n ->
             let t_first =
@@ -1184,9 +1351,7 @@ let mp_serve_connection t fd =
             ~content_length:(Some (String.length body))
             ~keep:false
         in
-        (try ignore (Unix.write_substring fd (header ^ body) 0
-                       (String.length header + String.length body))
-         with Unix.Unix_error _ -> ())
+        send_strings [ header; body ]
     | Http.Request.Complete (req, consumed) -> (
         let started = t.config.clock () in
         let keep = Http.Request.keep_alive req in
@@ -1228,11 +1393,14 @@ let mp_serve_connection t fd =
                   Obs.Trace.add_span tracer ~track ~name ~start ~stop tr)
           | _ -> ()
         in
-        let send payload =
+        let send_traced f =
           let w0 = t.config.clock () in
-          (try ignore (Unix.write_substring fd payload 0 (String.length payload))
-           with Unix.Unix_error _ -> ());
+          f ();
           add_tr_span "write" ~start:w0 ~stop:(t.config.clock ())
+        in
+        let send parts = send_traced (fun () -> send_strings parts) in
+        let send_entry_slices slices =
+          send_traced (fun () -> send_slices slices)
         in
         let respond_error status =
           let body = Http.Response.error_body status in
@@ -1241,7 +1409,7 @@ let mp_serve_connection t fd =
               ~content_length:(Some (String.length body))
               ~keep
           in
-          send (if head_only then header else header ^ body)
+          send (if head_only then [ header ] else [ header; body ])
         in
         let ok =
           if is_status_request t req then begin
@@ -1253,7 +1421,7 @@ let mp_serve_connection t fd =
                 ~content_length:(Some (String.length body))
                 ~keep
             in
-            send (if head_only then header else header ^ body);
+            send (if head_only then [ header ] else [ header; body ]);
             true
           end
           else if is_trace_request t req then begin
@@ -1265,7 +1433,7 @@ let mp_serve_connection t fd =
                 ~content_length:(Some (String.length body))
                 ~keep
             in
-            send (if head_only then header else header ^ body);
+            send (if head_only then [ header ] else [ header; body ]);
             true
           end
           else
@@ -1281,16 +1449,27 @@ let mp_serve_connection t fd =
                 with_cache_lock t (fun () -> File_cache.find_trusted t.cache full)
               in
               add_tr_span "resolve" ~start:started ~stop:(t.config.clock ());
+              let send_entry (entry : File_cache.entry) =
+                if not_modified req ~mtime:entry.File_cache.mtime then
+                  send
+                    [
+                      render_header t ~status:Http.Status.Not_modified
+                        ~content_type:None ~content_length:None ~keep;
+                    ]
+                else begin
+                  let header =
+                    Iovec.slice
+                      (if keep then entry.File_cache.header_keep
+                       else entry.File_cache.header_close)
+                  in
+                  send_entry_slices
+                    (if head_only then [| header |]
+                     else [| header; Iovec.slice entry.File_cache.body |])
+                end
+              in
               match lookup with
               | Some entry ->
-                  let payload =
-                    if not_modified req ~mtime:entry.File_cache.mtime then
-                      render_header t ~status:Http.Status.Not_modified
-                        ~content_type:None ~content_length:None ~keep
-                    else if head_only then entry.File_cache.header
-                    else entry.File_cache.header ^ entry.File_cache.body
-                  in
-                  send payload;
+                  send_entry entry;
                   true
               | None -> (
                   (* Cold file: the blocking disk work happens right
@@ -1318,26 +1497,19 @@ let mp_serve_connection t fd =
                           respond_error Http.Status.Not_found;
                           true
                       | file_fd ->
-                          let body = read_whole file_fd st.Unix.st_size in
+                          (* Map the file; the mapping doubles as the
+                             response body, so even an uncacheable file
+                             is sent without a userspace body copy. *)
+                          let entry =
+                            make_entry t file_fd full ~size:st.Unix.st_size
+                              ~mtime:st.Unix.st_mtime
+                          in
                           Unix.close file_fd;
                           end_disk ();
-                          let header =
-                            render_header t ~status:Http.Status.Ok
-                              ~last_modified:st.Unix.st_mtime
-                              ~content_type:(Some (Http.Mime.of_path full))
-                              ~content_length:(Some (String.length body))
-                              ~keep
-                          in
                           if st.Unix.st_size <= t.config.max_cached_file then
                             with_cache_lock t (fun () ->
-                                File_cache.insert t.cache full
-                                  {
-                                    File_cache.body;
-                                    mtime = st.Unix.st_mtime;
-                                    size = st.Unix.st_size;
-                                    header;
-                                  });
-                          send (if head_only then header else header ^ body);
+                                File_cache.insert t.cache full entry);
+                          send_entry entry;
                           true)))
         in
         let leftover =
@@ -1429,6 +1601,11 @@ let start config =
       cache_mutex = Mutex.create ();
       obs_mutex = Mutex.create ();
       latency = Obs.Histogram.create ();
+      writev_calls = Obs.Counter.create ();
+      write_calls = Obs.Counter.create ();
+      bytes_copied = Obs.Counter.create ();
+      send_scratch = Bytes.create 65536;
+      gather_writes = config.use_writev && Iovec.have_writev;
       watchdog =
         Obs.Watchdog.create ~clock:config.clock
           ~threshold:config.stall_threshold ();
@@ -1599,6 +1776,10 @@ let stats t =
     active_connections = with_obs_lock t (fun () -> Obs.Gauge.value t.active);
     loop_stalls = Obs.Watchdog.stalls t.watchdog;
     loop_max_stall = Obs.Watchdog.max_gap t.watchdog;
+    writev_calls = with_obs_lock t (fun () -> Obs.Counter.value t.writev_calls);
+    write_calls = with_obs_lock t (fun () -> Obs.Counter.value t.write_calls);
+    bytes_copied = with_obs_lock t (fun () -> Obs.Counter.value t.bytes_copied);
+    mapped_bytes = File_cache.mapped_bytes t.cache;
   }
 
 let latency t = with_obs_lock t (fun () -> Obs.Histogram.copy t.latency)

@@ -20,6 +20,19 @@
     [/cgi-bin/] (fork/exec, close-delimited output), 403 on paths
     escaping the document root.
 
+    {2 Send path}
+
+    All response bytes flow through a per-connection {!Sendq} of iovec
+    slices flushed with [writev(2)] (§5.5 gather writes) — falling back
+    to a copying [write] loop where the stub is unavailable or
+    [use_writev] is off.  Cached files are [mmap]-backed {!File_cache}
+    entries carrying both pre-rendered (keep-alive/close) headers, so a
+    cache hit is one [writev] of header + mapping with zero userspace
+    body copies.  Partial writes survive by advancing slice offsets in
+    place; error, status and CGI responses ride the same queue.
+    [writev]/[write] calls and bytes copied are counted per server (MP
+    children ship deltas to the parent over the stats pipe).
+
     {2 Observability}
 
     The server is instrumented with {!Obs}: a log-bucketed per-request
@@ -94,6 +107,11 @@ type config = {
       (** log the span breakdown of requests slower than this *)
   slow_request_log : string option;
       (** slow-request log file; [None] writes to stderr *)
+  use_writev : bool;
+      (** gather-write responses with the [writev(2)] stub (default:
+          whenever the stub is available); off forces the copying
+          [write] fallback — the baseline [flash_bench] compares
+          against *)
 }
 
 val default_config : docroot:string -> config
@@ -110,6 +128,10 @@ type stats = {
   active_connections : int;  (** connections currently open *)
   loop_stalls : int;  (** event-loop iterations over the threshold *)
   loop_max_stall : float;  (** longest loop iteration, seconds *)
+  writev_calls : int;  (** gather writes issued *)
+  write_calls : int;  (** fallback/stream [write] calls issued *)
+  bytes_copied : int;  (** response bytes copied in userspace *)
+  mapped_bytes : int;  (** file bytes currently mmap'd by the cache *)
 }
 
 type t

@@ -1,0 +1,380 @@
+(* The zero-copy gather-write send path: iovec slice bookkeeping under
+   partial writes, (mtime, size) cache validation, eviction releasing
+   mappings, byte-identical multi-megabyte responses in all four
+   architectures, and the syscall/copy accounting that proves a cached
+   GET is one writev with no userspace body copy. *)
+
+module Server = Flash_live.Server
+module Client = Flash_live.Client
+module Sendq = Flash_live.Sendq
+module File_cache = Flash_live.File_cache
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+(* Position-dependent bytes: any dropped, duplicated or reordered range
+   under a partial write changes the result, so byte-identity is a
+   strong check. *)
+let patterned n =
+  String.init n (fun i -> Char.chr ((i * 31 + ((i lsr 8) * 7) + 13) land 0xff))
+
+let make_docroot files =
+  let dir = Filename.temp_file "flash_sendpath" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  List.iter (fun (name, body) -> write_file (Filename.concat dir name) body) files;
+  dir
+
+let with_config_server config f =
+  let server = Server.start_background config in
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () -> f server (Server.port server))
+
+let rec await ?(tries = 60) server pred =
+  let stats = Server.stats server in
+  if pred stats || tries = 0 then stats
+  else begin
+    Thread.delay 0.05;
+    await ~tries:(tries - 1) server pred
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Send-queue resumption under arbitrary partial writes                *)
+(* ------------------------------------------------------------------ *)
+
+(* Drain a send queue through gather/advance with an adversarial
+   short-write schedule, collecting the bytes a socket would have seen. *)
+let drain_with_schedule q schedule =
+  let out = Buffer.create 256 in
+  let schedule = if schedule = [] then [ 1 ] else schedule in
+  let sched = ref schedule in
+  let next_budget () =
+    let b = match !sched with [] -> sched := schedule; List.hd schedule | x :: rest -> sched := rest; x in
+    max 1 b
+  in
+  while not (Sendq.is_empty q) do
+    let slices = Sendq.gather q in
+    let total = Iovec.total_length slices in
+    let budget = min (next_budget ()) total in
+    (* Copy [budget] bytes off the front of the gathered slices — what a
+       socket accepting a short write would take. *)
+    let taken = ref 0 in
+    Array.iter
+      (fun s ->
+        let want = min s.Iovec.len (budget - !taken) in
+        if want > 0 then begin
+          Buffer.add_string out (Iovec.sub_string s.Iovec.buf ~off:s.Iovec.off ~len:want);
+          taken := !taken + want
+        end)
+      slices;
+    Sendq.advance q !taken
+  done;
+  Buffer.contents out
+
+let sendq_resumption_prop (parts, schedule) =
+  let q = Sendq.create () in
+  List.iteri
+    (fun i part ->
+      (* Exercise both entry points. *)
+      if i mod 2 = 0 then ignore (Sendq.push_string q part)
+      else Sendq.push_slice q (Iovec.slice (Iovec.of_string part)))
+    parts;
+  let got = drain_with_schedule q schedule in
+  got = String.concat "" parts
+
+let test_sendq_resumption =
+  Helpers.qcheck_case ~count:300 ~name:"sendq survives partial writes"
+    QCheck.(pair (small_list small_string) (small_list small_nat))
+    sendq_resumption_prop
+
+(* ------------------------------------------------------------------ *)
+(* Cache validation and mapping release                                *)
+(* ------------------------------------------------------------------ *)
+
+let mk_entry ?(mapped = false) body mtime =
+  {
+    File_cache.body = Iovec.of_string body;
+    mapped;
+    mtime;
+    size = String.length body;
+    header_keep = Iovec.of_string "K";
+    header_close = Iovec.of_string "C";
+  }
+
+let test_cache_validates_mtime_and_size () =
+  let c = File_cache.create ~capacity_bytes:1_000_000 in
+  File_cache.insert c "/a" (mk_entry "abc" 10.);
+  Alcotest.(check bool) "hit on exact (mtime, size)" true
+    (File_cache.find c "/a" ~mtime:10. ~size:3 <> None);
+  (* Same-second rewrite that changed the length: stale. *)
+  Alcotest.(check bool) "size mismatch misses" true
+    (File_cache.find c "/a" ~mtime:10. ~size:4 = None);
+  Alcotest.(check bool) "stale entry dropped" true
+    (File_cache.find c "/a" ~mtime:10. ~size:3 = None);
+  File_cache.insert c "/a" (mk_entry "abc" 10.);
+  Alcotest.(check bool) "mtime mismatch misses" true
+    (File_cache.find c "/a" ~mtime:11. ~size:3 = None)
+
+let with_mapped_entry f =
+  let path = Filename.temp_file "flash_map" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      write_file path (patterned 8192);
+      let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+      let body, mapped =
+        Fun.protect
+          ~finally:(fun () -> Unix.close fd)
+          (fun () -> File_cache.map_body fd ~size:8192)
+      in
+      f body mapped)
+
+let test_eviction_releases_mappings () =
+  with_mapped_entry (fun body mapped ->
+      let entry mt =
+        {
+          File_cache.body;
+          mapped;
+          mtime = mt;
+          size = 8192;
+          header_keep = Iovec.of_string "K";
+          header_close = Iovec.of_string "C";
+        }
+      in
+      (* Mapping survives the descriptor close: the bytes still read. *)
+      Alcotest.(check string) "mapping readable after close"
+        (String.sub (patterned 8192) 0 64)
+        (Iovec.sub_string body ~off:0 ~len:64);
+      let c = File_cache.create ~capacity_bytes:10_000 in
+      File_cache.insert c "/one" (entry 1.);
+      if mapped then
+        Alcotest.(check int) "insert charges the gauge" 8192
+          (File_cache.mapped_bytes c);
+      (* A second mapped entry overflows the 10 KB budget: LRU evicts the
+         first, and the gauge must fall back to one entry's worth. *)
+      File_cache.insert c "/two" (entry 2.);
+      Alcotest.(check int) "eviction uncharges" (if mapped then 8192 else 0)
+        (File_cache.mapped_bytes c);
+      Alcotest.(check bool) "old entry gone" true
+        (File_cache.find c "/one" ~mtime:1. ~size:8192 = None);
+      File_cache.remove c "/two";
+      Alcotest.(check int) "explicit remove uncharges too" 0
+        (File_cache.mapped_bytes c))
+
+let test_server_reports_mapped_bytes () =
+  let body = patterned 4096 in
+  let docroot = make_docroot [ ("page.bin", body) ] in
+  let config = Server.default_config ~docroot in
+  with_config_server config (fun server port ->
+      let r = Client.get ~host:"127.0.0.1" ~port "/page.bin" in
+      Alcotest.(check int) "200" 200 r.Client.status;
+      let stats = await server (fun s -> s.Server.mapped_bytes > 0) in
+      (* The mapping may legitimately have fallen back to a copy on an
+         exotic filesystem; when it mapped, the stat must say so. *)
+      if stats.Server.mapped_bytes > 0 then
+        Alcotest.(check int) "mapped bytes = file size" 4096
+          stats.Server.mapped_bytes)
+
+(* ------------------------------------------------------------------ *)
+(* Byte-identity across architectures                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* 2.5 MB >> the 64 KB socket buffers: the response is forced through
+   many partial writes, exercising offset-advance in every mode. *)
+let big_body = lazy (patterned 2_500_000)
+
+let test_multi_mb_identical mode () =
+  let body = Lazy.force big_body in
+  let docroot = make_docroot [ ("big.bin", body); ("small.txt", "tiny") ] in
+  let config = { (Server.default_config ~docroot) with Server.mode } in
+  with_config_server config (fun _server port ->
+      let session = Client.Session.connect ~host:"127.0.0.1" ~port in
+      Fun.protect
+        ~finally:(fun () -> Client.Session.close session)
+        (fun () ->
+          (* Twice over one keep-alive connection: cold then cached. *)
+          let r1 = Client.Session.request session "/big.bin" in
+          let r2 = Client.Session.request session "/big.bin" in
+          let r3 = Client.Session.request session "/small.txt" in
+          Alcotest.(check int) "cold 200" 200 r1.Client.status;
+          Alcotest.(check bool) "cold body identical" true
+            (String.equal r1.Client.body body);
+          Alcotest.(check bool) "cached body identical" true
+            (String.equal r2.Client.body body);
+          Alcotest.(check string) "session still in sync" "tiny"
+            r3.Client.body))
+
+let test_pipelined_large mode () =
+  let body = Lazy.force big_body in
+  let docroot = make_docroot [ ("big.bin", body); ("small.txt", "tiny") ] in
+  let config = { (Server.default_config ~docroot) with Server.mode } in
+  with_config_server config (fun _server port ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      (* Both requests land in one segment before the first response is
+         written: the responses must come back in order, intact. *)
+      let burst =
+        "GET /big.bin HTTP/1.1\r\nHost: t\r\n\r\n"
+        ^ "GET /small.txt HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+      in
+      ignore (Unix.write_substring fd burst 0 (String.length burst));
+      let buf = Bytes.create 65536 in
+      let acc = Buffer.create (String.length body + 4096) in
+      let rec drain () =
+        match Unix.read fd buf 0 65536 with
+        | 0 -> ()
+        | n ->
+            Buffer.add_subbytes acc buf 0 n;
+            drain ()
+        | exception Unix.Unix_error _ -> ()
+      in
+      drain ();
+      Unix.close fd;
+      let raw = Buffer.contents acc in
+      (* Parse both responses by their Content-Length. *)
+      let parse_one start =
+        let rec find_head i =
+          if i + 3 >= String.length raw then
+            Alcotest.fail "response head not terminated"
+          else if String.sub raw i 4 = "\r\n\r\n" then i + 4
+          else find_head (i + 1)
+        in
+        let body_start = find_head start in
+        let head = String.sub raw start (body_start - start) in
+        let len =
+          let lower = String.lowercase_ascii head in
+          match Helpers.contains ~affix:"content-length:" lower with
+          | false -> Alcotest.fail "no content-length"
+          | true ->
+              let rec find i =
+                if String.sub lower i 15 = "content-length:" then i + 15
+                else find (i + 1)
+              in
+              let i = find 0 in
+              int_of_string (String.trim (String.sub lower i
+                (String.index_from lower i '\r' - i)))
+        in
+        (String.sub raw body_start len, body_start + len)
+      in
+      let b1, next = parse_one 0 in
+      let b2, _ = parse_one next in
+      Alcotest.(check bool) "pipelined big body identical" true
+        (String.equal b1 body);
+      Alcotest.(check string) "pipelined second body" "tiny" b2)
+
+(* ------------------------------------------------------------------ *)
+(* Syscall/copy accounting: the acceptance criterion                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A warm cached GET on the writev path must cost exactly one gather
+   write and zero userspace body copies. *)
+let test_cached_get_is_one_writev_zero_copies () =
+  if not Iovec.have_writev then ()
+  else begin
+    let body = patterned 4096 in
+    let docroot = make_docroot [ ("page.bin", body) ] in
+    let config = Server.default_config ~docroot in
+    Alcotest.(check bool) "writev on by default" true config.Server.use_writev;
+    with_config_server config (fun server port ->
+        let session = Client.Session.connect ~host:"127.0.0.1" ~port in
+        Fun.protect
+          ~finally:(fun () -> Client.Session.close session)
+          (fun () ->
+            (* Warm the cache (the cold request copies only headers). *)
+            let r1 = Client.Session.request session "/page.bin" in
+            Alcotest.(check int) "warm 200" 200 r1.Client.status;
+            let s0 = await server (fun s -> s.Server.requests >= 1) in
+            let r2 = Client.Session.request session "/page.bin" in
+            Alcotest.(check bool) "cached body identical" true
+              (String.equal r2.Client.body body);
+            let s1 =
+              await server (fun s ->
+                  s.Server.writev_calls > s0.Server.writev_calls)
+            in
+            Alcotest.(check int) "exactly one writev" 1
+              (s1.Server.writev_calls - s0.Server.writev_calls);
+            Alcotest.(check int) "no scalar writes" 0
+              (s1.Server.write_calls - s0.Server.write_calls);
+            Alcotest.(check int) "zero bytes copied" 0
+              (s1.Server.bytes_copied - s0.Server.bytes_copied)))
+  end
+
+(* The same request on the copying fallback shows what writev saves. *)
+let test_fallback_copies () =
+  let body = patterned 4096 in
+  let docroot = make_docroot [ ("page.bin", body) ] in
+  let config =
+    { (Server.default_config ~docroot) with Server.use_writev = false }
+  in
+  with_config_server config (fun server port ->
+      let session = Client.Session.connect ~host:"127.0.0.1" ~port in
+      Fun.protect
+        ~finally:(fun () -> Client.Session.close session)
+        (fun () ->
+          let r1 = Client.Session.request session "/page.bin" in
+          Alcotest.(check int) "warm 200" 200 r1.Client.status;
+          let s0 = await server (fun s -> s.Server.requests >= 1) in
+          let r2 = Client.Session.request session "/page.bin" in
+          Alcotest.(check bool) "fallback body identical" true
+            (String.equal r2.Client.body body);
+          let s1 =
+            await server (fun s -> s.Server.write_calls > s0.Server.write_calls)
+          in
+          Alcotest.(check bool) "fallback uses write" true
+            (s1.Server.write_calls - s0.Server.write_calls >= 1);
+          Alcotest.(check int) "fallback never writev" 0
+            (s1.Server.writev_calls - s0.Server.writev_calls);
+          Alcotest.(check bool) "fallback copies the body" true
+            (s1.Server.bytes_copied - s0.Server.bytes_copied
+            >= String.length body)))
+
+(* MP children ship their send counters to the parent over the stats
+   pipe ('v' records); the consolidated view must include them. *)
+let test_mp_send_counters_consolidated () =
+  let docroot = make_docroot [ ("page.bin", patterned 1024) ] in
+  let config =
+    { (Server.default_config ~docroot) with Server.mode = Server.Mp 2 }
+  in
+  with_config_server config (fun server port ->
+      let r1 = Client.get ~host:"127.0.0.1" ~port "/page.bin" in
+      let r2 = Client.get ~host:"127.0.0.1" ~port "/page.bin" in
+      Alcotest.(check (list int)) "both 200" [ 200; 200 ]
+        [ r1.Client.status; r2.Client.status ];
+      let field (s : Server.stats) =
+        if Iovec.have_writev then s.Server.writev_calls else s.Server.write_calls
+      in
+      let stats = await server (fun s -> field s >= 2) in
+      Alcotest.(check bool) "children's send syscalls consolidated" true
+        (field stats >= 2))
+
+let suite =
+  [
+    test_sendq_resumption;
+    Alcotest.test_case "cache validates (mtime, size)" `Quick
+      test_cache_validates_mtime_and_size;
+    Alcotest.test_case "eviction releases mappings" `Quick
+      test_eviction_releases_mappings;
+    Alcotest.test_case "server reports mapped bytes" `Quick
+      test_server_reports_mapped_bytes;
+    Alcotest.test_case "2.5 MB identical (AMPED)" `Quick
+      (test_multi_mb_identical Server.Amped);
+    Alcotest.test_case "2.5 MB identical (SPED)" `Quick
+      (test_multi_mb_identical Server.Sped);
+    Alcotest.test_case "2.5 MB identical (MP)" `Quick
+      (test_multi_mb_identical (Server.Mp 2));
+    Alcotest.test_case "2.5 MB identical (MT)" `Quick
+      (test_multi_mb_identical (Server.Mt 2));
+    Alcotest.test_case "pipelined 2.5 MB + small (AMPED)" `Quick
+      (test_pipelined_large Server.Amped);
+    Alcotest.test_case "pipelined 2.5 MB + small (MP)" `Quick
+      (test_pipelined_large (Server.Mp 2));
+    Alcotest.test_case "cached GET = 1 writev, 0 copies" `Quick
+      test_cached_get_is_one_writev_zero_copies;
+    Alcotest.test_case "copying fallback counts its copies" `Quick
+      test_fallback_copies;
+    Alcotest.test_case "MP consolidates send counters" `Quick
+      test_mp_send_counters_consolidated;
+  ]
