@@ -1,0 +1,52 @@
+(* Cache-policy sweep: the offline evaluator's grid as a bench target,
+   printing request and byte hit rates for every policy over a Zipf
+   stream at several cache sizes.  FLASH_BENCH_FAST shrinks the trace. *)
+
+let fast = Sys.getenv_opt "FLASH_BENCH_FAST" <> None
+
+let run () =
+  let files = if fast then 500 else 4000 in
+  let requests = if fast then 10_000 else 200_000 in
+  let fileset =
+    Workload.Fileset.generate (Workload.Fileset.cs_like ~files ~seed:7)
+  in
+  let trace = Workload.Trace.generate fileset ~length:requests ~alpha:1.0 ~seed:7 in
+  let footprint = Workload.Trace.footprint_bytes trace in
+  let total_bytes =
+    let s = ref 0 in
+    for i = 0 to Workload.Trace.length trace - 1 do
+      s := !s + Workload.Trace.request_size trace i
+    done;
+    !s
+  in
+  Format.printf
+    "@.Cache-policy sweep: %d requests over %d files (%.1f MB footprint)@."
+    requests files
+    (float_of_int footprint /. 1048576.);
+  Format.printf "%-6s %10s %10s %10s@." "policy" "size" "hit-rate" "byte-hit";
+  List.iter
+    (fun policy ->
+      List.iter
+        (fun pct ->
+          let capacity = max 1 (footprint * pct / 100) in
+          let store =
+            Flash_cache.Store.create ~policy ~name:"bench" ~capacity ()
+          in
+          let byte_hits = ref 0 in
+          for i = 0 to Workload.Trace.length trace - 1 do
+            let path = Workload.Trace.request_path trace i in
+            let size = Workload.Trace.request_size trace i in
+            match Flash_cache.Store.find store path with
+            | Some () -> byte_hits := !byte_hits + size
+            | None ->
+                ignore (Flash_cache.Store.add store path () ~weight:(max 1 size))
+          done;
+          Format.printf "%-6s %9d%% %9.2f%% %9.2f%%@."
+            (Flash_cache.Policy.name policy)
+            pct
+            (100.
+            *. float_of_int (Flash_cache.Store.hits store)
+            /. float_of_int requests)
+            (100. *. float_of_int !byte_hits /. float_of_int total_bytes))
+        [ 5; 25 ])
+    Flash_cache.Policy.all

@@ -1,0 +1,301 @@
+(* flash-cachelab: offline cache-policy evaluator.
+
+   Replays a workload trace (synthetic Zipf over a generated fileset, a
+   SPECweb96-like stream, or a Common Log Format access log) through the
+   {!Flash_cache} subsystem across a policy x cache-size grid, reporting
+   request hit rate, byte hit rate and eviction counts, plus a miss-ratio
+   curve per policy.
+
+     dune exec bin/flash_cachelab.exe -- --json
+     dune exec bin/flash_cachelab.exe -- --workload specweb --sizes 10%,50%
+     dune exec bin/flash_cachelab.exe -- --trace access.log --policies lru,gdsf *)
+
+open Cmdliner
+
+type cell = {
+  policy : Flash_cache.Policy.kind;
+  capacity : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  admitted : int;
+  rejected : int;
+  hit_rate : float;
+  byte_hit_rate : float;
+}
+
+(* One grid cell: replay the stream through a fresh store.  Values are
+   unit — only the keys, weights and policy reactions matter. *)
+let replay trace ~policy ~admission ~capacity =
+  let store =
+    Flash_cache.Store.create ~policy ~admission ~name:"cachelab" ~capacity ()
+  in
+  let byte_hits = ref 0 and byte_total = ref 0 in
+  let n = Workload.Trace.length trace in
+  for i = 0 to n - 1 do
+    let path = Workload.Trace.request_path trace i in
+    let size = Workload.Trace.request_size trace i in
+    byte_total := !byte_total + size;
+    match Flash_cache.Store.find store path with
+    | Some () -> byte_hits := !byte_hits + size
+    | None -> ignore (Flash_cache.Store.add store path () ~weight:(max 1 size))
+  done;
+  let s = Flash_cache.Store.stats store in
+  {
+    policy;
+    capacity;
+    hits = s.Flash_cache.Store.hits;
+    misses = s.Flash_cache.Store.misses;
+    evictions = s.Flash_cache.Store.evictions;
+    admitted = s.Flash_cache.Store.admitted;
+    rejected = s.Flash_cache.Store.rejected;
+    hit_rate =
+      (if n = 0 then 0. else float_of_int s.Flash_cache.Store.hits /. float_of_int n);
+    byte_hit_rate =
+      (if !byte_total = 0 then 0.
+       else float_of_int !byte_hits /. float_of_int !byte_total);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Workload construction                                               *)
+(* ------------------------------------------------------------------ *)
+
+let zipf_trace ~files ~requests ~alpha ~seed =
+  let fileset = Workload.Fileset.generate (Workload.Fileset.cs_like ~files ~seed) in
+  Workload.Trace.generate fileset ~length:requests ~alpha ~seed
+
+(* SPECweb sampling yields paths; fold them back to fileset indices to
+   build a replayable trace. *)
+let specweb_trace ~directories ~requests ~seed =
+  let sw = Workload.Specweb.generate ~directories ~seed in
+  let fileset = Workload.Specweb.fileset sw in
+  let index = Hashtbl.create 4096 in
+  Array.iteri (fun i p -> Hashtbl.replace index p i) fileset.Workload.Fileset.paths;
+  let rng = Sim.Rng.create ~seed in
+  let requests =
+    Array.init requests (fun _ ->
+        Hashtbl.find index (Workload.Specweb.sample sw rng))
+  in
+  { Workload.Trace.fileset; requests }
+
+let build_trace ~workload ~trace_file ~files ~requests ~alpha ~seed =
+  match trace_file with
+  | Some path -> ("clf:" ^ path, Workload.Trace.load_clf ~path)
+  | None -> (
+      match workload with
+      | "zipf" -> ("zipf", zipf_trace ~files ~requests ~alpha ~seed)
+      | "specweb" ->
+          ( "specweb",
+            specweb_trace ~directories:(max 1 (files / 400)) ~requests ~seed )
+      | other ->
+          Format.eprintf "unknown workload %S (zipf|specweb)@." other;
+          exit 2)
+
+(* Size spec: absolute bytes with k/m/g suffix, or N% of the trace
+   footprint. *)
+let parse_size footprint s =
+  let s = String.trim (String.lowercase_ascii s) in
+  let fail () =
+    Format.eprintf "bad cache size %S (use BYTES, BYTES[kmg] or N%%)@." s;
+    exit 2
+  in
+  if s = "" then fail ()
+  else
+    let last = s.[String.length s - 1] in
+    let head = String.sub s 0 (String.length s - 1) in
+    match last with
+    | '%' -> (
+        match float_of_string_opt head with
+        | Some p when p > 0. ->
+            max 1 (int_of_float (p /. 100. *. float_of_int footprint))
+        | _ -> fail ())
+    | 'k' | 'm' | 'g' -> (
+        let mult =
+          match last with 'k' -> 1024 | 'm' -> 1024 * 1024 | _ -> 1024 * 1024 * 1024
+        in
+        match int_of_string_opt head with
+        | Some n when n > 0 -> n * mult
+        | _ -> fail ())
+    | _ -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> fail ())
+
+let split_commas s =
+  String.split_on_char ',' s |> List.map String.trim
+  |> List.filter (fun x -> x <> "")
+
+(* ------------------------------------------------------------------ *)
+(* Output                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let cell_json c =
+  Printf.sprintf
+    {|{"policy":%s,"capacity":%d,"hits":%d,"misses":%d,"evictions":%d,"admitted":%d,"rejected":%d,"hit_rate":%.6f,"byte_hit_rate":%.6f}|}
+    (Obs.Json.str (Flash_cache.Policy.name c.policy))
+    c.capacity c.hits c.misses c.evictions c.admitted c.rejected c.hit_rate
+    c.byte_hit_rate
+
+let mrc_json policies grid =
+  let per_policy p =
+    let points =
+      List.filter_map
+        (fun c ->
+          if c.policy = p then
+            Some (Printf.sprintf "[%d,%.6f]" c.capacity (1. -. c.hit_rate))
+          else None)
+        grid
+    in
+    Printf.sprintf {|%s:[%s]|}
+      (Obs.Json.str (Flash_cache.Policy.name p))
+      (String.concat "," points)
+  in
+  "{" ^ String.concat "," (List.map per_policy policies) ^ "}"
+
+let run workload trace_file files requests alpha seed policies_arg admission_arg
+    sizes_arg json out =
+  let kind, trace =
+    build_trace ~workload ~trace_file ~files ~requests ~alpha ~seed
+  in
+  let policies =
+    List.map
+      (fun s ->
+        match Flash_cache.Policy.of_string s with
+        | Ok p -> p
+        | Error msg ->
+            Format.eprintf "%s@." msg;
+            exit 2)
+      (split_commas policies_arg)
+  in
+  let admission =
+    match Flash_cache.Policy.admission_of_string admission_arg with
+    | Ok a -> a
+    | Error msg ->
+        Format.eprintf "%s@." msg;
+        exit 2
+  in
+  let footprint = Workload.Trace.footprint_bytes trace in
+  let sizes = List.map (parse_size footprint) (split_commas sizes_arg) in
+  if policies = [] || sizes = [] then begin
+    Format.eprintf "need at least one policy and one cache size@.";
+    exit 2
+  end;
+  let grid =
+    List.concat_map
+      (fun policy ->
+        List.map (fun capacity -> replay trace ~policy ~admission ~capacity) sizes)
+      policies
+  in
+  let output =
+    if json then
+      Printf.sprintf
+        {|{"workload":{"kind":%s,"requests":%d,"distinct_files":%d,"footprint_bytes":%d,"admission":%s},"grid":[%s],"mrc":%s}|}
+        (Obs.Json.str kind) (Workload.Trace.length trace)
+        (Workload.Trace.distinct_files trace)
+        footprint
+        (Obs.Json.str (Flash_cache.Policy.admission_name admission))
+        (String.concat "," (List.map cell_json grid))
+        (mrc_json policies grid)
+      ^ "\n"
+    else begin
+      let b = Buffer.create 1024 in
+      Printf.bprintf b
+        "workload %s: %d requests over %d files (%d byte footprint), %s admission\n"
+        kind (Workload.Trace.length trace)
+        (Workload.Trace.distinct_files trace)
+        footprint
+        (Flash_cache.Policy.admission_name admission);
+      Printf.bprintf b "%-6s %12s %9s %9s %10s %10s\n" "policy" "capacity"
+        "hit-rate" "byte-hit" "evictions" "rejected";
+      List.iter
+        (fun c ->
+          Printf.bprintf b "%-6s %12d %8.2f%% %8.2f%% %10d %10d\n"
+            (Flash_cache.Policy.name c.policy)
+            c.capacity (100. *. c.hit_rate) (100. *. c.byte_hit_rate)
+            c.evictions c.rejected)
+        grid;
+      Buffer.contents b
+    end
+  in
+  match out with
+  | None -> print_string output
+  | Some path ->
+      let oc = open_out path in
+      output_string oc output;
+      close_out oc;
+      Format.printf "wrote %s@." path
+
+let workload =
+  Arg.(
+    value & opt string "zipf"
+    & info [ "workload"; "w" ] ~docv:"KIND"
+        ~doc:"Synthetic workload: zipf (default) or specweb.")
+
+let trace_file =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Replay a Common Log Format access log instead of a synthetic \
+              workload.")
+
+let files =
+  Arg.(
+    value & opt int 2000
+    & info [ "files" ] ~docv:"N" ~doc:"Files in the synthetic fileset.")
+
+let requests =
+  Arg.(
+    value & opt int 50_000
+    & info [ "requests"; "n" ] ~docv:"N" ~doc:"Requests to replay.")
+
+let alpha =
+  Arg.(
+    value & opt float 1.0
+    & info [ "alpha" ] ~docv:"A" ~doc:"Zipf popularity exponent.")
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"RNG seed.")
+
+let policies =
+  Arg.(
+    value
+    & opt string
+        (String.concat ","
+           (List.map Flash_cache.Policy.name Flash_cache.Policy.all))
+    & info [ "policies" ] ~docv:"LIST"
+        ~doc:
+          (Printf.sprintf "Comma-separated policies to sweep (%s)."
+             Flash_cache.Policy.valid_names))
+
+let admission =
+  Arg.(
+    value & opt string "always"
+    & info [ "admission" ] ~docv:"GATE"
+        ~doc:
+          (Printf.sprintf "Admission gate applied to every cell (%s)."
+             Flash_cache.Policy.admission_valid_names))
+
+let sizes =
+  Arg.(
+    value
+    & opt string "5%,10%,25%,50%"
+    & info [ "sizes" ] ~docv:"LIST"
+        ~doc:
+          "Comma-separated cache sizes: absolute bytes (suffix k/m/g) or \
+           percentages of the trace footprint.")
+
+let json =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
+
+let out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write the report here instead of stdout.")
+
+let cmd =
+  let doc = "replay workload traces across cache policy and size grids" in
+  Cmd.v
+    (Cmd.info "flash-cachelab" ~doc)
+    Term.(
+      const run $ workload $ trace_file $ files $ requests $ alpha $ seed
+      $ policies $ admission $ sizes $ json $ out)
+
+let () = exit (Cmd.eval cmd)

@@ -11,9 +11,10 @@ let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info))
 
-let serve docroot port mode helpers cache_mb no_cgi no_align no_writev
-    access_log access_log_timing status_path no_status stall_ms no_trace
-    trace_capacity trace_path slow_request_ms slow_request_log verbose =
+let serve docroot port mode helpers cache_mb cache_policy cache_admission
+    cache_budget_mb no_cgi no_align no_writev access_log access_log_timing
+    status_path no_status stall_ms no_trace trace_capacity trace_path
+    slow_request_ms slow_request_log verbose =
   setup_logs verbose;
   let mode =
     match mode with
@@ -46,6 +47,9 @@ let serve docroot port mode helpers cache_mb no_cgi no_align no_writev
       mode;
       helpers;
       file_cache_bytes = cache_mb * 1024 * 1024;
+      cache_policy;
+      cache_admission;
+      cache_budget_bytes = Option.map (fun mb -> mb * 1024 * 1024) cache_budget_mb;
       enable_cgi = not no_cgi;
       align_headers = not no_align;
       use_writev = (not no_writev) && Iovec.have_writev;
@@ -71,6 +75,12 @@ let serve docroot port mode helpers cache_mb no_cgi no_align no_writev
   Format.printf "send path: %s@."
     (if config.Flash_live.Server.use_writev then "writev (gather)"
      else "write (copying fallback)");
+  Format.printf "file cache: %d MB, %s replacement, %s admission%s@." cache_mb
+    (Flash_cache.Policy.name cache_policy)
+    (Flash_cache.Policy.admission_name cache_admission)
+    (match cache_budget_mb with
+    | Some mb -> Printf.sprintf ", %d MB shared budget" mb
+    | None -> "");
   (match config.Flash_live.Server.status_path with
   | Some p -> Format.printf "status endpoint: %s (JSON with ?json)@." p
   | None -> ());
@@ -131,6 +141,67 @@ let helpers =
 
 let cache_mb =
   Arg.(value & opt int 32 & info [ "cache-mb" ] ~docv:"MB" ~doc:"File cache size.")
+
+(* A real Arg.conv so --help documents the valid names and a bad value
+   fails argument parsing with the list (exit 124 from Cmdliner). *)
+let policy_conv =
+  let parse s =
+    match Flash_cache.Policy.of_string s with
+    | Ok kind -> Ok kind
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf kind =
+    Format.pp_print_string ppf (Flash_cache.Policy.name kind)
+  in
+  Arg.conv (parse, print)
+
+let cache_policy =
+  Arg.(
+    value
+    & opt policy_conv Flash_cache.Policy.Lru
+    & info [ "cache-policy" ] ~docv:"POLICY"
+        ~doc:
+          (Printf.sprintf
+             "File-cache replacement policy: %s.  lru is the classic \
+              default; slru segments out scan traffic; lfu favours \
+              all-time-popular files (exponentially decayed counts); gdsf \
+              is size-aware and maximises byte hit rate on heavy-tailed \
+              file sets."
+             Flash_cache.Policy.valid_names))
+
+let admission_conv =
+  let parse s =
+    match Flash_cache.Policy.admission_of_string s with
+    | Ok a -> Ok a
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf a =
+    Format.pp_print_string ppf (Flash_cache.Policy.admission_name a)
+  in
+  Arg.conv (parse, print)
+
+let cache_admission =
+  Arg.(
+    value
+    & opt admission_conv Flash_cache.Policy.Admit_always
+    & info [ "cache-admission" ] ~docv:"GATE"
+        ~doc:
+          (Printf.sprintf
+             "File-cache admission gate: %s.  size:BYTES only caches \
+              entries at least BYTES large (tiny responses are cheap to \
+              rebuild); freq[:P] admits keys seen missing before always, \
+              first-timers with probability P (default 0.1)."
+             Flash_cache.Policy.admission_valid_names))
+
+let cache_budget_mb =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cache-budget" ] ~docv:"MB"
+        ~doc:
+          "Overlay a shared byte budget on the file cache: when resident \
+           bytes exceed it, the cache sheds entries even below its own \
+           --cache-mb capacity.")
 
 let no_cgi = Arg.(value & flag & info [ "no-cgi" ] ~doc:"Disable /cgi-bin/.")
 
@@ -218,9 +289,10 @@ let cmd =
   Cmd.v
     (Cmd.info "flash-serve" ~doc)
     Term.(
-      const serve $ docroot $ port $ mode $ helpers $ cache_mb $ no_cgi
-      $ no_align $ no_writev $ access_log $ access_log_timing $ status_path
-      $ no_status $ stall_ms $ no_trace $ trace_capacity $ trace_path
-      $ slow_request_ms $ slow_request_log $ verbose)
+      const serve $ docroot $ port $ mode $ helpers $ cache_mb $ cache_policy
+      $ cache_admission $ cache_budget_mb $ no_cgi $ no_align $ no_writev
+      $ access_log $ access_log_timing $ status_path $ no_status $ stall_ms
+      $ no_trace $ trace_capacity $ trace_path $ slow_request_ms
+      $ slow_request_log $ verbose)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,43 @@
+type member = {
+  name : string;
+  usage : unit -> int;
+  shed : unit -> bool;
+}
+
+type t = {
+  cap : int;
+  mutable used : int;
+  mutable members : member list;
+}
+
+let create ~bytes =
+  if bytes <= 0 then invalid_arg "Budget.create: bytes <= 0";
+  { cap = bytes; used = 0; members = [] }
+
+let capacity t = t.cap
+let used t = t.used
+let member_names t = List.rev_map (fun m -> m.name) t.members
+
+let register t ~name ~usage ~shed =
+  t.members <- { name; usage; shed } :: t.members
+
+(* Shed from the member holding the most bytes; each successful shed
+   strictly shrinks [used] (the member's eviction path calls [release]),
+   so the loop terminates.  When the fattest member refuses (e.g. down
+   to a single pinned entry), fall through to the next. *)
+let rebalance t =
+  let continue = ref true in
+  while t.used > t.cap && !continue do
+    let by_usage =
+      List.sort
+        (fun a b -> compare (b.usage ()) (a.usage ()))
+        t.members
+    in
+    continue := List.exists (fun m -> m.shed ()) by_usage
+  done
+
+let charge t bytes =
+  t.used <- t.used + bytes;
+  rebalance t
+
+let release t bytes = t.used <- max 0 (t.used - bytes)

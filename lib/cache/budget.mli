@@ -1,0 +1,42 @@
+(** Unified byte budget shared by several caches.
+
+    The paper's Flash sizes each application cache independently
+    (pathname entries, header bytes, mapped-file bytes); a tuning
+    mistake in one starves the others.  A [Budget.t] pools one byte
+    allowance over every registered cache: members charge bytes as
+    entries arrive and release them as entries leave, and when the pool
+    overflows the budget sheds entries from the member currently
+    holding the most bytes — the caches compete for memory the way
+    files compete inside a single cache.
+
+    Stores register themselves when created with [~budget] (see
+    {!Store.create}); manual registration is only needed for exotic
+    members. *)
+
+type t
+
+(** @raise Invalid_argument if [bytes <= 0]. *)
+val create : bytes:int -> t
+
+val capacity : t -> int
+
+(** Bytes currently charged across all members. *)
+val used : t -> int
+
+val member_names : t -> string list
+
+(** [register t ~name ~usage ~shed] — [usage] reports the member's
+    resident bytes; [shed] evicts one victim (through the member's
+    normal eviction path, hooks included) and returns [false] when it
+    has nothing left to give. *)
+val register :
+  t -> name:string -> usage:(unit -> int) -> shed:(unit -> bool) -> unit
+
+(** Charge [bytes] to the pool, then shed members (largest first) until
+    the pool fits again or nothing more can be shed. *)
+val charge : t -> int -> unit
+
+val release : t -> int -> unit
+
+(** Shed until within capacity (normally called by {!charge}). *)
+val rebalance : t -> unit

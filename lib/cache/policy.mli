@@ -1,0 +1,84 @@
+(** Cache replacement and admission policies.
+
+    The paper hardwires weighted LRU into every application cache
+    (pathname, response-header, mapped-file, and the live file cache).
+    This module makes replacement a pluggable policy — the per-entry
+    bookkeeping a {!Store} consults to pick eviction victims — plus
+    admission gates deciding whether a missed object is worth caching at
+    all (in the spirit of pcache's minimum-size and frequency-sampled
+    admission for production file servers).
+
+    Implemented replacement policies:
+    - [Lru]: classic recency order — the seed behaviour, refactored
+      behind the interface.
+    - [Slru]: segmented LRU; a probationary segment absorbs one-touch
+      objects, hits promote into a protected segment bounded at 4/5 of
+      the capacity, so scans cannot flush the hot set.
+    - [Lfu]: EMA-decayed frequency ranking (pcache's periodic ranking
+      rendered per-access): each access contributes weight that decays
+      geometrically, so long-dead popularity ages out.
+    - [Gdsf]: Greedy-Dual-Size-Frequency — priority
+      [L + frequency / size] with the aging term [L] inflated to each
+      eviction victim's priority; keeps small popular objects and evicts
+      big one-touch objects first. *)
+
+type kind = Lru | Slru | Lfu | Gdsf
+
+val all : kind list
+
+val name : kind -> string
+
+(** ["lru|slru|lfu|gdsf"] — for error messages and [--help]. *)
+val valid_names : string
+
+(** Case-insensitive; [Error] carries a message listing valid names. *)
+val of_string : string -> (kind, string) result
+
+(** One policy instance: the mutable replacement state for a single
+    store.  Keys tracked here mirror the store's resident set exactly —
+    the store calls [insert]/[remove] as entries come and go, [access]
+    on hits, and [victim] to pick who dies under pressure. *)
+type 'k impl = {
+  insert : 'k -> weight:int -> unit;  (** key became resident *)
+  access : 'k -> unit;  (** hit on a resident key *)
+  remove : 'k -> unit;  (** key leaving (eviction or invalidation) *)
+  victim : unit -> 'k option;
+      (** next eviction victim (still resident; the store removes it) *)
+  resize : int -> unit;  (** capacity changed (SLRU segment bound) *)
+  clear : unit -> unit;
+}
+
+(** Fresh policy state.  [capacity] is the store's weight capacity
+    (SLRU sizes its protected segment from it; others ignore it). *)
+val make : kind -> capacity:int -> unit -> 'k impl
+
+(** {1 Admission} *)
+
+type admission =
+  | Admit_always
+  | Admit_min_size of int
+      (** only objects of at least this weight are cacheable — pcache's
+          gate for an SSD cache that should hold big files.  Weights
+          below the threshold are rejected. *)
+  | Admit_freq of float
+      (** probabilistic frequency gate: an object missed before (seen by
+          the gate's doorkeeper) is admitted outright; a first-timer is
+          admitted with this probability (deterministic pseudo-random
+          stream), so one-touch objects mostly stay out. *)
+
+val admission_name : admission -> string
+
+(** ["always|size:BYTES|freq[:PROB]"]. *)
+val admission_valid_names : string
+
+val admission_of_string : string -> (admission, string) result
+
+type 'k gate = {
+  admit : 'k -> weight:int -> bool;
+  note_miss : 'k -> unit;
+      (** remember a rejected key so its next admission attempt passes
+          (the doorkeeper) *)
+  gate_clear : unit -> unit;
+}
+
+val make_gate : admission -> unit -> 'k gate

@@ -1,0 +1,205 @@
+type ('k, 'v) entry = { value : 'v; weight : int }
+
+type stats = {
+  name : string;
+  policy : string;
+  admission : string;
+  capacity : int;
+  entries : int;
+  resident : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  admitted : int;
+  rejected : int;
+}
+
+type ('k, 'v) t = {
+  sname : string;
+  table : ('k, ('k, 'v) entry) Hashtbl.t;
+  policy : 'k Policy.impl;
+  kind : Policy.kind;
+  admission : Policy.admission;
+  gate : 'k Policy.gate;
+  on_evict : 'k -> 'v -> unit;
+  budget : Budget.t option;
+  mutable cap : int;
+  mutable total_weight : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable admitted : int;
+  mutable rejected : int;
+}
+
+let length t = Hashtbl.length t.table
+let weight t = t.total_weight
+let capacity t = t.cap
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+let policy_kind t = t.kind
+
+let budget_release t n =
+  match t.budget with None -> () | Some b -> Budget.release b n
+
+(* Drop [key] from every structure; the caller decides counters and
+   hooks. *)
+let drop t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some entry ->
+      Hashtbl.remove t.table key;
+      t.policy.Policy.remove key;
+      t.total_weight <- t.total_weight - entry.weight;
+      budget_release t entry.weight;
+      Some entry
+
+let evict_victim t =
+  match t.policy.Policy.victim () with
+  | None -> false
+  | Some key -> (
+      match drop t key with
+      | None ->
+          (* Policy tracked a key the table lost: inconsistent state,
+             treat as nothing to evict rather than loop. *)
+          false
+      | Some entry ->
+          t.evictions <- t.evictions + 1;
+          t.on_evict key entry.value;
+          true)
+
+let shed = evict_victim
+
+(* Keep at least one entry under own-capacity pressure: an oversized
+   single entry is admitted alone, matching the seed LRU. *)
+let shrink_to_fit t =
+  while t.total_weight > t.cap && Hashtbl.length t.table > 1 && evict_victim t
+  do
+    ()
+  done
+
+let create ?(policy = Policy.Lru) ?(admission = Policy.Admit_always)
+    ?(on_evict = fun _ _ -> ()) ?budget ?(name = "cache") ~capacity () =
+  if capacity <= 0 then invalid_arg "Store.create: capacity <= 0";
+  let t =
+    {
+      sname = name;
+      table = Hashtbl.create 256;
+      policy = Policy.make policy ~capacity ();
+      kind = policy;
+      admission;
+      gate = Policy.make_gate admission ();
+      on_evict;
+      budget;
+      cap = capacity;
+      total_weight = 0;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+      admitted = 0;
+      rejected = 0;
+    }
+  in
+  (match budget with
+  | None -> ()
+  | Some b ->
+      Budget.register b ~name
+        ~usage:(fun () -> t.total_weight)
+        ~shed:(fun () -> shed t));
+  t
+
+let find_validated t key ~validate =
+  match Hashtbl.find_opt t.table key with
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+  | Some entry when validate entry.value ->
+      t.hits <- t.hits + 1;
+      t.policy.Policy.access key;
+      Some entry.value
+  | Some entry ->
+      (* Stale: remove through the evict hook so resource accounting
+         (mapped-bytes gauges) cannot drift, and count a miss. *)
+      ignore (drop t key);
+      t.on_evict key entry.value;
+      t.misses <- t.misses + 1;
+      None
+
+let find t key = find_validated t key ~validate:(fun _ -> true)
+
+let peek t key =
+  Option.map (fun e -> e.value) (Hashtbl.find_opt t.table key)
+
+let mem t key = Hashtbl.mem t.table key
+
+let budget_charge t n =
+  match t.budget with None -> () | Some b -> Budget.charge b n
+
+let add t key value ~weight =
+  if weight < 0 then invalid_arg "Store.add: negative weight";
+  match Hashtbl.find_opt t.table key with
+  | Some old ->
+      (* Replacement re-weighs and refreshes; already-resident keys
+         bypass admission. *)
+      Hashtbl.replace t.table key { value; weight };
+      t.total_weight <- t.total_weight - old.weight + weight;
+      t.policy.Policy.access key;
+      budget_release t old.weight;
+      budget_charge t weight;
+      shrink_to_fit t;
+      true
+  | None ->
+      if not (t.gate.Policy.admit key ~weight) then begin
+        (* The doorkeeper remembers rejected keys, so a key rejected as a
+           first-timer is admitted on its next miss. *)
+        t.gate.Policy.note_miss key;
+        t.rejected <- t.rejected + 1;
+        false
+      end
+      else begin
+        t.admitted <- t.admitted + 1;
+        Hashtbl.replace t.table key { value; weight };
+        t.total_weight <- t.total_weight + weight;
+        t.policy.Policy.insert key ~weight;
+        budget_charge t weight;
+        shrink_to_fit t;
+        true
+      end
+
+let remove ?(evict = false) t key =
+  match drop t key with
+  | None -> None
+  | Some entry ->
+      if evict then t.on_evict key entry.value;
+      Some entry.value
+
+let set_capacity t cap =
+  if cap <= 0 then invalid_arg "Store.set_capacity: capacity <= 0";
+  t.cap <- cap;
+  t.policy.Policy.resize cap;
+  shrink_to_fit t
+
+let iter t ~f = Hashtbl.iter (fun k e -> f k e.value) t.table
+
+let clear t =
+  budget_release t t.total_weight;
+  Hashtbl.reset t.table;
+  t.policy.Policy.clear ();
+  t.gate.Policy.gate_clear ();
+  t.total_weight <- 0
+
+let stats t : stats =
+  {
+    name = t.sname;
+    policy = Policy.name t.kind;
+    admission = Policy.admission_name t.admission;
+    capacity = t.cap;
+    entries = Hashtbl.length t.table;
+    resident = t.total_weight;
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    admitted = t.admitted;
+    rejected = t.rejected;
+  }

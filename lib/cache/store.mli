@@ -1,0 +1,92 @@
+(** The policy-driven cache store behind every Flash cache.
+
+    A weighted key/value map whose replacement order comes from a
+    pluggable {!Policy.kind} and whose insertions pass a
+    {!Policy.admission} gate.  Counts hits, misses, capacity evictions
+    and admission decisions per store, so every cache can report itself
+    on [/server-status] and in the offline evaluator without private
+    bookkeeping.
+
+    Capacity semantics match the seed's weighted LRU: total weight is
+    bounded by [capacity], and a single entry heavier than the whole
+    capacity is admitted alone (the store never evicts its last entry
+    under its own capacity pressure).  A shared {!Budget.t} adds a
+    second, pooled bound across several stores; budget pressure may
+    evict a store's last entry. *)
+
+type ('k, 'v) t
+
+type stats = {
+  name : string;
+  policy : string;
+  admission : string;
+  capacity : int;
+  entries : int;
+  resident : int;  (** total weight of resident entries *)
+  hits : int;
+  misses : int;
+  evictions : int;  (** capacity/budget pressure only *)
+  admitted : int;
+  rejected : int;
+}
+
+(** [create ~capacity ()] — [on_evict] runs for pressure evictions and
+    for [remove ~evict:true] (resource cleanup, e.g. unmapping), never
+    for plain [remove].  With [~budget] the store also registers in the
+    shared pool and charges its weights there.
+    @raise Invalid_argument if [capacity <= 0]. *)
+val create :
+  ?policy:Policy.kind ->
+  ?admission:Policy.admission ->
+  ?on_evict:('k -> 'v -> unit) ->
+  ?budget:Budget.t ->
+  ?name:string ->
+  capacity:int ->
+  unit ->
+  ('k, 'v) t
+
+(** Lookup; a hit promotes the entry in the policy's order. *)
+val find : ('k, 'v) t -> 'k -> 'v option
+
+(** [find_validated t k ~validate] — a resident entry failing
+    [validate] is stale: it is removed through the evict hook and the
+    lookup counts as a miss.  How the header and file caches drop
+    entries whose backing file changed. *)
+val find_validated : ('k, 'v) t -> 'k -> validate:('v -> bool) -> 'v option
+
+(** Lookup without promoting or counting. *)
+val peek : ('k, 'v) t -> 'k -> 'v option
+
+val mem : ('k, 'v) t -> 'k -> bool
+
+(** Insert through the admission gate; [false] means rejected (the
+    store is unchanged).  Replacing a resident key bypasses admission
+    and re-weighs.  @raise Invalid_argument on negative weight. *)
+val add : ('k, 'v) t -> 'k -> 'v -> weight:int -> bool
+
+(** Remove without counting as an eviction.  [~evict:true] additionally
+    runs the [on_evict] hook — use it wherever the hook releases a
+    resource (mapping gauges), so explicit invalidation cannot leak. *)
+val remove : ?evict:bool -> ('k, 'v) t -> 'k -> 'v option
+
+(** Evict one victim through the normal eviction path even if it is the
+    last entry; [false] when empty.  The budget's shed hook. *)
+val shed : ('k, 'v) t -> bool
+
+val length : ('k, 'v) t -> int
+
+(** Total resident weight. *)
+val weight : ('k, 'v) t -> int
+
+val capacity : ('k, 'v) t -> int
+
+(** @raise Invalid_argument if [cap <= 0]. *)
+val set_capacity : ('k, 'v) t -> int -> unit
+
+val iter : ('k, 'v) t -> f:('k -> 'v -> unit) -> unit
+val clear : ('k, 'v) t -> unit
+val stats : ('k, 'v) t -> stats
+val policy_kind : ('k, 'v) t -> Policy.kind
+val hits : ('k, 'v) t -> int
+val misses : ('k, 'v) t -> int
+val evictions : ('k, 'v) t -> int

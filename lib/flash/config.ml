@@ -26,6 +26,8 @@ type t = {
   io_chunk : int;
   index_file : string;
   trace : bool;
+  cache_policy : Flash_cache.Policy.kind;
+  cache_budget_bytes : int option;
 }
 
 let mib n = n * 1024 * 1024
@@ -50,6 +52,8 @@ let flash =
     io_chunk = kib 64;
     index_file = "index.html";
     trace = false;
+    cache_policy = Flash_cache.Policy.Lru;
+    cache_budget_bytes = None;
   }
 
 let flash_sped = { flash with label = "SPED"; arch = Sped; max_helpers = 0 }

@@ -48,6 +48,12 @@ type t = {
       (** record request-lifecycle traces ({!Obs.Trace}) on the virtual
           clock — off by default; benchmarks turn it on to export
           timelines *)
+  cache_policy : Flash_cache.Policy.kind;
+      (** replacement policy shared by the pathname / header / mmap
+          caches (LRU in the paper's configuration) *)
+  cache_budget_bytes : int option;
+      (** when set, the three caches share one byte budget: overflow in
+          any cache sheds from whichever holds the most *)
 }
 
 (** Flash: the AMPED server with every optimization on. *)

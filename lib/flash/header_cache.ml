@@ -1,49 +1,66 @@
 type entry = { header : string; mtime : float }
 
 type t = {
-  table : (int, entry) Hashtbl.t option;
-  mutable hits : int;
-  mutable misses : int;
+  store : (int, entry) Flash_cache.Store.t option;
+  mutable disabled_misses : int;
   mutable invalidations : int;
 }
 
-let create ~enabled =
-  {
-    table = (if enabled then Some (Hashtbl.create 1024) else None);
-    hits = 0;
-    misses = 0;
-    invalidations = 0;
-  }
+let default_capacity_bytes = 16 * 1024 * 1024
 
-let enabled t = t.table <> None
+let create ?(policy = Flash_cache.Policy.Lru) ?budget
+    ?(capacity_bytes = default_capacity_bytes) ~enabled () =
+  let store =
+    if enabled then
+      Some
+        (Flash_cache.Store.create ~policy ?budget ~name:"header"
+           ~capacity:capacity_bytes ())
+    else None
+  in
+  { store; disabled_misses = 0; invalidations = 0 }
+
+let enabled t = t.store <> None
 
 let find t (file : Simos.Fs.file) =
-  match t.table with
+  match t.store with
   | None ->
-      t.misses <- t.misses + 1;
+      t.disabled_misses <- t.disabled_misses + 1;
       None
-  | Some table -> (
-      match Hashtbl.find_opt table file.Simos.Fs.inode with
-      | Some entry when entry.mtime = file.Simos.Fs.mtime ->
-          t.hits <- t.hits + 1;
-          Some entry.header
-      | Some _ ->
-          Hashtbl.remove table file.Simos.Fs.inode;
-          t.invalidations <- t.invalidations + 1;
-          t.misses <- t.misses + 1;
-          None
-      | None ->
-          t.misses <- t.misses + 1;
-          None)
+  | Some store ->
+      let stale = ref false in
+      let result =
+        Flash_cache.Store.find_validated store file.Simos.Fs.inode
+          ~validate:(fun entry ->
+            let fresh = entry.mtime = file.Simos.Fs.mtime in
+            if not fresh then stale := true;
+            fresh)
+      in
+      if !stale then t.invalidations <- t.invalidations + 1;
+      Option.map (fun entry -> entry.header) result
 
 let insert t (file : Simos.Fs.file) header =
-  match t.table with
+  match t.store with
   | None -> ()
-  | Some table ->
-      Hashtbl.replace table file.Simos.Fs.inode
-        { header; mtime = file.Simos.Fs.mtime }
+  | Some store ->
+      ignore
+        (Flash_cache.Store.add store file.Simos.Fs.inode
+           { header; mtime = file.Simos.Fs.mtime }
+           ~weight:(String.length header))
 
-let length t = match t.table with None -> 0 | Some tbl -> Hashtbl.length tbl
-let hits t = t.hits
-let misses t = t.misses
+let length t =
+  match t.store with None -> 0 | Some store -> Flash_cache.Store.length store
+
+let hits t =
+  match t.store with None -> 0 | Some store -> Flash_cache.Store.hits store
+
+let misses t =
+  match t.store with
+  | None -> t.disabled_misses
+  | Some store -> Flash_cache.Store.misses store
+
 let invalidations t = t.invalidations
+
+let stats t =
+  match t.store with
+  | None -> None
+  | Some store -> Some (Flash_cache.Store.stats store)

@@ -2,11 +2,19 @@
 
     The header is derived from the file, so the cache needs no separate
     invalidation: an entry is valid only while the file's mtime matches
-    what it was rendered against; a changed mtime regenerates it. *)
+    what it was rendered against; a changed mtime regenerates it.
+    Entries are weighted by header length and replaced via a pluggable
+    {!Flash_cache.Policy} (LRU by default). *)
 
 type t
 
-val create : enabled:bool -> t
+val create :
+  ?policy:Flash_cache.Policy.kind ->
+  ?budget:Flash_cache.Budget.t ->
+  ?capacity_bytes:int ->
+  enabled:bool ->
+  unit ->
+  t
 
 val enabled : t -> bool
 
@@ -21,3 +29,6 @@ val misses : t -> int
 
 (** Stale entries dropped because the file changed. *)
 val invalidations : t -> int
+
+(** Per-cache counters for status reporting; [None] when disabled. *)
+val stats : t -> Flash_cache.Store.stats option

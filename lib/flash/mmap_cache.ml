@@ -11,14 +11,15 @@ type t = {
   chunk_bytes : int;
   max_bytes : int;
   table : (chunk_key, chunk) Hashtbl.t;
-  mutable free : (chunk_key, chunk) Flash_util.Lru.t option;
+  mutable free : (chunk_key, chunk) Flash_cache.Store.t option;
   mutable mapped : int;
   mutable map_ops : int;
   mutable reuse_hits : int;
   mutable unmap_ops : int;
 }
 
-let create kernel ~chunk_bytes ~max_bytes =
+let create ?(policy = Flash_cache.Policy.Lru) ?budget kernel ~chunk_bytes
+    ~max_bytes =
   if chunk_bytes <= 0 then invalid_arg "Mmap_cache.create: chunk_bytes <= 0";
   if max_bytes < 0 then invalid_arg "Mmap_cache.create: negative max_bytes";
   let t =
@@ -41,7 +42,10 @@ let create kernel ~chunk_bytes ~max_bytes =
       t.unmap_ops <- t.unmap_ops + 1;
       Simos.Kernel.munmap t.kernel
     in
-    t.free <- Some (Flash_util.Lru.create ~on_evict ~capacity:max_bytes ())
+    t.free <-
+      Some
+        (Flash_cache.Store.create ~policy ?budget ~on_evict ~name:"mmap"
+           ~capacity:max_bytes ())
   end;
   t
 
@@ -51,6 +55,8 @@ let mapped_bytes t = t.mapped
 let map_ops t = t.map_ops
 let reuse_hits t = t.reuse_hits
 let unmap_ops t = t.unmap_ops
+
+let stats t = Option.map Flash_cache.Store.stats t.free
 
 let chunk_index t ~off = off / t.chunk_bytes
 
@@ -72,14 +78,7 @@ let make_room t free bytes =
   let budget = t.max_bytes in
   let continue = ref true in
   while t.mapped + bytes > budget && !continue do
-    match Flash_util.Lru.lru free with
-    | None -> continue := false
-    | Some (key, chunk) ->
-        ignore (Flash_util.Lru.remove free key);
-        Hashtbl.remove t.table chunk.key;
-        t.mapped <- t.mapped - chunk.bytes;
-        t.unmap_ops <- t.unmap_ops + 1;
-        Simos.Kernel.munmap t.kernel
+    continue := Flash_cache.Store.shed free
   done
 
 let acquire t file ~index =
@@ -90,7 +89,10 @@ let acquire t file ~index =
   | Some free -> (
       match Hashtbl.find_opt t.table key with
       | Some chunk ->
-          if chunk.refcount = 0 then ignore (Flash_util.Lru.remove free key);
+          (* Pull an idle mapping back off the free list without the
+             evict hook — the mapping stays live. *)
+          if chunk.refcount = 0 then
+            ignore (Flash_cache.Store.remove free key);
           chunk.refcount <- chunk.refcount + 1;
           t.reuse_hits <- t.reuse_hits + 1;
           chunk
@@ -111,6 +113,14 @@ let release t chunk =
         invalid_arg "Mmap_cache.release: chunk not held";
       chunk.refcount <- chunk.refcount - 1;
       if chunk.refcount = 0 then
-        (* Lazy unmap: the entry ages out through the free list's LRU
-           eviction (capacity = max_bytes), not here. *)
-        Flash_util.Lru.add free chunk.key chunk ~weight:chunk.bytes
+        (* Lazy unmap: the entry ages out through the free list's
+           replacement policy (capacity = max_bytes), not here.  If the
+           store rejects it (admission gate), unmap immediately rather
+           than leak a mapping the policy no longer tracks. *)
+        if not (Flash_cache.Store.add free chunk.key chunk ~weight:chunk.bytes)
+        then begin
+          Hashtbl.remove t.table chunk.key;
+          t.mapped <- t.mapped - chunk.bytes;
+          t.unmap_ops <- t.unmap_ops + 1;
+          Simos.Kernel.munmap t.kernel
+        end

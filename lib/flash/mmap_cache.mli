@@ -1,8 +1,9 @@
 (** Mapped-file chunk cache (§5.4).
 
     Files are mapped in chunks (small files use one chunk, large files
-    several).  Active chunks are refcounted; released chunks go to an LRU
-    free list and are lazily unmapped only when the cache holds too much
+    several).  Active chunks are refcounted; released chunks go to a
+    free list governed by a pluggable {!Flash_cache.Policy} (LRU by
+    default) and are lazily unmapped only when the cache holds too much
     mapped data — saving the map/unmap system calls for frequently
     requested files.  With the cache disabled every acquisition pays a
     fresh [mmap] and every release an immediate [munmap]. *)
@@ -13,7 +14,13 @@ type chunk
 
 (** [create kernel ~chunk_bytes ~max_bytes] — [max_bytes = 0] disables
     reuse. *)
-val create : Simos.Kernel.t -> chunk_bytes:int -> max_bytes:int -> t
+val create :
+  ?policy:Flash_cache.Policy.kind ->
+  ?budget:Flash_cache.Budget.t ->
+  Simos.Kernel.t ->
+  chunk_bytes:int ->
+  max_bytes:int ->
+  t
 
 val enabled : t -> bool
 val chunk_bytes : t -> int
@@ -36,3 +43,6 @@ val mapped_bytes : t -> int
 val map_ops : t -> int
 val reuse_hits : t -> int
 val unmap_ops : t -> int
+
+(** Free-list counters for status reporting; [None] when disabled. *)
+val stats : t -> Flash_cache.Store.stats option

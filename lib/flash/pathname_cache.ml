@@ -1,45 +1,52 @@
 type t = {
-  lru : (string, Simos.Fs.file) Flash_util.Lru.t option;
-  mutable hits : int;
-  mutable misses : int;
+  store : (string, Simos.Fs.file) Flash_cache.Store.t option;
+  (* Disabled caches still count misses so hit-rate math stays total. *)
+  mutable disabled_misses : int;
 }
 
-let create ~entries =
+let create ?(policy = Flash_cache.Policy.Lru) ?budget ~entries () =
   if entries < 0 then invalid_arg "Pathname_cache.create: negative entries";
-  let lru =
+  let store =
     if entries = 0 then None
-    else Some (Flash_util.Lru.create ~capacity:entries ())
+    else
+      Some
+        (Flash_cache.Store.create ~policy ?budget ~name:"pathname"
+           ~capacity:entries ())
   in
-  { lru; hits = 0; misses = 0 }
+  { store; disabled_misses = 0 }
 
-let enabled t = t.lru <> None
+let enabled t = t.store <> None
 
 let find t path =
-  match t.lru with
+  match t.store with
   | None ->
-      t.misses <- t.misses + 1;
+      t.disabled_misses <- t.disabled_misses + 1;
       None
-  | Some lru -> (
-      match Flash_util.Lru.find lru path with
-      | Some file ->
-          t.hits <- t.hits + 1;
-          Some file
-      | None ->
-          t.misses <- t.misses + 1;
-          None)
+  | Some store -> Flash_cache.Store.find store path
 
 let insert t path file =
-  match t.lru with
+  match t.store with
   | None -> ()
-  | Some lru -> Flash_util.Lru.add lru path file ~weight:1
+  | Some store ->
+      ignore (Flash_cache.Store.add store path file ~weight:1)
 
 let invalidate t path =
-  match t.lru with
+  match t.store with
   | None -> ()
-  | Some lru -> ignore (Flash_util.Lru.remove lru path)
+  | Some store -> ignore (Flash_cache.Store.remove store path)
 
 let length t =
-  match t.lru with None -> 0 | Some lru -> Flash_util.Lru.length lru
+  match t.store with None -> 0 | Some store -> Flash_cache.Store.length store
 
-let hits t = t.hits
-let misses t = t.misses
+let hits t =
+  match t.store with None -> 0 | Some store -> Flash_cache.Store.hits store
+
+let misses t =
+  match t.store with
+  | None -> t.disabled_misses
+  | Some store -> Flash_cache.Store.misses store
+
+let stats t =
+  match t.store with
+  | None -> None
+  | Some store -> Some (Flash_cache.Store.stats store)

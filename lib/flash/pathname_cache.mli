@@ -2,13 +2,19 @@
 
     A hit avoids both the per-component translation CPU and — in the
     AMPED architecture — a round trip through a translation helper
-    process.  Bounded by entry count, LRU replacement. *)
+    process.  Bounded by entry count; replacement is pluggable via
+    {!Flash_cache.Policy} (LRU by default). *)
 
 type t
 
-(** [create ~entries] — [entries = 0] yields a disabled cache where every
-    lookup misses and [insert] is a no-op. *)
-val create : entries:int -> t
+(** [create ~entries ()] — [entries = 0] yields a disabled cache where
+    every lookup misses and [insert] is a no-op. *)
+val create :
+  ?policy:Flash_cache.Policy.kind ->
+  ?budget:Flash_cache.Budget.t ->
+  entries:int ->
+  unit ->
+  t
 
 val enabled : t -> bool
 val find : t -> string -> Simos.Fs.file option
@@ -20,3 +26,6 @@ val invalidate : t -> string -> unit
 val length : t -> int
 val hits : t -> int
 val misses : t -> int
+
+(** Per-cache counters for status reporting; [None] when disabled. *)
+val stats : t -> Flash_cache.Store.stats option

@@ -31,11 +31,20 @@ type response = {
 }
 
 let make_caches_of_kernel kernel (config : Config.t) =
+  let policy = config.Config.cache_policy in
+  let budget =
+    Option.map
+      (fun bytes -> Flash_cache.Budget.create ~bytes)
+      config.Config.cache_budget_bytes
+  in
   {
-    pathname = Pathname_cache.create ~entries:config.Config.pathname_cache_entries;
-    headers = Header_cache.create ~enabled:config.Config.header_cache;
+    pathname =
+      Pathname_cache.create ~policy ?budget
+        ~entries:config.Config.pathname_cache_entries ();
+    headers = Header_cache.create ~policy ?budget ~enabled:config.Config.header_cache ();
     mmap =
-      Mmap_cache.create kernel ~chunk_bytes:config.Config.mmap_chunk_bytes
+      Mmap_cache.create ~policy ?budget kernel
+        ~chunk_bytes:config.Config.mmap_chunk_bytes
         ~max_bytes:config.Config.mmap_cache_bytes;
   }
 

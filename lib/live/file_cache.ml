@@ -8,57 +8,27 @@ type entry = {
 }
 
 type t = {
-  lru : (string, entry) Flash_util.Lru.t;
-  mutable hits : int;
-  mutable misses : int;
-  evicted : int ref;
+  store : (string, entry) Flash_cache.Store.t;
   mapped : Obs.Gauge.t;  (* file bytes currently mapped via entries *)
 }
 
-let create ~capacity_bytes =
-  let evicted = ref 0 in
+let create ?(policy = Flash_cache.Policy.Lru) ?admission ?budget
+    ~capacity_bytes () =
   let mapped = Obs.Gauge.create () in
   {
-    lru =
-      Flash_util.Lru.create
+    store =
+      Flash_cache.Store.create ~policy ?admission ?budget ~name:"file"
         ~on_evict:(fun _ (entry : entry) ->
-          incr evicted;
           if entry.mapped then Obs.Gauge.add mapped (-entry.size))
         ~capacity:(max 1 capacity_bytes) ();
-    hits = 0;
-    misses = 0;
-    evicted;
     mapped;
   }
 
-(* [Lru.remove] bypasses [on_evict]; every non-eviction removal goes
-   through here so the mapped-bytes accounting cannot drift. *)
-let forget t path =
-  match Flash_util.Lru.remove t.lru path with
-  | Some entry -> if entry.mapped then Obs.Gauge.add t.mapped (-entry.size)
-  | None -> ()
-
 let find t path ~mtime ~size =
-  match Flash_util.Lru.find t.lru path with
-  | Some entry when entry.mtime = mtime && entry.size = size ->
-      t.hits <- t.hits + 1;
-      Some entry
-  | Some _ ->
-      forget t path;
-      t.misses <- t.misses + 1;
-      None
-  | None ->
-      t.misses <- t.misses + 1;
-      None
+  Flash_cache.Store.find_validated t.store path ~validate:(fun entry ->
+      entry.mtime = mtime && entry.size = size)
 
-let find_trusted t path =
-  match Flash_util.Lru.find t.lru path with
-  | Some entry ->
-      t.hits <- t.hits + 1;
-      Some entry
-  | None ->
-      t.misses <- t.misses + 1;
-      None
+let find_trusted t path = Flash_cache.Store.find t.store path
 
 let entry_weight entry =
   entry.size
@@ -66,13 +36,15 @@ let entry_weight entry =
   + Bigarray.Array1.dim entry.header_close
 
 let insert t path (entry : entry) =
-  (* Replacement would bypass [on_evict]; drop the old entry first so
-     its mapping is uncharged. *)
-  forget t path;
-  if entry.mapped then Obs.Gauge.add t.mapped entry.size;
-  Flash_util.Lru.add t.lru path entry ~weight:(entry_weight entry)
+  (* Replacement would bypass [on_evict]; drop the old entry through the
+     hook first so its mapping is uncharged. *)
+  ignore (Flash_cache.Store.remove ~evict:true t.store path);
+  if Flash_cache.Store.add t.store path entry ~weight:(entry_weight entry)
+  then begin
+    if entry.mapped then Obs.Gauge.add t.mapped entry.size
+  end
 
-let remove t path = forget t path
+let remove t path = ignore (Flash_cache.Store.remove ~evict:true t.store path)
 
 let read_body fd size =
   let buf = Bytes.create size in
@@ -96,9 +68,10 @@ let map_body fd ~size =
     | genarray -> (Bigarray.array1_of_genarray genarray, true)
     | exception _ -> (read_body fd size, false)
 
-let bytes t = Flash_util.Lru.weight t.lru
-let entries t = Flash_util.Lru.length t.lru
+let bytes t = Flash_cache.Store.weight t.store
+let entries t = Flash_cache.Store.length t.store
 let mapped_bytes t = Obs.Gauge.value t.mapped
-let hits t = t.hits
-let misses t = t.misses
-let evictions t = !(t.evicted)
+let hits t = Flash_cache.Store.hits t.store
+let misses t = Flash_cache.Store.misses t.store
+let evictions t = Flash_cache.Store.evictions t.store
+let stats t = Flash_cache.Store.stats t.store

@@ -7,8 +7,10 @@
     userspace copies.  Entries carry both pre-rendered 200 headers
     (keep-alive and close variants, aligned per server config) — the
     header cache of §4.3 for free.  Bounded by total resident bytes
-    (body + headers), LRU replacement; a mapped-bytes gauge tracks how
-    much file data is currently mapped through the cache.
+    (body + headers); replacement and admission are pluggable via
+    {!Flash_cache.Policy} (LRU, always-admit by default), and the cache
+    can share a {!Flash_cache.Budget} with others.  A mapped-bytes gauge
+    tracks how much file data is currently mapped through the cache.
 
     Eviction stops charging the mapping immediately (the gauge drops);
     the [munmap] itself happens when the last reference dies — an
@@ -29,11 +31,18 @@ type entry = {
 
 type t
 
-val create : capacity_bytes:int -> t
+val create :
+  ?policy:Flash_cache.Policy.kind ->
+  ?admission:Flash_cache.Policy.admission ->
+  ?budget:Flash_cache.Budget.t ->
+  capacity_bytes:int ->
+  unit ->
+  t
 
 (** [find t path ~mtime ~size] — hit only if both the cached mtime and
     size match: a same-second rewrite that changes the length must not
-    serve the stale mapping. *)
+    serve the stale mapping.  A stale entry is dropped through the evict
+    hook, so the mapped-bytes gauge cannot drift. *)
 val find : t -> string -> mtime:float -> size:int -> entry option
 
 (** Lookup without a freshness check — how Flash's caches trust entries
@@ -41,7 +50,10 @@ val find : t -> string -> mtime:float -> size:int -> entry option
     stat disagrees. *)
 val find_trusted : t -> string -> entry option
 
+(** Insert if the admission policy accepts it (rejection is silent: the
+    response is served without caching). *)
 val insert : t -> string -> entry -> unit
+
 val remove : t -> string -> unit
 
 (** Map [size] bytes of [fd] (position-independent; the descriptor may
@@ -64,3 +76,6 @@ val misses : t -> int
 (** Entries pushed out by capacity pressure (explicit {!remove}s are not
     counted). *)
 val evictions : t -> int
+
+(** Policy name, capacity and counters for /server-status. *)
+val stats : t -> Flash_cache.Store.stats

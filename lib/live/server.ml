@@ -23,6 +23,10 @@ type config = {
   slow_request_ms : float option;  (* log traces slower than this *)
   slow_request_log : string option;  (* slow-request log file; None = stderr *)
   use_writev : bool;  (* gather writes via the C stub vs copying fallback *)
+  cache_policy : Flash_cache.Policy.kind;  (* file-cache replacement *)
+  cache_admission : Flash_cache.Policy.admission;  (* file-cache admission *)
+  cache_budget_bytes : int option;
+      (* shared byte budget overlaying the file cache's own capacity *)
 }
 
 let default_config ~docroot =
@@ -49,6 +53,9 @@ let default_config ~docroot =
     slow_request_ms = None;
     slow_request_log = None;
     use_writev = Iovec.have_writev;
+    cache_policy = Flash_cache.Policy.Lru;
+    cache_admission = Flash_cache.Policy.Admit_always;
+    cache_budget_bytes = None;
   }
 
 type stats = {
@@ -407,6 +414,25 @@ let histogram_text h =
     (ms (Obs.Histogram.percentile h 99.))
     (ms (Obs.Histogram.max h))
 
+let cache_stats_json (s : Flash_cache.Store.stats) =
+  Printf.sprintf
+    {|{"policy":%s,"admission":%s,"capacity":%d,"entries":%d,"resident_bytes":%d,"hits":%d,"misses":%d,"evictions":%d,"admitted":%d,"rejected":%d}|}
+    (Obs.Json.str s.Flash_cache.Store.policy)
+    (Obs.Json.str s.Flash_cache.Store.admission)
+    s.Flash_cache.Store.capacity s.Flash_cache.Store.entries
+    s.Flash_cache.Store.resident s.Flash_cache.Store.hits
+    s.Flash_cache.Store.misses s.Flash_cache.Store.evictions
+    s.Flash_cache.Store.admitted s.Flash_cache.Store.rejected
+
+let cache_stats_text (s : Flash_cache.Store.stats) =
+  Printf.sprintf
+    "%s policy, %d/%d bytes in %d entries, %d hits, %d misses, %d evictions, %d admitted, %d rejected (%s admission)"
+    s.Flash_cache.Store.policy s.Flash_cache.Store.resident
+    s.Flash_cache.Store.capacity s.Flash_cache.Store.entries
+    s.Flash_cache.Store.hits s.Flash_cache.Store.misses
+    s.Flash_cache.Store.evictions s.Flash_cache.Store.admitted
+    s.Flash_cache.Store.rejected s.Flash_cache.Store.admission
+
 (* Reads counters directly (no stats-pipe drain): in an MP child this
    reports the child's own view, and draining the shared pipe here would
    steal records from the consolidating parent. *)
@@ -450,7 +476,7 @@ let status_body t ~json =
             completed evicted cap
     in
     Printf.sprintf
-      {|{"server":%s,"mode":%s,"uptime_s":%s,"requests":%d,"connections":%d,"active_connections":%d,"errors":%d,"cache":{"hits":%d,"misses":%d,"evictions":%d,"bytes":%d,"mapped_bytes":%d,"entries":%d},"send":{"path":%s,"writev_calls":%d,"write_calls":%d,"bytes_copied":%d},"latency_ms":%s,"loop":{"stalls":%d,"threshold_ms":%s,"max_stall_ms":%s,"iterations":%d},"helper":%s,"trace":%s}|}
+      {|{"server":%s,"mode":%s,"uptime_s":%s,"requests":%d,"connections":%d,"active_connections":%d,"errors":%d,"cache":{"hits":%d,"misses":%d,"evictions":%d,"bytes":%d,"mapped_bytes":%d,"entries":%d},"caches":{"file":%s},"send":{"path":%s,"writev_calls":%d,"write_calls":%d,"bytes_copied":%d},"latency_ms":%s,"loop":{"stalls":%d,"threshold_ms":%s,"max_stall_ms":%s,"iterations":%d},"helper":%s,"trace":%s}|}
       (Obs.Json.str t.config.server_name)
       (Obs.Json.str (mode_string t.config.mode))
       (num uptime)
@@ -460,6 +486,7 @@ let status_body t ~json =
       (File_cache.bytes t.cache)
       (File_cache.mapped_bytes t.cache)
       (File_cache.entries t.cache)
+      (cache_stats_json (File_cache.stats t.cache))
       (Obs.Json.str (if t.gather_writes then "writev" else "copy"))
       sv_writev sv_writes sv_copied
       (histogram_json latency)
@@ -482,6 +509,7 @@ let status_body t ~json =
       (File_cache.evictions t.cache) (File_cache.bytes t.cache)
       (File_cache.entries t.cache);
     line "mapped:       %d bytes" (File_cache.mapped_bytes t.cache);
+    line "file cache:   %s" (cache_stats_text (File_cache.stats t.cache));
     line "send:         %s path, %d writev, %d write, %d bytes copied"
       (if t.gather_writes then "writev" else "copy")
       sv_writev sv_writes sv_copied;
@@ -1577,7 +1605,14 @@ let start config =
       config;
       listen_fd;
       bound_port;
-      cache = File_cache.create ~capacity_bytes:config.file_cache_bytes;
+      cache =
+        File_cache.create ~policy:config.cache_policy
+          ~admission:config.cache_admission
+          ?budget:
+            (Option.map
+               (fun bytes -> Flash_cache.Budget.create ~bytes)
+               config.cache_budget_bytes)
+          ~capacity_bytes:config.file_cache_bytes ();
       helper;
       wake_read;
       wake_write;

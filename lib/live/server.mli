@@ -112,6 +112,13 @@ type config = {
           whenever the stub is available); off forces the copying
           [write] fallback — the baseline [flash_bench] compares
           against *)
+  cache_policy : Flash_cache.Policy.kind;
+      (** file-cache replacement policy (default LRU) *)
+  cache_admission : Flash_cache.Policy.admission;
+      (** file-cache admission policy (default admit-always) *)
+  cache_budget_bytes : int option;
+      (** when set, the file cache also answers to a shared
+          {!Flash_cache.Budget} of this many bytes *)
 }
 
 val default_config : docroot:string -> config

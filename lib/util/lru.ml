@@ -95,13 +95,14 @@ let add t key value ~weight =
       push_front t node);
   shrink_to_fit t
 
-let remove t key =
+let remove ?(evict = false) t key =
   match Hashtbl.find_opt t.table key with
   | None -> None
   | Some node ->
       unlink t node;
       Hashtbl.remove t.table key;
       t.total_weight <- t.total_weight - node.node_weight;
+      if evict then t.on_evict key node.value;
       Some node.value
 
 let set_capacity t cap =

@@ -31,8 +31,11 @@ val mem : ('k, 'v) t -> 'k -> bool
     @raise Invalid_argument on negative weight. *)
 val add : ('k, 'v) t -> 'k -> 'v -> weight:int -> unit
 
-(** Remove without invoking [on_evict].  Returns the value if present. *)
-val remove : ('k, 'v) t -> 'k -> 'v option
+(** Remove, returning the value if present.  By default the [on_evict]
+    hook is NOT invoked; pass [~evict:true] wherever the hook releases a
+    resource (gauges, deferred unmaps) so explicit invalidation cannot
+    leave that accounting stale. *)
+val remove : ?evict:bool -> ('k, 'v) t -> 'k -> 'v option
 
 (** Shrink capacity (evicting as needed) or grow it. *)
 val set_capacity : ('k, 'v) t -> int -> unit

@@ -1,0 +1,532 @@
+(* The lib/cache subsystem: model-based policy checks against naive
+   references, admission gates, budget sharing, and deterministic
+   hit-rate fixtures separating the policies. *)
+
+module Policy = Flash_cache.Policy
+module Store = Flash_cache.Store
+module Budget = Flash_cache.Budget
+
+(* ------------------------------------------------------------------ *)
+(* Model-based: every policy vs a naive reference                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Naive references recompute victims by scanning all resident keys —
+   no heaps, no linked lists — so agreement on arbitrary operation
+   sequences exercises the real implementations' incremental machinery
+   (stale heap records, segment demotion) against obviously-correct
+   arithmetic. *)
+type model = {
+  m_insert : int -> int -> unit;  (* key, weight *)
+  m_access : int -> unit;
+  m_remove : int -> unit;
+  m_victim : unit -> int option;
+}
+
+let naive_lru () =
+  (* MRU-first key list. *)
+  let order = ref [] in
+  {
+    m_insert = (fun k _w -> order := k :: !order);
+    m_access =
+      (fun k -> order := k :: List.filter (fun x -> x <> k) !order);
+    m_remove = (fun k -> order := List.filter (fun x -> x <> k) !order);
+    m_victim =
+      (fun () ->
+        match List.rev !order with [] -> None | last :: _ -> Some last);
+  }
+
+let naive_slru ~capacity () =
+  let probation = ref [] and protected_ = ref [] in
+  let weights = Hashtbl.create 16 in
+  let pcap = capacity / 5 * 4 in
+  let weight_of k = Option.value ~default:0 (Hashtbl.find_opt weights k) in
+  let pweight () = List.fold_left (fun a k -> a + weight_of k) 0 !protected_ in
+  let drop l k = List.filter (fun x -> x <> k) l in
+  let rec demote () =
+    if pweight () > pcap then
+      match List.rev !protected_ with
+      | [] -> ()
+      | last :: _ ->
+          protected_ := drop !protected_ last;
+          probation := last :: !probation;
+          demote ()
+  in
+  {
+    m_insert =
+      (fun k w ->
+        Hashtbl.replace weights k w;
+        probation := k :: !probation);
+    m_access =
+      (fun k ->
+        if List.mem k !probation then begin
+          probation := drop !probation k;
+          protected_ := k :: !protected_;
+          demote ()
+        end
+        else protected_ := k :: drop !protected_ k);
+    m_remove =
+      (fun k ->
+        probation := drop !probation k;
+        protected_ := drop !protected_ k;
+        Hashtbl.remove weights k);
+    m_victim =
+      (fun () ->
+        match List.rev !probation with
+        | last :: _ -> Some last
+        | [] -> (
+            match List.rev !protected_ with
+            | last :: _ -> Some last
+            | [] -> None));
+  }
+
+(* Decayed-LFU reference: bump [j] (1-indexed, global) contributes
+   [decay^-j], identical to the implementation's growing multiplier;
+   victims minimise (score, last-bump seq). *)
+let naive_lfu () =
+  let scores = Hashtbl.create 16 and seqs = Hashtbl.create 16 in
+  let n = ref 0 in
+  let mult = ref 1.0 in
+  let bump k =
+    incr n;
+    mult := !mult /. 0.999;
+    Hashtbl.replace scores k
+      (Option.value ~default:0.0 (Hashtbl.find_opt scores k) +. !mult);
+    Hashtbl.replace seqs k !n
+  in
+  let victim () =
+    Hashtbl.fold
+      (fun k s best ->
+        let q = Hashtbl.find seqs k in
+        match best with
+        | None -> Some (k, s, q)
+        | Some (_, bs, bq) when s < bs || (s = bs && q < bq) -> Some (k, s, q)
+        | Some _ -> best)
+      scores None
+    |> Option.map (fun (k, _, _) -> k)
+  in
+  {
+    m_insert = (fun k _w -> bump k);
+    m_access = bump;
+    m_remove =
+      (fun k ->
+        Hashtbl.remove scores k;
+        Hashtbl.remove seqs k);
+    m_victim = victim;
+  }
+
+let naive_gdsf () =
+  let pris = Hashtbl.create 16
+  and seqs = Hashtbl.create 16
+  and freqs = Hashtbl.create 16
+  and sizes = Hashtbl.create 16 in
+  let aging = ref 0.0 in
+  let n = ref 0 in
+  let rescore k =
+    incr n;
+    let f = Option.value ~default:0 (Hashtbl.find_opt freqs k) + 1 in
+    Hashtbl.replace freqs k f;
+    let size = max 1 (Option.value ~default:1 (Hashtbl.find_opt sizes k)) in
+    Hashtbl.replace pris k (!aging +. (float_of_int f /. float_of_int size));
+    Hashtbl.replace seqs k !n
+  in
+  let victim () =
+    Hashtbl.fold
+      (fun k p best ->
+        let q = Hashtbl.find seqs k in
+        match best with
+        | None -> Some (k, p, q)
+        | Some (_, bp, bq) when p < bp || (p = bp && q < bq) -> Some (k, p, q)
+        | Some _ -> best)
+      pris None
+    |> Option.map (fun (k, p, _) ->
+           aging := p;
+           k)
+  in
+  {
+    m_insert =
+      (fun k w ->
+        Hashtbl.replace sizes k w;
+        Hashtbl.remove freqs k;
+        rescore k);
+    m_access = rescore;
+    m_remove =
+      (fun k ->
+        Hashtbl.remove pris k;
+        Hashtbl.remove seqs k;
+        Hashtbl.remove freqs k;
+        Hashtbl.remove sizes k);
+    m_victim = victim;
+  }
+
+let naive_of kind ~capacity =
+  match kind with
+  | Policy.Lru -> naive_lru ()
+  | Policy.Slru -> naive_slru ~capacity ()
+  | Policy.Lfu -> naive_lfu ()
+  | Policy.Gdsf -> naive_gdsf ()
+
+type op = Touch of int * int  (* key, weight: insert if fresh else access *)
+        | Evict
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (6, map2 (fun k w -> Touch (k, w)) (int_range 0 11) (int_range 1 9));
+        (2, return Evict);
+      ])
+
+let op_print = function
+  | Touch (k, w) -> Printf.sprintf "Touch(%d,w%d)" k w
+  | Evict -> "Evict"
+
+let ops_arb =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map op_print ops))
+    QCheck.Gen.(list_size (int_range 0 80) op_gen)
+
+let policy_matches_model kind capacity ops =
+  let impl = Policy.make kind ~capacity () in
+  let model = naive_of kind ~capacity in
+  let resident = Hashtbl.create 16 in
+  List.iter
+    (fun op ->
+      match op with
+      | Touch (k, w) ->
+          if Hashtbl.mem resident k then begin
+            impl.Policy.access k;
+            model.m_access k
+          end
+          else begin
+            Hashtbl.replace resident k ();
+            impl.Policy.insert k ~weight:w;
+            model.m_insert k w
+          end
+      | Evict -> (
+          let a = impl.Policy.victim () in
+          let b = model.m_victim () in
+          if a <> b then
+            failwith
+              (Printf.sprintf "victim disagreement: impl %s, model %s"
+                 (match a with Some k -> string_of_int k | None -> "none")
+                 (match b with Some k -> string_of_int k | None -> "none"));
+          match a with
+          | Some k ->
+              impl.Policy.remove k;
+              model.m_remove k;
+              Hashtbl.remove resident k
+          | None -> ()))
+    ops;
+  true
+
+let prop_policy kind =
+  Helpers.qcheck_case ~count:300
+    ~name:(Printf.sprintf "%s matches naive reference" (Policy.name kind))
+    ops_arb
+    (fun ops -> policy_matches_model kind 20 ops)
+
+(* ------------------------------------------------------------------ *)
+(* Store invariants under admit/reject                                 *)
+(* ------------------------------------------------------------------ *)
+
+type sop = Sadd of int * int | Sfind of int | Sremove of int
+
+let sop_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map2 (fun k w -> Sadd (k, w)) (int_range 0 9) (int_range 1 8));
+        (3, map (fun k -> Sfind k) (int_range 0 9));
+        (1, map (fun k -> Sremove k) (int_range 0 9));
+      ])
+
+let sop_print = function
+  | Sadd (k, w) -> Printf.sprintf "Add(%d,w%d)" k w
+  | Sfind k -> Printf.sprintf "Find(%d)" k
+  | Sremove k -> Printf.sprintf "Remove(%d)" k
+
+let sops_arb =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map sop_print ops))
+    QCheck.Gen.(list_size (int_range 0 80) sop_gen)
+
+(* Weight conservation: the store's weight equals the sum of resident
+   weights after every operation, whatever the policy and admission
+   gate decide, and admitted + rejected counts every fresh insertion
+   attempt. *)
+let store_conserves_weight (kind, ops) =
+  let store =
+    Store.create ~policy:kind ~admission:(Policy.Admit_min_size 3)
+      ~capacity:20 ()
+  in
+  let weights = Hashtbl.create 16 in
+  let attempts = ref 0 in
+  List.iter
+    (fun op ->
+      (match op with
+      | Sadd (k, w) ->
+          let fresh = not (Store.mem store k) in
+          if fresh then incr attempts;
+          if Store.add store k w ~weight:w then Hashtbl.replace weights k w
+      | Sfind k -> ignore (Store.find store k)
+      | Sremove k -> ignore (Store.remove store k));
+      (* Resync the model with evictions the store performed. *)
+      Hashtbl.iter
+        (fun k _ -> if not (Store.mem store k) then Hashtbl.remove weights k)
+        (Hashtbl.copy weights);
+      let expected = Hashtbl.fold (fun _ w acc -> acc + w) weights 0 in
+      if Store.weight store <> expected then
+        failwith
+          (Printf.sprintf "weight %d, resident sum %d" (Store.weight store)
+             expected);
+      if Store.weight store > Store.capacity store && Store.length store > 1
+      then failwith "over capacity with multiple entries")
+    ops;
+  let s = Store.stats store in
+  s.Store.admitted + s.Store.rejected = !attempts
+
+let prop_store_weights =
+  Helpers.qcheck_case ~count:300 ~name:"store conserves weight, counts admission"
+    (QCheck.make
+       ~print:(fun (kind, ops) ->
+         Policy.name kind ^ ": "
+         ^ String.concat "; " (List.map sop_print ops))
+       QCheck.Gen.(
+         pair
+           (oneofl [ Policy.Lru; Policy.Slru; Policy.Lfu; Policy.Gdsf ])
+           (list_size (int_range 0 80) sop_gen)))
+    store_conserves_weight
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic hit-rate fixtures                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Replay (path, size) requests; returns (hits, byte_hits, total_bytes). *)
+let replay policy ~capacity reqs =
+  let store = Store.create ~policy ~capacity () in
+  let hits = ref 0 and byte_hits = ref 0 and total = ref 0 in
+  List.iter
+    (fun (key, size) ->
+      total := !total + size;
+      match Store.find store key with
+      | Some () ->
+          incr hits;
+          byte_hits := !byte_hits + size
+      | None -> ignore (Store.add store key () ~weight:size))
+    reqs;
+  (!hits, !byte_hits, !total)
+
+(* Hot set + one-touch scan stream.  LRU churns: every scan burst pushes
+   hot entries out; LFU's frequency ranking keeps the hot set resident. *)
+let scan_fixture =
+  let hot = List.init 8 (fun i -> (i, 1)) in
+  let warmup = List.concat (List.init 5 (fun _ -> hot)) in
+  let rounds =
+    List.concat
+      (List.init 30 (fun r ->
+           let scans = List.init 4 (fun j -> (100 + (4 * r) + j, 1)) in
+           scans @ hot))
+  in
+  warmup @ rounds
+
+let test_lfu_beats_lru_on_scans () =
+  let lru_hits, _, _ = replay Policy.Lru ~capacity:10 scan_fixture in
+  let lfu_hits, _, _ = replay Policy.Lfu ~capacity:10 scan_fixture in
+  Alcotest.(check bool)
+    (Printf.sprintf "lfu hits (%d) > lru hits (%d)" lfu_hits lru_hits)
+    true (lfu_hits > lru_hits);
+  (* And the scan stream really does hurt LRU. *)
+  Alcotest.(check bool) "scan stream defeats plain LRU" true
+    (lru_hits < 30 * 8)
+
+(* Heavy-tailed byte-hit fixture: 50 hot 1 KB files plus a 60 KB
+   one-touch scan file per round, 100 KB capacity.  LRU lets each big
+   file push out hot entries; GDSF gives the big one-touch file the
+   lowest priority (freq 1 / size 60000) and evicts it first, keeping
+   the hot set — higher byte hit rate on fewer resident bytes. *)
+let heavy_tail_fixture =
+  let hot = List.init 50 (fun i -> (i, 1000)) in
+  let warmup = List.concat (List.init 2 (fun _ -> hot)) in
+  let rounds =
+    List.concat (List.init 40 (fun r -> hot @ [ (1000 + r, 60_000) ]))
+  in
+  warmup @ rounds
+
+let test_gdsf_beats_lru_on_byte_hit_rate () =
+  let _, lru_bytes, total = replay Policy.Lru ~capacity:100_000 heavy_tail_fixture in
+  let _, gdsf_bytes, _ = replay Policy.Gdsf ~capacity:100_000 heavy_tail_fixture in
+  let rate b = float_of_int b /. float_of_int total in
+  Alcotest.(check bool)
+    (Printf.sprintf "gdsf byte-hit %.3f > lru byte-hit %.3f" (rate gdsf_bytes)
+       (rate lru_bytes))
+    true
+    (gdsf_bytes > lru_bytes)
+
+(* SLRU protects the hot set from the same scan stream. *)
+let test_slru_beats_lru_on_scans () =
+  let lru_hits, _, _ = replay Policy.Lru ~capacity:10 scan_fixture in
+  let slru_hits, _, _ = replay Policy.Slru ~capacity:10 scan_fixture in
+  Alcotest.(check bool)
+    (Printf.sprintf "slru hits (%d) > lru hits (%d)" slru_hits lru_hits)
+    true (slru_hits > lru_hits)
+
+(* ------------------------------------------------------------------ *)
+(* Admission gates                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_min_size_admission () =
+  let store =
+    Store.create ~admission:(Policy.Admit_min_size 10) ~capacity:100 ()
+  in
+  Alcotest.(check bool) "small rejected" false (Store.add store 1 () ~weight:5);
+  Alcotest.(check bool) "large admitted" true (Store.add store 2 () ~weight:10);
+  let s = Store.stats store in
+  Alcotest.(check int) "rejected count" 1 s.Store.rejected;
+  Alcotest.(check int) "admitted count" 1 s.Store.admitted;
+  Alcotest.(check int) "only the big entry resident" 10 (Store.weight store)
+
+let test_freq_admission_doorkeeper () =
+  (* p = 0: first-timers always rejected; the doorkeeper remembers the
+     rejection, so the second attempt admits. *)
+  let store = Store.create ~admission:(Policy.Admit_freq 0.0) ~capacity:100 () in
+  Alcotest.(check bool) "first attempt rejected" false
+    (Store.add store 1 () ~weight:1);
+  Alcotest.(check bool) "second attempt admitted" true
+    (Store.add store 1 () ~weight:1);
+  (* p = 1: everything admitted outright. *)
+  let store = Store.create ~admission:(Policy.Admit_freq 1.0) ~capacity:100 () in
+  Alcotest.(check bool) "p=1 admits first-timers" true
+    (Store.add store 2 () ~weight:1)
+
+let test_replacement_bypasses_admission () =
+  let store = Store.create ~admission:(Policy.Admit_freq 0.0) ~capacity:100 () in
+  ignore (Store.add store 1 () ~weight:1);
+  ignore (Store.add store 1 () ~weight:1);
+  (* Resident: replacing re-weighs without consulting the gate. *)
+  Alcotest.(check bool) "replacement admitted" true
+    (Store.add store 1 () ~weight:7);
+  Alcotest.(check int) "re-weighed" 7 (Store.weight store)
+
+(* ------------------------------------------------------------------ *)
+(* Budget sharing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_budget_sheds_largest () =
+  let budget = Budget.create ~bytes:100 in
+  let a = Store.create ~budget ~name:"a" ~capacity:1000 () in
+  let b = Store.create ~budget ~name:"b" ~capacity:1000 () in
+  ignore (Store.add a "x" () ~weight:70);
+  Alcotest.(check int) "pool charged" 70 (Budget.used budget);
+  (* B's insertion overflows the shared pool; the budget sheds from the
+     largest member (A), even though A is under its own capacity — and
+     even though it empties A. *)
+  ignore (Store.add b "y" () ~weight:60);
+  Alcotest.(check bool) "pool back within budget" true
+    (Budget.used budget <= 100);
+  Alcotest.(check int) "A shed its entry" 0 (Store.weight a);
+  Alcotest.(check int) "B kept its entry" 60 (Store.weight b);
+  Alcotest.(check int) "shed counts as eviction" 1 (Store.evictions a)
+
+let test_budget_clear_releases () =
+  let budget = Budget.create ~bytes:100 in
+  let a = Store.create ~budget ~capacity:1000 () in
+  ignore (Store.add a 1 () ~weight:40);
+  ignore (Store.add a 2 () ~weight:40);
+  Store.clear a;
+  Alcotest.(check int) "clear releases the pool" 0 (Budget.used budget)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing and validation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_of_string () =
+  List.iter
+    (fun kind ->
+      match Policy.of_string (Policy.name kind) with
+      | Ok k -> Alcotest.(check bool) "round-trips" true (k = kind)
+      | Error e -> Alcotest.fail e)
+    Policy.all;
+  let contains msg name =
+    let n = String.length name and m = String.length msg in
+    let rec go i = i + n <= m && (String.sub msg i n = name || go (i + 1)) in
+    go 0
+  in
+  (match Policy.of_string "bogus" with
+  | Ok _ -> Alcotest.fail "accepted bogus policy"
+  | Error msg ->
+      Alcotest.(check bool) "error lists valid names" true
+        (List.for_all (fun k -> contains msg (Policy.name k)) Policy.all));
+  match Policy.admission_of_string "nope" with
+  | Ok _ -> Alcotest.fail "accepted bogus admission"
+  | Error _ -> ()
+
+let test_admission_of_string () =
+  (match Policy.admission_of_string "always" with
+  | Ok Policy.Admit_always -> ()
+  | _ -> Alcotest.fail "always");
+  (match Policy.admission_of_string "size:4096" with
+  | Ok (Policy.Admit_min_size 4096) -> ()
+  | _ -> Alcotest.fail "size:4096");
+  (match Policy.admission_of_string "freq" with
+  | Ok (Policy.Admit_freq p) ->
+      Alcotest.(check (float 1e-9)) "default prob" 0.1 p
+  | _ -> Alcotest.fail "freq");
+  match Policy.admission_of_string "freq:1.5" with
+  | Ok _ -> Alcotest.fail "accepted out-of-range probability"
+  | Error _ -> ()
+
+let test_store_rejects_bad_args () =
+  (match Store.create ~capacity:0 () with
+  | _ -> Alcotest.fail "accepted zero capacity"
+  | exception Invalid_argument _ -> ());
+  let store = Store.create ~capacity:10 () in
+  match Store.add store 1 () ~weight:(-1) with
+  | _ -> Alcotest.fail "accepted negative weight"
+  | exception Invalid_argument _ -> ()
+
+(* Oversized single entry admitted alone — the seed LRU contract. *)
+let test_oversized_entry_admitted_alone () =
+  List.iter
+    (fun policy ->
+      let store = Store.create ~policy ~capacity:10 () in
+      ignore (Store.add store 1 () ~weight:50);
+      Alcotest.(check int)
+        (Policy.name policy ^ ": oversized entry resident")
+        1 (Store.length store);
+      (* A second entry forces the oversized one out: every policy ranks
+         the cold oversized entry as the victim. *)
+      ignore (Store.add store 2 () ~weight:5);
+      Alcotest.(check int)
+        (Policy.name policy ^ ": oversized entry evicted")
+        5 (Store.weight store))
+    Policy.all
+
+let suite =
+  [
+    prop_policy Policy.Lru;
+    prop_policy Policy.Slru;
+    prop_policy Policy.Lfu;
+    prop_policy Policy.Gdsf;
+    prop_store_weights;
+    Alcotest.test_case "LFU keeps hot set under scans" `Quick
+      test_lfu_beats_lru_on_scans;
+    Alcotest.test_case "SLRU keeps hot set under scans" `Quick
+      test_slru_beats_lru_on_scans;
+    Alcotest.test_case "GDSF beats LRU byte-hit on heavy tail" `Quick
+      test_gdsf_beats_lru_on_byte_hit_rate;
+    Alcotest.test_case "min-size admission" `Quick test_min_size_admission;
+    Alcotest.test_case "freq admission doorkeeper" `Quick
+      test_freq_admission_doorkeeper;
+    Alcotest.test_case "replacement bypasses admission" `Quick
+      test_replacement_bypasses_admission;
+    Alcotest.test_case "budget sheds largest member" `Quick
+      test_budget_sheds_largest;
+    Alcotest.test_case "budget released on clear" `Quick
+      test_budget_clear_releases;
+    Alcotest.test_case "policy of_string" `Quick test_of_string;
+    Alcotest.test_case "admission of_string" `Quick test_admission_of_string;
+    Alcotest.test_case "store argument validation" `Quick
+      test_store_rejects_bad_args;
+    Alcotest.test_case "oversized entry admitted alone" `Quick
+      test_oversized_entry_admitted_alone;
+  ]

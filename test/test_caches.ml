@@ -12,7 +12,7 @@ let add_file kernel path size =
 
 let test_pathname_basic () =
   with_kernel (fun kernel ->
-      let c = Flash.Pathname_cache.create ~entries:10 in
+      let c = Flash.Pathname_cache.create ~entries:10 () in
       Alcotest.(check bool) "enabled" true (Flash.Pathname_cache.enabled c);
       let f = add_file kernel "/a.html" 100 in
       Alcotest.(check bool) "miss" true (Flash.Pathname_cache.find c "/a.html" = None);
@@ -25,7 +25,7 @@ let test_pathname_basic () =
 
 let test_pathname_bounded () =
   with_kernel (fun kernel ->
-      let c = Flash.Pathname_cache.create ~entries:5 in
+      let c = Flash.Pathname_cache.create ~entries:5 () in
       for i = 1 to 20 do
         let f = add_file kernel (Printf.sprintf "/f%d" i) 100 in
         Flash.Pathname_cache.insert c f.Simos.Fs.path f
@@ -38,7 +38,7 @@ let test_pathname_bounded () =
 
 let test_pathname_disabled () =
   with_kernel (fun kernel ->
-      let c = Flash.Pathname_cache.create ~entries:0 in
+      let c = Flash.Pathname_cache.create ~entries:0 () in
       Alcotest.(check bool) "disabled" false (Flash.Pathname_cache.enabled c);
       let f = add_file kernel "/x" 10 in
       Flash.Pathname_cache.insert c "/x" f;
@@ -47,7 +47,7 @@ let test_pathname_disabled () =
 
 let test_pathname_invalidate () =
   with_kernel (fun kernel ->
-      let c = Flash.Pathname_cache.create ~entries:5 in
+      let c = Flash.Pathname_cache.create ~entries:5 () in
       let f = add_file kernel "/inv" 10 in
       Flash.Pathname_cache.insert c "/inv" f;
       Flash.Pathname_cache.invalidate c "/inv";
@@ -57,7 +57,7 @@ let test_pathname_invalidate () =
 
 let test_header_basic () =
   with_kernel (fun kernel ->
-      let c = Flash.Header_cache.create ~enabled:true in
+      let c = Flash.Header_cache.create ~enabled:true () in
       let f = add_file kernel "/h.html" 500 in
       Alcotest.(check bool) "miss" true (Flash.Header_cache.find c f = None);
       Flash.Header_cache.insert c f "HTTP/1.0 200 OK\r\n\r\n";
@@ -67,7 +67,7 @@ let test_header_basic () =
 
 let test_header_invalidated_by_mtime () =
   with_kernel (fun kernel ->
-      let c = Flash.Header_cache.create ~enabled:true in
+      let c = Flash.Header_cache.create ~enabled:true () in
       let f = add_file kernel "/h2.html" 500 in
       Flash.Header_cache.insert c f "old-header";
       (* The file changes: the cached header is stale and dropped. *)
@@ -81,7 +81,7 @@ let test_header_invalidated_by_mtime () =
 
 let test_header_disabled () =
   with_kernel (fun kernel ->
-      let c = Flash.Header_cache.create ~enabled:false in
+      let c = Flash.Header_cache.create ~enabled:false () in
       let f = add_file kernel "/h3.html" 500 in
       Flash.Header_cache.insert c f "x";
       Alcotest.(check bool) "never hits" true (Flash.Header_cache.find c f = None))

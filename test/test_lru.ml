@@ -64,6 +64,23 @@ let test_remove () =
   Alcotest.(check int) "weight zero" 0 (Lru.weight lru);
   Alcotest.(check (option int)) "remove missing" None (Lru.remove lru "a")
 
+(* ~evict:true routes explicit removal through the on_evict hook, so
+   callers whose hook releases a resource (gauges, unmaps) no longer
+   have to duplicate the cleanup by hand. *)
+let test_remove_evict_runs_hook () =
+  let gauge = ref 0 in
+  let lru =
+    Lru.create ~on_evict:(fun _ v -> gauge := !gauge - v) ~capacity:10 ()
+  in
+  Lru.add lru "a" 7 ~weight:1;
+  gauge := 7;
+  Alcotest.(check (option int)) "removed value" (Some 7)
+    (Lru.remove ~evict:true lru "a");
+  Alcotest.(check int) "hook released the resource" 0 !gauge;
+  Alcotest.(check (option int)) "evict remove on missing key" None
+    (Lru.remove ~evict:true lru "a");
+  Alcotest.(check int) "no hook for missing key" 0 !gauge
+
 let test_set_capacity_shrinks () =
   let lru = Lru.create ~capacity:10 () in
   for i = 1 to 10 do
@@ -126,6 +143,8 @@ let suite =
     Alcotest.test_case "oversized single entry" `Quick test_oversized_single_entry;
     Alcotest.test_case "replace re-weighs" `Quick test_replace_reweighs;
     Alcotest.test_case "remove" `Quick test_remove;
+    Alcotest.test_case "remove ~evict runs hook" `Quick
+      test_remove_evict_runs_hook;
     Alcotest.test_case "set_capacity shrinks" `Quick test_set_capacity_shrinks;
     Alcotest.test_case "fold order and lru" `Quick test_fold_order;
     Alcotest.test_case "clear" `Quick test_clear;

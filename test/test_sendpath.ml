@@ -105,7 +105,7 @@ let mk_entry ?(mapped = false) body mtime =
   }
 
 let test_cache_validates_mtime_and_size () =
-  let c = File_cache.create ~capacity_bytes:1_000_000 in
+  let c = File_cache.create ~capacity_bytes:1_000_000 () in
   File_cache.insert c "/a" (mk_entry "abc" 10.);
   Alcotest.(check bool) "hit on exact (mtime, size)" true
     (File_cache.find c "/a" ~mtime:10. ~size:3 <> None);
@@ -148,7 +148,7 @@ let test_eviction_releases_mappings () =
       Alcotest.(check string) "mapping readable after close"
         (String.sub (patterned 8192) 0 64)
         (Iovec.sub_string body ~off:0 ~len:64);
-      let c = File_cache.create ~capacity_bytes:10_000 in
+      let c = File_cache.create ~capacity_bytes:10_000 () in
       File_cache.insert c "/one" (entry 1.);
       if mapped then
         Alcotest.(check int) "insert charges the gauge" 8192
@@ -163,6 +163,37 @@ let test_eviction_releases_mappings () =
       File_cache.remove c "/two";
       Alcotest.(check int) "explicit remove uncharges too" 0
         (File_cache.mapped_bytes c))
+
+(* Regression for the remove/on_evict asymmetry: a stale hit (mtime or
+   size mismatch) drops the entry through the evict hook, so the
+   mapped-bytes gauge falls with it instead of drifting upward as stale
+   entries are replaced. *)
+let test_stale_drop_uncharges_gauge () =
+  with_mapped_entry (fun body mapped ->
+      if mapped then begin
+        let entry mt =
+          {
+            File_cache.body;
+            mapped;
+            mtime = mt;
+            size = 8192;
+            header_keep = Iovec.of_string "K";
+            header_close = Iovec.of_string "C";
+          }
+        in
+        let c = File_cache.create ~capacity_bytes:100_000 () in
+        File_cache.insert c "/f" (entry 1.);
+        Alcotest.(check int) "charged" 8192 (File_cache.mapped_bytes c);
+        (* The file was rewritten: the lookup detects staleness. *)
+        Alcotest.(check bool) "stale lookup misses" true
+          (File_cache.find c "/f" ~mtime:2. ~size:8192 = None);
+        Alcotest.(check int) "stale drop uncharged the gauge" 0
+          (File_cache.mapped_bytes c);
+        (* Re-inserting the fresh entry charges once, not twice. *)
+        File_cache.insert c "/f" (entry 2.);
+        Alcotest.(check int) "fresh entry charged once" 8192
+          (File_cache.mapped_bytes c)
+      end)
 
 let test_server_reports_mapped_bytes () =
   let body = patterned 4096 in
@@ -357,6 +388,8 @@ let suite =
       test_cache_validates_mtime_and_size;
     Alcotest.test_case "eviction releases mappings" `Quick
       test_eviction_releases_mappings;
+    Alcotest.test_case "stale drop uncharges gauge" `Quick
+      test_stale_drop_uncharges_gauge;
     Alcotest.test_case "server reports mapped bytes" `Quick
       test_server_reports_mapped_bytes;
     Alcotest.test_case "2.5 MB identical (AMPED)" `Quick

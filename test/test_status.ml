@@ -236,6 +236,21 @@ let test_status_event_loop mode () =
       Alcotest.(check bool) "cache hits" true (to_int (member "hits" cache) >= 1);
       Alcotest.(check bool) "cache misses" true
         (to_int (member "misses" cache) >= 2);
+      (* The structured per-cache view agrees with the legacy summary. *)
+      let file = member "file" (member "caches" j) in
+      Alcotest.(check string) "file cache policy" "lru"
+        (to_str (member "policy" file));
+      Alcotest.(check string) "file cache admission" "always"
+        (to_str (member "admission" file));
+      Alcotest.(check bool) "file cache capacity" true
+        (to_int (member "capacity" file) > 0);
+      Alcotest.(check int) "file cache hits agree" (to_int (member "hits" cache))
+        (to_int (member "hits" file));
+      Alcotest.(check int) "file cache misses agree"
+        (to_int (member "misses" cache))
+        (to_int (member "misses" file));
+      Alcotest.(check int) "no evictions yet" 0
+        (to_int (member "evictions" file));
       (* Latency histogram covers the three file requests (the status
          request's own latency is recorded after rendering). *)
       let lat = member "latency_ms" j in
