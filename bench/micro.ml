@@ -63,6 +63,21 @@ let bench_normalize =
     (Staged.stage (fun () ->
          ignore (Http.Request.normalize_path "/a/b/../c/./d/page.html")))
 
+(* Timer wheel under steady-state churn: one schedule + one advance per
+   run against a wheel already carrying 1k pending timers — the shape
+   the live server's idle timers produce. *)
+let bench_timer_wheel =
+  let wheel = Evio.Timer_wheel.create ~now:0. () in
+  let now = ref 0. in
+  for i = 0 to 999 do
+    ignore (Evio.Timer_wheel.schedule wheel ~at:(float_of_int i /. 100.) i)
+  done;
+  Test.make ~name:"evio.timer_wheel.schedule+advance"
+    (Staged.stage (fun () ->
+         now := !now +. 0.001;
+         ignore (Evio.Timer_wheel.schedule wheel ~at:(!now +. 10.) 0);
+         ignore (Evio.Timer_wheel.advance wheel ~now:!now)))
+
 let tests =
   Test.make_grouped ~name:"micro"
     [
@@ -73,6 +88,7 @@ let tests =
       bench_zipf;
       bench_buffer_cache;
       bench_normalize;
+      bench_timer_wheel;
     ]
 
 let run () =

@@ -66,9 +66,15 @@ let worker ~host ~port ~path ~keep_alive ~deadline stats () =
    ±1-request noise — irrelevant at benchmark volumes. *)
 type server_delta = {
   send_path : string;  (* "writev" | "copy" per the server *)
+  backend : string;  (* readiness backend ("select" | "poll" | "epoll") *)
   server_requests : int;
   syscalls_per_request : float;  (* (writev + write) calls / request *)
   copies_per_request : float;  (* userspace-copied bytes / request *)
+  wakeups : int;  (* loop wakeups during the run *)
+  wakeups_per_request : float;
+      (* loop wakeups / request — the figure idle connections inflate
+         on select/poll (every idle fd is re-scanned each wakeup) but
+         not on epoll (kernel-held interest, O(ready) wakeups) *)
 }
 
 let find_sub s sub =
@@ -118,22 +124,27 @@ let server_delta before after =
             | _ -> 0
           in
           let dreq = r1 - r0 in
+          let dwake = d "wakeups" in
           Some
             {
               send_path = Option.value (json_str a "path") ~default:"unknown";
+              backend = Option.value (json_str a "backend") ~default:"unknown";
               server_requests = dreq;
               syscalls_per_request =
                 float_of_int (d "writev_calls" + d "write_calls")
                 /. float_of_int dreq;
               copies_per_request =
                 float_of_int (d "bytes_copied") /. float_of_int dreq;
+              wakeups = dwake;
+              wakeups_per_request = float_of_int dwake /. float_of_int dreq;
             }
       | _ -> None)
   | _ -> None
 
 (* Machine-readable results, for CI artifacts and regression tracking.
    Same numbers the human-readable report prints. *)
-let write_json ~file ~completed ~errors ~bytes ~elapsed ~server latency =
+let write_json ~file ~completed ~errors ~bytes ~elapsed ~idle_connections
+    ~server latency =
   let num f = if Float.is_finite f then Printf.sprintf "%.6g" f else "0" in
   let ms x = num (1000. *. x) in
   let pct p = ms (Obs.Histogram.percentile latency p) in
@@ -142,15 +153,17 @@ let write_json ~file ~completed ~errors ~bytes ~elapsed ~server latency =
     | None -> "null"
     | Some d ->
         Printf.sprintf
-          {|{"send_path":%S,"requests":%d,"syscalls_per_request":%s,"copies_per_request":%s}|}
-          d.send_path d.server_requests
+          {|{"send_path":%S,"backend":%S,"requests":%d,"syscalls_per_request":%s,"copies_per_request":%s,"wakeups":%d,"wakeups_per_request":%s}|}
+          d.send_path d.backend d.server_requests
           (num d.syscalls_per_request)
           (num d.copies_per_request)
+          d.wakeups
+          (num d.wakeups_per_request)
   in
   let body =
     Printf.sprintf
-      {|{"completed":%d,"errors":%d,"elapsed_s":%s,"throughput_rps":%s,"throughput_mbps":%s,"latency_ms":{"mean":%s,"p50":%s,"p90":%s,"p99":%s,"max":%s,"samples":%d},"server":%s}|}
-      completed errors (num elapsed)
+      {|{"completed":%d,"errors":%d,"elapsed_s":%s,"idle_connections":%d,"throughput_rps":%s,"throughput_mbps":%s,"latency_ms":{"mean":%s,"p50":%s,"p90":%s,"p99":%s,"max":%s,"samples":%d},"server":%s}|}
+      completed errors (num elapsed) idle_connections
       (num (float_of_int completed /. elapsed))
       (num (float_of_int bytes *. 8. /. elapsed /. 1e6))
       (ms (Obs.Histogram.mean latency))
@@ -164,11 +177,40 @@ let write_json ~file ~completed ~errors ~bytes ~elapsed ~server latency =
   output_string oc body;
   close_out oc
 
-let run host port path clients duration keep_alive json_file status_path
-    no_server_stats =
+(* Many-idle-connections scenario: open N keep-alive sessions, warm
+   each with one request, then leave them idle for the whole run while
+   the active clients drive load.  What this measures is the cost of
+   {e carrying} idle watched fds: select/poll re-scan every one of them
+   on each wakeup, epoll's wait stays O(ready). *)
+let open_idle_connections ~host ~port ~path n =
+  let rec go acc i =
+    if i >= n then acc
+    else
+      match Flash_live.Client.Session.connect ~host ~port with
+      | session -> (
+          match Flash_live.Client.Session.request session path with
+          | _ -> go (session :: acc) (i + 1)
+          | exception _ ->
+              Flash_live.Client.Session.close session;
+              acc)
+      | exception _ -> acc
+  in
+  go [] 0
+
+let run host port path clients duration keep_alive idle_connections json_file
+    status_path no_server_stats =
   Format.printf "flash-bench: %d clients -> http://%s:%d%s for %.1fs (%s)@."
     clients host port path duration
     (if keep_alive then "keep-alive" else "connection per request");
+  let idle_sessions =
+    if idle_connections <= 0 then []
+    else begin
+      let sessions = open_idle_connections ~host ~port ~path idle_connections in
+      Format.printf "idle:       holding %d warm keep-alive connections@."
+        (List.length sessions);
+      sessions
+    end
+  in
   let scrape () =
     if no_server_stats then None else scrape_status ~host ~port status_path
   in
@@ -185,6 +227,7 @@ let run host port path clients duration keep_alive json_file status_path
   List.iter Thread.join threads;
   let elapsed = Unix.gettimeofday () -. t0 in
   let server = server_delta before (scrape ()) in
+  List.iter Flash_live.Client.Session.close idle_sessions;
   let completed = List.fold_left (fun acc s -> acc + s.completed) 0 stats in
   let errors = List.fold_left (fun acc s -> acc + s.errors) 0 stats in
   let bytes = List.fold_left (fun acc s -> acc + s.bytes) 0 stats in
@@ -212,13 +255,18 @@ let run host port path clients duration keep_alive json_file status_path
         "server:     %s send path, %.2f syscalls/req, %.1f bytes copied/req \
          (%d requests)@."
         d.send_path d.syscalls_per_request d.copies_per_request
-        d.server_requests
+        d.server_requests;
+      Format.printf
+        "loop:       %s backend, %d wakeups (%.2f wakeups/req)@." d.backend
+        d.wakeups d.wakeups_per_request
   | None ->
       if not no_server_stats then
         Format.printf "server:     status endpoint not available@.");
   (match json_file with
   | Some file ->
-      write_json ~file ~completed ~errors ~bytes ~elapsed ~server latency;
+      write_json ~file ~completed ~errors ~bytes ~elapsed
+        ~idle_connections:(List.length idle_sessions)
+        ~server latency;
       Format.printf "json:       wrote %s@." file
   | None -> ());
   if errors > 0 then exit 1
@@ -240,6 +288,15 @@ let duration =
 
 let keep_alive =
   Arg.(value & flag & info [ "keep-alive"; "k" ] ~doc:"Reuse connections (HTTP/1.1).")
+
+let idle_connections =
+  Arg.(
+    value & opt int 0
+    & info [ "connections"; "idle" ] ~docv:"N"
+        ~doc:
+          "Additionally hold $(docv) warm, idle keep-alive connections \
+           open for the whole run (the many-idle-connections scenario \
+           event backends are compared on).")
 
 let json_file =
   Arg.(
@@ -268,6 +325,6 @@ let cmd =
   Cmd.v (Cmd.info "flash-bench" ~doc)
     Term.(
       const run $ host $ port $ path $ clients $ duration $ keep_alive
-      $ json_file $ status_path $ no_server_stats)
+      $ idle_connections $ json_file $ status_path $ no_server_stats)
 
 let () = exit (Cmd.eval cmd)

@@ -11,10 +11,10 @@ let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info))
 
-let serve docroot port mode helpers cache_mb cache_policy cache_admission
-    cache_budget_mb no_cgi no_align no_writev access_log access_log_timing
-    status_path no_status stall_ms no_trace trace_capacity trace_path
-    slow_request_ms slow_request_log verbose =
+let serve docroot port mode event_backend helpers cache_mb cache_policy
+    cache_admission cache_budget_mb no_cgi no_align no_writev access_log
+    access_log_timing status_path no_status stall_ms no_trace trace_capacity
+    trace_path slow_request_ms slow_request_log verbose =
   setup_logs verbose;
   let mode =
     match mode with
@@ -62,6 +62,7 @@ let serve docroot port mode helpers cache_mb cache_policy cache_admission
       trace_path = Some trace_path;
       slow_request_ms;
       slow_request_log;
+      event_backend;
     }
   in
   let server = Flash_live.Server.start config in
@@ -75,6 +76,7 @@ let serve docroot port mode helpers cache_mb cache_policy cache_admission
   Format.printf "send path: %s@."
     (if config.Flash_live.Server.use_writev then "writev (gather)"
      else "write (copying fallback)");
+  Format.printf "event backend: %s@." (Evio.name event_backend);
   Format.printf "file cache: %d MB, %s replacement, %s admission%s@." cache_mb
     (Flash_cache.Policy.name cache_policy)
     (Flash_cache.Policy.admission_name cache_admission)
@@ -135,6 +137,29 @@ let mode =
     value & opt string "amped"
     & info [ "mode"; "m" ] ~docv:"MODE"
         ~doc:"Concurrency architecture: amped (default), sped, mp or mp:N.")
+
+let backend_conv =
+  let parse s =
+    match Evio.of_string s with
+    | Ok kind -> Ok kind
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf kind = Format.pp_print_string ppf (Evio.name kind) in
+  Arg.conv (parse, print)
+
+let event_backend =
+  Arg.(
+    value
+    & opt backend_conv Evio.Select
+    & info [ "event-backend" ] ~docv:"BACKEND"
+        ~doc:
+          (Printf.sprintf
+             "Event-readiness mechanism: %s.  select is the paper-faithful \
+              default (FD_SETSIZE-capped, O(watched) per wait); poll lifts \
+              the descriptor cap; epoll (Linux) keeps the interest set in \
+              the kernel so a wait costs O(ready), not O(watched) — the \
+              many-idle-connection win.  auto picks the best available."
+             Evio.valid_names))
 
 let helpers =
   Arg.(value & opt int 4 & info [ "helpers" ] ~docv:"N" ~doc:"AMPED helper threads.")
@@ -289,7 +314,8 @@ let cmd =
   Cmd.v
     (Cmd.info "flash-serve" ~doc)
     Term.(
-      const serve $ docroot $ port $ mode $ helpers $ cache_mb $ cache_policy
+      const serve $ docroot $ port $ mode $ event_backend $ helpers
+      $ cache_mb $ cache_policy
       $ cache_admission $ cache_budget_mb $ no_cgi $ no_align $ no_writev
       $ access_log $ access_log_timing $ status_path $ no_status $ stall_ms
       $ no_trace $ trace_capacity $ trace_path $ slow_request_ms

@@ -1,0 +1,317 @@
+module Timer_wheel = Timer_wheel
+
+external poll_available : unit -> bool = "flash_evio_poll_available"
+external epoll_available : unit -> bool = "flash_evio_epoll_available"
+external fd_setsize : unit -> int = "flash_evio_fd_setsize"
+
+(* Unix.file_descr is a plain int on every non-Windows platform; only
+   consulted when [fd_setsize () > 0], which rules Windows out. *)
+external int_of_fd : Unix.file_descr -> int = "%identity"
+
+exception Backend_full of string
+
+external raw_poll :
+  Unix.file_descr array -> int array -> int array -> int -> int -> int
+  = "flash_evio_poll"
+
+external epoll_create : unit -> Unix.file_descr = "flash_evio_epoll_create"
+
+external epoll_ctl : Unix.file_descr -> int -> Unix.file_descr -> int -> unit
+  = "flash_evio_epoll_ctl"
+
+external raw_epoll_wait :
+  Unix.file_descr -> Unix.file_descr array -> int array -> int -> int -> int
+  = "flash_evio_epoll_wait"
+
+type kind = Select | Poll | Epoll
+
+let name = function Select -> "select" | Poll -> "poll" | Epoll -> "epoll"
+
+let available = function
+  | Select -> true
+  | Poll -> poll_available ()
+  | Epoll -> epoll_available ()
+
+let best_available () =
+  if available Epoll then Epoll else if available Poll then Poll else Select
+
+let all_available () = List.filter available [ Select; Poll; Epoll ]
+
+let valid_names = "select|poll|epoll|auto"
+
+let of_string = function
+  | "select" -> Ok Select
+  | "poll" -> Ok Poll
+  | "epoll" -> Ok Epoll
+  | "auto" -> Ok (best_available ())
+  | s ->
+      Error
+        (Printf.sprintf "unknown event backend %S (expected %s)" s valid_names)
+
+type event = { fd : Unix.file_descr; readable : bool; writable : bool }
+
+(* Result bits shared with the stubs. *)
+let bit_read = 1
+let bit_write = 2
+let bit_invalid = 4
+
+module Backend = struct
+  type interest = {
+    mutable want_read : bool;
+    mutable want_write : bool;
+    (* epoll: whether the fd currently lives in the kernel interest set
+       (fds with no interest are deleted, not parked with a zero mask,
+       so a hung-up peer cannot spin the loop with HUP events nobody
+       will consume). *)
+    mutable in_kernel : bool;
+  }
+
+  type t = {
+    kind : kind;
+    tbl : (Unix.file_descr, interest) Hashtbl.t;
+    (* poll: interest arrays are rebuilt lazily, only after a
+       registration change — an unchanged interest set re-polls the
+       cached arrays. *)
+    mutable dirty : bool;
+    mutable pfds : Unix.file_descr array;
+    mutable pevents : int array;
+    mutable prevents : int array;
+    mutable pn : int;
+    (* epoll: the kernel-side instance plus reusable out-buffers. *)
+    epfd : Unix.file_descr option;
+    efds : Unix.file_descr array;
+    erevents : int array;
+    mutable interest_syscalls : int;
+    mutable closed : bool;
+  }
+
+  let epoll_batch = 256
+
+  let create kind =
+    if not (available kind) then
+      invalid_arg
+        (Printf.sprintf "Evio.Backend.create: %s not available on this system"
+           (name kind));
+    {
+      kind;
+      tbl = Hashtbl.create 64;
+      dirty = true;
+      pfds = [||];
+      pevents = [||];
+      prevents = [||];
+      pn = 0;
+      epfd = (match kind with Epoll -> Some (epoll_create ()) | _ -> None);
+      efds = Array.make epoll_batch Unix.stdin;
+      erevents = Array.make epoll_batch 0;
+      interest_syscalls = 0;
+      closed = false;
+    }
+
+  let kind t = t.kind
+  let name t = name t.kind
+  let fd_count t = Hashtbl.length t.tbl
+  let interest_syscalls t = t.interest_syscalls
+
+  let mask_of i =
+    (if i.want_read then bit_read else 0)
+    lor if i.want_write then bit_write else 0
+
+  (* Push an interest change to the kernel; the caller has already
+     established that something changed. *)
+  let epoll_sync t fd i =
+    match t.epfd with
+    | None -> ()
+    | Some epfd -> (
+        let mask = mask_of i in
+        t.interest_syscalls <- t.interest_syscalls + 1;
+        match (i.in_kernel, mask) with
+        | false, 0 -> t.interest_syscalls <- t.interest_syscalls - 1
+        | false, m ->
+            epoll_ctl epfd 0 fd m;
+            i.in_kernel <- true
+        | true, 0 ->
+            (try epoll_ctl epfd 2 fd 0 with Unix.Unix_error _ -> ());
+            i.in_kernel <- false
+        | true, m -> epoll_ctl epfd 1 fd m)
+
+  let modify t fd ~read ~write =
+    match Hashtbl.find_opt t.tbl fd with
+    | Some i when i.want_read = read && i.want_write = write ->
+        () (* interest diffing: unchanged fds cost nothing *)
+    | Some i -> (
+        i.want_read <- read;
+        i.want_write <- write;
+        match t.kind with
+        | Select -> ()
+        | Poll -> t.dirty <- true
+        | Epoll -> epoll_sync t fd i)
+    | None -> (
+        (* select can only wait on fd numbers below FD_SETSIZE; refuse
+           the registration here (where the caller can shed one
+           connection) rather than letting the next wait fail with
+           EINVAL and take the whole loop down. *)
+        (if t.kind = Select then
+           let cap = fd_setsize () in
+           if cap > 0 && int_of_fd fd >= cap then
+             raise
+               (Backend_full
+                  (Printf.sprintf "select backend: fd %d >= FD_SETSIZE %d"
+                     (int_of_fd fd) cap)));
+        let i = { want_read = read; want_write = write; in_kernel = false } in
+        Hashtbl.replace t.tbl fd i;
+        match t.kind with
+        | Select -> ()
+        | Poll -> t.dirty <- true
+        | Epoll -> epoll_sync t fd i)
+
+  let register = modify
+
+  let deregister t fd =
+    match Hashtbl.find_opt t.tbl fd with
+    | None -> ()
+    | Some i ->
+        Hashtbl.remove t.tbl fd;
+        (match t.kind with
+        | Select -> ()
+        | Poll -> t.dirty <- true
+        | Epoll ->
+            if i.in_kernel then (
+              match t.epfd with
+              | Some epfd -> (
+                  (* The fd may already be closed (the kernel then
+                     dropped it from the set itself). *)
+                  try epoll_ctl epfd 2 fd 0 with Unix.Unix_error _ -> ())
+              | None -> ()))
+
+  (* Drop registrations whose fd the kernel no longer recognises —
+     defence against a caller closing an fd before deregistering. *)
+  let prune t =
+    let stale =
+      Hashtbl.fold
+        (fun fd _ acc ->
+          match Unix.fstat fd with
+          | _ -> acc
+          | exception Unix.Unix_error _ -> fd :: acc)
+        t.tbl []
+    in
+    List.iter (deregister t) stale
+
+  let timeout_ms = function
+    | None -> -1
+    | Some s when s <= 0. -> 0
+    | Some s -> int_of_float (Float.ceil (s *. 1000.))
+
+  let rebuild_poll t =
+    let n = ref 0 in
+    Hashtbl.iter
+      (fun _ i -> if i.want_read || i.want_write then incr n)
+      t.tbl;
+    if Array.length t.pfds < !n then begin
+      t.pfds <- Array.make !n Unix.stdin;
+      t.pevents <- Array.make !n 0;
+      t.prevents <- Array.make !n 0
+    end;
+    let j = ref 0 in
+    Hashtbl.iter
+      (fun fd i ->
+        if i.want_read || i.want_write then begin
+          t.pfds.(!j) <- fd;
+          t.pevents.(!j) <- mask_of i;
+          incr j
+        end)
+      t.tbl;
+    t.pn <- !j;
+    t.dirty <- false
+
+  let wait_select t ~timeout =
+    let reads, writes =
+      Hashtbl.fold
+        (fun fd i (rs, ws) ->
+          ( (if i.want_read then fd :: rs else rs),
+            if i.want_write then fd :: ws else ws ))
+        t.tbl ([], [])
+    in
+    let tmo = match timeout with None -> -1. | Some s -> Float.max 0. s in
+    match Unix.select reads writes [] tmo with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+    | exception Unix.Unix_error (Unix.EBADF, _, _) ->
+        prune t;
+        []
+    | readable, writable, _ ->
+        let evs = Hashtbl.create 16 in
+        List.iter
+          (fun fd -> Hashtbl.replace evs fd (true, false))
+          readable;
+        List.iter
+          (fun fd ->
+            match Hashtbl.find_opt evs fd with
+            | Some (r, _) -> Hashtbl.replace evs fd (r, true)
+            | None -> Hashtbl.replace evs fd (false, true))
+          writable;
+        Hashtbl.fold
+          (fun fd (r, w) acc -> { fd; readable = r; writable = w } :: acc)
+          evs []
+
+  let wait_poll t ~timeout =
+    if t.dirty then rebuild_poll t;
+    match raw_poll t.pfds t.pevents t.prevents t.pn (timeout_ms timeout) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+    | exception Unix.Unix_error _ -> []
+    | nready ->
+        if nready <= 0 then []
+        else begin
+          let out = ref [] in
+          let stale = ref [] in
+          for i = 0 to t.pn - 1 do
+            let bits = t.prevents.(i) in
+            if bits land bit_invalid <> 0 then stale := t.pfds.(i) :: !stale
+            else if bits <> 0 then
+              out :=
+                {
+                  fd = t.pfds.(i);
+                  readable = bits land bit_read <> 0;
+                  writable = bits land bit_write <> 0;
+                }
+                :: !out
+          done;
+          List.iter (deregister t) !stale;
+          !out
+        end
+
+  let wait_epoll t ~timeout =
+    match t.epfd with
+    | None -> []
+    | Some epfd -> (
+        match
+          raw_epoll_wait epfd t.efds t.erevents epoll_batch
+            (timeout_ms timeout)
+        with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+        | n ->
+            let out = ref [] in
+            for i = 0 to n - 1 do
+              let bits = t.erevents.(i) in
+              out :=
+                {
+                  fd = t.efds.(i);
+                  readable = bits land bit_read <> 0;
+                  writable = bits land bit_write <> 0;
+                }
+                :: !out
+            done;
+            !out)
+
+  let wait t ~timeout =
+    match t.kind with
+    | Select -> wait_select t ~timeout
+    | Poll -> wait_poll t ~timeout
+    | Epoll -> wait_epoll t ~timeout
+
+  let close t =
+    if not t.closed then begin
+      t.closed <- true;
+      match t.epfd with
+      | Some epfd -> ( try Unix.close epfd with Unix.Unix_error _ -> ())
+      | None -> ()
+    end
+end

@@ -27,6 +27,11 @@ type config = {
   cache_admission : Flash_cache.Policy.admission;  (* file-cache admission *)
   cache_budget_bytes : int option;
       (* shared byte budget overlaying the file cache's own capacity *)
+  event_backend : Evio.kind;  (* readiness mechanism for every loop *)
+  cgi_timeout : float;  (* kill CGI children streaming longer than this *)
+  accept_fault : (unit -> bool) option;
+      (* test seam: returning true makes the next accept behave as if
+         it failed with EMFILE *)
 }
 
 let default_config ~docroot =
@@ -56,6 +61,11 @@ let default_config ~docroot =
     cache_policy = Flash_cache.Policy.Lru;
     cache_admission = Flash_cache.Policy.Admit_always;
     cache_budget_bytes = None;
+    (* select is the paper-faithful default; poll/epoll are opt-in
+       (or via "auto"). *)
+    event_backend = Evio.Select;
+    cgi_timeout = 300.;
+    accept_fault = None;
   }
 
 type stats = {
@@ -74,6 +84,10 @@ type stats = {
   write_calls : int;
   bytes_copied : int;
   mapped_bytes : int;
+  event_backend : string;
+  loop_wakeups : int;
+  timer_fires : int;
+  accept_emfile : int;
 }
 
 type conn_state =
@@ -94,12 +108,36 @@ type conn = {
   mutable alive : bool;
   accepted_at : float;
   mutable reqs_served : int;  (* finished traces on this connection *)
+  (* Readiness interest last pushed to the evio backend (event-loop
+     modes); [sync_conn] diffs against these so unchanged fds cost
+     nothing. *)
+  mutable want_read : bool;
+  mutable want_write : bool;
+  mutable registered : bool;
+  mutable cgi_fd_registered : Unix.file_descr option;
+  (* Timer-wheel entries owned by this connection. *)
+  mutable idle_timer : timer_ev Evio.Timer_wheel.timer option;
+  mutable cgi_timer : timer_ev Evio.Timer_wheel.timer option;
   (* Tracing state for the request in flight (all None with --no-trace). *)
   mutable trace : Obs.Trace.trace option;
   mutable parse_span : Obs.Trace.span option;
   mutable work_span : Obs.Trace.span option;  (* inline disk read / CGI *)
   mutable write_span : Obs.Trace.span option;
 }
+
+(* What the loop's timer wheel fires. *)
+and timer_ev =
+  | T_idle of conn  (* keep-alive idle-timeout check *)
+  | T_cgi of conn  (* CGI wall-clock deadline *)
+  | T_resume_accept  (* re-arm the listen fd after EMFILE backoff *)
+
+(* Who a ready file descriptor belongs to. *)
+type fd_owner =
+  | O_listen
+  | O_wake
+  | O_helper
+  | O_client of conn
+  | O_cgi of conn
 
 type t = {
   config : config;
@@ -109,6 +147,17 @@ type t = {
   helper : Helper.t option;
   wake_read : Unix.file_descr;
   wake_write : Unix.file_descr;
+  (* Event-readiness state for the owning loop (SPED/AMPED main loop;
+     the MP parent reuses [evio] for its stats pipe; MP children and MT
+     workers build their own backend instances instead — an epoll fd
+     must not be shared across forked interest mutators). *)
+  evio : Evio.Backend.t;
+  wheel : timer_ev Evio.Timer_wheel.t;
+  fd_owners : (Unix.file_descr, fd_owner) Hashtbl.t;
+  loopstat : Obs.Loopstat.t;
+  accept_emfile : Obs.Counter.t;  (* accepts shed on EMFILE/ENFILE *)
+  mutable accept_paused : bool;  (* listen interest parked by backoff *)
+  mutable accept_backoff : float;  (* current backoff delay, seconds *)
   conns : (int, conn) Hashtbl.t;
   by_helper_key : (int, conn) Hashtbl.t;
   mutable next_key : int;
@@ -476,7 +525,7 @@ let status_body t ~json =
             completed evicted cap
     in
     Printf.sprintf
-      {|{"server":%s,"mode":%s,"uptime_s":%s,"requests":%d,"connections":%d,"active_connections":%d,"errors":%d,"cache":{"hits":%d,"misses":%d,"evictions":%d,"bytes":%d,"mapped_bytes":%d,"entries":%d},"caches":{"file":%s},"send":{"path":%s,"writev_calls":%d,"write_calls":%d,"bytes_copied":%d},"latency_ms":%s,"loop":{"stalls":%d,"threshold_ms":%s,"max_stall_ms":%s,"iterations":%d},"helper":%s,"trace":%s}|}
+      {|{"server":%s,"mode":%s,"uptime_s":%s,"requests":%d,"connections":%d,"active_connections":%d,"errors":%d,"cache":{"hits":%d,"misses":%d,"evictions":%d,"bytes":%d,"mapped_bytes":%d,"entries":%d},"caches":{"file":%s},"send":{"path":%s,"writev_calls":%d,"write_calls":%d,"bytes_copied":%d},"latency_ms":%s,"loop":{"backend":%s,"stalls":%d,"threshold_ms":%s,"max_stall_ms":%s,"iterations":%d,"wakeups":%d,"ready_per_wakeup":%s,"wait_s":%s,"work_s":%s,"timer_fires":%d,"timers_pending":%d,"accept_emfile":%d,"accept_paused":%b},"helper":%s,"trace":%s}|}
       (Obs.Json.str t.config.server_name)
       (Obs.Json.str (mode_string t.config.mode))
       (num uptime)
@@ -490,10 +539,19 @@ let status_body t ~json =
       (Obs.Json.str (if t.gather_writes then "writev" else "copy"))
       sv_writev sv_writes sv_copied
       (histogram_json latency)
+      (Obs.Json.str (Evio.name t.config.event_backend))
       (Obs.Watchdog.stalls t.watchdog)
       (num (ms (Obs.Watchdog.threshold t.watchdog)))
       (num (ms (Obs.Watchdog.max_gap t.watchdog)))
       (Obs.Watchdog.iterations t.watchdog)
+      (Obs.Loopstat.wakeups t.loopstat)
+      (num (Obs.Loopstat.ready_per_wakeup t.loopstat))
+      (num (Obs.Loopstat.wait_time t.loopstat))
+      (num (Obs.Loopstat.work_time t.loopstat))
+      (Obs.Loopstat.timer_fires t.loopstat)
+      (Evio.Timer_wheel.pending t.wheel)
+      (Obs.Counter.value t.accept_emfile)
+      t.accept_paused
       helper_json trace_json
     ^ "\n"
   else begin
@@ -519,6 +577,16 @@ let status_body t ~json =
       (ms (Obs.Watchdog.threshold t.watchdog))
       (ms (Obs.Watchdog.max_gap t.watchdog))
       (Obs.Watchdog.iterations t.watchdog);
+    line "events:       %s backend, %d wakeups (%.2f ready fds/wakeup), %.3f s waiting / %.3f s working"
+      (Evio.name t.config.event_backend)
+      (Obs.Loopstat.wakeups t.loopstat)
+      (Obs.Loopstat.ready_per_wakeup t.loopstat)
+      (Obs.Loopstat.wait_time t.loopstat)
+      (Obs.Loopstat.work_time t.loopstat);
+    line "timers:       %d fired, %d pending" (Obs.Loopstat.timer_fires t.loopstat)
+      (Evio.Timer_wheel.pending t.wheel);
+    line "accept:       %d shed on EMFILE%s" (Obs.Counter.value t.accept_emfile)
+      (if t.accept_paused then " (listen paused)" else "");
     (match trace_counts with
     | None -> line "tracing:      off"
     | Some (completed, evicted, cap) ->
@@ -789,7 +857,16 @@ let start_cgi t conn (req : Http.Request.t) full ~keep:_ =
           in
           enqueue_string t conn header;
           conn.close_after_flush <- false;
-          conn.state <- Streaming_cgi (pipe_read, pid))
+          conn.state <- Streaming_cgi (pipe_read, pid);
+          (* Wall-clock deadline: a wedged script is killed rather than
+             holding the connection (and a helper-less loop's pipe slot)
+             forever. *)
+          if t.config.cgi_timeout > 0. then
+            conn.cgi_timer <-
+              Some
+                (Evio.Timer_wheel.schedule t.wheel
+                   ~at:(t.config.clock () +. t.config.cgi_timeout)
+                   (T_cgi conn)))
 
 (* ------------------------------------------------------------------ *)
 (* Request processing                                                  *)
@@ -912,12 +989,32 @@ let rec try_parse t conn =
 (* Connection IO                                                       *)
 (* ------------------------------------------------------------------ *)
 
+(* Forget the CGI pipe's registration (before the fd is closed, so the
+   backend never holds a recycled descriptor). *)
+let unregister_cgi t conn =
+  match conn.cgi_fd_registered with
+  | None -> ()
+  | Some pfd ->
+      Evio.Backend.deregister t.evio pfd;
+      Hashtbl.remove t.fd_owners pfd;
+      conn.cgi_fd_registered <- None
+
+let cancel_timer t slot =
+  match slot with
+  | Some tm ->
+      Evio.Timer_wheel.cancel t.wheel tm;
+      None
+  | None -> None
+
 let close_conn t conn =
   if conn.alive then begin
     conn.alive <- false;
     (* A request still in flight (client hung up, error path) gets its
        trace closed here rather than lost. *)
     finish_request_trace ~closing:true t conn;
+    unregister_cgi t conn;
+    conn.idle_timer <- cancel_timer t conn.idle_timer;
+    conn.cgi_timer <- cancel_timer t conn.cgi_timer;
     (match conn.state with
     | Streaming_cgi (fd, pid) ->
         (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -927,8 +1024,42 @@ let close_conn t conn =
     Sendq.clear conn.outq;
     Hashtbl.remove t.conns conn.key;
     Hashtbl.remove t.by_helper_key conn.key;
+    if conn.registered then begin
+      Evio.Backend.deregister t.evio conn.fd;
+      conn.registered <- false
+    end;
+    Hashtbl.remove t.fd_owners conn.fd;
     with_obs_lock t (fun () -> Obs.Gauge.decr t.active);
     try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  end
+
+(* Reconcile a connection's readiness interest with its state: read
+   while parsing, write while the send queue has bytes, and the CGI
+   pipe while streaming.  Diffed against the last pushed interest so an
+   unchanged connection costs no syscall ([epoll_ctl]) and no rebuild
+   (poll). *)
+let sync_conn t conn =
+  if conn.alive then begin
+    let r = conn.state = Reading in
+    let w = not (Sendq.is_empty conn.outq) in
+    if (not conn.registered) || r <> conn.want_read || w <> conn.want_write
+    then begin
+      Evio.Backend.modify t.evio conn.fd ~read:r ~write:w;
+      conn.registered <- true;
+      conn.want_read <- r;
+      conn.want_write <- w
+    end;
+    match (conn.state, conn.cgi_fd_registered) with
+    | Streaming_cgi (pfd, _), None -> (
+        (* The CGI pipe fd can itself land beyond select's FD_SETSIZE;
+           a stream we cannot wait on must drop the connection rather
+           than the loop. *)
+        match Evio.Backend.register t.evio pfd ~read:true ~write:false with
+        | () ->
+            Hashtbl.replace t.fd_owners pfd (O_cgi conn);
+            conn.cgi_fd_registered <- Some pfd
+        | exception Evio.Backend_full _ -> close_conn t conn)
+    | _ -> ()
   end
 
 (* The head-request buffer: reads land in the connection's reusable
@@ -1016,6 +1147,8 @@ let handle_cgi_readable t conn fd pid =
   let buf = Bytes.create 16384 in
   match Unix.read fd buf 0 16384 with
   | 0 ->
+      unregister_cgi t conn;
+      conn.cgi_timer <- cancel_timer t conn.cgi_timer;
       (try Unix.close fd with Unix.Unix_error _ -> ());
       (try ignore (Unix.waitpid [ Unix.WNOHANG ] pid) with Unix.Unix_error _ -> ());
       conn.state <- Reading;
@@ -1025,6 +1158,8 @@ let handle_cgi_readable t conn fd pid =
   | n -> enqueue_string t conn (Bytes.sub_string buf 0 n)
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
   | exception Unix.Unix_error _ ->
+      unregister_cgi t conn;
+      conn.cgi_timer <- cancel_timer t conn.cgi_timer;
       (try Unix.close fd with Unix.Unix_error _ -> ());
       conn.state <- Reading;
       conn.close_after_flush <- true;
@@ -1062,7 +1197,8 @@ let handle_helper_completions t =
                   | Helper.Missing ->
                       enqueue_error t conn Http.Status.Not_found ~keep ~head_only
                   | Helper.Found { size; mtime } ->
-                      serve_file t conn req full ~size ~mtime ~keep)
+                      serve_file t conn req full ~size ~mtime ~keep);
+                  sync_conn t conn
               | Reading | Streaming_cgi _ -> ()))
         completions
 
@@ -1070,42 +1206,94 @@ let handle_helper_completions t =
 (* Accepting                                                           *)
 (* ------------------------------------------------------------------ *)
 
+let accept_backoff_initial = 0.05
+let accept_backoff_max = 1.0
+
+(* EMFILE/ENFILE on accept: park the listen fd's read interest instead
+   of spinning on a connection we cannot take (level-triggered
+   readiness would wake the loop at full speed otherwise), and let a
+   timer re-arm it after a backoff that doubles while the descriptor
+   table stays full. *)
+let pause_accept t =
+  Obs.Counter.incr t.accept_emfile;
+  if not t.accept_paused then begin
+    t.accept_paused <- true;
+    Evio.Backend.modify t.evio t.listen_fd ~read:false ~write:false;
+    let delay = t.accept_backoff in
+    t.accept_backoff <-
+      Float.min accept_backoff_max (t.accept_backoff *. 2.);
+    ignore
+      (Evio.Timer_wheel.schedule t.wheel
+         ~at:(t.config.clock () +. delay)
+         T_resume_accept)
+  end
+
 let accept_all t =
   let rec loop () =
-    match Unix.accept t.listen_fd with
-    | fd, _ ->
-        Unix.set_nonblock fd;
-        (try Unix.setsockopt fd Unix.TCP_NODELAY true
-         with Unix.Unix_error _ -> ());
-        let key = t.next_key in
-        t.next_key <- t.next_key + 1;
-        t.n_connections <- t.n_connections + 1;
-        with_obs_lock t (fun () -> Obs.Gauge.incr t.active);
-        let now = t.config.clock () in
-        let conn =
-          {
-            fd;
-            key;
-            inbuf = "";
-            readbuf = Bytes.create 65536;
-            outq = Sendq.create ();
-            state = Reading;
-            close_after_flush = false;
-            last_active = now;
-            req_start = now;
-            alive = true;
-            accepted_at = now;
-            reqs_served = 0;
-            trace = None;
-            parse_span = None;
-            work_span = None;
-            write_span = None;
-          }
-        in
-        Hashtbl.replace t.conns key conn;
-        loop ()
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
-    | exception Unix.Unix_error _ -> ()
+    let injected =
+      match t.config.accept_fault with Some f -> f () | None -> false
+    in
+    if injected then pause_accept t
+    else
+      match Unix.accept t.listen_fd with
+      | fd, _ ->
+          t.accept_backoff <- accept_backoff_initial;
+          Unix.set_nonblock fd;
+          (try Unix.setsockopt fd Unix.TCP_NODELAY true
+           with Unix.Unix_error _ -> ());
+          let key = t.next_key in
+          t.next_key <- t.next_key + 1;
+          t.n_connections <- t.n_connections + 1;
+          with_obs_lock t (fun () -> Obs.Gauge.incr t.active);
+          let now = t.config.clock () in
+          let conn =
+            {
+              fd;
+              key;
+              inbuf = "";
+              readbuf = Bytes.create 65536;
+              outq = Sendq.create ();
+              state = Reading;
+              close_after_flush = false;
+              last_active = now;
+              req_start = now;
+              alive = true;
+              accepted_at = now;
+              reqs_served = 0;
+              want_read = false;
+              want_write = false;
+              registered = false;
+              cgi_fd_registered = None;
+              idle_timer = None;
+              cgi_timer = None;
+              trace = None;
+              parse_span = None;
+              work_span = None;
+              write_span = None;
+            }
+          in
+          Hashtbl.replace t.conns key conn;
+          Hashtbl.replace t.fd_owners fd (O_client conn);
+          (match sync_conn t conn with
+          | () ->
+              if t.config.idle_timeout > 0. then
+                conn.idle_timer <-
+                  Some
+                    (Evio.Timer_wheel.schedule t.wheel
+                       ~at:(now +. t.config.idle_timeout)
+                       (T_idle conn));
+              loop ()
+          | exception Evio.Backend_full _ ->
+              (* select cannot wait on fd numbers >= FD_SETSIZE: shed
+                 this connection and back off exactly as if the process
+                 were out of descriptors. *)
+              close_conn t conn;
+              pause_accept t)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ()
+      | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE), _, _) ->
+          pause_accept t
+      | exception Unix.Unix_error _ -> ()
   in
   loop ()
 
@@ -1113,71 +1301,111 @@ let accept_all t =
 (* The event loop                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let sweep_idle t now =
-  let doomed =
-    Hashtbl.fold
-      (fun _ conn acc ->
+(* Idle timers are lazy: activity only updates [last_active]; when the
+   timer fires we either close a genuinely idle connection or push the
+   timer out to [last_active + idle_timeout].  A busy keep-alive
+   connection costs one wheel operation per idle_timeout, not one per
+   request — and nothing scans every connection every iteration. *)
+let handle_timer t ~now ev =
+  match ev with
+  | T_idle conn ->
+      conn.idle_timer <- None;
+      if conn.alive then
         if
           conn.state = Reading
           && Sendq.is_empty conn.outq
           && now -. conn.last_active > t.config.idle_timeout
-        then conn :: acc
-        else acc)
-      t.conns []
-  in
-  List.iter (close_conn t) doomed
+        then close_conn t conn
+        else
+          let at =
+            if conn.state = Reading && Sendq.is_empty conn.outq then
+              conn.last_active +. t.config.idle_timeout
+            else now +. t.config.idle_timeout
+          in
+          conn.idle_timer <-
+            Some (Evio.Timer_wheel.schedule t.wheel ~at (T_idle conn))
+  | T_cgi conn -> (
+      conn.cgi_timer <- None;
+      if conn.alive then
+        match conn.state with
+        | Streaming_cgi (_, pid) ->
+            (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+            close_conn t conn
+        | Reading | Waiting_helper _ -> ())
+  | T_resume_accept ->
+      if t.accept_paused then begin
+        t.accept_paused <- false;
+        Evio.Backend.modify t.evio t.listen_fd ~read:true ~write:false;
+        accept_all t
+      end
+
+let dispatch_event t (ev : Evio.event) =
+  match Hashtbl.find_opt t.fd_owners ev.Evio.fd with
+  | None -> ()  (* closed while an earlier event in this batch ran *)
+  | Some O_listen -> if ev.Evio.readable then accept_all t
+  | Some O_wake ->
+      let buf = Bytes.create 64 in
+      (try ignore (Unix.read t.wake_read buf 0 64)
+       with Unix.Unix_error _ -> ())
+  | Some O_helper -> handle_helper_completions t
+  | Some (O_client conn) ->
+      if conn.alive then begin
+        if ev.Evio.readable && conn.state = Reading then
+          handle_readable t conn;
+        if ev.Evio.writable && conn.alive && not (Sendq.is_empty conn.outq)
+        then handle_writable t conn;
+        sync_conn t conn
+      end
+  | Some (O_cgi conn) -> (
+      if conn.alive then
+        match conn.state with
+        | Streaming_cgi (fd, pid) ->
+            handle_cgi_readable t conn fd pid;
+            sync_conn t conn
+        | Reading | Waiting_helper _ -> ())
 
 let run_loop t =
+  (* The loop's own fds live in the backend for its whole life.  The
+     listen fd may be parked by EMFILE shedding; wake and helper
+     interest never changes. *)
+  Evio.Backend.register t.evio t.listen_fd ~read:(not t.accept_paused)
+    ~write:false;
+  Hashtbl.replace t.fd_owners t.listen_fd O_listen;
+  Evio.Backend.register t.evio t.wake_read ~read:true ~write:false;
+  Hashtbl.replace t.fd_owners t.wake_read O_wake;
+  (match t.helper with
+  | Some h ->
+      let nfd = Helper.notify_fd h in
+      Evio.Backend.register t.evio nfd ~read:true ~write:false;
+      Hashtbl.replace t.fd_owners nfd O_helper
+  | None -> ());
   while not t.stopped do
-    let reads = ref [ t.listen_fd; t.wake_read ] in
-    (match t.helper with
-    | Some h -> reads := Helper.notify_fd h :: !reads
-    | None -> ());
-    let writes = ref [] in
-    let cgi = ref [] in
-    Hashtbl.iter
-      (fun _ conn ->
-        (match conn.state with
-        | Reading -> reads := conn.fd :: !reads
-        | Streaming_cgi (fd, pid) -> cgi := (fd, conn, pid) :: !cgi
-        | Waiting_helper _ -> ());
-        if not (Sendq.is_empty conn.outq) then writes := conn.fd :: !writes)
-      t.conns;
-    let cgi_fds = List.map (fun (fd, _, _) -> fd) !cgi in
-    match Unix.select (!reads @ cgi_fds) !writes [] 0.5 with
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | exception Unix.Unix_error (Unix.EBADF, _, _) -> ()
-    | readable, writable, _ ->
-        (* Time the processing half of the iteration only — waiting in
-           [select] is idleness, not a stall. *)
-        Obs.Watchdog.arm t.watchdog;
-        if List.memq t.wake_read readable then begin
-          let buf = Bytes.create 64 in
-          try ignore (Unix.read t.wake_read buf 0 64)
-          with Unix.Unix_error _ -> ()
-        end;
-        (match t.helper with
-        | Some h when List.memq (Helper.notify_fd h) readable ->
-            handle_helper_completions t
-        | _ -> ());
-        if List.memq t.listen_fd readable then accept_all t;
-        List.iter
-          (fun (fd, conn, pid) ->
-            if conn.alive && List.memq fd readable then
-              handle_cgi_readable t conn fd pid)
-          !cgi;
-        Hashtbl.iter
-          (fun _ conn ->
-            if conn.alive && conn.state = Reading && List.memq conn.fd readable
-            then handle_readable t conn)
-          (Hashtbl.copy t.conns);
-        Hashtbl.iter
-          (fun _ conn ->
-            if conn.alive && List.memq conn.fd writable then
-              handle_writable t conn)
-          (Hashtbl.copy t.conns);
-        sweep_idle t (t.config.clock ());
-        Obs.Watchdog.check t.watchdog
+    (* Sleep exactly until the next timer deadline (forever when no
+       timers are pending) — readiness and the wake pipe interrupt the
+       wait, so there is no fixed tick. *)
+    let timeout =
+      Option.map
+        (fun d -> Float.max 0. (d -. t.config.clock ()))
+        (Evio.Timer_wheel.next_deadline t.wheel)
+    in
+    let wait_start = t.config.clock () in
+    let events = Evio.Backend.wait t.evio ~timeout in
+    let now = t.config.clock () in
+    Obs.Loopstat.wake t.loopstat ~waited:(now -. wait_start)
+      ~ready:(List.length events);
+    (* Time the processing half of the iteration only — blocking in
+       the readiness wait is idleness, not a stall. *)
+    Obs.Watchdog.arm t.watchdog;
+    List.iter (dispatch_event t) events;
+    let fired = Evio.Timer_wheel.advance t.wheel ~now:(t.config.clock ()) in
+    (match fired with
+    | [] -> ()
+    | evs ->
+        Obs.Loopstat.timers_fired t.loopstat (List.length evs);
+        let now = t.config.clock () in
+        List.iter (handle_timer t ~now) evs);
+    Obs.Loopstat.work t.loopstat ~spent:(t.config.clock () -. now);
+    Obs.Watchdog.check t.watchdog
   done;
   (* Drain: close everything. *)
   Hashtbl.iter (fun _ conn -> close_conn t conn) (Hashtbl.copy t.conns)
@@ -1218,6 +1446,14 @@ let consume_stats t bytes len =
               t.n_requests <- t.n_requests + 1;
               if tag = 'e' then t.n_errors <- t.n_errors + 1;
               with_obs_lock t (fun () -> Obs.Histogram.record t.latency latency));
+          pos := !pos + 9
+        end
+        else short := true
+    | 'f' ->
+        (* An MP child shed an accept on EMFILE/ENFILE (same 9-byte
+           frame as the counting tags; the float is unused). *)
+        if !pos + 9 <= n then begin
+          Obs.Counter.incr t.accept_emfile;
           pos := !pos + 9
         end
         else short := true
@@ -1559,16 +1795,76 @@ let mp_serve_connection t fd =
   with_obs_lock t (fun () -> Obs.Gauge.decr t.active);
   try Unix.close fd with Unix.Unix_error _ -> ()
 
+(* MP children and MT workers accept through their own backend
+   instance: a kernel interest set (epoll) must not be shared across
+   forked processes or mutated by several threads, and a per-worker
+   backend gives the blocking architectures the same EMFILE shedding
+   and the same clean wakeup-on-stop (the wake pipe is registered but
+   never drained — stop is terminal, so level-triggered readiness
+   rouses every parked worker at once). *)
 let mp_child_loop t =
-  let rec loop () =
-    if not t.stopped then begin
-      (match Unix.accept t.listen_fd with
-      | fd, _ -> mp_serve_connection t fd
-      | exception Unix.Unix_error _ -> if t.stopped then raise Exit);
-      loop ()
+  let ev = Evio.Backend.create t.config.event_backend in
+  let wheel = Evio.Timer_wheel.create ~now:(t.config.clock ()) () in
+  let paused = ref false in
+  let backoff = ref accept_backoff_initial in
+  let pause () =
+    Obs.Counter.incr t.accept_emfile;
+    (match t.stats_pipe_write with
+    | Some w -> (
+        try ignore (Unix.write w (stats_record ~tag:'f' ~latency:0.) 0 9)
+        with Unix.Unix_error _ -> ())
+    | None -> ());
+    if not !paused then begin
+      paused := true;
+      Evio.Backend.modify ev t.listen_fd ~read:false ~write:false;
+      ignore
+        (Evio.Timer_wheel.schedule wheel
+           ~at:(t.config.clock () +. !backoff)
+           ());
+      backoff := Float.min accept_backoff_max (!backoff *. 2.)
     end
   in
-  try loop () with Exit -> ()
+  let try_accept () =
+    let injected =
+      match t.config.accept_fault with Some f -> f () | None -> false
+    in
+    if injected then pause ()
+    else
+      match Unix.accept t.listen_fd with
+      | fd, _ ->
+          backoff := accept_backoff_initial;
+          mp_serve_connection t fd
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ()
+      | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE), _, _) ->
+          pause ()
+      | exception Unix.Unix_error _ -> ()
+  in
+  Evio.Backend.register ev t.listen_fd ~read:true ~write:false;
+  Evio.Backend.register ev t.wake_read ~read:true ~write:false;
+  (try
+     while not t.stopped do
+       let timeout =
+         Option.map
+           (fun d -> Float.max 0. (d -. t.config.clock ()))
+           (Evio.Timer_wheel.next_deadline wheel)
+       in
+       let events = Evio.Backend.wait ev ~timeout in
+       (match Evio.Timer_wheel.advance wheel ~now:(t.config.clock ()) with
+       | [] -> ()
+       | _ :: _ ->
+           paused := false;
+           Evio.Backend.modify ev t.listen_fd ~read:true ~write:false;
+           if not t.stopped then try_accept ());
+       if not t.stopped then
+         List.iter
+           (fun (e : Evio.event) ->
+             if e.Evio.fd = t.listen_fd && e.Evio.readable && not !paused
+             then try_accept ())
+           events
+     done
+   with Unix.Unix_error _ -> ());
+  Evio.Backend.close ev
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                           *)
@@ -1597,9 +1893,10 @@ let start config =
              ~helpers:(max 1 config.helpers) ())
     | Sped | Mp _ | Mt _ -> None
   in
-  (match config.mode with
-  | Amped | Sped -> Unix.set_nonblock listen_fd
-  | Mp _ | Mt _ -> ());
+  (* Every mode accepts through a readiness backend now, so the listen
+     fd is nonblocking everywhere (a connection that vanishes between
+     readiness and accept must yield EAGAIN, not a hang). *)
+  Unix.set_nonblock listen_fd;
   let t =
     {
       config;
@@ -1657,6 +1954,13 @@ let start config =
           config.slow_request_log;
       started_at = config.clock ();
       worker_threads = [];
+      evio = Evio.Backend.create config.event_backend;
+      wheel = Evio.Timer_wheel.create ~now:(config.clock ()) ();
+      fd_owners = Hashtbl.create 64;
+      loopstat = Obs.Loopstat.create ();
+      accept_emfile = Obs.Counter.create ();
+      accept_paused = false;
+      accept_backoff = accept_backoff_initial;
     }
   in
   let t =
@@ -1692,40 +1996,56 @@ let start config =
 let port t = t.bound_port
 let mode t = t.config.mode
 
-(* The MP parent's only job: consolidate children's statistics. *)
+(* The MP parent's only job: consolidate children's statistics.  It
+   sleeps in its backend with no timeout — the stats pipe or the wake
+   pipe interrupts it; there is no polling tick. *)
 let mp_parent_loop t =
   let buf = Bytes.create 4095 in
+  (match t.stats_pipe_read with
+  | Some r -> Evio.Backend.register t.evio r ~read:true ~write:false
+  | None -> ());
+  Evio.Backend.register t.evio t.wake_read ~read:true ~write:false;
   while not t.stopped do
-    match t.stats_pipe_read with
-    | None -> Thread.delay 0.1
-    | Some r -> (
-        match Unix.select [ r ] [] [] 0.2 with
-        | [], _, _ -> ()
-        | _ :: _, _, _ -> (
-            Mutex.lock t.stats_mutex;
-            match
-              Fun.protect
-                ~finally:(fun () -> Mutex.unlock t.stats_mutex)
-                (fun () ->
-                  match Unix.read r buf 0 4095 with
-                  | n when n > 0 -> consume_stats t buf n
-                  | _ -> ())
-            with
-            | () -> ()
-            | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
-              ->
-                ()
-            | exception Unix.Unix_error _ -> Thread.delay 0.1)
-        | exception Unix.Unix_error _ -> Thread.delay 0.1)
+    let wait_start = t.config.clock () in
+    let events = Evio.Backend.wait t.evio ~timeout:None in
+    Obs.Loopstat.wake t.loopstat
+      ~waited:(t.config.clock () -. wait_start)
+      ~ready:(List.length events);
+    List.iter
+      (fun (e : Evio.event) ->
+        if e.Evio.fd = t.wake_read then begin
+          let b = Bytes.create 64 in
+          try ignore (Unix.read t.wake_read b 0 64)
+          with Unix.Unix_error _ -> ()
+        end
+        else
+          match t.stats_pipe_read with
+          | Some r when e.Evio.fd = r && e.Evio.readable -> (
+              Mutex.lock t.stats_mutex;
+              match
+                Fun.protect
+                  ~finally:(fun () -> Mutex.unlock t.stats_mutex)
+                  (fun () ->
+                    match Unix.read r buf 0 4095 with
+                    | n when n > 0 -> consume_stats t buf n
+                    | _ -> ())
+              with
+              | () -> ()
+              | exception Unix.Unix_error _ -> ())
+          | _ -> ())
+      events
   done
 
 let run t =
   match t.config.mode with
   | Mp _ -> mp_parent_loop t
   | Mt _ ->
-      (* Threads update shared counters themselves. *)
+      (* Threads update shared counters themselves; just park on the
+         wake pipe until [stop] writes its byte. *)
       while not t.stopped do
-        Thread.delay 0.1
+        match Unix.select [ t.wake_read ] [] [] (-1.) with
+        | _ -> ()
+        | exception Unix.Unix_error _ -> ()
       done
   | Amped | Sped -> run_loop t
 
@@ -1746,23 +2066,13 @@ let stop t =
       t.children;
     (match t.loop_thread with Some th -> Thread.join th | None -> ());
     (match t.helper with Some h -> Helper.shutdown h | None -> ());
-    (* MT workers may be parked in a blocking accept, which closing the
-       listener does not interrupt: poke each awake with a throwaway
-       connection before closing. *)
-    List.iter
-      (fun _ ->
-        match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
-        | exception Unix.Unix_error _ -> ()
-        | fd ->
-            (try
-               Unix.connect fd
-                 (Unix.ADDR_INET (Unix.inet_addr_loopback, t.bound_port))
-             with Unix.Unix_error _ -> ());
-            (try Unix.close fd with Unix.Unix_error _ -> ()))
-      t.worker_threads;
+    (* MT workers park in their backend's wait with the wake pipe in
+       the interest set, so the wake byte above already roused them —
+       no need to poke them with throwaway connections. *)
     List.iter
       (fun th -> try Thread.join th with _ -> ())
       t.worker_threads;
+    Evio.Backend.close t.evio;
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
     (match t.log_channel with Some oc -> close_out_noerr oc | None -> ());
     (match t.slow_channel with Some oc -> close_out_noerr oc | None -> ());
@@ -1815,6 +2125,10 @@ let stats t =
     write_calls = with_obs_lock t (fun () -> Obs.Counter.value t.write_calls);
     bytes_copied = with_obs_lock t (fun () -> Obs.Counter.value t.bytes_copied);
     mapped_bytes = File_cache.mapped_bytes t.cache;
+    event_backend = Evio.name t.config.event_backend;
+    loop_wakeups = Obs.Loopstat.wakeups t.loopstat;
+    timer_fires = Obs.Loopstat.timer_fires t.loopstat;
+    accept_emfile = Obs.Counter.value t.accept_emfile;
   }
 
 let latency t = with_obs_lock t (fun () -> Obs.Histogram.copy t.latency)

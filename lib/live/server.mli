@@ -1,10 +1,10 @@
 (** The live Flash web server: a real AMPED HTTP server over the [Unix]
     module.
 
-    One process runs a [select] event loop handling all client IO with
+    One process runs an event loop handling all client IO with
     non-blocking sockets; disk work for uncached files goes to
     {!Helper} threads whose completions arrive on a pipe the loop
-    selects on.  The same code base also runs as:
+    watches.  The same code base also runs as:
     - [Sped]: no helpers — cold files are read inline, stalling the
       loop exactly as §3.3 describes;
     - [Mp n]: [n] forked processes each running the basic steps
@@ -19,6 +19,25 @@
     response headers (§5.5), bounded file/header cache, CGI under
     [/cgi-bin/] (fork/exec, close-delimited output), 403 on paths
     escaping the document root.
+
+    {2 Event readiness and timers}
+
+    Readiness comes from a pluggable {!Evio.Backend} —
+    [select]/[poll]/[epoll], chosen by [event_backend] ([select] is
+    the paper-faithful default) — with per-fd interest kept in sync by
+    diffing, so an idle keep-alive connection costs no per-iteration
+    work on epoll.  All timeouts (keep-alive idle, CGI deadlines,
+    EMFILE backoff) live in a hashed {!Evio.Timer_wheel} owned by the
+    loop; the wait blocks exactly until the next deadline instead of
+    ticking on a fixed interval, and idle-connection reaping is a
+    per-connection timer rescheduled lazily, not an O(connections)
+    scan.  MP children and MT workers accept through their own backend
+    instance (kernel interest sets don't share across forks/threads).
+    When [accept] fails with EMFILE/ENFILE the listen fd's interest is
+    parked and re-armed by a wheel timer with exponential backoff —
+    load is shed without spinning on a connection the process cannot
+    take.  Per-loop wakeup/ready/wait-vs-work/timer counters are
+    reported by [/server-status].
 
     {2 Send path}
 
@@ -119,6 +138,16 @@ type config = {
   cache_budget_bytes : int option;
       (** when set, the file cache also answers to a shared
           {!Flash_cache.Budget} of this many bytes *)
+  event_backend : Evio.kind;
+      (** readiness mechanism for every loop — main, MP parent, MP/MT
+          workers (default [Select], the paper-faithful baseline) *)
+  cgi_timeout : float;
+      (** kill CGI children still streaming after this many seconds;
+          [0.] disables the deadline (default 300 s) *)
+  accept_fault : (unit -> bool) option;
+      (** test seam: consulted before each [accept]; returning [true]
+          makes it behave as if it failed with EMFILE, exercising the
+          shedding path without exhausting real descriptors *)
 }
 
 val default_config : docroot:string -> config
@@ -139,6 +168,10 @@ type stats = {
   write_calls : int;  (** fallback/stream [write] calls issued *)
   bytes_copied : int;  (** response bytes copied in userspace *)
   mapped_bytes : int;  (** file bytes currently mmap'd by the cache *)
+  event_backend : string;  (** readiness backend name in use *)
+  loop_wakeups : int;  (** times the readiness wait returned *)
+  timer_fires : int;  (** timer-wheel expirations handled *)
+  accept_emfile : int;  (** accepts shed on EMFILE/ENFILE *)
 }
 
 type t

@@ -314,10 +314,17 @@ let test_cached_get_is_one_writev_zero_copies () =
         Fun.protect
           ~finally:(fun () -> Client.Session.close session)
           (fun () ->
-            (* Warm the cache (the cold request copies only headers). *)
+            (* Warm the cache (the cold request copies only headers).
+               Await the warm writev itself, not just the request
+               count: the client unblocks the moment the syscall
+               completes, which can be before the loop thread has
+               incremented the counter. *)
             let r1 = Client.Session.request session "/page.bin" in
             Alcotest.(check int) "warm 200" 200 r1.Client.status;
-            let s0 = await server (fun s -> s.Server.requests >= 1) in
+            let s0 =
+              await server (fun s ->
+                  s.Server.requests >= 1 && s.Server.writev_calls >= 1)
+            in
             let r2 = Client.Session.request session "/page.bin" in
             Alcotest.(check bool) "cached body identical" true
               (String.equal r2.Client.body body);
