@@ -28,7 +28,7 @@ let record stats latency bytes ok =
   end
   else stats.errors <- stats.errors + 1
 
-let worker ~host ~port ~path ~keep_alive ~deadline stats () =
+let worker ~host ~port ~path ~headers ~expect ~keep_alive ~deadline stats () =
   let run_one_keepalive () =
     let session = Flash_live.Client.Session.connect ~host ~port in
     Fun.protect
@@ -36,29 +36,58 @@ let worker ~host ~port ~path ~keep_alive ~deadline stats () =
       (fun () ->
         while Unix.gettimeofday () < deadline do
           let t0 = Unix.gettimeofday () in
-          match Flash_live.Client.Session.request session path with
+          match Flash_live.Client.Session.request ~headers session path with
           | r ->
               record stats
                 (Unix.gettimeofday () -. t0)
                 (String.length r.Flash_live.Client.body)
-                (r.Flash_live.Client.status = 200)
+                (r.Flash_live.Client.status = expect)
           | exception _ -> raise Exit
         done)
   in
   let run_one_conn_per_request () =
     while Unix.gettimeofday () < deadline do
       let t0 = Unix.gettimeofday () in
-      match Flash_live.Client.get ~host ~port path with
+      match Flash_live.Client.get ~headers ~host ~port path with
       | r ->
           record stats
             (Unix.gettimeofday () -. t0)
             (String.length r.Flash_live.Client.body)
-            (r.Flash_live.Client.status = 200)
+            (r.Flash_live.Client.status = expect)
       | exception _ -> stats.errors <- stats.errors + 1
     done
   in
   try if keep_alive then run_one_keepalive () else run_one_conn_per_request ()
   with Exit | _ -> ()
+
+(* Workload scenarios over the HTTP/1.1 semantics: [full] is the plain
+   200 baseline; [conditional] revalidates with the representation's
+   own ETag on every request (the steady state of a client population
+   with warm caches — all 304s, no body bytes); [range] asks for the
+   first KiB of the target (the resumed-download shape — all 206s). *)
+let scenario_setup ~host ~port ~path = function
+  | "full" -> ([], 200)
+  | "conditional" -> (
+      (* Learn the current validator once, then revalidate with it. *)
+      match Flash_live.Client.get ~host ~port path with
+      | { Flash_live.Client.status = 200; headers; _ } -> (
+          match List.assoc_opt "etag" headers with
+          | Some etag -> ([ ("If-None-Match", etag) ], 304)
+          | None ->
+              Format.eprintf "conditional scenario: no ETag on %s@." path;
+              exit 2)
+      | r ->
+          Format.eprintf "conditional scenario: prefetch got %d@."
+            r.Flash_live.Client.status;
+          exit 2
+      | exception e ->
+          Format.eprintf "conditional scenario: prefetch failed (%s)@."
+            (Printexc.to_string e);
+          exit 2)
+  | "range" -> ([ ("Range", "bytes=0-1023") ], 206)
+  | other ->
+      Format.eprintf "unknown scenario %S (full|conditional|range)@." other;
+      exit 2
 
 (* Server-side send-path efficiency, measured by scraping the server's
    /server-status?json before and after the run and differencing its
@@ -143,8 +172,8 @@ let server_delta before after =
 
 (* Machine-readable results, for CI artifacts and regression tracking.
    Same numbers the human-readable report prints. *)
-let write_json ~file ~completed ~errors ~bytes ~elapsed ~idle_connections
-    ~server latency =
+let write_json ~file ~scenario ~completed ~errors ~bytes ~elapsed
+    ~idle_connections ~server latency =
   let num f = if Float.is_finite f then Printf.sprintf "%.6g" f else "0" in
   let ms x = num (1000. *. x) in
   let pct p = ms (Obs.Histogram.percentile latency p) in
@@ -162,8 +191,8 @@ let write_json ~file ~completed ~errors ~bytes ~elapsed ~idle_connections
   in
   let body =
     Printf.sprintf
-      {|{"completed":%d,"errors":%d,"elapsed_s":%s,"idle_connections":%d,"throughput_rps":%s,"throughput_mbps":%s,"latency_ms":{"mean":%s,"p50":%s,"p90":%s,"p99":%s,"max":%s,"samples":%d},"server":%s}|}
-      completed errors (num elapsed) idle_connections
+      {|{"scenario":%S,"completed":%d,"errors":%d,"elapsed_s":%s,"idle_connections":%d,"throughput_rps":%s,"throughput_mbps":%s,"latency_ms":{"mean":%s,"p50":%s,"p90":%s,"p99":%s,"max":%s,"samples":%d},"server":%s}|}
+      scenario completed errors (num elapsed) idle_connections
       (num (float_of_int completed /. elapsed))
       (num (float_of_int bytes *. 8. /. elapsed /. 1e6))
       (ms (Obs.Histogram.mean latency))
@@ -197,11 +226,14 @@ let open_idle_connections ~host ~port ~path n =
   in
   go [] 0
 
-let run host port path clients duration keep_alive idle_connections json_file
-    status_path no_server_stats =
-  Format.printf "flash-bench: %d clients -> http://%s:%d%s for %.1fs (%s)@."
+let run host port path clients duration keep_alive scenario idle_connections
+    json_file status_path no_server_stats =
+  Format.printf
+    "flash-bench: %d clients -> http://%s:%d%s for %.1fs (%s, %s scenario)@."
     clients host port path duration
-    (if keep_alive then "keep-alive" else "connection per request");
+    (if keep_alive then "keep-alive" else "connection per request")
+    scenario;
+  let headers, expect = scenario_setup ~host ~port ~path scenario in
   let idle_sessions =
     if idle_connections <= 0 then []
     else begin
@@ -221,7 +253,9 @@ let run host port path clients duration keep_alive idle_connections json_file
   let threads =
     List.map
       (fun s ->
-        Thread.create (worker ~host ~port ~path ~keep_alive ~deadline s) ())
+        Thread.create
+          (worker ~host ~port ~path ~headers ~expect ~keep_alive ~deadline s)
+          ())
       stats
   in
   List.iter Thread.join threads;
@@ -264,7 +298,7 @@ let run host port path clients duration keep_alive idle_connections json_file
         Format.printf "server:     status endpoint not available@.");
   (match json_file with
   | Some file ->
-      write_json ~file ~completed ~errors ~bytes ~elapsed
+      write_json ~file ~scenario ~completed ~errors ~bytes ~elapsed
         ~idle_connections:(List.length idle_sessions)
         ~server latency;
       Format.printf "json:       wrote %s@." file
@@ -288,6 +322,16 @@ let duration =
 
 let keep_alive =
   Arg.(value & flag & info [ "keep-alive"; "k" ] ~doc:"Reuse connections (HTTP/1.1).")
+
+let scenario =
+  Arg.(
+    value & opt string "full"
+    & info [ "scenario" ] ~docv:"KIND"
+        ~doc:
+          "Request shape: full (plain 200s, default); conditional \
+           (revalidate with If-None-Match, expecting 304s — the \
+           warm-client-cache steady state); range (Range: bytes=0-1023, \
+           expecting 206s — the resumed-download shape).")
 
 let idle_connections =
   Arg.(
@@ -325,6 +369,7 @@ let cmd =
   Cmd.v (Cmd.info "flash-bench" ~doc)
     Term.(
       const run $ host $ port $ path $ clients $ duration $ keep_alive
-      $ idle_connections $ json_file $ status_path $ no_server_stats)
+      $ scenario $ idle_connections $ json_file $ status_path
+      $ no_server_stats)
 
 let () = exit (Cmd.eval cmd)

@@ -24,9 +24,25 @@ type cell = {
   byte_hit_rate : float;
 }
 
+type kind_stat = {
+  mutable k_requests : int;
+  mutable k_hits : int;
+  mutable k_wire : int;  (* response body bytes this kind puts on the wire *)
+}
+
 (* One grid cell: replay the stream through a fresh store.  Values are
-   unit — only the keys, weights and policy reactions matter. *)
-let replay trace ~policy ~admission ~capacity =
+   unit — only the keys, weights and policy reactions matter.
+
+   With a request mix, each step takes the shape its kind implies, the
+   way the live server's cache sees them: conditional revalidations
+   still touch the origin entry (a cached 304 is served from it) but
+   move no body bytes; ranges touch the origin entry and move only the
+   requested window; gzip requests replay the *variant* key — the same
+   store, a NUL-separated derived key and a compressed weight, exactly
+   the live File_cache layout — so variants compete with origins for
+   the shared capacity here too. *)
+let replay ?mix ?(range_bytes = 1024) ?(gzip_ratio = 0.4) ~per_kind trace
+    ~policy ~admission ~capacity =
   let store =
     Flash_cache.Store.create ~policy ~admission ~name:"cachelab" ~capacity ()
   in
@@ -35,10 +51,36 @@ let replay trace ~policy ~admission ~capacity =
   for i = 0 to n - 1 do
     let path = Workload.Trace.request_path trace i in
     let size = Workload.Trace.request_size trace i in
-    byte_total := !byte_total + size;
-    match Flash_cache.Store.find store path with
-    | Some () -> byte_hits := !byte_hits + size
-    | None -> ignore (Flash_cache.Store.add store path () ~weight:(max 1 size))
+    let kind =
+      match mix with
+      | None -> Workload.Reqmix.Plain
+      | Some m -> Workload.Reqmix.kind m i
+    in
+    let key, weight, wire =
+      match kind with
+      | Workload.Reqmix.Plain -> (path, size, size)
+      | Workload.Reqmix.Conditional -> (path, size, 0)
+      | Workload.Reqmix.Range -> (path, size, min range_bytes size)
+      | Workload.Reqmix.Gzip ->
+          let gz = max 1 (int_of_float (gzip_ratio *. float_of_int size)) in
+          (path ^ "\x00gzip", gz, gz)
+    in
+    byte_total := !byte_total + wire;
+    let ks =
+      match Hashtbl.find_opt per_kind kind with
+      | Some ks -> ks
+      | None ->
+          let ks = { k_requests = 0; k_hits = 0; k_wire = 0 } in
+          Hashtbl.replace per_kind kind ks;
+          ks
+    in
+    ks.k_requests <- ks.k_requests + 1;
+    ks.k_wire <- ks.k_wire + wire;
+    match Flash_cache.Store.find store key with
+    | Some () ->
+        byte_hits := !byte_hits + wire;
+        ks.k_hits <- ks.k_hits + 1
+    | None -> ignore (Flash_cache.Store.add store key () ~weight:(max 1 weight))
   done;
   let s = Flash_cache.Store.stats store in
   {
@@ -150,9 +192,22 @@ let mrc_json policies grid =
   "{" ^ String.concat "," (List.map per_policy policies) ^ "}"
 
 let run workload trace_file files requests alpha seed policies_arg admission_arg
-    sizes_arg json out =
+    sizes_arg mix_conditional mix_range mix_gzip gzip_ratio json out =
   let kind, trace =
     build_trace ~workload ~trace_file ~files ~requests ~alpha ~seed
+  in
+  let mix =
+    if mix_conditional = 0. && mix_range = 0. && mix_gzip = 0. then None
+    else
+      Some
+        (Workload.Reqmix.generate
+           ~length:(Workload.Trace.length trace)
+           ~conditional:mix_conditional ~range:mix_range ~gzip:mix_gzip
+           (* Decorrelated from the trace's seed: both generators draw
+              one uniform per request, so sharing the seed would align
+              the kind draw with the popularity draw (every conditional
+              request would hit the most popular files). *)
+           ~seed:(seed lxor 0x5bd1e995))
   in
   let policies =
     List.map
@@ -177,20 +232,48 @@ let run workload trace_file files requests alpha seed policies_arg admission_arg
     Format.eprintf "need at least one policy and one cache size@.";
     exit 2
   end;
+  let per_kind = Hashtbl.create 4 in
   let grid =
     List.concat_map
       (fun policy ->
-        List.map (fun capacity -> replay trace ~policy ~admission ~capacity) sizes)
+        List.map
+          (fun capacity ->
+            replay ?mix ~gzip_ratio ~per_kind trace ~policy ~admission
+              ~capacity)
+          sizes)
       policies
+  in
+  let kind_rows =
+    List.filter_map
+      (fun k ->
+        Option.map
+          (fun ks -> (Workload.Reqmix.kind_name k, ks))
+          (Hashtbl.find_opt per_kind k))
+      Workload.Reqmix.all_kinds
+  in
+  let mix_json =
+    match mix with
+    | None -> "null"
+    | Some _ ->
+        "{"
+        ^ String.concat ","
+            (List.map
+               (fun (name, ks) ->
+                 Printf.sprintf
+                   {|%s:{"requests":%d,"hits":%d,"wire_bytes":%d}|}
+                   (Obs.Json.str name) ks.k_requests ks.k_hits ks.k_wire)
+               kind_rows)
+        ^ "}"
   in
   let output =
     if json then
       Printf.sprintf
-        {|{"workload":{"kind":%s,"requests":%d,"distinct_files":%d,"footprint_bytes":%d,"admission":%s},"grid":[%s],"mrc":%s}|}
+        {|{"workload":{"kind":%s,"requests":%d,"distinct_files":%d,"footprint_bytes":%d,"admission":%s},"mix":%s,"grid":[%s],"mrc":%s}|}
         (Obs.Json.str kind) (Workload.Trace.length trace)
         (Workload.Trace.distinct_files trace)
         footprint
         (Obs.Json.str (Flash_cache.Policy.admission_name admission))
+        mix_json
         (String.concat "," (List.map cell_json grid))
         (mrc_json policies grid)
       ^ "\n"
@@ -211,6 +294,16 @@ let run workload trace_file files requests alpha seed policies_arg admission_arg
             c.capacity (100. *. c.hit_rate) (100. *. c.byte_hit_rate)
             c.evictions c.rejected)
         grid;
+      (match mix with
+      | None -> ()
+      | Some _ ->
+          Printf.bprintf b
+            "request mix (aggregated over all cells; wire = body bytes):\n";
+          List.iter
+            (fun (name, ks) ->
+              Printf.bprintf b "  %-12s %9d requests %9d hits %14d wire bytes\n"
+                name ks.k_requests ks.k_hits ks.k_wire)
+            kind_rows);
       Buffer.contents b
     end
   in
@@ -281,6 +374,38 @@ let sizes =
           "Comma-separated cache sizes: absolute bytes (suffix k/m/g) or \
            percentages of the trace footprint.")
 
+let mix_conditional =
+  Arg.(
+    value & opt float 0.
+    & info [ "mix-conditional" ] ~docv:"F"
+        ~doc:
+          "Fraction of requests replayed as conditional revalidations \
+           (304: touch the entry, move no body bytes).")
+
+let mix_range =
+  Arg.(
+    value & opt float 0.
+    & info [ "mix-range" ] ~docv:"F"
+        ~doc:
+          "Fraction of requests replayed as single byte ranges (206: \
+           touch the entry, move only the first KiB).")
+
+let mix_gzip =
+  Arg.(
+    value & opt float 0.
+    & info [ "mix-gzip" ] ~docv:"F"
+        ~doc:
+          "Fraction of requests replayed against the gzip variant key \
+           (origin path + NUL + encoding, compressed weight) — variants \
+           compete with origins for the same capacity, as in the live \
+           file cache.")
+
+let gzip_ratio =
+  Arg.(
+    value & opt float 0.4
+    & info [ "gzip-ratio" ] ~docv:"R"
+        ~doc:"Modelled compressed-size ratio for gzip-variant requests.")
+
 let json =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
 
@@ -296,6 +421,7 @@ let cmd =
     (Cmd.info "flash-cachelab" ~doc)
     Term.(
       const run $ workload $ trace_file $ files $ requests $ alpha $ seed
-      $ policies $ admission $ sizes $ json $ out)
+      $ policies $ admission $ sizes $ mix_conditional $ mix_range $ mix_gzip
+      $ gzip_ratio $ json $ out)
 
 let () = exit (Cmd.eval cmd)

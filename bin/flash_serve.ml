@@ -12,9 +12,10 @@ let setup_logs verbose =
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info))
 
 let serve docroot port mode event_backend helpers cache_mb cache_policy
-    cache_admission cache_budget_mb no_cgi no_align no_writev access_log
-    access_log_timing status_path no_status stall_ms no_trace trace_capacity
-    trace_path slow_request_ms slow_request_log verbose =
+    cache_admission cache_budget_mb no_cgi no_align no_writev no_gzip
+    gzip_lazy access_log access_log_timing status_path no_status stall_ms
+    no_trace trace_capacity trace_path slow_request_ms slow_request_log
+    verbose =
   setup_logs verbose;
   let mode =
     match mode with
@@ -63,6 +64,8 @@ let serve docroot port mode event_backend helpers cache_mb cache_policy
       slow_request_ms;
       slow_request_log;
       event_backend;
+      gzip_precompressed = not no_gzip;
+      gzip_lazy = gzip_lazy && not no_gzip;
     }
   in
   let server = Flash_live.Server.start config in
@@ -241,6 +244,23 @@ let no_writev =
           "Force the copying write fallback instead of writev gather \
            writes (for A/B benchmarking the zero-copy send path).")
 
+let no_gzip =
+  Arg.(
+    value & flag
+    & info [ "no-gzip" ]
+        ~doc:
+          "Disable gzip content negotiation entirely: no .gz sibling \
+           lookup, no lazy variants, no Vary: Accept-Encoding header.")
+
+let gzip_lazy =
+  Arg.(
+    value & flag
+    & info [ "gzip-lazy" ]
+        ~doc:
+          "When no fresh .gz sibling exists, build a stored-block gzip \
+           variant of a cached file on demand and cache it beside its \
+           origin under the same budget.")
+
 let access_log =
   Arg.(
     value
@@ -317,6 +337,7 @@ let cmd =
       const serve $ docroot $ port $ mode $ event_backend $ helpers
       $ cache_mb $ cache_policy
       $ cache_admission $ cache_budget_mb $ no_cgi $ no_align $ no_writev
+      $ no_gzip $ gzip_lazy
       $ access_log $ access_log_timing $ status_path $ no_status $ stall_ms
       $ no_trace $ trace_capacity $ trace_path $ slow_request_ms
       $ slow_request_log $ verbose)

@@ -1,0 +1,79 @@
+(* Conditional-request evaluation, RFC 9110 §13.2.2: the precedence
+   order is If-Match, then If-Unmodified-Since (only when If-Match is
+   absent), then If-None-Match, then If-Modified-Since (only when
+   If-None-Match is absent and the method is GET/HEAD).  If-Range is
+   separate — it gates the Range field, evaluated by the caller after
+   this returns [Proceed].
+
+   All comparisons run against the selected representation's validators:
+   a strong ETag derived from (mtime, size) and the whole-second
+   Last-Modified.  Dates that fail to parse make their condition
+   vacuous, per the RFC. *)
+
+type decision = Proceed | Not_modified | Precondition_failed
+
+(* HTTP dates have whole-second granularity; file mtimes may not. *)
+let unmodified_since ~mtime since = floor mtime <= since
+let modified_since ~mtime since = floor mtime > since
+
+let evaluate ~(meth : Request.meth) ~(header : string -> string option)
+    ~(etag : Etag.t) ~mtime =
+  let get_head = match meth with Request.Get | Request.Head -> true | _ -> false in
+  (* Step 1: If-Match (strong comparison). *)
+  let step1 =
+    match header "if-match" with
+    | Some v ->
+        if Etag.list_matches ~strong:true v ~current:etag then None
+        else Some Precondition_failed
+    | None -> (
+        (* Step 2: If-Unmodified-Since, only without If-Match. *)
+        match header "if-unmodified-since" with
+        | Some v -> (
+            match Http_date.parse v with
+            | Some since when not (unmodified_since ~mtime since) ->
+                Some Precondition_failed
+            | Some _ | None -> None)
+        | None -> None)
+  in
+  match step1 with
+  | Some d -> d
+  | None -> (
+      (* Step 3: If-None-Match (weak comparison).  When present it
+         consumes If-Modified-Since entirely — a non-matching
+         If-None-Match proceeds even if the date alone would 304. *)
+      match header "if-none-match" with
+      | Some v ->
+          if Etag.list_matches ~strong:false v ~current:etag then
+            if get_head then Not_modified else Precondition_failed
+          else Proceed
+      | None -> (
+          (* Step 4: If-Modified-Since, GET/HEAD only. *)
+          if not get_head then Proceed
+          else
+            match header "if-modified-since" with
+            | Some v -> (
+                match Http_date.parse v with
+                | Some since when not (modified_since ~mtime since) ->
+                    Not_modified
+                | Some _ | None -> Proceed)
+            | None -> Proceed))
+
+(* If-Range (§13.1.5): apply the Range field only when the validator
+   still matches the selected representation — an entity-tag under the
+   strong comparison, or a date under exact match.  A missing If-Range
+   always permits; an unparseable one never does. *)
+let if_range_permits ~(header : string -> string option) ~(etag : Etag.t)
+    ~mtime =
+  match header "if-range" with
+  | None -> true
+  | Some v -> (
+      let v = String.trim v in
+      if String.length v > 0 && (v.[0] = '"' || (String.length v >= 2 && v.[0] = 'W' && v.[1] = '/'))
+      then
+        match Etag.parse v with
+        | Some tag -> Etag.strong_eq tag etag
+        | None -> false
+      else
+        match Http_date.parse v with
+        | Some date -> floor mtime = date
+        | None -> false)

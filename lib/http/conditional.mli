@@ -1,0 +1,25 @@
+(** Conditional-request evaluation in RFC 9110 §13.2.2 precedence
+    order: If-Match → If-Unmodified-Since → If-None-Match →
+    If-Modified-Since.  If-Range is evaluated separately by
+    {!if_range_permits} because it gates the Range field rather than
+    the whole request. *)
+
+type decision = Proceed | Not_modified | Precondition_failed
+
+(** [evaluate ~meth ~header ~etag ~mtime] — decide the request against
+    the selected representation's validators.  [header] looks up a
+    (lowercased) request-header name.  Unparseable dates make their
+    condition vacuous; [Not_modified] is only produced for GET/HEAD
+    (other methods fail matched If-None-Match with 412, per the RFC). *)
+val evaluate :
+  meth:Request.meth ->
+  header:(string -> string option) ->
+  etag:Etag.t ->
+  mtime:float ->
+  decision
+
+(** May the Range field be applied?  True with no If-Range; with one,
+    only when its validator (entity-tag under strong comparison, date
+    under exact match) still names the selected representation. *)
+val if_range_permits :
+  header:(string -> string option) -> etag:Etag.t -> mtime:float -> bool

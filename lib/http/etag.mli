@@ -1,0 +1,28 @@
+(** Entity tags (RFC 9110 §8.8.3): rendering, parsing, and the strong
+    and weak comparison functions used by the conditional-request
+    machinery. *)
+
+type t = { weak : bool; opaque : string  (** without the quotes *) }
+
+(** [make ~mtime ~size ()] renders the server's strong ETag for a
+    representation validated by [(mtime, size)] — the file cache's own
+    validation key, so tag and cache entry can never disagree.
+    [suffix] distinguishes encoded variants (e.g. ["-gz"]). *)
+val make : ?suffix:string -> mtime:float -> size:int -> unit -> string
+
+(** Parse a single entity-tag (["\"abc\""] or [W/"abc"]). *)
+val parse : string -> t option
+
+val render : t -> string
+
+(** Strong comparison: equal opaque tags, neither weak. *)
+val strong_eq : t -> t -> bool
+
+(** Weak comparison: equal opaque tags, weakness ignored. *)
+val weak_eq : t -> t -> bool
+
+(** [list_matches ~strong field ~current] — does an If-Match /
+    If-None-Match field value (["*"] or an entity-tag list, scanned
+    quote-aware since commas may appear inside tags) match the current
+    validator under the selected comparison? *)
+val list_matches : strong:bool -> string -> current:t -> bool

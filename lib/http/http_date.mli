@@ -4,11 +4,21 @@
 
 val format : float -> string
 
-(** Parse an RFC 1123 date back to a POSIX timestamp.  Returns [None] on
-    anything malformed (including the obsolete RFC 850 / asctime forms —
-    conditional requests with unparseable dates are simply not
-    conditional). *)
+(** Parse any of the three RFC 9110 §5.6.7 date formats back to a POSIX
+    timestamp: IMF-fixdate ("Sun, 06 Nov 1994 08:49:37 GMT"), the
+    obsolete RFC 850 form ("Sunday, 06-Nov-94 08:49:37 GMT" — two-digit
+    years pivot at 70), and C's asctime ("Sun Nov  6 08:49:37 1994").
+    Returns [None] on anything malformed, including trailing garbage
+    after an otherwise valid date — conditional requests with
+    unparseable dates are simply not conditional. *)
 val parse : string -> float option
+
+(** The obsolete formats, rendered for conformance tests (servers must
+    parse them; ours only ever emits IMF-fixdate).  [format_rfc850]
+    writes a two-digit year, so it only round-trips for 1970-2069. *)
+val format_rfc850 : float -> string
+
+val format_asctime : float -> string
 
 (** Calendar conversion exposed for tests: days since 1970-01-01 to
     (year, month 1-12, day 1-31). *)

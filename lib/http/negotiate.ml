@@ -1,0 +1,60 @@
+(* Accept-Encoding content negotiation (RFC 9110 §12.5.3), for a server
+   whose only alternative coding is gzip.  Each list member is a coding
+   (or "*") with an optional q-value; unlisted codings fall back to "*",
+   and identity is additionally acceptable by default when neither it
+   nor "*" is mentioned. *)
+
+type choice = Gzip | Identity
+
+let qvalue_of params =
+  (* params: substrings after the first ';', e.g. ["q=0.5"]. *)
+  let rec scan = function
+    | [] -> 1.0
+    | p :: rest -> (
+        let p = String.trim p in
+        let is_q =
+          String.length p >= 2
+          && (p.[0] = 'q' || p.[0] = 'Q')
+          && p.[1] = '='
+        in
+        if not is_q then scan rest
+        else
+          match float_of_string_opt (String.sub p 2 (String.length p - 2)) with
+          | Some q when q >= 0. && q <= 1. -> q
+          | _ -> 0.)
+  in
+  scan params
+
+let parse value =
+  (* [(coding lowercased, q)] in field order. *)
+  String.split_on_char ',' value
+  |> List.filter_map (fun member ->
+         match String.split_on_char ';' (String.trim member) with
+         | [] -> None
+         | coding :: params ->
+             let coding = String.lowercase_ascii (String.trim coding) in
+             if coding = "" then None else Some (coding, qvalue_of params))
+
+let q_for codings coding ~default =
+  match List.assoc_opt coding codings with
+  | Some q -> q
+  | None -> (
+      match List.assoc_opt "*" codings with Some q -> q | None -> default)
+
+(* [choose ~gzip_available header] picks the coding to serve.  Gzip is
+   served when the client made it acceptable (directly or via "*") and
+   did not express a strictly higher preference for identity; listing
+   gzip without mentioning identity counts as asking for gzip.  A client
+   that forbids identity ("identity;q=0") while accepting gzip gets
+   gzip; one that forbids everything still gets identity — RFC 9110
+   permits responding with an unlisted coding rather than 406, and a
+   406 for a static file helps nobody. *)
+let choose ~gzip_available header =
+  match header with
+  | None -> Identity
+  | Some value ->
+      let codings = parse value in
+      let q_gzip = q_for codings "gzip" ~default:0. in
+      let q_identity = q_for codings "identity" ~default:0. in
+      if gzip_available && q_gzip > 0. && q_gzip >= q_identity then Gzip
+      else Identity

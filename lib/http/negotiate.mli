@@ -1,0 +1,16 @@
+(** Accept-Encoding negotiation (RFC 9110 §12.5.3) for a server whose
+    only alternative content coding is gzip. *)
+
+type choice = Gzip | Identity
+
+(** [(coding lowercased, qvalue)] pairs in field order; malformed
+    q-values read as 0. *)
+val parse : string -> (string * float) list
+
+(** [choose ~gzip_available header] — the coding to serve given the
+    request's Accept-Encoding field ([None] = absent → identity).
+    Gzip wins when available, acceptable (q > 0 directly or via "*"),
+    and not outranked by an explicit identity preference.  A request
+    forbidding every coding ("identity;q=0" with nothing else) still
+    receives identity, documented in the README protocol matrix. *)
+val choose : gzip_available:bool -> string option -> choice

@@ -1,0 +1,34 @@
+(** Byte-range requests (RFC 9110 §14).
+
+    A syntactically invalid Range field is ignored (full 200 body); a
+    well-formed single range is served as an offset/length slice (206);
+    a multi-range set degrades to the full body — multipart/byteranges
+    is deliberately unimplemented — unless every member is
+    unsatisfiable, which yields 416. *)
+
+type spec =
+  | From of int  (** ["500-"] *)
+  | Slice of int * int  (** ["500-999"], inclusive, first <= last *)
+  | Suffix of int  (** ["-500"]: final N bytes *)
+
+type parsed = Invalid | Specs of spec list
+
+type plan =
+  | Whole  (** serve the full representation (no/ignored/multi range) *)
+  | Single of { off : int; len : int }  (** 206 body window *)
+  | Unsatisfiable  (** 416 *)
+
+val parse : string -> parsed
+
+(** Resolve one spec against the representation length; [None] when the
+    spec does not overlap it. *)
+val resolve : spec -> size:int -> (int * int) option
+
+(** [plan value ~size]: the server's whole range policy in one step. *)
+val plan : string -> size:int -> plan
+
+(** ["bytes first-last/complete"] for a 206's Content-Range. *)
+val content_range : off:int -> len:int -> size:int -> string
+
+(** ["bytes */complete"] for a 416's Content-Range. *)
+val content_range_unsatisfied : size:int -> string

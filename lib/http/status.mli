@@ -2,11 +2,14 @@
 
 type t =
   | Ok
+  | Partial_content
   | Moved_permanently
   | Not_modified
   | Bad_request
   | Forbidden
   | Not_found
+  | Precondition_failed
+  | Range_not_satisfiable
   | Internal_server_error
   | Not_implemented
 

@@ -104,10 +104,11 @@ module Session = struct
   let connect ~host ~port =
     { fd = connect_fd ~host ~port; host; leftover = ref ""; closed = false }
 
-  let request ?(meth = "GET") t path =
+  let request ?(meth = "GET") ?(headers = []) t path =
     if t.closed then failwith "Client.Session: closed";
     send_request t.fd ~meth ~version:"HTTP/1.1"
-      ~extra_headers:[ ("Host", t.host); ("Connection", "keep-alive") ]
+      ~extra_headers:
+        ([ ("Host", t.host); ("Connection", "keep-alive") ] @ headers)
       path;
     read_response ~head_request:(meth = "HEAD") t.fd t.leftover
 

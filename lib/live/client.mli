@@ -19,8 +19,10 @@ module Session : sig
 
   val connect : host:string -> port:int -> t
 
-  (** Issue a request on the session (HTTP/1.1, keep-alive). *)
-  val request : ?meth:string -> t -> string -> response
+  (** Issue a request on the session (HTTP/1.1, keep-alive); [headers]
+      are appended after Host and Connection. *)
+  val request :
+    ?meth:string -> ?headers:(string * string) list -> t -> string -> response
 
   val close : t -> unit
 end

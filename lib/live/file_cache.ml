@@ -3,48 +3,147 @@ type entry = {
   mapped : bool;
   mtime : float;
   size : int;
+  etag : string;
+  encoding : string option;
   header_keep : Iovec.bigstring;
   header_close : Iovec.bigstring;
+  header_304_keep : Iovec.bigstring;
+  header_304_close : Iovec.bigstring;
 }
+
+let body_length entry = Bigarray.Array1.dim entry.body
 
 type t = {
   store : (string, entry) Flash_cache.Store.t;
   mapped : Obs.Gauge.t;  (* file bytes currently mapped via entries *)
+  (* Origin path -> variant keys living beside it in the store, so a
+     variant can never outlive (or outfreshen) its origin. *)
+  variants : (string, string list) Hashtbl.t;
+  (* Variant keys whose origin was just evicted.  The evict hook runs
+     inside store operations where re-entrant removal would corrupt the
+     policy state, so it only queues; every public operation flushes. *)
+  mutable pending_drop : string list;
 }
+
+(* Variant keys embed the encoding after a NUL — impossible in a
+   request path, so variants and origins share one namespace, one
+   policy, and one budget. *)
+let variant_key path ~encoding = path ^ "\x00" ^ encoding
+
+let origin_of_key key =
+  match String.index_opt key '\x00' with
+  | None -> None
+  | Some i -> Some (String.sub key 0 i)
 
 let create ?(policy = Flash_cache.Policy.Lru) ?admission ?budget
     ~capacity_bytes () =
   let mapped = Obs.Gauge.create () in
-  {
-    store =
-      Flash_cache.Store.create ~policy ?admission ?budget ~name:"file"
-        ~on_evict:(fun _ (entry : entry) ->
-          if entry.mapped then Obs.Gauge.add mapped (-entry.size))
-        ~capacity:(max 1 capacity_bytes) ();
-    mapped;
-  }
+  let variants = Hashtbl.create 16 in
+  let t_ref = ref None in
+  let on_evict key (entry : entry) =
+    if entry.mapped then Obs.Gauge.add mapped (-(body_length entry));
+    match !t_ref with
+    | None -> ()
+    | Some t -> (
+        match origin_of_key key with
+        | Some origin ->
+            (* A variant died: forget it under its origin. *)
+            (match Hashtbl.find_opt variants origin with
+            | Some keys ->
+                Hashtbl.replace variants origin
+                  (List.filter (fun k -> not (String.equal k key)) keys)
+            | None -> ())
+        | None -> (
+            (* An origin died: queue its variants for removal. *)
+            match Hashtbl.find_opt variants key with
+            | Some keys ->
+                Hashtbl.remove variants key;
+                t.pending_drop <- keys @ t.pending_drop
+            | None -> ()))
+  in
+  let t =
+    {
+      store =
+        Flash_cache.Store.create ~policy ?admission ?budget ~name:"file"
+          ~on_evict
+          ~capacity:(max 1 capacity_bytes) ();
+      mapped;
+      variants;
+      pending_drop = [];
+    }
+  in
+  t_ref := Some t;
+  t
+
+(* Drop variants orphaned by an origin eviction.  Each removal goes
+   through the evict hook (uncharging its mapping) and may queue
+   nothing further — variants have no variants — so this terminates. *)
+let flush_pending t =
+  let rec loop () =
+    match t.pending_drop with
+    | [] -> ()
+    | key :: rest ->
+        t.pending_drop <- rest;
+        ignore (Flash_cache.Store.remove ~evict:true t.store key);
+        loop ()
+  in
+  loop ()
+
+let validate ~mtime ~size (entry : entry) =
+  entry.mtime = mtime && entry.size = size
 
 let find t path ~mtime ~size =
-  Flash_cache.Store.find_validated t.store path ~validate:(fun entry ->
-      entry.mtime = mtime && entry.size = size)
+  let r =
+    Flash_cache.Store.find_validated t.store path ~validate:(validate ~mtime ~size)
+  in
+  flush_pending t;
+  r
 
 let find_trusted t path = Flash_cache.Store.find t.store path
 
+(* A variant hit requires the *origin's* validators to still hold: the
+   variant entry carries them, so a same-second rewrite of the origin
+   invalidates every representation at once. *)
+let find_variant t path ~encoding ~mtime ~size =
+  let r =
+    Flash_cache.Store.find_validated t.store (variant_key path ~encoding)
+      ~validate:(validate ~mtime ~size)
+  in
+  flush_pending t;
+  r
+
 let entry_weight entry =
-  entry.size
+  body_length entry
   + Bigarray.Array1.dim entry.header_keep
   + Bigarray.Array1.dim entry.header_close
+  + Bigarray.Array1.dim entry.header_304_keep
+  + Bigarray.Array1.dim entry.header_304_close
 
-let insert t path (entry : entry) =
+let insert_keyed t key (entry : entry) =
   (* Replacement would bypass [on_evict]; drop the old entry through the
      hook first so its mapping is uncharged. *)
-  ignore (Flash_cache.Store.remove ~evict:true t.store path);
-  if Flash_cache.Store.add t.store path entry ~weight:(entry_weight entry)
+  ignore (Flash_cache.Store.remove ~evict:true t.store key);
+  if Flash_cache.Store.add t.store key entry ~weight:(entry_weight entry)
   then begin
-    if entry.mapped then Obs.Gauge.add t.mapped entry.size
+    if entry.mapped then Obs.Gauge.add t.mapped (body_length entry)
+  end;
+  flush_pending t
+
+let insert t path (entry : entry) = insert_keyed t path entry
+
+let insert_variant t path ~encoding (entry : entry) =
+  let key = variant_key path ~encoding in
+  insert_keyed t key entry;
+  (* Register only if admitted (rejection serves without caching). *)
+  if Flash_cache.Store.mem t.store key then begin
+    let existing = Option.value ~default:[] (Hashtbl.find_opt t.variants path) in
+    if not (List.mem key existing) then
+      Hashtbl.replace t.variants path (key :: existing)
   end
 
-let remove t path = ignore (Flash_cache.Store.remove ~evict:true t.store path)
+let remove t path =
+  ignore (Flash_cache.Store.remove ~evict:true t.store path);
+  flush_pending t
 
 let read_body fd size =
   let buf = Bytes.create size in

@@ -4,13 +4,22 @@
     Bodies are [Unix.map_file] Bigarray mappings (with a read-and-copy
     fallback for filesystems that refuse to map), so a cache hit serves
     file bytes straight from the mapping via a gather write with zero
-    userspace copies.  Entries carry both pre-rendered 200 headers
-    (keep-alive and close variants, aligned per server config) — the
-    header cache of §4.3 for free.  Bounded by total resident bytes
-    (body + headers); replacement and admission are pluggable via
-    {!Flash_cache.Policy} (LRU, always-admit by default), and the cache
-    can share a {!Flash_cache.Budget} with others.  A mapped-bytes gauge
-    tracks how much file data is currently mapped through the cache.
+    userspace copies.  Entries carry pre-rendered 200 {e and} 304
+    headers (keep-alive and close variants, aligned per server config) —
+    the header cache of §4.3 for free, extended to conditional replies
+    so a cached 304 is a single gather write of one pre-built iovec.
+    Bounded by total resident bytes (body + headers); replacement and
+    admission are pluggable via {!Flash_cache.Policy} (LRU, always-admit
+    by default), and the cache can share a {!Flash_cache.Budget} with
+    others.  A mapped-bytes gauge tracks how much file data is currently
+    mapped through the cache.
+
+    {b Variants.}  Alternate representations (today: gzip) live in the
+    same store under a derived key, so one policy, one capacity and one
+    shared budget govern every representation.  A variant entry carries
+    the {e origin's} validators ([mtime], [size]) and is dropped
+    whenever its origin is evicted or invalidated — a variant can never
+    outlive the plain file it encodes.
 
     Eviction stops charging the mapping immediately (the gauge drops);
     the [munmap] itself happens when the last reference dies — an
@@ -22,12 +31,21 @@
 type entry = {
   body : Iovec.bigstring;  (** mmap-backed when [mapped] *)
   mapped : bool;
-  mtime : float;
-  size : int;
+  mtime : float;  (** origin file's mtime (also for variants) *)
+  size : int;  (** origin file's byte size (also for variants) *)
+  etag : string;  (** rendered strong validator, quotes included *)
+  encoding : string option;  (** [Some "gzip"] for a variant entry *)
   header_keep : Iovec.bigstring;
       (** rendered 200 header, [Connection: keep-alive], aligned *)
   header_close : Iovec.bigstring;  (** same, [Connection: close] *)
+  header_304_keep : Iovec.bigstring;
+      (** rendered 304 reply (headers only), keep-alive *)
+  header_304_close : Iovec.bigstring;  (** same, [Connection: close] *)
 }
+
+(** Length of the cached body in bytes — the origin size for plain
+    entries, the compressed length for variants. *)
+val body_length : entry -> int
 
 type t
 
@@ -50,9 +68,21 @@ val find : t -> string -> mtime:float -> size:int -> entry option
     stat disagrees. *)
 val find_trusted : t -> string -> entry option
 
+(** [find_variant t path ~encoding ~mtime ~size] — like {!find} but for
+    an alternate representation; [mtime]/[size] are the {e origin's}
+    validators, so rewriting the origin invalidates its variants. *)
+val find_variant :
+  t -> string -> encoding:string -> mtime:float -> size:int -> entry option
+
 (** Insert if the admission policy accepts it (rejection is silent: the
     response is served without caching). *)
 val insert : t -> string -> entry -> unit
+
+(** Insert an alternate representation under [path]'s variant key and
+    couple its lifetime to the origin: when the origin entry is evicted,
+    invalidated or removed, the variant is dropped too (through the
+    evict hook, so gauges stay exact). *)
+val insert_variant : t -> string -> encoding:string -> entry -> unit
 
 val remove : t -> string -> unit
 

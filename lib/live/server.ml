@@ -28,6 +28,10 @@ type config = {
   cache_budget_bytes : int option;
       (* shared byte budget overlaying the file cache's own capacity *)
   event_backend : Evio.kind;  (* readiness mechanism for every loop *)
+  gzip_precompressed : bool;  (* serve fresh [.gz] siblings to gzip clients *)
+  gzip_lazy : bool;
+      (* build stored-block gzip variants inline on demand and cache
+         them beside their origin under the same budget *)
   cgi_timeout : float;  (* kill CGI children streaming longer than this *)
   accept_fault : (unit -> bool) option;
       (* test seam: returning true makes the next accept behave as if
@@ -64,6 +68,8 @@ let default_config ~docroot =
     (* select is the paper-faithful default; poll/epoll are opt-in
        (or via "auto"). *)
     event_backend = Evio.Select;
+    gzip_precompressed = true;
+    gzip_lazy = false;
     cgi_timeout = 300.;
     accept_fault = None;
   }
@@ -644,17 +650,19 @@ let enqueue_string t conn s =
 
 let enqueue_slice conn buf = Sendq.push_slice conn.outq (Iovec.slice buf)
 
-let render_header ?last_modified t ~status ~content_type ~content_length ~keep =
+let render_header ?last_modified ?(extra = []) t ~status ~content_type
+    ~content_length ~keep =
   Http.Response.header ~status ?content_type ?content_length ?last_modified
-    ~keep_alive:keep ~server:t.config.server_name ~date:(Unix.gettimeofday ())
-    ?align:(align_of t) ()
+    ~extra ~keep_alive:keep ~server:t.config.server_name
+    ~date:(Unix.gettimeofday ()) ?align:(align_of t) ()
 
-let enqueue_error ?(target = "-") ?(meth = "GET") t conn status ~keep ~head_only =
+let enqueue_error ?(target = "-") ?(meth = "GET") ?extra t conn status ~keep
+    ~head_only =
   t.n_errors <- t.n_errors + 1;
   log_access ~conn t ~meth ~target ~status:(Http.Status.code status) ~bytes:0;
   let body = Http.Response.error_body status in
   let header =
-    render_header t ~status ~content_type:(Some "text/html")
+    render_header t ~status ?extra ~content_type:(Some "text/html")
       ~content_length:(Some (String.length body)) ~keep
   in
   enqueue_string t conn header;
@@ -663,25 +671,89 @@ let enqueue_error ?(target = "-") ?(meth = "GET") t conn status ~keep ~head_only
   conn.state <- Reading;
   record_latency t conn
 
-(* Conditional GET: a valid If-Modified-Since at or after the file's
-   mtime short-circuits to 304 with no body. *)
-let not_modified (req : Http.Request.t) ~mtime =
-  match Http.Request.header req "if-modified-since" with
-  | None -> false
-  | Some date_str -> (
-      match Http.Http_date.parse date_str with
-      (* HTTP dates have whole-second granularity; compare accordingly. *)
-      | Some since -> floor mtime <= since
-      | None -> false)
+(* ------------------------------------------------------------------ *)
+(* HTTP/1.1 semantics: conditionals, ranges, content negotiation       *)
+(* ------------------------------------------------------------------ *)
 
-let enqueue_not_modified t conn (req : Http.Request.t) ~keep =
+(* Does the server advertise alternate codings at all?  When it does,
+   every file response carries [Vary: Accept-Encoding] — deterministic
+   across requests so cached headers stay valid. *)
+let vary_gzip t = t.config.gzip_precompressed || t.config.gzip_lazy
+
+let vary_extra t = if vary_gzip t then [ ("Vary", "Accept-Encoding") ] else []
+
+(* Did the client negotiate the gzip coding (and can we offer one)? *)
+let wants_gzip t (req : Http.Request.t) =
+  vary_gzip t
+  && Http.Negotiate.choose ~gzip_available:true
+       (Http.Request.header req "accept-encoding")
+     = Http.Negotiate.Gzip
+
+let etag_of_string s =
+  match Http.Etag.parse s with
+  | Some e -> e
+  | None -> { Http.Etag.weak = false; opaque = s }
+
+(* One response plan per (request, selected representation): the
+   conditional evaluation (RFC 9110 §13.2.2 precedence), then — for a
+   proceeding GET — If-Range gating the Range field.  [size] is the
+   selected representation's length (a gzip variant plans over its
+   compressed bytes). *)
+type plan =
+  | P_full
+  | P_not_modified
+  | P_slice of int * int  (* body window: off, len *)
+  | P_unsatisfiable
+  | P_precondition_failed
+
+let plan_for ~(req : Http.Request.t) ~etag ~mtime ~size =
+  let header = Http.Request.header req in
+  match Http.Conditional.evaluate ~meth:req.Http.Request.meth ~header ~etag
+          ~mtime
+  with
+  | Http.Conditional.Not_modified -> P_not_modified
+  | Http.Conditional.Precondition_failed -> P_precondition_failed
+  | Http.Conditional.Proceed -> (
+      match req.Http.Request.meth with
+      | Http.Request.Head -> P_full  (* Range is GET-only (§14.2) *)
+      | _ -> (
+          match header "range" with
+          | None -> P_full
+          | Some r ->
+              if not (Http.Conditional.if_range_permits ~header ~etag ~mtime)
+              then P_full
+              else (
+                match Http.Range.plan r ~size with
+                | Http.Range.Whole -> P_full
+                | Http.Range.Single { off; len } -> P_slice (off, len)
+                | Http.Range.Unsatisfiable -> P_unsatisfiable)))
+
+(* 304 without a cache entry (streamed files): rendered per-request. *)
+let enqueue_not_modified ?etag ?last_modified t conn (req : Http.Request.t)
+    ~keep =
   log_access ~conn t ~meth:(Http.Request.meth_to_string req.Http.Request.meth)
     ~target:req.Http.Request.raw_target ~status:304 ~bytes:0;
+  let extra =
+    (match etag with Some e -> [ ("ETag", e) ] | None -> []) @ vary_extra t
+  in
   let header =
     render_header t ~status:Http.Status.Not_modified ~content_type:None
-      ~content_length:None ~keep
+      ~content_length:None ?last_modified ~extra ~keep
   in
   enqueue_string t conn header;
+  if not keep then conn.close_after_flush <- true;
+  conn.state <- Reading;
+  record_latency t conn
+
+(* The zero-copy 304: a cache hit's conditional reply is the entry's
+   pre-rendered 304 header — one slice, one gather write, no copies. *)
+let enqueue_not_modified_entry t conn (req : Http.Request.t)
+    (entry : File_cache.entry) ~keep =
+  log_access ~conn t ~meth:(Http.Request.meth_to_string req.Http.Request.meth)
+    ~target:req.Http.Request.raw_target ~status:304 ~bytes:0;
+  enqueue_slice conn
+    (if keep then entry.File_cache.header_304_keep
+     else entry.File_cache.header_304_close);
   if not keep then conn.close_after_flush <- true;
   conn.state <- Reading;
   record_latency t conn
@@ -751,71 +823,265 @@ let read_whole fd size =
   in
   loop 0
 
-(* Map the file and pre-render both connection variants of its 200
-   header: a fresh cache entry.  The header render and (when mapping
-   fails) the body read are the miss path's counted copies; a mapped
-   body costs none. *)
-let make_entry t fd full ~size ~mtime =
-  let body, mapped = File_cache.map_body fd ~size in
+(* Pre-render an entry's 200 and 304 header pairs (keep-alive and close
+   variants each) around a body buffer: a fresh cache entry.  The header
+   renders and (when mapping fails) the body read are the miss path's
+   counted copies; a mapped body costs none. *)
+let build_entry t ~body ~mapped ~mtime ~size ~content_type ~encoding =
   let body_len = Bigarray.Array1.dim body in
+  let suffix =
+    match encoding with
+    | Some "gzip" -> "-gz"
+    | Some e -> "-" ^ e
+    | None -> ""
+  in
+  let etag = Http.Etag.make ~suffix ~mtime ~size () in
+  let date = Unix.gettimeofday () in
+  let extra =
+    [ ("ETag", etag); ("Accept-Ranges", "bytes") ]
+    @ (match encoding with
+      | Some e -> [ ("Content-Encoding", e) ]
+      | None -> [])
+    @ vary_extra t
+  in
   let hk, hc =
     Http.Response.header_pair ~status:Http.Status.Ok
-      ~server:t.config.server_name ~date:(Unix.gettimeofday ())
-      ~last_modified:mtime
-      ~content_type:(Http.Mime.of_path full)
-      ~content_length:body_len ?align:(align_of t) ()
+      ~server:t.config.server_name ~date ~last_modified:mtime ~content_type
+      ~content_length:body_len ~extra ?align:(align_of t) ()
+  in
+  let h304k, h304c =
+    Http.Response.header_pair ~status:Http.Status.Not_modified
+      ~server:t.config.server_name ~date ~last_modified:mtime
+      ~extra:([ ("ETag", etag) ] @ vary_extra t)
+      ?align:(align_of t) ()
   in
   count_send t ~writev:0 ~writes:0
     ~copied:
       ((if mapped then 0 else body_len)
-      + String.length hk + String.length hc);
+      + String.length hk + String.length hc + String.length h304k
+      + String.length h304c);
   {
     File_cache.body;
     mapped;
     mtime;
     size;
+    etag;
+    encoding;
     header_keep = Iovec.of_string hk;
     header_close = Iovec.of_string hc;
+    header_304_keep = Iovec.of_string h304k;
+    header_304_close = Iovec.of_string h304c;
   }
+
+let make_entry t fd full ~size ~mtime =
+  let body, mapped = File_cache.map_body fd ~size in
+  build_entry t ~body ~mapped ~mtime ~size
+    ~content_type:(Http.Mime.of_path full) ~encoding:None
+
+(* Obtain the gzip representation of [full] for a client that
+   negotiated it: the cached variant if its origin validators still
+   hold, else a fresh [.gz] sibling (never one staler than the origin),
+   else — when enabled — an inline stored-block compression of the
+   origin body.  The variant is cached beside its origin under the same
+   policy and budget; [None] means serve identity. *)
+let gzip_entry t ~full ~(origin : File_cache.entry) =
+  let mtime = origin.File_cache.mtime and size = origin.File_cache.size in
+  match
+    with_cache_lock t (fun () ->
+        File_cache.find_variant t.cache full ~encoding:"gzip" ~mtime ~size)
+  with
+  | Some e -> Some e
+  | None -> (
+      let from_sibling () =
+        if not t.config.gzip_precompressed then None
+        else
+          let sib = full ^ ".gz" in
+          match Unix.stat sib with
+          | exception Unix.Unix_error _ -> None
+          | st
+            when st.Unix.st_kind = Unix.S_REG && st.Unix.st_mtime >= mtime -> (
+              match Unix.openfile sib [ Unix.O_RDONLY ] 0 with
+              | exception Unix.Unix_error _ -> None
+              | fd ->
+                  let body, mapped =
+                    File_cache.map_body fd ~size:st.Unix.st_size
+                  in
+                  Unix.close fd;
+                  Some (body, mapped))
+          | _ -> None
+      in
+      let from_lazy () =
+        if not t.config.gzip_lazy then None
+        else begin
+          let n = Bigarray.Array1.dim origin.File_cache.body in
+          let gz =
+            Flash_util.Gzip.compress
+              (Iovec.sub_string origin.File_cache.body ~off:0 ~len:n)
+          in
+          (* The compressor reads the body and writes a fresh buffer:
+             a counted copy, like any miss-path materialisation. *)
+          count_send t ~writev:0 ~writes:0 ~copied:(String.length gz);
+          Some (Iovec.of_string gz, false)
+        end
+      in
+      match (match from_sibling () with None -> from_lazy () | s -> s) with
+      | None -> None
+      | Some (body, mapped) ->
+          let entry =
+            build_entry t ~body ~mapped ~mtime ~size
+              ~content_type:(Http.Mime.of_path full) ~encoding:(Some "gzip")
+          in
+          with_cache_lock t (fun () ->
+              File_cache.insert_variant t.cache full ~encoding:"gzip" entry);
+          Some entry)
+
+(* Swap in the gzip representation when the client negotiated one and
+   we can produce it; otherwise the identity entry stands. *)
+let negotiate_entry t (req : Http.Request.t) ~full entry =
+  if wants_gzip t req then
+    match gzip_entry t ~full ~origin:entry with
+    | Some gz -> gz
+    | None -> entry
+  else entry
+
+(* 206: the Content-Range header varies per request so it is rendered
+   here (a counted copy), but the body is still an offset window into
+   the entry's mapping — one gather write, zero body copies. *)
+let enqueue_partial t conn (req : Http.Request.t) ~full
+    (entry : File_cache.entry) ~keep ~off ~len =
+  log_access ~conn t ~meth:(Http.Request.meth_to_string req.Http.Request.meth)
+    ~target:req.Http.Request.raw_target ~status:206 ~bytes:len;
+  let extra =
+    [
+      ( "Content-Range",
+        Http.Range.content_range ~off ~len ~size:(File_cache.body_length entry)
+      );
+      ("ETag", entry.File_cache.etag);
+      ("Accept-Ranges", "bytes");
+    ]
+    @ (match entry.File_cache.encoding with
+      | Some e -> [ ("Content-Encoding", e) ]
+      | None -> [])
+    @ vary_extra t
+  in
+  let header =
+    render_header t ~status:Http.Status.Partial_content
+      ~last_modified:entry.File_cache.mtime ~extra
+      ~content_type:(Some (Http.Mime.of_path full))
+      ~content_length:(Some len) ~keep
+  in
+  enqueue_string t conn header;
+  Sendq.push_slice conn.outq (Iovec.slice ~off ~len entry.File_cache.body);
+  if not keep then conn.close_after_flush <- true;
+  conn.state <- Reading;
+  record_latency t conn
+
+(* The single dispatch point for serving a cache entry (origin or
+   negotiated variant) in the event-driven modes: evaluate conditionals
+   and the Range field against the selected representation, then take
+   the zero-copy path the plan names. *)
+let enqueue_response t conn (req : Http.Request.t) ~full
+    (entry : File_cache.entry) ~keep ~head_only =
+  let target = req.Http.Request.raw_target in
+  let meth = Http.Request.meth_to_string req.Http.Request.meth in
+  let size = File_cache.body_length entry in
+  match
+    plan_for ~req
+      ~etag:(etag_of_string entry.File_cache.etag)
+      ~mtime:entry.File_cache.mtime ~size
+  with
+  | P_not_modified -> enqueue_not_modified_entry t conn req entry ~keep
+  | P_precondition_failed ->
+      enqueue_error t conn Http.Status.Precondition_failed ~keep ~head_only
+        ~target ~meth
+  | P_unsatisfiable ->
+      enqueue_error t conn Http.Status.Range_not_satisfiable ~keep ~head_only
+        ~target ~meth
+        ~extra:[ ("Content-Range", Http.Range.content_range_unsatisfied ~size) ]
+  | P_full -> enqueue_entry t conn req entry ~keep ~head_only
+  | P_slice (off, len) -> enqueue_partial t conn req ~full entry ~keep ~off ~len
 
 (* The file is known to exist with [size]/[mtime] (from a helper's stat
    or an inline one).  Small files are cached as mmap-backed entries
-   with their pre-rendered headers; large files stream from the
+   with their pre-rendered headers — even a 304 warms the cache; large
+   files plan against the stat's validators and stream from the
    descriptor. *)
 let serve_file t conn (req : Http.Request.t) full ~size ~mtime ~keep =
   let head_only = req.Http.Request.meth = Http.Request.Head in
-  if not_modified req ~mtime then enqueue_not_modified t conn req ~keep
-  else begin
-    match Unix.openfile full [ Unix.O_RDONLY ] 0 with
-    | exception Unix.Unix_error _ ->
-        enqueue_error t conn Http.Status.Not_found ~keep ~head_only
-          ~target:req.Http.Request.raw_target
-          ~meth:(Http.Request.meth_to_string req.Http.Request.meth)
-    | fd ->
-        if size <= t.config.max_cached_file then begin
-          let entry = make_entry t fd full ~size ~mtime in
+  let target = req.Http.Request.raw_target in
+  let meth = Http.Request.meth_to_string req.Http.Request.meth in
+  match Unix.openfile full [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ ->
+      enqueue_error t conn Http.Status.Not_found ~keep ~head_only ~target ~meth
+  | fd ->
+      if size <= t.config.max_cached_file then begin
+        let entry = make_entry t fd full ~size ~mtime in
+        Unix.close fd;
+        with_cache_lock t (fun () -> File_cache.insert t.cache full entry);
+        let entry = negotiate_entry t req ~full entry in
+        enqueue_response t conn req ~full entry ~keep ~head_only
+      end
+      else begin
+        (* Streamed: no cache entry, so validators come straight from
+           the stat; gzip negotiation is skipped (no mapped origin body
+           to compress, and siblings of this size would not be cached
+           either). *)
+        let etag_s = Http.Etag.make ~mtime ~size () in
+        let finish_error status ?extra () =
           Unix.close fd;
-          with_cache_lock t (fun () -> File_cache.insert t.cache full entry);
-          enqueue_entry t conn req entry ~keep ~head_only
-        end
-        else begin
-          log_access ~conn t
-            ~meth:(Http.Request.meth_to_string req.Http.Request.meth)
-            ~target:req.Http.Request.raw_target ~status:200
-            ~bytes:(if head_only then 0 else size);
-          let header =
-            render_header t ~status:Http.Status.Ok ~last_modified:mtime
-              ~content_type:(Some (Http.Mime.of_path full))
-              ~content_length:(Some size) ~keep
-          in
-          enqueue_string t conn header;
-          if head_only then Unix.close fd
-          else Sendq.push_file conn.outq fd ~len:size;
-          if not keep then conn.close_after_flush <- true;
-          conn.state <- Reading;
-          record_latency t conn
-        end
-  end
+          enqueue_error t conn status ?extra ~keep ~head_only ~target ~meth
+        in
+        match plan_for ~req ~etag:(etag_of_string etag_s) ~mtime ~size with
+        | P_not_modified ->
+            Unix.close fd;
+            enqueue_not_modified t conn req ~etag:etag_s ~last_modified:mtime
+              ~keep
+        | P_precondition_failed ->
+            finish_error Http.Status.Precondition_failed ()
+        | P_unsatisfiable ->
+            finish_error Http.Status.Range_not_satisfiable
+              ~extra:
+                [ ("Content-Range", Http.Range.content_range_unsatisfied ~size) ]
+              ()
+        | P_slice (off, len) ->
+            log_access ~conn t ~meth ~target ~status:206 ~bytes:len;
+            let extra =
+              [
+                ("Content-Range", Http.Range.content_range ~off ~len ~size);
+                ("ETag", etag_s);
+                ("Accept-Ranges", "bytes");
+              ]
+              @ vary_extra t
+            in
+            let header =
+              render_header t ~status:Http.Status.Partial_content
+                ~last_modified:mtime ~extra
+                ~content_type:(Some (Http.Mime.of_path full))
+                ~content_length:(Some len) ~keep
+            in
+            enqueue_string t conn header;
+            ignore (Unix.lseek fd off Unix.SEEK_SET);
+            Sendq.push_file conn.outq fd ~len;
+            if not keep then conn.close_after_flush <- true;
+            conn.state <- Reading;
+            record_latency t conn
+        | P_full ->
+            log_access ~conn t ~meth ~target ~status:200
+              ~bytes:(if head_only then 0 else size);
+            let header =
+              render_header t ~status:Http.Status.Ok ~last_modified:mtime
+                ~extra:([ ("ETag", etag_s); ("Accept-Ranges", "bytes") ]
+                        @ vary_extra t)
+                ~content_type:(Some (Http.Mime.of_path full))
+                ~content_length:(Some size) ~keep
+            in
+            enqueue_string t conn header;
+            if head_only then Unix.close fd
+            else Sendq.push_file conn.outq fd ~len:size;
+            if not keep then conn.close_after_flush <- true;
+            conn.state <- Reading;
+            record_latency t conn
+      end
 
 (* ------------------------------------------------------------------ *)
 (* CGI                                                                 *)
@@ -920,9 +1186,8 @@ let process_request t conn (req : Http.Request.t) =
             with
             | Some entry ->
                 end_resolve ();
-                if not_modified req ~mtime:entry.File_cache.mtime then
-                  enqueue_not_modified t conn req ~keep
-                else enqueue_entry t conn req entry ~keep ~head_only
+                let entry = negotiate_entry t req ~full entry in
+                enqueue_response t conn req ~full entry ~keep ~head_only
             | None -> (
                 end_resolve ();
                 match t.helper with
@@ -1666,10 +1931,10 @@ let mp_serve_connection t fd =
         let send_entry_slices slices =
           send_traced (fun () -> send_slices slices)
         in
-        let respond_error status =
+        let respond_error ?extra status =
           let body = Http.Response.error_body status in
           let header =
-            render_header t ~status ~content_type:(Some "text/html")
+            render_header t ~status ?extra ~content_type:(Some "text/html")
               ~content_length:(Some (String.length body))
               ~keep
           in
@@ -1713,23 +1978,71 @@ let mp_serve_connection t fd =
                 with_cache_lock t (fun () -> File_cache.find_trusted t.cache full)
               in
               add_tr_span "resolve" ~start:started ~stop:(t.config.clock ());
+              (* Same plan logic as the event-driven modes, expressed as
+                 one gather write per response over the blocking socket:
+                 a cached 304 is the entry's pre-rendered header slice,
+                 a 206 is a per-request header plus an offset window
+                 into the cached body. *)
               let send_entry (entry : File_cache.entry) =
-                if not_modified req ~mtime:entry.File_cache.mtime then
-                  send
-                    [
-                      render_header t ~status:Http.Status.Not_modified
-                        ~content_type:None ~content_length:None ~keep;
-                    ]
-                else begin
-                  let header =
-                    Iovec.slice
-                      (if keep then entry.File_cache.header_keep
-                       else entry.File_cache.header_close)
-                  in
-                  send_entry_slices
-                    (if head_only then [| header |]
-                     else [| header; Iovec.slice entry.File_cache.body |])
-                end
+                let entry = negotiate_entry t req ~full entry in
+                let size = File_cache.body_length entry in
+                match
+                  plan_for ~req
+                    ~etag:(etag_of_string entry.File_cache.etag)
+                    ~mtime:entry.File_cache.mtime ~size
+                with
+                | P_not_modified ->
+                    send_entry_slices
+                      [|
+                        Iovec.slice
+                          (if keep then entry.File_cache.header_304_keep
+                           else entry.File_cache.header_304_close);
+                      |]
+                | P_precondition_failed ->
+                    respond_error Http.Status.Precondition_failed
+                | P_unsatisfiable ->
+                    respond_error Http.Status.Range_not_satisfiable
+                      ~extra:
+                        [
+                          ( "Content-Range",
+                            Http.Range.content_range_unsatisfied ~size );
+                        ]
+                | P_slice (off, len) ->
+                    let extra =
+                      [
+                        ( "Content-Range",
+                          Http.Range.content_range ~off ~len ~size );
+                        ("ETag", entry.File_cache.etag);
+                        ("Accept-Ranges", "bytes");
+                      ]
+                      @ (match entry.File_cache.encoding with
+                        | Some e -> [ ("Content-Encoding", e) ]
+                        | None -> [])
+                      @ vary_extra t
+                    in
+                    let header =
+                      render_header t ~status:Http.Status.Partial_content
+                        ~last_modified:entry.File_cache.mtime ~extra
+                        ~content_type:(Some (Http.Mime.of_path full))
+                        ~content_length:(Some len) ~keep
+                    in
+                    let hbuf = Iovec.of_string header in
+                    count_send t ~writev:0 ~writes:0
+                      ~copied:(String.length header);
+                    send_entry_slices
+                      [|
+                        Iovec.slice hbuf;
+                        Iovec.slice ~off ~len entry.File_cache.body;
+                      |]
+                | P_full ->
+                    let header =
+                      Iovec.slice
+                        (if keep then entry.File_cache.header_keep
+                         else entry.File_cache.header_close)
+                    in
+                    send_entry_slices
+                      (if head_only then [| header |]
+                       else [| header; Iovec.slice entry.File_cache.body |])
               in
               match lookup with
               | Some entry ->

@@ -141,6 +141,15 @@ type config = {
   event_backend : Evio.kind;
       (** readiness mechanism for every loop — main, MP parent, MP/MT
           workers (default [Select], the paper-faithful baseline) *)
+  gzip_precompressed : bool;
+      (** serve a fresh [.gz] sibling (mtime at or after the origin's)
+          to clients that negotiate gzip via Accept-Encoding (default
+          on); with either gzip option on, file responses carry
+          [Vary: Accept-Encoding] *)
+  gzip_lazy : bool;
+      (** when no sibling exists, build a stored-block gzip variant of
+          a cached body inline and cache it beside its origin under the
+          same policy and budget (default off) *)
   cgi_timeout : float;
       (** kill CGI children still streaming after this many seconds;
           [0.] disables the deadline (default 300 s) *)

@@ -1,0 +1,27 @@
+(** Dependency-free gzip (RFC 1952) over deflate (RFC 1951).
+
+    {!compress} frames its input in *stored* (uncompressed) deflate
+    blocks — protocol-valid gzip any client inflates, produced in one
+    memcpy-plus-CRC32 pass.  It exists so the live server's lazy
+    variant builder can exercise Content-Encoding negotiation and
+    variant caching without a real deflate implementation; deployments
+    wanting actual ratios precompress [.gz] siblings offline.
+
+    {!decompress} is a complete inflate (stored, fixed- and
+    dynamic-Huffman blocks) with header and CRC/length validation,
+    used as the conformance suite's reference decoder. *)
+
+val crc32 : ?crc:int32 -> string -> int32
+
+(** Raw DEFLATE stream of stored blocks (no gzip framing). *)
+val deflate_stored : string -> string
+
+(** A gzip member wrapping [deflate_stored] with a reproducible header
+    (mtime 0) and CRC-32/ISIZE trailer. *)
+val compress : string -> string
+
+(** Inflate a raw DEFLATE stream. *)
+val inflate : string -> (string, string) result
+
+(** Parse a gzip member, inflate, and verify CRC-32 and ISIZE. *)
+val decompress : string -> (string, string) result

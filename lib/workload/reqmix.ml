@@ -1,0 +1,40 @@
+type kind = Plain | Conditional | Range | Gzip
+
+type t = kind array
+
+let kind_name = function
+  | Plain -> "plain"
+  | Conditional -> "conditional"
+  | Range -> "range"
+  | Gzip -> "gzip"
+
+let all_kinds = [ Plain; Conditional; Range; Gzip ]
+
+let generate ~length ~conditional ~range ~gzip ~seed =
+  if length <= 0 then invalid_arg "Reqmix.generate: length <= 0";
+  let check name f =
+    if f < 0. || f > 1. then
+      invalid_arg (Printf.sprintf "Reqmix.generate: %s not in [0,1]" name)
+  in
+  check "conditional" conditional;
+  check "range" range;
+  check "gzip" gzip;
+  if conditional +. range +. gzip > 1. +. 1e-9 then
+    invalid_arg "Reqmix.generate: fractions sum past 1";
+  let rng = Sim.Rng.create ~seed in
+  Array.init length (fun _ ->
+      let u = Sim.Rng.float rng in
+      if u < conditional then Conditional
+      else if u < conditional +. range then Range
+      else if u < conditional +. range +. gzip then Gzip
+      else Plain)
+
+let kind t i = t.(i mod Array.length t)
+
+let counts t =
+  let c = Hashtbl.create 4 in
+  Array.iter
+    (fun k ->
+      Hashtbl.replace c k (1 + Option.value ~default:0 (Hashtbl.find_opt c k)))
+    t;
+  List.map (fun k -> (k, Option.value ~default:0 (Hashtbl.find_opt c k))) all_kinds

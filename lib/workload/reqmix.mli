@@ -1,0 +1,30 @@
+(** Per-request HTTP/1.1 semantics mixed into a replayed trace: which
+    fraction of requests are conditional revalidations (304, no body),
+    single byte ranges (206, partial body) or gzip-negotiated (variant
+    representation).  Drawn independently of the popularity stream, as
+    in real logs where any document attracts all request shapes. *)
+
+type kind = Plain | Conditional | Range | Gzip
+
+type t
+
+val kind_name : kind -> string
+
+val all_kinds : kind list
+
+(** [generate ~length ~conditional ~range ~gzip ~seed] — i.i.d. draws
+    with the given fractions; the remainder is [Plain].
+    @raise Invalid_argument on fractions outside [0,1] or summing past 1. *)
+val generate :
+  length:int ->
+  conditional:float ->
+  range:float ->
+  gzip:float ->
+  seed:int ->
+  t
+
+(** Kind for replay step [i] (wraps around, like {!Trace.request_path}). *)
+val kind : t -> int -> kind
+
+(** Requests per kind over one full pass. *)
+val counts : t -> (kind * int) list

@@ -8,7 +8,16 @@ let test_status_codes () =
   Alcotest.(check int) "200" 200 (Status.code Status.Ok);
   Alcotest.(check int) "404" 404 (Status.code Status.Not_found);
   Alcotest.(check string) "line" "404 Not Found"
-    (Status.line_fragment Status.Not_found)
+    (Status.line_fragment Status.Not_found);
+  (* The HTTP/1.1 semantics statuses. *)
+  Alcotest.(check string) "206" "206 Partial Content"
+    (Status.line_fragment Status.Partial_content);
+  Alcotest.(check string) "304" "304 Not Modified"
+    (Status.line_fragment Status.Not_modified);
+  Alcotest.(check string) "412" "412 Precondition Failed"
+    (Status.line_fragment Status.Precondition_failed);
+  Alcotest.(check string) "416" "416 Range Not Satisfiable"
+    (Status.line_fragment Status.Range_not_satisfiable)
 
 (* ------------------------- mime ------------------------- *)
 

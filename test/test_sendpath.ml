@@ -90,19 +90,47 @@ let test_sendq_resumption =
     QCheck.(pair (small_list small_string) (small_list small_nat))
     sendq_resumption_prop
 
+(* The 206 send path queues a window into the middle of a cached body
+   ([Iovec.slice ~off ~len]); resumption must keep honouring the
+   window's start under any short-write schedule — a slice that quietly
+   rewound to offset 0 would serve bytes outside the requested range. *)
+let offset_slice_prop (n, off_seed, len_seed, schedule) =
+  let n = max 1 n in
+  let buf = Iovec.of_string (patterned n) in
+  let off = off_seed mod n in
+  let len = 1 + (len_seed mod (n - off)) in
+  let q = Sendq.create () in
+  ignore (Sendq.push_string q "H");
+  Sendq.push_slice q (Iovec.slice ~off ~len buf);
+  let got = drain_with_schedule q schedule in
+  got = "H" ^ String.sub (patterned n) off len
+
+let test_offset_slice_resumption =
+  Helpers.qcheck_case ~count:300 ~name:"mid-buffer slices resume at offset"
+    QCheck.(
+      quad small_nat small_nat small_nat (small_list small_nat))
+    offset_slice_prop
+
 (* ------------------------------------------------------------------ *)
 (* Cache validation and mapping release                                *)
 (* ------------------------------------------------------------------ *)
 
-let mk_entry ?(mapped = false) body mtime =
+let entry_of_body body ~mapped ~size mtime =
   {
-    File_cache.body = Iovec.of_string body;
+    File_cache.body;
     mapped;
     mtime;
-    size = String.length body;
+    size;
+    etag = Printf.sprintf "\"%x-%x\"" (int_of_float mtime) size;
+    encoding = None;
     header_keep = Iovec.of_string "K";
     header_close = Iovec.of_string "C";
+    header_304_keep = Iovec.of_string "k";
+    header_304_close = Iovec.of_string "c";
   }
+
+let mk_entry ?(mapped = false) body mtime =
+  entry_of_body (Iovec.of_string body) ~mapped ~size:(String.length body) mtime
 
 let test_cache_validates_mtime_and_size () =
   let c = File_cache.create ~capacity_bytes:1_000_000 () in
@@ -134,16 +162,7 @@ let with_mapped_entry f =
 
 let test_eviction_releases_mappings () =
   with_mapped_entry (fun body mapped ->
-      let entry mt =
-        {
-          File_cache.body;
-          mapped;
-          mtime = mt;
-          size = 8192;
-          header_keep = Iovec.of_string "K";
-          header_close = Iovec.of_string "C";
-        }
-      in
+      let entry mt = entry_of_body body ~mapped ~size:8192 mt in
       (* Mapping survives the descriptor close: the bytes still read. *)
       Alcotest.(check string) "mapping readable after close"
         (String.sub (patterned 8192) 0 64)
@@ -171,16 +190,7 @@ let test_eviction_releases_mappings () =
 let test_stale_drop_uncharges_gauge () =
   with_mapped_entry (fun body mapped ->
       if mapped then begin
-        let entry mt =
-          {
-            File_cache.body;
-            mapped;
-            mtime = mt;
-            size = 8192;
-            header_keep = Iovec.of_string "K";
-            header_close = Iovec.of_string "C";
-          }
-        in
+        let entry mt = entry_of_body body ~mapped ~size:8192 mt in
         let c = File_cache.create ~capacity_bytes:100_000 () in
         File_cache.insert c "/f" (entry 1.);
         Alcotest.(check int) "charged" 8192 (File_cache.mapped_bytes c);
@@ -391,6 +401,7 @@ let test_mp_send_counters_consolidated () =
 let suite =
   [
     test_sendq_resumption;
+    test_offset_slice_resumption;
     Alcotest.test_case "cache validates (mtime, size)" `Quick
       test_cache_validates_mtime_and_size;
     Alcotest.test_case "eviction releases mappings" `Quick
