@@ -142,6 +142,23 @@ let scrape_status ~host ~port status_path =
   | _ -> None
   | exception _ -> None
 
+(* The flight-recorder time series for the run: scrape
+   [?window=N] after the workers finish and extract the rollup array —
+   per-second req/s, hit rate and windowed percentiles for the JSON
+   artifact. *)
+let scrape_timeseries ~host ~port status_path n =
+  match
+    Flash_live.Client.get ~host ~port
+      (Printf.sprintf "%s?window=%d" status_path n)
+  with
+  | r when r.Flash_live.Client.status = 200 -> (
+      let body = r.Flash_live.Client.body in
+      match (find_sub body "\"rollups\":", String.rindex_opt body ']') with
+      | Some i, Some j when j >= i -> Some (String.sub body i (j - i + 1))
+      | _ -> None)
+  | _ -> None
+  | exception _ -> None
+
 let server_delta before after =
   match (before, after) with
   | Some b, Some a -> (
@@ -173,7 +190,7 @@ let server_delta before after =
 (* Machine-readable results, for CI artifacts and regression tracking.
    Same numbers the human-readable report prints. *)
 let write_json ~file ~scenario ~completed ~errors ~bytes ~elapsed
-    ~idle_connections ~server latency =
+    ~idle_connections ~server ~timeseries latency =
   let num f = if Float.is_finite f then Printf.sprintf "%.6g" f else "0" in
   let ms x = num (1000. *. x) in
   let pct p = ms (Obs.Histogram.percentile latency p) in
@@ -191,7 +208,7 @@ let write_json ~file ~scenario ~completed ~errors ~bytes ~elapsed
   in
   let body =
     Printf.sprintf
-      {|{"scenario":%S,"completed":%d,"errors":%d,"elapsed_s":%s,"idle_connections":%d,"throughput_rps":%s,"throughput_mbps":%s,"latency_ms":{"mean":%s,"p50":%s,"p90":%s,"p99":%s,"max":%s,"samples":%d},"server":%s}|}
+      {|{"scenario":%S,"completed":%d,"errors":%d,"elapsed_s":%s,"idle_connections":%d,"throughput_rps":%s,"throughput_mbps":%s,"latency_ms":{"mean":%s,"p50":%s,"p90":%s,"p99":%s,"max":%s,"samples":%d},"server":%s,"timeseries":%s}|}
       scenario completed errors (num elapsed) idle_connections
       (num (float_of_int completed /. elapsed))
       (num (float_of_int bytes *. 8. /. elapsed /. 1e6))
@@ -200,6 +217,7 @@ let write_json ~file ~scenario ~completed ~errors ~bytes ~elapsed
       (ms (Obs.Histogram.max latency))
       (Obs.Histogram.count latency)
       server_json
+      (Option.value timeseries ~default:"[]")
     ^ "\n"
   in
   let oc = open_out file in
@@ -261,6 +279,12 @@ let run host port path clients duration keep_alive scenario idle_connections
   List.iter Thread.join threads;
   let elapsed = Unix.gettimeofday () -. t0 in
   let server = server_delta before (scrape ()) in
+  let timeseries =
+    if no_server_stats then None
+    else
+      scrape_timeseries ~host ~port status_path
+        (int_of_float (Float.ceil elapsed) + 2)
+  in
   List.iter Flash_live.Client.Session.close idle_sessions;
   let completed = List.fold_left (fun acc s -> acc + s.completed) 0 stats in
   let errors = List.fold_left (fun acc s -> acc + s.errors) 0 stats in
@@ -296,11 +320,20 @@ let run host port path clients duration keep_alive scenario idle_connections
   | None ->
       if not no_server_stats then
         Format.printf "server:     status endpoint not available@.");
+  (match timeseries with
+  | Some ts ->
+      let rollups =
+        (* count rollup objects, not total braces: each rollup is one
+           flat object in the array *)
+        String.fold_left (fun acc c -> if c = '{' then acc + 1 else acc) 0 ts
+      in
+      Format.printf "recorder:   %d rollups captured@." rollups
+  | None -> ());
   (match json_file with
   | Some file ->
       write_json ~file ~scenario ~completed ~errors ~bytes ~elapsed
         ~idle_connections:(List.length idle_sessions)
-        ~server latency;
+        ~server ~timeseries latency;
       Format.printf "json:       wrote %s@." file
   | None -> ());
   if errors > 0 then exit 1

@@ -1,0 +1,74 @@
+(* flash-promlint: strict OpenMetrics/Prometheus text-format validator.
+
+   Reads an exposition from a file (or stdin with "-"), runs the same
+   strict parser the test suite uses — unique series, sorted labels,
+   TYPE-before-samples, monotone cumulative histogram buckets — and
+   exits non-zero with a diagnostic on the first violation.  CI pipes a
+   live /metrics scrape through this.
+
+     curl -s http://127.0.0.1:8080/metrics | flash-promlint -
+     flash-promlint scrape.prom --require flash_http_requests_total *)
+
+open Cmdliner
+
+let read_all ic =
+  let b = Buffer.create 65536 in
+  (try
+     while true do
+       Buffer.add_channel b ic 65536
+     done
+   with End_of_file -> ());
+  Buffer.contents b
+
+let lint file required quiet =
+  let text =
+    if file = "-" then read_all stdin
+    else begin
+      let ic = open_in_bin file in
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> read_all ic)
+    end
+  in
+  match Obs.Exposition.validate text with
+  | Error msg ->
+      Format.eprintf "flash-promlint: %s@." msg;
+      exit 1
+  | Ok families ->
+      let have name =
+        List.exists (fun f -> f.Obs.Exposition.f_name = name) families
+      in
+      let missing = List.filter (fun n -> not (have n)) required in
+      if missing <> [] then begin
+        List.iter
+          (fun n -> Format.eprintf "flash-promlint: missing metric %s@." n)
+          missing;
+        exit 1
+      end;
+      if not quiet then begin
+        let series =
+          List.fold_left
+            (fun acc f -> acc + List.length f.Obs.Exposition.f_series)
+            0 families
+        in
+        Format.printf "OK: %d metric families, %d series@."
+          (List.length families) series
+      end
+
+let file =
+  Arg.(
+    value & pos 0 string "-"
+    & info [] ~docv:"FILE" ~doc:"Exposition to validate (default stdin).")
+
+let required =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "require" ] ~docv:"METRIC"
+        ~doc:"Fail unless this metric family is present (repeatable).")
+
+let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No output on success.")
+
+let cmd =
+  let doc = "validate Prometheus text exposition (strict)" in
+  Cmd.v (Cmd.info "flash-promlint" ~doc) Term.(const lint $ file $ required $ quiet)
+
+let () = exit (Cmd.eval cmd)

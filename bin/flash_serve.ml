@@ -11,10 +11,28 @@ let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info))
 
+(* "p99:50", "99:50" or plain "50" (p99 assumed): quantile and target
+   milliseconds for the latency SLO. *)
+let parse_slo s =
+  let s = String.trim s in
+  match String.index_opt s ':' with
+  | Some i ->
+      let q = String.sub s 0 i in
+      let q = if String.length q > 0 && (q.[0] = 'p' || q.[0] = 'P') then String.sub q 1 (String.length q - 1) else q in
+      let t = String.sub s (i + 1) (String.length s - i - 1) in
+      (match (float_of_string_opt q, float_of_string_opt t) with
+      | Some q, Some t when q > 0. && q <= 100. && t > 0. -> Ok (q, t)
+      | _ -> Error (`Msg (Printf.sprintf "invalid SLO %S (want P:MS, e.g. p99:50)" s)))
+  | None -> (
+      match float_of_string_opt s with
+      | Some t when t > 0. -> Ok (99., t)
+      | _ -> Error (`Msg (Printf.sprintf "invalid SLO %S (want P:MS or MS)" s)))
+
 let serve docroot port mode event_backend helpers cache_mb cache_policy
     cache_admission cache_budget_mb no_cgi no_align no_writev no_gzip
     gzip_lazy access_log access_log_timing status_path no_status stall_ms
     no_trace trace_capacity trace_path slow_request_ms slow_request_log
+    metrics_path no_metrics latency_slo recorder_dump recorder_interval
     verbose =
   setup_logs verbose;
   let mode =
@@ -66,6 +84,9 @@ let serve docroot port mode event_backend helpers cache_mb cache_policy
       event_backend;
       gzip_precompressed = not no_gzip;
       gzip_lazy = gzip_lazy && not no_gzip;
+      metrics_path = (if no_metrics then None else Some metrics_path);
+      latency_slo;
+      recorder_interval;
     }
   in
   let server = Flash_live.Server.start config in
@@ -87,7 +108,17 @@ let serve docroot port mode event_backend helpers cache_mb cache_policy
     | Some mb -> Printf.sprintf ", %d MB shared budget" mb
     | None -> "");
   (match config.Flash_live.Server.status_path with
-  | Some p -> Format.printf "status endpoint: %s (JSON with ?json)@." p
+  | Some p ->
+      Format.printf
+        "status endpoint: %s (JSON with ?json, flight recorder with \
+         ?window=N)@."
+        p
+  | None -> ());
+  (match config.Flash_live.Server.metrics_path with
+  | Some p -> Format.printf "metrics endpoint: %s (Prometheus text)@." p
+  | None -> ());
+  (match latency_slo with
+  | Some (q, t) -> Format.printf "latency SLO: p%g <= %g ms@." q t
   | None -> ());
   (if config.Flash_live.Server.trace then
      match config.Flash_live.Server.trace_path with
@@ -124,6 +155,19 @@ let serve docroot port mode event_backend helpers cache_mb cache_policy
   in
   Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
   Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+  (* SIGUSR1: dump the flight-recorder ring as JSON without stopping. *)
+  let dump _ =
+    let json = Flash_live.Server.recorder_dump server in
+    match recorder_dump with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (json ^ "\n");
+        close_out oc;
+        Format.printf "flight recorder dumped to %s@." path
+    | None -> Format.printf "%s@." json
+  in
+  (try Sys.set_signal Sys.sigusr1 (Sys.Signal_handle dump)
+   with Invalid_argument _ -> ());
   Flash_live.Server.run server
 
 let docroot =
@@ -327,6 +371,47 @@ let stall_ms =
     & info [ "stall-threshold" ] ~docv:"MS"
         ~doc:"Event-loop iterations processing longer than this count as stalls.")
 
+let metrics_path =
+  Arg.(
+    value
+    & opt string "/metrics"
+    & info [ "metrics-path" ] ~docv:"PATH"
+        ~doc:
+          "Path of the Prometheus text exposition endpoint (one scrape = \
+           one walk over the unified metrics registry).")
+
+let no_metrics =
+  Arg.(
+    value & flag & info [ "no-metrics" ] ~doc:"Disable the metrics endpoint.")
+
+let slo_conv = Arg.conv (parse_slo, fun ppf (q, t) -> Format.fprintf ppf "p%g:%g" q t)
+
+let latency_slo =
+  Arg.(
+    value
+    & opt (some slo_conv) None
+    & info [ "latency-slo-ms" ] ~docv:"P:MS"
+        ~doc:
+          "Evaluate a latency SLO over the flight recorder's one-second \
+           windows, e.g. p99:50 (p99 at or under 50 ms; plain MS assumes \
+           p99).  Error-budget burn and the healthy/degraded/breached \
+           state appear on /server-status and /metrics.")
+
+let recorder_dump =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "recorder-dump" ] ~docv:"FILE"
+        ~doc:
+          "On SIGUSR1, write the flight-recorder ring (per-second \
+           rollups) as JSON here instead of stdout.")
+
+let recorder_interval =
+  Arg.(
+    value & opt float 1.0
+    & info [ "recorder-interval" ] ~docv:"SECONDS"
+        ~doc:"Flight-recorder window length (default 1 s).")
+
 let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Debug logging.")
 
 let cmd =
@@ -340,6 +425,7 @@ let cmd =
       $ no_gzip $ gzip_lazy
       $ access_log $ access_log_timing $ status_path $ no_status $ stall_ms
       $ no_trace $ trace_capacity $ trace_path $ slow_request_ms
-      $ slow_request_log $ verbose)
+      $ slow_request_log $ metrics_path $ no_metrics $ latency_slo
+      $ recorder_dump $ recorder_interval $ verbose)
 
 let () = exit (Cmd.eval cmd)

@@ -19,7 +19,8 @@ let profile_of_name = function
   | "solaris" -> Ok Simos.Os_profile.solaris
   | other -> Error other
 
-let run server os dataset_mb clients duration persistent single_file_kb log seed =
+let run server os dataset_mb clients duration persistent single_file_kb log
+    seed recorder_json =
   let server =
     match server_of_name (String.lowercase_ascii server) with
     | Ok s -> s
@@ -83,7 +84,24 @@ let run server os dataset_mb clients duration persistent single_file_kb log seed
     "completed=%d errors=%d disk_reads=%d cache_capacity=%.1fMB@."
     r.Workload.Driver.completed r.Workload.Driver.errors
     r.Workload.Driver.disk_reads
-    (float_of_int r.Workload.Driver.cache_capacity_bytes /. 1048576.)
+    (float_of_int r.Workload.Driver.cache_capacity_bytes /. 1048576.);
+  let ts = r.Workload.Driver.timeseries in
+  (match ts with
+  | [] -> ()
+  | _ ->
+      let peak =
+        List.fold_left (fun m w -> Float.max m (Obs.Recorder.rps w)) 0. ts
+      in
+      Format.printf "recorder:   %d windows, peak %.1f req/s@."
+        (List.length ts) peak);
+  match recorder_json with
+  | None -> ()
+  | Some file ->
+      let oc = open_out_bin file in
+      output_string oc (Obs.Recorder.rollups_json ts);
+      output_char oc '\n';
+      close_out oc;
+      Format.printf "recorder:   wrote %s@." file
 
 let server =
   Arg.(
@@ -128,11 +146,20 @@ let log =
 
 let seed = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed.")
 
+let recorder_json =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "recorder-json" ] ~docv:"FILE"
+        ~doc:
+          "Write the flight-recorder time series (per-window rollups on \
+           the virtual clock) as JSON here.")
+
 let cmd =
   let doc = "run one simulated Flash experiment" in
   Cmd.v (Cmd.info "flash-sim" ~doc)
     Term.(
       const run $ server $ os $ dataset_mb $ clients $ duration $ persistent
-      $ single_file_kb $ log $ seed)
+      $ single_file_kb $ log $ seed $ recorder_json)
 
 let () = exit (Cmd.eval cmd)

@@ -36,6 +36,12 @@ type config = {
   accept_fault : (unit -> bool) option;
       (* test seam: returning true makes the next accept behave as if
          it failed with EMFILE *)
+  metrics_path : string option;  (* Prometheus exposition endpoint *)
+  latency_slo : (float * float) option;
+      (* (quantile, target ms): evaluate an error-budget burn over the
+         flight recorder's windows *)
+  recorder_capacity : int;  (* flight-recorder ring size, rollups *)
+  recorder_interval : float;  (* rollup window length, seconds *)
 }
 
 let default_config ~docroot =
@@ -72,6 +78,10 @@ let default_config ~docroot =
     gzip_lazy = false;
     cgi_timeout = 300.;
     accept_fault = None;
+    metrics_path = Some "/metrics";
+    latency_slo = None;
+    recorder_capacity = 120;
+    recorder_interval = 1.0;
   }
 
 type stats = {
@@ -136,6 +146,7 @@ and timer_ev =
   | T_idle of conn  (* keep-alive idle-timeout check *)
   | T_cgi of conn  (* CGI wall-clock deadline *)
   | T_resume_accept  (* re-arm the listen fd after EMFILE backoff *)
+  | T_rollup  (* close the flight recorder's current window *)
 
 (* Who a ready file descriptor belongs to. *)
 type fd_owner =
@@ -209,10 +220,37 @@ type t = {
   writev_calls : Obs.Counter.t;
   write_calls : Obs.Counter.t;
   bytes_copied : Obs.Counter.t;
+  bytes_sent : Obs.Counter.t;  (* response bytes the kernel accepted *)
+  (* Responses by status class: slots for 2xx/3xx/4xx/5xx, guarded by
+     [obs_mutex]; MP children ship 'S' records so the parent's array is
+     the consolidated view. *)
+  status_classes : int array;
   (* Copying-fallback staging buffer for the single-threaded event-loop
      modes; MP/MT workers allocate their own per connection. *)
   send_scratch : Bytes.t;
   gather_writes : bool;  (* config.use_writev, gated on stub presence *)
+  (* The pid that created this server.  After an MP fork both sides
+     hold the same record; parent-only duties (draining the stats pipe,
+     summing child gauges) key off it. *)
+  owner_pid : int;
+  (* The unified metrics registry: every surface (/server-status text
+     and JSON, /metrics exposition, programmatic stats) renders from
+     one [Registry.collect] walk over these closures. *)
+  registry : Obs.Registry.t;
+  (* Flight recorder + SLO evaluator.  The recorder's read closure
+     captures [t], so it is attached right after construction (before
+     MP forks / MT threads, which inherit it).  All recorder access
+     goes through [recorder_mutex]: ticks race between workers, status
+     reads and dumps. *)
+  mutable recorder : Obs.Recorder.t option;
+  recorder_mutex : Mutex.t;
+  slo : Obs.Slo.t option;
+  (* MP parent: last gauge snapshot shipped by each child ('G'
+     records), pid -> (active connections, mapped bytes).  Summed at
+     snapshot time — never accumulated, so a child's churn cannot
+     inflate the consolidated gauge.  Guarded by [stats_mutex] (all
+     writes happen inside [consume_stats]). *)
+  mp_child_gauges : (int, int * int) Hashtbl.t;
 }
 
 let log = Logs.Src.create "flash.live" ~doc:"Flash live server"
@@ -229,6 +267,256 @@ let with_cache_lock t f =
 let with_obs_lock t f =
   Mutex.lock t.obs_mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.obs_mutex) f
+
+(* After an MP fork, parent and children run the same code over copies
+   of the same record; parent-only duties key off the creating pid. *)
+let is_mp_parent t =
+  match t.config.mode with Mp _ -> Unix.getpid () = t.owner_pid | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* The stats pipe protocol (MP consolidation)                          *)
+(* ------------------------------------------------------------------ *)
+
+(* One fixed-size record per event.  MP children send these to the
+   parent; MT threads and the single-process modes count in place.
+   Tags: 'r' finished request, 'e' finished request that errored,
+   'c' accepted connection, 'f' accept shed on EMFILE, 'S' response by
+   status class (class index in the first payload byte).  The float is
+   the request latency in seconds (0 where unused).  9 bytes <
+   PIPE_BUF, so writes are atomic. *)
+let stats_record ~tag ~latency =
+  let b = Bytes.create 9 in
+  Bytes.set b 0 tag;
+  Bytes.set_int64_le b 1 (Int64.bits_of_float latency);
+  b
+
+(* Variable-length trace records ride the same pipe: tag 'T', a u16 LE
+   payload length, then a [Obs.Trace.to_binary] record.  Fixed wider
+   frames: 'v' send-path counter deltas (tag + four 8-byte LE ints =
+   33 bytes), 'G' a child's gauge snapshot (tag + pid + active +
+   mapped = 25 bytes) — all under PIPE_BUF, so records never
+   interleave. *)
+let consume_stats t bytes len =
+  Buffer.add_subbytes t.stats_acc bytes 0 len;
+  let s = Buffer.contents t.stats_acc in
+  let n = String.length s in
+  let pos = ref 0 in
+  let short = ref false in
+  while (not !short) && !pos < n do
+    match s.[!pos] with
+    | 'c' | 'r' | 'e' ->
+        if !pos + 9 <= n then begin
+          let latency = Int64.float_of_bits (String.get_int64_le s (!pos + 1)) in
+          (match s.[!pos] with
+          | 'c' -> t.n_connections <- t.n_connections + 1
+          | tag ->
+              t.n_requests <- t.n_requests + 1;
+              if tag = 'e' then t.n_errors <- t.n_errors + 1;
+              with_obs_lock t (fun () -> Obs.Histogram.record t.latency latency));
+          pos := !pos + 9
+        end
+        else short := true
+    | 'f' ->
+        (* An MP child shed an accept on EMFILE/ENFILE (same 9-byte
+           frame as the counting tags; the float is unused). *)
+        if !pos + 9 <= n then begin
+          Obs.Counter.incr t.accept_emfile;
+          pos := !pos + 9
+        end
+        else short := true
+    | 'S' ->
+        (* A response counted by status class: the class index rides in
+           the first payload byte of the 9-byte frame. *)
+        if !pos + 9 <= n then begin
+          let cls = Char.code s.[!pos + 1] land 3 in
+          with_obs_lock t (fun () ->
+              t.status_classes.(cls) <- t.status_classes.(cls) + 1);
+          pos := !pos + 9
+        end
+        else short := true
+    | 'v' ->
+        (* Send-path counter deltas from an MP child: four 8-byte LE
+           ints after the tag. *)
+        if !pos + 33 <= n then begin
+          let int_at o = Int64.to_int (String.get_int64_le s (!pos + o)) in
+          let writev = int_at 1
+          and writes = int_at 9
+          and copied = int_at 17
+          and sent = int_at 25 in
+          with_obs_lock t (fun () ->
+              Obs.Counter.add t.writev_calls writev;
+              Obs.Counter.add t.write_calls writes;
+              Obs.Counter.add t.bytes_copied copied;
+              Obs.Counter.add t.bytes_sent sent);
+          pos := !pos + 33
+        end
+        else short := true
+    | 'G' ->
+        (* A child's gauge snapshot: pid, active connections, mapped
+           bytes.  Replaced, never accumulated — the consolidated gauge
+           is the sum of each child's latest snapshot. *)
+        if !pos + 25 <= n then begin
+          let int_at o = Int64.to_int (String.get_int64_le s (!pos + o)) in
+          Hashtbl.replace t.mp_child_gauges (int_at 1)
+            (int_at 9, int_at 17);
+          pos := !pos + 25
+        end
+        else short := true
+    | 'T' ->
+        if !pos + 3 <= n then begin
+          let plen = Char.code s.[!pos + 1] lor (Char.code s.[!pos + 2] lsl 8) in
+          if !pos + 3 + plen <= n then begin
+            (match Obs.Trace.of_binary s ~pos:(!pos + 3) with
+            | Some (data, _) -> (
+                match t.tracer with
+                | Some tracer ->
+                    with_obs_lock t (fun () -> Obs.Trace.ingest tracer data)
+                | None -> ())
+            | None -> ());
+            pos := !pos + 3 + plen
+          end
+          else short := true
+        end
+        else short := true
+    | _ ->
+        (* Unknown tag: resynchronise one byte at a time. *)
+        incr pos
+  done;
+  Buffer.clear t.stats_acc;
+  Buffer.add_substring t.stats_acc s !pos (n - !pos)
+
+(* On-demand drain so snapshots are current even between parent-loop
+   polls.  Only the MP parent may drain: a forked child inherits the
+   read end, and reading there would steal records from the
+   consolidating parent. *)
+let drain_stats_pipe t =
+  match t.stats_pipe_read with
+  | Some _ when Unix.getpid () <> t.owner_pid -> ()
+  | None -> ()
+  | Some r ->
+      let buf = Bytes.create 4095 in
+      Mutex.lock t.stats_mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.stats_mutex)
+        (fun () ->
+          let rec loop () =
+            match Unix.read r buf 0 4095 with
+            | n when n > 0 ->
+                consume_stats t buf n;
+                loop ()
+            | _ -> ()
+            | exception Unix.Unix_error _ -> ()
+          in
+          loop ())
+
+let mp_gauge_sums t =
+  Mutex.lock t.stats_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.stats_mutex)
+    (fun () ->
+      Hashtbl.fold
+        (fun _ (a, m) (sa, sm) -> (sa + a, sm + m))
+        t.mp_child_gauges (0, 0))
+
+(* Mode-aware gauges: the MP parent sums each child's latest snapshot;
+   everywhere else the local instruments are the truth. *)
+let active_now t =
+  if is_mp_parent t then fst (mp_gauge_sums t)
+  else with_obs_lock t (fun () -> Obs.Gauge.value t.active)
+
+let mapped_now t =
+  if is_mp_parent t then snd (mp_gauge_sums t)
+  else File_cache.mapped_bytes t.cache
+
+(* An MP child pushes its gauge snapshot whenever a gauge moves
+   (connection open/close, cache insert).  No-op elsewhere. *)
+let mp_ship_gauges t =
+  match t.stats_pipe_write with
+  | None -> ()
+  | Some w ->
+      let active = with_obs_lock t (fun () -> Obs.Gauge.value t.active) in
+      let mapped = File_cache.mapped_bytes t.cache in
+      let b = Bytes.create 25 in
+      Bytes.set b 0 'G';
+      Bytes.set_int64_le b 1 (Int64.of_int (Unix.getpid ()));
+      Bytes.set_int64_le b 9 (Int64.of_int active);
+      Bytes.set_int64_le b 17 (Int64.of_int mapped);
+      (try ignore (Unix.write w b 0 25) with Unix.Unix_error _ -> ())
+
+(* Count a response by status class (2xx/3xx/4xx/5xx).  MP children
+   also ship an 'S' record so the parent's array is the consolidated
+   view. *)
+let status_class_names = [| "2xx"; "3xx"; "4xx"; "5xx" |]
+
+let count_status t code =
+  let cls = Stdlib.min 3 (Stdlib.max 0 ((code / 100) - 2)) in
+  with_obs_lock t (fun () ->
+      t.status_classes.(cls) <- t.status_classes.(cls) + 1);
+  match t.stats_pipe_write with
+  | None -> ()
+  | Some w ->
+      let b = stats_record ~tag:'S' ~latency:0. in
+      Bytes.set b 1 (Char.chr cls);
+      (try ignore (Unix.write w b 0 9) with Unix.Unix_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder plumbing                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* All recorder access is serialised: ticks race between request paths,
+   loop timers, status reads and dump requests (MT workers share one
+   recorder).  The read closure takes [stats_mutex]/[obs_mutex] inside;
+   nothing takes [recorder_mutex] while holding those. *)
+let with_recorder t f =
+  match t.recorder with
+  | None -> None
+  | Some r ->
+      Mutex.lock t.recorder_mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.recorder_mutex)
+        (fun () -> Some (f r))
+
+let tick_recorder t = ignore (with_recorder t Obs.Recorder.tick)
+
+(* The recorder's cumulative snapshot: the same counters the registry
+   exposes, read under the same locks. *)
+let recorder_read t () =
+  drain_stats_pipe t;
+  let latency = with_obs_lock t (fun () -> Obs.Histogram.copy t.latency) in
+  let writev, writes, copied, sent =
+    with_obs_lock t (fun () ->
+        ( Obs.Counter.value t.writev_calls,
+          Obs.Counter.value t.write_calls,
+          Obs.Counter.value t.bytes_copied,
+          Obs.Counter.value t.bytes_sent ))
+  in
+  let wait, work =
+    (Obs.Loopstat.wait_time t.loopstat, Obs.Loopstat.work_time t.loopstat)
+  in
+  let cum =
+    {
+      Obs.Recorder.c_requests = t.n_requests;
+      c_bytes = sent;
+      c_writev = writev;
+      c_write = writes;
+      c_copied = copied;
+      c_cache_hits = File_cache.hits t.cache;
+      c_cache_misses = File_cache.misses t.cache;
+      c_errors = t.n_errors;
+      c_wait = wait;
+      c_work = work;
+      c_latency = latency;
+    }
+  in
+  let gauges =
+    {
+      Obs.Recorder.g_active = active_now t;
+      g_helper_queue =
+        (match t.helper with Some h -> Helper.queue_depth h | None -> 0);
+      g_mapped = mapped_now t;
+    }
+  in
+  (cum, gauges)
 
 (* ------------------------------------------------------------------ *)
 (* Request-lifecycle tracing                                           *)
@@ -383,7 +671,8 @@ let record_latency t conn =
       | Some tr when conn.write_span = None ->
           conn.write_span <-
             Some (Obs.Trace.begin_span tracer tr ~track:(current_track t) "write")
-      | _ -> ())
+      | _ -> ());
+  tick_recorder t
 
 let slow_read_hook t path =
   match t.config.slow_read with Some f -> f path | None -> ()
@@ -431,6 +720,14 @@ let is_trace_request t (req : Http.Request.t) =
   | Some tp, Some _ -> String.equal req.Http.Request.path tp
   | _ -> false
 
+(* Same raw-path matching as the status endpoint.  In MP children this
+   serves the child-local view (the consolidated one lives in the
+   parent, which owns the stats pipe). *)
+let is_metrics_request t (req : Http.Request.t) =
+  match t.config.metrics_path with
+  | None -> false
+  | Some mp -> String.equal req.Http.Request.path mp
+
 let trace_body t =
   match t.tracer with
   | None -> {|{"traceEvents":[]}|}
@@ -469,175 +766,439 @@ let histogram_text h =
     (ms (Obs.Histogram.percentile h 99.))
     (ms (Obs.Histogram.max h))
 
-let cache_stats_json (s : Flash_cache.Store.stats) =
-  Printf.sprintf
-    {|{"policy":%s,"admission":%s,"capacity":%d,"entries":%d,"resident_bytes":%d,"hits":%d,"misses":%d,"evictions":%d,"admitted":%d,"rejected":%d}|}
-    (Obs.Json.str s.Flash_cache.Store.policy)
-    (Obs.Json.str s.Flash_cache.Store.admission)
-    s.Flash_cache.Store.capacity s.Flash_cache.Store.entries
-    s.Flash_cache.Store.resident s.Flash_cache.Store.hits
-    s.Flash_cache.Store.misses s.Flash_cache.Store.evictions
-    s.Flash_cache.Store.admitted s.Flash_cache.Store.rejected
+(* One registry walk feeds every surface: the text page, the JSON view
+   and /metrics exposition all render the same [collect] result, so
+   they cannot drift.  In an MP child this reports the child's own view
+   ([drain_stats_pipe] refuses to drain there — the shared pipe belongs
+   to the consolidating parent). *)
+let collect_samples t =
+  drain_stats_pipe t;
+  Obs.Registry.collect t.registry
 
-let cache_stats_text (s : Flash_cache.Store.stats) =
-  Printf.sprintf
-    "%s policy, %d/%d bytes in %d entries, %d hits, %d misses, %d evictions, %d admitted, %d rejected (%s admission)"
-    s.Flash_cache.Store.policy s.Flash_cache.Store.resident
-    s.Flash_cache.Store.capacity s.Flash_cache.Store.entries
-    s.Flash_cache.Store.hits s.Flash_cache.Store.misses
-    s.Flash_cache.Store.evictions s.Flash_cache.Store.admitted
-    s.Flash_cache.Store.rejected s.Flash_cache.Store.admission
+(* Flat (key, rendered-number) pairs for every sample in the walk: the
+   "metrics" object of the JSON view and the metrics section of the
+   text view print these pairs verbatim — the anchor the no-drift
+   regression test holds onto.  Histograms flatten to _count/_sum. *)
+let sample_kvs samples =
+  let key name suffix labels =
+    name ^ suffix
+    ^
+    match labels with
+    | [] -> ""
+    | ls ->
+        "{"
+        ^ String.concat ","
+            (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) ls)
+        ^ "}"
+  in
+  List.concat_map
+    (fun (s : Obs.Registry.sample) ->
+      match s.Obs.Registry.value with
+      | Obs.Registry.Counter n ->
+          [ (key s.Obs.Registry.name "" s.Obs.Registry.labels, string_of_int n) ]
+      | Obs.Registry.Gauge v ->
+          [ (key s.Obs.Registry.name "" s.Obs.Registry.labels, num v) ]
+      | Obs.Registry.Info ->
+          [ (key s.Obs.Registry.name "" s.Obs.Registry.labels, "1") ]
+      | Obs.Registry.Hist h ->
+          [
+            ( key s.Obs.Registry.name "_count" s.Obs.Registry.labels,
+              string_of_int (Obs.Histogram.count h) );
+            ( key s.Obs.Registry.name "_sum" s.Obs.Registry.labels,
+              num (Obs.Histogram.sum h) );
+          ])
+    samples
 
-(* Reads counters directly (no stats-pipe drain): in an MP child this
-   reports the child's own view, and draining the shared pipe here would
-   steal records from the consolidating parent. *)
 let status_body t ~json =
-  let latency = with_obs_lock t (fun () -> Obs.Histogram.copy t.latency) in
-  let active = with_obs_lock t (fun () -> Obs.Gauge.value t.active) in
-  let uptime = t.config.clock () -. t.started_at in
-  let trace_counts =
-    match t.tracer with
-    | None -> None
-    | Some tracer ->
-        Some
-          (with_obs_lock t (fun () ->
-               ( Obs.Trace.completed tracer,
-                 Obs.Trace.evicted tracer,
-                 Obs.Trace.capacity tracer )))
+  let samples = collect_samples t in
+  let iv ?labels name = Obs.Registry.int_value ?labels samples name in
+  let fv ?labels name = Obs.Registry.float_value ?labels samples name in
+  let hist name =
+    match Obs.Registry.hist_value samples name with
+    | Some h -> h
+    | None -> Obs.Histogram.create ()
   in
-  let sv_writev, sv_writes, sv_copied =
-    with_obs_lock t (fun () ->
-        ( Obs.Counter.value t.writev_calls,
-          Obs.Counter.value t.write_calls,
-          Obs.Counter.value t.bytes_copied ))
+  let fl = [ ("cache", "file") ] in
+  let latency = hist "flash_request_duration_seconds" in
+  let uptime = fv "flash_uptime_seconds" in
+  let requests = iv "flash_http_requests_total" in
+  let errors = iv "flash_http_errors_total" in
+  let connections = iv "flash_connections_total" in
+  let active = iv "flash_active_connections" in
+  let sv_writev = iv "flash_writev_calls_total" in
+  let sv_writes = iv "flash_write_calls_total" in
+  let sv_copied = iv "flash_bytes_copied_total" in
+  let sv_sent = iv "flash_bytes_sent_total" in
+  let cache_hits = iv ~labels:fl "flash_cache_hits_total" in
+  let cache_misses = iv ~labels:fl "flash_cache_misses_total" in
+  let cache_evictions = iv ~labels:fl "flash_cache_evictions_total" in
+  let cache_admitted = iv ~labels:fl "flash_cache_admitted_total" in
+  let cache_rejected = iv ~labels:fl "flash_cache_rejected_total" in
+  let cache_entries = iv ~labels:fl "flash_cache_entries" in
+  let cache_resident = iv ~labels:fl "flash_cache_resident_bytes" in
+  let cache_capacity = iv ~labels:fl "flash_cache_capacity_bytes" in
+  let mapped = iv "flash_cache_mapped_bytes" in
+  let by_class i =
+    iv ~labels:[ ("class", status_class_names.(i)) ] "flash_http_responses_total"
   in
+  (* Strings the registry does not carry (they cannot drift — they are
+     configuration, not measurements). *)
+  let cstats = File_cache.stats t.cache in
+  let policy_s = cstats.Flash_cache.Store.policy in
+  let admission_s = cstats.Flash_cache.Store.admission in
+  let send_path_s = if t.gather_writes then "writev" else "copy" in
+  let kvs = sample_kvs samples in
   if json then
     let helper_json =
       match t.helper with
       | None -> "null"
-      | Some h ->
+      | Some _ ->
           Printf.sprintf
             {|{"jobs":%d,"queue_depth":%d,"queue_depth_hwm":%d,"job_latency_ms":%s}|}
-            (Helper.dispatched h) (Helper.queue_depth h)
-            (Helper.queue_depth_hwm h)
-            (histogram_json (Helper.job_latency h))
+            (iv "flash_helper_jobs_total")
+            (iv "flash_helper_queue_depth")
+            (iv "flash_helper_queue_depth_hwm")
+            (histogram_json (hist "flash_helper_job_duration_seconds"))
     in
     let trace_json =
-      match trace_counts with
+      match t.tracer with
       | None -> {|{"enabled":false}|}
-      | Some (completed, evicted, cap) ->
+      | Some _ ->
           Printf.sprintf
             {|{"enabled":true,"completed":%d,"evicted":%d,"capacity":%d}|}
-            completed evicted cap
+            (iv "flash_traces_completed_total")
+            (iv "flash_traces_evicted_total")
+            (iv "flash_trace_ring_capacity")
+    in
+    let health_json =
+      match t.slo with
+      | None -> "null"
+      | Some slo ->
+          Printf.sprintf
+            {|{"state":%s,"burn":%s,"quantile":%s,"target_ms":%s,"windows":%d}|}
+            (Obs.Json.str (Obs.Slo.state_string slo))
+            (num (Obs.Slo.burn slo))
+            (num (Obs.Slo.quantile slo))
+            (num (Obs.Slo.target_ms slo))
+            (Obs.Slo.windows slo)
+    in
+    let file_cache_json =
+      Printf.sprintf
+        {|{"policy":%s,"admission":%s,"capacity":%d,"entries":%d,"resident_bytes":%d,"hits":%d,"misses":%d,"evictions":%d,"admitted":%d,"rejected":%d}|}
+        (Obs.Json.str policy_s) (Obs.Json.str admission_s) cache_capacity
+        cache_entries cache_resident cache_hits cache_misses cache_evictions
+        cache_admitted cache_rejected
+    in
+    let metrics_json =
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Obs.Json.str k ^ ":" ^ v) kvs)
+      ^ "}"
     in
     Printf.sprintf
-      {|{"server":%s,"mode":%s,"uptime_s":%s,"requests":%d,"connections":%d,"active_connections":%d,"errors":%d,"cache":{"hits":%d,"misses":%d,"evictions":%d,"bytes":%d,"mapped_bytes":%d,"entries":%d},"caches":{"file":%s},"send":{"path":%s,"writev_calls":%d,"write_calls":%d,"bytes_copied":%d},"latency_ms":%s,"loop":{"backend":%s,"stalls":%d,"threshold_ms":%s,"max_stall_ms":%s,"iterations":%d,"wakeups":%d,"ready_per_wakeup":%s,"wait_s":%s,"work_s":%s,"timer_fires":%d,"timers_pending":%d,"accept_emfile":%d,"accept_paused":%b},"helper":%s,"trace":%s}|}
+      {|{"server":%s,"mode":%s,"uptime_s":%s,"requests":%d,"connections":%d,"active_connections":%d,"errors":%d,"responses":{"2xx":%d,"3xx":%d,"4xx":%d,"5xx":%d},"cache":{"hits":%d,"misses":%d,"evictions":%d,"bytes":%d,"mapped_bytes":%d,"entries":%d},"caches":{"file":%s},"send":{"path":%s,"writev_calls":%d,"write_calls":%d,"bytes_copied":%d,"bytes_sent":%d},"latency_ms":%s,"loop":{"backend":%s,"stalls":%d,"threshold_ms":%s,"max_stall_ms":%s,"iterations":%d,"wakeups":%d,"ready_per_wakeup":%s,"wait_s":%s,"work_s":%s,"timer_fires":%d,"timers_pending":%d,"accept_emfile":%d,"accept_paused":%b},"helper":%s,"trace":%s,"health":%s,"metrics":%s}|}
       (Obs.Json.str t.config.server_name)
       (Obs.Json.str (mode_string t.config.mode))
-      (num uptime)
-      t.n_requests t.n_connections active t.n_errors (File_cache.hits t.cache)
-      (File_cache.misses t.cache)
-      (File_cache.evictions t.cache)
-      (File_cache.bytes t.cache)
-      (File_cache.mapped_bytes t.cache)
-      (File_cache.entries t.cache)
-      (cache_stats_json (File_cache.stats t.cache))
-      (Obs.Json.str (if t.gather_writes then "writev" else "copy"))
-      sv_writev sv_writes sv_copied
+      (num uptime) requests connections active errors (by_class 0) (by_class 1)
+      (by_class 2) (by_class 3) cache_hits cache_misses cache_evictions
+      cache_resident mapped cache_entries file_cache_json
+      (Obs.Json.str send_path_s) sv_writev sv_writes sv_copied sv_sent
       (histogram_json latency)
       (Obs.Json.str (Evio.name t.config.event_backend))
-      (Obs.Watchdog.stalls t.watchdog)
+      (iv "flash_loop_stalls_total")
       (num (ms (Obs.Watchdog.threshold t.watchdog)))
-      (num (ms (Obs.Watchdog.max_gap t.watchdog)))
-      (Obs.Watchdog.iterations t.watchdog)
-      (Obs.Loopstat.wakeups t.loopstat)
-      (num (Obs.Loopstat.ready_per_wakeup t.loopstat))
-      (num (Obs.Loopstat.wait_time t.loopstat))
-      (num (Obs.Loopstat.work_time t.loopstat))
-      (Obs.Loopstat.timer_fires t.loopstat)
-      (Evio.Timer_wheel.pending t.wheel)
-      (Obs.Counter.value t.accept_emfile)
-      t.accept_paused
-      helper_json trace_json
+      (num (fv "flash_loop_max_stall_seconds" *. 1000.))
+      (iv "flash_loop_iterations_total")
+      (iv "flash_loop_wakeups_total")
+      (num (fv "flash_loop_ready_per_wakeup"))
+      (num (fv "flash_loop_wait_seconds"))
+      (num (fv "flash_loop_work_seconds"))
+      (iv "flash_loop_timer_fires_total")
+      (iv "flash_timers_pending")
+      (iv "flash_accept_emfile_total")
+      (fv "flash_accept_paused" > 0.)
+      helper_json trace_json health_json metrics_json
     ^ "\n"
   else begin
-    let b = Buffer.create 512 in
+    let b = Buffer.create 1024 in
     let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
     line "%s status" t.config.server_name;
     line "mode:         %s" (mode_string t.config.mode);
     line "uptime:       %.1f s" uptime;
-    line "requests:     %d (%d errors)" t.n_requests t.n_errors;
-    line "connections:  %d total, %d active" t.n_connections active;
+    line "requests:     %d (%d errors)" requests errors;
+    line "responses:    %d 2xx, %d 3xx, %d 4xx, %d 5xx" (by_class 0)
+      (by_class 1) (by_class 2) (by_class 3);
+    line "connections:  %d total, %d active" connections active;
     line "cache:        %d hits, %d misses, %d evictions, %d bytes in %d entries"
-      (File_cache.hits t.cache) (File_cache.misses t.cache)
-      (File_cache.evictions t.cache) (File_cache.bytes t.cache)
-      (File_cache.entries t.cache);
-    line "mapped:       %d bytes" (File_cache.mapped_bytes t.cache);
-    line "file cache:   %s" (cache_stats_text (File_cache.stats t.cache));
-    line "send:         %s path, %d writev, %d write, %d bytes copied"
-      (if t.gather_writes then "writev" else "copy")
-      sv_writev sv_writes sv_copied;
+      cache_hits cache_misses cache_evictions cache_resident cache_entries;
+    line "mapped:       %d bytes" mapped;
+    line
+      "file cache:   %s policy, %d/%d bytes in %d entries, %d hits, %d misses, %d evictions, %d admitted, %d rejected (%s admission)"
+      policy_s cache_resident cache_capacity cache_entries cache_hits
+      cache_misses cache_evictions cache_admitted cache_rejected admission_s;
+    line "send:         %s path, %d writev, %d write, %d bytes copied, %d bytes sent"
+      send_path_s sv_writev sv_writes sv_copied sv_sent;
     line "latency:      %s" (histogram_text latency);
     line "loop:         %d stalls over %.1f ms (max %.3f ms, %d iterations)"
-      (Obs.Watchdog.stalls t.watchdog)
+      (iv "flash_loop_stalls_total")
       (ms (Obs.Watchdog.threshold t.watchdog))
-      (ms (Obs.Watchdog.max_gap t.watchdog))
-      (Obs.Watchdog.iterations t.watchdog);
-    line "events:       %s backend, %d wakeups (%.2f ready fds/wakeup), %.3f s waiting / %.3f s working"
+      (fv "flash_loop_max_stall_seconds" *. 1000.)
+      (iv "flash_loop_iterations_total");
+    line
+      "events:       %s backend, %d wakeups (%.2f ready fds/wakeup), %.3f s waiting / %.3f s working"
       (Evio.name t.config.event_backend)
-      (Obs.Loopstat.wakeups t.loopstat)
-      (Obs.Loopstat.ready_per_wakeup t.loopstat)
-      (Obs.Loopstat.wait_time t.loopstat)
-      (Obs.Loopstat.work_time t.loopstat);
-    line "timers:       %d fired, %d pending" (Obs.Loopstat.timer_fires t.loopstat)
-      (Evio.Timer_wheel.pending t.wheel);
-    line "accept:       %d shed on EMFILE%s" (Obs.Counter.value t.accept_emfile)
-      (if t.accept_paused then " (listen paused)" else "");
-    (match trace_counts with
+      (iv "flash_loop_wakeups_total")
+      (fv "flash_loop_ready_per_wakeup")
+      (fv "flash_loop_wait_seconds")
+      (fv "flash_loop_work_seconds");
+    line "timers:       %d fired, %d pending"
+      (iv "flash_loop_timer_fires_total")
+      (iv "flash_timers_pending");
+    line "accept:       %d shed on EMFILE%s"
+      (iv "flash_accept_emfile_total")
+      (if fv "flash_accept_paused" > 0. then " (listen paused)" else "");
+    (match t.tracer with
     | None -> line "tracing:      off"
-    | Some (completed, evicted, cap) ->
-        line "tracing:      %d traces (%d evicted, ring %d)" completed evicted
-          cap);
+    | Some _ ->
+        line "tracing:      %d traces (%d evicted, ring %d)"
+          (iv "flash_traces_completed_total")
+          (iv "flash_traces_evicted_total")
+          (iv "flash_trace_ring_capacity"));
     (match t.helper with
     | None -> line "helpers:      none"
-    | Some h ->
+    | Some _ ->
         line "helpers:      %d jobs, queue depth %d (hwm %d)"
-          (Helper.dispatched h) (Helper.queue_depth h)
-          (Helper.queue_depth_hwm h);
-        line "helper jobs:  %s" (histogram_text (Helper.job_latency h)));
+          (iv "flash_helper_jobs_total")
+          (iv "flash_helper_queue_depth")
+          (iv "flash_helper_queue_depth_hwm");
+        line "helper jobs:  %s"
+          (histogram_text (hist "flash_helper_job_duration_seconds")));
+    (match t.slo with
+    | None -> line "health:       no SLO configured"
+    | Some slo ->
+        line "health:       %s (burn %.2f over %d windows, p%g <= %g ms)"
+          (Obs.Slo.state_string slo) (Obs.Slo.burn slo) (Obs.Slo.windows slo)
+          (Obs.Slo.quantile slo) (Obs.Slo.target_ms slo));
+    line "metrics:";
+    List.iter (fun (k, v) -> line "  %s %s" k v) kvs;
     Buffer.contents b
   end
+
+(* /metrics: the same walk, rendered as Prometheus text exposition. *)
+let metrics_body t = Obs.Exposition.render (collect_samples t)
+
+(* ?window=N: the newest N flight-recorder rollups as JSON. *)
+let window_body t n =
+  let rollups =
+    match with_recorder t (fun r -> Obs.Recorder.window r n) with
+    | Some rs -> rs
+    | None -> []
+  in
+  Printf.sprintf {|{"window":%d,"rollups":%s}|} n
+    (Obs.Recorder.rollups_json rollups)
+  ^ "\n"
 
 let wants_json (req : Http.Request.t) =
   match req.Http.Request.query with
   | Some "json" | Some "format=json" -> true
   | Some _ | None -> false
 
+(* ?window=N on the status path selects the flight-recorder view. *)
+let status_window (req : Http.Request.t) =
+  match req.Http.Request.query with
+  | Some q when String.length q > 7 && String.sub q 0 7 = "window=" -> (
+      match int_of_string_opt (String.sub q 7 (String.length q - 7)) with
+      | Some n when n > 0 -> Some n
+      | _ -> None)
+  | Some _ | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Registry wiring                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Every metric is a closure reading live server state; nothing below
+   may be called while holding [obs_mutex] ([collect] runs the closures,
+   and the lock is not reentrant). *)
+let register_metrics t =
+  let r = t.registry in
+  let c = Obs.Registry.counter r in
+  let g = Obs.Registry.gauge r in
+  let locked f () = with_obs_lock t f in
+  let cstat () = File_cache.stats t.cache in
+  Obs.Registry.info r ~name:"flash_build_info"
+    ~help:"Build information (constant 1)."
+    ~labels:[ ("ocaml", Sys.ocaml_version); ("server", t.config.server_name) ];
+  Obs.Registry.info r ~name:"flash_config_info"
+    ~help:"Effective server configuration (constant 1)."
+    ~labels:
+      [
+        ("backend", Evio.name t.config.event_backend);
+        ("cache_admission", (cstat ()).Flash_cache.Store.admission);
+        ("cache_policy", (cstat ()).Flash_cache.Store.policy);
+        ("mode", mode_string t.config.mode);
+        ("send_path", if t.gather_writes then "writev" else "copy");
+      ];
+  g ~name:"flash_uptime_seconds" ~help:"Seconds since server start."
+    (fun () -> t.config.clock () -. t.started_at);
+  c ~name:"flash_http_requests_total" ~help:"Requests parsed and answered."
+    (fun () -> t.n_requests);
+  c ~name:"flash_http_errors_total"
+    ~help:"Requests answered with an error status." (fun () -> t.n_errors);
+  Array.iteri
+    (fun i cls ->
+      c ~name:"flash_http_responses_total" ~help:"Responses by status class."
+        ~labels:[ ("class", cls) ]
+        (locked (fun () -> t.status_classes.(i))))
+    status_class_names;
+  c ~name:"flash_connections_total" ~help:"Connections accepted."
+    (fun () -> t.n_connections);
+  g ~name:"flash_active_connections"
+    ~help:
+      "Connections currently open (MP: summed over children at snapshot)."
+    (fun () -> float_of_int (active_now t));
+  c ~name:"flash_writev_calls_total" ~help:"Gather writes issued."
+    (locked (fun () -> Obs.Counter.value t.writev_calls));
+  c ~name:"flash_write_calls_total" ~help:"Scalar/fallback writes issued."
+    (locked (fun () -> Obs.Counter.value t.write_calls));
+  c ~name:"flash_bytes_copied_total"
+    ~help:"Response bytes copied through userspace."
+    (locked (fun () -> Obs.Counter.value t.bytes_copied));
+  c ~name:"flash_bytes_sent_total"
+    ~help:"Response bytes accepted by the kernel."
+    (locked (fun () -> Obs.Counter.value t.bytes_sent));
+  Obs.Registry.histogram r ~name:"flash_request_duration_seconds"
+    ~help:"Per-request latency, parse completion to response generation."
+    (locked (fun () -> Obs.Histogram.copy t.latency));
+  let fl = [ ("cache", "file") ] in
+  c ~name:"flash_cache_hits_total" ~help:"File-cache hits." ~labels:fl
+    (fun () -> File_cache.hits t.cache);
+  c ~name:"flash_cache_misses_total" ~help:"File-cache misses." ~labels:fl
+    (fun () -> File_cache.misses t.cache);
+  c ~name:"flash_cache_evictions_total"
+    ~help:"File-cache evictions under capacity pressure." ~labels:fl
+    (fun () -> File_cache.evictions t.cache);
+  c ~name:"flash_cache_admitted_total"
+    ~help:"Entries admitted by the admission policy." ~labels:fl
+    (fun () -> (cstat ()).Flash_cache.Store.admitted);
+  c ~name:"flash_cache_rejected_total"
+    ~help:"Entries rejected by the admission policy." ~labels:fl
+    (fun () -> (cstat ()).Flash_cache.Store.rejected);
+  g ~name:"flash_cache_entries" ~help:"Entries resident in the file cache."
+    ~labels:fl
+    (fun () -> float_of_int (File_cache.entries t.cache));
+  g ~name:"flash_cache_resident_bytes"
+    ~help:"Bytes resident in the file cache." ~labels:fl
+    (fun () -> float_of_int (File_cache.bytes t.cache));
+  g ~name:"flash_cache_capacity_bytes" ~help:"Configured file-cache capacity."
+    ~labels:fl
+    (fun () -> float_of_int (cstat ()).Flash_cache.Store.capacity);
+  g ~name:"flash_cache_mapped_bytes"
+    ~help:
+      "File bytes currently mmapped (MP: summed over children at snapshot)."
+    (fun () -> float_of_int (mapped_now t));
+  (match t.helper with
+  | None -> ()
+  | Some h ->
+      c ~name:"flash_helper_jobs_total"
+        ~help:"Disk jobs dispatched to helper processes."
+        (fun () -> Helper.dispatched h);
+      g ~name:"flash_helper_queue_depth"
+        ~help:"Helper jobs queued or in flight."
+        (fun () -> float_of_int (Helper.queue_depth h));
+      g ~name:"flash_helper_queue_depth_hwm"
+        ~help:"Helper queue depth high-water mark."
+        (fun () -> float_of_int (Helper.queue_depth_hwm h));
+      Obs.Registry.histogram r ~name:"flash_helper_job_duration_seconds"
+        ~help:"Helper disk-job latency."
+        (fun () -> Helper.job_latency h));
+  c ~name:"flash_loop_iterations_total" ~help:"Event-loop iterations."
+    (fun () -> Obs.Watchdog.iterations t.watchdog);
+  c ~name:"flash_loop_stalls_total"
+    ~help:"Loop iterations over the stall threshold."
+    (fun () -> Obs.Watchdog.stalls t.watchdog);
+  g ~name:"flash_loop_max_stall_seconds" ~help:"Longest loop iteration."
+    (fun () ->
+      let v = Obs.Watchdog.max_gap t.watchdog in
+      if Float.is_finite v then v else 0.);
+  c ~name:"flash_loop_wakeups_total" ~help:"Readiness waits that returned."
+    (fun () -> Obs.Loopstat.wakeups t.loopstat);
+  g ~name:"flash_loop_ready_per_wakeup"
+    ~help:"Mean ready descriptors per wakeup."
+    (fun () -> Obs.Loopstat.ready_per_wakeup t.loopstat);
+  g ~name:"flash_loop_wait_seconds"
+    ~help:"Cumulative seconds blocked awaiting readiness."
+    (fun () -> Obs.Loopstat.wait_time t.loopstat);
+  g ~name:"flash_loop_work_seconds"
+    ~help:"Cumulative seconds processing ready events."
+    (fun () -> Obs.Loopstat.work_time t.loopstat);
+  c ~name:"flash_loop_timer_fires_total"
+    ~help:"Timer-wheel expirations handled."
+    (fun () -> Obs.Loopstat.timer_fires t.loopstat);
+  g ~name:"flash_timers_pending" ~help:"Timers pending in the wheel."
+    (fun () -> float_of_int (Evio.Timer_wheel.pending t.wheel));
+  c ~name:"flash_accept_emfile_total" ~help:"Accepts shed on EMFILE/ENFILE."
+    (fun () -> Obs.Counter.value t.accept_emfile);
+  g ~name:"flash_accept_paused"
+    ~help:"1 while the listen socket is parked by EMFILE backoff."
+    (fun () -> if t.accept_paused then 1. else 0.);
+  (match t.tracer with
+  | None -> ()
+  | Some tracer ->
+      c ~name:"flash_traces_completed_total" ~help:"Request traces completed."
+        (locked (fun () -> Obs.Trace.completed tracer));
+      c ~name:"flash_traces_evicted_total"
+        ~help:"Traces evicted from the ring."
+        (locked (fun () -> Obs.Trace.evicted tracer));
+      g ~name:"flash_trace_ring_capacity" ~help:"Completed-trace ring size."
+        (fun () -> float_of_int (Obs.Trace.capacity tracer)));
+  match t.slo with
+  | None -> ()
+  | Some slo ->
+      g ~name:"flash_slo_state" ~help:"0 healthy, 1 degraded, 2 breached."
+        (fun () -> float_of_int (Obs.Slo.state_code slo));
+      g ~name:"flash_slo_burn_ratio"
+        ~help:
+          "Fraction of recent traffic-bearing windows violating the latency \
+           target."
+        (fun () -> Obs.Slo.burn slo);
+      g ~name:"flash_slo_windows"
+        ~help:"Traffic-bearing windows in the SLO horizon."
+        (fun () -> float_of_int (Obs.Slo.windows slo));
+      Obs.Registry.info r ~name:"flash_slo_info"
+        ~help:"Latency SLO configuration (constant 1)."
+        ~labels:
+          [
+            ("quantile", Printf.sprintf "%g" (Obs.Slo.quantile slo));
+            ("target_ms", Printf.sprintf "%g" (Obs.Slo.target_ms slo));
+          ]
+
 (* ------------------------------------------------------------------ *)
 (* Output plumbing                                                     *)
 (* ------------------------------------------------------------------ *)
 
 (* Send-path accounting, all modes.  In an MP child the deltas also ride
-   the stats pipe as a framed 'v' record (tag + three 8-byte LE ints =
-   25 bytes < PIPE_BUF, so writes are atomic) so the parent's
+   the stats pipe as a framed 'v' record (tag + four 8-byte LE ints =
+   33 bytes < PIPE_BUF, so writes are atomic) so the parent's
    consolidated view includes them. *)
-let count_send t ~writev ~writes ~copied =
-  if writev <> 0 || writes <> 0 || copied <> 0 then begin
+let count_send ?(sent = 0) t ~writev ~writes ~copied =
+  if writev <> 0 || writes <> 0 || copied <> 0 || sent <> 0 then begin
     (match t.stats_pipe_write with
     | Some w -> (
-        let b = Bytes.create 25 in
+        let b = Bytes.create 33 in
         Bytes.set b 0 'v';
         Bytes.set_int64_le b 1 (Int64.of_int writev);
         Bytes.set_int64_le b 9 (Int64.of_int writes);
         Bytes.set_int64_le b 17 (Int64.of_int copied);
-        try ignore (Unix.write w b 0 25) with Unix.Unix_error _ -> ())
+        Bytes.set_int64_le b 25 (Int64.of_int sent);
+        try ignore (Unix.write w b 0 33) with Unix.Unix_error _ -> ())
     | None -> ());
     (* Mirror locally (MP children keep their own copy-on-write view,
        matching the request/connection counters). *)
     with_obs_lock t (fun () ->
         Obs.Counter.add t.writev_calls writev;
         Obs.Counter.add t.write_calls writes;
-        Obs.Counter.add t.bytes_copied copied)
+        Obs.Counter.add t.bytes_copied copied;
+        Obs.Counter.add t.bytes_sent sent)
   end
 
 (* Strings (error bodies, status/trace payloads, CGI chunks, per-request
@@ -659,6 +1220,7 @@ let render_header ?last_modified ?(extra = []) t ~status ~content_type
 let enqueue_error ?(target = "-") ?(meth = "GET") ?extra t conn status ~keep
     ~head_only =
   t.n_errors <- t.n_errors + 1;
+  count_status t (Http.Status.code status);
   log_access ~conn t ~meth ~target ~status:(Http.Status.code status) ~bytes:0;
   let body = Http.Response.error_body status in
   let header =
@@ -731,6 +1293,7 @@ let plan_for ~(req : Http.Request.t) ~etag ~mtime ~size =
 (* 304 without a cache entry (streamed files): rendered per-request. *)
 let enqueue_not_modified ?etag ?last_modified t conn (req : Http.Request.t)
     ~keep =
+  count_status t 304;
   log_access ~conn t ~meth:(Http.Request.meth_to_string req.Http.Request.meth)
     ~target:req.Http.Request.raw_target ~status:304 ~bytes:0;
   let extra =
@@ -749,6 +1312,7 @@ let enqueue_not_modified ?etag ?last_modified t conn (req : Http.Request.t)
    pre-rendered 304 header — one slice, one gather write, no copies. *)
 let enqueue_not_modified_entry t conn (req : Http.Request.t)
     (entry : File_cache.entry) ~keep =
+  count_status t 304;
   log_access ~conn t ~meth:(Http.Request.meth_to_string req.Http.Request.meth)
     ~target:req.Http.Request.raw_target ~status:304 ~bytes:0;
   enqueue_slice conn
@@ -764,6 +1328,7 @@ let enqueue_not_modified_entry t conn (req : Http.Request.t)
 let enqueue_entry t conn (req : Http.Request.t) (entry : File_cache.entry)
     ~keep ~head_only =
   let body_len = Bigarray.Array1.dim entry.File_cache.body in
+  count_status t 200;
   log_access ~conn t ~meth:(Http.Request.meth_to_string req.Http.Request.meth)
     ~target:req.Http.Request.raw_target ~status:200
     ~bytes:(if head_only then 0 else body_len);
@@ -778,11 +1343,33 @@ let enqueue_entry t conn (req : Http.Request.t) (entry : File_cache.entry)
 (* Deliberately bypasses the access log: a monitoring scraper polling
    every few seconds would otherwise drown the real traffic records. *)
 let enqueue_status t conn (req : Http.Request.t) ~keep ~head_only =
-  let json = wants_json req in
-  let body = status_body t ~json in
+  let body, content_type =
+    match status_window req with
+    | Some n -> (window_body t n, "application/json")
+    | None ->
+        let json = wants_json req in
+        ( status_body t ~json,
+          if json then "application/json" else "text/plain" )
+  in
+  count_status t 200;
+  let header =
+    render_header t ~status:Http.Status.Ok ~content_type:(Some content_type)
+      ~content_length:(Some (String.length body))
+      ~keep
+  in
+  enqueue_string t conn header;
+  if not head_only then enqueue_string t conn body;
+  if not keep then conn.close_after_flush <- true;
+  conn.state <- Reading;
+  record_latency t conn
+
+(* Like the status endpoint, bypasses the access log. *)
+let enqueue_metrics t conn ~keep ~head_only =
+  let body = metrics_body t in
+  count_status t 200;
   let header =
     render_header t ~status:Http.Status.Ok
-      ~content_type:(Some (if json then "application/json" else "text/plain"))
+      ~content_type:(Some "text/plain; version=0.0.4")
       ~content_length:(Some (String.length body))
       ~keep
   in
@@ -795,6 +1382,7 @@ let enqueue_status t conn (req : Http.Request.t) ~keep ~head_only =
 (* Like the status endpoint, bypasses the access log. *)
 let enqueue_trace t conn ~keep ~head_only =
   let body = trace_body t in
+  count_status t 200;
   let header =
     render_header t ~status:Http.Status.Ok
       ~content_type:(Some "application/json")
@@ -949,6 +1537,7 @@ let negotiate_entry t (req : Http.Request.t) ~full entry =
    the entry's mapping — one gather write, zero body copies. *)
 let enqueue_partial t conn (req : Http.Request.t) ~full
     (entry : File_cache.entry) ~keep ~off ~len =
+  count_status t 206;
   log_access ~conn t ~meth:(Http.Request.meth_to_string req.Http.Request.meth)
     ~target:req.Http.Request.raw_target ~status:206 ~bytes:len;
   let extra =
@@ -1044,6 +1633,7 @@ let serve_file t conn (req : Http.Request.t) full ~size ~mtime ~keep =
                 [ ("Content-Range", Http.Range.content_range_unsatisfied ~size) ]
               ()
         | P_slice (off, len) ->
+            count_status t 206;
             log_access ~conn t ~meth ~target ~status:206 ~bytes:len;
             let extra =
               [
@@ -1066,6 +1656,7 @@ let serve_file t conn (req : Http.Request.t) full ~size ~mtime ~keep =
             conn.state <- Reading;
             record_latency t conn
         | P_full ->
+            count_status t 200;
             log_access ~conn t ~meth ~target ~status:200
               ~bytes:(if head_only then 0 else size);
             let header =
@@ -1117,6 +1708,7 @@ let start_cgi t conn (req : Http.Request.t) full ~keep:_ =
           Unix.close dev_null;
           Unix.close pipe_write;
           Unix.set_nonblock pipe_read;
+          count_status t 200;
           let header =
             render_header t ~status:Http.Status.Ok ~content_type:None
               ~content_length:None ~keep:false
@@ -1147,6 +1739,8 @@ let process_request t conn (req : Http.Request.t) =
       enqueue_error t conn Http.Status.Not_implemented ~keep:false ~head_only
   | Http.Request.Get | Http.Request.Head -> (
       if is_status_request t req then enqueue_status t conn req ~keep ~head_only
+      else if is_metrics_request t req then
+        enqueue_metrics t conn ~keep ~head_only
       else if is_trace_request t req then
         enqueue_trace t conn ~keep ~head_only
       else begin
@@ -1233,6 +1827,7 @@ let rec try_parse t conn =
             ~keep:false
         in
         t.n_errors <- t.n_errors + 1;
+        count_status t 400;
         enqueue_string t conn header;
         enqueue_string t conn body;
         conn.close_after_flush <- true;
@@ -1363,14 +1958,14 @@ let handle_writable t conn =
            let written, partial =
              if t.gather_writes then begin
                let n = Iovec.writev conn.fd slices in
-               count_send t ~writev:1 ~writes:0 ~copied:0;
+               count_send t ~writev:1 ~writes:0 ~copied:0 ~sent:n;
                (n, n < total)
              end
              else begin
                let n, copied =
                  Iovec.writev_copy ~scratch:t.send_scratch conn.fd slices
                in
-               count_send t ~writev:0 ~writes:1 ~copied;
+               count_send t ~writev:0 ~writes:1 ~copied ~sent:n;
                (n, n < copied)
              end
            in
@@ -1380,7 +1975,7 @@ let handle_writable t conn =
            let chunk = min 65536 f.remaining in
            let data = read_whole f.src chunk in
            let n = Unix.write_substring conn.fd data 0 (String.length data) in
-           count_send t ~writev:0 ~writes:1 ~copied:(String.length data);
+           count_send t ~writev:0 ~writes:1 ~copied:(String.length data) ~sent:n;
            (* A short write drops the tail of this chunk; re-read it via
               the file offset by seeking back. *)
            if n < String.length data then begin
@@ -1603,6 +2198,17 @@ let handle_timer t ~now ev =
         Evio.Backend.modify t.evio t.listen_fd ~read:true ~write:false;
         accept_all t
       end
+  | T_rollup ->
+      (* Periodic flight-recorder tick, so windows close on an idle
+         server too; request paths also tick opportunistically. *)
+      tick_recorder t;
+      let interval =
+        match t.recorder with
+        | Some r -> Obs.Recorder.interval r
+        | None -> t.config.recorder_interval
+      in
+      ignore
+        (Evio.Timer_wheel.schedule t.wheel ~at:(now +. interval) T_rollup)
 
 let dispatch_event t (ev : Evio.event) =
   match Hashtbl.find_opt t.fd_owners ev.Evio.fd with
@@ -1644,6 +2250,13 @@ let run_loop t =
       Evio.Backend.register t.evio nfd ~read:true ~write:false;
       Hashtbl.replace t.fd_owners nfd O_helper
   | None -> ());
+  (match t.recorder with
+  | Some r ->
+      ignore
+        (Evio.Timer_wheel.schedule t.wheel
+           ~at:(t.config.clock () +. Obs.Recorder.interval r)
+           T_rollup)
+  | None -> ());
   while not t.stopped do
     (* Sleep exactly until the next timer deadline (forever when no
        timers are pending) — readiness and the wake pipe interrupt the
@@ -1679,85 +2292,6 @@ let run_loop t =
 (* MP mode: forked blocking workers                                    *)
 (* ------------------------------------------------------------------ *)
 
-(* One fixed-size record per event.  MP children send these to the
-   parent; MT threads and the single-process modes count in place.
-   Tags: 'r' finished request, 'e' finished request that errored,
-   'c' accepted connection.  The float is the request latency in
-   seconds (0 for 'c').  9 bytes < PIPE_BUF, so writes are atomic. *)
-let stats_record ~tag ~latency =
-  let b = Bytes.create 9 in
-  Bytes.set b 0 tag;
-  Bytes.set_int64_le b 1 (Int64.bits_of_float latency);
-  b
-
-(* Variable-length trace records ride the same pipe: tag 'T', a u16 LE
-   payload length, then a [Obs.Trace.to_binary] record.  Children frame
-   and write each in a single [write] under PIPE_BUF, so records never
-   interleave. *)
-let consume_stats t bytes len =
-  Buffer.add_subbytes t.stats_acc bytes 0 len;
-  let s = Buffer.contents t.stats_acc in
-  let n = String.length s in
-  let pos = ref 0 in
-  let short = ref false in
-  while (not !short) && !pos < n do
-    match s.[!pos] with
-    | 'c' | 'r' | 'e' ->
-        if !pos + 9 <= n then begin
-          let latency = Int64.float_of_bits (String.get_int64_le s (!pos + 1)) in
-          (match s.[!pos] with
-          | 'c' -> t.n_connections <- t.n_connections + 1
-          | tag ->
-              t.n_requests <- t.n_requests + 1;
-              if tag = 'e' then t.n_errors <- t.n_errors + 1;
-              with_obs_lock t (fun () -> Obs.Histogram.record t.latency latency));
-          pos := !pos + 9
-        end
-        else short := true
-    | 'f' ->
-        (* An MP child shed an accept on EMFILE/ENFILE (same 9-byte
-           frame as the counting tags; the float is unused). *)
-        if !pos + 9 <= n then begin
-          Obs.Counter.incr t.accept_emfile;
-          pos := !pos + 9
-        end
-        else short := true
-    | 'v' ->
-        (* Send-path counter deltas from an MP child: three 8-byte LE
-           ints after the tag. *)
-        if !pos + 25 <= n then begin
-          let int_at o = Int64.to_int (String.get_int64_le s (!pos + o)) in
-          let writev = int_at 1 and writes = int_at 9 and copied = int_at 17 in
-          with_obs_lock t (fun () ->
-              Obs.Counter.add t.writev_calls writev;
-              Obs.Counter.add t.write_calls writes;
-              Obs.Counter.add t.bytes_copied copied);
-          pos := !pos + 25
-        end
-        else short := true
-    | 'T' ->
-        if !pos + 3 <= n then begin
-          let plen = Char.code s.[!pos + 1] lor (Char.code s.[!pos + 2] lsl 8) in
-          if !pos + 3 + plen <= n then begin
-            (match Obs.Trace.of_binary s ~pos:(!pos + 3) with
-            | Some (data, _) -> (
-                match t.tracer with
-                | Some tracer ->
-                    with_obs_lock t (fun () -> Obs.Trace.ingest tracer data)
-                | None -> ())
-            | None -> ());
-            pos := !pos + 3 + plen
-          end
-          else short := true
-        end
-        else short := true
-    | _ ->
-        (* Unknown tag: resynchronise one byte at a time. *)
-        incr pos
-  done;
-  Buffer.clear t.stats_acc;
-  Buffer.add_substring t.stats_acc s !pos (n - !pos)
-
 let mp_count_event t ~tag ~latency =
   match t.stats_pipe_write with
   | Some w ->
@@ -1772,7 +2306,8 @@ let mp_count_event t ~tag ~latency =
           t.n_requests <- t.n_requests + 1;
           if tag = 'e' then t.n_errors <- t.n_errors + 1;
           Obs.Histogram.record t.latency latency
-      | _ -> ())
+      | _ -> ());
+      tick_recorder t
   | None ->
       with_obs_lock t (fun () ->
           match tag with
@@ -1781,7 +2316,8 @@ let mp_count_event t ~tag ~latency =
               t.n_requests <- t.n_requests + 1;
               if tag = 'e' then t.n_errors <- t.n_errors + 1;
               Obs.Histogram.record t.latency latency
-          | _ -> ())
+          | _ -> ());
+      tick_recorder t
 
 (* MP children ship each finished trace to the parent as a framed
    binary record on the stats pipe.  Oversized traces (past PIPE_BUF
@@ -1809,6 +2345,7 @@ let mp_serve_connection t fd =
   Unix.clear_nonblock fd;
   mp_count_event t ~tag:'c' ~latency:0.;
   with_obs_lock t (fun () -> Obs.Gauge.incr t.active);
+  mp_ship_gauges t;
   let accepted = t.config.clock () in
   let track = current_track t in
   let buf = Bytes.create 65536 in
@@ -1827,14 +2364,14 @@ let mp_serve_connection t fd =
           match
             if t.gather_writes then begin
               let n = Iovec.writev fd live in
-              count_send t ~writev:1 ~writes:0 ~copied:0;
+              count_send t ~writev:1 ~writes:0 ~copied:0 ~sent:n;
               n
             end
             else begin
               let n, copied =
                 Iovec.writev_copy ~scratch:(Lazy.force scratch) fd live
               in
-              count_send t ~writev:0 ~writes:1 ~copied;
+              count_send t ~writev:0 ~writes:1 ~copied ~sent:n;
               n
             end
           with
@@ -1873,6 +2410,7 @@ let mp_serve_connection t fd =
             request_loop (inbuf ^ Bytes.sub_string buf 0 n) t_first nreq
         | exception Unix.Unix_error _ -> ())
     | Http.Request.Bad _ ->
+        count_status t 400;
         let body = Http.Response.error_body Http.Status.Bad_request in
         let header =
           render_header t ~status:Http.Status.Bad_request
@@ -1932,6 +2470,7 @@ let mp_serve_connection t fd =
           send_traced (fun () -> send_slices slices)
         in
         let respond_error ?extra status =
+          count_status t (Http.Status.code status);
           let body = Http.Response.error_body status in
           let header =
             render_header t ~status ?extra ~content_type:(Some "text/html")
@@ -1942,11 +2481,33 @@ let mp_serve_connection t fd =
         in
         let ok =
           if is_status_request t req then begin
-            let body = status_body t ~json:(wants_json req) in
+            (* In an MP child this is the child-local view. *)
+            let body, content_type =
+              match status_window req with
+              | Some n -> (window_body t n, "application/json")
+              | None ->
+                  let json = wants_json req in
+                  ( status_body t ~json,
+                    if json then "application/json" else "text/plain" )
+            in
+            count_status t 200;
             let header =
               render_header t ~status:Http.Status.Ok
-                ~content_type:
-                  (Some (if wants_json req then "application/json" else "text/plain"))
+                ~content_type:(Some content_type)
+                ~content_length:(Some (String.length body))
+                ~keep
+            in
+            send (if head_only then [ header ] else [ header; body ]);
+            true
+          end
+          else if is_metrics_request t req then begin
+            (* Child-local in MP children; the parent's consolidated
+               exposition is served from the parent process. *)
+            let body = metrics_body t in
+            count_status t 200;
+            let header =
+              render_header t ~status:Http.Status.Ok
+                ~content_type:(Some "text/plain; version=0.0.4")
                 ~content_length:(Some (String.length body))
                 ~keep
             in
@@ -1956,6 +2517,7 @@ let mp_serve_connection t fd =
           else if is_trace_request t req then begin
             (* In an MP child this renders the child's own ring. *)
             let body = trace_body t in
+            count_status t 200;
             let header =
               render_header t ~status:Http.Status.Ok
                 ~content_type:(Some "application/json")
@@ -1992,6 +2554,7 @@ let mp_serve_connection t fd =
                     ~mtime:entry.File_cache.mtime ~size
                 with
                 | P_not_modified ->
+                    count_status t 304;
                     send_entry_slices
                       [|
                         Iovec.slice
@@ -2008,6 +2571,7 @@ let mp_serve_connection t fd =
                             Http.Range.content_range_unsatisfied ~size );
                         ]
                 | P_slice (off, len) ->
+                    count_status t 206;
                     let extra =
                       [
                         ( "Content-Range",
@@ -2035,6 +2599,7 @@ let mp_serve_connection t fd =
                         Iovec.slice ~off ~len entry.File_cache.body;
                       |]
                 | P_full ->
+                    count_status t 200;
                     let header =
                       Iovec.slice
                         (if keep then entry.File_cache.header_keep
@@ -2083,9 +2648,11 @@ let mp_serve_connection t fd =
                           in
                           Unix.close file_fd;
                           end_disk ();
-                          if st.Unix.st_size <= t.config.max_cached_file then
+                          if st.Unix.st_size <= t.config.max_cached_file then begin
                             with_cache_lock t (fun () ->
                                 File_cache.insert t.cache full entry);
+                            mp_ship_gauges t
+                          end;
                           send_entry entry;
                           true)))
         in
@@ -2106,6 +2673,7 @@ let mp_serve_connection t fd =
   in
   request_loop "" None 0;
   with_obs_lock t (fun () -> Obs.Gauge.decr t.active);
+  mp_ship_gauges t;
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 (* MP children and MT workers accept through their own backend
@@ -2210,6 +2778,16 @@ let start config =
      fd is nonblocking everywhere (a connection that vanishes between
      readiness and accept must yield EAGAIN, not a hang). *)
   Unix.set_nonblock listen_fd;
+  (* The stats pipe exists before [t]: closures created below capture
+     the final record, so no [{ t with ... }] copy may follow. *)
+  let stats_pipe_read, stats_pipe_write =
+    match config.mode with
+    | Mp _ ->
+        let r, w = Unix.pipe () in
+        Unix.set_nonblock r;
+        (Some r, Some w)
+    | Amped | Sped | Mt _ -> (None, None)
+  in
   let t =
     {
       config;
@@ -2239,8 +2817,8 @@ let start config =
         Option.map
           (fun path -> open_out_gen [ Open_append; Open_creat ] 0o644 path)
           config.access_log;
-      stats_pipe_read = None;
-      stats_pipe_write = None;
+      stats_pipe_read;
+      stats_pipe_write;
       stats_acc = Buffer.create 64;
       stats_mutex = Mutex.create ();
       cache_mutex = Mutex.create ();
@@ -2249,6 +2827,17 @@ let start config =
       writev_calls = Obs.Counter.create ();
       write_calls = Obs.Counter.create ();
       bytes_copied = Obs.Counter.create ();
+      bytes_sent = Obs.Counter.create ();
+      status_classes = Array.make 4 0;
+      owner_pid = Unix.getpid ();
+      registry = Obs.Registry.create ();
+      recorder = None;
+      recorder_mutex = Mutex.create ();
+      slo =
+        Option.map
+          (fun (quantile, target_ms) -> Obs.Slo.create ~quantile ~target_ms ())
+          config.latency_slo;
+      mp_child_gauges = Hashtbl.create 8;
       send_scratch = Bytes.create 65536;
       gather_writes = config.use_writev && Iovec.have_writev;
       watchdog =
@@ -2276,14 +2865,18 @@ let start config =
       accept_backoff = accept_backoff_initial;
     }
   in
-  let t =
-    match config.mode with
-    | Mp _ ->
-        let r, w = Unix.pipe () in
-        Unix.set_nonblock r;
-        { t with stats_pipe_read = Some r; stats_pipe_write = Some w }
-    | Amped | Sped | Mt _ -> t
-  in
+  register_metrics t;
+  (* Recorder after [register_metrics] (its read closure walks the same
+     counters) and before forks/threads, so every worker inherits it. *)
+  t.recorder <-
+    Some
+      (Obs.Recorder.create
+         ~capacity:(max 1 config.recorder_capacity)
+         ~interval:config.recorder_interval ~now:config.clock
+         ~read:(recorder_read t)
+         ~on_rollup:(fun r ->
+           match t.slo with Some s -> Obs.Slo.observe s r | None -> ())
+         ());
   (match config.mode with
   | Mp n ->
       let children =
@@ -2310,17 +2903,23 @@ let port t = t.bound_port
 let mode t = t.config.mode
 
 (* The MP parent's only job: consolidate children's statistics.  It
-   sleeps in its backend with no timeout — the stats pipe or the wake
-   pipe interrupts it; there is no polling tick. *)
+   sleeps in its backend for at most one recorder interval — the stats
+   pipe or the wake pipe interrupts it sooner; the timeout closes
+   flight-recorder windows on an idle server. *)
 let mp_parent_loop t =
   let buf = Bytes.create 4095 in
   (match t.stats_pipe_read with
   | Some r -> Evio.Backend.register t.evio r ~read:true ~write:false
   | None -> ());
   Evio.Backend.register t.evio t.wake_read ~read:true ~write:false;
+  let timeout =
+    match t.recorder with
+    | Some r -> Some (Obs.Recorder.interval r)
+    | None -> None
+  in
   while not t.stopped do
     let wait_start = t.config.clock () in
-    let events = Evio.Backend.wait t.evio ~timeout:None in
+    let events = Evio.Backend.wait t.evio ~timeout in
     Obs.Loopstat.wake t.loopstat
       ~waited:(t.config.clock () -. wait_start)
       ~ready:(List.length events);
@@ -2346,19 +2945,27 @@ let mp_parent_loop t =
               | () -> ()
               | exception Unix.Unix_error _ -> ())
           | _ -> ())
-      events
+      events;
+    tick_recorder t
   done
 
 let run t =
   match t.config.mode with
   | Mp _ -> mp_parent_loop t
   | Mt _ ->
-      (* Threads update shared counters themselves; just park on the
-         wake pipe until [stop] writes its byte. *)
+      (* Threads update shared counters themselves; park on the wake
+         pipe, waking once per recorder interval to close windows on an
+         idle server. *)
+      let timeout =
+        match t.recorder with
+        | Some r -> Obs.Recorder.interval r
+        | None -> -1.
+      in
       while not t.stopped do
-        match Unix.select [ t.wake_read ] [] [] (-1.) with
+        (match Unix.select [ t.wake_read ] [] [] timeout with
         | _ -> ()
-        | exception Unix.Unix_error _ -> ()
+        | exception Unix.Unix_error _ -> ());
+        tick_recorder t
       done
   | Amped | Sped -> run_loop t
 
@@ -2399,26 +3006,6 @@ let stop t =
     try Unix.close t.wake_write with Unix.Unix_error _ -> ()
   end
 
-(* On-demand drain so [stats] is current even between parent-loop polls. *)
-let drain_stats_pipe t =
-  match t.stats_pipe_read with
-  | None -> ()
-  | Some r ->
-      let buf = Bytes.create 4095 in
-      Mutex.lock t.stats_mutex;
-      Fun.protect
-        ~finally:(fun () -> Mutex.unlock t.stats_mutex)
-        (fun () ->
-          let rec loop () =
-            match Unix.read r buf 0 4095 with
-            | n when n > 0 ->
-                consume_stats t buf n;
-                loop ()
-            | _ -> ()
-            | exception Unix.Unix_error _ -> ()
-          in
-          loop ())
-
 let stats t =
   drain_stats_pipe t;
   {
@@ -2431,13 +3018,13 @@ let stats t =
     cache_evictions = File_cache.evictions t.cache;
     helper_queue_depth =
       (match t.helper with Some h -> Helper.queue_depth h | None -> 0);
-    active_connections = with_obs_lock t (fun () -> Obs.Gauge.value t.active);
+    active_connections = active_now t;
     loop_stalls = Obs.Watchdog.stalls t.watchdog;
     loop_max_stall = Obs.Watchdog.max_gap t.watchdog;
     writev_calls = with_obs_lock t (fun () -> Obs.Counter.value t.writev_calls);
     write_calls = with_obs_lock t (fun () -> Obs.Counter.value t.write_calls);
     bytes_copied = with_obs_lock t (fun () -> Obs.Counter.value t.bytes_copied);
-    mapped_bytes = File_cache.mapped_bytes t.cache;
+    mapped_bytes = mapped_now t;
     event_backend = Evio.name t.config.event_backend;
     loop_wakeups = Obs.Loopstat.wakeups t.loopstat;
     timer_fires = Obs.Loopstat.timer_fires t.loopstat;
@@ -2464,3 +3051,17 @@ let trace_snapshot t =
 let trace_chrome_json t =
   drain_stats_pipe t;
   trace_body t
+
+(* SIGUSR1 / shutdown dump: flush the partial window, render the whole
+   ring.  Drains the stats pipe first so an MP parent's dump reflects
+   everything the children have shipped. *)
+let recorder_dump t =
+  drain_stats_pipe t;
+  match with_recorder t Obs.Recorder.dump_json with
+  | Some s -> s
+  | None -> {|{"capacity": 0, "interval": 0, "rollups": []}|}
+
+let recorder_window t n =
+  match with_recorder t (fun r -> Obs.Recorder.window r n) with
+  | Some rs -> rs
+  | None -> []

@@ -157,6 +157,20 @@ type config = {
       (** test seam: consulted before each [accept]; returning [true]
           makes it behave as if it failed with EMFILE, exercising the
           shedding path without exhausting real descriptors *)
+  metrics_path : string option;
+      (** Prometheus text exposition endpoint (default ["/metrics"]);
+          [None] disables it.  In MP mode a child serves its own view
+          over HTTP; the parent's consolidated exposition is
+          {!metrics_body}. *)
+  latency_slo : (float * float) option;
+      (** [(quantile, target_ms)]: evaluate a latency SLO over the
+          flight recorder's windows — e.g. [(99., 50.)] means "p99 at
+          or under 50 ms".  Burn rate and health state appear in
+          [/server-status] and [/metrics] (default [None]) *)
+  recorder_capacity : int;
+      (** flight-recorder ring size, in windows (default 120) *)
+  recorder_interval : float;
+      (** flight-recorder window length, seconds (default 1.0) *)
 }
 
 val default_config : docroot:string -> config
@@ -223,3 +237,19 @@ val trace_snapshot : t -> Obs.Trace.trace_data list
 (** The ring as Chrome trace-event JSON — what [GET /server-trace]
     serves. *)
 val trace_chrome_json : t -> string
+
+(** One walk over the unified metrics registry, rendered as Prometheus
+    text exposition — what [GET /metrics] serves.  In MP mode, calling
+    this on the parent drains the stats pipe first and renders the
+    consolidated view (a child serving the endpoint over HTTP renders
+    its own). *)
+val metrics_body : t -> string
+
+(** Flight-recorder dump: flush the partial window, render the whole
+    ring as [{"capacity":…, "interval":…, "rollups":[…]}].  Wired to
+    SIGUSR1 by [flash_serve]. *)
+val recorder_dump : t -> string
+
+(** Newest [n] flight-recorder rollups, oldest first — the data behind
+    [GET /server-status?window=N]. *)
+val recorder_window : t -> int -> Obs.Recorder.rollup list

@@ -1,0 +1,34 @@
+(** Prometheus text exposition (format 0.0.4) rendered from a registry
+    walk, plus a strict parser/validator shared by the tests and the CI
+    lint step. *)
+
+(** The fixed cumulative bucket ladder, in seconds.  Stable across
+    scrapes regardless of how the underlying log-bucketed histogram has
+    grown. *)
+val le_edges : float list
+
+(** Render collected samples as exposition text.  Histogram samples
+    expand into [_bucket] (cumulative, [le]-labelled, ending at [+Inf]),
+    [_sum] and [_count] series.  Label values are escaped per the
+    format. *)
+val render : Registry.sample list -> string
+
+type series = {
+  s_name : string;  (** full sample name, e.g. [foo_bucket] *)
+  s_labels : (string * string) list;
+  s_value : float;
+}
+
+type family = {
+  f_name : string;  (** the [# TYPE] name *)
+  f_type : string;  (** counter | gauge | histogram | untyped *)
+  f_series : series list;  (** in exposition order *)
+}
+
+(** Strictly parse and validate a payload: every sample under a
+    preceding [# TYPE]; families contiguous and declared once; label
+    sets parseable, sorted by name and unique per series; counters
+    non-negative; histograms with in-order [le] buckets, nondecreasing
+    cumulative counts, a [+Inf] bucket matching [_count], and a [_sum].
+    Returns the parsed families, or the first violation. *)
+val validate : string -> (family list, string) result

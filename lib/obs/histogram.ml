@@ -82,7 +82,45 @@ let percentile t p =
     Float.min t.max_v (Float.max t.min_v edge)
   end
 
+(* Observations at or below [x]: every bucket whose upper edge is <= x.
+   Values inside the bucket straddling [x] are excluded — the estimate
+   is a lower bound whose error is one bucket's width, and it is
+   monotone in [x], which is what cumulative exposition needs. *)
+let count_le t x =
+  let acc = ref 0 in
+  for i = 0 to t.used - 1 do
+    if upper_edge t i <= x then acc := !acc + t.counts.(i)
+  done;
+  !acc
+
 let copy t = { t with counts = Array.copy t.counts }
+
+(* [diff newer older]: the histogram of observations recorded between
+   the [older] snapshot and the [newer] one — exact on bucket counts
+   (the windowed histograms the flight recorder's rollups carry, which
+   is why merging all rollups reproduces the global bucket counts).
+   Exact extrema are unrecoverable from counts alone, so min/max are
+   reconstructed from the outermost non-empty buckets' edges. *)
+let diff newer older =
+  if newer.base <> older.base || newer.lo <> older.lo then
+    invalid_arg "Obs.Histogram.diff: mismatched base/lo";
+  let d = copy newer in
+  for i = 0 to older.used - 1 do
+    ensure d i;
+    d.counts.(i) <- Stdlib.max 0 (d.counts.(i) - older.counts.(i))
+  done;
+  d.total <- Stdlib.max 0 (newer.total - older.total);
+  d.sum <- Float.max 0. (newer.sum -. older.sum);
+  d.min_v <- infinity;
+  d.max_v <- neg_infinity;
+  for i = d.used - 1 downto 0 do
+    if d.counts.(i) > 0 then begin
+      if Float.is_finite (lower_edge d i) then d.min_v <- lower_edge d i
+      else d.min_v <- 0.;
+      if d.max_v = neg_infinity then d.max_v <- upper_edge d i
+    end
+  done;
+  d
 
 let merge a b =
   if a.base <> b.base || a.lo <> b.lo then

@@ -46,8 +46,22 @@ val max : t -> float
     @raise Invalid_argument if [p] is outside [[0, 100]]. *)
 val percentile : t -> float -> float
 
+(** Observations at or below [x], counting whole buckets only: the
+    bucket straddling [x] is excluded, so the result is a lower bound
+    within one bucket's population and is monotone in [x] — the shape
+    cumulative ([le]-labelled) exposition buckets need. *)
+val count_le : t -> float -> int
+
 (** Independent deep copy (snapshotting under a lock). *)
 val copy : t -> t
+
+(** [diff newer older] — the observations recorded between the [older]
+    snapshot and the [newer] one.  Exact on bucket counts, count and
+    sum (merging consecutive diffs reproduces the original); min/max
+    are reconstructed from bucket edges, so they carry the usual
+    one-bucket relative error.  @raise Invalid_argument if [base]/[lo]
+    differ. *)
+val diff : t -> t -> t
 
 (** [merge a b] is a fresh histogram equivalent to recording both
     streams.  @raise Invalid_argument if [base]/[lo] differ. *)

@@ -1,0 +1,100 @@
+(** Flight recorder: a fixed-size ring of per-second rollups.
+
+    The recorder is clocked externally ([now] is injected, so the
+    simulator drives it from the virtual clock) and reads cumulative
+    counters through a closure; every rollup is the delta between two
+    cumulative snapshots, plus instantaneous gauges sampled when the
+    window closes.  Windows close lazily on {!tick} — a blocked or idle
+    period becomes one long window whose [r_dur] carries the truth
+    rather than a backlog of empty windows. *)
+
+(** Cumulative snapshot, as read from the server under its own lock.
+    [c_latency] must be a private copy (the recorder keeps it). *)
+type cum = {
+  c_requests : int;
+  c_bytes : int;
+  c_writev : int;
+  c_write : int;
+  c_copied : int;
+  c_cache_hits : int;
+  c_cache_misses : int;
+  c_errors : int;
+  c_wait : float;
+  c_work : float;
+  c_latency : Histogram.t;
+}
+
+(** Instantaneous gauges sampled at window close. *)
+type gauges = { g_active : int; g_helper_queue : int; g_mapped : int }
+
+type rollup = {
+  r_start : float;
+  r_dur : float;  (** > 0; rates divide by it *)
+  requests : int;
+  bytes : int;
+  writev : int;
+  write : int;
+  copied : int;
+  cache_hits : int;
+  cache_misses : int;
+  errors : int;
+  wait : float;
+  work : float;
+  active : int;
+  helper_queue : int;
+  mapped : int;
+  latency : Histogram.t;
+      (** windowed histogram: exact bucket/count/sum diff of the two
+          snapshots, so merging every rollup in the ring plus the
+          pre-ring remainder reproduces the global histogram *)
+}
+
+type t
+
+(** [create ~now ~read ()] — [capacity] rollups are retained (default
+    120), windows are [interval] seconds (default 1.0).  [read] is
+    called at every window close; [on_rollup] observes each closed
+    window (the SLO evaluator hooks here).
+    @raise Invalid_argument if [capacity < 1] or [interval <= 0]. *)
+val create :
+  ?capacity:int ->
+  ?interval:float ->
+  now:(unit -> float) ->
+  read:(unit -> cum * gauges) ->
+  ?on_rollup:(rollup -> unit) ->
+  unit ->
+  t
+
+val capacity : t -> int
+val interval : t -> float
+
+(** Close the current window if at least [interval] has elapsed. *)
+val tick : t -> unit
+
+(** Close the current window unconditionally (dump paths want the
+    partial tail). *)
+val flush : t -> unit
+
+(** Newest [n] rollups, oldest first.  Ticks first. *)
+val window : t -> int -> rollup list
+
+(** Every retained rollup, oldest first.  Ticks first. *)
+val all : t -> rollup list
+
+(** Derived views. *)
+val rps : rollup -> float
+
+val hit_rate : rollup -> float
+
+(** [p_ms r p] — latency percentile of the window, in milliseconds;
+    [0.] when the window saw no requests. *)
+val p_ms : rollup -> float -> float
+
+(** JSON rendering shared by [?window=N], the SIGUSR1 dump and the
+    bench time series. *)
+val rollup_json : rollup -> string
+
+val rollups_json : rollup list -> string
+
+(** Flushes, then renders [{"capacity":…, "interval":…, "rollups":[…]}]. *)
+val dump_json : t -> string

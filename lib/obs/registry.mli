@@ -1,0 +1,64 @@
+(** The unified metrics registry.
+
+    Every counter, gauge and histogram a server exposes is registered
+    once, under a stable Prometheus-style name (e.g.
+    [flash_http_requests_total]) with optional labels, together with a
+    closure reading the live value.  Rendering — the human status page,
+    its JSON view, and [GET /metrics] exposition — happens over one
+    {!collect} walk, so the surfaces cannot drift: a metric registered
+    here appears in all of them, and nothing appears anywhere else.
+
+    Registration is not thread-safe (do it at server start); [collect]
+    only calls the read closures, whose own synchronisation is the
+    caller's (the live server collects under its observability lock). *)
+
+type labels = (string * string) list
+
+type value =
+  | Counter of int  (** cumulative, monotone *)
+  | Gauge of float  (** instantaneous *)
+  | Hist of Histogram.t  (** snapshot of a log-bucketed histogram *)
+  | Info  (** constant 1; the labels carry the payload *)
+
+type sample = {
+  name : string;
+  help : string;
+  labels : labels;  (** sorted by label name *)
+  value : value;
+}
+
+type t
+
+val create : unit -> t
+
+(** Register one series.  Names must match
+    [[a-zA-Z_:][a-zA-Z0-9_:]*]; label names [[a-zA-Z][a-zA-Z0-9_]*].
+    @raise Invalid_argument on an invalid name, duplicate label names,
+    or a (name, labels) pair already registered. *)
+val counter :
+  t -> name:string -> help:string -> ?labels:labels -> (unit -> int) -> unit
+
+val gauge :
+  t -> name:string -> help:string -> ?labels:labels -> (unit -> float) -> unit
+
+val histogram :
+  t ->
+  name:string ->
+  help:string ->
+  ?labels:labels ->
+  (unit -> Histogram.t) ->
+  unit
+
+(** A static info metric ([flash_build_info]-style): constant value 1,
+    payload in the labels. *)
+val info : t -> name:string -> help:string -> labels:labels -> unit
+
+(** Read every registered series, sorted by (name, labels). *)
+val collect : t -> sample list
+
+(** Renderer conveniences over a collected list. *)
+val find : sample list -> ?labels:labels -> string -> sample option
+
+val int_value : ?labels:labels -> sample list -> string -> int
+val float_value : ?labels:labels -> sample list -> string -> float
+val hist_value : ?labels:labels -> sample list -> string -> Histogram.t option

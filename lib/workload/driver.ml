@@ -15,6 +15,7 @@ type result = {
   cache_capacity_bytes : int;
   latency_p50_ms : float;
   latency_p95_ms : float;
+  timeseries : Obs.Recorder.rollup list;
 }
 
 let pp_result fmt r =
@@ -34,7 +35,8 @@ let request_string ~persistent path =
 
 (* One closed-loop client: request, wait for the full response, repeat.
    Response times land in [latency] (seconds). *)
-let client_loop engine net ~next_path ~persistent ~link_rate ~rtt ~latency () =
+let client_loop engine net ~next_path ~persistent ~link_rate ~rtt ~latency
+    ~obs_latency () =
   let conn = ref None in
   let rec loop () =
     let path = next_path () in
@@ -54,7 +56,9 @@ let client_loop engine net ~next_path ~persistent ~link_rate ~rtt ~latency () =
     Simos.Net.client_send c (request_string ~persistent path);
     (match Simos.Net.client_await_response c with
     | `Ok ->
-        Sim.Stat.Histogram.add latency (Sim.Engine.now engine -. started);
+        let rt = Sim.Engine.now engine -. started in
+        Sim.Stat.Histogram.add latency rt;
+        Obs.Histogram.record obs_latency rt;
         if not persistent then begin
           Simos.Net.client_close c;
           conn := None
@@ -83,8 +87,8 @@ let prewarm_files kernel files =
   warm 0
 
 let run ?(seed = 7) ?(clients = 64) ?(persistent = false) ?link_rate
-    ?(warmup = 3.) ?(duration = 10.) ?(prewarm = true) ~profile ~server
-    ~fileset ~next () =
+    ?(warmup = 3.) ?(duration = 10.) ?(prewarm = true)
+    ?(recorder_interval = 1.0) ~profile ~server ~fileset ~next () =
   let engine = Sim.Engine.create ~seed () in
   let kernel = Simos.Kernel.create engine profile in
   let files = Fileset.install fileset (Simos.Kernel.fs kernel) in
@@ -103,17 +107,56 @@ let run ?(seed = 7) ?(clients = 64) ?(persistent = false) ?link_rate
     next !step
   in
   let latency = Sim.Stat.Histogram.create ~lo:0. ~hi:10. ~buckets:2000 in
+  let obs_latency = Obs.Histogram.create () in
   for i = 1 to clients do
     ignore
       (Sim.Proc.spawn engine
          ~name:(Printf.sprintf "client-%d" i)
-         (client_loop engine net ~next_path ~persistent ~link_rate ~rtt ~latency))
+         (client_loop engine net ~next_path ~persistent ~link_rate ~rtt
+            ~latency ~obs_latency))
   done;
   ignore (Sim.Engine.run ~until:warmup engine);
   (* Only measure steady-state response times. *)
   Sim.Stat.Histogram.reset latency;
+  Obs.Histogram.reset obs_latency;
   let cpu = Simos.Kernel.cpu kernel in
   let disk = Simos.Kernel.disk kernel in
+  (* Flight recorder on the virtual clock: the same per-window rollups
+     the live server keeps, so simulated experiments produce a time
+     series, not just end-state totals.  The read closure snapshots the
+     sim's cumulative counters; syscall/copy counters have no simulated
+     equivalent and stay zero. *)
+  let recorder =
+    Obs.Recorder.create
+      ~capacity:(Stdlib.max 1 (int_of_float (Float.ceil (duration /. recorder_interval)) + 1))
+      ~interval:recorder_interval
+      ~now:(fun () -> Sim.Engine.now engine)
+      ~read:(fun () ->
+        ( {
+            Obs.Recorder.c_requests = Flash.Server.completed srv;
+            c_bytes = Simos.Net.delivered_bytes net;
+            c_writev = 0;
+            c_write = 0;
+            c_copied = 0;
+            c_cache_hits = Flash.Server.pathname_hits srv;
+            c_cache_misses = Flash.Server.pathname_misses srv;
+            c_errors = Flash.Server.errors srv;
+            c_wait = 0.;
+            c_work = Sim.Cpu.busy_time (Simos.Kernel.cpu kernel);
+            c_latency = Obs.Histogram.copy obs_latency;
+          },
+          {
+            Obs.Recorder.g_active = Simos.Net.active_drains net;
+            g_helper_queue = 0;
+            g_mapped = 0;
+          } ))
+      ()
+  in
+  let rec tick_loop () =
+    Obs.Recorder.tick recorder;
+    Sim.Engine.schedule engine ~delay:recorder_interval tick_loop
+  in
+  Sim.Engine.schedule engine ~delay:recorder_interval tick_loop;
   let delivered0 = Simos.Net.delivered_bytes net in
   let completed0 = Flash.Server.completed srv in
   let errors0 = Flash.Server.errors srv in
@@ -143,4 +186,7 @@ let run ?(seed = 7) ?(clients = 64) ?(persistent = false) ?link_rate
       Simos.Memory.cache_capacity (Simos.Kernel.memory kernel);
     latency_p50_ms = 1000. *. Sim.Stat.Histogram.percentile latency 50.;
     latency_p95_ms = 1000. *. Sim.Stat.Histogram.percentile latency 95.;
+    timeseries =
+      (Obs.Recorder.flush recorder;
+       Obs.Recorder.all recorder);
   }

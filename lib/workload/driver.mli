@@ -24,6 +24,10 @@ type result = {
   cache_capacity_bytes : int;  (** buffer cache size after reservations *)
   latency_p50_ms : float;  (** steady-state response time percentiles *)
   latency_p95_ms : float;
+  timeseries : Obs.Recorder.rollup list;
+      (** per-window flight-recorder rollups over the measured interval,
+          on the virtual clock, oldest first — the simulated counterpart
+          of the live server's [?window=N] view *)
 }
 
 val pp_result : Format.formatter -> result -> unit
@@ -38,7 +42,9 @@ val pp_result : Format.formatter -> result -> unit
                       cache up to capacity before starting (default
                       true; the paper measures steady state)
     @param warmup     simulated seconds before measurement (default 3)
-    @param duration   measured simulated seconds (default 10) *)
+    @param duration   measured simulated seconds (default 10)
+    @param recorder_interval flight-recorder window length, simulated
+                      seconds (default 1) *)
 val run :
   ?seed:int ->
   ?clients:int ->
@@ -47,6 +53,7 @@ val run :
   ?warmup:float ->
   ?duration:float ->
   ?prewarm:bool ->
+  ?recorder_interval:float ->
   profile:Simos.Os_profile.t ->
   server:Flash.Config.t ->
   fileset:Fileset.t ->
