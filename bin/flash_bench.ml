@@ -190,7 +190,7 @@ let server_delta before after =
 (* Machine-readable results, for CI artifacts and regression tracking.
    Same numbers the human-readable report prints. *)
 let write_json ~file ~scenario ~completed ~errors ~bytes ~elapsed
-    ~idle_connections ~server ~timeseries latency =
+    ~idle_connections ~client_workers ~server ~timeseries latency =
   let num f = if Float.is_finite f then Printf.sprintf "%.6g" f else "0" in
   let ms x = num (1000. *. x) in
   let pct p = ms (Obs.Histogram.percentile latency p) in
@@ -208,8 +208,8 @@ let write_json ~file ~scenario ~completed ~errors ~bytes ~elapsed
   in
   let body =
     Printf.sprintf
-      {|{"scenario":%S,"completed":%d,"errors":%d,"elapsed_s":%s,"idle_connections":%d,"throughput_rps":%s,"throughput_mbps":%s,"latency_ms":{"mean":%s,"p50":%s,"p90":%s,"p99":%s,"max":%s,"samples":%d},"server":%s,"timeseries":%s}|}
-      scenario completed errors (num elapsed) idle_connections
+      {|{"scenario":%S,"completed":%d,"errors":%d,"elapsed_s":%s,"idle_connections":%d,"client_workers":%d,"throughput_rps":%s,"throughput_mbps":%s,"latency_ms":{"mean":%s,"p50":%s,"p90":%s,"p99":%s,"max":%s,"samples":%d},"server":%s,"timeseries":%s}|}
+      scenario completed errors (num elapsed) idle_connections client_workers
       (num (float_of_int completed /. elapsed))
       (num (float_of_int bytes *. 8. /. elapsed /. 1e6))
       (ms (Obs.Histogram.mean latency))
@@ -244,11 +244,52 @@ let open_idle_connections ~host ~port ~path n =
   in
   go [] 0
 
-let run host port path clients duration keep_alive scenario idle_connections
-    json_file status_path no_server_stats =
+(* Run [clients] closed-loop clients for [duration] seconds and return
+   their stats plus the wall time.  With [client_workers] > 1 the
+   clients are spread over that many OCaml domains: all systhreads of
+   one domain share a single runtime lock, which caps a one-domain
+   generator well below what a multi-domain (sharded) server can
+   absorb, so measuring server scaling needs a generator that scales
+   too. *)
+let drive_load ~host ~port ~path ~headers ~expect ~keep_alive ~duration
+    ~clients ~client_workers =
+  let deadline = Unix.gettimeofday () +. duration in
+  let stats = Array.init clients (fun _ -> new_stats ()) in
+  let run_slice lo hi =
+    let threads = ref [] in
+    for i = lo to hi - 1 do
+      threads :=
+        Thread.create
+          (worker ~host ~port ~path ~headers ~expect ~keep_alive ~deadline
+             stats.(i))
+          ()
+        :: !threads
+    done;
+    List.iter Thread.join !threads
+  in
+  let workers = max 1 (min client_workers clients) in
+  let t0 = Unix.gettimeofday () in
+  if workers = 1 then run_slice 0 clients
+  else begin
+    let per = clients / workers and extra = clients mod workers in
+    let domains =
+      List.init workers (fun w ->
+          let lo = (w * per) + min w extra in
+          let hi = lo + per + if w < extra then 1 else 0 in
+          Domain.spawn (fun () -> run_slice lo hi))
+    in
+    List.iter Domain.join domains
+  end;
+  (Array.to_list stats, Unix.gettimeofday () -. t0)
+
+let run host port path clients client_workers duration keep_alive scenario
+    idle_connections json_file status_path no_server_stats =
   Format.printf
-    "flash-bench: %d clients -> http://%s:%d%s for %.1fs (%s, %s scenario)@."
-    clients host port path duration
+    "flash-bench: %d clients (%d worker domains) -> http://%s:%d%s for %.1fs \
+     (%s, %s scenario)@."
+    clients
+    (max 1 (min client_workers clients))
+    host port path duration
     (if keep_alive then "keep-alive" else "connection per request")
     scenario;
   let headers, expect = scenario_setup ~host ~port ~path scenario in
@@ -265,19 +306,10 @@ let run host port path clients duration keep_alive scenario idle_connections
     if no_server_stats then None else scrape_status ~host ~port status_path
   in
   let before = scrape () in
-  let deadline = Unix.gettimeofday () +. duration in
-  let stats = List.init clients (fun _ -> new_stats ()) in
-  let t0 = Unix.gettimeofday () in
-  let threads =
-    List.map
-      (fun s ->
-        Thread.create
-          (worker ~host ~port ~path ~headers ~expect ~keep_alive ~deadline s)
-          ())
-      stats
+  let stats, elapsed =
+    drive_load ~host ~port ~path ~headers ~expect ~keep_alive ~duration
+      ~clients ~client_workers
   in
-  List.iter Thread.join threads;
-  let elapsed = Unix.gettimeofday () -. t0 in
   let server = server_delta before (scrape ()) in
   let timeseries =
     if no_server_stats then None
@@ -333,22 +365,166 @@ let run host port path clients duration keep_alive scenario idle_connections
   | Some file ->
       write_json ~file ~scenario ~completed ~errors ~bytes ~elapsed
         ~idle_connections:(List.length idle_sessions)
+        ~client_workers:(max 1 (min client_workers clients))
         ~server ~timeseries latency;
       Format.printf "json:       wrote %s@." file
   | None -> ());
   if errors > 0 then exit 1
 
+(* ------------------------------------------------------------------ *)
+(* Domain-scaling sweep: start an in-process [Sharded d] server for
+   d = 1..N, drive the same closed-loop load at each, and emit the
+   scaling curve (req/s per domain count, plus each shard's share of
+   the requests, scraped from the status page's sharding block).       *)
+(* ------------------------------------------------------------------ *)
+
+(* Every "requests":<int> inside the status JSON's "shards":[...]
+   array — one entry per shard, in shard order. *)
+let shard_requests body =
+  match find_sub body "\"shards\":[" with
+  | None -> []
+  | Some i -> (
+      match String.index_from_opt body i ']' with
+      | None -> []
+      | Some close ->
+          let arr = String.sub body i (close - i) in
+          let n = String.length arr in
+          let rec go acc off =
+            if off >= n then List.rev acc
+            else
+              match find_sub (String.sub arr off (n - off)) "\"requests\":" with
+              | None -> List.rev acc
+              | Some rel -> (
+                  let s = off + rel in
+                  let j = ref s in
+                  while
+                    !j < n
+                    && match arr.[!j] with '0' .. '9' -> true | _ -> false
+                  do
+                    incr j
+                  done;
+                  match int_of_string_opt (String.sub arr s (!j - s)) with
+                  | Some v -> go (v :: acc) !j
+                  | None -> go acc !j)
+          in
+          go [] 0)
+
+type sweep_point = {
+  domains : int;
+  point_ok : int;
+  point_errors : int;
+  elapsed : float;
+  rps : float;
+  per_shard : int list;
+}
+
+let run_sweep ~docroot ~backend ~max_domains ~path ~clients ~client_workers
+    ~duration ~keep_alive ~json_file =
+  let module Server = Flash_live.Server in
+  let workers = max 1 (min client_workers clients) in
+  Format.printf
+    "flash-bench: domain sweep 1..%d (%s backend, %d clients x %d worker \
+     domains, %.1fs per point, %s)@."
+    max_domains (Evio.name backend) clients workers duration
+    (if keep_alive then "keep-alive" else "connection per request");
+  let bench_point domains =
+    let config =
+      {
+        (Server.default_config ~docroot) with
+        Server.mode = Server.Sharded domains;
+        port = 0;
+        event_backend = backend;
+      }
+    in
+    let server = Server.start_background config in
+    Fun.protect
+      ~finally:(fun () -> Server.stop server)
+      (fun () ->
+        let host = "127.0.0.1" and port = Server.port server in
+        (* one warm-up request so every point starts with a primed
+           cache rather than charging the first point the misses *)
+        (try ignore (Flash_live.Client.get ~host ~port path)
+         with _ -> ());
+        let stats, elapsed =
+          drive_load ~host ~port ~path ~headers:[] ~expect:200 ~keep_alive
+            ~duration ~clients ~client_workers
+        in
+        let point_ok = List.fold_left (fun a s -> a + s.completed) 0 stats in
+        let point_errors = List.fold_left (fun a s -> a + s.errors) 0 stats in
+        let per_shard =
+          match scrape_status ~host ~port "/server-status" with
+          | Some body -> shard_requests body
+          | None -> []
+        in
+        let rps = float_of_int point_ok /. elapsed in
+        Format.printf
+          "domains %d:  %8.1f req/s  (%d ok, %d errors; shard requests: %s)@."
+          domains rps point_ok point_errors
+          (String.concat "/" (List.map string_of_int per_shard));
+        { domains; point_ok; point_errors; elapsed; rps; per_shard })
+  in
+  let points = List.init max_domains (fun i -> bench_point (i + 1)) in
+  let base_rps =
+    match points with p :: _ -> p.rps | [] -> 0.
+  in
+  List.iter
+    (fun p ->
+      if p.domains > 1 && base_rps > 0. then
+        Format.printf "speedup:    %d domains = %.2fx over 1@." p.domains
+          (p.rps /. base_rps))
+    points;
+  (match json_file with
+  | Some file ->
+      let num f = if Float.is_finite f then Printf.sprintf "%.6g" f else "0" in
+      let point_json p =
+        Printf.sprintf
+          {|{"domains":%d,"completed":%d,"errors":%d,"elapsed_s":%s,"throughput_rps":%s,"speedup_vs_1":%s,"per_shard_requests":[%s]}|}
+          p.domains p.point_ok p.point_errors (num p.elapsed) (num p.rps)
+          (num (if base_rps > 0. then p.rps /. base_rps else 0.))
+          (String.concat "," (List.map string_of_int p.per_shard))
+      in
+      let body =
+        Printf.sprintf
+          {|{"sweep":"domains","backend":%S,"path":%S,"clients":%d,"client_workers":%d,"duration_s":%s,"keep_alive":%b,"cores":%d,"points":[%s]}|}
+          (Evio.name backend) path clients workers (num duration) keep_alive
+          (Domain.recommended_domain_count ())
+          (String.concat "," (List.map point_json points))
+        ^ "\n"
+      in
+      let oc = open_out file in
+      output_string oc body;
+      close_out oc;
+      Format.printf "json:       wrote %s@." file
+  | None -> ());
+  if List.exists (fun p -> p.point_errors > 0) points then exit 1
+
 let host =
   Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"Server host.")
 
 let port =
-  Arg.(required & opt (some int) None & info [ "port"; "p" ] ~docv:"PORT" ~doc:"Server port.")
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port"; "p" ] ~docv:"PORT"
+        ~doc:
+          "Server port.  Required unless $(b,--sweep-domains) is given \
+           (the sweep starts its own in-process servers).")
 
 let path =
   Arg.(value & opt string "/" & info [ "path" ] ~docv:"PATH" ~doc:"Request target.")
 
 let clients =
   Arg.(value & opt int 8 & info [ "clients"; "c" ] ~docv:"N" ~doc:"Concurrent clients.")
+
+let client_workers =
+  Arg.(
+    value & opt int 1
+    & info [ "client-workers"; "w" ] ~docv:"K"
+        ~doc:
+          "Spread the clients over $(docv) OCaml domains.  The default \
+           single-domain generator serialises all client threads behind \
+           one runtime lock; benchmarking a multi-domain (sharded) \
+           server needs a generator that can scale past one core too.")
 
 let duration =
   Arg.(value & opt float 5. & info [ "duration"; "t" ] ~docv:"SEC" ~doc:"Test duration.")
@@ -397,12 +573,75 @@ let no_server_stats =
     & info [ "no-server-stats" ]
         ~doc:"Skip scraping the server status endpoint.")
 
+let sweep_domains =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "sweep-domains" ] ~docv:"N"
+        ~doc:
+          "Domain-scaling sweep: start an in-process sharded server for \
+           each domain count 1..$(docv), bench each for $(b,--duration) \
+           seconds, and report the scaling curve.  Needs $(b,--docroot); \
+           ignores $(b,--host)/$(b,--port).")
+
+let docroot =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "docroot" ] ~docv:"DIR"
+        ~doc:"Document root for the sweep's in-process servers.")
+
+let sweep_backend =
+  let backend_conv =
+    let parse s =
+      match Evio.of_string s with
+      | Ok kind -> Ok kind
+      | Error msg -> Error (`Msg msg)
+    in
+    let print ppf kind = Format.pp_print_string ppf (Evio.name kind) in
+    Arg.conv (parse, print)
+  in
+  Arg.(
+    value
+    & opt backend_conv Evio.Select
+    & info [ "sweep-backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Event-readiness backend for the sweep's servers \
+           (select|poll|epoll; default select).")
+
+let main host port path clients client_workers duration keep_alive scenario
+    idle_connections json_file status_path no_server_stats sweep_domains
+    docroot sweep_backend =
+  match sweep_domains with
+  | Some max_domains ->
+      if max_domains < 1 then begin
+        Format.eprintf "--sweep-domains must be at least 1@.";
+        exit 2
+      end;
+      let docroot =
+        match docroot with
+        | Some d -> d
+        | None ->
+            Format.eprintf "--sweep-domains needs --docroot DIR@.";
+            exit 2
+      in
+      run_sweep ~docroot ~backend:sweep_backend ~max_domains ~path ~clients
+        ~client_workers ~duration ~keep_alive ~json_file
+  | None -> (
+      match port with
+      | Some port ->
+          run host port path clients client_workers duration keep_alive
+            scenario idle_connections json_file status_path no_server_stats
+      | None ->
+          Format.eprintf "--port is required unless --sweep-domains is given@.";
+          exit 2)
+
 let cmd =
   let doc = "closed-loop HTTP load generator (for the live Flash server)" in
   Cmd.v (Cmd.info "flash-bench" ~doc)
     Term.(
-      const run $ host $ port $ path $ clients $ duration $ keep_alive
-      $ scenario $ idle_connections $ json_file $ status_path
-      $ no_server_stats)
+      const main $ host $ port $ path $ clients $ client_workers $ duration
+      $ keep_alive $ scenario $ idle_connections $ json_file $ status_path
+      $ no_server_stats $ sweep_domains $ docroot $ sweep_backend)
 
 let () = exit (Cmd.eval cmd)

@@ -28,31 +28,53 @@ let parse_slo s =
       | Some t when t > 0. -> Ok (99., t)
       | _ -> Error (`Msg (Printf.sprintf "invalid SLO %S (want P:MS or MS)" s)))
 
-let serve docroot port mode event_backend helpers cache_mb cache_policy
+let serve docroot port mode domains event_backend helpers cache_mb cache_policy
     cache_admission cache_budget_mb no_cgi no_align no_writev no_gzip
     gzip_lazy access_log access_log_timing status_path no_status stall_ms
     no_trace trace_capacity trace_path slow_request_ms slow_request_log
     metrics_path no_metrics latency_slo recorder_dump recorder_interval
     verbose =
   setup_logs verbose;
+  let suffix_int s prefix default =
+    match
+      int_of_string_opt
+        (String.sub s (String.length prefix)
+           (String.length s - String.length prefix))
+    with
+    | Some n when n > 0 -> n
+    | _ -> default
+  in
+  let has_prefix s prefix =
+    String.length s > String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+  in
   let mode =
     match mode with
     | "amped" -> Flash_live.Server.Amped
     | "sped" -> Flash_live.Server.Sped
-    | s when String.length s > 3 && String.sub s 0 3 = "mp:" ->
-        Flash_live.Server.Mp
-          (match int_of_string_opt (String.sub s 3 (String.length s - 3)) with
-          | Some n when n > 0 -> n
-          | _ -> 4)
-    | s when String.length s > 3 && String.sub s 0 3 = "mt:" ->
-        Flash_live.Server.Mt
-          (match int_of_string_opt (String.sub s 3 (String.length s - 3)) with
-          | Some n when n > 0 -> n
-          | _ -> 8)
+    | s when has_prefix s "mp:" -> Flash_live.Server.Mp (suffix_int s "mp:" 4)
+    | s when has_prefix s "mt:" -> Flash_live.Server.Mt (suffix_int s "mt:" 8)
+    | s when has_prefix s "sharded:" ->
+        Flash_live.Server.Sharded (suffix_int s "sharded:" 2)
     | "mp" -> Flash_live.Server.Mp 4
     | "mt" -> Flash_live.Server.Mt 8
+    | "sharded" ->
+        Flash_live.Server.Sharded (max 1 (Domain.recommended_domain_count ()))
     | other ->
-        Format.eprintf "unknown mode %S (amped|sped|mp[:N]|mt[:N])@." other;
+        Format.eprintf
+          "unknown mode %S (amped|sped|mp[:N]|mt[:N]|sharded[:N])@." other;
+        exit 2
+  in
+  (* --domains N is shorthand for --mode sharded:N (N > 1). *)
+  let mode =
+    match (domains, mode) with
+    | None, m -> m
+    | Some n, _ when n <= 1 -> mode
+    | Some n, (Flash_live.Server.Amped | Flash_live.Server.Sharded _) ->
+        Flash_live.Server.Sharded n
+    | Some _, m ->
+        Format.eprintf "--domains only applies to amped/sharded modes@.";
+        ignore m;
         exit 2
   in
   if not (Sys.file_exists docroot && Sys.is_directory docroot) then begin
@@ -96,11 +118,17 @@ let serve docroot port mode event_backend helpers cache_mb cache_policy
     | Flash_live.Server.Amped -> "AMPED"
     | Flash_live.Server.Sped -> "SPED"
     | Flash_live.Server.Mp n -> Printf.sprintf "MP x%d" n
-    | Flash_live.Server.Mt n -> Printf.sprintf "MT x%d" n);
+    | Flash_live.Server.Mt n -> Printf.sprintf "MT x%d" n
+    | Flash_live.Server.Sharded n -> Printf.sprintf "SHARDED x%d" n);
   Format.printf "send path: %s@."
     (if config.Flash_live.Server.use_writev then "writev (gather)"
      else "write (copying fallback)");
   Format.printf "event backend: %s@." (Evio.name event_backend);
+  (match Flash_live.Server.sharding_info server with
+  | Some (n, strategy) ->
+      Format.printf "domains: %d (%s accepts, %s backend per shard)@." n
+        strategy (Evio.name event_backend)
+  | None -> ());
   Format.printf "file cache: %d MB, %s replacement, %s admission%s@." cache_mb
     (Flash_cache.Policy.name cache_policy)
     (Flash_cache.Policy.admission_name cache_admission)
@@ -183,7 +211,19 @@ let mode =
   Arg.(
     value & opt string "amped"
     & info [ "mode"; "m" ] ~docv:"MODE"
-        ~doc:"Concurrency architecture: amped (default), sped, mp or mp:N.")
+        ~doc:
+          "Concurrency architecture: amped (default), sped, mp[:N], \
+           mt[:N] or sharded[:N] (N AMPED shards on OCaml domains).")
+
+let domains =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Shorthand for --mode sharded:N — run N independent AMPED \
+           shards on OCaml domains, accepts balanced by SO_REUSEPORT \
+           (hand-off ring where unsupported).")
 
 let backend_conv =
   let parse s =
@@ -419,7 +459,7 @@ let cmd =
   Cmd.v
     (Cmd.info "flash-serve" ~doc)
     Term.(
-      const serve $ docroot $ port $ mode $ event_backend $ helpers
+      const serve $ docroot $ port $ mode $ domains $ event_backend $ helpers
       $ cache_mb $ cache_policy
       $ cache_admission $ cache_budget_mb $ no_cgi $ no_align $ no_writev
       $ no_gzip $ gzip_lazy

@@ -11,7 +11,17 @@
 
     Stores register themselves when created with [~budget] (see
     {!Store.create}); manual registration is only needed for exotic
-    members. *)
+    members.
+
+    A budget is safe to share across OCaml domains (the sharded
+    server's shared [--cache-budget]): accounting is atomic, so
+    concurrent charge/release conserve the total and a release never
+    over-frees past zero, and rebalance is serialised so concurrent
+    overflows don't double-shed.  The member callbacks themselves run
+    on whichever domain triggered the rebalance — callers sharing a
+    budget across domains must make their [usage]/[shed] paths safe to
+    invoke from a foreign domain (the live server does this by sharing
+    one cache lock across budget-sharing shards). *)
 
 type t
 

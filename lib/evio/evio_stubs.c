@@ -227,3 +227,39 @@ CAMLprim value flash_evio_epoll_wait(value vepfd, value vfds_out,
 }
 
 #endif /* !__linux__ */
+
+/* SO_REUSEPORT probe + setter, for the sharded deployment mode: one
+ * listening socket per domain with the kernel balancing accepts.
+ * Compile-time availability only — the OCaml side still does a
+ * runtime probe at startup (a kernel can predate the option its
+ * headers advertise), and falls back to the hand-off ring. */
+
+#if !defined(_WIN32)
+#include <sys/socket.h>
+#include <errno.h>
+#include <string.h>
+#endif
+
+CAMLprim value flash_evio_have_reuseport(value unit)
+{
+  (void) unit;
+#if defined(SO_REUSEPORT)
+  return Val_true;
+#else
+  return Val_false;
+#endif
+}
+
+CAMLprim value flash_evio_set_reuseport(value vfd)
+{
+#if defined(SO_REUSEPORT)
+  int one = 1;
+  if (setsockopt(Int_val(vfd), SOL_SOCKET, SO_REUSEPORT, &one,
+                 sizeof(one)) != 0)
+    caml_failwith(strerror(errno));
+  return Val_unit;
+#else
+  (void) vfd;
+  caml_failwith("Evio.set_reuseport: SO_REUSEPORT not available");
+#endif
+}

@@ -1,0 +1,74 @@
+(* Bounded lock-free hand-off ring (Vyukov's array queue).
+
+   Used by the sharded server when SO_REUSEPORT is unavailable: one
+   acceptor domain pushes accepted fds, shard domains pop them.  That
+   is SPMC, but the algorithm is full MPMC — each slot carries a
+   sequence number that tickets exactly one producer and one consumer
+   per lap, so neither side ever spins on the other's progress.
+
+   Memory model: [slots] is a plain array, but every write to a slot
+   is published by an [Atomic.set] on that slot's sequence number and
+   read only after an [Atomic.get] observes it (OCaml atomics are SC),
+   so the value handed off is never stale. *)
+
+type 'a t = {
+  mask : int;
+  seqs : int Atomic.t array;
+  slots : 'a option array;
+  head : int Atomic.t; (* next ticket to pop *)
+  tail : int Atomic.t; (* next ticket to push *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Handoff.create: capacity <= 0";
+  let cap = ref 1 in
+  while !cap < capacity do
+    cap := !cap * 2
+  done;
+  let cap = !cap in
+  {
+    mask = cap - 1;
+    seqs = Array.init cap Atomic.make;
+    slots = Array.make cap None;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+  }
+
+let capacity t = t.mask + 1
+
+let length t =
+  (* Racy by nature; clamp so callers never see a negative or
+     over-capacity occupancy from a torn pair of reads. *)
+  let n = Atomic.get t.tail - Atomic.get t.head in
+  if n < 0 then 0 else min n (t.mask + 1)
+
+let rec push t v =
+  let pos = Atomic.get t.tail in
+  let i = pos land t.mask in
+  let seq = Atomic.get t.seqs.(i) in
+  if seq = pos then
+    if Atomic.compare_and_set t.tail pos (pos + 1) then begin
+      t.slots.(i) <- Some v;
+      Atomic.set t.seqs.(i) (pos + 1);
+      true
+    end
+    else push t v (* lost the ticket race; retry *)
+  else if seq < pos then false (* a full lap behind: ring is full *)
+  else push t v (* another producer advanced tail; reread *)
+
+let rec pop t =
+  let pos = Atomic.get t.head in
+  let i = pos land t.mask in
+  let seq = Atomic.get t.seqs.(i) in
+  if seq = pos + 1 then
+    if Atomic.compare_and_set t.head pos (pos + 1) then begin
+      let v = t.slots.(i) in
+      t.slots.(i) <- None;
+      Atomic.set t.seqs.(i) (pos + t.mask + 1);
+      match v with
+      | Some _ -> v
+      | None -> assert false (* slot published by seq, cannot be empty *)
+    end
+    else pop t
+  else if seq <= pos then None (* slot not yet published: ring is empty *)
+  else pop t

@@ -1,0 +1,28 @@
+(** Bounded lock-free hand-off ring for accepted connections.
+
+    The sharded server's fallback accept path where [SO_REUSEPORT] is
+    unavailable: a single acceptor domain pushes accepted fds and the
+    shard domains pop them.  The implementation is Vyukov's bounded
+    array queue (full MPMC, used here as SPMC) — no locks, bounded
+    occupancy, each element delivered exactly once.
+
+    A full ring rejects the push rather than blocking: the acceptor
+    sheds the connection, exactly like the EMFILE path. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Capacity is rounded up to a power of two.
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+
+val push : 'a t -> 'a -> bool
+(** [false] when the ring is full (element not enqueued). *)
+
+val pop : 'a t -> 'a option
+(** [None] when the ring is empty. *)
+
+val length : 'a t -> int
+(** Approximate occupancy (racy under concurrency, but always within
+    [0..capacity]). *)

@@ -1,4 +1,4 @@
-type mode = Amped | Sped | Mp of int | Mt of int
+type mode = Amped | Sped | Mp of int | Mt of int | Sharded of int
 
 type config = {
   docroot : string;
@@ -42,6 +42,10 @@ type config = {
          flight recorder's windows *)
   recorder_capacity : int;  (* flight-recorder ring size, rollups *)
   recorder_interval : float;  (* rollup window length, seconds *)
+  force_handoff : bool;
+      (* Sharded: skip the SO_REUSEPORT probe and use the acceptor
+         domain + hand-off ring, so tests and benches exercise the
+         fallback on platforms that would never take it. *)
 }
 
 let default_config ~docroot =
@@ -82,6 +86,7 @@ let default_config ~docroot =
     latency_slo = None;
     recorder_capacity = 120;
     recorder_interval = 1.0;
+    force_handoff = false;
   }
 
 type stats = {
@@ -155,6 +160,17 @@ type fd_owner =
   | O_helper
   | O_client of conn
   | O_cgi of conn
+
+(* Sharded mode: who this instance is within the shard set.  A shard
+   is a full AMPED server (own evio backend, timer wheel, cache,
+   helper pool, registry) running its loop on its own domain; the
+   coordinator owns the lifecycle and — on platforms without
+   SO_REUSEPORT — the single listening socket, handing accepted fds to
+   shards over the ring. *)
+type role =
+  | Standalone
+  | Shard_member of { id : int; ring : Unix.file_descr Handoff.t option }
+  | Shard_coordinator of { ring : Unix.file_descr Handoff.t option }
 
 type t = {
   config : config;
@@ -251,6 +267,25 @@ type t = {
      inflate the consolidated gauge.  Guarded by [stats_mutex] (all
      writes happen inside [consume_stats]). *)
   mp_child_gauges : (int, int * int) Hashtbl.t;
+  (* Sharded mode wiring (Standalone otherwise).  [shards] is the full
+     shard set, index = shard id, shared by the coordinator and every
+     shard so any instance can render the cross-shard views; [coord]
+     points every shard back at the coordinator for accept-strategy
+     reporting.  Both are fixed right after construction, before any
+     domain is spawned. *)
+  role : role;
+  mutable shards : t array;
+  mutable coord : t option;
+  mutable domains : unit Domain.t list;
+  accept_strategy : string; (* "reuseport" | "handoff"; "" unsharded *)
+  owns_listen : bool; (* does [run_loop] watch + accept on listen_fd *)
+  mutable handoff_rr : int; (* round-robin wake cursor, acceptor only *)
+  handoff_shed : Obs.Counter.t; (* accepts dropped on a full ring *)
+  (* Which lock guards this instance's cache (None = unshared, no lock
+     needed): the instance's own [cache_mutex] in MT mode, one mutex
+     shared by every shard when a budget spans domains — a foreign
+     shard's rebalance may then shed into this cache. *)
+  cache_lock : Mutex.t option;
 }
 
 let log = Logs.Src.create "flash.live" ~doc:"Flash live server"
@@ -258,11 +293,11 @@ let log = Logs.Src.create "flash.live" ~doc:"Flash live server"
 module Log = (val Logs.src_log log : Logs.LOG)
 
 let with_cache_lock t f =
-  match t.config.mode with
-  | Mt _ ->
-      Mutex.lock t.cache_mutex;
-      Fun.protect ~finally:(fun () -> Mutex.unlock t.cache_mutex) f
-  | Amped | Sped | Mp _ -> f ()
+  match t.cache_lock with
+  | Some m ->
+      Mutex.lock m;
+      Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+  | None -> f ()
 
 let with_obs_lock t f =
   Mutex.lock t.obs_mutex;
@@ -539,6 +574,10 @@ let current_track t =
   | Amped | Sped -> "main-loop"
   | Mp _ -> Printf.sprintf "mp-child-%d" (Unix.getpid ())
   | Mt _ -> Printf.sprintf "mt-worker-%d" (Thread.id (Thread.self ()))
+  | Sharded _ -> (
+      match t.role with
+      | Shard_member { id; _ } -> Printf.sprintf "shard-%d" id
+      | Standalone | Shard_coordinator _ -> "main-loop")
 
 (* Open the trace for the next request on this connection as soon as its
    first bytes arrive: the parse span starts here.  The first request's
@@ -742,6 +781,7 @@ let mode_string = function
   | Sped -> "sped"
   | Mp n -> Printf.sprintf "mp:%d" n
   | Mt n -> Printf.sprintf "mt:%d" n
+  | Sharded n -> Printf.sprintf "sharded:%d" n
 
 (* JSON has no NaN/Infinity; empty-histogram percentiles render as 0. *)
 let num f = if Float.is_finite f then Printf.sprintf "%.6g" f else "0"
@@ -771,9 +811,43 @@ let histogram_text h =
    they cannot drift.  In an MP child this reports the child's own view
    ([drain_stats_pipe] refuses to drain there — the shared pipe belongs
    to the consolidating parent). *)
-let collect_samples t =
-  drain_stats_pipe t;
-  Obs.Registry.collect t.registry
+let shard_peers t =
+  match t.role with
+  | Standalone -> None
+  | Shard_member _ | Shard_coordinator _ ->
+      if Array.length t.shards = 0 then None else Some t.shards
+
+(* Gauges that are not additive across shards: aggregate with max. *)
+let gauge_max_name name =
+  name = "flash_uptime_seconds" || name = "flash_slo_state"
+
+(* The sample lists feeding this instance's render surfaces:
+   [(summary, all)].  Unsharded both are this registry's walk.  Sharded
+   instances concatenate every shard's walk and prepend the
+   summed-at-snapshot aggregate (shard label stripped — the same
+   consolidation the MP parent does over its stats pipe, done here at
+   collect time): [summary] is the aggregate alone, for the status
+   page's by-name lookups; [all] additionally carries every per-shard
+   series for /metrics and the metrics listing. *)
+let collect_for t =
+  match shard_peers t with
+  | None ->
+      drain_stats_pipe t;
+      let samples = Obs.Registry.collect t.registry in
+      (samples, samples)
+  | Some shards ->
+      let per_shard =
+        List.concat_map
+          (fun sh -> Obs.Registry.collect sh.registry)
+          (Array.to_list shards)
+      in
+      let agg =
+        Obs.Registry.aggregate ~gauge_max:gauge_max_name ~drop:"shard"
+          per_shard
+      in
+      (agg, Obs.Registry.sort_samples (agg @ per_shard))
+
+let collect_samples t = snd (collect_for t)
 
 (* Flat (key, rendered-number) pairs for every sample in the walk: the
    "metrics" object of the JSON view and the metrics section of the
@@ -809,8 +883,60 @@ let sample_kvs samples =
           ])
     samples
 
+(* The sharding block of /server-status, rendered key-for-key in both
+   views (the PR 7 no-drift rule): (json string, text lines). *)
+let sharding_views t =
+  match shard_peers t with
+  | None -> ("null", [ "sharding:     none" ])
+  | Some shards ->
+      let coordv = match t.coord with Some c -> c | None -> t in
+      let strategy = coordv.accept_strategy in
+      let shed = Obs.Counter.value coordv.handoff_shed in
+      let my_shard =
+        match t.role with Shard_member { id; _ } -> id | _ -> -1
+      in
+      let per_shard =
+        Array.to_list
+          (Array.mapi
+             (fun i sh ->
+               let active =
+                 with_obs_lock sh (fun () -> Obs.Gauge.value sh.active)
+               in
+               ( i,
+                 Evio.Backend.name sh.evio,
+                 sh.n_requests,
+                 active ))
+             shards)
+      in
+      let json =
+        Printf.sprintf
+          {|{"domains":%d,"accept":%s,"shard":%d,"handoff_shed":%d,"shards":[%s]}|}
+          (Array.length shards) (Obs.Json.str strategy) my_shard shed
+          (String.concat ","
+             (List.map
+                (fun (i, backend, requests, active) ->
+                  Printf.sprintf
+                    {|{"shard":%d,"backend":%s,"requests":%d,"active":%d}|} i
+                    (Obs.Json.str backend) requests active)
+                per_shard))
+      in
+      let text =
+        Printf.sprintf
+          "sharding:     %d domains, %s accepts, serving shard %d, %d \
+           handoff shed"
+          (Array.length shards) strategy my_shard shed
+        :: List.map
+             (fun (i, backend, requests, active) ->
+               Printf.sprintf
+                 "shard %d:      %s backend, %d requests, %d active" i backend
+                 requests active)
+             per_shard
+      in
+      (json, text)
+
 let status_body t ~json =
-  let samples = collect_samples t in
+  let summary, all_samples = collect_for t in
+  let samples = summary in
   let iv ?labels name = Obs.Registry.int_value ?labels samples name in
   let fv ?labels name = Obs.Registry.float_value ?labels samples name in
   let hist name =
@@ -847,7 +973,8 @@ let status_body t ~json =
   let policy_s = cstats.Flash_cache.Store.policy in
   let admission_s = cstats.Flash_cache.Store.admission in
   let send_path_s = if t.gather_writes then "writev" else "copy" in
-  let kvs = sample_kvs samples in
+  let sharding_json, sharding_lines = sharding_views t in
+  let kvs = sample_kvs all_samples in
   if json then
     let helper_json =
       match t.helper with
@@ -896,7 +1023,11 @@ let status_body t ~json =
       ^ "}"
     in
     Printf.sprintf
-      {|{"server":%s,"mode":%s,"uptime_s":%s,"requests":%d,"connections":%d,"active_connections":%d,"errors":%d,"responses":{"2xx":%d,"3xx":%d,"4xx":%d,"5xx":%d},"cache":{"hits":%d,"misses":%d,"evictions":%d,"bytes":%d,"mapped_bytes":%d,"entries":%d},"caches":{"file":%s},"send":{"path":%s,"writev_calls":%d,"write_calls":%d,"bytes_copied":%d,"bytes_sent":%d},"latency_ms":%s,"loop":{"backend":%s,"stalls":%d,"threshold_ms":%s,"max_stall_ms":%s,"iterations":%d,"wakeups":%d,"ready_per_wakeup":%s,"wait_s":%s,"work_s":%s,"timer_fires":%d,"timers_pending":%d,"accept_emfile":%d,"accept_paused":%b},"helper":%s,"trace":%s,"health":%s,"metrics":%s}|}
+      (* The sharding block sits at the tail (after the flat counters)
+         so naive first-match scrapers — flash_bench's before/after
+         delta — still find the aggregate "requests"/"backend" keys
+         first, not a per-shard entry's. *)
+      {|{"server":%s,"mode":%s,"uptime_s":%s,"requests":%d,"connections":%d,"active_connections":%d,"errors":%d,"responses":{"2xx":%d,"3xx":%d,"4xx":%d,"5xx":%d},"cache":{"hits":%d,"misses":%d,"evictions":%d,"bytes":%d,"mapped_bytes":%d,"entries":%d},"caches":{"file":%s},"send":{"path":%s,"writev_calls":%d,"write_calls":%d,"bytes_copied":%d,"bytes_sent":%d},"latency_ms":%s,"loop":{"backend":%s,"stalls":%d,"threshold_ms":%s,"max_stall_ms":%s,"iterations":%d,"wakeups":%d,"ready_per_wakeup":%s,"wait_s":%s,"work_s":%s,"timer_fires":%d,"timers_pending":%d,"accept_emfile":%d,"accept_paused":%b},"helper":%s,"trace":%s,"health":%s,"sharding":%s,"metrics":%s}|}
       (Obs.Json.str t.config.server_name)
       (Obs.Json.str (mode_string t.config.mode))
       (num uptime) requests connections active errors (by_class 0) (by_class 1)
@@ -917,13 +1048,14 @@ let status_body t ~json =
       (iv "flash_timers_pending")
       (iv "flash_accept_emfile_total")
       (fv "flash_accept_paused" > 0.)
-      helper_json trace_json health_json metrics_json
+      helper_json trace_json health_json sharding_json metrics_json
     ^ "\n"
   else begin
     let b = Buffer.create 1024 in
     let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
     line "%s status" t.config.server_name;
     line "mode:         %s" (mode_string t.config.mode);
+    List.iter (fun s -> line "%s" s) sharding_lines;
     line "uptime:       %.1f s" uptime;
     line "requests:     %d (%d errors)" requests errors;
     line "responses:    %d 2xx, %d 3xx, %d 4xx, %d 5xx" (by_class 0)
@@ -1021,14 +1153,32 @@ let status_window (req : Http.Request.t) =
    and the lock is not reentrant). *)
 let register_metrics t =
   let r = t.registry in
-  let c = Obs.Registry.counter r in
-  let g = Obs.Registry.gauge r in
+  (* Sharded: stamp every series of this instance with its shard id, so
+     per-shard and stripped-label aggregate rows coexist as unique
+     (name, labels) pairs in the combined exposition. *)
+  let sl =
+    match t.role with
+    | Shard_member { id; _ } -> [ ("shard", string_of_int id) ]
+    | Standalone | Shard_coordinator _ -> []
+  in
+  let c ~name ~help ?(labels = []) read =
+    Obs.Registry.counter r ~name ~help ~labels:(labels @ sl) read
+  in
+  let g ~name ~help ?(labels = []) read =
+    Obs.Registry.gauge r ~name ~help ~labels:(labels @ sl) read
+  in
+  let hist ~name ~help ?(labels = []) read =
+    Obs.Registry.histogram r ~name ~help ~labels:(labels @ sl) read
+  in
+  let inf ~name ~help ~labels =
+    Obs.Registry.info r ~name ~help ~labels:(labels @ sl)
+  in
   let locked f () = with_obs_lock t f in
   let cstat () = File_cache.stats t.cache in
-  Obs.Registry.info r ~name:"flash_build_info"
+  inf ~name:"flash_build_info"
     ~help:"Build information (constant 1)."
     ~labels:[ ("ocaml", Sys.ocaml_version); ("server", t.config.server_name) ];
-  Obs.Registry.info r ~name:"flash_config_info"
+  inf ~name:"flash_config_info"
     ~help:"Effective server configuration (constant 1)."
     ~labels:
       [
@@ -1066,7 +1216,7 @@ let register_metrics t =
   c ~name:"flash_bytes_sent_total"
     ~help:"Response bytes accepted by the kernel."
     (locked (fun () -> Obs.Counter.value t.bytes_sent));
-  Obs.Registry.histogram r ~name:"flash_request_duration_seconds"
+  hist ~name:"flash_request_duration_seconds"
     ~help:"Per-request latency, parse completion to response generation."
     (locked (fun () -> Obs.Histogram.copy t.latency));
   let fl = [ ("cache", "file") ] in
@@ -1108,7 +1258,7 @@ let register_metrics t =
       g ~name:"flash_helper_queue_depth_hwm"
         ~help:"Helper queue depth high-water mark."
         (fun () -> float_of_int (Helper.queue_depth_hwm h));
-      Obs.Registry.histogram r ~name:"flash_helper_job_duration_seconds"
+      hist ~name:"flash_helper_job_duration_seconds"
         ~help:"Helper disk-job latency."
         (fun () -> Helper.job_latency h));
   c ~name:"flash_loop_iterations_total" ~help:"Event-loop iterations."
@@ -1164,7 +1314,7 @@ let register_metrics t =
       g ~name:"flash_slo_windows"
         ~help:"Traffic-bearing windows in the SLO horizon."
         (fun () -> float_of_int (Obs.Slo.windows slo));
-      Obs.Registry.info r ~name:"flash_slo_info"
+      inf ~name:"flash_slo_info"
         ~help:"Latency SLO configuration (constant 1)."
         ~labels:
           [
@@ -2088,6 +2238,83 @@ let pause_accept t =
          T_resume_accept)
   end
 
+(* Adopt an accepted fd into this instance's event loop: create the
+   connection record, register interest, arm the idle timer.  Shared by
+   the direct accept path and the hand-off pop path (a shard adopting
+   an fd the coordinator accepted).  Returns [false] when the backend
+   refused the fd (shed; the caller decides whether to back off). *)
+let adopt_fd t fd =
+  Unix.set_nonblock fd;
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+  let key = t.next_key in
+  t.next_key <- t.next_key + 1;
+  t.n_connections <- t.n_connections + 1;
+  with_obs_lock t (fun () -> Obs.Gauge.incr t.active);
+  let now = t.config.clock () in
+  let conn =
+    {
+      fd;
+      key;
+      inbuf = "";
+      readbuf = Bytes.create 65536;
+      outq = Sendq.create ();
+      state = Reading;
+      close_after_flush = false;
+      last_active = now;
+      req_start = now;
+      alive = true;
+      accepted_at = now;
+      reqs_served = 0;
+      want_read = false;
+      want_write = false;
+      registered = false;
+      cgi_fd_registered = None;
+      idle_timer = None;
+      cgi_timer = None;
+      trace = None;
+      parse_span = None;
+      work_span = None;
+      write_span = None;
+    }
+  in
+  Hashtbl.replace t.conns key conn;
+  Hashtbl.replace t.fd_owners fd (O_client conn);
+  match sync_conn t conn with
+  | () ->
+      if t.config.idle_timeout > 0. then
+        conn.idle_timer <-
+          Some
+            (Evio.Timer_wheel.schedule t.wheel
+               ~at:(now +. t.config.idle_timeout)
+               (T_idle conn));
+      true
+  | exception Evio.Backend_full _ ->
+      (* select cannot wait on fd numbers >= FD_SETSIZE: shed this
+         connection; the caller backs off exactly as if the process
+         were out of descriptors. *)
+      close_conn t conn;
+      false
+
+(* Hand an accepted fd to a shard over the ring, then poke one shard's
+   wake pipe round-robin.  Whoever wakes first drains the ring, so the
+   rotation spreads wakeups, not strictly connections — same spirit as
+   the kernel's reuseport balancing, without a lock. *)
+let handoff_fd t ring fd =
+  if Handoff.push ring fd then begin
+    let n = Array.length t.shards in
+    if n > 0 then begin
+      let sh = t.shards.(t.handoff_rr mod n) in
+      t.handoff_rr <- t.handoff_rr + 1;
+      try ignore (Unix.write sh.wake_write (Bytes.of_string "x") 0 1)
+      with Unix.Unix_error _ -> ()
+    end
+  end
+  else begin
+    (* Every shard is saturated: shed at the door, like EMFILE. *)
+    Obs.Counter.incr t.handoff_shed;
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  end
+
 let accept_all t =
   let rec loop () =
     let injected =
@@ -2096,59 +2323,13 @@ let accept_all t =
     if injected then pause_accept t
     else
       match Unix.accept t.listen_fd with
-      | fd, _ ->
+      | fd, _ -> (
           t.accept_backoff <- accept_backoff_initial;
-          Unix.set_nonblock fd;
-          (try Unix.setsockopt fd Unix.TCP_NODELAY true
-           with Unix.Unix_error _ -> ());
-          let key = t.next_key in
-          t.next_key <- t.next_key + 1;
-          t.n_connections <- t.n_connections + 1;
-          with_obs_lock t (fun () -> Obs.Gauge.incr t.active);
-          let now = t.config.clock () in
-          let conn =
-            {
-              fd;
-              key;
-              inbuf = "";
-              readbuf = Bytes.create 65536;
-              outq = Sendq.create ();
-              state = Reading;
-              close_after_flush = false;
-              last_active = now;
-              req_start = now;
-              alive = true;
-              accepted_at = now;
-              reqs_served = 0;
-              want_read = false;
-              want_write = false;
-              registered = false;
-              cgi_fd_registered = None;
-              idle_timer = None;
-              cgi_timer = None;
-              trace = None;
-              parse_span = None;
-              work_span = None;
-              write_span = None;
-            }
-          in
-          Hashtbl.replace t.conns key conn;
-          Hashtbl.replace t.fd_owners fd (O_client conn);
-          (match sync_conn t conn with
-          | () ->
-              if t.config.idle_timeout > 0. then
-                conn.idle_timer <-
-                  Some
-                    (Evio.Timer_wheel.schedule t.wheel
-                       ~at:(now +. t.config.idle_timeout)
-                       (T_idle conn));
+          match t.role with
+          | Shard_coordinator { ring = Some ring } ->
+              handoff_fd t ring fd;
               loop ()
-          | exception Evio.Backend_full _ ->
-              (* select cannot wait on fd numbers >= FD_SETSIZE: shed
-                 this connection and back off exactly as if the process
-                 were out of descriptors. *)
-              close_conn t conn;
-              pause_accept t)
+          | _ -> if adopt_fd t fd then loop () else pause_accept t)
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
           ()
       | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE), _, _) ->
@@ -2214,10 +2395,24 @@ let dispatch_event t (ev : Evio.event) =
   match Hashtbl.find_opt t.fd_owners ev.Evio.fd with
   | None -> ()  (* closed while an earlier event in this batch ran *)
   | Some O_listen -> if ev.Evio.readable then accept_all t
-  | Some O_wake ->
+  | Some O_wake -> (
       let buf = Bytes.create 64 in
       (try ignore (Unix.read t.wake_read buf 0 64)
-       with Unix.Unix_error _ -> ())
+       with Unix.Unix_error _ -> ());
+      (* Hand-off shards are woken by the acceptor: drain the ring.  A
+         poke names no particular fd, so whoever wakes first adopts
+         whatever is queued — balance is approximate by design. *)
+      match t.role with
+      | Shard_member { ring = Some ring; _ } ->
+          let rec drain () =
+            match Handoff.pop ring with
+            | Some fd ->
+                ignore (adopt_fd t fd);
+                drain ()
+            | None -> ()
+          in
+          drain ()
+      | _ -> ())
   | Some O_helper -> handle_helper_completions t
   | Some (O_client conn) ->
       if conn.alive then begin
@@ -2239,9 +2434,11 @@ let run_loop t =
   (* The loop's own fds live in the backend for its whole life.  The
      listen fd may be parked by EMFILE shedding; wake and helper
      interest never changes. *)
-  Evio.Backend.register t.evio t.listen_fd ~read:(not t.accept_paused)
-    ~write:false;
-  Hashtbl.replace t.fd_owners t.listen_fd O_listen;
+  if t.owns_listen then begin
+    Evio.Backend.register t.evio t.listen_fd ~read:(not t.accept_paused)
+      ~write:false;
+    Hashtbl.replace t.fd_owners t.listen_fd O_listen
+  end;
   Evio.Backend.register t.evio t.wake_read ~read:true ~write:false;
   Hashtbl.replace t.fd_owners t.wake_read O_wake;
   (match t.helper with
@@ -2751,28 +2948,49 @@ let mp_child_loop t =
 (* Lifecycle                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let start config =
+(* Start one server instance.  [listen] says how it gets its listen
+   socket: [`Bind] (the standalone path — bind config.port here),
+   [`Fd (fd, port)] (a pre-bound socket: a shard's reuseport listener,
+   or the hand-off coordinator's only listener), [`None port] (a
+   hand-off shard: fds arrive over the ring; the placeholder socket is
+   never bound or watched, it just gives [stop] something to close).
+   [shared_budget]/[shared_cache_lock] wire budget-sharing shards to
+   one pool and one cache lock. *)
+let start_one ?(role = Standalone) ?(listen = `Bind) ?shared_budget
+    ?shared_cache_lock ?(accept_strategy = "") config =
   (* A peer closing mid-write must surface as EPIPE, not kill the
      process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
-  Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, config.port));
-  Unix.listen listen_fd 128;
-  let bound_port =
-    match Unix.getsockname listen_fd with
-    | Unix.ADDR_INET (_, p) -> p
-    | Unix.ADDR_UNIX _ -> config.port
+  let listen_fd, bound_port, owns_listen =
+    match listen with
+    | `Fd (fd, port) -> (fd, port, true)
+    | `None port -> (Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0, port, false)
+    | `Bind ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, config.port));
+        Unix.listen fd 128;
+        let p =
+          match Unix.getsockname fd with
+          | Unix.ADDR_INET (_, p) -> p
+          | Unix.ADDR_UNIX _ -> config.port
+        in
+        (fd, p, true)
   in
   let wake_read, wake_write = Unix.pipe () in
   Unix.set_nonblock wake_read;
+  let wants_helper =
+    match (config.mode, role) with
+    | Amped, _ -> true
+    | Sharded _, Shard_member _ -> true (* each shard is a full AMPED *)
+    | _ -> false
+  in
   let helper =
-    match config.mode with
-    | Amped ->
-        Some
-          (Helper.create ~clock:config.clock ?slow_read:config.slow_read
-             ~helpers:(max 1 config.helpers) ())
-    | Sped | Mp _ | Mt _ -> None
+    if wants_helper then
+      Some
+        (Helper.create ~clock:config.clock ?slow_read:config.slow_read
+           ~helpers:(max 1 config.helpers) ())
+    else None
   in
   (* Every mode accepts through a readiness backend now, so the listen
      fd is nonblocking everywhere (a connection that vanishes between
@@ -2786,7 +3004,23 @@ let start config =
         let r, w = Unix.pipe () in
         Unix.set_nonblock r;
         (Some r, Some w)
-    | Amped | Sped | Mt _ -> (None, None)
+    | Amped | Sped | Mt _ | Sharded _ -> (None, None)
+  in
+  let budget =
+    match (shared_budget, role) with
+    | Some b, _ -> Some b
+    | None, Shard_coordinator _ ->
+        None (* the coordinator's cache serves no requests *)
+    | None, _ ->
+        Option.map
+          (fun bytes -> Flash_cache.Budget.create ~bytes)
+          config.cache_budget_bytes
+  in
+  let cache_mutex = Mutex.create () in
+  let cache_lock =
+    match shared_cache_lock with
+    | Some m -> Some m (* budget-sharing shards serialise every store *)
+    | None -> ( match config.mode with Mt _ -> Some cache_mutex | _ -> None)
   in
   let t =
     {
@@ -2795,11 +3029,7 @@ let start config =
       bound_port;
       cache =
         File_cache.create ~policy:config.cache_policy
-          ~admission:config.cache_admission
-          ?budget:
-            (Option.map
-               (fun bytes -> Flash_cache.Budget.create ~bytes)
-               config.cache_budget_bytes)
+          ~admission:config.cache_admission ?budget
           ~capacity_bytes:config.file_cache_bytes ();
       helper;
       wake_read;
@@ -2821,7 +3051,7 @@ let start config =
       stats_pipe_write;
       stats_acc = Buffer.create 64;
       stats_mutex = Mutex.create ();
-      cache_mutex = Mutex.create ();
+      cache_mutex;
       obs_mutex = Mutex.create ();
       latency = Obs.Histogram.create ();
       writev_calls = Obs.Counter.create ();
@@ -2863,6 +3093,15 @@ let start config =
       accept_emfile = Obs.Counter.create ();
       accept_paused = false;
       accept_backoff = accept_backoff_initial;
+      role;
+      shards = [||];
+      coord = None;
+      domains = [];
+      accept_strategy;
+      owns_listen;
+      handoff_rr = 0;
+      handoff_shed = Obs.Counter.create ();
+      cache_lock;
     }
   in
   register_metrics t;
@@ -2895,12 +3134,105 @@ let start config =
       t.worker_threads <-
         List.init (max 1 n) (fun _ ->
             Thread.create (fun () -> try mp_child_loop t with _ -> ()) ())
-  | Amped | Sped -> ());
-  Log.info (fun m -> m "listening on port %d" bound_port);
+  | Amped | Sped | Sharded _ -> ());
+  (match role with
+  | Standalone -> Log.info (fun m -> m "listening on port %d" bound_port)
+  | Shard_member _ | Shard_coordinator _ -> ());
   t
+
+(* Compile-time support is necessary but not sufficient: probe the
+   running kernel with a scratch socket before committing to one
+   listening socket per domain. *)
+let reuseport_works () =
+  Evio.have_reuseport ()
+  &&
+  let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let ok =
+    try
+      Evio.set_reuseport s;
+      true
+    with Failure _ | Unix.Unix_error _ -> false
+  in
+  (try Unix.close s with Unix.Unix_error _ -> ());
+  ok
+
+let start_sharded config n =
+  let n = max 1 n in
+  let config = { config with mode = Sharded n } in
+  (* One pool across every shard's cache when --cache-budget is set;
+     one shared cache lock rides along, because a foreign shard's
+     rebalance may shed into this shard's store. *)
+  let shared_budget =
+    Option.map
+      (fun bytes -> Flash_cache.Budget.create ~bytes)
+      config.cache_budget_bytes
+  in
+  let shared_cache_lock =
+    Option.map (fun _ -> Mutex.create ()) shared_budget
+  in
+  let bind_listener ~reuseport port =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    if reuseport then Evio.set_reuseport fd;
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    Unix.listen fd 128;
+    let p =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | Unix.ADDR_UNIX _ -> port
+    in
+    (fd, p)
+  in
+  let reuseport = (not config.force_handoff) && reuseport_works () in
+  let strategy = if reuseport then "reuseport" else "handoff" in
+  let ring = if reuseport then None else Some (Handoff.create ~capacity:1024) in
+  (* Bind the first listener either way: under reuseport it becomes
+     shard 0's (a bound-but-never-accepted reuseport socket would
+     blackhole its share of connections, so the coordinator must not
+     keep one); under hand-off it is the coordinator's only listener. *)
+  let fd0, bound = bind_listener ~reuseport config.port in
+  let shards =
+    Array.init n (fun i ->
+        let listen =
+          if reuseport then
+            if i = 0 then `Fd (fd0, bound)
+            else `Fd (fst (bind_listener ~reuseport:true bound), bound)
+          else `None bound
+        in
+        start_one
+          ~role:(Shard_member { id = i; ring })
+          ~listen ?shared_budget ?shared_cache_lock ~accept_strategy:strategy
+          config)
+  in
+  let coord =
+    start_one
+      ~role:(Shard_coordinator { ring })
+      ~listen:(if reuseport then `None bound else `Fd (fd0, bound))
+      ~accept_strategy:strategy config
+  in
+  coord.shards <- shards;
+  coord.coord <- Some coord;
+  Array.iter
+    (fun sh ->
+      sh.shards <- shards;
+      sh.coord <- Some coord)
+    shards;
+  Log.info (fun m ->
+      m "listening on port %d (%d domains, %s accepts)" bound n strategy);
+  coord
+
+let start config =
+  match config.mode with
+  | Sharded n -> start_sharded config n
+  | Amped | Sped | Mp _ | Mt _ -> start_one config
 
 let port t = t.bound_port
 let mode t = t.config.mode
+
+let sharding_info t =
+  match shard_peers t with
+  | None -> None
+  | Some shards -> Some (Array.length shards, t.accept_strategy)
 
 (* The MP parent's only job: consolidate children's statistics.  It
    sleeps in its backend for at most one recorder interval — the stats
@@ -2967,6 +3299,20 @@ let run t =
         | exception Unix.Unix_error _ -> ());
         tick_recorder t
       done
+  | Sharded _ -> (
+      match t.role with
+      | Shard_coordinator _ ->
+          (* One domain per shard, each running a full AMPED loop; the
+             coordinator's own loop accepts-and-hands-off (hand-off
+             strategy) or just parks on its wake pipe (reuseport, where
+             the kernel balances accepts into the shards' sockets). *)
+          t.domains <-
+            Array.to_list
+              (Array.map
+                 (fun sh -> Domain.spawn (fun () -> run_loop sh))
+                 t.shards);
+          run_loop t
+      | Standalone | Shard_member _ -> run_loop t)
   | Amped | Sped -> run_loop t
 
 let start_background config =
@@ -2974,39 +3320,58 @@ let start_background config =
   t.loop_thread <- Some (Thread.create run t);
   t
 
+let shutdown_flag t =
+  t.stopped <- true;
+  try ignore (Unix.write t.wake_write (Bytes.of_string "x") 0 1)
+  with Unix.Unix_error _ -> ()
+
+(* Release one instance's resources.  Only called once its loop has
+   exited (loop thread joined / domain joined). *)
+let teardown t =
+  (match t.helper with Some h -> Helper.shutdown h | None -> ());
+  (* MT workers park in their backend's wait with the wake pipe in
+     the interest set, so the wake byte already roused them — no need
+     to poke them with throwaway connections. *)
+  List.iter (fun th -> try Thread.join th with _ -> ()) t.worker_threads;
+  Evio.Backend.close t.evio;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (match t.log_channel with Some oc -> close_out_noerr oc | None -> ());
+  (match t.slow_channel with Some oc -> close_out_noerr oc | None -> ());
+  (match t.stats_pipe_read with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  (match t.stats_pipe_write with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  (try Unix.close t.wake_read with Unix.Unix_error _ -> ());
+  try Unix.close t.wake_write with Unix.Unix_error _ -> ()
+
 let stop t =
   if not t.stopped then begin
-    t.stopped <- true;
-    (try ignore (Unix.write t.wake_write (Bytes.of_string "x") 0 1)
-     with Unix.Unix_error _ -> ());
+    shutdown_flag t;
+    (* Sharded coordinator: flag every shard before joining anything so
+       all the loops unwind in parallel. *)
+    (match t.role with
+    | Shard_coordinator _ -> Array.iter shutdown_flag t.shards
+    | Standalone | Shard_member _ -> ());
     List.iter
       (fun pid ->
         (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
         try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
       t.children;
     (match t.loop_thread with Some th -> Thread.join th | None -> ());
-    (match t.helper with Some h -> Helper.shutdown h | None -> ());
-    (* MT workers park in their backend's wait with the wake pipe in
-       the interest set, so the wake byte above already roused them —
-       no need to poke them with throwaway connections. *)
-    List.iter
-      (fun th -> try Thread.join th with _ -> ())
-      t.worker_threads;
-    Evio.Backend.close t.evio;
-    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-    (match t.log_channel with Some oc -> close_out_noerr oc | None -> ());
-    (match t.slow_channel with Some oc -> close_out_noerr oc | None -> ());
-    (match t.stats_pipe_read with
-    | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
-    | None -> ());
-    (match t.stats_pipe_write with
-    | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
-    | None -> ());
-    (try Unix.close t.wake_read with Unix.Unix_error _ -> ());
-    try Unix.close t.wake_write with Unix.Unix_error _ -> ()
+    (* Shard domains were spawned by the coordinator's [run] (on the
+       loop thread just joined, under [start_background]), so the list
+       is final by now; join them before touching their fds. *)
+    List.iter (fun d -> try Domain.join d with _ -> ()) t.domains;
+    t.domains <- [];
+    (match t.role with
+    | Shard_coordinator _ -> Array.iter teardown t.shards
+    | Standalone | Shard_member _ -> ());
+    teardown t
   end
 
-let stats t =
+let stats_one t =
   drain_stats_pipe t;
   {
     requests = t.n_requests;
@@ -3031,7 +3396,48 @@ let stats t =
     accept_emfile = Obs.Counter.value t.accept_emfile;
   }
 
-let latency t = with_obs_lock t (fun () -> Obs.Histogram.copy t.latency)
+(* Sharded instances report the consolidated view, summed at snapshot
+   over every shard (the programmatic sibling of the /metrics
+   aggregate). *)
+let stats t =
+  match shard_peers t with
+  | None -> stats_one t
+  | Some shards ->
+      let per = Array.to_list (Array.map stats_one shards) in
+      let sum f = List.fold_left (fun a s -> a + f s) 0 per in
+      {
+        requests = sum (fun s -> s.requests);
+        connections = sum (fun s -> s.connections);
+        errors = sum (fun s -> s.errors);
+        cache_hits = sum (fun s -> s.cache_hits);
+        cache_misses = sum (fun s -> s.cache_misses);
+        helper_jobs = sum (fun s -> s.helper_jobs);
+        cache_evictions = sum (fun s -> s.cache_evictions);
+        helper_queue_depth = sum (fun s -> s.helper_queue_depth);
+        active_connections = sum (fun s -> s.active_connections);
+        loop_stalls = sum (fun s -> s.loop_stalls);
+        loop_max_stall =
+          List.fold_left (fun a s -> Float.max a s.loop_max_stall) 0. per;
+        writev_calls = sum (fun s -> s.writev_calls);
+        write_calls = sum (fun s -> s.write_calls);
+        bytes_copied = sum (fun s -> s.bytes_copied);
+        mapped_bytes = sum (fun s -> s.mapped_bytes);
+        event_backend = Evio.name t.config.event_backend;
+        loop_wakeups = sum (fun s -> s.loop_wakeups);
+        timer_fires = sum (fun s -> s.timer_fires);
+        accept_emfile =
+          sum (fun s -> s.accept_emfile) + Obs.Counter.value t.handoff_shed;
+      }
+
+let latency t =
+  match shard_peers t with
+  | None -> with_obs_lock t (fun () -> Obs.Histogram.copy t.latency)
+  | Some shards ->
+      Array.fold_left
+        (fun acc sh ->
+          Obs.Histogram.merge acc
+            (with_obs_lock sh (fun () -> Obs.Histogram.copy sh.latency)))
+        (Obs.Histogram.create ()) shards
 
 let helper_job_latency t = Option.map Helper.job_latency t.helper
 

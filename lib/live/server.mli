@@ -86,6 +86,18 @@ type mode =
   | Sped  (** event loop only; cold files stall it *)
   | Mp of int  (** forked blocking workers *)
   | Mt of int  (** kernel threads sharing the cache behind a mutex *)
+  | Sharded of int
+      (** [n] OCaml domains, each a fully independent AMPED shard (own
+          evio backend, timer wheel, file cache, helper pool, metrics
+          registry and flight recorder).  Accepts balance via
+          [SO_REUSEPORT] — one listening socket per domain — detected
+          at startup; platforms without it fall back to a single
+          acceptor domain feeding a bounded lock-free hand-off ring of
+          accepted fds.  Caches are domain-local unless
+          [cache_budget_bytes] is set, which shares one {!Flash_cache.Budget.t}
+          pool (and one cache lock) across every shard.  [/server-status]
+          and [/metrics] expose both per-shard series (under a [shard]
+          label) and the summed-at-snapshot aggregate. *)
 
 type config = {
   docroot : string;
@@ -171,6 +183,11 @@ type config = {
       (** flight-recorder ring size, in windows (default 120) *)
   recorder_interval : float;
       (** flight-recorder window length, seconds (default 1.0) *)
+  force_handoff : bool;
+      (** [Sharded] only: skip the [SO_REUSEPORT] probe and balance
+          accepts through the hand-off ring, so the fallback path can
+          be exercised on platforms that support reuseport (default
+          [false]) *)
 }
 
 val default_config : docroot:string -> config
@@ -200,7 +217,9 @@ type stats = {
 type t
 
 (** Bind the listen socket and (AMPED) start the helper pool.  The event
-    loop does not run until {!run} or {!start_background}. *)
+    loop does not run until {!run} or {!start_background}.  [Sharded n]
+    builds the whole shard set here (listeners bound, accept strategy
+    probed); the shard domains themselves are spawned by {!run}. *)
 val start : config -> t
 
 (** The bound port (useful with [port = 0]). *)
@@ -216,7 +235,14 @@ val start_background : config -> t
 val stop : t -> unit
 
 val stats : t -> stats
+(** Sharded servers report the consolidated view, summed at snapshot
+    over every shard. *)
+
 val mode : t -> mode
+
+val sharding_info : t -> (int * string) option
+(** [Some (domains, strategy)] for a sharded server — strategy is
+    ["reuseport"] or ["handoff"] — [None] otherwise. *)
 
 (** Snapshot of the per-request latency histogram (seconds).  In MP
     mode this is the parent's consolidated view. *)

@@ -86,25 +86,57 @@ let histogram t ~name ~help ?(labels = []) read =
 let info t ~name ~help ~labels =
   register t ~name ~help ~labels (fun () -> Info)
 
-(* One consistent walk: every renderer consumes this list.  Sorted by
-   (name, labels) so exposition groups series of one metric together
-   and output is deterministic. *)
-let collect t =
-  let samples =
-    List.rev_map
-      (fun m ->
-        {
-          name = m.m_name;
-          help = m.m_help;
-          labels = m.m_labels;
-          value = m.m_read ();
-        })
-      t.metrics
-  in
+let sort_samples samples =
   List.stable_sort
     (fun a b ->
       match compare a.name b.name with 0 -> compare a.labels b.labels | c -> c)
     samples
+
+(* One consistent walk: every renderer consumes this list.  Sorted by
+   (name, labels) so exposition groups series of one metric together
+   and output is deterministic. *)
+let collect t =
+  sort_samples
+    (List.rev_map
+       (fun m ->
+         {
+           name = m.m_name;
+           help = m.m_help;
+           labels = m.m_labels;
+           value = m.m_read ();
+         })
+       t.metrics)
+
+(* Summed-at-snapshot aggregation across shard registries: strip the
+   shard label and fold series that collide.  Counters and gauges sum
+   (a gauge like active connections is additive across shards); gauges
+   whose name matches [gauge_max] take the max instead (uptime, SLO
+   state); histograms merge; info series dedupe (same payload on every
+   shard once the shard label is gone). *)
+let aggregate ?(gauge_max = fun _ -> false) ~drop samples =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun s ->
+      let labels = List.filter (fun (k, _) -> k <> drop) s.labels in
+      let key = (s.name, labels) in
+      match Hashtbl.find_opt tbl key with
+      | None ->
+          Hashtbl.replace tbl key { s with labels };
+          order := key :: !order
+      | Some prev ->
+          let value =
+            match (prev.value, s.value) with
+            | Counter a, Counter b -> Counter (a + b)
+            | Gauge a, Gauge b ->
+                Gauge (if gauge_max s.name then Float.max a b else a +. b)
+            | Hist a, Hist b -> Hist (Histogram.merge a b)
+            | Info, Info -> Info
+            | v, _ -> v (* mismatched kinds: first registration wins *)
+          in
+          Hashtbl.replace tbl key { prev with value })
+    samples;
+  sort_samples (List.rev_map (fun key -> Hashtbl.find tbl key) !order)
 
 (* Lookup helpers for renderers that still address a few values by
    name (the human status page's summary lines). *)

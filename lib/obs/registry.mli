@@ -56,6 +56,19 @@ val info : t -> name:string -> help:string -> labels:labels -> unit
 (** Read every registered series, sorted by (name, labels). *)
 val collect : t -> sample list
 
+(** Re-sort an assembled sample list into collection order
+    (name, labels) — for callers that concatenate several collects. *)
+val sort_samples : sample list -> sample list
+
+(** [aggregate ~drop samples] folds samples that collide once the
+    [drop] label is stripped (summed-at-snapshot across shards):
+    counters and gauges sum, histograms merge, info series dedupe.
+    Gauges whose name satisfies [gauge_max] take the max instead of the
+    sum (uptime-style values that are not additive).  Result is sorted
+    like {!collect}. *)
+val aggregate :
+  ?gauge_max:(string -> bool) -> drop:string -> sample list -> sample list
+
 (** Renderer conveniences over a collected list. *)
 val find : sample list -> ?labels:labels -> string -> sample option
 

@@ -285,7 +285,8 @@ let test_parity_matrix () =
               | Server.Amped -> "amped"
               | Server.Sped -> "sped"
               | Server.Mp _ -> "mp"
-              | Server.Mt _ -> "mt")
+              | Server.Mt _ -> "mt"
+              | Server.Sharded _ -> "sharded")
           in
           let config =
             {

@@ -364,8 +364,12 @@ let test_table_amped () =
 (* The same wire bytes from every architecture.  Responses are compared
    to AMPED's after masking the Date header (the only legitimately
    volatile byte range: ETag/Last-Modified derive from the shared
-   docroot, header padding is deterministic). *)
-let test_byte_identity () =
+   docroot, header padding is deterministic).  Exposed with the mode
+   list as a parameter because Sharded must run from the last suite in
+   the binary: OCaml 5 forbids Unix.fork once any domain has ever been
+   spawned, so every MP (fork) test must precede the first
+   domain-spawning one — test_sharded.ml supplies the SHARDED entry. *)
+let byte_identity_against_amped modes =
   let cases = table () in
   let run mode = with_mode_server mode (fun port -> List.map (run_case port) cases) in
   let base = run Server.Amped in
@@ -382,6 +386,10 @@ let test_byte_identity () =
             Alcotest.failf "%s: %s response differs from AMPED" name
               (List.nth cases i).label)
         got)
+    modes
+
+let test_byte_identity () =
+  byte_identity_against_amped
     [ ("SPED", Server.Sped); ("MP", Server.Mp 2); ("MT", Server.Mt 2) ]
 
 (* ------------------------------------------------------------------ *)

@@ -1,0 +1,384 @@
+(* Multicore sharding: the bounded hand-off ring (qcheck: no fd lost,
+   none delivered twice, occupancy bounded), concurrent Budget
+   accounting (qcheck: parallel charge/release conserves the total,
+   shed never over-frees), and the Sharded server end to end — both
+   accept strategies, per-shard + aggregate telemetry, and the
+   text/JSON no-drift rule for the sharding block.  Runs real domains
+   and loopback sockets. *)
+
+module Server = Flash_live.Server
+module Client = Flash_live.Client
+module Handoff = Flash_live.Handoff
+module Budget = Flash_cache.Budget
+open Test_status
+
+(* ------------------------------------------------------------------ *)
+(* Hand-off ring                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_basics () =
+  let r = Handoff.create ~capacity:3 in
+  Alcotest.(check int) "capacity rounds up" 4 (Handoff.capacity r);
+  Alcotest.(check (option int)) "empty pops None" None (Handoff.pop r);
+  for i = 1 to 4 do
+    Alcotest.(check bool) "push fits" true (Handoff.push r i)
+  done;
+  Alcotest.(check bool) "full push refused" false (Handoff.push r 5);
+  Alcotest.(check int) "length at capacity" 4 (Handoff.length r);
+  (* FIFO when single-threaded. *)
+  List.iter
+    (fun want -> Alcotest.(check (option int)) "fifo" (Some want) (Handoff.pop r))
+    [ 1; 2; 3; 4 ];
+  Alcotest.(check (option int)) "drained" None (Handoff.pop r);
+  (* Slots recycle across laps. *)
+  for lap = 1 to 3 do
+    Alcotest.(check bool) "lap push" true (Handoff.push r lap);
+    Alcotest.(check (option int)) "lap pop" (Some lap) (Handoff.pop r)
+  done
+
+(* One producer domain pushes 0..n-1 (spinning when the ring is full);
+   [consumers] domains pop until all items are out.  Every item must
+   arrive exactly once, and no observation may exceed the capacity. *)
+let ring_arbitrary =
+  QCheck.(
+    triple (int_range 1 300) (* items *)
+      (int_range 1 32) (* requested capacity *)
+      (int_range 1 3) (* consumer domains *))
+
+let prop_ring_delivers_exactly_once (items, capacity, consumers) =
+  let ring = Handoff.create ~capacity in
+  let received = Atomic.make 0 in
+  let over_occupancy = Atomic.make false in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 0 to items - 1 do
+          while not (Handoff.push ring i) do
+            Domain.cpu_relax ()
+          done;
+          if Handoff.length ring > Handoff.capacity ring then
+            Atomic.set over_occupancy true
+        done)
+  in
+  let consumer_domains =
+    List.init consumers (fun _ ->
+        Domain.spawn (fun () ->
+            let got = ref [] in
+            let rec loop () =
+              if Atomic.get received < items then begin
+                (match Handoff.pop ring with
+                | Some v ->
+                    got := v :: !got;
+                    ignore (Atomic.fetch_and_add received 1)
+                | None -> Domain.cpu_relax ());
+                loop ()
+              end
+            in
+            loop ();
+            !got))
+  in
+  Domain.join producer;
+  let all = List.concat_map Domain.join consumer_domains in
+  let sorted = List.sort compare all in
+  sorted = List.init items Fun.id && not (Atomic.get over_occupancy)
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent Budget accounting                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Parallel paired charge/release from several domains: the pool must
+   conserve the total exactly (end at zero) and never go negative. *)
+let budget_arbitrary =
+  QCheck.(pair (int_range 2 4) (small_list (int_range 1 1000)))
+
+let prop_budget_conserves (domains, amounts) =
+  QCheck.assume (amounts <> []);
+  let b = Budget.create ~bytes:max_int in
+  let negative_seen = Atomic.make false in
+  let workers =
+    List.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            List.iter
+              (fun amount ->
+                Budget.charge b amount;
+                if Budget.used b < 0 then Atomic.set negative_seen true;
+                Budget.release b amount)
+              amounts))
+  in
+  List.iter Domain.join workers;
+  Budget.used b = 0 && not (Atomic.get negative_seen)
+
+(* Shedding under contention: members mirror their resident bytes in
+   atomics, shed releases exactly what a charge added — so whatever
+   interleaving happens, the pool must equal the members' total at the
+   end (a shed that over-freed would leave it below, a lost release
+   above), and rebalance must land at or under capacity while anything
+   is sheddable. *)
+let shed_arbitrary = QCheck.(pair (int_range 2 4) (int_range 10 80))
+
+let prop_budget_shed_exact (domains, ops) =
+  let chunk = 100 in
+  let cap = chunk * 5 in
+  let b = Budget.create ~bytes:cap in
+  let members =
+    List.init domains (fun i ->
+        let resident = Atomic.make 0 in
+        Budget.register b
+          ~name:(Printf.sprintf "m%d" i)
+          ~usage:(fun () -> Atomic.get resident)
+          ~shed:(fun () ->
+            (* Pop one chunk if this member holds one. *)
+            let rec try_shed () =
+              let cur = Atomic.get resident in
+              if cur < chunk then false
+              else if Atomic.compare_and_set resident cur (cur - chunk) then begin
+                Budget.release b chunk;
+                true
+              end
+              else try_shed ()
+            in
+            try_shed ());
+        resident)
+  in
+  let workers =
+    List.mapi
+      (fun _ resident ->
+        Domain.spawn (fun () ->
+            for _ = 1 to ops do
+              ignore (Atomic.fetch_and_add resident chunk);
+              Budget.charge b chunk
+            done))
+      members
+  in
+  List.iter Domain.join workers;
+  Budget.rebalance b;
+  let total = List.fold_left (fun a r -> a + Atomic.get r) 0 members in
+  Budget.used b = total && Budget.used b >= 0 && Budget.used b <= cap
+
+(* ------------------------------------------------------------------ *)
+(* The sharded server                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let with_sharded ?(force_handoff = false) ?cache_budget_bytes n f =
+  let docroot = Test_live.make_docroot () in
+  let config =
+    {
+      (Server.default_config ~docroot) with
+      Server.mode = Server.Sharded n;
+      force_handoff;
+      cache_budget_bytes;
+    }
+  in
+  with_config config f
+
+let drive port n =
+  for _ = 1 to n do
+    let r = get port "/hello.txt" in
+    Alcotest.(check int) "hello 200" 200 r.Client.status;
+    Alcotest.(check string) "hello body" "hello live world" r.Client.body
+  done
+
+let check_sharding_block server j ~domains =
+  let strategy =
+    match Server.sharding_info server with
+    | Some (_, s) -> s
+    | None -> Alcotest.fail "sharded server reports no sharding_info"
+  in
+  let sharding = member "sharding" j in
+  Alcotest.(check int) "domains" domains (to_int (member "domains" sharding));
+  Alcotest.(check string)
+    "accept strategy" strategy
+    (to_str (member "accept" sharding));
+  let shards =
+    match member "shards" sharding with
+    | Arr l -> l
+    | _ -> Alcotest.fail "sharding.shards not an array"
+  in
+  Alcotest.(check int) "shard entries" domains (List.length shards);
+  List.iteri
+    (fun i sh ->
+      Alcotest.(check int) "shard id" i (to_int (member "shard" sh));
+      Alcotest.(check bool)
+        "backend named" true
+        (String.length (to_str (member "backend" sh)) > 0))
+    shards;
+  (* The aggregate is the per-shard sum, read in the same snapshot. *)
+  let sum =
+    List.fold_left (fun a sh -> a + to_int (member "requests" sh)) 0 shards
+  in
+  Alcotest.(check int) "aggregate = sum of shards" sum
+    (to_int (member "requests" j))
+
+let test_sharded_reuseport () =
+  with_sharded 2 (fun server port ->
+      drive port 12;
+      let stats = await_stats server (fun s -> s.Server.requests >= 12) in
+      Alcotest.(check bool)
+        "stats aggregate requests" true
+        (stats.Server.requests >= 12);
+      Alcotest.(check bool)
+        "stats aggregate connections" true
+        (stats.Server.connections >= 12);
+      let j = get_status_json port in
+      check_sharding_block server j ~domains:2;
+      Alcotest.(check string)
+        "mode string" "sharded:2"
+        (to_str (member "mode" j)))
+
+let test_sharded_handoff () =
+  with_sharded ~force_handoff:true 2 (fun server port ->
+      (match Server.sharding_info server with
+      | Some (2, "handoff") -> ()
+      | Some (n, s) -> Alcotest.failf "expected 2/handoff, got %d/%s" n s
+      | None -> Alcotest.fail "no sharding_info");
+      drive port 12;
+      let stats = await_stats server (fun s -> s.Server.requests >= 12) in
+      Alcotest.(check bool)
+        "handoff served all" true
+        (stats.Server.requests >= 12);
+      let j = get_status_json port in
+      check_sharding_block server j ~domains:2)
+
+let test_sharded_shared_budget () =
+  (* One Budget.t across both shards' caches: foreign-shard sheds run
+     behind the shared cache lock, and the server keeps serving. *)
+  with_sharded ~cache_budget_bytes:(64 * 1024) 2 (fun server port ->
+      for _ = 1 to 6 do
+        Alcotest.(check int) "index" 200 (get port "/index.html").Client.status;
+        Alcotest.(check int) "hello" 200 (get port "/hello.txt").Client.status;
+        Alcotest.(check int) "big" 200 (get port "/big.bin").Client.status
+      done;
+      let stats = await_stats server (fun s -> s.Server.requests >= 18) in
+      Alcotest.(check bool) "all served" true (stats.Server.requests >= 18))
+
+(* /metrics of a sharded server: strictly valid exposition, per-shard
+   series under the shard label, and the unlabeled aggregate equal to
+   the per-shard sum at snapshot. *)
+let test_sharded_metrics () =
+  with_sharded 2 (fun server port ->
+      drive port 10;
+      ignore (await_stats server (fun s -> s.Server.requests >= 10));
+      let r = get port "/metrics" in
+      Alcotest.(check int) "metrics 200" 200 r.Client.status;
+      (match Obs.Exposition.validate r.Client.body with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "sharded exposition invalid: %s" msg);
+      let lines = String.split_on_char '\n' r.Client.body in
+      let requests_value line =
+        match String.index_opt line ' ' with
+        | Some i ->
+            int_of_float
+              (float_of_string
+                 (String.sub line (i + 1) (String.length line - i - 1)))
+        | None -> Alcotest.failf "unparseable sample line %S" line
+      in
+      let starts_with prefix l =
+        String.length l >= String.length prefix
+        && String.sub l 0 (String.length prefix) = prefix
+      in
+      let aggregate = ref None and shards = ref [] in
+      List.iter
+        (fun l ->
+          if starts_with "flash_http_requests_total{shard=" l then
+            shards := requests_value l :: !shards
+          else if starts_with "flash_http_requests_total " l then
+            aggregate := Some (requests_value l))
+        lines;
+      Alcotest.(check int) "one series per shard" 2 (List.length !shards);
+      match !aggregate with
+      | None -> Alcotest.fail "aggregate flash_http_requests_total missing"
+      | Some agg ->
+          Alcotest.(check int)
+            "aggregate equals shard sum"
+            (List.fold_left ( + ) 0 !shards)
+            agg)
+
+(* The PR 7 no-drift rule extended to sharded views: the text page's
+   metrics section and the JSON "metrics" object list the same keys in
+   the same order — shard-labeled and aggregate rows included. *)
+let test_sharded_views_never_drift () =
+  with_sharded 2 (fun _server port ->
+      drive port 4;
+      let text = (get port "/server-status").Client.body in
+      let j = get_status_json port in
+      let json_keys =
+        match member "metrics" j with
+        | Obj kv -> List.map fst kv
+        | _ -> Alcotest.fail "metrics not an object"
+      in
+      let text_keys =
+        let lines = String.split_on_char '\n' text in
+        let rec after_header = function
+          | [] -> []
+          | "metrics:" :: rest -> rest
+          | _ :: rest -> after_header rest
+        in
+        List.filter_map
+          (fun line ->
+            if String.length line > 2 && String.sub line 0 2 = "  " then
+              let body = String.sub line 2 (String.length line - 2) in
+              match String.rindex_opt body ' ' with
+              | Some i -> Some (String.sub body 0 i)
+              | None -> None
+            else None)
+          (after_header lines)
+      in
+      Alcotest.(check (list string))
+        "text and JSON metrics agree" json_keys text_keys;
+      (* And the text view carries the sharding lines. *)
+      Alcotest.(check bool)
+        "text sharding line" true
+        (Helpers.contains text ~affix:"sharding:     2 domains");
+      Alcotest.(check bool)
+        "text per-shard lines" true
+        (Helpers.contains text ~affix:"shard 0:"
+        && Helpers.contains text ~affix:"shard 1:"))
+
+(* The HTTP/1.1 conformance matrix extended to Sharded: the same wire
+   bytes as AMPED for the whole torture table.  Lives here rather than
+   in test_http11 because this suite must run last — OCaml 5 forbids
+   Unix.fork once any domain has ever been spawned, so the MP entries
+   of the matrix (and every other fork test) must precede the first
+   Domain.spawn in the binary. *)
+let test_sharded_byte_identity () =
+  Test_http11.byte_identity_against_amped
+    [ ("SHARDED", Server.Sharded 2) ]
+
+(* Unsharded servers must say so, in both views. *)
+let test_unsharded_views () =
+  let docroot = Test_live.make_docroot () in
+  with_config (Server.default_config ~docroot) (fun server port ->
+      Alcotest.(check (option (pair int string)))
+        "no sharding_info" None
+        (Server.sharding_info server);
+      let j = get_status_json port in
+      (match member "sharding" j with
+      | Null -> ()
+      | _ -> Alcotest.fail "unsharded JSON sharding should be null");
+      let text = (get port "/server-status").Client.body in
+      Alcotest.(check bool)
+        "text says none" true
+        (Helpers.contains text ~affix:"sharding:     none"))
+
+let suite =
+  [
+    Alcotest.test_case "hand-off ring basics" `Quick test_ring_basics;
+    Helpers.qcheck_case ~count:30 ~name:"ring delivers exactly once"
+      ring_arbitrary prop_ring_delivers_exactly_once;
+    Helpers.qcheck_case ~count:30 ~name:"budget conserves under domains"
+      budget_arbitrary prop_budget_conserves;
+    Helpers.qcheck_case ~count:20 ~name:"budget shed never over-frees"
+      shed_arbitrary prop_budget_shed_exact;
+    Alcotest.test_case "sharded serves over reuseport" `Quick
+      test_sharded_reuseport;
+    Alcotest.test_case "sharded serves over hand-off ring" `Quick
+      test_sharded_handoff;
+    Alcotest.test_case "shards share one cache budget" `Quick
+      test_sharded_shared_budget;
+    Alcotest.test_case "sharded /metrics validates and aggregates" `Quick
+      test_sharded_metrics;
+    Alcotest.test_case "sharded views never drift" `Quick
+      test_sharded_views_never_drift;
+    Alcotest.test_case "HTTP/1.1 byte-identity vs AMPED" `Quick
+      test_sharded_byte_identity;
+    Alcotest.test_case "unsharded views say none" `Quick test_unsharded_views;
+  ]
