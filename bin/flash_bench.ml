@@ -30,7 +30,7 @@ let record stats latency bytes ok =
 
 let worker ~host ~port ~path ~headers ~expect ~keep_alive ~deadline stats () =
   let run_one_keepalive () =
-    let session = Flash_live.Client.Session.connect ~host ~port in
+    let session = Flash_live.Client.Session.connect ~host ~port () in
     Fun.protect
       ~finally:(fun () -> Flash_live.Client.Session.close session)
       (fun () ->
@@ -233,7 +233,7 @@ let open_idle_connections ~host ~port ~path n =
   let rec go acc i =
     if i >= n then acc
     else
-      match Flash_live.Client.Session.connect ~host ~port with
+      match Flash_live.Client.Session.connect ~host ~port () with
       | session -> (
           match Flash_live.Client.Session.request session path with
           | _ -> go (session :: acc) (i + 1)
@@ -498,6 +498,528 @@ let run_sweep ~docroot ~backend ~max_domains ~path ~clients ~client_workers
   | None -> ());
   if List.exists (fun p -> p.point_errors > 0) points then exit 1
 
+(* ------------------------------------------------------------------ *)
+(* Hostile scenarios: overload survival, measured.
+
+   Three arms per attack, each against a fresh in-process server:
+   baseline (no attack, guard off), unguarded (attack, guard off) and
+   guarded (attack, guard configured for that attack).  Legitimate
+   clients connect from 127.0.0.1; attackers bind their source to
+   127.0.0.2 (any 127/8 address reaches loopback on Linux), so the
+   guard's per-IP ledgers can discriminate attacker from victim.  The
+   figure of merit is legit goodput relative to the unloaded baseline:
+   an effective guard holds it near 1.0 while the unguarded ratio
+   collapses.                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let attacker_src = "127.0.0.2"
+
+type attacker_stats = {
+  mutable opened : int;  (* connects that succeeded *)
+  mutable dropped : int;  (* connections the server closed on us *)
+  mutable att_ok : int;  (* attacker requests answered 200 *)
+  mutable att_refused : int;  (* attacker requests answered 4xx/5xx *)
+}
+
+let new_attacker_stats () =
+  { opened = 0; dropped = 0; att_ok = 0; att_refused = 0 }
+
+let sum_attacker_stats l =
+  List.fold_left
+    (fun acc s ->
+      {
+        opened = acc.opened + s.opened;
+        dropped = acc.dropped + s.dropped;
+        att_ok = acc.att_ok + s.att_ok;
+        att_refused = acc.att_refused + s.att_refused;
+      })
+    (new_attacker_stats ()) l
+
+let hostile_connect ~port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string attacker_src, 0))
+   with Unix.Unix_error _ -> ());
+  match Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port)) with
+  | () -> Some fd
+  | exception Unix.Unix_error _ ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      None
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Connection flood: fill [slots] with held, silent connections and keep
+   them full.  Dead slots (server refused or reaped us) are reopened at
+   a bounded rate, so a guarded server pays a steady trickle of cheap
+   refusals rather than an accept storm. *)
+let flood_thread ~port ~deadline ~slots stats () =
+  let conns = Array.make slots None in
+  let probe = Bytes.create 64 in
+  Array.iteri
+    (fun i _ ->
+      match hostile_connect ~port with
+      | Some fd ->
+          Unix.set_nonblock fd;
+          stats.opened <- stats.opened + 1;
+          conns.(i) <- Some fd
+      | None -> ())
+    conns;
+  while Unix.gettimeofday () < deadline do
+    let reopen_budget = ref 30 in
+    Array.iteri
+      (fun i c ->
+        match c with
+        | None ->
+            if !reopen_budget > 0 then begin
+              decr reopen_budget;
+              match hostile_connect ~port with
+              | Some fd ->
+                  Unix.set_nonblock fd;
+                  stats.opened <- stats.opened + 1;
+                  conns.(i) <- Some fd
+              | None -> ()
+            end
+        | Some fd -> (
+            (* Readable EOF (a 429 then close) or a reset means the
+               server got rid of us. *)
+            match Unix.read fd probe 0 64 with
+            | 0 ->
+                close_quietly fd;
+                stats.dropped <- stats.dropped + 1;
+                conns.(i) <- None
+            | _ -> ()
+            | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+              ->
+                ()
+            | exception Unix.Unix_error _ ->
+                close_quietly fd;
+                stats.dropped <- stats.dropped + 1;
+                conns.(i) <- None))
+      conns;
+    Thread.delay 0.5
+  done;
+  Array.iter (function Some fd -> close_quietly fd | None -> ()) conns
+
+(* A request head long enough that byte-at-a-time delivery never
+   finishes within any realistic run. *)
+let slow_request_head =
+  "GET /index.html HTTP/1.1\r\nHost: hostile\r\n"
+  ^ String.concat ""
+      (List.init 400 (fun i -> Printf.sprintf "X-Pad-%04d: aaaaaaaa\r\n" i))
+  ^ "\r\n"
+
+(* Slow-read army (slowloris): hold [slots] connections, dribbling one
+   header byte per tick on each.  The dribble keeps [last_active]
+   fresh, so the idle timer never fires — only a header deadline
+   breaks the hold. *)
+let slowread_thread ~port ~deadline ~slots stats () =
+  let conns = Array.make slots None in
+  let fill i =
+    match hostile_connect ~port with
+    | Some fd ->
+        Unix.set_nonblock fd;
+        stats.opened <- stats.opened + 1;
+        conns.(i) <- Some (fd, ref 0)
+    | None -> ()
+  in
+  Array.iteri (fun i _ -> fill i) conns;
+  while Unix.gettimeofday () < deadline do
+    let reopen_budget = ref 30 in
+    Array.iteri
+      (fun i c ->
+        match c with
+        | None ->
+            if !reopen_budget > 0 then begin
+              decr reopen_budget;
+              fill i
+            end
+        | Some (fd, pos) -> (
+            if !pos >= String.length slow_request_head then pos := 0;
+            match Unix.write_substring fd slow_request_head !pos 1 with
+            | _ -> incr pos
+            | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+              ->
+                ()
+            | exception Unix.Unix_error _ ->
+                close_quietly fd;
+                stats.dropped <- stats.dropped + 1;
+                conns.(i) <- None))
+      conns;
+    Thread.delay 0.15
+  done;
+  Array.iter (function Some (fd, _) -> close_quietly fd | None -> ()) conns
+
+(* Disk-bound stampede: closed-loop requests for a rotating set of
+   cold files, one connection per request, as fast as the server
+   answers.  Every hit costs a helper job, so an unbounded queue
+   swamps the victims' share of disk service. *)
+let stampede_thread ~port ~deadline ~files stats () =
+  let buf = Bytes.create 8192 in
+  let i = ref 0 in
+  while Unix.gettimeofday () < deadline do
+    (match hostile_connect ~port with
+    | None -> Thread.delay 0.01
+    | Some fd ->
+        stats.opened <- stats.opened + 1;
+        incr i;
+        (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0
+         with Unix.Unix_error _ | Invalid_argument _ -> ());
+        let req =
+          Printf.sprintf "GET /f%d.bin HTTP/1.0\r\nHost: hostile\r\n\r\n"
+            (!i mod files)
+        in
+        (match Unix.write_substring fd req 0 (String.length req) with
+        | _ -> (
+            match Unix.read fd buf 0 (Bytes.length buf) with
+            | 0 -> stats.dropped <- stats.dropped + 1
+            | n ->
+                let head = Bytes.sub_string buf 0 (min n 12) in
+                if String.length head >= 12 && String.sub head 9 3 = "200" then
+                  stats.att_ok <- stats.att_ok + 1
+                else stats.att_refused <- stats.att_refused + 1;
+                (try
+                   while Unix.read fd buf 0 (Bytes.length buf) > 0 do
+                     ()
+                   done
+                 with Unix.Unix_error _ -> ())
+            | exception Unix.Unix_error _ ->
+                stats.dropped <- stats.dropped + 1)
+        | exception Unix.Unix_error _ -> stats.dropped <- stats.dropped + 1);
+        close_quietly fd);
+    Thread.delay 0.005
+  done
+
+(* Legitimate load for hostile runs: closed-loop clients that survive
+   being shed — a dropped session or refused connect counts an error,
+   backs off briefly and retries, so goodput reflects what a victim
+   population actually gets through, not how fast the first error
+   killed the worker.  Each worker binds its own 127.0.1.x source: a
+   victim population is many low-rate IPs, not one hot one, and that
+   is precisely the asymmetry per-IP accounting exploits.
+
+   Sessions are keep-alive but rotate every 100 requests: a session
+   that got in before the attack established would otherwise sit out
+   the connection exhaustion it is supposed to measure, while pure
+   connection-per-request drowns the single-core generator in
+   handshakes.  Rotation keeps the accept path honest in both arms. *)
+let legit_worker ~src ~host ~port ~path ~deadline stats () =
+  while Unix.gettimeofday () < deadline do
+    match Flash_live.Client.Session.connect ~src ~host ~port () with
+    | exception _ ->
+        stats.errors <- stats.errors + 1;
+        Thread.delay 0.02
+    | session ->
+        (try
+           let n = ref 0 in
+           while !n < 100 && Unix.gettimeofday () < deadline do
+             incr n;
+             let t0 = Unix.gettimeofday () in
+             let r = Flash_live.Client.Session.request session path in
+             record stats
+               (Unix.gettimeofday () -. t0)
+               (String.length r.Flash_live.Client.body)
+               (r.Flash_live.Client.status = 200)
+           done
+         with _ -> stats.errors <- stats.errors + 1);
+        Flash_live.Client.Session.close session
+  done
+
+type hostile_attack = Flood | Slowread | Stampede
+
+let attack_name = function
+  | Flood -> "flood"
+  | Slowread -> "slowread"
+  | Stampede -> "stampede"
+
+let attack_of_string = function
+  | "flood" -> Some Flood
+  | "slowread" -> Some Slowread
+  | "stampede" -> Some Stampede
+  | _ -> None
+
+(* A scratch docroot of our own (never the user's): one small page the
+   victims hammer, plus a rotating set of larger files the stampede
+   keeps cold. *)
+let make_hostile_docroot () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "flash-hostile-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let write name n =
+    let oc = open_out (Filename.concat dir name) in
+    output_string oc (String.make n 'x');
+    close_out oc
+  in
+  write "index.html" 8192;
+  for i = 0 to 63 do
+    write (Printf.sprintf "f%d.bin" i) 32768
+  done;
+  dir
+
+let remove_hostile_docroot dir =
+  match Sys.readdir dir with
+  | entries ->
+      Array.iter
+        (fun e -> try Sys.remove (Filename.concat dir e) with Sys_error _ -> ())
+        entries;
+      (try Unix.rmdir dir with Unix.Unix_error _ -> ())
+  | exception Sys_error _ -> ()
+
+let hostile_server_config ~docroot ~attack ~guarded =
+  let module Server = Flash_live.Server in
+  let module Guard = Flash_guard.Guard in
+  let base =
+    {
+      (Server.default_config ~docroot) with
+      Server.port = 0;
+      mode = Server.Amped;
+      event_backend = Evio.Select;
+      (* Long enough that waiting out the idle timer is not a defense
+         within the run — held flood connections must be evicted by
+         policy or not at all. *)
+      idle_timeout = 60.;
+      trace = false;
+    }
+  in
+  let base =
+    match attack with
+    | Stampede ->
+        {
+          base with
+          Server.max_cached_file = 0 (* every read is cold disk work *);
+          helpers = 2;
+          slow_read = Some (fun _ -> Thread.delay 0.015);
+        }
+    | Flood | Slowread -> base
+  in
+  if not guarded then base
+  else
+    let g = Guard.default_config in
+    let g =
+      match attack with
+      | Flood -> { g with Guard.max_conns_per_ip = Some 16 }
+      | Slowread ->
+          {
+            g with
+            Guard.max_conns_per_ip = Some 64;
+            header_deadline = 0.5;
+            min_byte_rate = 64.;
+            transfer_interval = 0.5;
+          }
+      | Stampede ->
+          (* Above any one victim's demand, far below the attacker's;
+             the queue bound is the backstop against whatever the rate
+             cap still admits. *)
+          {
+            g with
+            Guard.max_rps_per_ip = Some 20.;
+            max_helper_queue = Some 32;
+          }
+    in
+    { base with Server.guard = g }
+
+type hostile_arm = {
+  arm_name : string;
+  goodput_rps : float;
+  legit_ok : int;
+  legit_errors : int;
+  legit_p99_ms : float;
+  arm_shed_total : int;
+  arm_sheds : (string * int) list;
+  arm_helper_hwm : int;
+  arm_helper_rejected : int;
+  attacker : attacker_stats option;
+}
+
+let shed_reason_labels =
+  [
+    "admission";
+    "cgi_limit";
+    "conn_limit";
+    "helper_queue";
+    "idle_reap";
+    "rate_limit";
+    "slow_client";
+    "slow_header";
+  ]
+
+let run_hostile_arm ~docroot ~attack ~arm_name ~guarded ~with_attack ~duration
+    ~clients =
+  let module Server = Flash_live.Server in
+  let config = hostile_server_config ~docroot ~attack ~guarded in
+  let server = Server.start_background config in
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () ->
+      let host = "127.0.0.1" and port = Server.port server in
+      (try ignore (Flash_live.Client.get ~host ~port "/index.html")
+       with _ -> ());
+      let establish =
+        if not with_attack then 0.
+        else match attack with Flood | Slowread -> 2.0 | Stampede -> 0.7
+      in
+      let legit_deadline = Unix.gettimeofday () +. establish +. duration in
+      (* Attackers outlive the victims slightly so goodput is measured
+         under pressure end to end. *)
+      let attack_deadline = legit_deadline +. 1.0 in
+      let attacker_threads, attacker_stats =
+        if not with_attack then ([], [])
+        else
+          let spawn n f =
+            List.init n (fun _ ->
+                let s = new_attacker_stats () in
+                (Thread.create (f s) (), s))
+          in
+          let pairs =
+            match attack with
+            | Flood ->
+                spawn 4 (fun s ->
+                    flood_thread ~port ~deadline:attack_deadline ~slots:300 s)
+            | Slowread ->
+                spawn 4 (fun s ->
+                    slowread_thread ~port ~deadline:attack_deadline ~slots:300
+                      s)
+            | Stampede ->
+                spawn 32 (fun s ->
+                    stampede_thread ~port ~deadline:attack_deadline ~files:64 s)
+          in
+          (List.map fst pairs, List.map snd pairs)
+      in
+      (* Let the attack establish before the victims arrive; the
+         occupancy attacks need time to fill their slots. *)
+      if establish > 0. then Thread.delay establish;
+      let stats = Array.init clients (fun _ -> new_stats ()) in
+      let t0 = Unix.gettimeofday () in
+      let legit_threads =
+        List.init clients (fun i ->
+            Thread.create
+              (legit_worker
+                 ~src:(Printf.sprintf "127.0.1.%d" ((i mod 250) + 1))
+                 ~host ~port ~path:"/index.html" ~deadline:legit_deadline
+                 stats.(i))
+              ())
+      in
+      List.iter Thread.join legit_threads;
+      let elapsed = Unix.gettimeofday () -. t0 in
+      List.iter Thread.join attacker_threads;
+      (* Scrape after the attack ends: the counters are cumulative, and
+         an exhausted server cannot answer the scrape mid-flood. *)
+      let rec scrape_retry n =
+        match scrape_status ~host ~port "/server-status" with
+        | Some body -> Some body
+        | None ->
+            if n <= 1 then None
+            else begin
+              Thread.delay 0.25;
+              scrape_retry (n - 1)
+            end
+      in
+      let status = scrape_retry 10 in
+      let completed =
+        Array.fold_left (fun acc s -> acc + s.completed) 0 stats
+      in
+      let errors = Array.fold_left (fun acc s -> acc + s.errors) 0 stats in
+      let latency =
+        Array.fold_left
+          (fun acc s -> Obs.Histogram.merge acc s.latencies)
+          (Obs.Histogram.create ()) stats
+      in
+      let sint key =
+        match status with
+        | Some body -> Option.value (json_int body key) ~default:0
+        | None -> 0
+      in
+      {
+        arm_name;
+        goodput_rps = float_of_int completed /. elapsed;
+        legit_ok = completed;
+        legit_errors = errors;
+        legit_p99_ms = 1000. *. Obs.Histogram.percentile latency 99.;
+        arm_shed_total = sint "shed_total";
+        arm_sheds =
+          (if guarded then
+             List.map (fun l -> (l, sint l)) shed_reason_labels
+           else []);
+        arm_helper_hwm = sint "flash_helper_queue_depth_hwm";
+        arm_helper_rejected = sint "flash_helper_rejected_total";
+        attacker =
+          (match attacker_stats with
+          | [] -> None
+          | l -> Some (sum_attacker_stats l));
+      })
+
+let hostile_arm_json a =
+  let num f = if Float.is_finite f then Printf.sprintf "%.6g" f else "0" in
+  let attacker_json =
+    match a.attacker with
+    | None -> "null"
+    | Some s ->
+        Printf.sprintf
+          {|{"opened":%d,"dropped":%d,"ok":%d,"refused":%d}|}
+          s.opened s.dropped s.att_ok s.att_refused
+  in
+  Printf.sprintf
+    {|{"arm":%S,"goodput_rps":%s,"completed":%d,"errors":%d,"latency_p99_ms":%s,"shed_total":%d,"sheds":{%s},"helper_queue_hwm":%d,"helper_rejected":%d,"attacker":%s}|}
+    a.arm_name (num a.goodput_rps) a.legit_ok a.legit_errors
+    (num a.legit_p99_ms) a.arm_shed_total
+    (String.concat ","
+       (List.map (fun (l, v) -> Printf.sprintf "%S:%d" l v) a.arm_sheds))
+    a.arm_helper_hwm a.arm_helper_rejected attacker_json
+
+let run_hostile ~attack ~duration ~clients ~json_file =
+  let docroot = make_hostile_docroot () in
+  Fun.protect
+    ~finally:(fun () -> remove_hostile_docroot docroot)
+    (fun () ->
+      Format.printf
+        "flash-bench: hostile %s — %d legit clients, %.1fs per arm \
+         (attackers from %s)@."
+        (attack_name attack) clients duration attacker_src;
+      let arm name ~guarded ~with_attack =
+        let r =
+          run_hostile_arm ~docroot ~attack ~arm_name:name ~guarded ~with_attack
+            ~duration ~clients
+        in
+        Format.printf
+          "%-10s %8.1f req/s goodput (%d ok, %d errors, p99 %.1f ms%s)@."
+          (name ^ ":") r.goodput_rps r.legit_ok r.legit_errors r.legit_p99_ms
+          (if guarded then Printf.sprintf ", %d shed" r.arm_shed_total else "");
+        r
+      in
+      let baseline = arm "baseline" ~guarded:false ~with_attack:false in
+      let unguarded = arm "unguarded" ~guarded:false ~with_attack:true in
+      let guarded = arm "guarded" ~guarded:true ~with_attack:true in
+      let ratio a =
+        if baseline.goodput_rps > 0. then a.goodput_rps /. baseline.goodput_rps
+        else 0.
+      in
+      Format.printf
+        "verdict:    unguarded keeps %.0f%% of baseline goodput, guarded \
+         keeps %.0f%%@."
+        (100. *. ratio unguarded)
+        (100. *. ratio guarded);
+      (match json_file with
+      | Some file ->
+          let num f =
+            if Float.is_finite f then Printf.sprintf "%.6g" f else "0"
+          in
+          let body =
+            Printf.sprintf
+              {|{"hostile":%S,"duration_s":%s,"legit_clients":%d,"arms":[%s],"unguarded_vs_baseline":%s,"guarded_vs_baseline":%s}|}
+              (attack_name attack) (num duration) clients
+              (String.concat ","
+                 (List.map hostile_arm_json [ baseline; unguarded; guarded ]))
+              (num (ratio unguarded))
+              (num (ratio guarded))
+            ^ "\n"
+          in
+          let oc = open_out file in
+          output_string oc body;
+          close_out oc;
+          Format.printf "json:       wrote %s@." file
+      | None -> ()))
+
 let host =
   Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"Server host.")
 
@@ -609,9 +1131,34 @@ let sweep_backend =
           "Event-readiness backend for the sweep's servers \
            (select|poll|epoll; default select).")
 
+let hostile =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "hostile" ] ~docv:"ATTACK"
+        ~doc:
+          "Overload-survival scenario: run three in-process arms \
+           (baseline, unguarded, guarded) of $(b,--duration) seconds \
+           each and compare legit goodput.  $(docv) is one of: flood \
+           (held-connection flood past the readiness backend's fd \
+           capacity); slowread (slowloris army dribbling header bytes, \
+           invisible to the idle timer); stampede (closed-loop \
+           cold-file requests swamping the bounded helper queue).  \
+           Attackers source from 127.0.0.2 so per-IP limits can tell \
+           them from the victims.  Uses its own scratch docroot; \
+           ignores $(b,--host)/$(b,--port).")
+
 let main host port path clients client_workers duration keep_alive scenario
     idle_connections json_file status_path no_server_stats sweep_domains
-    docroot sweep_backend =
+    docroot sweep_backend hostile =
+  match hostile with
+  | Some kind -> (
+      match attack_of_string kind with
+      | Some attack -> run_hostile ~attack ~duration ~clients ~json_file
+      | None ->
+          Format.eprintf "unknown attack %S (flood|slowread|stampede)@." kind;
+          exit 2)
+  | None -> (
   match sweep_domains with
   | Some max_domains ->
       if max_domains < 1 then begin
@@ -634,7 +1181,7 @@ let main host port path clients client_workers duration keep_alive scenario
             scenario idle_connections json_file status_path no_server_stats
       | None ->
           Format.eprintf "--port is required unless --sweep-domains is given@.";
-          exit 2)
+          exit 2))
 
 let cmd =
   let doc = "closed-loop HTTP load generator (for the live Flash server)" in
@@ -642,6 +1189,6 @@ let cmd =
     Term.(
       const main $ host $ port $ path $ clients $ client_workers $ duration
       $ keep_alive $ scenario $ idle_connections $ json_file $ status_path
-      $ no_server_stats $ sweep_domains $ docroot $ sweep_backend)
+      $ no_server_stats $ sweep_domains $ docroot $ sweep_backend $ hostile)
 
 let () = exit (Cmd.eval cmd)

@@ -33,7 +33,7 @@ let serve docroot port mode domains event_backend helpers cache_mb cache_policy
     gzip_lazy access_log access_log_timing status_path no_status stall_ms
     no_trace trace_capacity trace_path slow_request_ms slow_request_log
     metrics_path no_metrics latency_slo recorder_dump recorder_interval
-    verbose =
+    guard verbose =
   setup_logs verbose;
   let suffix_int s prefix default =
     match
@@ -109,8 +109,15 @@ let serve docroot port mode domains event_backend helpers cache_mb cache_policy
       metrics_path = (if no_metrics then None else Some metrics_path);
       latency_slo;
       recorder_interval;
+      guard;
     }
   in
+  if Flash_guard.Guard.enabled guard && guard.Flash_guard.Guard.slo_shed
+     && latency_slo = None
+  then begin
+    Format.eprintf "--slo-shed needs --latency-slo-ms to sense pressure@.";
+    exit 2
+  end;
   let server = Flash_live.Server.start config in
   Format.printf "Flash serving %s on http://127.0.0.1:%d/ (%s)@." docroot
     (Flash_live.Server.port server)
@@ -158,6 +165,43 @@ let serve docroot port mode domains event_backend helpers cache_mb cache_policy
       Format.printf "slow requests over %.1f ms logged to %s@." ms
         (Option.value slow_request_log ~default:"stderr")
   | None -> ());
+  (if Flash_guard.Guard.enabled guard then begin
+     let g = guard in
+     let parts =
+       List.filter_map Fun.id
+         [
+           Option.map
+             (Printf.sprintf "%d conns/ip")
+             g.Flash_guard.Guard.max_conns_per_ip;
+           Option.map
+             (fun r ->
+               Printf.sprintf "%g req/s/ip over %gs" r
+                 g.Flash_guard.Guard.rps_window)
+             g.Flash_guard.Guard.max_rps_per_ip;
+           (if g.Flash_guard.Guard.header_deadline > 0. then
+              Some
+                (Printf.sprintf "%gs header deadline"
+                   g.Flash_guard.Guard.header_deadline)
+            else None);
+           (if g.Flash_guard.Guard.min_byte_rate > 0. then
+              Some
+                (Printf.sprintf "%g B/s transfer floor"
+                   g.Flash_guard.Guard.min_byte_rate)
+            else None);
+           Option.map
+             (Printf.sprintf "%d queued helper jobs")
+             g.Flash_guard.Guard.max_helper_queue;
+           Option.map
+             (Printf.sprintf "%d CGI children")
+             g.Flash_guard.Guard.max_cgi_inflight;
+           (if g.Flash_guard.Guard.slo_shed then Some "SLO-burn shedder"
+            else None);
+         ]
+     in
+     Format.printf "guard: %s; Retry-After %ds@."
+       (String.concat ", " parts)
+       g.Flash_guard.Guard.retry_after
+   end);
   let stop _ =
     let s = Flash_live.Server.stats server in
     Format.printf
@@ -452,6 +496,126 @@ let recorder_interval =
     & info [ "recorder-interval" ] ~docv:"SECONDS"
         ~doc:"Flight-recorder window length (default 1 s).")
 
+(* ---- Guard (admission control and load shedding) flags ------------- *)
+
+let max_conns_per_ip =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-conns-per-ip" ] ~docv:"N"
+        ~doc:
+          "Refuse (429) connections from a peer address already holding \
+           N open connections — connection-flood defense.")
+
+let max_rps_per_ip =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "max-rps-per-ip" ] ~docv:"RPS"
+        ~doc:
+          "Refuse (429, closing) requests from a peer exceeding this \
+           rate over a sliding window.")
+
+let rps_window =
+  Arg.(
+    value
+    & opt float Flash_guard.Guard.default_config.Flash_guard.Guard.rps_window
+    & info [ "rps-window" ] ~docv:"SECONDS"
+        ~doc:"Sliding-window length for --max-rps-per-ip.")
+
+let header_deadline =
+  Arg.(
+    value & opt float 0.
+    & info [ "header-deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Answer 408 and close when a request head is not complete \
+           this long after its first byte — slowloris defense (0 \
+           disables).")
+
+let min_byte_rate =
+  Arg.(
+    value & opt float 0.
+    & info [ "min-byte-rate" ] ~docv:"BYTES/S"
+        ~doc:
+          "Close connections moving response bytes slower than this, \
+           checked every --transfer-interval — slow-read defense (0 \
+           disables).")
+
+let transfer_interval =
+  Arg.(
+    value
+    & opt float
+        Flash_guard.Guard.default_config.Flash_guard.Guard.transfer_interval
+    & info [ "transfer-interval" ] ~docv:"SECONDS"
+        ~doc:"How often --min-byte-rate progress is checked.")
+
+let max_helper_queue =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-helper-queue" ] ~docv:"N"
+        ~doc:
+          "Bound the AMPED helper queue: jobs beyond N waiting answer \
+           503 with Retry-After instead of queueing without bound.")
+
+let max_cgi =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-cgi" ] ~docv:"N"
+        ~doc:
+          "Bound concurrent CGI children: requests beyond N in flight \
+           answer 503 with Retry-After instead of forking.")
+
+let slo_shed =
+  Arg.(
+    value & flag
+    & info [ "slo-shed" ]
+        ~doc:
+          "Shed load when the --latency-slo-ms SLO burns: first reap \
+           idle keep-alives, then refuse new connections (503), then \
+           refuse helper-queue admission — never in-flight requests.")
+
+let shed_idle_after =
+  Arg.(
+    value
+    & opt float
+        Flash_guard.Guard.default_config.Flash_guard.Guard.shed_idle_after
+    & info [ "shed-idle-after" ] ~docv:"SECONDS"
+        ~doc:
+          "Under SLO shedding, reap keep-alive connections idle this \
+           long.")
+
+let retry_after =
+  Arg.(
+    value
+    & opt int Flash_guard.Guard.default_config.Flash_guard.Guard.retry_after
+    & info [ "retry-after" ] ~docv:"SECONDS"
+        ~doc:"Delay advertised in Retry-After on guard 429/503 responses.")
+
+let guard_term =
+  let mk max_conns_per_ip max_rps_per_ip rps_window header_deadline
+      min_byte_rate transfer_interval max_helper_queue max_cgi_inflight
+      slo_shed shed_idle_after retry_after =
+    {
+      Flash_guard.Guard.max_conns_per_ip;
+      max_rps_per_ip;
+      rps_window;
+      header_deadline;
+      min_byte_rate;
+      transfer_interval;
+      max_helper_queue;
+      max_cgi_inflight;
+      slo_shed;
+      shed_idle_after;
+      retry_after;
+    }
+  in
+  Term.(
+    const mk $ max_conns_per_ip $ max_rps_per_ip $ rps_window
+    $ header_deadline $ min_byte_rate $ transfer_interval $ max_helper_queue
+    $ max_cgi $ slo_shed $ shed_idle_after $ retry_after)
+
 let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Debug logging.")
 
 let cmd =
@@ -466,6 +630,6 @@ let cmd =
       $ access_log $ access_log_timing $ status_path $ no_status $ stall_ms
       $ no_trace $ trace_capacity $ trace_path $ slow_request_ms
       $ slow_request_log $ metrics_path $ no_metrics $ latency_slo
-      $ recorder_dump $ recorder_interval $ verbose)
+      $ recorder_dump $ recorder_interval $ guard_term $ verbose)
 
 let () = exit (Cmd.eval cmd)

@@ -190,16 +190,30 @@ and do_send rt ~pool live c job =
             rt.Runtime.helper_dispatches <- rt.Runtime.helper_dispatches + 1;
             c.state <- Wait_pagein job;
             let enqueued = sim_now rt in
-            Helper_pool.dispatch pool ~work:(fun () ->
-                (* The helper touches the pages in its own mapping,
-                   blocking on the disk reads itself. *)
-                Simos.Kernel.page_in kernel file ~off ~len:step_data;
-                let pages =
-                  Simos.Fs.pages_in_range (Simos.Kernel.fs kernel) ~off
-                    ~len:step_data
-                in
-                Simos.Kernel.charge kernel (float_of_int pages *. 1e-6);
-                Paged_in (c, enqueued))
+            let admitted =
+              Helper_pool.dispatch pool ~work:(fun () ->
+                  (* The helper touches the pages in its own mapping,
+                     blocking on the disk reads itself. *)
+                  Simos.Kernel.page_in kernel file ~off ~len:step_data;
+                  let pages =
+                    Simos.Fs.pages_in_range (Simos.Kernel.fs kernel) ~off
+                      ~len:step_data
+                  in
+                  Simos.Kernel.charge kernel (float_of_int pages *. 1e-6);
+                  Paged_in (c, enqueued))
+            in
+            if not admitted then begin
+              (* Bounded backlog full mid-response: headers are already
+                 on the wire, so shedding is no longer possible — fault
+                 the pages inline (the SPED pathology, but bounded by
+                 the cap rather than an unbounded queue). *)
+              let before = sim_now rt in
+              Simos.Kernel.page_in kernel file ~off ~len:step_data;
+              if sim_now rt > before then
+                add_tr_span rt c "disk-read" ~start:before ~stop:(sim_now rt);
+              c.state <- Sending job;
+              proceed step_data
+            end
           in
           (match rt.Runtime.residency with
           | None ->
@@ -296,14 +310,24 @@ and process_request rt ~pool live c (req : Http.Request.t) ~head_bytes =
           add_tr_span rt c "translate" ~start:t_translate ~stop:(sim_now rt);
           match pool with
           | Some pool ->
-              (* AMPED: uncached translations go to a helper process. *)
+              (* AMPED: uncached translations go to a helper process.
+                 A full bounded backlog is answered with an early 503
+                 before any disk work is committed. *)
               rt.Runtime.helper_dispatches <- rt.Runtime.helper_dispatches + 1;
               c.state <- Wait_translate;
               let kernel = rt.Runtime.kernel in
               let enqueued = sim_now rt in
-              Helper_pool.dispatch pool ~work:(fun () ->
-                  let file = Simos.Kernel.open_stat kernel path in
-                  Translated (c, req, path, file, enqueued))
+              let admitted =
+                Helper_pool.dispatch pool ~work:(fun () ->
+                    let file = Simos.Kernel.open_stat kernel path in
+                    Translated (c, req, path, file, enqueued))
+              in
+              if not admitted then begin
+                c.state <- Reading;
+                start_send rt ~pool:(Some pool) live c
+                  (Runtime.error_response rt req Http.Status.Service_unavailable
+                     ~keep)
+              end
           | None -> (
               (* SPED/Zeus: inline translation; metadata misses stall the
                  loop. *)

@@ -6,13 +6,18 @@ type 'a t = {
   notify : 'a Simos.Pipe.t;
   mutable idle_workers : (unit -> 'a) Simos.Pipe.t list;
   pending : (unit -> 'a) Queue.t;
+  max_queued : int option;  (* bound on [pending]; in-flight don't count *)
   mutable spawned : int;
+  mutable rejected : int;  (* dispatches refused by the bound *)
   depth : Obs.Gauge.t;  (* queued + in-flight jobs *)
   job_latency : Obs.Histogram.t;  (* dispatch-to-completion, sim seconds *)
 }
 
-let create kernel ~max ~footprint ~name =
+let create ?max_queued kernel ~max ~footprint ~name =
   if max < 0 then invalid_arg "Helper_pool.create: negative max";
+  (match max_queued with
+  | Some n when n < 0 -> invalid_arg "Helper_pool.create: max_queued < 0"
+  | _ -> ());
   {
     kernel;
     max;
@@ -21,7 +26,9 @@ let create kernel ~max ~footprint ~name =
     notify = Simos.Pipe.create ();
     idle_workers = [];
     pending = Queue.create ();
+    max_queued;
     spawned = 0;
+    rejected = 0;
     depth = Obs.Gauge.create ();
     job_latency = Obs.Histogram.create ();
   }
@@ -32,6 +39,8 @@ let idle t = List.length t.idle_workers
 let queued t = Queue.length t.pending
 let queue_depth t = Obs.Gauge.value t.depth
 let queue_depth_hwm t = Obs.Gauge.high_watermark t.depth
+let in_flight t = queue_depth t - queued t
+let rejected t = t.rejected
 let job_latency t = t.job_latency
 
 (* One helper: block on the task pipe, run the job in this process's
@@ -63,8 +72,7 @@ let dispatch t ~work =
      helper finishing the work (in simulated time), depth covers queued
      and in-flight jobs alike. *)
   let dispatched_at = Simos.Kernel.now t.kernel in
-  Obs.Gauge.incr t.depth;
-  let work () =
+  let instrumented () =
     let result = work () in
     Obs.Histogram.record t.job_latency
       (Simos.Kernel.now t.kernel -. dispatched_at);
@@ -74,16 +82,29 @@ let dispatch t ~work =
   match t.idle_workers with
   | pipe :: rest ->
       t.idle_workers <- rest;
-      Simos.Kernel.pipe_write t.kernel pipe work
+      Obs.Gauge.incr t.depth;
+      Simos.Kernel.pipe_write t.kernel pipe instrumented;
+      true
   | [] ->
       if t.spawned < t.max then begin
         let pipe = spawn_worker t in
-        Simos.Kernel.pipe_write t.kernel pipe work
+        Obs.Gauge.incr t.depth;
+        Simos.Kernel.pipe_write t.kernel pipe instrumented;
+        true
       end
       else begin
-        (* All helpers busy: queue; an IPC send is still paid when a
-           helper picks it up, approximate it now. *)
-        Simos.Kernel.charge t.kernel
-          (Simos.Kernel.profile t.kernel).Simos.Os_profile.ipc_send;
-        Queue.push work t.pending
+        match t.max_queued with
+        | Some cap when Queue.length t.pending >= cap ->
+            (* Refuse at the door: the caller answers 503 instead of
+               letting the backlog grow without bound. *)
+            t.rejected <- t.rejected + 1;
+            false
+        | _ ->
+            (* All helpers busy: queue; an IPC send is still paid when a
+               helper picks it up, approximate it now. *)
+            Obs.Gauge.incr t.depth;
+            Simos.Kernel.charge t.kernel
+              (Simos.Kernel.profile t.kernel).Simos.Os_profile.ipc_send;
+            Queue.push instrumented t.pending;
+            true
       end

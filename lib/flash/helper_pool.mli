@@ -9,16 +9,26 @@
 
 type 'a t
 
-(** [create kernel ~max ~footprint ~name] — [footprint] bytes of RAM are
-    reserved per spawned helper (shrinking the buffer cache). *)
-val create : Simos.Kernel.t -> max:int -> footprint:int -> name:string -> 'a t
+(** [create ?max_queued kernel ~max ~footprint ~name] — [footprint]
+    bytes of RAM are reserved per spawned helper (shrinking the buffer
+    cache).  [max_queued] bounds the backlog of jobs waiting for a
+    helper (in-flight jobs don't count); unbounded by default. *)
+val create :
+  ?max_queued:int ->
+  Simos.Kernel.t ->
+  max:int ->
+  footprint:int ->
+  name:string ->
+  'a t
 
 (** [dispatch t ~work] hands [work] to an idle helper (spawning one if
     allowed, queueing otherwise).  [work] runs in the helper's process
     context — its blocking and CPU charges land on the helper — and its
     result is written to the notification pipe.  The caller is charged
-    one IPC send.  Must run in process context. *)
-val dispatch : 'a t -> work:(unit -> 'a) -> unit
+    one IPC send.  Must run in process context.  Returns [false] — and
+    queues nothing — when every helper is busy and the backlog is at
+    [max_queued]. *)
+val dispatch : 'a t -> work:(unit -> 'a) -> bool
 
 (** The pipe completions arrive on; poll it in [select] and drain with
     {!Simos.Kernel.pipe_read}. *)
@@ -33,6 +43,12 @@ val queue_depth : 'a t -> int
 
 (** Deepest {!queue_depth} has ever been. *)
 val queue_depth_hwm : 'a t -> int
+
+(** Jobs a helper is actively running ({!queue_depth} − {!queued}). *)
+val in_flight : 'a t -> int
+
+(** Dispatches refused by the [max_queued] bound. *)
+val rejected : 'a t -> int
 
 (** Dispatch-to-completion latency histogram in simulated seconds — the
     same {!Obs.Histogram} the live server reports, so simulated and

@@ -1,0 +1,239 @@
+type reason =
+  | Conn_limit
+  | Rate_limit
+  | Slow_header
+  | Slow_client
+  | Helper_queue
+  | Cgi_limit
+  | Admission
+  | Idle_reap
+
+let reason_label = function
+  | Conn_limit -> "conn_limit"
+  | Rate_limit -> "rate_limit"
+  | Slow_header -> "slow_header"
+  | Slow_client -> "slow_client"
+  | Helper_queue -> "helper_queue"
+  | Cgi_limit -> "cgi_limit"
+  | Admission -> "admission"
+  | Idle_reap -> "idle_reap"
+
+let all_reasons =
+  [
+    Admission;
+    Cgi_limit;
+    Conn_limit;
+    Helper_queue;
+    Idle_reap;
+    Rate_limit;
+    Slow_client;
+    Slow_header;
+  ]
+
+let reason_index = function
+  | Admission -> 0
+  | Cgi_limit -> 1
+  | Conn_limit -> 2
+  | Helper_queue -> 3
+  | Idle_reap -> 4
+  | Rate_limit -> 5
+  | Slow_client -> 6
+  | Slow_header -> 7
+
+type level = Normal | Shed_idle | Shed_new | Shed_queue
+
+let level_code = function
+  | Normal -> 0
+  | Shed_idle -> 1
+  | Shed_new -> 2
+  | Shed_queue -> 3
+
+type config = {
+  max_conns_per_ip : int option;
+  max_rps_per_ip : float option;
+  rps_window : float;
+  header_deadline : float;
+  min_byte_rate : float;
+  transfer_interval : float;
+  max_helper_queue : int option;
+  max_cgi_inflight : int option;
+  slo_shed : bool;
+  shed_idle_after : float;
+  retry_after : int;
+}
+
+let default_config =
+  {
+    max_conns_per_ip = None;
+    max_rps_per_ip = None;
+    rps_window = 1.0;
+    header_deadline = 0.;
+    min_byte_rate = 0.;
+    transfer_interval = 2.0;
+    max_helper_queue = None;
+    max_cgi_inflight = None;
+    slo_shed = false;
+    shed_idle_after = 1.0;
+    retry_after = 2;
+  }
+
+let enabled c =
+  c.max_conns_per_ip <> None
+  || c.max_rps_per_ip <> None
+  || c.header_deadline > 0.
+  || c.min_byte_rate > 0.
+  || c.max_helper_queue <> None
+  || c.max_cgi_inflight <> None
+  || c.slo_shed
+
+(* One ledger per peer address.  The request rate is a two-bucket
+   sliding-window estimate: the previous window's count, weighted by
+   how much of it still overlaps the sliding window ending now, plus
+   the current bucket.  O(1) per request, no per-request timestamps. *)
+type peer_entry = {
+  mutable conns : int;
+  mutable cur_start : float;  (* start of the current bucket *)
+  mutable cur : int;  (* requests in the current bucket *)
+  mutable prev : int;  (* requests in the bucket before it *)
+}
+
+type t = {
+  cfg : config;
+  clock : unit -> float;
+  lock : Mutex.t;
+  peers : (string, peer_entry) Hashtbl.t;
+  sheds : int array;  (* indexed by reason_index *)
+  mutable lvl : level;
+}
+
+let create ?(clock = Unix.gettimeofday) cfg =
+  {
+    cfg;
+    clock;
+    lock = Mutex.create ();
+    peers = Hashtbl.create 64;
+    sheds = Array.make (List.length all_reasons) 0;
+    lvl = Normal;
+  }
+
+let config t = t.cfg
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+type verdict = Admit | Reject of reason
+
+let entry t peer now =
+  match Hashtbl.find_opt t.peers peer with
+  | Some e -> e
+  | None ->
+      let e = { conns = 0; cur_start = now; cur = 0; prev = 0 } in
+      Hashtbl.replace t.peers peer e;
+      e
+
+(* Roll the two buckets forward so [e.cur_start] covers [now]. *)
+let roll t e now =
+  let w = t.cfg.rps_window in
+  let elapsed = now -. e.cur_start in
+  if elapsed >= 2. *. w then (
+    e.prev <- 0;
+    e.cur <- 0;
+    e.cur_start <- now)
+  else if elapsed >= w then (
+    e.prev <- e.cur;
+    e.cur <- 0;
+    e.cur_start <- e.cur_start +. w)
+
+let rate t e now =
+  roll t e now;
+  let w = t.cfg.rps_window in
+  let into = (now -. e.cur_start) /. w in
+  let overlap = 1. -. into in
+  ((float_of_int e.prev *. overlap) +. float_of_int e.cur) /. w
+
+let shed_locked t r = t.sheds.(reason_index r) <- t.sheds.(reason_index r) + 1
+
+let on_connect t ~peer =
+  with_lock t (fun () ->
+      if t.lvl = Shed_new || t.lvl = Shed_queue then (
+        shed_locked t Admission;
+        Reject Admission)
+      else
+        let now = t.clock () in
+        let e = entry t peer now in
+        match t.cfg.max_conns_per_ip with
+        | Some cap when e.conns >= cap ->
+            shed_locked t Conn_limit;
+            Reject Conn_limit
+        | _ ->
+            e.conns <- e.conns + 1;
+            Admit)
+
+let on_disconnect t ~peer =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.peers peer with
+      | Some e -> if e.conns > 0 then e.conns <- e.conns - 1
+      | None -> ())
+
+let on_request t ~peer =
+  with_lock t (fun () ->
+      let now = t.clock () in
+      let e = entry t peer now in
+      match t.cfg.max_rps_per_ip with
+      | Some cap when rate t e now >= cap ->
+          shed_locked t Rate_limit;
+          Reject Rate_limit
+      | _ ->
+          roll t e now;
+          e.cur <- e.cur + 1;
+          Admit)
+
+let tracked_peers t = with_lock t (fun () -> Hashtbl.length t.peers)
+
+let sweep t =
+  with_lock t (fun () ->
+      let now = t.clock () in
+      let cold = 2. *. t.cfg.rps_window in
+      let dead =
+        Hashtbl.fold
+          (fun peer e acc ->
+            if e.conns = 0 && now -. e.cur_start >= cold then peer :: acc
+            else acc)
+          t.peers []
+      in
+      List.iter (Hashtbl.remove t.peers) dead)
+
+let note_pressure t ~state_code ~burn =
+  with_lock t (fun () ->
+      if t.cfg.slo_shed then
+        t.lvl <-
+          (match state_code with
+          | 0 -> Normal
+          | 1 -> Shed_idle
+          | _ ->
+              (* The SLO evaluator breaches at burn >= 3x budget; twice
+                 past that again, stop even queueing helper work. *)
+              if burn >= 0.5 then Shed_queue else Shed_new))
+
+let level t = with_lock t (fun () -> t.lvl)
+
+let queue_admission t =
+  with_lock t (fun () ->
+      if t.lvl = Shed_queue then (
+        shed_locked t Helper_queue;
+        Reject Helper_queue)
+      else Admit)
+
+let shed t r = with_lock t (fun () -> shed_locked t r)
+let shed_count t r = with_lock t (fun () -> t.sheds.(reason_index r))
+
+let shed_total t =
+  with_lock t (fun () -> Array.fold_left ( + ) 0 t.sheds)
+
+let header_overdue c ~started ~now =
+  c.header_deadline > 0. && now -. started >= c.header_deadline
+
+let transfer_stalled c ~bytes_moved ~interval =
+  c.min_byte_rate > 0. && interval > 0.
+  && float_of_int bytes_moved < c.min_byte_rate *. interval

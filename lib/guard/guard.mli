@@ -1,0 +1,137 @@
+(** Admission control and load shedding.
+
+    The guard is the policy layer between accept/parse and the work a
+    request costs.  It decides, before the server commits resources,
+    whether a peer may open another connection, whether a request may
+    run, whether a helper job may queue — and, under SLO pressure,
+    which standing work to shed first.  It owns no sockets and no
+    timers: the server supplies the mechanism (timer wheel, accept
+    loop, helper pool) and asks the guard for verdicts, so the module
+    is a pure, clock-injected state machine that unit-tests without a
+    server.
+
+    Shed order under pressure is strictly lowest-value first: idle
+    keep-alive connections, then new-connection admission, then queued
+    (never in-flight) helper work.  An in-flight request is never
+    killed by the shedder; only the slow-client defenses (header
+    deadline, minimum transfer rate) terminate a connection that is
+    mid-request, because such a connection is itself the attack. *)
+
+(** Why a connection, request or job was refused or reaped.  The
+    constructor set is closed and each maps to a stable label used on
+    [flash_guard_shed_total{reason="..."}]. *)
+type reason =
+  | Conn_limit  (** per-peer concurrent-connection cap *)
+  | Rate_limit  (** per-peer request-rate cap *)
+  | Slow_header  (** request header not completed within the deadline *)
+  | Slow_client  (** transfer progressed below the minimum byte rate *)
+  | Helper_queue  (** bounded helper queue full, or queue admission shed *)
+  | Cgi_limit  (** concurrent CGI process cap *)
+  | Admission  (** new-connection admission shed under SLO pressure *)
+  | Idle_reap  (** idle keep-alive closed under SLO pressure *)
+
+val reason_label : reason -> string
+(** Stable snake_case label for metrics ("conn_limit", ...). *)
+
+val all_reasons : reason list
+(** Every reason, in label order — used to pre-register metric series
+    so the families exist (at 0) before the first shed. *)
+
+(** Escalation ladder driven by the SLO burn sensor.  Each level
+    includes every action of the levels below it. *)
+type level =
+  | Normal  (** no pressure: only the hard limits apply *)
+  | Shed_idle  (** reap idle keep-alive connections *)
+  | Shed_new  (** also refuse new connections with 503 *)
+  | Shed_queue  (** also refuse helper-queue admission with 503 *)
+
+val level_code : level -> int
+(** 0, 1, 2, 3 — the value of the [flash_guard_state] gauge. *)
+
+type config = {
+  max_conns_per_ip : int option;  (** concurrent connections per peer *)
+  max_rps_per_ip : float option;  (** requests/second per peer *)
+  rps_window : float;  (** sliding-window length, seconds *)
+  header_deadline : float;  (** seconds to finish a request head; 0 = off *)
+  min_byte_rate : float;  (** minimum transfer bytes/second; 0 = off *)
+  transfer_interval : float;  (** how often transfer progress is checked *)
+  max_helper_queue : int option;  (** queued (not in-flight) helper jobs *)
+  max_cgi_inflight : int option;  (** concurrent CGI children *)
+  slo_shed : bool;  (** enable the SLO-burn shedder (needs --latency-slo) *)
+  shed_idle_after : float;  (** under shed: reap keep-alives idle this long *)
+  retry_after : int;  (** seconds advertised in Retry-After on 429/503 *)
+}
+
+val default_config : config
+(** Everything off: no limits, no deadlines, shedder disabled.  A guard
+    built from this config is inert ({!enabled} = false). *)
+
+val enabled : config -> bool
+(** True iff any defense is configured — the server skips guard
+    plumbing entirely otherwise. *)
+
+type t
+
+val create : ?clock:(unit -> float) -> config -> t
+(** [clock] defaults to [Unix.gettimeofday]; tests inject a virtual
+    one.  Thread-safe: all verdict and accounting calls take an
+    internal lock (MT workers share one guard). *)
+
+val config : t -> config
+
+(** {1 Per-peer accounting}
+
+    Peers are keyed by their address string (no port), so every
+    connection from one host shares one ledger. *)
+
+type verdict = Admit | Reject of reason
+
+val on_connect : t -> peer:string -> verdict
+(** Called at accept.  [Admit] registers the connection against the
+    peer's ledger; the caller must pair it with {!on_disconnect}.
+    Also enforces {!level} [Shed_new]: under admission shedding every
+    new connection is [Reject Admission]. *)
+
+val on_disconnect : t -> peer:string -> unit
+
+val on_request : t -> peer:string -> verdict
+(** Called once per parsed request head, before any work.  [Admit]
+    charges the request to the peer's sliding rate window. *)
+
+val tracked_peers : t -> int
+
+val sweep : t -> unit
+(** Drop ledgers with no live connections and a cold rate window.
+    Call periodically (the server's guard tick). *)
+
+(** {1 SLO-driven shedding} *)
+
+val note_pressure : t -> state_code:int -> burn:float -> unit
+(** Feed the SLO evaluator's verdict (0 healthy / 1 degraded /
+    2 breached, plus the burn fraction).  Degraded maps to
+    [Shed_idle]; breached to [Shed_new]; breached with burn beyond
+    twice the breach threshold to [Shed_queue].  Only moves the level
+    when [slo_shed] is set. *)
+
+val level : t -> level
+
+val queue_admission : t -> verdict
+(** [Reject Helper_queue] when the shedder has reached [Shed_queue];
+    the bounded-queue check itself lives with the queue. *)
+
+(** {1 Shed bookkeeping} *)
+
+val shed : t -> reason -> unit
+(** Count one shed decision (the caller performed the action). *)
+
+val shed_count : t -> reason -> int
+
+val shed_total : t -> int
+
+(** {1 Slow-client policy helpers}
+
+    Pure verdicts over numbers the server measured; keeping the
+    comparison here keeps the policy unit-testable. *)
+
+val header_overdue : config -> started:float -> now:float -> bool
+val transfer_stalled : config -> bytes_moved:int -> interval:float -> bool

@@ -77,6 +77,10 @@ let header_pair ?version ?server ?content_type ?content_length ?date
   in
   (render true, render false)
 
+let retry_after seconds =
+  if seconds < 0 then invalid_arg "Response.retry_after: negative delay";
+  ("Retry-After", string_of_int seconds)
+
 let error_body status =
   Printf.sprintf
     "<html><head><title>%s</title></head><body><h1>%s</h1></body></html>\n"

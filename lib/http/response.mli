@@ -38,5 +38,10 @@ val header_pair :
   unit ->
   string * string
 
+(** The [Retry-After] header pair for 429/503 overload responses, as
+    a delay in whole seconds — ready for [header]'s [~extra] list.
+    @raise Invalid_argument on a negative delay. *)
+val retry_after : int -> string * string
+
 (** A minimal HTML error body matching the status. *)
 val error_body : Status.t -> string

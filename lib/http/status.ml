@@ -8,8 +8,11 @@ type t =
   | Not_found
   | Precondition_failed
   | Range_not_satisfiable
+  | Request_timeout
+  | Too_many_requests
   | Internal_server_error
   | Not_implemented
+  | Service_unavailable
 
 let code = function
   | Ok -> 200
@@ -21,8 +24,11 @@ let code = function
   | Not_found -> 404
   | Precondition_failed -> 412
   | Range_not_satisfiable -> 416
+  | Request_timeout -> 408
+  | Too_many_requests -> 429
   | Internal_server_error -> 500
   | Not_implemented -> 501
+  | Service_unavailable -> 503
 
 let reason = function
   | Ok -> "OK"
@@ -34,7 +40,10 @@ let reason = function
   | Not_found -> "Not Found"
   | Precondition_failed -> "Precondition Failed"
   | Range_not_satisfiable -> "Range Not Satisfiable"
+  | Request_timeout -> "Request Timeout"
+  | Too_many_requests -> "Too Many Requests"
   | Internal_server_error -> "Internal Server Error"
   | Not_implemented -> "Not Implemented"
+  | Service_unavailable -> "Service Unavailable"
 
 let line_fragment t = Printf.sprintf "%d %s" (code t) (reason t)

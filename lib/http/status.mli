@@ -10,8 +10,11 @@ type t =
   | Not_found
   | Precondition_failed
   | Range_not_satisfiable
+  | Request_timeout
+  | Too_many_requests
   | Internal_server_error
   | Not_implemented
+  | Service_unavailable
 
 val code : t -> int
 val reason : t -> string

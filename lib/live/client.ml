@@ -68,7 +68,7 @@ let send_request fd ~meth ~version ~extra_headers path =
   let payload = String.concat "" lines in
   ignore (Unix.write_substring fd payload 0 (String.length payload))
 
-let connect_fd ~host ~port =
+let connect_fd ?src ~host ~port () =
   let addr =
     try Unix.inet_addr_of_string host
     with Failure _ -> (
@@ -77,14 +77,19 @@ let connect_fd ~host ~port =
       | { Unix.h_addr_list; _ } -> h_addr_list.(0))
   in
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+  (try
+     (match src with
+     | Some s ->
+         Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string s, 0))
+     | None -> ());
+     Unix.connect fd (Unix.ADDR_INET (addr, port))
    with e ->
      Unix.close fd;
      raise e);
   fd
 
-let get ?(meth = "GET") ?(headers = []) ~host ~port path =
-  let fd = connect_fd ~host ~port in
+let get ?(meth = "GET") ?(headers = []) ?src ~host ~port path =
+  let fd = connect_fd ?src ~host ~port () in
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
@@ -101,8 +106,13 @@ module Session = struct
     mutable closed : bool;
   }
 
-  let connect ~host ~port =
-    { fd = connect_fd ~host ~port; host; leftover = ref ""; closed = false }
+  let connect ?src ~host ~port () =
+    {
+      fd = connect_fd ?src ~host ~port ();
+      host;
+      leftover = ref "";
+      closed = false;
+    }
 
   let request ?(meth = "GET") ?(headers = []) t path =
     if t.closed then failwith "Client.Session: closed";

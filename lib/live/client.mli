@@ -10,14 +10,18 @@ type response = {
 (** One-shot: connect, request, read the full response, close.
     @raise Failure on malformed responses or connection errors. *)
 val get :
-  ?meth:string -> ?headers:(string * string) list -> host:string -> port:int ->
-  string -> response
+  ?meth:string -> ?headers:(string * string) list -> ?src:string ->
+  host:string -> port:int -> string -> response
 
 (** Persistent connection for keep-alive interactions. *)
 module Session : sig
   type t
 
-  val connect : host:string -> port:int -> t
+  (** [src], when given, binds the connection's source to that local
+      address (any [127/8] address works on loopback) — lets tests and
+      benchmarks present distinct peer identities to the server's
+      per-IP accounting. *)
+  val connect : ?src:string -> host:string -> port:int -> unit -> t
 
   (** Issue a request on the session (HTTP/1.1, keep-alive); [headers]
       are appended after Host and Connection. *)

@@ -21,7 +21,12 @@ type 'a t = {
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Handoff.create: capacity <= 0";
-  let cap = ref 1 in
+  (* Two slots minimum (Vyukov's precondition).  With a single slot the
+     sequence arithmetic degenerates: after a push the slot's ticket,
+     [pos + 1], is exactly the next push position, so every push claims
+     the slot and silently overwrites an unconsumed element instead of
+     reporting the ring full. *)
+  let cap = ref 2 in
   while !cap < capacity do
     cap := !cap * 2
   done;

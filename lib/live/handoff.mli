@@ -12,7 +12,9 @@
 type 'a t
 
 val create : capacity:int -> 'a t
-(** Capacity is rounded up to a power of two.
+(** Capacity is rounded up to a power of two, with a minimum of two —
+    the slot-sequence scheme cannot distinguish "full" from "pushable"
+    with a single slot.
     @raise Invalid_argument if [capacity <= 0]. *)
 
 val capacity : 'a t -> int

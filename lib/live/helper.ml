@@ -25,6 +25,9 @@ type t = {
   slow_read : (string -> unit) option;
   depth : Obs.Gauge.t;  (* queued + in-flight jobs; guarded by mutex *)
   job_latency : Obs.Histogram.t;  (* dispatch-to-completion; guarded by mutex *)
+  max_queued : int option;  (* bound on *queued* jobs; in-flight don't count *)
+  mutable in_flight : int;  (* jobs popped but not yet completed *)
+  mutable rejected : int;  (* dispatches refused because the queue was full *)
   mutable stop : bool;
   mutable dispatched : int;
   mutable threads : Thread.t list;
@@ -65,6 +68,7 @@ let worker t () =
     if t.stop then Mutex.unlock t.mutex
     else begin
       let job = Queue.pop t.queue in
+      t.in_flight <- t.in_flight + 1;
       Mutex.unlock t.mutex;
       let started = t.clock () in
       let result = touch_file ?slow_read:t.slow_read ~buf job.path in
@@ -74,6 +78,7 @@ let worker t () =
         { key = job.key; result; enqueued = job.enqueued; started; finished };
       Obs.Histogram.record t.job_latency (finished -. job.enqueued);
       Obs.Gauge.decr t.depth;
+      t.in_flight <- t.in_flight - 1;
       Mutex.unlock t.mutex;
       (* Wake the select loop; one byte per completion. *)
       (try ignore (Unix.write t.notify_write (Bytes.of_string "x") 0 1)
@@ -83,8 +88,11 @@ let worker t () =
   in
   loop ()
 
-let create ?(clock = Unix.gettimeofday) ?slow_read ~helpers () =
+let create ?(clock = Unix.gettimeofday) ?slow_read ?max_queued ~helpers () =
   if helpers <= 0 then invalid_arg "Helper.create: helpers <= 0";
+  (match max_queued with
+  | Some n when n < 0 -> invalid_arg "Helper.create: max_queued < 0"
+  | _ -> ());
   let notify_read, notify_write = Unix.pipe () in
   Unix.set_nonblock notify_read;
   let t =
@@ -99,6 +107,9 @@ let create ?(clock = Unix.gettimeofday) ?slow_read ~helpers () =
       slow_read;
       depth = Obs.Gauge.create ();
       job_latency = Obs.Histogram.create ();
+      max_queued;
+      in_flight = 0;
+      rejected = 0;
       stop = false;
       dispatched = 0;
       threads = [];
@@ -111,11 +122,20 @@ let notify_fd t = t.notify_read
 
 let dispatch t ~key ~path =
   Mutex.lock t.mutex;
-  Queue.push { key; path; enqueued = t.clock () } t.queue;
-  t.dispatched <- t.dispatched + 1;
-  Obs.Gauge.incr t.depth;
-  Condition.signal t.cond;
-  Mutex.unlock t.mutex
+  let admitted =
+    match t.max_queued with
+    | Some cap when Queue.length t.queue >= cap ->
+        t.rejected <- t.rejected + 1;
+        false
+    | _ ->
+        Queue.push { key; path; enqueued = t.clock () } t.queue;
+        t.dispatched <- t.dispatched + 1;
+        Obs.Gauge.incr t.depth;
+        Condition.signal t.cond;
+        true
+  in
+  Mutex.unlock t.mutex;
+  admitted
 
 let drain t =
   (* Clear wake-up bytes. *)
@@ -147,6 +167,24 @@ let queue_depth_hwm t =
   let d = Obs.Gauge.high_watermark t.depth in
   Mutex.unlock t.mutex;
   d
+
+let queued t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.mutex;
+  n
+
+let in_flight t =
+  Mutex.lock t.mutex;
+  let n = t.in_flight in
+  Mutex.unlock t.mutex;
+  n
+
+let rejected t =
+  Mutex.lock t.mutex;
+  let n = t.rejected in
+  Mutex.unlock t.mutex;
+  n
 
 let job_latency t =
   Mutex.lock t.mutex;

@@ -30,21 +30,30 @@ type completion = {
 
 type t
 
-(** [create ?clock ?slow_read ~helpers ()] starts the pool.  [clock]
-    (default [Unix.gettimeofday]) timestamps jobs for the latency
-    histogram.  [slow_read], when given, is invoked in helper context
-    with the path before each cold file read — a fault-injection seam
-    that simulates slow media (tests use it to prove the event loop
-    keeps running while helpers block). *)
+(** [create ?clock ?slow_read ?max_queued ~helpers ()] starts the
+    pool.  [clock] (default [Unix.gettimeofday]) timestamps jobs for
+    the latency histogram.  [slow_read], when given, is invoked in
+    helper context with the path before each cold file read — a
+    fault-injection seam that simulates slow media (tests use it to
+    prove the event loop keeps running while helpers block).
+    [max_queued] bounds the number of *queued* (not yet started) jobs;
+    a dispatch past the bound is refused so the caller can answer an
+    early 503 instead of letting the backlog grow without limit. *)
 val create :
-  ?clock:(unit -> float) -> ?slow_read:(string -> unit) -> helpers:int -> unit -> t
+  ?clock:(unit -> float) ->
+  ?slow_read:(string -> unit) ->
+  ?max_queued:int ->
+  helpers:int ->
+  unit ->
+  t
 
 (** File descriptor the main loop should select for readability. *)
 val notify_fd : t -> Unix.file_descr
 
 (** [dispatch t ~key ~path] queues the job; a completion tagged [key]
-    will appear on the notify pipe. *)
-val dispatch : t -> key:int -> path:string -> unit
+    will appear on the notify pipe.  Returns [false] — and enqueues
+    nothing — when the queued backlog is at [max_queued]. *)
+val dispatch : t -> key:int -> path:string -> bool
 
 (** Drain all completions currently readable (non-blocking). *)
 val drain : t -> completion list
@@ -56,6 +65,15 @@ val queue_depth : t -> int
 
 (** Deepest the queue has ever been. *)
 val queue_depth_hwm : t -> int
+
+(** Jobs waiting in the queue, excluding any a worker has started. *)
+val queued : t -> int
+
+(** Jobs a worker has popped but not yet completed. *)
+val in_flight : t -> int
+
+(** Dispatches refused by the [max_queued] bound. *)
+val rejected : t -> int
 
 (** Snapshot of the dispatch-to-completion latency histogram
     (seconds). *)

@@ -1,3 +1,5 @@
+module Guard = Flash_guard.Guard
+
 type mode = Amped | Sped | Mp of int | Mt of int | Sharded of int
 
 type config = {
@@ -46,6 +48,9 @@ type config = {
       (* Sharded: skip the SO_REUSEPORT probe and use the acceptor
          domain + hand-off ring, so tests and benches exercise the
          fallback on platforms that would never take it. *)
+  guard : Guard.config;
+      (* admission control and load shedding; Guard.default_config is
+         fully inert and skips all guard plumbing *)
 }
 
 let default_config ~docroot =
@@ -87,6 +92,7 @@ let default_config ~docroot =
     recorder_capacity = 120;
     recorder_interval = 1.0;
     force_handoff = false;
+    guard = Guard.default_config;
   }
 
 type stats = {
@@ -119,6 +125,7 @@ type conn_state =
 type conn = {
   fd : Unix.file_descr;
   key : int;
+  peer : string;  (* peer address (no port): the guard's ledger key *)
   mutable inbuf : string;
   readbuf : Bytes.t;  (* per-connection scratch, reused across reads *)
   outq : Sendq.t;
@@ -139,6 +146,16 @@ type conn = {
   (* Timer-wheel entries owned by this connection. *)
   mutable idle_timer : timer_ev Evio.Timer_wheel.timer option;
   mutable cgi_timer : timer_ev Evio.Timer_wheel.timer option;
+  (* Guard state: the header deadline runs from the first byte of a
+     request head to parse completion (the idle timer resets on every
+     byte, which is exactly what a slowloris exploits; this one does
+     not).  The transfer check compares [sent_bytes] against the mark
+     it left last time it fired. *)
+  mutable hdr_timer : timer_ev Evio.Timer_wheel.timer option;
+  mutable xfer_timer : timer_ev Evio.Timer_wheel.timer option;
+  mutable sent_bytes : int;  (* response bytes the kernel accepted *)
+  mutable recv_bytes : int;  (* request bytes read off the socket *)
+  mutable xfer_mark : int;  (* sent+recv at the last transfer check *)
   (* Tracing state for the request in flight (all None with --no-trace). *)
   mutable trace : Obs.Trace.trace option;
   mutable parse_span : Obs.Trace.span option;
@@ -152,6 +169,9 @@ and timer_ev =
   | T_cgi of conn  (* CGI wall-clock deadline *)
   | T_resume_accept  (* re-arm the listen fd after EMFILE backoff *)
   | T_rollup  (* close the flight recorder's current window *)
+  | T_hdr of conn  (* guard: per-request header deadline *)
+  | T_xfer of conn  (* guard: minimum-transfer-rate check *)
+  | T_guard_tick  (* guard: SLO shedder + peer-ledger sweep *)
 
 (* Who a ready file descriptor belongs to. *)
 type fd_owner =
@@ -273,6 +293,12 @@ type t = {
      points every shard back at the coordinator for accept-strategy
      reporting.  Both are fixed right after construction, before any
      domain is spawned. *)
+  (* Admission control and shedding.  One instance per server instance
+     — per shard in sharded mode, shared by MT workers (it locks
+     internally), copy-on-write per MP child.  [None] when the config
+     enables nothing, so the unguarded hot path pays no checks. *)
+  guard : Guard.t option;
+  mutable cgi_inflight : int;  (* live CGI children (event-loop modes) *)
   role : role;
   mutable shards : t array;
   mutable coord : t option;
@@ -820,6 +846,7 @@ let shard_peers t =
 (* Gauges that are not additive across shards: aggregate with max. *)
 let gauge_max_name name =
   name = "flash_uptime_seconds" || name = "flash_slo_state"
+  || name = "flash_guard_state"
 
 (* The sample lists feeding this instance's render surfaces:
    [(summary, all)].  Unsharded both are this registry's walk.  Sharded
@@ -981,10 +1008,13 @@ let status_body t ~json =
       | None -> "null"
       | Some _ ->
           Printf.sprintf
-            {|{"jobs":%d,"queue_depth":%d,"queue_depth_hwm":%d,"job_latency_ms":%s}|}
+            {|{"jobs":%d,"queue_depth":%d,"queue_depth_hwm":%d,"queued":%d,"in_flight":%d,"rejected":%d,"job_latency_ms":%s}|}
             (iv "flash_helper_jobs_total")
             (iv "flash_helper_queue_depth")
             (iv "flash_helper_queue_depth_hwm")
+            (iv "flash_helper_queued")
+            (iv "flash_helper_in_flight")
+            (iv "flash_helper_rejected_total")
             (histogram_json (hist "flash_helper_job_duration_seconds"))
     in
     let trace_json =
@@ -1016,6 +1046,22 @@ let status_body t ~json =
         cache_entries cache_resident cache_hits cache_misses cache_evictions
         cache_admitted cache_rejected
     in
+    let guard_json =
+      match t.guard with
+      | None -> "null"
+      | Some guard ->
+          Printf.sprintf
+            {|{"level":%d,"tracked_peers":%d,"shed_total":%d,"shed":{%s}}|}
+            (Guard.level_code (Guard.level guard))
+            (Guard.tracked_peers guard) (Guard.shed_total guard)
+            (String.concat ","
+               (List.map
+                  (fun reason ->
+                    Printf.sprintf "%s:%d"
+                      (Obs.Json.str (Guard.reason_label reason))
+                      (Guard.shed_count guard reason))
+                  Guard.all_reasons))
+    in
     let metrics_json =
       "{"
       ^ String.concat ","
@@ -1027,7 +1073,7 @@ let status_body t ~json =
          so naive first-match scrapers — flash_bench's before/after
          delta — still find the aggregate "requests"/"backend" keys
          first, not a per-shard entry's. *)
-      {|{"server":%s,"mode":%s,"uptime_s":%s,"requests":%d,"connections":%d,"active_connections":%d,"errors":%d,"responses":{"2xx":%d,"3xx":%d,"4xx":%d,"5xx":%d},"cache":{"hits":%d,"misses":%d,"evictions":%d,"bytes":%d,"mapped_bytes":%d,"entries":%d},"caches":{"file":%s},"send":{"path":%s,"writev_calls":%d,"write_calls":%d,"bytes_copied":%d,"bytes_sent":%d},"latency_ms":%s,"loop":{"backend":%s,"stalls":%d,"threshold_ms":%s,"max_stall_ms":%s,"iterations":%d,"wakeups":%d,"ready_per_wakeup":%s,"wait_s":%s,"work_s":%s,"timer_fires":%d,"timers_pending":%d,"accept_emfile":%d,"accept_paused":%b},"helper":%s,"trace":%s,"health":%s,"sharding":%s,"metrics":%s}|}
+      {|{"server":%s,"mode":%s,"uptime_s":%s,"requests":%d,"connections":%d,"active_connections":%d,"errors":%d,"responses":{"2xx":%d,"3xx":%d,"4xx":%d,"5xx":%d},"cache":{"hits":%d,"misses":%d,"evictions":%d,"bytes":%d,"mapped_bytes":%d,"entries":%d},"caches":{"file":%s},"send":{"path":%s,"writev_calls":%d,"write_calls":%d,"bytes_copied":%d,"bytes_sent":%d},"latency_ms":%s,"loop":{"backend":%s,"stalls":%d,"threshold_ms":%s,"max_stall_ms":%s,"iterations":%d,"wakeups":%d,"ready_per_wakeup":%s,"wait_s":%s,"work_s":%s,"timer_fires":%d,"timers_pending":%d,"accept_emfile":%d,"accept_paused":%b},"helper":%s,"trace":%s,"health":%s,"guard":%s,"sharding":%s,"metrics":%s}|}
       (Obs.Json.str t.config.server_name)
       (Obs.Json.str (mode_string t.config.mode))
       (num uptime) requests connections active errors (by_class 0) (by_class 1)
@@ -1048,7 +1094,7 @@ let status_body t ~json =
       (iv "flash_timers_pending")
       (iv "flash_accept_emfile_total")
       (fv "flash_accept_paused" > 0.)
-      helper_json trace_json health_json sharding_json metrics_json
+      helper_json trace_json health_json guard_json sharding_json metrics_json
     ^ "\n"
   else begin
     let b = Buffer.create 1024 in
@@ -1099,10 +1145,15 @@ let status_body t ~json =
     (match t.helper with
     | None -> line "helpers:      none"
     | Some _ ->
-        line "helpers:      %d jobs, queue depth %d (hwm %d)"
+        line
+          "helpers:      %d jobs, queue depth %d (hwm %d; %d queued + %d in \
+           flight), %d rejected"
           (iv "flash_helper_jobs_total")
           (iv "flash_helper_queue_depth")
-          (iv "flash_helper_queue_depth_hwm");
+          (iv "flash_helper_queue_depth_hwm")
+          (iv "flash_helper_queued")
+          (iv "flash_helper_in_flight")
+          (iv "flash_helper_rejected_total");
         line "helper jobs:  %s"
           (histogram_text (hist "flash_helper_job_duration_seconds")));
     (match t.slo with
@@ -1111,6 +1162,20 @@ let status_body t ~json =
         line "health:       %s (burn %.2f over %d windows, p%g <= %g ms)"
           (Obs.Slo.state_string slo) (Obs.Slo.burn slo) (Obs.Slo.windows slo)
           (Obs.Slo.quantile slo) (Obs.Slo.target_ms slo));
+    (match t.guard with
+    | None -> line "guard:        off"
+    | Some guard ->
+        line "guard:        level %d, %d peers tracked, %d shed"
+          (Guard.level_code (Guard.level guard))
+          (Guard.tracked_peers guard) (Guard.shed_total guard);
+        line "guard shed:   %s"
+          (String.concat ", "
+             (List.map
+                (fun reason ->
+                  Printf.sprintf "%d %s"
+                    (Guard.shed_count guard reason)
+                    (Guard.reason_label reason))
+                Guard.all_reasons)));
     line "metrics:";
     List.iter (fun (k, v) -> line "  %s %s" k v) kvs;
     Buffer.contents b
@@ -1301,6 +1366,37 @@ let register_metrics t =
         (locked (fun () -> Obs.Trace.evicted tracer));
       g ~name:"flash_trace_ring_capacity" ~help:"Completed-trace ring size."
         (fun () -> float_of_int (Obs.Trace.capacity tracer)));
+  (match t.guard with
+  | None -> ()
+  | Some guard ->
+      g ~name:"flash_guard_state"
+        ~help:
+          "Shed level: 0 normal, 1 shedding idle keep-alives, 2 also \
+           refusing new connections, 3 also refusing helper-queue \
+           admission."
+        (fun () -> float_of_int (Guard.level_code (Guard.level guard)));
+      g ~name:"flash_guard_tracked_peers"
+        ~help:"Peer addresses with a live guard ledger."
+        (fun () -> float_of_int (Guard.tracked_peers guard));
+      List.iter
+        (fun reason ->
+          c ~name:"flash_guard_shed_total"
+            ~help:"Connections, requests and jobs shed by the guard."
+            ~labels:[ ("reason", Guard.reason_label reason) ]
+            (fun () -> Guard.shed_count guard reason))
+        Guard.all_reasons);
+  (match t.helper with
+  | None -> ()
+  | Some h ->
+      g ~name:"flash_helper_queued"
+        ~help:"Helper jobs waiting in the queue (not yet started)."
+        (fun () -> float_of_int (Helper.queued h));
+      g ~name:"flash_helper_in_flight"
+        ~help:"Helper jobs a worker has started but not finished."
+        (fun () -> float_of_int (Helper.in_flight h));
+      c ~name:"flash_helper_rejected_total"
+        ~help:"Helper dispatches refused by the bounded queue."
+        (fun () -> Helper.rejected h));
   match t.slo with
   | None -> ()
   | Some slo ->
@@ -1382,6 +1478,26 @@ let enqueue_error ?(target = "-") ?(meth = "GET") ?extra t conn status ~keep
   if not keep then conn.close_after_flush <- true;
   conn.state <- Reading;
   record_latency t conn
+
+let cancel_timer t slot =
+  match slot with
+  | Some tm ->
+      Evio.Timer_wheel.cancel t.wheel tm;
+      None
+  | None -> None
+
+(* Guard bookkeeping sugar: count a shed decision, and build the
+   Retry-After advice carried on guard-driven 429/503 responses. *)
+let guard_shed t reason =
+  match t.guard with Some g -> Guard.shed g reason | None -> ()
+
+let guard_retry t =
+  [
+    Http.Response.retry_after
+      (match t.guard with
+      | Some g -> (Guard.config g).Guard.retry_after
+      | None -> 1);
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* HTTP/1.1 semantics: conditionals, ranges, content negotiation       *)
@@ -1866,6 +1982,7 @@ let start_cgi t conn (req : Http.Request.t) full ~keep:_ =
           enqueue_string t conn header;
           conn.close_after_flush <- false;
           conn.state <- Streaming_cgi (pipe_read, pid);
+          t.cgi_inflight <- t.cgi_inflight + 1;
           (* Wall-clock deadline: a wedged script is killed rather than
              holding the connection (and a helper-less loop's pipe slot)
              forever. *)
@@ -1918,11 +2035,27 @@ let process_request t conn (req : Http.Request.t) =
             enqueue_error t conn status ~keep ~head_only
         | Ok path when is_cgi path ->
             end_resolve ();
-            if t.config.enable_cgi then begin
+            let cgi_full =
+              match t.guard with
+              | Some g -> (
+                  match (Guard.config g).Guard.max_cgi_inflight with
+                  | Some cap -> t.cgi_inflight >= cap
+                  | None -> false)
+              | None -> false
+            in
+            if not t.config.enable_cgi then
+              enqueue_error t conn Http.Status.Forbidden ~keep ~head_only
+            else if cgi_full then begin
+              (* Every CGI slot holds a live child process; refuse early
+                 with advice rather than fork past the cap. *)
+              guard_shed t Guard.Cgi_limit;
+              enqueue_error ~extra:(guard_retry t) t conn
+                Http.Status.Service_unavailable ~keep ~head_only
+            end
+            else begin
               begin_work_span t conn "cgi";
               start_cgi t conn req (t.config.docroot ^ path) ~keep
             end
-            else enqueue_error t conn Http.Status.Forbidden ~keep ~head_only
         | Ok path -> (
             let full = t.config.docroot ^ path in
             match
@@ -1935,13 +2068,34 @@ let process_request t conn (req : Http.Request.t) =
             | None -> (
                 end_resolve ();
                 match t.helper with
-                | Some helper ->
+                | Some helper -> (
                     (* AMPED: all disk work (stat + read) in a helper.
                        The queue-wait and disk spans are stitched in when
-                       the completion comes back. *)
-                    Helper.dispatch helper ~key:conn.key ~path:full;
-                    Hashtbl.replace t.by_helper_key conn.key conn;
-                    conn.state <- Waiting_helper (req, full)
+                       the completion comes back.  Two gates first: the
+                       shedder can refuse queue admission outright, and
+                       the bounded queue can refuse at the door — both
+                       answer an early 503 with advice instead of
+                       letting the backlog grow. *)
+                    let admission =
+                      match t.guard with
+                      | Some g -> Guard.queue_admission g
+                      | None -> Guard.Admit
+                    in
+                    match admission with
+                    | Guard.Reject _ ->
+                        enqueue_error ~extra:(guard_retry t) t conn
+                          Http.Status.Service_unavailable ~keep ~head_only
+                    | Guard.Admit ->
+                        if Helper.dispatch helper ~key:conn.key ~path:full
+                        then begin
+                          Hashtbl.replace t.by_helper_key conn.key conn;
+                          conn.state <- Waiting_helper (req, full)
+                        end
+                        else begin
+                          guard_shed t Guard.Helper_queue;
+                          enqueue_error ~extra:(guard_retry t) t conn
+                            Http.Status.Service_unavailable ~keep ~head_only
+                        end)
                 | None -> (
                     (* SPED: inline — the whole loop stalls on a miss,
                        and the disk span lands on the main-loop track. *)
@@ -1962,9 +2116,23 @@ let process_request t conn (req : Http.Request.t) =
 let rec try_parse t conn =
   if conn.state = Reading && conn.inbuf <> "" then begin
     ensure_trace t conn;
+    (* Slow-header defense: from the first byte of a request head, the
+       rest must arrive within the deadline.  One one-shot timer per
+       head; cancelled the moment the head parses (or fails to). *)
+    (match t.guard with
+    | Some g
+      when conn.hdr_timer = None && (Guard.config g).Guard.header_deadline > 0.
+      ->
+        conn.hdr_timer <-
+          Some
+            (Evio.Timer_wheel.schedule t.wheel
+               ~at:(t.config.clock () +. (Guard.config g).Guard.header_deadline)
+               (T_hdr conn))
+    | _ -> ());
     match Http.Request.parse conn.inbuf with
     | Http.Request.Incomplete -> ()
     | Http.Request.Bad _ ->
+        conn.hdr_timer <- cancel_timer t conn.hdr_timer;
         conn.inbuf <- "";
         conn.req_start <- t.config.clock ();
         end_parse_span t conn ~label:"bad-request";
@@ -1983,6 +2151,7 @@ let rec try_parse t conn =
         conn.close_after_flush <- true;
         record_latency t conn
     | Http.Request.Complete (req, consumed) ->
+        conn.hdr_timer <- cancel_timer t conn.hdr_timer;
         conn.inbuf <-
           String.sub conn.inbuf consumed (String.length conn.inbuf - consumed);
         conn.req_start <- t.config.clock ();
@@ -1990,7 +2159,20 @@ let rec try_parse t conn =
           ~label:
             (Http.Request.meth_to_string req.Http.Request.meth
             ^ " " ^ req.Http.Request.raw_target);
-        process_request t conn req;
+        let rate_verdict =
+          match t.guard with
+          | Some g -> Guard.on_request g ~peer:conn.peer
+          | None -> Guard.Admit
+        in
+        (match rate_verdict with
+        | Guard.Reject _ ->
+            (* Over the per-peer rate cap (the guard counted the shed):
+               429 with advice, and drop the connection so a looping
+               client can't ride keep-alive. *)
+            t.n_requests <- t.n_requests + 1;
+            enqueue_error ~extra:(guard_retry t) t conn
+              Http.Status.Too_many_requests ~keep:false ~head_only:false
+        | Guard.Admit -> process_request t conn req);
         (* Pipelined requests are handled once the response drains. *)
         if Sendq.is_empty conn.outq then try_parse t conn
   end
@@ -2009,13 +2191,6 @@ let unregister_cgi t conn =
       Hashtbl.remove t.fd_owners pfd;
       conn.cgi_fd_registered <- None
 
-let cancel_timer t slot =
-  match slot with
-  | Some tm ->
-      Evio.Timer_wheel.cancel t.wheel tm;
-      None
-  | None -> None
-
 let close_conn t conn =
   if conn.alive then begin
     conn.alive <- false;
@@ -2025,8 +2200,14 @@ let close_conn t conn =
     unregister_cgi t conn;
     conn.idle_timer <- cancel_timer t conn.idle_timer;
     conn.cgi_timer <- cancel_timer t conn.cgi_timer;
+    conn.hdr_timer <- cancel_timer t conn.hdr_timer;
+    conn.xfer_timer <- cancel_timer t conn.xfer_timer;
+    (match t.guard with
+    | Some g -> Guard.on_disconnect g ~peer:conn.peer
+    | None -> ());
     (match conn.state with
     | Streaming_cgi (fd, pid) ->
+        t.cgi_inflight <- t.cgi_inflight - 1;
         (try Unix.close fd with Unix.Unix_error _ -> ());
         (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
     | Reading | Waiting_helper _ -> ());
@@ -2083,6 +2264,7 @@ let handle_readable t conn =
   | 0 -> close_conn t conn
   | n ->
       conn.last_active <- t.config.clock ();
+      conn.recv_bytes <- conn.recv_bytes + n;
       conn.inbuf <- conn.inbuf ^ Bytes.sub_string conn.readbuf 0 n;
       if String.length conn.inbuf > max_inbuf then close_conn t conn
       else try_parse t conn
@@ -2120,12 +2302,14 @@ let handle_writable t conn =
              end
            in
            Sendq.advance conn.outq written;
+           conn.sent_bytes <- conn.sent_bytes + written;
            if partial then progress := false
        | Some (Sendq.File f) ->
            let chunk = min 65536 f.remaining in
            let data = read_whole f.src chunk in
            let n = Unix.write_substring conn.fd data 0 (String.length data) in
            count_send t ~writev:0 ~writes:1 ~copied:(String.length data) ~sent:n;
+           conn.sent_bytes <- conn.sent_bytes + n;
            (* A short write drops the tail of this chunk; re-read it via
               the file offset by seeking back. *)
            if n < String.length data then begin
@@ -2159,6 +2343,7 @@ let handle_cgi_readable t conn fd pid =
   | 0 ->
       unregister_cgi t conn;
       conn.cgi_timer <- cancel_timer t conn.cgi_timer;
+      t.cgi_inflight <- t.cgi_inflight - 1;
       (try Unix.close fd with Unix.Unix_error _ -> ());
       (try ignore (Unix.waitpid [ Unix.WNOHANG ] pid) with Unix.Unix_error _ -> ());
       conn.state <- Reading;
@@ -2170,6 +2355,7 @@ let handle_cgi_readable t conn fd pid =
   | exception Unix.Unix_error _ ->
       unregister_cgi t conn;
       conn.cgi_timer <- cancel_timer t conn.cgi_timer;
+      t.cgi_inflight <- t.cgi_inflight - 1;
       (try Unix.close fd with Unix.Unix_error _ -> ());
       conn.state <- Reading;
       conn.close_after_flush <- true;
@@ -2238,6 +2424,48 @@ let pause_accept t =
          T_resume_accept)
   end
 
+(* The guard keys peers by address only (no port): every connection
+   from one host shares a ledger.  [getpeername] rather than the accept
+   sockaddr so the hand-off path (shard adopting a coordinator-accepted
+   fd) resolves the same way. *)
+let peer_of_fd fd =
+  match Unix.getpeername fd with
+  | Unix.ADDR_INET (addr, _) -> Unix.string_of_inet_addr addr
+  | Unix.ADDR_UNIX path -> "unix:" ^ path
+  | exception Unix.Unix_error _ -> "unknown"
+
+(* Refuse a connection at the door: one best-effort write of a minimal
+   error response (the socket buffer is empty, so a short write only
+   truncates the refusal), then close.  No connection record is built
+   and the guard ledger was never charged. *)
+let refuse_fd t fd reason =
+  let status =
+    match reason with
+    | Guard.Conn_limit | Guard.Rate_limit -> Http.Status.Too_many_requests
+    | _ -> Http.Status.Service_unavailable
+  in
+  t.n_connections <- t.n_connections + 1;
+  t.n_requests <- t.n_requests + 1;
+  t.n_errors <- t.n_errors + 1;
+  count_status t (Http.Status.code status);
+  let retry =
+    match t.guard with
+    | Some g -> (Guard.config g).Guard.retry_after
+    | None -> 1
+  in
+  let body = Http.Response.error_body status in
+  let header =
+    render_header t ~status
+      ~extra:[ Http.Response.retry_after retry ]
+      ~content_type:(Some "text/html")
+      ~content_length:(Some (String.length body))
+      ~keep:false
+  in
+  let payload = header ^ body in
+  (try ignore (Unix.write_substring fd payload 0 (String.length payload))
+   with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
 (* Adopt an accepted fd into this instance's event loop: create the
    connection record, register interest, arm the idle timer.  Shared by
    the direct accept path and the hand-off pop path (a shard adopting
@@ -2246,6 +2474,18 @@ let pause_accept t =
 let adopt_fd t fd =
   Unix.set_nonblock fd;
   (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+  let peer = peer_of_fd fd in
+  match
+    match t.guard with
+    | Some g -> Guard.on_connect g ~peer
+    | None -> Guard.Admit
+  with
+  | Guard.Reject reason ->
+      (* Refused at the door, but the listen socket is fine: keep
+         accepting (return [true] so the caller doesn't back off). *)
+      refuse_fd t fd reason;
+      true
+  | Guard.Admit ->
   let key = t.next_key in
   t.next_key <- t.next_key + 1;
   t.n_connections <- t.n_connections + 1;
@@ -2255,6 +2495,7 @@ let adopt_fd t fd =
     {
       fd;
       key;
+      peer;
       inbuf = "";
       readbuf = Bytes.create 65536;
       outq = Sendq.create ();
@@ -2271,6 +2512,11 @@ let adopt_fd t fd =
       cgi_fd_registered = None;
       idle_timer = None;
       cgi_timer = None;
+      hdr_timer = None;
+      xfer_timer = None;
+      sent_bytes = 0;
+      recv_bytes = 0;
+      xfer_mark = 0;
       trace = None;
       parse_span = None;
       work_span = None;
@@ -2287,6 +2533,14 @@ let adopt_fd t fd =
             (Evio.Timer_wheel.schedule t.wheel
                ~at:(now +. t.config.idle_timeout)
                (T_idle conn));
+      (match t.guard with
+      | Some g when (Guard.config g).Guard.min_byte_rate > 0. ->
+          conn.xfer_timer <-
+            Some
+              (Evio.Timer_wheel.schedule t.wheel
+                 ~at:(now +. (Guard.config g).Guard.transfer_interval)
+                 (T_xfer conn))
+      | _ -> ());
       true
   | exception Evio.Backend_full _ ->
       (* select cannot wait on fd numbers >= FD_SETSIZE: shed this
@@ -2390,6 +2644,85 @@ let handle_timer t ~now ev =
       in
       ignore
         (Evio.Timer_wheel.schedule t.wheel ~at:(now +. interval) T_rollup)
+  | T_hdr conn ->
+      conn.hdr_timer <- None;
+      (* The deadline only fires while a head is still incomplete —
+         [try_parse] cancels it on Complete and Bad.  Discard the
+         partial bytes and answer 408; a byte-at-a-time sender gets a
+         response and a close instead of a held parse buffer. *)
+      if conn.alive && conn.state = Reading && conn.inbuf <> "" then begin
+        guard_shed t Guard.Slow_header;
+        conn.inbuf <- "";
+        t.n_requests <- t.n_requests + 1;
+        enqueue_error t conn Http.Status.Request_timeout ~keep:false
+          ~head_only:false;
+        sync_conn t conn
+      end
+  | T_xfer conn -> (
+      conn.xfer_timer <- None;
+      if conn.alive then
+        match t.guard with
+        | None -> ()
+        | Some g ->
+            let moved = conn.sent_bytes + conn.recv_bytes - conn.xfer_mark in
+            let cfg = Guard.config g in
+            if
+              (not (Sendq.is_empty conn.outq))
+              && Guard.transfer_stalled cfg ~bytes_moved:moved
+                   ~interval:cfg.Guard.transfer_interval
+            then begin
+              (* Mid-response and moving below the floor: the response
+                 header is already on the wire, so there is nothing to
+                 send but the close itself. *)
+              guard_shed t Guard.Slow_client;
+              close_conn t conn
+            end
+            else begin
+              conn.xfer_mark <- conn.sent_bytes + conn.recv_bytes;
+              conn.xfer_timer <-
+                Some
+                  (Evio.Timer_wheel.schedule t.wheel
+                     ~at:(now +. cfg.Guard.transfer_interval)
+                     (T_xfer conn))
+            end)
+  | T_guard_tick -> (
+      match t.guard with
+      | None -> ()
+      | Some g ->
+          Guard.sweep g;
+          (match t.slo with
+          | Some slo ->
+              Guard.note_pressure g
+                ~state_code:(Obs.Slo.state_code slo)
+                ~burn:(Obs.Slo.burn slo)
+          | None -> ());
+          (* At Shed_idle and above, give back the cheapest standing
+             work first: keep-alive connections that served their
+             requests and have sat idle past the shed threshold. *)
+          (if Guard.level g <> Guard.Normal then begin
+             let cutoff = (Guard.config g).Guard.shed_idle_after in
+             let victims =
+               Hashtbl.fold
+                 (fun _ conn acc ->
+                   if
+                     conn.alive && conn.state = Reading && conn.inbuf = ""
+                     && Sendq.is_empty conn.outq
+                     && conn.reqs_served > 0
+                     && now -. conn.last_active >= cutoff
+                   then conn :: acc
+                   else acc)
+                 t.conns []
+             in
+             List.iter
+               (fun conn ->
+                 guard_shed t Guard.Idle_reap;
+                 close_conn t conn)
+               victims
+           end);
+          ignore
+            (Evio.Timer_wheel.schedule t.wheel
+               ~at:(now +. t.config.recorder_interval)
+               T_guard_tick))
 
 let dispatch_event t (ev : Evio.event) =
   match Hashtbl.find_opt t.fd_owners ev.Evio.fd with
@@ -2453,6 +2786,16 @@ let run_loop t =
         (Evio.Timer_wheel.schedule t.wheel
            ~at:(t.config.clock () +. Obs.Recorder.interval r)
            T_rollup)
+  | None -> ());
+  (match t.guard with
+  | Some _ ->
+      (* Guard tick: ledger sweep, SLO-pressure sampling, idle reaping.
+         Rides the recorder cadence so pressure is re-read as soon as a
+         window can have closed. *)
+      ignore
+        (Evio.Timer_wheel.schedule t.wheel
+           ~at:(t.config.clock () +. t.config.recorder_interval)
+           T_guard_tick)
   | None -> ());
   while not t.stopped do
     (* Sleep exactly until the next timer deadline (forever when no
@@ -2540,6 +2883,29 @@ let ship_trace t data =
    trace also rides the stats pipe so the parent's ring sees it. *)
 let mp_serve_connection t fd =
   Unix.clear_nonblock fd;
+  let peer = peer_of_fd fd in
+  match
+    match t.guard with
+    | Some g -> Guard.on_connect g ~peer
+    | None -> Guard.Admit
+  with
+  | Guard.Reject reason ->
+      (* MP children and MT workers refuse at the door like the
+         event-driven modes; in an MP child the counters are the
+         child's copy-on-write view. *)
+      mp_count_event t ~tag:'c' ~latency:0.;
+      refuse_fd t fd reason
+  | Guard.Admit ->
+  (* Blocking-path approximation of the header deadline: a receive
+     timeout on the socket, checked per read.  A lapse mid-head answers
+     408 below. *)
+  (match t.guard with
+  | Some g when (Guard.config g).Guard.header_deadline > 0. -> (
+      try
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO
+          (Guard.config g).Guard.header_deadline
+      with Unix.Unix_error _ | Invalid_argument _ -> ())
+  | _ -> ());
   mp_count_event t ~tag:'c' ~latency:0.;
   with_obs_lock t (fun () -> Obs.Gauge.incr t.active);
   mp_ship_gauges t;
@@ -2605,6 +2971,25 @@ let mp_serve_connection t fd =
               if t_first = None then Some (t.config.clock ()) else t_first
             in
             request_loop (inbuf ^ Bytes.sub_string buf 0 n) t_first nreq
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+            (* Only SO_RCVTIMEO produces EAGAIN on this blocking socket.
+               A lapse mid-head is a slow sender (408); with no bytes
+               pending it is just an idle keep-alive going away. *)
+            if inbuf <> "" then begin
+              guard_shed t Guard.Slow_header;
+              count_status t 408;
+              let body =
+                Http.Response.error_body Http.Status.Request_timeout
+              in
+              let header =
+                render_header t ~status:Http.Status.Request_timeout
+                  ~content_type:(Some "text/html")
+                  ~content_length:(Some (String.length body))
+                  ~keep:false
+              in
+              send_strings [ header; body ]
+            end
         | exception Unix.Unix_error _ -> ())
     | Http.Request.Bad _ ->
         count_status t 400;
@@ -2666,7 +3051,7 @@ let mp_serve_connection t fd =
         let send_entry_slices slices =
           send_traced (fun () -> send_slices slices)
         in
-        let respond_error ?extra status =
+        let respond_error ?extra ?(keep = keep) status =
           count_status t (Http.Status.code status);
           let body = Http.Response.error_body status in
           let header =
@@ -2676,8 +3061,21 @@ let mp_serve_connection t fd =
           in
           send (if head_only then [ header ] else [ header; body ])
         in
+        let rate_limited =
+          match t.guard with
+          | Some g -> (
+              match Guard.on_request g ~peer with
+              | Guard.Reject _ -> true
+              | Guard.Admit -> false)
+          | None -> false
+        in
         let ok =
-          if is_status_request t req then begin
+          if rate_limited then begin
+            respond_error ~extra:(guard_retry t) ~keep:false
+              Http.Status.Too_many_requests;
+            false
+          end
+          else if is_status_request t req then begin
             (* In an MP child this is the child-local view. *)
             let body, content_type =
               match status_window req with
@@ -2869,6 +3267,9 @@ let mp_serve_connection t fd =
             (nreq + 1))
   in
   request_loop "" None 0;
+  (match t.guard with
+  | Some g -> Guard.on_disconnect g ~peer
+  | None -> ());
   with_obs_lock t (fun () -> Obs.Gauge.decr t.active);
   mp_ship_gauges t;
   try Unix.close fd with Unix.Unix_error _ -> ()
@@ -2989,6 +3390,7 @@ let start_one ?(role = Standalone) ?(listen = `Bind) ?shared_budget
     if wants_helper then
       Some
         (Helper.create ~clock:config.clock ?slow_read:config.slow_read
+           ?max_queued:config.guard.Guard.max_helper_queue
            ~helpers:(max 1 config.helpers) ())
     else None
   in
@@ -3102,6 +3504,11 @@ let start_one ?(role = Standalone) ?(listen = `Bind) ?shared_budget
       handoff_rr = 0;
       handoff_shed = Obs.Counter.create ();
       cache_lock;
+      guard =
+        (if Guard.enabled config.guard then
+           Some (Guard.create ~clock:config.clock config.guard)
+         else None);
+      cgi_inflight = 0;
     }
   in
   register_metrics t;

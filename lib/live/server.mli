@@ -188,6 +188,12 @@ type config = {
           accepts through the hand-off ring, so the fallback path can
           be exercised on platforms that support reuseport (default
           [false]) *)
+  guard : Flash_guard.Guard.config;
+      (** admission control and load shedding (per-peer limits, slow
+          client defenses, bounded queues, SLO-burn shedder).  The
+          default, {!Flash_guard.Guard.default_config}, is fully inert.
+          Sharded mode builds one guard per shard; MP children keep
+          copy-on-write ledgers; MT workers share one locked guard. *)
 }
 
 val default_config : docroot:string -> config

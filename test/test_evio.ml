@@ -296,7 +296,7 @@ let test_parity_matrix () =
             }
           in
           with_server config (fun server port ->
-              let session = Client.Session.connect ~host:"127.0.0.1" ~port in
+              let session = Client.Session.connect ~host:"127.0.0.1" ~port () in
               Fun.protect
                 ~finally:(fun () -> Client.Session.close session)
                 (fun () ->
@@ -370,7 +370,7 @@ let test_idle_reaped_by_wheel () =
         }
       in
       with_server config (fun server port ->
-          let session = Client.Session.connect ~host:"127.0.0.1" ~port in
+          let session = Client.Session.connect ~host:"127.0.0.1" ~port () in
           Fun.protect
             ~finally:(fun () -> Client.Session.close session)
             (fun () ->

@@ -15,7 +15,7 @@ let test_dispatch_executes_work () =
       ignore
         (Sim.Proc.spawn engine ~name:"main" (fun () ->
              for i = 1 to 3 do
-               Pool.dispatch pool ~work:(fun () -> i * 10)
+               assert (Pool.dispatch pool ~work:(fun () -> i * 10))
              done;
              (* Collect completions off the notify pipe. *)
              let pipe = Pool.notify_pipe pool in
@@ -42,7 +42,7 @@ let test_pool_spawns_on_demand () =
       Alcotest.(check int) "none at start" 0 (Pool.spawned pool);
       ignore
         (Sim.Proc.spawn engine ~name:"main" (fun () ->
-             Pool.dispatch pool ~work:(fun () -> 0);
+             assert (Pool.dispatch pool ~work:(fun () -> 0));
              Alcotest.(check int) "one spawned" 1 (Pool.spawned pool))))
 
 let test_pool_bounded_and_queues () =
@@ -53,9 +53,10 @@ let test_pool_bounded_and_queues () =
         (Sim.Proc.spawn engine ~name:"main" (fun () ->
              (* Six slow jobs through a pool of two. *)
              for _ = 1 to 6 do
-               Pool.dispatch pool ~work:(fun () ->
-                   Sim.Proc.delay 0.1;
-                   1)
+               assert
+                 (Pool.dispatch pool ~work:(fun () ->
+                      Sim.Proc.delay 0.1;
+                      1))
              done;
              Alcotest.(check int) "capped at max" 2
                (Pool.spawned pool);
@@ -87,11 +88,60 @@ let test_helpers_reserve_memory () =
       in
       ignore
         (Sim.Proc.spawn engine ~name:"main" (fun () ->
-             Pool.dispatch pool ~work:(fun () -> 0);
-             Pool.dispatch pool ~work:(fun () -> 0);
+             assert (Pool.dispatch pool ~work:(fun () -> 0));
+             assert (Pool.dispatch pool ~work:(fun () -> 0));
              Alcotest.(check int) "footprint per helper"
                (before + (2 * 50_000))
                (Simos.Memory.reserved memory))))
+
+let test_bound_refuses_excess () =
+  (* Regression for the unbounded-backlog bug: with [max_queued] set,
+     the pending queue can never grow past the cap — excess dispatches
+     are refused at the door, and the queued-vs-in-flight split stays
+     visible while the pool is saturated. *)
+  let completions = ref 0 in
+  with_kernel (fun engine kernel ->
+      let pool =
+        Pool.create ~max_queued:2 kernel ~max:1 ~footprint:1000 ~name:"t"
+      in
+      ignore
+        (Sim.Proc.spawn engine ~name:"main" (fun () ->
+             let admitted = ref 0 and refused = ref 0 in
+             for _ = 1 to 10 do
+               if
+                 Pool.dispatch pool ~work:(fun () ->
+                     Sim.Proc.delay 0.1;
+                     1)
+               then incr admitted
+               else incr refused;
+               Alcotest.(check bool) "backlog never exceeds the bound" true
+                 (Pool.queued pool <= 2)
+             done;
+             (* One in flight, two queued, the other seven refused. *)
+             Alcotest.(check int) "admitted" 3 !admitted;
+             Alcotest.(check int) "refused" 7 !refused;
+             Alcotest.(check int) "refusals counted" 7 (Pool.rejected pool);
+             Alcotest.(check int) "in flight" 1 (Pool.in_flight pool);
+             Alcotest.(check int) "queued" 2 (Pool.queued pool);
+             Alcotest.(check int) "depth = queued + in-flight" 3
+               (Pool.queue_depth pool);
+             let pipe = Pool.notify_pipe pool in
+             let rec collect n =
+               if n < 3 then begin
+                 Simos.Pollable.wait_ready (Simos.Pipe.pollable pipe);
+                 let rec drain n =
+                   match Simos.Kernel.pipe_read kernel pipe with
+                   | Some _ ->
+                       incr completions;
+                       drain (n + 1)
+                   | None -> n
+                 in
+                 collect (drain n)
+               end
+             in
+             collect 0)));
+  Alcotest.(check int) "every admitted job completed" 3 !completions;
+  ()
 
 let test_idle_helpers_reused () =
   with_kernel (fun engine kernel ->
@@ -100,7 +150,7 @@ let test_idle_helpers_reused () =
         (Sim.Proc.spawn engine ~name:"main" (fun () ->
              let pipe = Pool.notify_pipe pool in
              for _ = 1 to 5 do
-               Pool.dispatch pool ~work:(fun () -> 0);
+               assert (Pool.dispatch pool ~work:(fun () -> 0));
                Simos.Pollable.wait_ready (Simos.Pipe.pollable pipe);
                ignore (Simos.Kernel.pipe_read kernel pipe)
              done;
@@ -114,6 +164,8 @@ let suite =
     Alcotest.test_case "spawns on demand" `Quick test_pool_spawns_on_demand;
     Alcotest.test_case "bounded pool queues backlog" `Quick
       test_pool_bounded_and_queues;
+    Alcotest.test_case "max_queued refuses excess" `Quick
+      test_bound_refuses_excess;
     Alcotest.test_case "helpers reserve memory" `Quick test_helpers_reserve_memory;
     Alcotest.test_case "idle helpers reused" `Quick test_idle_helpers_reused;
   ]

@@ -88,7 +88,7 @@ let test_large_file_streams () =
 
 let test_keep_alive_session () =
   with_server (fun server port ->
-      let session = Flash_live.Client.Session.connect ~host:"127.0.0.1" ~port in
+      let session = Flash_live.Client.Session.connect ~host:"127.0.0.1" ~port () in
       Fun.protect
         ~finally:(fun () -> Flash_live.Client.Session.close session)
         (fun () ->

@@ -40,6 +40,7 @@ let () =
       ("robustness", Test_robustness.suite);
       ("conservation", Test_conservation.suite);
       ("orderings", Test_orderings.suite);
+      ("guard", Test_guard.suite);
       (* Last on purpose: these tests spawn OCaml domains, and OCaml 5
          forbids Unix.fork once any domain has ever been created — every
          MP (fork) test above must run before the first of these. *)

@@ -442,8 +442,8 @@ let test_mp_gauges_sum_at_snapshot () =
   with_config
     { (Server.default_config ~docroot) with Server.mode = Server.Mp 2 }
     (fun server port ->
-      let s1 = Client.Session.connect ~host:"127.0.0.1" ~port in
-      let s2 = Client.Session.connect ~host:"127.0.0.1" ~port in
+      let s1 = Client.Session.connect ~host:"127.0.0.1" ~port () in
+      let s2 = Client.Session.connect ~host:"127.0.0.1" ~port () in
       Fun.protect
         ~finally:(fun () ->
           (try Client.Session.close s1 with _ -> ());

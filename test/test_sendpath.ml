@@ -232,7 +232,7 @@ let test_multi_mb_identical mode () =
   let docroot = make_docroot [ ("big.bin", body); ("small.txt", "tiny") ] in
   let config = { (Server.default_config ~docroot) with Server.mode } in
   with_config_server config (fun _server port ->
-      let session = Client.Session.connect ~host:"127.0.0.1" ~port in
+      let session = Client.Session.connect ~host:"127.0.0.1" ~port () in
       Fun.protect
         ~finally:(fun () -> Client.Session.close session)
         (fun () ->
@@ -320,7 +320,7 @@ let test_cached_get_is_one_writev_zero_copies () =
     let config = Server.default_config ~docroot in
     Alcotest.(check bool) "writev on by default" true config.Server.use_writev;
     with_config_server config (fun server port ->
-        let session = Client.Session.connect ~host:"127.0.0.1" ~port in
+        let session = Client.Session.connect ~host:"127.0.0.1" ~port () in
         Fun.protect
           ~finally:(fun () -> Client.Session.close session)
           (fun () ->
@@ -358,7 +358,7 @@ let test_fallback_copies () =
     { (Server.default_config ~docroot) with Server.use_writev = false }
   in
   with_config_server config (fun server port ->
-      let session = Client.Session.connect ~host:"127.0.0.1" ~port in
+      let session = Client.Session.connect ~host:"127.0.0.1" ~port () in
       Fun.protect
         ~finally:(fun () -> Client.Session.close session)
         (fun () ->

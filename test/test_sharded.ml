@@ -10,6 +10,7 @@ module Server = Flash_live.Server
 module Client = Flash_live.Client
 module Handoff = Flash_live.Handoff
 module Budget = Flash_cache.Budget
+module Guard = Flash_guard.Guard
 open Test_status
 
 (* ------------------------------------------------------------------ *)
@@ -17,6 +18,18 @@ open Test_status
 (* ------------------------------------------------------------------ *)
 
 let test_ring_basics () =
+  (* The capacity-1 degenerate case must be rounded up, not allowed:
+     with one slot every push would claim the ticket and overwrite an
+     unconsumed element (regression — this once hung the qcheck below
+     whenever it drew capacity 1, the consumer waiting forever for
+     overwritten items). *)
+  let tiny = Handoff.create ~capacity:1 in
+  Alcotest.(check int) "minimum capacity is 2" 2 (Handoff.capacity tiny);
+  Alcotest.(check bool) "tiny push 1" true (Handoff.push tiny 1);
+  Alcotest.(check bool) "tiny push 2" true (Handoff.push tiny 2);
+  Alcotest.(check bool) "tiny full refused" false (Handoff.push tiny 3);
+  Alcotest.(check (option int)) "tiny fifo 1" (Some 1) (Handoff.pop tiny);
+  Alcotest.(check (option int)) "tiny fifo 2" (Some 2) (Handoff.pop tiny);
   let r = Handoff.create ~capacity:3 in
   Alcotest.(check int) "capacity rounds up" 4 (Handoff.capacity r);
   Alcotest.(check (option int)) "empty pops None" None (Handoff.pop r);
@@ -38,22 +51,40 @@ let test_ring_basics () =
 
 (* One producer domain pushes 0..n-1 (spinning when the ring is full);
    [consumers] domains pop until all items are out.  Every item must
-   arrive exactly once, and no observation may exceed the capacity. *)
+   arrive exactly once, and no observation may exceed the capacity.
+
+   The waits must be cooperative, not hard spins: on a box with fewer
+   cores than domains, a domain spinning on a peer's progress can hold
+   the only core through entire scheduler timeslices while the peer —
+   or a stop-the-world barrier waiting on it — starves, livelocking
+   the property.  A short relax followed by a real sleep (a blocking
+   section, so the GC never waits on a sleeper) keeps the ring under
+   contention while letting starved peers run.  Production code never
+   spins on the ring — a full push sheds the connection, and shards
+   pop once per wake-pipe poke — so the hazard is purely the test's. *)
 let ring_arbitrary =
   QCheck.(
     triple (int_range 1 300) (* items *)
       (int_range 1 32) (* requested capacity *)
-      (int_range 1 3) (* consumer domains *))
+      (int_range 1 3) (* consumer domains, capped by the core count *))
+
+let cooperative_relax tries =
+  incr tries;
+  if !tries land 63 = 0 then Unix.sleepf 0.0002 else Domain.cpu_relax ()
 
 let prop_ring_delivers_exactly_once (items, capacity, consumers) =
+  let consumers =
+    max 1 (min consumers (Domain.recommended_domain_count () - 1))
+  in
   let ring = Handoff.create ~capacity in
   let received = Atomic.make 0 in
   let over_occupancy = Atomic.make false in
   let producer =
     Domain.spawn (fun () ->
+        let tries = ref 0 in
         for i = 0 to items - 1 do
           while not (Handoff.push ring i) do
-            Domain.cpu_relax ()
+            cooperative_relax tries
           done;
           if Handoff.length ring > Handoff.capacity ring then
             Atomic.set over_occupancy true
@@ -63,13 +94,14 @@ let prop_ring_delivers_exactly_once (items, capacity, consumers) =
     List.init consumers (fun _ ->
         Domain.spawn (fun () ->
             let got = ref [] in
+            let tries = ref 0 in
             let rec loop () =
               if Atomic.get received < items then begin
                 (match Handoff.pop ring with
                 | Some v ->
                     got := v :: !got;
                     ignore (Atomic.fetch_and_add received 1)
-                | None -> Domain.cpu_relax ());
+                | None -> cooperative_relax tries);
                 loop ()
               end
             in
@@ -158,14 +190,16 @@ let prop_budget_shed_exact (domains, ops) =
 (* The sharded server                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let with_sharded ?(force_handoff = false) ?cache_budget_bytes n f =
+let with_sharded ?(force_handoff = false) ?cache_budget_bytes ?guard n f =
   let docroot = Test_live.make_docroot () in
+  let base = Server.default_config ~docroot in
   let config =
     {
-      (Server.default_config ~docroot) with
+      base with
       Server.mode = Server.Sharded n;
       force_handoff;
       cache_budget_bytes;
+      guard = Option.value guard ~default:base.Server.guard;
     }
   in
   with_config config f
@@ -343,6 +377,149 @@ let test_sharded_byte_identity () =
   Test_http11.byte_identity_against_amped
     [ ("SHARDED", Server.Sharded 2) ]
 
+(* ------------------------------------------------------------------ *)
+(* Guard × sharding                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Issue a one-shot GET, tolerating the guard's own refusals while a
+   freed connection slot propagates (disconnects are processed
+   asynchronously by the owning shard). *)
+let rec get_admitted ?(tries = 40) port path =
+  match get port path with
+  | r when r.Client.status = 200 -> r
+  | r when tries = 0 -> r
+  | _ ->
+      Thread.delay 0.05;
+      get_admitted ~tries:(tries - 1) port path
+  | exception e ->
+      if tries = 0 then raise e
+      else begin
+        Thread.delay 0.05;
+        get_admitted ~tries:(tries - 1) port path
+      end
+
+(* Each shard owns its own guard: with a per-peer cap of one connection
+   and two shards, six silent connections from one peer can hold at most
+   two slots (one per shard, fewer if the kernel hashes them onto the
+   same shard) — everyone else is answered 429 at the door.  Closing the
+   holders frees the slots. *)
+let test_sharded_guard_conn_cap () =
+  with_sharded
+    ~guard:{ Guard.default_config with Guard.max_conns_per_ip = Some 1 }
+    2
+    (fun _server port ->
+      let fds =
+        List.init 6 (fun _ ->
+            let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+            Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+            fd)
+      in
+      (* Let every shard write its verdict: refused fds now hold a 429
+         response and EOF; admitted ones are silent. *)
+      Thread.delay 0.5;
+      let buf = Bytes.create 4096 in
+      let refused =
+        List.fold_left
+          (fun acc fd ->
+            Unix.set_nonblock fd;
+            match Unix.read fd buf 0 (Bytes.length buf) with
+            | 0 -> acc + 1
+            | n ->
+                let payload = Bytes.sub_string buf 0 n in
+                Alcotest.(check bool)
+                  "refusal is a 429" true
+                  (Helpers.contains payload ~affix:" 429 Too Many Requests");
+                Alcotest.(check bool)
+                  "refusal advises Retry-After" true
+                  (Helpers.contains payload ~affix:"Retry-After:");
+                acc + 1
+            | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+              ->
+                acc
+            | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> acc + 1)
+          0 fds
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "at most one slot per shard (refused %d of 6)" refused)
+        true (refused >= 4);
+      List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) fds;
+      (* Slots free once the owning shards process the disconnects. *)
+      let r = get_admitted port "/hello.txt" in
+      Alcotest.(check int) "slot freed after close" 200 r.Client.status)
+
+(* Guard telemetry under sharding: flash_guard_* series carry the shard
+   label, the unlabeled aggregate equals the per-shard sum in the same
+   scrape, and the status JSON's guard block agrees with itself (its
+   shed dict sums to its shed_total). *)
+let test_sharded_guard_metrics () =
+  with_sharded
+    ~guard:{ Guard.default_config with Guard.max_conns_per_ip = Some 1 }
+    2
+    (fun _server port ->
+      (* Provoke a few conn-cap sheds: pairs of simultaneous silent
+         connections from one peer, second of the pair refused whenever
+         both hash to the same shard's singleton slot. *)
+      let provoke () =
+        let fds =
+          List.init 4 (fun _ ->
+              let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+              Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+              fd)
+        in
+        Thread.delay 0.3;
+        List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) fds
+      in
+      provoke ();
+      let metrics = (get_admitted port "/metrics").Client.body in
+      (match Obs.Exposition.validate metrics with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "guarded sharded exposition invalid: %s" msg);
+      let lines = String.split_on_char '\n' metrics in
+      let sample_value line =
+        match String.rindex_opt line ' ' with
+        | Some i ->
+            int_of_float
+              (float_of_string
+                 (String.sub line (i + 1) (String.length line - i - 1)))
+        | None -> Alcotest.failf "unparseable sample line %S" line
+      in
+      let shard_sum = ref 0
+      and aggregate = ref 0
+      and shard_series = ref 0 in
+      List.iter
+        (fun l ->
+          if String.starts_with ~prefix:"flash_guard_shed_total{" l then
+            if Helpers.contains l ~affix:"shard=" then begin
+              incr shard_series;
+              shard_sum := !shard_sum + sample_value l
+            end
+            else aggregate := !aggregate + sample_value l)
+        lines;
+      (* Two shards times eight pre-registered reasons. *)
+      Alcotest.(check int) "shard-labeled shed series" 16 !shard_series;
+      Alcotest.(check int) "aggregate equals per-shard sum" !shard_sum
+        !aggregate;
+      Alcotest.(check bool) "sheds recorded" true (!shard_sum >= 1);
+      Alcotest.(check bool)
+        "state gauge carries the shard label" true
+        (Helpers.contains metrics ~affix:"flash_guard_state{shard=");
+      (* The serving shard's guard block is internally consistent.
+         Fetch via [get_admitted]: the provoking peer's freed conn slot
+         propagates asynchronously, so a prompt fetch can still be 429. *)
+      let j = parse_json (get_admitted port "/server-status?json").Client.body in
+      let guard = member "guard" j in
+      (match guard with
+      | Null -> Alcotest.fail "sharded guard JSON block missing"
+      | _ -> ());
+      let shed_kvs =
+        match member "shed" guard with
+        | Obj kv -> kv
+        | _ -> Alcotest.fail "guard.shed not an object"
+      in
+      Alcotest.(check int) "shed dict sums to shed_total"
+        (to_int (member "shed_total" guard))
+        (List.fold_left (fun a (_, v) -> a + to_int v) 0 shed_kvs))
+
 (* Unsharded servers must say so, in both views. *)
 let test_unsharded_views () =
   let docroot = Test_live.make_docroot () in
@@ -380,5 +557,9 @@ let suite =
       test_sharded_views_never_drift;
     Alcotest.test_case "HTTP/1.1 byte-identity vs AMPED" `Quick
       test_sharded_byte_identity;
+    Alcotest.test_case "per-shard guard enforces conn caps" `Quick
+      test_sharded_guard_conn_cap;
+    Alcotest.test_case "sharded guard metrics aggregate" `Quick
+      test_sharded_guard_metrics;
     Alcotest.test_case "unsharded views say none" `Quick test_unsharded_views;
   ]

@@ -438,7 +438,7 @@ let test_idle_timeout_closes_and_accounts () =
   with_config
     { (Server.default_config ~docroot) with Server.idle_timeout = 0.3 }
     (fun server port ->
-      let session = Client.Session.connect ~host:"127.0.0.1" ~port in
+      let session = Client.Session.connect ~host:"127.0.0.1" ~port () in
       let r = Client.Session.request session "/hello.txt" in
       Alcotest.(check int) "first request ok" 200 r.Client.status;
       let live = Server.stats server in

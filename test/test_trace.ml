@@ -287,7 +287,7 @@ let has_span ~name ~track snap = List.exists (span_on ~name ~track) snap
    land on the child that handled the file request. *)
 let test_trace_endpoint mode () =
   with_mode mode (fun server port ->
-      let session = Client.Session.connect ~host:"127.0.0.1" ~port in
+      let session = Client.Session.connect ~host:"127.0.0.1" ~port () in
       let r1 = Client.Session.request session "/hello.txt" in
       Alcotest.(check int) "request ok" 200 r1.Client.status;
       ignore (await_traces server (fun snap -> List.length snap >= 1));
@@ -378,7 +378,7 @@ let test_mt_track () =
    keepalive-reuse marker instead of accept. *)
 let test_keepalive_reuse_span () =
   with_mode Server.Amped (fun server port ->
-      let session = Client.Session.connect ~host:"127.0.0.1" ~port in
+      let session = Client.Session.connect ~host:"127.0.0.1" ~port () in
       ignore (Client.Session.request session "/hello.txt");
       ignore (Client.Session.request session "/index.html");
       Client.Session.close session;
