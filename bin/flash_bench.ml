@@ -1020,6 +1020,309 @@ let run_hostile ~attack ~duration ~clients ~json_file =
           Format.printf "json:       wrote %s@." file
       | None -> ()))
 
+(* ------------------------------------------------------------------ *)
+(* Cold-start scenario: predictive warming, measured live.
+
+   Three phases against in-process servers sharing one scratch docroot
+   and one Zipf request stream: a recording run writes the machine-
+   minable access log; then two fresh (cold-cache) servers serve the
+   same stream — one demand-fill, one warming from the recorded log —
+   and the early-window cache hit rates are compared.  The prefetches
+   ride the helper pool's low-priority lane, so the client-visible
+   helper job p99 (scraped from the server's own status JSON, which
+   excludes low-priority jobs by construction) should be unchanged
+   between the arms — that figure is reported alongside the delta.    *)
+(* ------------------------------------------------------------------ *)
+
+let json_float s key =
+  match find_sub s (Printf.sprintf "%S:" key) with
+  | None -> None
+  | Some i ->
+      let n = String.length s in
+      let j = ref i in
+      while
+        !j < n
+        &&
+        match s.[!j] with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      do
+        incr j
+      done;
+      float_of_string_opt (String.sub s i (!j - i))
+
+(* The helper block's job-latency p99 (ms).  The key "p99" appears in
+   several histogram blocks, so anchor on the helper's own
+   "job_latency_ms" object first. *)
+let helper_p99_ms body =
+  match find_sub body "\"job_latency_ms\"" with
+  | None -> None
+  | Some i -> json_float (String.sub body i (String.length body - i)) "p99"
+
+let coldstart_files = 2000
+
+let make_coldstart_docroot () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "flash-coldstart-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  for i = 0 to coldstart_files - 1 do
+    let oc = open_out (Filename.concat dir (Printf.sprintf "z%d.bin" i)) in
+    output_string oc (String.make (2048 + (i mod 23 * 512)) 'z');
+    close_out oc
+  done;
+  dir
+
+(* Closed-loop Zipf client: each request samples a rank, so the stream
+   has the popularity skew the miner is supposed to exploit.  Sessions
+   rotate every 200 requests to keep the accept path exercised. *)
+let coldstart_worker ~host ~port ~zipf ~seed ~deadline stats () =
+  let rng = Sim.Rng.create ~seed in
+  while Unix.gettimeofday () < deadline do
+    match Flash_live.Client.Session.connect ~host ~port () with
+    | exception _ ->
+        stats.errors <- stats.errors + 1;
+        Thread.delay 0.02
+    | session ->
+        (try
+           let n = ref 0 in
+           while !n < 200 && Unix.gettimeofday () < deadline do
+             incr n;
+             let path =
+               Printf.sprintf "/z%d.bin" (Workload.Zipf.sample zipf rng)
+             in
+             let t0 = Unix.gettimeofday () in
+             let r = Flash_live.Client.Session.request session path in
+             record stats
+               (Unix.gettimeofday () -. t0)
+               (String.length r.Flash_live.Client.body)
+               (r.Flash_live.Client.status = 200)
+           done
+         with _ -> stats.errors <- stats.errors + 1);
+        Flash_live.Client.Session.close session
+  done
+
+type coldstart_arm = {
+  ca_name : string;
+  ca_completed : int;
+  ca_errors : int;
+  ca_early_hit_rate : float;  (* cache hit rate inside the early window *)
+  ca_final_hit_rate : float;
+  ca_helper_p99_ms : float;
+  ca_prefetch_issued : int;
+  ca_prefetch_completed : int;
+  ca_hits_after_warm : int;
+  ca_pinned_entries : int;
+}
+
+let coldstart_hit_rate body =
+  (* The first "hits"/"misses" pair in the status JSON is the top-level
+     file-cache block. *)
+  match (json_int body "hits", json_int body "misses") with
+  | Some h, Some m when h + m > 0 ->
+      float_of_int h /. float_of_int (h + m)
+  | _ -> 0.
+
+let run_coldstart_load ~host ~port ~zipf ~clients ~duration =
+  let deadline = Unix.gettimeofday () +. duration in
+  let stats = Array.init clients (fun _ -> new_stats ()) in
+  let threads =
+    List.init clients (fun i ->
+        Thread.create
+          (coldstart_worker ~host ~port ~zipf ~seed:(1000 + i) ~deadline
+             stats.(i))
+          ())
+  in
+  (* Sample the cache counters mid-run: the early window is where a
+     demand-fill cache is still paying its cold misses. *)
+  let early = ref None in
+  let sampler =
+    Thread.create
+      (fun () ->
+        Thread.delay (Float.min 1.0 (duration /. 2.));
+        early := scrape_status ~host ~port "/server-status")
+      ()
+  in
+  List.iter Thread.join threads;
+  Thread.join sampler;
+  (stats, !early)
+
+let run_coldstart_arm ~docroot ~zipf ~clients ~duration ~warm_log name =
+  let module Server = Flash_live.Server in
+  let config =
+    {
+      (Server.default_config ~docroot) with
+      Server.port = 0;
+      mode = Server.Amped;
+      trace = false;
+      warm = warm_log <> None;
+      warm_log;
+      warm_interval = 0.2;
+      warm_budget = 0.6;
+      warm_top_k = 2048;
+    }
+  in
+  let server = Server.start_background config in
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () ->
+      let host = "127.0.0.1" and port = Server.port server in
+      (* Warming arm: let the startup mining's prefetches finish before
+         traffic arrives — the whole point is a pre-populated cache.
+         The low-priority lane issues a bounded batch per mining cycle,
+         so "done" is not settled-equals-issued (true between every
+         batch) but issued holding still across several cycles while
+         everything issued has settled. *)
+      if warm_log <> None then begin
+        let rec wait n stable last_issued =
+          if n > 0 && stable < 4 then begin
+            Thread.delay 0.25;
+            match scrape_status ~host ~port "/server-status" with
+            | Some body ->
+                let issued =
+                  Option.value (json_int body "prefetch_issued") ~default:0
+                in
+                let settled =
+                  Option.value (json_int body "prefetch_completed") ~default:0
+                  + Option.value (json_int body "prefetch_failed") ~default:0
+                in
+                if issued > 0 && settled >= issued && issued = last_issued
+                then wait (n - 1) (stable + 1) issued
+                else wait (n - 1) 0 issued
+            | None -> wait (n - 1) 0 last_issued
+          end
+        in
+        wait 120 0 (-1)
+      end;
+      let stats, early =
+        run_coldstart_load ~host ~port ~zipf ~clients ~duration
+      in
+      let final = scrape_status ~host ~port "/server-status" in
+      let completed =
+        Array.fold_left (fun acc s -> acc + s.completed) 0 stats
+      in
+      let errors = Array.fold_left (fun acc s -> acc + s.errors) 0 stats in
+      let fint key =
+        match final with
+        | Some body -> Option.value (json_int body key) ~default:0
+        | None -> 0
+      in
+      {
+        ca_name = name;
+        ca_completed = completed;
+        ca_errors = errors;
+        ca_early_hit_rate =
+          (match early with Some b -> coldstart_hit_rate b | None -> 0.);
+        ca_final_hit_rate =
+          (match final with Some b -> coldstart_hit_rate b | None -> 0.);
+        ca_helper_p99_ms =
+          (match final with
+          | Some b -> Option.value (helper_p99_ms b) ~default:0.
+          | None -> 0.);
+        ca_prefetch_issued = fint "prefetch_issued";
+        ca_prefetch_completed = fint "prefetch_completed";
+        ca_hits_after_warm = fint "hits_after_warm";
+        ca_pinned_entries = fint "pinned_entries";
+      })
+
+let coldstart_arm_json a =
+  let num f = if Float.is_finite f then Printf.sprintf "%.6g" f else "0" in
+  Printf.sprintf
+    {|{"arm":%S,"completed":%d,"errors":%d,"early_hit_rate":%s,"final_hit_rate":%s,"helper_p99_ms":%s,"prefetch_issued":%d,"prefetch_completed":%d,"hits_after_warm":%d,"pinned_entries":%d}|}
+    a.ca_name a.ca_completed a.ca_errors
+    (num a.ca_early_hit_rate)
+    (num a.ca_final_hit_rate)
+    (num a.ca_helper_p99_ms)
+    a.ca_prefetch_issued a.ca_prefetch_completed a.ca_hits_after_warm
+    a.ca_pinned_entries
+
+let run_coldstart ~duration ~clients ~json_file =
+  let module Server = Flash_live.Server in
+  let docroot = make_coldstart_docroot () in
+  let access_log = Filename.concat docroot "access.log" in
+  Fun.protect
+    ~finally:(fun () -> remove_hostile_docroot docroot)
+    (fun () ->
+      Format.printf
+        "flash-bench: coldstart — %d Zipf clients over %d files, %.1fs \
+         per arm@."
+        clients coldstart_files duration;
+      let zipf = Workload.Zipf.create ~n:coldstart_files ~alpha:1.0 in
+      (* Phase 1: record an access log with the machine-minable resolved
+         path field — yesterday's traffic for the warming arm to mine. *)
+      let recorded =
+        let config =
+          {
+            (Server.default_config ~docroot) with
+            Server.port = 0;
+            mode = Server.Amped;
+            trace = false;
+            access_log = Some access_log;
+            access_log_paths = true;
+          }
+        in
+        let server = Server.start_background config in
+        Fun.protect
+          ~finally:(fun () -> Server.stop server)
+          (fun () ->
+            let stats, _ =
+              run_coldstart_load ~host:"127.0.0.1" ~port:(Server.port server)
+                ~zipf ~clients ~duration
+            in
+            Array.fold_left (fun acc s -> acc + s.completed) 0 stats)
+      in
+      Format.printf "recorded:   %d requests into %s@." recorded access_log;
+      let unwarmed =
+        run_coldstart_arm ~docroot ~zipf ~clients ~duration ~warm_log:None
+          "unwarmed"
+      in
+      let warmed =
+        run_coldstart_arm ~docroot ~zipf ~clients ~duration
+          ~warm_log:(Some access_log) "warmed"
+      in
+      let report a =
+        Format.printf
+          "%-10s early hit rate %5.1f%%, final %5.1f%%, helper p99 %.2f ms \
+           (%d ok, %d errors%s)@."
+          (a.ca_name ^ ":")
+          (100. *. a.ca_early_hit_rate)
+          (100. *. a.ca_final_hit_rate)
+          a.ca_helper_p99_ms a.ca_completed a.ca_errors
+          (if a.ca_prefetch_issued > 0 then
+             Printf.sprintf ", %d/%d prefetches done, %d pinned, %d hits \
+                             after warm"
+               a.ca_prefetch_completed a.ca_prefetch_issued a.ca_pinned_entries
+               a.ca_hits_after_warm
+           else "")
+      in
+      report unwarmed;
+      report warmed;
+      Format.printf "verdict:    warming moves the early hit rate %+.1f \
+                     points@."
+        (100. *. (warmed.ca_early_hit_rate -. unwarmed.ca_early_hit_rate));
+      (match json_file with
+      | Some file ->
+          let num f =
+            if Float.is_finite f then Printf.sprintf "%.6g" f else "0"
+          in
+          let body =
+            Printf.sprintf
+              {|{"scenario":"coldstart","duration_s":%s,"clients":%d,"files":%d,"recorded_requests":%d,"arms":[%s],"early_delta":%s}|}
+              (num duration) clients coldstart_files recorded
+              (String.concat ","
+                 (List.map coldstart_arm_json [ unwarmed; warmed ]))
+              (num (warmed.ca_early_hit_rate -. unwarmed.ca_early_hit_rate))
+            ^ "\n"
+          in
+          let oc = open_out file in
+          output_string oc body;
+          close_out oc;
+          Format.printf "json:       wrote %s@." file
+      | None -> ());
+      if unwarmed.ca_errors + warmed.ca_errors > 0 then exit 1)
+
 let host =
   Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"Server host.")
 
@@ -1062,7 +1365,11 @@ let scenario =
           "Request shape: full (plain 200s, default); conditional \
            (revalidate with If-None-Match, expecting 304s — the \
            warm-client-cache steady state); range (Range: bytes=0-1023, \
-           expecting 206s — the resumed-download shape).")
+           expecting 206s — the resumed-download shape); coldstart \
+           (in-process cold-start comparison — record an access log, \
+           then measure the early-window hit rate of a fresh demand-fill \
+           server against one warming from that log; ignores \
+           $(b,--host)/$(b,--port)).")
 
 let idle_connections =
   Arg.(
@@ -1158,6 +1465,9 @@ let main host port path clients client_workers duration keep_alive scenario
       | None ->
           Format.eprintf "unknown attack %S (flood|slowread|stampede)@." kind;
           exit 2)
+  | None when scenario = "coldstart" ->
+      (* In-process arms, like --hostile: ignores --host/--port. *)
+      run_coldstart ~duration ~clients ~json_file
   | None -> (
   match sweep_domains with
   | Some max_domains ->

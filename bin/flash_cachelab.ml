@@ -8,7 +8,8 @@
 
      dune exec bin/flash_cachelab.exe -- --json
      dune exec bin/flash_cachelab.exe -- --workload specweb --sizes 10%,50%
-     dune exec bin/flash_cachelab.exe -- --trace access.log --policies lru,gdsf *)
+     dune exec bin/flash_cachelab.exe -- --trace access.log --policies lru,gdsf
+     dune exec bin/flash_cachelab.exe -- --warm-eval --coldstart 2000 *)
 
 open Cmdliner
 
@@ -97,6 +98,140 @@ let replay ?mix ?(range_bytes = 1024) ?(gzip_ratio = 0.4) ~per_kind trace
       (if !byte_total = 0 then 0.
        else float_of_int !byte_hits /. float_of_int !byte_total);
   }
+
+(* ------------------------------------------------------------------ *)
+(* Predictive-warming evaluation                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Warming-vs-demand-fill on a cold start.  The trace plays the role of
+   yesterday's access log: the miner folds it into a ranking, the ranked
+   hot set is pre-populated and pinned into a fresh store, and the same
+   trace replays as today's traffic.  The figure of merit is the hit
+   rate over the first [coldstart] requests — the window where a
+   demand-fill cache is still empty — warmed minus unwarmed.  After the
+   cold window the pins are released (the live warmer re-ranks each
+   mining period; offline, one release models the hand-back to normal
+   replacement once real traffic has been observed). *)
+type warm_cell = {
+  w_policy : Flash_cache.Policy.kind;
+  w_capacity : int;
+  w_candidates : int;
+  w_prefill_bytes : int;
+  w_cold_requests : int;
+  w_cold_unwarmed : float;
+  w_cold_warmed : float;
+  w_total_unwarmed : float;
+  w_total_warmed : float;
+}
+
+(* Synthetic timestamps, one second per 100 requests — the same clock
+   [Trace.save_clf] stamps into its output, so a saved trace mines to
+   the identical ranking whether observed directly or re-parsed from
+   CLF lines. *)
+let synthetic_now i = float_of_int i /. 100.
+
+(* Mine the evaluation's access history.  A CLF file is re-read line by
+   line through {!Flash_warm.Miner.observe_line} — the exact parser the
+   live server's startup mining uses — so the machine-minable log format
+   is exercised end to end; synthetic traces are observed directly. *)
+let mine_history ~trace_file ~trace =
+  let miner = Flash_warm.Miner.create () in
+  (match trace_file with
+  | Some path ->
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let i = ref 0 in
+          try
+            while true do
+              ignore
+                (Flash_warm.Miner.observe_line miner ~now:(synthetic_now !i)
+                   (input_line ic));
+              incr i
+            done
+          with End_of_file -> ())
+  | None ->
+      let n = Workload.Trace.length trace in
+      for i = 0 to n - 1 do
+        Flash_warm.Miner.observe miner ~now:(synthetic_now i)
+          ~bytes:(Workload.Trace.request_size trace i)
+          (Workload.Trace.request_path trace i)
+      done);
+  miner
+
+(* One warm-eval replay: optionally pre-populate + pin [candidates],
+   then count hits inside and outside the cold window.  Returns
+   (prefill_bytes, cold_hits, total_hits). *)
+let replay_cold trace ~policy ~admission ~capacity ~coldstart ~candidates =
+  let store =
+    Flash_cache.Store.create ~policy ~admission ~name:"warmlab" ~capacity ()
+  in
+  let prefill = ref 0 in
+  List.iter
+    (fun c ->
+      let w = max 1 c.Flash_warm.Miner.c_bytes in
+      if Flash_cache.Store.add store c.Flash_warm.Miner.c_path () ~weight:w
+      then begin
+        ignore (Flash_cache.Store.pin store c.Flash_warm.Miner.c_path);
+        prefill := !prefill + w
+      end)
+    candidates;
+  let n = Workload.Trace.length trace in
+  let cold_hits = ref 0 and total_hits = ref 0 in
+  for i = 0 to n - 1 do
+    if i = coldstart then
+      List.iter
+        (fun k -> ignore (Flash_cache.Store.unpin store k))
+        (Flash_cache.Store.pinned_keys store);
+    let path = Workload.Trace.request_path trace i in
+    let size = Workload.Trace.request_size trace i in
+    match Flash_cache.Store.find store path with
+    | Some () ->
+        incr total_hits;
+        if i < coldstart then incr cold_hits
+    | None -> ignore (Flash_cache.Store.add store path () ~weight:(max 1 size))
+  done;
+  (!prefill, !cold_hits, !total_hits)
+
+let warm_eval ~trace_file ~trace ~policies ~admission ~sizes ~coldstart
+    ~top_k ~budget_frac =
+  let miner = mine_history ~trace_file ~trace in
+  let n = Workload.Trace.length trace in
+  let coldstart = max 1 (min coldstart n) in
+  let now = synthetic_now n in
+  let rate cold total = float_of_int cold /. float_of_int total in
+  List.concat_map
+    (fun policy ->
+      List.map
+        (fun capacity ->
+          let budget_bytes =
+            max 1 (int_of_float (budget_frac *. float_of_int capacity))
+          in
+          let candidates =
+            Flash_warm.Miner.rank miner ~now ~top_k ~budget_bytes
+          in
+          let _, cold0, total0 =
+            replay_cold trace ~policy ~admission ~capacity ~coldstart
+              ~candidates:[]
+          in
+          let prefill, cold1, total1 =
+            replay_cold trace ~policy ~admission ~capacity ~coldstart
+              ~candidates
+          in
+          {
+            w_policy = policy;
+            w_capacity = capacity;
+            w_candidates = List.length candidates;
+            w_prefill_bytes = prefill;
+            w_cold_requests = coldstart;
+            w_cold_unwarmed = rate cold0 coldstart;
+            w_cold_warmed = rate cold1 coldstart;
+            w_total_unwarmed = rate total0 n;
+            w_total_warmed = rate total1 n;
+          })
+        sizes)
+    policies
 
 (* ------------------------------------------------------------------ *)
 (* Workload construction                                               *)
@@ -191,10 +326,32 @@ let mrc_json policies grid =
   in
   "{" ^ String.concat "," (List.map per_policy policies) ^ "}"
 
+let warm_cell_json w =
+  Printf.sprintf
+    {|{"policy":%s,"capacity":%d,"candidates":%d,"prefill_bytes":%d,"cold_requests":%d,"cold_hit_rate_unwarmed":%.6f,"cold_hit_rate_warmed":%.6f,"cold_delta":%.6f,"hit_rate_unwarmed":%.6f,"hit_rate_warmed":%.6f}|}
+    (Obs.Json.str (Flash_cache.Policy.name w.w_policy))
+    w.w_capacity w.w_candidates w.w_prefill_bytes w.w_cold_requests
+    w.w_cold_unwarmed w.w_cold_warmed
+    (w.w_cold_warmed -. w.w_cold_unwarmed)
+    w.w_total_unwarmed w.w_total_warmed
+
 let run workload trace_file files requests alpha seed policies_arg admission_arg
-    sizes_arg mix_conditional mix_range mix_gzip gzip_ratio json out =
+    sizes_arg mix_conditional mix_range mix_gzip gzip_ratio mix_seed save_clf
+    warm_eval_on coldstart warm_top_k warm_budget json out =
   let kind, trace =
     build_trace ~workload ~trace_file ~files ~requests ~alpha ~seed
+  in
+  (match save_clf with
+  | None -> ()
+  | Some path ->
+      Workload.Trace.save_clf trace ~path;
+      Format.eprintf "saved CLF trace to %s@." path);
+  (* Decorrelated from the trace's seed by default: both generators draw
+     one uniform per request, so sharing the seed would align the kind
+     draw with the popularity draw (every conditional request would hit
+     the most popular files).  --mix-seed overrides the derivation. *)
+  let mix_seed =
+    match mix_seed with Some s -> s | None -> seed lxor 0x5bd1e995
   in
   let mix =
     if mix_conditional = 0. && mix_range = 0. && mix_gzip = 0. then None
@@ -203,11 +360,7 @@ let run workload trace_file files requests alpha seed policies_arg admission_arg
         (Workload.Reqmix.generate
            ~length:(Workload.Trace.length trace)
            ~conditional:mix_conditional ~range:mix_range ~gzip:mix_gzip
-           (* Decorrelated from the trace's seed: both generators draw
-              one uniform per request, so sharing the seed would align
-              the kind draw with the popularity draw (every conditional
-              request would hit the most popular files). *)
-           ~seed:(seed lxor 0x5bd1e995))
+           ~seed:mix_seed)
   in
   let policies =
     List.map
@@ -243,6 +396,13 @@ let run workload trace_file files requests alpha seed policies_arg admission_arg
           sizes)
       policies
   in
+  let warm_cells =
+    if warm_eval_on then
+      Some
+        (warm_eval ~trace_file ~trace ~policies ~admission ~sizes ~coldstart
+           ~top_k:warm_top_k ~budget_frac:warm_budget)
+    else None
+  in
   let kind_rows =
     List.filter_map
       (fun k ->
@@ -265,17 +425,28 @@ let run workload trace_file files requests alpha seed policies_arg admission_arg
                kind_rows)
         ^ "}"
   in
+  let warming_json =
+    match warm_cells with
+    | None -> "null"
+    | Some cells ->
+        Printf.sprintf
+          {|{"coldstart":%d,"top_k":%d,"budget_frac":%.4f,"cells":[%s]}|}
+          (max 1 (min coldstart (Workload.Trace.length trace)))
+          warm_top_k warm_budget
+          (String.concat "," (List.map warm_cell_json cells))
+  in
   let output =
     if json then
       Printf.sprintf
-        {|{"workload":{"kind":%s,"requests":%d,"distinct_files":%d,"footprint_bytes":%d,"admission":%s},"mix":%s,"grid":[%s],"mrc":%s}|}
+        {|{"workload":{"kind":%s,"requests":%d,"distinct_files":%d,"footprint_bytes":%d,"admission":%s,"seed":%d,"mix_seed":%d},"mix":%s,"grid":[%s],"mrc":%s,"warming":%s}|}
         (Obs.Json.str kind) (Workload.Trace.length trace)
         (Workload.Trace.distinct_files trace)
         footprint
         (Obs.Json.str (Flash_cache.Policy.admission_name admission))
-        mix_json
+        seed mix_seed mix_json
         (String.concat "," (List.map cell_json grid))
         (mrc_json policies grid)
+        warming_json
       ^ "\n"
     else begin
       let b = Buffer.create 1024 in
@@ -298,12 +469,34 @@ let run workload trace_file files requests alpha seed policies_arg admission_arg
       | None -> ()
       | Some _ ->
           Printf.bprintf b
-            "request mix (aggregated over all cells; wire = body bytes):\n";
+            "request mix (aggregated over all cells; mix seed %d; wire = \
+             body bytes):\n"
+            mix_seed;
           List.iter
             (fun (name, ks) ->
               Printf.bprintf b "  %-12s %9d requests %9d hits %14d wire bytes\n"
                 name ks.k_requests ks.k_hits ks.k_wire)
             kind_rows);
+      (match warm_cells with
+      | None -> ()
+      | Some cells ->
+          Printf.bprintf b
+            "cache warming (cold start = first %d requests, top %d \
+             candidates, hot tier <= %.0f%% of capacity):\n"
+            (max 1 (min coldstart (Workload.Trace.length trace)))
+            warm_top_k (100. *. warm_budget);
+          Printf.bprintf b "%-6s %12s %10s %11s %9s %11s\n" "policy" "capacity"
+            "cold-cold" "cold-warmed" "delta" "candidates";
+          List.iter
+            (fun w ->
+              Printf.bprintf b "%-6s %12d %9.2f%% %10.2f%% %+8.2f%% %11d\n"
+                (Flash_cache.Policy.name w.w_policy)
+                w.w_capacity
+                (100. *. w.w_cold_unwarmed)
+                (100. *. w.w_cold_warmed)
+                (100. *. (w.w_cold_warmed -. w.w_cold_unwarmed))
+                w.w_candidates)
+            cells);
       Buffer.contents b
     end
   in
@@ -406,6 +599,59 @@ let gzip_ratio =
     & info [ "gzip-ratio" ] ~docv:"R"
         ~doc:"Modelled compressed-size ratio for gzip-variant requests.")
 
+let mix_seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "mix-seed" ] ~docv:"S"
+        ~doc:
+          "Seed for the request-kind draw.  Defaults to the trace seed \
+           XOR 0x5bd1e995 (decorrelated so kind and popularity draws \
+           never align); the derived value is recorded in the JSON \
+           report either way.")
+
+let save_clf_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save-clf" ] ~docv:"FILE"
+        ~doc:
+          "Write the replayed trace as a Common Log Format access log \
+           before evaluation — feed it back via $(b,--trace) for a \
+           parser round-trip.")
+
+let warm_eval_arg =
+  Arg.(
+    value & flag
+    & info [ "warm-eval" ]
+        ~doc:
+          "Evaluate predictive cache warming: mine the trace as access \
+           history, pre-populate and pin the ranked hot set in a fresh \
+           store, and report the cold-start hit-rate delta against \
+           demand fill for every grid cell.")
+
+let coldstart_arg =
+  Arg.(
+    value & opt int 2000
+    & info [ "coldstart" ] ~docv:"N"
+        ~doc:
+          "Cold-start window for $(b,--warm-eval): the hit rate over \
+           the first N replayed requests is the figure of merit.")
+
+let warm_top_k_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "warm-top-k" ] ~docv:"K"
+        ~doc:"Candidates the warming ranking may pin ($(b,--warm-eval)).")
+
+let warm_budget_arg =
+  Arg.(
+    value & opt float 0.25
+    & info [ "warm-budget" ] ~docv:"F"
+        ~doc:
+          "Fraction of each cell's capacity the pinned hot tier may \
+           occupy ($(b,--warm-eval)).")
+
 let json =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
 
@@ -422,6 +668,7 @@ let cmd =
     Term.(
       const run $ workload $ trace_file $ files $ requests $ alpha $ seed
       $ policies $ admission $ sizes $ mix_conditional $ mix_range $ mix_gzip
-      $ gzip_ratio $ json $ out)
+      $ gzip_ratio $ mix_seed_arg $ save_clf_arg $ warm_eval_arg
+      $ coldstart_arg $ warm_top_k_arg $ warm_budget_arg $ json $ out)
 
 let () = exit (Cmd.eval cmd)

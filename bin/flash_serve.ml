@@ -30,10 +30,10 @@ let parse_slo s =
 
 let serve docroot port mode domains event_backend helpers cache_mb cache_policy
     cache_admission cache_budget_mb no_cgi no_align no_writev no_gzip
-    gzip_lazy access_log access_log_timing status_path no_status stall_ms
-    no_trace trace_capacity trace_path slow_request_ms slow_request_log
-    metrics_path no_metrics latency_slo recorder_dump recorder_interval
-    guard verbose =
+    gzip_lazy access_log access_log_timing access_log_paths status_path
+    no_status stall_ms no_trace trace_capacity trace_path slow_request_ms
+    slow_request_log metrics_path no_metrics latency_slo recorder_dump
+    recorder_interval guard warm_opts verbose =
   setup_logs verbose;
   let suffix_int s prefix default =
     match
@@ -81,6 +81,10 @@ let serve docroot port mode domains event_backend helpers cache_mb cache_policy
     Format.eprintf "docroot %S is not a directory@." docroot;
     exit 2
   end;
+  let warm_on, warm_interval, warm_budget, warm_top_k, warm_log = warm_opts in
+  (* --warm-log names a log to mine at startup: that is a request to
+     warm, so it implies --warm. *)
+  let warm_on = warm_on || warm_log <> None in
   let config =
     {
       (Flash_live.Server.default_config ~docroot) with
@@ -96,6 +100,7 @@ let serve docroot port mode domains event_backend helpers cache_mb cache_policy
       use_writev = (not no_writev) && Iovec.have_writev;
       access_log;
       access_log_timing;
+      access_log_paths;
       status_path = (if no_status then None else Some status_path);
       stall_threshold = stall_ms /. 1000.;
       trace = not no_trace;
@@ -110,6 +115,11 @@ let serve docroot port mode domains event_backend helpers cache_mb cache_policy
       latency_slo;
       recorder_interval;
       guard;
+      warm = warm_on;
+      warm_interval;
+      warm_budget;
+      warm_top_k;
+      warm_log;
     }
   in
   if Flash_guard.Guard.enabled guard && guard.Flash_guard.Guard.slo_shed
@@ -165,6 +175,15 @@ let serve docroot port mode domains event_backend helpers cache_mb cache_policy
       Format.printf "slow requests over %.1f ms logged to %s@." ms
         (Option.value slow_request_log ~default:"stderr")
   | None -> ());
+  (if warm_on then
+     Format.printf
+       "warming: every %gs, hot tier <= %d%% of cache, top %d candidates%s@."
+       warm_interval
+       (int_of_float (100. *. warm_budget))
+       warm_top_k
+       (match warm_log with
+       | Some l -> Printf.sprintf ", mining %s at startup" l
+       | None -> ""));
   (if Flash_guard.Guard.enabled guard then begin
      let g = guard in
      let parts =
@@ -403,6 +422,15 @@ let access_log_timing =
           "Append each request's service time in microseconds after the \
            Common Log Format fields.")
 
+let access_log_paths =
+  Arg.(
+    value & flag
+    & info [ "access-log-paths" ]
+        ~doc:
+          "Append the resolved filesystem path after the Common Log \
+           Format status/bytes fields — stable machine-minable fields \
+           (like Apache's %>s %O %f) that --warm-log mines directly.")
+
 let status_path =
   Arg.(
     value
@@ -616,6 +644,57 @@ let guard_term =
     $ header_deadline $ min_byte_rate $ transfer_interval $ max_helper_queue
     $ max_cgi $ slo_shed $ shed_idle_after $ retry_after)
 
+(* ---- Predictive warming flags --------------------------------------- *)
+
+let warm =
+  Arg.(
+    value & flag
+    & info [ "warm" ]
+        ~doc:
+          "Predictive cache warming: mine observed demand (cache hit \
+           stats, admission rejections) every --warm-interval, pin the \
+           ranked hot set in the file cache, and prefetch ranked absent \
+           files through the helpers' low-priority lane.  AMPED and \
+           sharded modes only (warming rides the helper pool).")
+
+let warm_interval =
+  Arg.(
+    value & opt float 5.
+    & info [ "warm-interval" ] ~docv:"SECONDS"
+        ~doc:"Seconds between mining cycles (default 5).")
+
+let warm_budget =
+  Arg.(
+    value & opt float 0.25
+    & info [ "warm-budget" ] ~docv:"FRACTION"
+        ~doc:
+          "Bound the pinned hot tier to this fraction of the file \
+           cache's capacity (default 0.25).")
+
+let warm_top_k =
+  Arg.(
+    value & opt int 64
+    & info [ "warm-top-k" ] ~docv:"N"
+        ~doc:"Candidates considered per mining cycle (default 64).")
+
+let warm_log =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "warm-log" ] ~docv:"FILE"
+        ~doc:
+          "Mine this access log once at startup (implies --warm), so a \
+           restarted server prefetches the previous run's hot set \
+           before its first request.  Logs written with \
+           --access-log-paths mine by resolved path; plain CLF logs \
+           fall back to the request target.")
+
+let warm_term =
+  let mk warm warm_interval warm_budget warm_top_k warm_log =
+    (warm, warm_interval, warm_budget, warm_top_k, warm_log)
+  in
+  Term.(const mk $ warm $ warm_interval $ warm_budget $ warm_top_k $ warm_log)
+
 let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Debug logging.")
 
 let cmd =
@@ -627,9 +706,10 @@ let cmd =
       $ cache_mb $ cache_policy
       $ cache_admission $ cache_budget_mb $ no_cgi $ no_align $ no_writev
       $ no_gzip $ gzip_lazy
-      $ access_log $ access_log_timing $ status_path $ no_status $ stall_ms
+      $ access_log $ access_log_timing $ access_log_paths $ status_path
+      $ no_status $ stall_ms
       $ no_trace $ trace_capacity $ trace_path $ slow_request_ms
       $ slow_request_log $ metrics_path $ no_metrics $ latency_slo
-      $ recorder_dump $ recorder_interval $ guard_term $ verbose)
+      $ recorder_dump $ recorder_interval $ guard_term $ warm_term $ verbose)
 
 let () = exit (Cmd.eval cmd)

@@ -433,10 +433,16 @@ type 'k gate = {
   admit : 'k -> weight:int -> bool;
   note_miss : 'k -> unit;
   gate_clear : unit -> unit;
+  gate_keys : unit -> 'k list;
 }
 
 let no_gate_state =
-  { admit = (fun _ ~weight:_ -> true); note_miss = ignore; gate_clear = ignore }
+  {
+    admit = (fun _ ~weight:_ -> true);
+    note_miss = ignore;
+    gate_clear = ignore;
+    gate_keys = (fun () -> []);
+  }
 
 (* The doorkeeper remembers keys that missed recently.  Bounded by
    periodic reset (a crude sliding window): forgetting everything at
@@ -464,6 +470,7 @@ let make_freq_gate p =
         if Hashtbl.length seen >= doorkeeper_limit then Hashtbl.reset seen;
         Hashtbl.replace seen k ());
     gate_clear = (fun () -> Hashtbl.reset seen);
+    gate_keys = (fun () -> Hashtbl.fold (fun k () acc -> k :: acc) seen []);
   }
 
 let make_gate admission () =

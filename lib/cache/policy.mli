@@ -79,6 +79,10 @@ type 'k gate = {
       (** remember a rejected key so its next admission attempt passes
           (the doorkeeper) *)
   gate_clear : unit -> unit;
+  gate_keys : unit -> 'k list;
+      (** the doorkeeper's remembered rejected keys (unordered; empty
+          for gates without one) — demand the cache has seen and turned
+          away, which is exactly the signal a predictive warmer wants *)
 }
 
 val make_gate : admission -> unit -> 'k gate

@@ -28,6 +28,19 @@ type stats = {
   evictions : int;  (** capacity/budget pressure only *)
   admitted : int;
   rejected : int;
+  pinned_entries : int;  (** entries currently pinned (hot tier) *)
+  pinned_bytes : int;  (** total weight of pinned entries *)
+}
+
+(** Per-key access history, the predictive warmer's raw material.
+    [ks_last] is a logical stamp from the store's own op counter
+    (monotone per store: larger means touched more recently), so
+    rankings derived from it are deterministic. *)
+type key_stat = {
+  ks_hits : int;
+  ks_last : int;
+  ks_weight : int;
+  ks_pinned : bool;
 }
 
 (** [create ~capacity ()] — [on_evict] runs for pressure evictions and
@@ -84,6 +97,41 @@ val capacity : ('k, 'v) t -> int
 val set_capacity : ('k, 'v) t -> int -> unit
 
 val iter : ('k, 'v) t -> f:('k -> 'v -> unit) -> unit
+
+(** {1 Pinned hot tier}
+
+    Pinned entries stay resident: they are removed from the policy's
+    replacement order (the victim walk can never name them) but remain
+    in the table, counted in {!weight} and charged to the shared
+    budget.  A store whose unpinned remainder is empty refuses to
+    {!shed}, and the budget's rebalance falls through to its next
+    member.  {!remove} (and any eviction path) of a pinned entry unpins
+    it first, so the pinned-bytes figure can never leak. *)
+
+(** Pin a resident entry; [false] when the key is not resident.
+    Idempotent. *)
+val pin : ('k, 'v) t -> 'k -> bool
+
+(** Return a pinned entry to the policy's replacement order (which may
+    immediately evict under capacity pressure); [false] when the key
+    was not pinned. *)
+val unpin : ('k, 'v) t -> 'k -> bool
+
+val pinned : ('k, 'v) t -> 'k -> bool
+val pinned_bytes : ('k, 'v) t -> int
+val pinned_count : ('k, 'v) t -> int
+val pinned_keys : ('k, 'v) t -> 'k list
+
+(** {1 Warming inputs} *)
+
+(** Fold over every resident key's access history. *)
+val fold_keys :
+  ('k, 'v) t -> init:'a -> f:('a -> 'k -> key_stat -> 'a) -> 'a
+
+(** Keys the admission doorkeeper remembers rejecting (unordered;
+    empty without a frequency gate) — demand the cache turned away. *)
+val rejected_keys : ('k, 'v) t -> 'k list
+
 val clear : ('k, 'v) t -> unit
 val stats : ('k, 'v) t -> stats
 val policy_kind : ('k, 'v) t -> Policy.kind

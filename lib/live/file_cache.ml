@@ -167,6 +167,36 @@ let map_body fd ~size =
     | genarray -> (Bigarray.array1_of_genarray genarray, true)
     | exception _ -> (read_body fd size, false)
 
+(* Pinned hot tier: pinning is by origin path; variants stay under
+   normal replacement (they are re-derivable from the pinned origin). *)
+let pin t path = Flash_cache.Store.pin t.store path
+let unpin t path = Flash_cache.Store.unpin t.store path
+
+let unpin_all t =
+  List.iter
+    (fun k -> ignore (Flash_cache.Store.unpin t.store k))
+    (Flash_cache.Store.pinned_keys t.store)
+
+let pinned t path = Flash_cache.Store.pinned t.store path
+let pinned_bytes t = Flash_cache.Store.pinned_bytes t.store
+let pinned_count t = Flash_cache.Store.pinned_count t.store
+let pinned_paths t = Flash_cache.Store.pinned_keys t.store
+let resident t path = Flash_cache.Store.mem t.store path
+
+let is_variant_key key = String.contains key '\x00'
+
+(* Warming inputs: per-path demand stats and doorkeeper rejections.
+   Variant keys are skipped — a variant cannot be prefetched directly,
+   and its demand already shows on the origin. *)
+let fold_paths t ~init ~f =
+  Flash_cache.Store.fold_keys t.store ~init ~f:(fun acc key ks ->
+      if is_variant_key key then acc else f acc key ks)
+
+let rejected_paths t =
+  List.filter
+    (fun k -> not (is_variant_key k))
+    (Flash_cache.Store.rejected_keys t.store)
+
 let bytes t = Flash_cache.Store.weight t.store
 let entries t = Flash_cache.Store.length t.store
 let mapped_bytes t = Obs.Gauge.value t.mapped

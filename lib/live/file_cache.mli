@@ -47,6 +47,10 @@ type entry = {
     entries, the compressed length for variants. *)
 val body_length : entry -> int
 
+(** Total resident weight of an entry (body plus its four pre-rendered
+    headers) — what it is charged against capacity and budget. *)
+val entry_weight : entry -> int
+
 type t
 
 val create :
@@ -85,6 +89,46 @@ val insert : t -> string -> entry -> unit
 val insert_variant : t -> string -> encoding:string -> entry -> unit
 
 val remove : t -> string -> unit
+
+(** {1 Pinned hot tier}
+
+    The cache warmer pins its ranked hot set so the victim walk cannot
+    evict it between mining cycles.  Pinning is by origin path; gzip
+    variants stay under normal replacement (they are re-derivable from
+    the pinned origin).  Pinned entries still count against capacity
+    and any shared budget. *)
+
+(** Pin a resident entry; [false] if [path] is not resident. *)
+val pin : t -> string -> bool
+
+(** Release a pin; [false] if [path] was not pinned.  The entry rejoins
+    normal replacement order. *)
+val unpin : t -> string -> bool
+
+val unpin_all : t -> unit
+val pinned : t -> string -> bool
+val pinned_bytes : t -> int
+val pinned_count : t -> int
+val pinned_paths : t -> string list
+
+(** Residency probe that does not touch the hit/miss counters (unlike
+    {!find_trusted}) — the warmer's "already cached?" check. *)
+val resident : t -> string -> bool
+
+(** {1 Warming inputs}
+
+    Per-path demand the miner folds into its ranking.  Variant keys are
+    skipped: a variant cannot be prefetched directly and its demand
+    already shows on its origin. *)
+
+(** Fold over resident origin paths with their hit/recency/size
+    stats. *)
+val fold_paths :
+  t -> init:'a -> f:('a -> string -> Flash_cache.Store.key_stat -> 'a) -> 'a
+
+(** Paths the admission doorkeeper has seen and turned away — demand
+    that never became resident. *)
+val rejected_paths : t -> string list
 
 (** Map [size] bytes of [fd] (position-independent; the descriptor may
     be closed afterwards, the mapping survives).  Falls back to reading

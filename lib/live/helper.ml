@@ -12,10 +12,11 @@ type completion = {
   finished : float;
 }
 
-type job = { key : int; path : string; enqueued : float }
+type job = { key : int; path : string; enqueued : float; low : bool }
 
 type t = {
   queue : job Queue.t;
+  lowq : job Queue.t;  (* prefetch lane: served only when [queue] is empty *)
   mutex : Mutex.t;
   cond : Condition.t;
   notify_read : Unix.file_descr;
@@ -23,13 +24,19 @@ type t = {
   results : (int, completion) Hashtbl.t;  (* guarded by mutex *)
   clock : unit -> float;
   slow_read : (string -> unit) option;
-  depth : Obs.Gauge.t;  (* queued + in-flight jobs; guarded by mutex *)
-  job_latency : Obs.Histogram.t;  (* dispatch-to-completion; guarded by mutex *)
+  depth : Obs.Gauge.t;  (* queued + in-flight CLIENT jobs; guarded by mutex *)
+  job_latency : Obs.Histogram.t;  (* client dispatch-to-completion; mutex *)
   max_queued : int option;  (* bound on *queued* jobs; in-flight don't count *)
-  mutable in_flight : int;  (* jobs popped but not yet completed *)
+  max_low_queued : int;  (* bound on queued low-priority jobs *)
+  low_cap : int;  (* workers allowed on low jobs at once: one stays free *)
+  mutable in_flight : int;  (* client jobs popped but not yet completed *)
+  mutable low_in_flight : int;
   mutable rejected : int;  (* dispatches refused because the queue was full *)
   mutable stop : bool;
   mutable dispatched : int;
+  mutable low_dispatched : int;
+  mutable low_rejected : int;
+  mutable low_completed : int;
   mutable threads : Thread.t list;
 }
 
@@ -60,15 +67,27 @@ let touch_file ?slow_read ~buf path =
 
 let worker t () =
   let buf = Bytes.create 65536 in
+  (* A low job is runnable only when no client job waits and fewer than
+     [low_cap] workers are already on prefetch work — so at least one
+     worker is always free for the next client-triggered read. *)
+  let low_runnable () =
+    Queue.is_empty t.queue
+    && (not (Queue.is_empty t.lowq))
+    && t.low_in_flight < t.low_cap
+  in
   let rec loop () =
     Mutex.lock t.mutex;
-    while Queue.is_empty t.queue && not t.stop do
+    while Queue.is_empty t.queue && (not (low_runnable ())) && not t.stop do
       Condition.wait t.cond t.mutex
     done;
     if t.stop then Mutex.unlock t.mutex
     else begin
-      let job = Queue.pop t.queue in
-      t.in_flight <- t.in_flight + 1;
+      let job =
+        if not (Queue.is_empty t.queue) then Queue.pop t.queue
+        else Queue.pop t.lowq
+      in
+      if job.low then t.low_in_flight <- t.low_in_flight + 1
+      else t.in_flight <- t.in_flight + 1;
       Mutex.unlock t.mutex;
       let started = t.clock () in
       let result = touch_file ?slow_read:t.slow_read ~buf job.path in
@@ -76,9 +95,17 @@ let worker t () =
       Mutex.lock t.mutex;
       Hashtbl.replace t.results job.key
         { key = job.key; result; enqueued = job.enqueued; started; finished };
-      Obs.Histogram.record t.job_latency (finished -. job.enqueued);
-      Obs.Gauge.decr t.depth;
-      t.in_flight <- t.in_flight - 1;
+      if job.low then begin
+        t.low_in_flight <- t.low_in_flight - 1;
+        t.low_completed <- t.low_completed + 1;
+        (* A low slot just freed up; another worker may be parked. *)
+        Condition.signal t.cond
+      end
+      else begin
+        Obs.Histogram.record t.job_latency (finished -. job.enqueued);
+        Obs.Gauge.decr t.depth;
+        t.in_flight <- t.in_flight - 1
+      end;
       Mutex.unlock t.mutex;
       (* Wake the select loop; one byte per completion. *)
       (try ignore (Unix.write t.notify_write (Bytes.of_string "x") 0 1)
@@ -88,16 +115,19 @@ let worker t () =
   in
   loop ()
 
-let create ?(clock = Unix.gettimeofday) ?slow_read ?max_queued ~helpers () =
+let create ?(clock = Unix.gettimeofday) ?slow_read ?max_queued
+    ?(max_low_queued = 64) ~helpers () =
   if helpers <= 0 then invalid_arg "Helper.create: helpers <= 0";
   (match max_queued with
   | Some n when n < 0 -> invalid_arg "Helper.create: max_queued < 0"
   | _ -> ());
+  if max_low_queued < 0 then invalid_arg "Helper.create: max_low_queued < 0";
   let notify_read, notify_write = Unix.pipe () in
   Unix.set_nonblock notify_read;
   let t =
     {
       queue = Queue.create ();
+      lowq = Queue.create ();
       mutex = Mutex.create ();
       cond = Condition.create ();
       notify_read;
@@ -108,10 +138,16 @@ let create ?(clock = Unix.gettimeofday) ?slow_read ?max_queued ~helpers () =
       depth = Obs.Gauge.create ();
       job_latency = Obs.Histogram.create ();
       max_queued;
+      max_low_queued;
+      low_cap = max 1 (helpers - 1);
       in_flight = 0;
+      low_in_flight = 0;
       rejected = 0;
       stop = false;
       dispatched = 0;
+      low_dispatched = 0;
+      low_rejected = 0;
+      low_completed = 0;
       threads = [];
     }
   in
@@ -128,11 +164,28 @@ let dispatch t ~key ~path =
         t.rejected <- t.rejected + 1;
         false
     | _ ->
-        Queue.push { key; path; enqueued = t.clock () } t.queue;
+        Queue.push { key; path; enqueued = t.clock (); low = false } t.queue;
         t.dispatched <- t.dispatched + 1;
         Obs.Gauge.incr t.depth;
         Condition.signal t.cond;
         true
+  in
+  Mutex.unlock t.mutex;
+  admitted
+
+let dispatch_low t ~key ~path =
+  Mutex.lock t.mutex;
+  let admitted =
+    if Queue.length t.lowq >= t.max_low_queued then begin
+      t.low_rejected <- t.low_rejected + 1;
+      false
+    end
+    else begin
+      Queue.push { key; path; enqueued = t.clock (); low = true } t.lowq;
+      t.low_dispatched <- t.low_dispatched + 1;
+      Condition.signal t.cond;
+      true
+    end
   in
   Mutex.unlock t.mutex;
   admitted
@@ -183,6 +236,30 @@ let in_flight t =
 let rejected t =
   Mutex.lock t.mutex;
   let n = t.rejected in
+  Mutex.unlock t.mutex;
+  n
+
+let low_dispatched t =
+  Mutex.lock t.mutex;
+  let n = t.low_dispatched in
+  Mutex.unlock t.mutex;
+  n
+
+let low_rejected t =
+  Mutex.lock t.mutex;
+  let n = t.low_rejected in
+  Mutex.unlock t.mutex;
+  n
+
+let low_completed t =
+  Mutex.lock t.mutex;
+  let n = t.low_completed in
+  Mutex.unlock t.mutex;
+  n
+
+let low_queued t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.lowq + t.low_in_flight in
   Mutex.unlock t.mutex;
   n
 

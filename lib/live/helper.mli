@@ -12,7 +12,16 @@
 
     The pool is instrumented: a queue-depth gauge (queued plus
     in-flight jobs) and a log-bucketed histogram of dispatch-to-
-    completion job latency, both measured with an injectable clock. *)
+    completion job latency, both measured with an injectable clock.
+
+    Besides the client queue there is a {e low-priority lane} for
+    predictive prefetch ({!dispatch_low}): its jobs run only when no
+    client job is waiting, and at most [helpers - 1] workers may be on
+    prefetch work at once, so one worker is always free for the next
+    client-triggered read.  Low jobs are excluded from the depth gauge
+    and latency histogram — those measure the client path the guard
+    bounds and the bench asserts on — and are accounted by their own
+    counters instead. *)
 
 type result = Found of { size : int; mtime : float } | Missing
 
@@ -38,11 +47,14 @@ type t
     prove the event loop keeps running while helpers block).
     [max_queued] bounds the number of *queued* (not yet started) jobs;
     a dispatch past the bound is refused so the caller can answer an
-    early 503 instead of letting the backlog grow without limit. *)
+    early 503 instead of letting the backlog grow without limit.
+    [max_low_queued] (default 64) is the same bound for the
+    low-priority prefetch lane. *)
 val create :
   ?clock:(unit -> float) ->
   ?slow_read:(string -> unit) ->
   ?max_queued:int ->
+  ?max_low_queued:int ->
   helpers:int ->
   unit ->
   t
@@ -54,6 +66,14 @@ val notify_fd : t -> Unix.file_descr
     will appear on the notify pipe.  Returns [false] — and enqueues
     nothing — when the queued backlog is at [max_queued]. *)
 val dispatch : t -> key:int -> path:string -> bool
+
+(** [dispatch_low t ~key ~path] queues a prefetch job on the
+    low-priority lane.  It will only be picked up when the client queue
+    is drained and a worker can be spared; its completion arrives over
+    the same notify pipe (callers use negative keys to tell prefetches
+    from client jobs).  Returns [false] when [max_low_queued] jobs are
+    already waiting. *)
+val dispatch_low : t -> key:int -> path:string -> bool
 
 (** Drain all completions currently readable (non-blocking). *)
 val drain : t -> completion list
@@ -74,6 +94,18 @@ val in_flight : t -> int
 
 (** Dispatches refused by the [max_queued] bound. *)
 val rejected : t -> int
+
+(** Low-priority jobs accepted by {!dispatch_low}. *)
+val low_dispatched : t -> int
+
+(** Low-priority dispatches refused by the [max_low_queued] bound. *)
+val low_rejected : t -> int
+
+(** Low-priority jobs whose disk work has finished. *)
+val low_completed : t -> int
+
+(** Low-priority jobs queued or running. *)
+val low_queued : t -> int
 
 (** Snapshot of the dispatch-to-completion latency histogram
     (seconds). *)

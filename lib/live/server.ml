@@ -51,6 +51,16 @@ type config = {
   guard : Guard.config;
       (* admission control and load shedding; Guard.default_config is
          fully inert and skips all guard plumbing *)
+  access_log_paths : bool;
+      (* append the resolved filesystem path after the CLF status/bytes
+         fields, making the log machine-minable (pcache's %>s %O %f) *)
+  warm : bool;  (* predictive cache warming; false skips all plumbing *)
+  warm_interval : float;  (* seconds between mining cycles *)
+  warm_budget : float;  (* pinned hot tier <= this fraction of the cache *)
+  warm_top_k : int;  (* candidates considered per cycle *)
+  warm_log : string option;
+      (* access log mined once at startup, so a restarted server warms
+         from the previous run's traffic before the first request *)
 }
 
 let default_config ~docroot =
@@ -93,6 +103,12 @@ let default_config ~docroot =
     recorder_interval = 1.0;
     force_handoff = false;
     guard = Guard.default_config;
+    access_log_paths = false;
+    warm = false;
+    warm_interval = 5.;
+    warm_budget = 0.25;
+    warm_top_k = 64;
+    warm_log = None;
   }
 
 type stats = {
@@ -172,6 +188,7 @@ and timer_ev =
   | T_hdr of conn  (* guard: per-request header deadline *)
   | T_xfer of conn  (* guard: minimum-transfer-rate check *)
   | T_guard_tick  (* guard: SLO shedder + peer-ledger sweep *)
+  | T_warm  (* warming: mine, re-pin the hot tier, issue prefetches *)
 
 (* Who a ready file descriptor belongs to. *)
 type fd_owner =
@@ -191,6 +208,32 @@ type role =
   | Standalone
   | Shard_member of { id : int; ring : Unix.file_descr Handoff.t option }
   | Shard_coordinator of { ring : Unix.file_descr Handoff.t option }
+
+(* Predictive-warming state.  [None] unless [config.warm] and the
+   instance has a helper pool (AMPED, or a shard member) — the prefetch
+   side rides the helpers' low-priority lane, so modes without helpers
+   have nothing to warm with.  Touched only from the owning event loop
+   (the T_warm handler and completion drain), except the counters,
+   which the registry reads. *)
+type warm_state = {
+  w_miner : Flash_warm.Miner.t;
+  w_absorber : Flash_warm.Warm.absorber;
+  w_conf : Flash_warm.Warm.config;
+  w_pin_budget : int;  (* pinned-tier byte bound (warm_budget * capacity) *)
+  mutable w_next_key : int;  (* prefetch job keys: negative, decrementing *)
+  w_prefetching : (int, string) Hashtbl.t;  (* in-flight key -> path *)
+  (* Paths a prefetch inserted, so later demand hits can be attributed
+     to warming.  Bounded: forgetting only loses attribution. *)
+  w_warmed : (string, unit) Hashtbl.t;
+  w_cycles : Obs.Counter.t;
+  w_ranked : Obs.Counter.t;
+  w_issued : Obs.Counter.t;
+  w_completed : Obs.Counter.t;
+  w_failed : Obs.Counter.t;
+  w_hits_after : Obs.Counter.t;
+}
+
+let warmed_limit = 4096
 
 type t = {
   config : config;
@@ -298,6 +341,9 @@ type t = {
      internally), copy-on-write per MP child.  [None] when the config
      enables nothing, so the unguarded hot path pays no checks. *)
   guard : Guard.t option;
+  (* Predictive warming (None when disabled or helperless): miner,
+     prefetch bookkeeping and counters — see [warm_state]. *)
+  warm : warm_state option;
   mutable cgi_inflight : int;  (* live CGI children (event-loop modes) *)
   role : role;
   mutable shards : t array;
@@ -688,18 +734,25 @@ let finish_request_trace ?(closing = false) t conn =
           conn.reqs_served <- conn.reqs_served + 1;
           log_slow t data)
 
-let log_access ?conn t ~meth ~target ~status ~bytes =
+let log_access ?conn ?path t ~meth ~target ~status ~bytes =
   match t.log_channel with
   | None -> ()
   | Some oc ->
       (* Common Log Format; host is always loopback here.  With
-         [access_log_timing], the request's service time so far
-         (microseconds, measured from its trace start when tracing) is
-         appended after the CLF fields. *)
+         [access_log_paths], the resolved filesystem path follows the
+         status/bytes pair — stable machine-minable fields, like the
+         Apache %>s %O %f log pcache mines.  With [access_log_timing],
+         the request's service time so far (microseconds, measured from
+         its trace start when tracing) is appended last. *)
       let base =
         Printf.sprintf "127.0.0.1 - - [%s] \"%s %s HTTP/1.1\" %d %d"
           (Http.Http_date.format (Unix.gettimeofday ()))
           meth target status bytes
+      in
+      let base =
+        match path with
+        | Some p when t.config.access_log_paths -> base ^ " " ^ p
+        | _ -> base
       in
       let line =
         if not t.config.access_log_timing then base
@@ -1062,6 +1115,23 @@ let status_body t ~json =
                       (Guard.shed_count guard reason))
                   Guard.all_reasons))
     in
+    let warm_json =
+      match t.warm with
+      | None -> "null"
+      | Some _ ->
+          Printf.sprintf
+            {|{"cycles":%d,"candidates_ranked":%d,"prefetch_issued":%d,"prefetch_completed":%d,"prefetch_failed":%d,"prefetch_rejected":%d,"hits_after_warm":%d,"pinned_bytes":%d,"pinned_entries":%d,"tracked_paths":%d}|}
+            (iv "flash_warm_cycles_total")
+            (iv "flash_warm_candidates_ranked_total")
+            (iv "flash_warm_prefetch_issued_total")
+            (iv "flash_warm_prefetch_completed_total")
+            (iv "flash_warm_prefetch_failed_total")
+            (iv "flash_warm_prefetch_rejected_total")
+            (iv "flash_warm_hits_after_warm_total")
+            (iv "flash_warm_pinned_bytes")
+            (iv "flash_warm_pinned_entries")
+            (iv "flash_warm_tracked_paths")
+    in
     let metrics_json =
       "{"
       ^ String.concat ","
@@ -1073,7 +1143,7 @@ let status_body t ~json =
          so naive first-match scrapers — flash_bench's before/after
          delta — still find the aggregate "requests"/"backend" keys
          first, not a per-shard entry's. *)
-      {|{"server":%s,"mode":%s,"uptime_s":%s,"requests":%d,"connections":%d,"active_connections":%d,"errors":%d,"responses":{"2xx":%d,"3xx":%d,"4xx":%d,"5xx":%d},"cache":{"hits":%d,"misses":%d,"evictions":%d,"bytes":%d,"mapped_bytes":%d,"entries":%d},"caches":{"file":%s},"send":{"path":%s,"writev_calls":%d,"write_calls":%d,"bytes_copied":%d,"bytes_sent":%d},"latency_ms":%s,"loop":{"backend":%s,"stalls":%d,"threshold_ms":%s,"max_stall_ms":%s,"iterations":%d,"wakeups":%d,"ready_per_wakeup":%s,"wait_s":%s,"work_s":%s,"timer_fires":%d,"timers_pending":%d,"accept_emfile":%d,"accept_paused":%b},"helper":%s,"trace":%s,"health":%s,"guard":%s,"sharding":%s,"metrics":%s}|}
+      {|{"server":%s,"mode":%s,"uptime_s":%s,"requests":%d,"connections":%d,"active_connections":%d,"errors":%d,"responses":{"2xx":%d,"3xx":%d,"4xx":%d,"5xx":%d},"cache":{"hits":%d,"misses":%d,"evictions":%d,"bytes":%d,"mapped_bytes":%d,"entries":%d},"caches":{"file":%s},"send":{"path":%s,"writev_calls":%d,"write_calls":%d,"bytes_copied":%d,"bytes_sent":%d},"latency_ms":%s,"loop":{"backend":%s,"stalls":%d,"threshold_ms":%s,"max_stall_ms":%s,"iterations":%d,"wakeups":%d,"ready_per_wakeup":%s,"wait_s":%s,"work_s":%s,"timer_fires":%d,"timers_pending":%d,"accept_emfile":%d,"accept_paused":%b},"helper":%s,"trace":%s,"health":%s,"guard":%s,"warm":%s,"sharding":%s,"metrics":%s}|}
       (Obs.Json.str t.config.server_name)
       (Obs.Json.str (mode_string t.config.mode))
       (num uptime) requests connections active errors (by_class 0) (by_class 1)
@@ -1094,7 +1164,8 @@ let status_body t ~json =
       (iv "flash_timers_pending")
       (iv "flash_accept_emfile_total")
       (fv "flash_accept_paused" > 0.)
-      helper_json trace_json health_json guard_json sharding_json metrics_json
+      helper_json trace_json health_json guard_json warm_json sharding_json
+      metrics_json
     ^ "\n"
   else begin
     let b = Buffer.create 1024 in
@@ -1176,6 +1247,23 @@ let status_body t ~json =
                     (Guard.shed_count guard reason)
                     (Guard.reason_label reason))
                 Guard.all_reasons)));
+    (match t.warm with
+    | None -> line "warming:      off"
+    | Some _ ->
+        line
+          "warming:      %d cycles, %d ranked, %d prefetches (%d done, %d \
+           failed, %d rejected), %d hits after warm"
+          (iv "flash_warm_cycles_total")
+          (iv "flash_warm_candidates_ranked_total")
+          (iv "flash_warm_prefetch_issued_total")
+          (iv "flash_warm_prefetch_completed_total")
+          (iv "flash_warm_prefetch_failed_total")
+          (iv "flash_warm_prefetch_rejected_total")
+          (iv "flash_warm_hits_after_warm_total");
+        line "hot tier:     %d bytes pinned in %d entries (%d paths tracked)"
+          (iv "flash_warm_pinned_bytes")
+          (iv "flash_warm_pinned_entries")
+          (iv "flash_warm_tracked_paths"));
     line "metrics:";
     List.iter (fun (k, v) -> line "  %s %s" k v) kvs;
     Buffer.contents b
@@ -1397,6 +1485,38 @@ let register_metrics t =
       c ~name:"flash_helper_rejected_total"
         ~help:"Helper dispatches refused by the bounded queue."
         (fun () -> Helper.rejected h));
+  (match (t.warm, t.helper) with
+  | Some w, Some h ->
+      c ~name:"flash_warm_cycles_total" ~help:"Mining cycles completed."
+        (fun () -> Obs.Counter.value w.w_cycles);
+      c ~name:"flash_warm_candidates_ranked_total"
+        ~help:"Warming candidates ranked across mining cycles."
+        (fun () -> Obs.Counter.value w.w_ranked);
+      c ~name:"flash_warm_prefetch_issued_total"
+        ~help:"Prefetch jobs dispatched on the helpers' low-priority lane."
+        (fun () -> Obs.Counter.value w.w_issued);
+      c ~name:"flash_warm_prefetch_completed_total"
+        ~help:"Prefetches that inserted a cache entry."
+        (fun () -> Obs.Counter.value w.w_completed);
+      c ~name:"flash_warm_prefetch_failed_total"
+        ~help:"Prefetches that found no cacheable file."
+        (fun () -> Obs.Counter.value w.w_failed);
+      c ~name:"flash_warm_prefetch_rejected_total"
+        ~help:"Prefetch dispatches refused by the bounded low lane."
+        (fun () -> Helper.low_rejected h);
+      c ~name:"flash_warm_hits_after_warm_total"
+        ~help:"Prefetched entries later hit by client demand."
+        (fun () -> Obs.Counter.value w.w_hits_after);
+      g ~name:"flash_warm_pinned_bytes"
+        ~help:"Bytes pinned in the hot tier."
+        (fun () -> float_of_int (File_cache.pinned_bytes t.cache));
+      g ~name:"flash_warm_pinned_entries"
+        ~help:"Entries pinned in the hot tier."
+        (fun () -> float_of_int (File_cache.pinned_count t.cache));
+      g ~name:"flash_warm_tracked_paths"
+        ~help:"Distinct paths the miner is tracking."
+        (fun () -> float_of_int (Flash_warm.Miner.tracked w.w_miner))
+  | _ -> ());
   match t.slo with
   | None -> ()
   | Some slo ->
@@ -1557,10 +1677,11 @@ let plan_for ~(req : Http.Request.t) ~etag ~mtime ~size =
                 | Http.Range.Unsatisfiable -> P_unsatisfiable)))
 
 (* 304 without a cache entry (streamed files): rendered per-request. *)
-let enqueue_not_modified ?etag ?last_modified t conn (req : Http.Request.t)
-    ~keep =
+let enqueue_not_modified ?etag ?last_modified ?path t conn
+    (req : Http.Request.t) ~keep =
   count_status t 304;
-  log_access ~conn t ~meth:(Http.Request.meth_to_string req.Http.Request.meth)
+  log_access ~conn ?path t
+    ~meth:(Http.Request.meth_to_string req.Http.Request.meth)
     ~target:req.Http.Request.raw_target ~status:304 ~bytes:0;
   let extra =
     (match etag with Some e -> [ ("ETag", e) ] | None -> []) @ vary_extra t
@@ -1576,10 +1697,11 @@ let enqueue_not_modified ?etag ?last_modified t conn (req : Http.Request.t)
 
 (* The zero-copy 304: a cache hit's conditional reply is the entry's
    pre-rendered 304 header — one slice, one gather write, no copies. *)
-let enqueue_not_modified_entry t conn (req : Http.Request.t)
+let enqueue_not_modified_entry ?path t conn (req : Http.Request.t)
     (entry : File_cache.entry) ~keep =
   count_status t 304;
-  log_access ~conn t ~meth:(Http.Request.meth_to_string req.Http.Request.meth)
+  log_access ~conn ?path t
+    ~meth:(Http.Request.meth_to_string req.Http.Request.meth)
     ~target:req.Http.Request.raw_target ~status:304 ~bytes:0;
   enqueue_slice conn
     (if keep then entry.File_cache.header_304_keep
@@ -1591,11 +1713,12 @@ let enqueue_not_modified_entry t conn (req : Http.Request.t)
 (* The zero-copy fast path: a cache hit queues the pre-rendered header
    and the mmap-backed body as two slices — one gather write, no
    userspace copies. *)
-let enqueue_entry t conn (req : Http.Request.t) (entry : File_cache.entry)
-    ~keep ~head_only =
+let enqueue_entry ?path t conn (req : Http.Request.t)
+    (entry : File_cache.entry) ~keep ~head_only =
   let body_len = Bigarray.Array1.dim entry.File_cache.body in
   count_status t 200;
-  log_access ~conn t ~meth:(Http.Request.meth_to_string req.Http.Request.meth)
+  log_access ~conn ?path t
+    ~meth:(Http.Request.meth_to_string req.Http.Request.meth)
     ~target:req.Http.Request.raw_target ~status:200
     ~bytes:(if head_only then 0 else body_len);
   enqueue_slice conn
@@ -1804,7 +1927,8 @@ let negotiate_entry t (req : Http.Request.t) ~full entry =
 let enqueue_partial t conn (req : Http.Request.t) ~full
     (entry : File_cache.entry) ~keep ~off ~len =
   count_status t 206;
-  log_access ~conn t ~meth:(Http.Request.meth_to_string req.Http.Request.meth)
+  log_access ~conn ~path:full t
+    ~meth:(Http.Request.meth_to_string req.Http.Request.meth)
     ~target:req.Http.Request.raw_target ~status:206 ~bytes:len;
   let extra =
     [
@@ -1845,7 +1969,7 @@ let enqueue_response t conn (req : Http.Request.t) ~full
       ~etag:(etag_of_string entry.File_cache.etag)
       ~mtime:entry.File_cache.mtime ~size
   with
-  | P_not_modified -> enqueue_not_modified_entry t conn req entry ~keep
+  | P_not_modified -> enqueue_not_modified_entry ~path:full t conn req entry ~keep
   | P_precondition_failed ->
       enqueue_error t conn Http.Status.Precondition_failed ~keep ~head_only
         ~target ~meth
@@ -1853,7 +1977,7 @@ let enqueue_response t conn (req : Http.Request.t) ~full
       enqueue_error t conn Http.Status.Range_not_satisfiable ~keep ~head_only
         ~target ~meth
         ~extra:[ ("Content-Range", Http.Range.content_range_unsatisfied ~size) ]
-  | P_full -> enqueue_entry t conn req entry ~keep ~head_only
+  | P_full -> enqueue_entry ~path:full t conn req entry ~keep ~head_only
   | P_slice (off, len) -> enqueue_partial t conn req ~full entry ~keep ~off ~len
 
 (* The file is known to exist with [size]/[mtime] (from a helper's stat
@@ -1889,8 +2013,8 @@ let serve_file t conn (req : Http.Request.t) full ~size ~mtime ~keep =
         match plan_for ~req ~etag:(etag_of_string etag_s) ~mtime ~size with
         | P_not_modified ->
             Unix.close fd;
-            enqueue_not_modified t conn req ~etag:etag_s ~last_modified:mtime
-              ~keep
+            enqueue_not_modified ~path:full t conn req ~etag:etag_s
+              ~last_modified:mtime ~keep
         | P_precondition_failed ->
             finish_error Http.Status.Precondition_failed ()
         | P_unsatisfiable ->
@@ -1900,7 +2024,7 @@ let serve_file t conn (req : Http.Request.t) full ~size ~mtime ~keep =
               ()
         | P_slice (off, len) ->
             count_status t 206;
-            log_access ~conn t ~meth ~target ~status:206 ~bytes:len;
+            log_access ~conn ~path:full t ~meth ~target ~status:206 ~bytes:len;
             let extra =
               [
                 ("Content-Range", Http.Range.content_range ~off ~len ~size);
@@ -1923,7 +2047,7 @@ let serve_file t conn (req : Http.Request.t) full ~size ~mtime ~keep =
             record_latency t conn
         | P_full ->
             count_status t 200;
-            log_access ~conn t ~meth ~target ~status:200
+            log_access ~conn ~path:full t ~meth ~target ~status:200
               ~bytes:(if head_only then 0 else size);
             let header =
               render_header t ~status:Http.Status.Ok ~last_modified:mtime
@@ -2063,6 +2187,13 @@ let process_request t conn (req : Http.Request.t) =
             with
             | Some entry ->
                 end_resolve ();
+                (* Attribute the hit when a prefetch put this entry
+                   here before any client asked for it. *)
+                (match t.warm with
+                | Some w when Hashtbl.mem w.w_warmed full ->
+                    Hashtbl.remove w.w_warmed full;
+                    Obs.Counter.incr w.w_hits_after
+                | _ -> ());
                 let entry = negotiate_entry t req ~full entry in
                 enqueue_response t conn req ~full entry ~keep ~head_only
             | None -> (
@@ -2361,6 +2492,39 @@ let handle_cgi_readable t conn fd pid =
       conn.close_after_flush <- true;
       record_latency t conn
 
+(* A prefetch job finished: the helper already paged the file in, so
+   the mmap + header rendering here never touch cold disk.  The entry
+   is inserted like any miss-path fill and pinned while the hot tier
+   has room — the rest of the pinning happens at the next mining
+   cycle's re-rank. *)
+let handle_prefetch_completion t w (c : Helper.completion) =
+  match Hashtbl.find_opt w.w_prefetching c.Helper.key with
+  | None -> ()
+  | Some full -> (
+      Hashtbl.remove w.w_prefetching c.Helper.key;
+      match c.Helper.result with
+      | Helper.Missing -> Obs.Counter.incr w.w_failed
+      | Helper.Found { size; mtime } -> (
+          if size > t.config.max_cached_file then Obs.Counter.incr w.w_failed
+          else
+            match Unix.openfile full [ Unix.O_RDONLY ] 0 with
+            | exception Unix.Unix_error _ -> Obs.Counter.incr w.w_failed
+            | fd ->
+                let entry = make_entry t fd full ~size ~mtime in
+                Unix.close fd;
+                with_cache_lock t (fun () ->
+                    File_cache.insert t.cache full entry;
+                    if
+                      (not (File_cache.pinned t.cache full))
+                      && File_cache.pinned_bytes t.cache
+                         + File_cache.entry_weight entry
+                         <= w.w_pin_budget
+                    then ignore (File_cache.pin t.cache full));
+                if Hashtbl.length w.w_warmed >= warmed_limit then
+                  Hashtbl.reset w.w_warmed;
+                Hashtbl.replace w.w_warmed full ();
+                Obs.Counter.incr w.w_completed))
+
 let handle_helper_completions t =
   match t.helper with
   | None -> ()
@@ -2368,6 +2532,12 @@ let handle_helper_completions t =
       let completions = Helper.drain helper in
       List.iter
         (fun (c : Helper.completion) ->
+          (* Negative keys are prefetch jobs: no connection waits. *)
+          if c.Helper.key < 0 then
+            match t.warm with
+            | Some w -> handle_prefetch_completion t w c
+            | None -> ()
+          else
           match Hashtbl.find_opt t.by_helper_key c.Helper.key with
           | None -> ()  (* connection died while the helper worked *)
           | Some conn -> (
@@ -2723,6 +2893,88 @@ let handle_timer t ~now ev =
             (Evio.Timer_wheel.schedule t.wheel
                ~at:(now +. t.config.recorder_interval)
                T_guard_tick))
+  | T_warm -> (
+      match (t.warm, t.helper) with
+      | Some w, Some helper ->
+          Obs.Counter.incr w.w_cycles;
+          (* 1. Absorb the demand observed since the last cycle:
+             per-path hit deltas plus fresh doorkeeper rejections. *)
+          let stats, rejected =
+            with_cache_lock t (fun () ->
+                ( File_cache.fold_paths t.cache ~init:[] ~f:(fun acc p ks ->
+                      (p, ks) :: acc),
+                  File_cache.rejected_paths t.cache ))
+          in
+          Flash_warm.Warm.absorb w.w_absorber w.w_miner ~now ~stats ~rejected;
+          (* 2. Re-rank within the pinned-tier byte budget. *)
+          let candidates =
+            Flash_warm.Miner.rank w.w_miner ~now
+              ~top_k:w.w_conf.Flash_warm.Warm.top_k
+              ~budget_bytes:w.w_pin_budget
+          in
+          Obs.Counter.add w.w_ranked (List.length candidates);
+          let want = Hashtbl.create 64 in
+          List.iter
+            (fun (c : Flash_warm.Miner.candidate) ->
+              Hashtbl.replace want c.Flash_warm.Miner.c_path ())
+            candidates;
+          (* 3. Re-pin the hot tier: release pins that fell out of the
+             ranking, pin ranked paths already resident (never past the
+             byte bound — entry weights include headers the miner does
+             not see). *)
+          let to_fetch =
+            with_cache_lock t (fun () ->
+                List.iter
+                  (fun p ->
+                    if not (Hashtbl.mem want p) then
+                      ignore (File_cache.unpin t.cache p))
+                  (File_cache.pinned_paths t.cache);
+                List.filter
+                  (fun (c : Flash_warm.Miner.candidate) ->
+                    let p = c.Flash_warm.Miner.c_path in
+                    if File_cache.resident t.cache p then begin
+                      if
+                        (not (File_cache.pinned t.cache p))
+                        && File_cache.pinned_bytes t.cache
+                           + c.Flash_warm.Miner.c_bytes
+                           <= w.w_pin_budget
+                      then ignore (File_cache.pin t.cache p);
+                      false
+                    end
+                    else true)
+                  candidates)
+          in
+          (* 4. Prefetch what is ranked but absent, on the helpers' low
+             lane — never competing with client-triggered reads — and
+             only while the shedder admits queue work at all. *)
+          let admit =
+            match t.guard with
+            | Some g -> Guard.queue_admission g = Guard.Admit
+            | None -> true
+          in
+          if admit then
+            List.iter
+              (fun (c : Flash_warm.Miner.candidate) ->
+                let p = c.Flash_warm.Miner.c_path in
+                let in_flight =
+                  Hashtbl.fold
+                    (fun _ q acc -> acc || String.equal p q)
+                    w.w_prefetching false
+                in
+                if not in_flight then begin
+                  let key = w.w_next_key in
+                  w.w_next_key <- key - 1;
+                  if Helper.dispatch_low helper ~key ~path:p then begin
+                    Hashtbl.replace w.w_prefetching key p;
+                    Obs.Counter.incr w.w_issued
+                  end
+                end)
+              to_fetch;
+          ignore
+            (Evio.Timer_wheel.schedule t.wheel
+               ~at:(now +. t.config.warm_interval)
+               T_warm)
+      | _ -> ())
 
 let dispatch_event t (ev : Evio.event) =
   match Hashtbl.find_opt t.fd_owners ev.Evio.fd with
@@ -2796,6 +3048,21 @@ let run_loop t =
         (Evio.Timer_wheel.schedule t.wheel
            ~at:(t.config.clock () +. t.config.recorder_interval)
            T_guard_tick)
+  | None -> ());
+  (match t.warm with
+  | Some _ ->
+      (* First mining cycle: almost at once when a startup log was
+         mined (its ranking is ready to prefetch before any request),
+         else after a full interval of observed demand. *)
+      let first =
+        match t.config.warm_log with
+        | Some _ -> 0.05
+        | None -> t.config.warm_interval
+      in
+      ignore
+        (Evio.Timer_wheel.schedule t.wheel
+           ~at:(t.config.clock () +. first)
+           T_warm)
   | None -> ());
   while not t.stopped do
     (* Sleep exactly until the next timer deadline (forever when no
@@ -3424,6 +3691,60 @@ let start_one ?(role = Standalone) ?(listen = `Bind) ?shared_budget
     | Some m -> Some m (* budget-sharing shards serialise every store *)
     | None -> ( match config.mode with Mt _ -> Some cache_mutex | _ -> None)
   in
+  (* Predictive warming rides the helper pool's low-priority lane, so
+     only instances with helpers (AMPED, shard members) build it; the
+     sharded coordinator and SPED/MP/MT run unwarmed. *)
+  let warm =
+    if config.warm && wants_helper then begin
+      let wconf =
+        {
+          Flash_warm.Warm.interval = config.warm_interval;
+          budget_frac = config.warm_budget;
+          top_k = config.warm_top_k;
+          half_life =
+            Flash_warm.Warm.default_config.Flash_warm.Warm.half_life;
+        }
+      in
+      let miner =
+        Flash_warm.Miner.create ~half_life:wconf.Flash_warm.Warm.half_life ()
+      in
+      (* Startup mining: fold a previous run's access log so the first
+         cycle prefetches before any request arrives. *)
+      (match config.warm_log with
+      | Some path -> (
+          match open_in path with
+          | exception Sys_error _ -> ()
+          | ic ->
+              let now = config.clock () in
+              (try
+                 while true do
+                   ignore
+                     (Flash_warm.Miner.observe_line miner ~now (input_line ic))
+                 done
+               with End_of_file -> ());
+              close_in ic)
+      | None -> ());
+      Some
+        {
+          w_miner = miner;
+          w_absorber = Flash_warm.Warm.create_absorber ();
+          w_conf = wconf;
+          w_pin_budget =
+            Flash_warm.Warm.pin_budget wconf
+              ~capacity:config.file_cache_bytes;
+          w_next_key = -1;
+          w_prefetching = Hashtbl.create 16;
+          w_warmed = Hashtbl.create 256;
+          w_cycles = Obs.Counter.create ();
+          w_ranked = Obs.Counter.create ();
+          w_issued = Obs.Counter.create ();
+          w_completed = Obs.Counter.create ();
+          w_failed = Obs.Counter.create ();
+          w_hits_after = Obs.Counter.create ();
+        }
+    end
+    else None
+  in
   let t =
     {
       config;
@@ -3508,6 +3829,7 @@ let start_one ?(role = Standalone) ?(listen = `Bind) ?shared_budget
         (if Guard.enabled config.guard then
            Some (Guard.create ~clock:config.clock config.guard)
          else None);
+      warm;
       cgi_inflight = 0;
     }
   in

@@ -194,6 +194,26 @@ type config = {
           default, {!Flash_guard.Guard.default_config}, is fully inert.
           Sharded mode builds one guard per shard; MP children keep
           copy-on-write ledgers; MT workers share one locked guard. *)
+  access_log_paths : bool;
+      (** append the resolved filesystem path after the CLF
+          status/bytes fields, making the access log machine-minable
+          like the Apache [%>s %O %f] log pcache consumes (default
+          [false]) *)
+  warm : bool;
+      (** predictive cache warming: mine observed demand each
+          [warm_interval], pin the ranked hot set, prefetch ranked
+          absentees through the helpers' low-priority lane.  Only
+          instances with helper pools warm (AMPED; each shard in
+          [Sharded]); default [false] skips all plumbing *)
+  warm_interval : float;  (** seconds between mining cycles (default 5) *)
+  warm_budget : float;
+      (** pinned hot tier bounded to this fraction of the file cache's
+          capacity (default 0.25) *)
+  warm_top_k : int;
+      (** candidates considered per mining cycle (default 64) *)
+  warm_log : string option;
+      (** access log mined once at startup, so a restarted server warms
+          from the previous run's traffic before its first request *)
 }
 
 val default_config : docroot:string -> config

@@ -1,0 +1,119 @@
+type obj = {
+  mutable freq : float;  (* EMA-decayed access count, as of [last] *)
+  mutable last : float;  (* clock of the newest observation *)
+  mutable bytes : int;  (* last known object size, >= 1 *)
+}
+
+type t = { half_life : float; objects : (string, obj) Hashtbl.t }
+
+type candidate = { c_path : string; c_score : float; c_bytes : int }
+
+(* Objects decayed below this contribution are dead: dropping them
+   bounds the table by live demand, the way the doorkeeper's periodic
+   reset bounds its memory. *)
+let noise_floor = 1e-6
+
+let create ?(half_life = 60.) () =
+  if half_life <= 0. then invalid_arg "Miner.create: half_life <= 0";
+  { half_life; objects = Hashtbl.create 1024 }
+
+let decay t obj ~now =
+  let dt = now -. obj.last in
+  if dt > 0. then begin
+    obj.freq <- obj.freq *. Float.exp2 (-.dt /. t.half_life);
+    obj.last <- now
+  end
+
+let observe t ~now ?(bytes = 0) ?(count = 1.0) path =
+  match Hashtbl.find_opt t.objects path with
+  | Some obj ->
+      decay t obj ~now;
+      obj.freq <- obj.freq +. count;
+      if bytes > 0 then obj.bytes <- bytes
+  | None ->
+      Hashtbl.replace t.objects path
+        { freq = count; last = now; bytes = max 1 bytes }
+
+(* The mineable tail after the quoted request: [status bytes] is plain
+   CLF; the server's machine-minable format appends the resolved
+   filesystem [path]; an optional service-time field may trail it. *)
+let mineable_status = function
+  | 200 | 203 | 206 | 304 -> true
+  | _ -> false
+
+let observe_line t ~now line =
+  match String.index_opt line '"' with
+  | None -> false
+  | Some q1 -> (
+      match String.index_from_opt line (q1 + 1) '"' with
+      | None -> false
+      | Some q2 -> (
+          let request = String.sub line (q1 + 1) (q2 - q1 - 1) in
+          let tail = String.sub line (q2 + 1) (String.length line - q2 - 1) in
+          let fields =
+            List.filter (( <> ) "") (String.split_on_char ' ' tail)
+          in
+          match (String.split_on_char ' ' request, fields) with
+          | _meth :: target :: _, status_s :: bytes_s :: rest -> (
+              match (int_of_string_opt status_s, int_of_string_opt bytes_s) with
+              | Some status, Some bytes when bytes >= 0 ->
+                  if not (mineable_status status) then false
+                  else
+                    let path =
+                      (* Prefer the appended filesystem path; a purely
+                         numeric trailing field is the timing suffix,
+                         not a path. *)
+                      match rest with
+                      | p :: _ when String.length p > 0 && p.[0] = '/' -> p
+                      | _ -> target
+                    in
+                    if String.length path = 0 then false
+                    else begin
+                      (* A 304 confirms demand but moves no bytes: keep
+                         the old size estimate. *)
+                      observe t ~now ~bytes:(if status = 304 then 0 else bytes)
+                        path;
+                      true
+                    end
+              | _ -> false)
+          | _ -> false))
+
+let tracked t = Hashtbl.length t.objects
+
+let rank t ~now ~top_k ~budget_bytes =
+  let dead = ref [] in
+  let scored =
+    Hashtbl.fold
+      (fun path obj acc ->
+        decay t obj ~now;
+        if obj.freq < noise_floor then begin
+          dead := path :: !dead;
+          acc
+        end
+        else
+          { c_path = path;
+            c_score = obj.freq /. float_of_int (max 1 obj.bytes);
+            c_bytes = obj.bytes;
+          }
+          :: acc)
+      t.objects []
+  in
+  List.iter (Hashtbl.remove t.objects) !dead;
+  let ordered =
+    List.sort
+      (fun a b ->
+        match compare b.c_score a.c_score with
+        | 0 -> compare a.c_path b.c_path
+        | c -> c)
+      scored
+  in
+  let rec take n spent = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | c :: rest ->
+        if spent + c.c_bytes > budget_bytes then take n spent rest
+        else c :: take (n - 1) (spent + c.c_bytes) rest
+  in
+  take top_k 0 ordered
+
+let clear t = Hashtbl.reset t.objects

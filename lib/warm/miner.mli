@@ -1,0 +1,60 @@
+(** Access-history mining for predictive cache warming.
+
+    The miner folds observed demand — per-key hit/recency stats from a
+    {!Flash_cache.Store}, the admission doorkeeper's rejected-key
+    history, and pcache-style access-log lines — into one EMA-decayed,
+    size-aware ranking.  The score is GDSF-shaped (decayed frequency
+    over size), so the warmer speaks the same vocabulary as the cache's
+    own replacement policy: small, persistently popular objects rank
+    highest; big one-shot downloads rank last.
+
+    Everything here is pure state folding with an injected clock:
+    observations carry [now], decay happens lazily against it, and
+    rankings are deterministic functions of the observation sequence —
+    the property the qcheck suite pins down.  No syscalls, no wall
+    clock, no threads: the prefetch side (helpers, mmap, insertion)
+    lives with the server. *)
+
+type t
+
+(** One ranked warming candidate. *)
+type candidate = {
+  c_path : string;
+  c_score : float;  (** decayed frequency / size; higher is hotter *)
+  c_bytes : int;  (** last observed size (1 when never sized) *)
+}
+
+(** [create ~half_life ()] — an object's contribution halves every
+    [half_life] seconds of silence (default 60 s).
+    @raise Invalid_argument if [half_life <= 0]. *)
+val create : ?half_life:float -> unit -> t
+
+(** Record one access to [path] at [now].  [bytes] refreshes the size
+    estimate when positive; [count] (default 1.0) weighs the
+    observation — bulk imports from store stats use it to replay a hit
+    count in one call. *)
+val observe : t -> now:float -> ?bytes:int -> ?count:float -> string -> unit
+
+(** Parse one access-log line in the server's mineable format — a
+    Common Log Format request line whose tail carries
+    [status bytes path] fields (the resolved filesystem path after the
+    CLF [status bytes] pair, as pcache mines from Apache's
+    [%>s %O %f]) — and {!observe} it at [now].  Lines without the path
+    field fall back to the quoted request target; trailing numeric
+    fields (the access-log timing suffix) are tolerated.  Only
+    successful file responses (200/203/206/304) count.  Returns [false]
+    for lines that parse but are not mineable and for unparseable
+    lines. *)
+val observe_line : t -> now:float -> string -> bool
+
+(** Distinct paths currently tracked. *)
+val tracked : t -> int
+
+(** [rank t ~now ~top_k ~budget_bytes] — the hottest candidates, score
+    descending (ties broken by path, so equal scores rank
+    deterministically), cut to the first [top_k] whose cumulative
+    [c_bytes] fit [budget_bytes].  Entries decayed below noise are
+    dropped from the ranking and from the miner's state. *)
+val rank : t -> now:float -> top_k:int -> budget_bytes:int -> candidate list
+
+val clear : t -> unit

@@ -1,0 +1,54 @@
+type config = {
+  interval : float;
+  budget_frac : float;
+  top_k : int;
+  half_life : float;
+}
+
+let default_config =
+  { interval = 5.; budget_frac = 0.25; top_k = 64; half_life = 60. }
+
+let pin_budget config ~capacity =
+  let frac = Float.max 0. (Float.min 1. config.budget_frac) in
+  int_of_float (frac *. float_of_int capacity)
+
+type absorber = {
+  hits_seen : (string, int) Hashtbl.t;
+  rejected_seen : (string, unit) Hashtbl.t;
+}
+
+(* Bounded like the doorkeeper: forgetting everything at once only
+   costs one cycle of re-absorbed counts. *)
+let absorber_limit = 65536
+
+let create_absorber () =
+  { hits_seen = Hashtbl.create 256; rejected_seen = Hashtbl.create 256 }
+
+let absorb a miner ~now ~stats ~rejected =
+  if Hashtbl.length a.hits_seen >= absorber_limit then
+    Hashtbl.reset a.hits_seen;
+  if Hashtbl.length a.rejected_seen >= absorber_limit then
+    Hashtbl.reset a.rejected_seen;
+  List.iter
+    (fun (key, (ks : Flash_cache.Store.key_stat)) ->
+      let prev = Option.value ~default:0 (Hashtbl.find_opt a.hits_seen key) in
+      (* The store's counter is per-entry and resets when the entry is
+         dropped; a smaller reading means a fresh entry, so the whole
+         count is new. *)
+      let fresh =
+        if ks.Flash_cache.Store.ks_hits >= prev then
+          ks.Flash_cache.Store.ks_hits - prev
+        else ks.Flash_cache.Store.ks_hits
+      in
+      Hashtbl.replace a.hits_seen key ks.Flash_cache.Store.ks_hits;
+      if fresh > 0 then
+        Miner.observe miner ~now ~bytes:ks.Flash_cache.Store.ks_weight
+          ~count:(float_of_int fresh) key)
+    stats;
+  List.iter
+    (fun key ->
+      if not (Hashtbl.mem a.rejected_seen key) then begin
+        Hashtbl.replace a.rejected_seen key ();
+        Miner.observe miner ~now key
+      end)
+    rejected

@@ -1,0 +1,42 @@
+(** Predictive-warming policy glue: store-history absorption and the
+    warming configuration shared by the live server and the offline
+    evaluator.
+
+    The {!Miner} ranks; this module feeds it from a running
+    {!Flash_cache.Store} without double counting.  An {!absorber}
+    remembers, per key, how many hits it has already replayed into the
+    miner and which doorkeeper rejections it has already seen, so each
+    mining cycle contributes only the demand that arrived since the
+    last one. *)
+
+type config = {
+  interval : float;  (** seconds between mining cycles *)
+  budget_frac : float;  (** pinned hot tier <= this fraction of capacity *)
+  top_k : int;  (** candidates considered per cycle *)
+  half_life : float;  (** miner EMA half-life, seconds *)
+}
+
+(** 5 s cycles, a quarter of the cache pinnable, 64 candidates, 60 s
+    half-life. *)
+val default_config : config
+
+(** The pinned-tier byte bound this config allows over [capacity]. *)
+val pin_budget : config -> capacity:int -> int
+
+type absorber
+
+val create_absorber : unit -> absorber
+
+(** Replay into [miner], at [now], every hit the cache has counted
+    since the previous [absorb] — each key in [stats] observed with its
+    hit delta and current weight — plus one observation per newly seen
+    key in [rejected] (doorkeeper rejections: demand the cache turned
+    away; no size is known for these).  Takes snapshots rather than the
+    store itself so the caller controls locking and key filtering. *)
+val absorb :
+  absorber ->
+  Miner.t ->
+  now:float ->
+  stats:(string * Flash_cache.Store.key_stat) list ->
+  rejected:string list ->
+  unit

@@ -60,7 +60,10 @@ let save_clf t ~path =
             t.fileset.Fileset.sizes.(idx))
         t.requests)
 
-(* "host - - [date] \"METH target HTTP/x.y\" status bytes" *)
+(* "host - - [date] \"METH target HTTP/x.y\" status bytes [...]".
+   Fields past the status/bytes pair — the live server's machine-
+   minable resolved path, its timing suffix — are tolerated, so any
+   flash_serve access log replays here. *)
 let parse_clf_line line =
   match String.index_opt line '"' with
   | None -> None
@@ -74,7 +77,7 @@ let parse_clf_line line =
             ( String.split_on_char ' ' request_part,
               List.filter (( <> ) "") (String.split_on_char ' ' tail) )
           with
-          | _meth :: target :: _, [ _status; bytes_str ] -> (
+          | _meth :: target :: _, _status :: bytes_str :: _rest -> (
               match int_of_string_opt bytes_str with
               | Some bytes when bytes >= 0 && String.length target > 0 ->
                   Some (target, bytes)

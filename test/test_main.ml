@@ -44,5 +44,6 @@ let () =
       (* Last on purpose: these tests spawn OCaml domains, and OCaml 5
          forbids Unix.fork once any domain has ever been created — every
          MP (fork) test above must run before the first of these. *)
+      ("warm", Test_warm.suite);
       ("live.sharded", Test_sharded.suite);
     ]
